@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared configuration for the benchmark harness. Every bench binary
+ * regenerates one table or figure of the paper at laptop scale;
+ * setting CCSA_SCALE > 1 grows corpora and training budgets toward
+ * paper scale.
+ */
+
+#ifndef CCSA_BENCH_BENCH_UTIL_HH
+#define CCSA_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "base/str.hh"
+#include "base/table.hh"
+#include "eval/experiment.hh"
+
+namespace ccsa
+{
+namespace bench
+{
+
+/** Default laptop-scale experiment configuration for benches. */
+inline ExperimentConfig
+defaultConfig()
+{
+    ExperimentConfig cfg;
+    cfg.encoder.embedDim = 24;
+    cfg.encoder.hiddenDim = 32;
+    cfg.encoder.layers = 1;
+    cfg.encoder.arch = nn::TreeArch::Uni;
+    cfg.submissionsPerProblem = 48;
+    cfg.train.epochs = 3;
+    cfg.train.learningRate = 5e-3f;
+    cfg.train.batchPairs = 32;
+    cfg.trainPairs.maxPairs = 600;
+    cfg.evalPairs.maxPairs = 220;
+    cfg.applyEnvScale();
+    return cfg;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string& what, const std::string& paper_ref)
+{
+    std::printf("=====================================================\n");
+    std::printf("ccsa bench: %s\n", what.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("scale: CCSA_SCALE=%.2f (set >1 for higher fidelity)\n",
+                envScale());
+    std::printf("=====================================================\n");
+}
+
+} // namespace bench
+} // namespace ccsa
+
+#endif // CCSA_BENCH_BENCH_UTIL_HH

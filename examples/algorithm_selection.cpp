@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Use case 1 of the paper's introduction: "selecting the best
+ * algorithm to solve a problem out of several alternative
+ * solutions". Candidate solutions to problem C (greedy + sorting)
+ * are ranked by round-robin pairwise comparison with the trained
+ * predictor, then checked against the simulated judge's ground
+ * truth.
+ *
+ * Usage: ./algorithm_selection
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "eval/experiment.hh"
+#include "frontend/parser.hh"
+
+using namespace ccsa;
+
+int
+main()
+{
+    std::printf("=== algorithm selection ===\n\n");
+
+    const ProblemSpec& spec = tableISpec(ProblemFamily::C);
+
+    std::printf("[1/3] training a predictor on problem %s (%s)...\n",
+                spec.tag.c_str(), familyAlgorithms(spec.family));
+    ExperimentConfig cfg;
+    cfg.encoder.embedDim = 24;
+    cfg.encoder.hiddenDim = 32;
+    cfg.submissionsPerProblem = 60;
+    cfg.train.epochs = 3;
+    cfg.trainPairs.maxPairs = 800;
+    TrainedModel tm = trainOnProblem(spec, cfg);
+    std::printf("      held-out accuracy: %.3f\n\n",
+                evalHeldOut(tm, cfg));
+
+    // Candidate pool: one fresh solution per algorithm variant.
+    std::printf("[2/3] generating candidate implementations...\n");
+    auto gen = makeGenerator(spec.family, spec.problemSeed);
+    SimulatedJudge judge(spec.judge);
+    Rng rng(2024);
+
+    struct Candidate
+    {
+        std::string name;
+        Ast ast;
+        double judgeMs;
+        int wins = 0;
+    };
+    std::vector<Candidate> candidates;
+    const char* names[] = {"counting-sort", "std::sort",
+                           "bubble-sort"};
+    for (int v = 0; v < gen->numVariants(); ++v) {
+        Candidate c;
+        c.name = names[v];
+        GeneratedSolution sol = gen->generateVariant(v, rng);
+        c.ast = parseAndPrune(sol.source);
+        c.judgeMs = judge.deterministicMs(c.ast);
+        candidates.push_back(std::move(c));
+    }
+
+    // Round-robin: a candidate scores a win when the model predicts
+    // it is the faster element of the pair.
+    std::printf("[3/3] round-robin comparison...\n\n");
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        for (std::size_t j = 0; j < candidates.size(); ++j) {
+            if (i == j)
+                continue;
+            double p = tm.model->probFirstSlower(candidates[i].ast,
+                                                 candidates[j].ast);
+            if (p >= 0.5)
+                candidates[j].wins++;
+            else
+                candidates[i].wins++;
+        }
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                  return a.wins > b.wins;
+              });
+
+    std::printf("  rank  candidate       model wins   judge runtime\n");
+    std::printf("  ----  -------------   ----------   -------------\n");
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        std::printf("   %zu    %-14s  %6d       %9.1f ms\n", i + 1,
+                    candidates[i].name.c_str(), candidates[i].wins,
+                    candidates[i].judgeMs);
+
+    // Near-identical runtimes are ties: what matters is that no
+    // clearly slower candidate is ranked above a clearly faster one.
+    bool agrees = true;
+    for (std::size_t i = 1; i < candidates.size(); ++i)
+        if (candidates[i - 1].judgeMs > 1.1 * candidates[i].judgeMs)
+            agrees = false;
+    std::printf("\n  model ranking %s the judge's ground truth "
+                "(ties within 10%% allowed).\n",
+                agrees ? "matches" : "deviates from");
+    return 0;
+}

@@ -1,0 +1,202 @@
+#include "ast/ast.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+Ast::Ast(NodeKind root_kind)
+{
+    AstNode root;
+    root.kind = root_kind;
+    root.parent = -1;
+    nodes_.push_back(std::move(root));
+}
+
+int
+Ast::addNode(NodeKind kind, int parent, std::string text)
+{
+    if (parent < 0 || parent >= size())
+        panic("Ast::addNode: invalid parent ", parent);
+    int id = size();
+    AstNode n;
+    n.kind = kind;
+    n.parent = parent;
+    n.text = std::move(text);
+    nodes_.push_back(std::move(n));
+    nodes_[parent].children.push_back(id);
+    return id;
+}
+
+const AstNode&
+Ast::node(int id) const
+{
+    if (id < 0 || id >= size())
+        panic("Ast::node: invalid id ", id);
+    return nodes_[id];
+}
+
+AstNode&
+Ast::node(int id)
+{
+    if (id < 0 || id >= size())
+        panic("Ast::node: invalid id ", id);
+    return nodes_[id];
+}
+
+std::vector<int>
+Ast::parents() const
+{
+    std::vector<int> out(nodes_.size());
+    for (int i = 0; i < size(); ++i)
+        out[i] = nodes_[i].parent;
+    return out;
+}
+
+std::vector<int>
+Ast::kindIds() const
+{
+    std::vector<int> out(nodes_.size());
+    for (int i = 0; i < size(); ++i)
+        out[i] = kindId(nodes_[i].kind);
+    return out;
+}
+
+int
+Ast::depth() const
+{
+    std::vector<int> d(nodes_.size(), 1);
+    int best = 1;
+    // Nodes are appended after their parents, so a forward pass works.
+    for (int i = 1; i < size(); ++i) {
+        d[i] = d[nodes_[i].parent] + 1;
+        best = std::max(best, d[i]);
+    }
+    return best;
+}
+
+int
+Ast::countKind(NodeKind kind) const
+{
+    int c = 0;
+    for (const auto& n : nodes_)
+        if (n.kind == kind)
+            ++c;
+    return c;
+}
+
+std::vector<int>
+Ast::nodesOfKind(NodeKind kind) const
+{
+    std::vector<int> out;
+    visitPreorder([&](int id) {
+        if (nodes_[id].kind == kind)
+            out.push_back(id);
+    });
+    return out;
+}
+
+int
+Ast::subtreeSize(int id) const
+{
+    int count = 0;
+    std::vector<int> stack{id};
+    while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        ++count;
+        for (int c : node(cur).children)
+            stack.push_back(c);
+    }
+    return count;
+}
+
+void
+Ast::visitPreorder(const std::function<void(int)>& fn) const
+{
+    std::vector<int> stack{root()};
+    while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        fn(cur);
+        const auto& ch = nodes_[cur].children;
+        for (auto it = ch.rbegin(); it != ch.rend(); ++it)
+            stack.push_back(*it);
+    }
+}
+
+namespace
+{
+
+void
+sexprRec(const Ast& ast, int id, std::ostringstream& os)
+{
+    const AstNode& n = ast.node(id);
+    os << "(" << nodeKindName(n.kind);
+    if (!n.text.empty())
+        os << ":" << n.text;
+    for (int c : n.children) {
+        os << " ";
+        sexprRec(ast, c, os);
+    }
+    os << ")";
+}
+
+} // namespace
+
+std::string
+Ast::toSExpression() const
+{
+    std::ostringstream os;
+    sexprRec(*this, root(), os);
+    return os.str();
+}
+
+std::string
+Ast::toDot() const
+{
+    std::ostringstream os;
+    os << "digraph ast {\n  node [shape=box];\n";
+    for (int i = 0; i < size(); ++i) {
+        os << "  n" << i << " [label=\"" << nodeKindName(nodes_[i].kind);
+        if (!nodes_[i].text.empty())
+            os << "\\n" << nodes_[i].text;
+        os << "\"];\n";
+    }
+    for (int i = 0; i < size(); ++i)
+        for (int c : nodes_[i].children)
+            os << "  n" << i << " -> n" << c << ";\n";
+    os << "}\n";
+    return os.str();
+}
+
+namespace
+{
+
+void
+copySubtree(const Ast& src, int src_id, Ast& dst, int dst_parent)
+{
+    const AstNode& n = src.node(src_id);
+    int id = dst.addNode(n.kind, dst_parent, n.text);
+    for (int c : n.children)
+        copySubtree(src, c, dst, id);
+}
+
+} // namespace
+
+Ast
+pruneToFunctions(const Ast& full)
+{
+    Ast pruned(NodeKind::Root);
+    // Collect function definitions in preorder; nested functions are
+    // impossible in MiniCxx, so these subtrees are disjoint.
+    for (int id : full.nodesOfKind(NodeKind::FunctionDef))
+        copySubtree(full, id, pruned, pruned.root());
+    if (pruned.size() == 1)
+        fatal("pruneToFunctions: no function definitions in input");
+    return pruned;
+}
+
+} // namespace ccsa

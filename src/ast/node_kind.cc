@@ -1,0 +1,110 @@
+#include "ast/node_kind.hh"
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+const char*
+nodeKindName(NodeKind k)
+{
+    switch (k) {
+      case NodeKind::Root: return "Root";
+      case NodeKind::FunctionDef: return "FunctionDef";
+      case NodeKind::ParamList: return "ParamList";
+      case NodeKind::Param: return "Param";
+      case NodeKind::ArrayExtent: return "ArrayExtent";
+      case NodeKind::CompoundStmt: return "CompoundStmt";
+      case NodeKind::DeclStmt: return "DeclStmt";
+      case NodeKind::VarDecl: return "VarDecl";
+      case NodeKind::IfStmt: return "IfStmt";
+      case NodeKind::ForStmt: return "ForStmt";
+      case NodeKind::WhileStmt: return "WhileStmt";
+      case NodeKind::DoWhileStmt: return "DoWhileStmt";
+      case NodeKind::ReturnStmt: return "ReturnStmt";
+      case NodeKind::BreakStmt: return "BreakStmt";
+      case NodeKind::ContinueStmt: return "ContinueStmt";
+      case NodeKind::ExprStmt: return "ExprStmt";
+      case NodeKind::EmptyStmt: return "EmptyStmt";
+      case NodeKind::CallExpr: return "CallExpr";
+      case NodeKind::SubscriptExpr: return "SubscriptExpr";
+      case NodeKind::MemberExpr: return "MemberExpr";
+      case NodeKind::VarRef: return "VarRef";
+      case NodeKind::CondExpr: return "CondExpr";
+      case NodeKind::InitList: return "InitList";
+      case NodeKind::Assign: return "Assign";
+      case NodeKind::AddAssign: return "AddAssign";
+      case NodeKind::SubAssign: return "SubAssign";
+      case NodeKind::MulAssign: return "MulAssign";
+      case NodeKind::DivAssign: return "DivAssign";
+      case NodeKind::ModAssign: return "ModAssign";
+      case NodeKind::Add: return "Add";
+      case NodeKind::Sub: return "Sub";
+      case NodeKind::Mul: return "Mul";
+      case NodeKind::Div: return "Div";
+      case NodeKind::Mod: return "Mod";
+      case NodeKind::Less: return "Less";
+      case NodeKind::Greater: return "Greater";
+      case NodeKind::LessEq: return "LessEq";
+      case NodeKind::GreaterEq: return "GreaterEq";
+      case NodeKind::Equal: return "Equal";
+      case NodeKind::NotEqual: return "NotEqual";
+      case NodeKind::LogicalAnd: return "LogicalAnd";
+      case NodeKind::LogicalOr: return "LogicalOr";
+      case NodeKind::LogicalNot: return "LogicalNot";
+      case NodeKind::BitAnd: return "BitAnd";
+      case NodeKind::BitOr: return "BitOr";
+      case NodeKind::BitXor: return "BitXor";
+      case NodeKind::ShiftLeft: return "ShiftLeft";
+      case NodeKind::ShiftRight: return "ShiftRight";
+      case NodeKind::Negate: return "Negate";
+      case NodeKind::PreInc: return "PreInc";
+      case NodeKind::PreDec: return "PreDec";
+      case NodeKind::PostInc: return "PostInc";
+      case NodeKind::PostDec: return "PostDec";
+      case NodeKind::IntLiteral: return "IntLiteral";
+      case NodeKind::DoubleLiteral: return "DoubleLiteral";
+      case NodeKind::CharLiteral: return "CharLiteral";
+      case NodeKind::StringLiteral: return "StringLiteral";
+      case NodeKind::BoolLiteral: return "BoolLiteral";
+      case NodeKind::NumKinds: break;
+    }
+    panic("nodeKindName: invalid kind");
+}
+
+NodeCategory
+nodeKindCategory(NodeKind k)
+{
+    int id = kindId(k);
+    if (id >= kindId(NodeKind::Root) &&
+        id <= kindId(NodeKind::ArrayExtent))
+        return NodeCategory::Support;
+    if (id >= kindId(NodeKind::CompoundStmt) &&
+        id <= kindId(NodeKind::EmptyStmt))
+        return NodeCategory::Statement;
+    if (id >= kindId(NodeKind::CallExpr) &&
+        id <= kindId(NodeKind::InitList))
+        return NodeCategory::Expression;
+    if (id >= kindId(NodeKind::Assign) &&
+        id <= kindId(NodeKind::PostDec))
+        return NodeCategory::Operation;
+    if (id >= kindId(NodeKind::IntLiteral) &&
+        id <= kindId(NodeKind::BoolLiteral))
+        return NodeCategory::Literal;
+    panic("nodeKindCategory: invalid kind");
+}
+
+const char*
+nodeCategoryName(NodeCategory c)
+{
+    switch (c) {
+      case NodeCategory::Support: return "support";
+      case NodeCategory::Statement: return "statement";
+      case NodeCategory::Expression: return "expression";
+      case NodeCategory::Operation: return "operation";
+      case NodeCategory::Literal: return "literal";
+    }
+    panic("nodeCategoryName: invalid category");
+}
+
+} // namespace ccsa

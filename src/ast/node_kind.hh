@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The vocabulary of AST node kinds. Mirrors the information channel of
+ * the paper's ROSE-derived trees: each node carries only its syntactic
+ * kind; a kind maps to one embedding-table row, "consistent across all
+ * trees in the database" (§IV-B).
+ *
+ * Kinds are grouped into the five categories used to colour Figure 7a:
+ * operations, other expressions, statements, literal values, and
+ * support nodes.
+ */
+
+#ifndef CCSA_AST_NODE_KIND_HH
+#define CCSA_AST_NODE_KIND_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ccsa
+{
+
+/** Every syntactic construct MiniCxx can represent. */
+enum class NodeKind : std::uint8_t
+{
+    // Support nodes.
+    Root,
+    FunctionDef,
+    ParamList,
+    Param,
+    ArrayExtent,
+
+    // Statements.
+    CompoundStmt,
+    DeclStmt,
+    VarDecl,
+    IfStmt,
+    ForStmt,
+    WhileStmt,
+    DoWhileStmt,
+    ReturnStmt,
+    BreakStmt,
+    ContinueStmt,
+    ExprStmt,
+    EmptyStmt,
+
+    // Other expressions.
+    CallExpr,
+    SubscriptExpr,
+    MemberExpr,
+    VarRef,
+    CondExpr,
+    InitList,
+
+    // Operations.
+    Assign,
+    AddAssign,
+    SubAssign,
+    MulAssign,
+    DivAssign,
+    ModAssign,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Less,
+    Greater,
+    LessEq,
+    GreaterEq,
+    Equal,
+    NotEqual,
+    LogicalAnd,
+    LogicalOr,
+    LogicalNot,
+    BitAnd,
+    BitOr,
+    BitXor,
+    ShiftLeft,
+    ShiftRight,
+    Negate,
+    PreInc,
+    PreDec,
+    PostInc,
+    PostDec,
+
+    // Literals.
+    IntLiteral,
+    DoubleLiteral,
+    CharLiteral,
+    StringLiteral,
+    BoolLiteral,
+
+    NumKinds, ///< sentinel: total kind count
+};
+
+/** Total number of real node kinds (embedding vocabulary size). */
+constexpr int kNumNodeKinds = static_cast<int>(NodeKind::NumKinds);
+
+/** Figure 7a colour categories. */
+enum class NodeCategory
+{
+    Support,
+    Statement,
+    Expression,
+    Operation,
+    Literal,
+};
+
+/** @return stable integer id of a kind (embedding row index). */
+constexpr int
+kindId(NodeKind k)
+{
+    return static_cast<int>(k);
+}
+
+/** @return human-readable kind name. */
+const char* nodeKindName(NodeKind k);
+
+/** @return the category a kind belongs to (Fig. 7a colouring). */
+NodeCategory nodeKindCategory(NodeKind k);
+
+/** @return human-readable category name. */
+const char* nodeCategoryName(NodeCategory c);
+
+} // namespace ccsa
+
+#endif // CCSA_AST_NODE_KIND_HH

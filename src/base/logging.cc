@@ -1,0 +1,38 @@
+#include "base/logging.hh"
+
+#include <iostream>
+
+namespace ccsa
+{
+
+namespace
+{
+bool verboseFlag = false;
+} // namespace
+
+void
+warn(const std::string& msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string& msg)
+{
+    if (verboseFlag)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+} // namespace ccsa

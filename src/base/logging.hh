@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Error and status reporting for ccsa, following the gem5 discipline:
+ * panic() for internal invariant violations (a ccsa bug), fatal() for
+ * conditions caused by the caller (bad configuration, malformed input),
+ * and warn()/inform() for non-fatal status messages.
+ *
+ * Unlike gem5, panic() and fatal() throw typed exceptions instead of
+ * aborting the process, so that library users (and the test suite) can
+ * recover from user-level errors.
+ */
+
+#ifndef CCSA_BASE_LOGGING_HH
+#define CCSA_BASE_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccsa
+{
+
+/** Thrown by fatal(): the caller supplied invalid input or config. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Thrown by panic(): an internal invariant was violated (a ccsa bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user-level error (bad input, bad config).
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    throw FatalError(detail::concat("fatal: ",
+                                    std::forward<Args>(args)...));
+}
+
+/**
+ * Report a violated internal invariant — a bug in ccsa itself.
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    throw PanicError(detail::concat("panic: ",
+                                    std::forward<Args>(args)...));
+}
+
+/** Emit a warning to stderr; never stops execution. */
+void warn(const std::string& msg);
+
+/** Emit an informational message to stderr; never stops execution. */
+void inform(const std::string& msg);
+
+/** Enable/disable inform() output (warnings always print). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is currently enabled. */
+bool verbose();
+
+/**
+ * Assert an internal invariant; panics with the message on failure.
+ * Kept as a function (not a macro) so it is always evaluated.
+ */
+inline void
+ccsaAssert(bool cond, const std::string& msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace ccsa
+
+#endif // CCSA_BASE_LOGGING_HH

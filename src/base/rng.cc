@@ -1,0 +1,42 @@
+#include "base/rng.hh"
+
+#include <cmath>
+#include <numeric>
+
+namespace ccsa
+{
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    // Box–Muller transform; u1 in (0,1] to avoid log(0).
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+std::vector<int>
+Rng::sampleIndices(int n, int k)
+{
+    if (k < 0 || k > n)
+        panic("Rng::sampleIndices: k out of range");
+    std::vector<int> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    // Partial Fisher–Yates: first k positions are the sample.
+    for (int i = 0; i < k; ++i) {
+        int j = i + static_cast<int>(nextU64() % (n - i));
+        std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+}
+
+} // namespace ccsa

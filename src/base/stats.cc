@@ -1,0 +1,89 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        fatal("mean: empty sample");
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+        static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double>& xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+quantile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        fatal("quantile: empty sample");
+    if (p < 0.0 || p > 1.0)
+        fatal("quantile: p out of [0,1]");
+    std::sort(xs.begin(), xs.end());
+    double pos = p * static_cast<double>(xs.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+median(const std::vector<double>& xs)
+{
+    return quantile(xs, 0.5);
+}
+
+Summary
+summarize(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        fatal("summarize: empty sample");
+    Summary s;
+    s.min = *std::min_element(xs.begin(), xs.end());
+    s.max = *std::max_element(xs.begin(), xs.end());
+    s.q1 = quantile(xs, 0.25);
+    s.median = quantile(xs, 0.5);
+    s.q3 = quantile(xs, 0.75);
+    s.mean = mean(xs);
+    s.stddev = stddev(xs);
+    s.count = xs.size();
+    return s;
+}
+
+double
+pearson(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        fatal("pearson: samples must have equal size >= 2");
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace ccsa

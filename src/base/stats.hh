@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the benchmark harness —
+ * primarily to reproduce the per-problem runtime summaries of Table I
+ * and the boxplots of Figure 3.
+ */
+
+#ifndef CCSA_BASE_STATS_HH
+#define CCSA_BASE_STATS_HH
+
+#include <vector>
+
+namespace ccsa
+{
+
+/** Five-number-plus summary of a sample. */
+struct Summary
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    std::size_t count = 0;
+};
+
+/** @return the arithmetic mean of a non-empty sample. */
+double mean(const std::vector<double>& xs);
+
+/** @return the sample standard deviation (n-1 denominator; 0 if n<2). */
+double stddev(const std::vector<double>& xs);
+
+/**
+ * @return the p-quantile (0<=p<=1) with linear interpolation between
+ * order statistics; fatal on an empty sample.
+ */
+double quantile(std::vector<double> xs, double p);
+
+/** @return the median of the sample. */
+double median(const std::vector<double>& xs);
+
+/** @return a complete Summary of the sample (fatal if empty). */
+Summary summarize(const std::vector<double>& xs);
+
+/** @return Pearson correlation of two equal-length samples. */
+double pearson(const std::vector<double>& xs,
+               const std::vector<double>& ys);
+
+} // namespace ccsa
+
+#endif // CCSA_BASE_STATS_HH

@@ -1,0 +1,80 @@
+#include "base/str.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+std::vector<std::string>
+split(const std::string& s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : s) {
+        if (ch == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string>& parts, const std::string& sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool
+startsWith(const std::string& s, const std::string& prefix)
+{
+    return s.size() >= prefix.size() &&
+        s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string& s, const std::string& suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+double
+envScale(const char* name)
+{
+    const char* v = std::getenv(name);
+    if (!v)
+        return 1.0;
+    double scale = std::atof(v);
+    if (scale <= 0.0) {
+        warn(std::string(name) + " must be positive; using 1.0");
+        return 1.0;
+    }
+    return scale;
+}
+
+} // namespace ccsa

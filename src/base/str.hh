@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small string helpers shared across modules.
+ */
+
+#ifndef CCSA_BASE_STR_HH
+#define CCSA_BASE_STR_HH
+
+#include <string>
+#include <vector>
+
+namespace ccsa
+{
+
+/** Split a string on a delimiter character (keeps empty fields). */
+std::vector<std::string> split(const std::string& s, char delim);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/** @return true if s starts with prefix. */
+bool startsWith(const std::string& s, const std::string& prefix);
+
+/** @return true if s ends with suffix. */
+bool endsWith(const std::string& s, const std::string& suffix);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string& s);
+
+/**
+ * Read a positive scaling factor from the environment (default 1.0).
+ * Bench binaries use CCSA_SCALE to grow dataset sizes / epochs for
+ * higher-fidelity runs on bigger machines.
+ */
+double envScale(const char* name = "CCSA_SCALE");
+
+} // namespace ccsa
+
+#endif // CCSA_BASE_STR_HH

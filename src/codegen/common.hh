@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared emission fragments used by several family generators:
+ * standard prologs, array-reading loops, the three sorting idioms
+ * (counting / std::sort / bubble), dead code and redundant passes.
+ */
+
+#ifndef CCSA_CODEGEN_COMMON_HH
+#define CCSA_CODEGEN_COMMON_HH
+
+#include "base/rng.hh"
+#include "codegen/style.hh"
+#include "codegen/writer.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+/** Emit the #include / using prolog. */
+void prolog(CodeWriter& w);
+
+/** Emit a loop reading count elements of arr from cin. */
+void readArray(CodeWriter& w, const StyleKnobs& k,
+               const std::string& arr, const std::string& count);
+
+/** Emit an in-place bubble sort of arr[0..count). O(n^2). */
+void bubbleSort(CodeWriter& w, const StyleKnobs& k,
+                const std::string& arr, const std::string& count);
+
+/** Emit a call to std::sort over arr[0..count). O(n log n). */
+void stdSort(CodeWriter& w, const std::string& arr,
+             const std::string& count);
+
+/** Emit harmless unused declarations / dead branches. */
+void deadCode(CodeWriter& w, const StyleKnobs& k, Rng& rng);
+
+/** Emit a redundant O(count) verification pass over arr. */
+void secondPass(CodeWriter& w, const StyleKnobs& k,
+                const std::string& arr, const std::string& count);
+
+/**
+ * Emit a counting loop header "for (var = from; var < to; ++var)"
+ * honouring the while-loop and pre-increment knobs; the caller must
+ * close() the block.
+ */
+void openCountLoop(CodeWriter& w, const StyleKnobs& k,
+                   const std::string& var, const std::string& from,
+                   const std::string& to);
+
+} // namespace gen
+} // namespace ccsa
+
+#endif // CCSA_CODEGEN_COMMON_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Per-family generator factories (one translation unit per family).
+ */
+
+#ifndef CCSA_CODEGEN_FAMILIES_HH
+#define CCSA_CODEGEN_FAMILIES_HH
+
+#include <memory>
+
+#include "codegen/generator.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+std::unique_ptr<ProblemGenerator> makeFamilyA(int problem_seed);
+std::unique_ptr<ProblemGenerator> makeFamilyB(int problem_seed);
+std::unique_ptr<ProblemGenerator> makeFamilyC(int problem_seed);
+std::unique_ptr<ProblemGenerator> makeFamilyD(int problem_seed);
+std::unique_ptr<ProblemGenerator> makeFamilyE(int problem_seed);
+std::unique_ptr<ProblemGenerator> makeFamilyF(int problem_seed);
+std::unique_ptr<ProblemGenerator> makeFamilyG(int problem_seed);
+std::unique_ptr<ProblemGenerator> makeFamilyH(int problem_seed);
+std::unique_ptr<ProblemGenerator> makeFamilyI(int problem_seed);
+
+} // namespace gen
+} // namespace ccsa
+
+#endif // CCSA_CODEGEN_FAMILIES_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Family A — "Registration" (Codeforces 4C), the hashing problem of
+ * Table I. Read n names; print OK for first occurrences, name+count
+ * for repeats. Variants:
+ *   0: open-addressing hash table            ~ O(n)
+ *   1: offline std::sort + binary search     ~ O(n log n)
+ *   2: linear scan over previous names       ~ O(n^2)
+ */
+
+#include "codegen/families.hh"
+
+#include "codegen/common.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+namespace
+{
+
+class FamilyA : public ProblemGenerator
+{
+  public:
+    explicit FamilyA(int seed)
+        : hashSize_(seed % 2 == 0 ? 131072 : 262144),
+          hashMul_(seed % 3 == 0 ? 31 : 131),
+          probeStep_(seed % 4 == 0 ? 7 : 1)
+    {}
+
+    ProblemFamily family() const override { return ProblemFamily::A; }
+    int numVariants() const override { return 3; }
+
+    GeneratedSolution
+    generateVariant(int variant, Rng& rng) const override
+    {
+        StyleKnobs k = StyleKnobs::random(rng);
+        CodeWriter w;
+        prolog(w);
+        switch (variant) {
+          case 0: emitHash(w, k, rng); break;
+          case 1: emitSortSearch(w, k, rng); break;
+          default: emitLinearScan(w, k, rng); break;
+        }
+        GeneratedSolution out;
+        out.source = w.str();
+        out.algoVariant = variant;
+        out.numVariants = numVariants();
+        out.knobs = k;
+        return out;
+    }
+
+  private:
+    void
+    emitHash(CodeWriter& w, const StyleKnobs& k, Rng& rng) const
+    {
+        std::string hs = std::to_string(hashSize_);
+        w.line("const int HS = " + hs + ";");
+        w.line("string keys[" + hs + "];");
+        w.line("int cnt[" + hs + "];");
+        w.blank();
+        std::string sArg = k.passByValue ? "string s" : "string& s";
+        w.open("int hashName(" + sArg + ")");
+        w.line("long long h = 7;");
+        w.open("for (int " + k.idx(0) + " = 0; " + k.idx(0) +
+               " < s.size(); " + k.idx(0) + "++)");
+        w.line("h = h * " + std::to_string(hashMul_) + " + s[" +
+               k.idx(0) + "];");
+        w.line("h = h % " + hs + ";");
+        w.close();
+        w.open("if (h < 0)");
+        w.line("h += " + hs + ";");
+        w.close();
+        w.line("return h;");
+        w.close();
+        w.blank();
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int n;");
+        w.line("cin >> n;");
+        w.open("for (int " + k.idx(0) + " = 0; " + k.idx(0) + " < n; " +
+               (k.preIncrement ? "++" + k.idx(0) : k.idx(0) + "++") +
+               ")");
+        w.line("string name;");
+        w.line("cin >> name;");
+        w.line("int h = hashName(name);");
+        w.open("while (cnt[h] > 0 && keys[h] != name)");
+        w.line("h = h + " + std::to_string(probeStep_) + ";");
+        w.open("if (h >= HS)");
+        w.line("h = h - HS;");
+        w.close();
+        w.close();
+        w.open("if (cnt[h] == 0)");
+        w.line("keys[h] = name;");
+        w.line("cnt[h] = 1;");
+        w.line("cout << \"OK\" << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << name << cnt[h] << " + k.eol() + ";");
+        w.line("cnt[h] += 1;");
+        w.close();
+        w.close();
+        w.line("return 0;");
+        w.close();
+    }
+
+    void
+    emitSortSearch(CodeWriter& w, const StyleKnobs& k, Rng& rng) const
+    {
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int n;");
+        w.line("cin >> n;");
+        w.line("vector<string> names(n);");
+        readArray(w, k, "names", "n");
+        w.line("vector<string> pool(n);");
+        w.open("for (int " + k.idx(0) + " = 0; " + k.idx(0) +
+               " < n; " + k.idx(0) + "++)");
+        w.line("pool[" + k.idx(0) + "] = names[" + k.idx(0) + "];");
+        w.close();
+        w.line("sort(pool.begin(), pool.end());");
+        w.line("vector<int> seen(n, 0);");
+        std::string i = k.idx(0);
+        w.open("for (int " + i + " = 0; " + i + " < n; " + i + "++)");
+        w.line("int lo = 0;");
+        w.line("int hi = n;");
+        w.open("while (lo < hi)");
+        w.line("int mid = (lo + hi) / 2;");
+        w.open("if (pool[mid] < names[" + i + "])");
+        w.line("lo = mid + 1;");
+        w.close();
+        w.open("else");
+        w.line("hi = mid;");
+        w.close();
+        w.close();
+        if (k.extraTemp) {
+            w.line("int " + k.tmp() + " = seen[lo];");
+            w.open("if (" + k.tmp() + " == 0)");
+        } else {
+            w.open("if (seen[lo] == 0)");
+        }
+        w.line("cout << \"OK\" << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << names[" + i + "] << seen[lo] << " + k.eol() +
+               ";");
+        w.close();
+        w.line("seen[lo] += 1;");
+        w.close();
+        secondPass(w, k, "seen", "n");
+        w.line("return 0;");
+        w.close();
+    }
+
+    void
+    emitLinearScan(CodeWriter& w, const StyleKnobs& k, Rng& rng) const
+    {
+        bool helper = k.useHelperFunction;
+        if (helper) {
+            std::string vecArg = k.passByValue
+                ? "vector<string> names" : "vector<string>& names";
+            w.open("int countBefore(" + vecArg + ", int upto)");
+            w.line("int c = 0;");
+            w.open("for (int " + k.idx(1) + " = 0; " + k.idx(1) +
+                   " < upto; " + k.idx(1) + "++)");
+            w.open("if (names[" + k.idx(1) + "] == names[upto])");
+            w.line("c++;");
+            w.close();
+            w.close();
+            w.line("return c;");
+            w.close();
+            w.blank();
+        }
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int n;");
+        w.line("cin >> n;");
+        w.line("vector<string> names(n);");
+        std::string i = k.idx(0);
+        w.open("for (int " + i + " = 0; " + i + " < n; " + i + "++)");
+        w.line("cin >> names[" + i + "];");
+        w.line("int c = 0;");
+        if (helper) {
+            w.line("c = countBefore(names, " + i + ");");
+        } else {
+            std::string j = k.idx(1);
+            w.open("for (int " + j + " = 0; " + j + " < " + i + "; " +
+                   j + "++)");
+            w.open("if (names[" + j + "] == names[" + i + "])");
+            w.line("c++;");
+            w.close();
+            w.close();
+        }
+        w.open("if (c == 0)");
+        w.line("cout << \"OK\" << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << names[" + i + "] << c << " + k.eol() + ";");
+        w.close();
+        w.close();
+        w.line("return 0;");
+        w.close();
+    }
+
+    int hashSize_;
+    int hashMul_;
+    int probeStep_;
+};
+
+} // namespace
+
+std::unique_ptr<ProblemGenerator>
+makeFamilyA(int problem_seed)
+{
+    return std::make_unique<FamilyA>(problem_seed);
+}
+
+} // namespace gen
+} // namespace ccsa

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Family B — "T-Prime" (Codeforces 230B), binary search / number
+ * theory. Read t numbers; answer YES iff the number is the square of
+ * a prime. Variants:
+ *   0: sieve of Eratosthenes + O(1) lookups      ~ O(LIM log log LIM)
+ *   1: trial division up to sqrt(x) per query    ~ O(t sqrt(x))
+ *   2: trial division with sqrt() re-evaluated in the loop condition
+ *      and the whole check repeated redundantly  ~ O(c t sqrt(x))
+ */
+
+#include "codegen/families.hh"
+
+#include "codegen/common.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+namespace
+{
+
+class FamilyB : public ProblemGenerator
+{
+  public:
+    explicit FamilyB(int seed)
+        : limit_(seed % 2 == 0 ? 1000000 : 1048576),
+          repeats_(seed % 3 == 0 ? 2 : 3)
+    {}
+
+    ProblemFamily family() const override { return ProblemFamily::B; }
+    int numVariants() const override { return 3; }
+
+    GeneratedSolution
+    generateVariant(int variant, Rng& rng) const override
+    {
+        StyleKnobs k = StyleKnobs::random(rng);
+        CodeWriter w;
+        prolog(w);
+        switch (variant) {
+          case 0: emitSieve(w, k, rng); break;
+          case 1: emitTrialDivision(w, k, rng, false); break;
+          default: emitTrialDivision(w, k, rng, true); break;
+        }
+        GeneratedSolution out;
+        out.source = w.str();
+        out.algoVariant = variant;
+        out.numVariants = numVariants();
+        out.knobs = k;
+        return out;
+    }
+
+  private:
+    void
+    emitSieve(CodeWriter& w, const StyleKnobs& k, Rng& rng) const
+    {
+        std::string lim = std::to_string(limit_);
+        w.line("const int LIM = " + lim + ";");
+        w.line("int composite[" + lim + "];");
+        w.blank();
+        w.open("int main()");
+        deadCode(w, k, rng);
+        std::string i = k.idx(0);
+        std::string j = k.idx(1);
+        w.open("for (int " + i + " = 2; " + i + " < LIM; " + i + "++)");
+        w.open("if (composite[" + i + "] == 0)");
+        w.open("for (int " + j + " = " + i + " + " + i + "; " + j +
+               " < LIM; " + j + " += " + i + ")");
+        w.line("composite[" + j + "] = 1;");
+        w.close();
+        w.close();
+        w.close();
+        w.line("int t;");
+        w.line("cin >> t;");
+        w.open("while (t > 0)");
+        w.line("t--;");
+        w.line("long long x;");
+        w.line("cin >> x;");
+        w.line("double root = sqrt(1.0 * x);");
+        w.line("long long r = root;");
+        emitRootFix(w);
+        w.open("if (r > 1 && r * r == x && r < LIM && composite[r]"
+               " == 0)");
+        w.line("cout << \"YES\" << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << \"NO\" << " + k.eol() + ";");
+        w.close();
+        w.close();
+        w.line("return 0;");
+        w.close();
+    }
+
+    void
+    emitTrialDivision(CodeWriter& w, const StyleKnobs& k, Rng& rng,
+                      bool slow) const
+    {
+        bool helper = k.useHelperFunction;
+        if (helper) {
+            w.open("int isPrime(long long v)");
+            emitPrimeLoop(w, k, slow, "v");
+            w.close();
+            w.blank();
+        }
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int t;");
+        w.line("cin >> t;");
+        w.open("while (t > 0)");
+        w.line("t--;");
+        w.line("long long x;");
+        w.line("cin >> x;");
+        w.line("double root = sqrt(1.0 * x);");
+        w.line("long long r = root;");
+        emitRootFix(w);
+        w.line("int good = 0;");
+        w.open("if (r > 1 && r * r == x)");
+        if (helper) {
+            if (slow) {
+                w.open("for (int rep = 0; rep < " +
+                       std::to_string(repeats_) + "; rep++)");
+                w.line("good = isPrime(r);");
+                w.close();
+            } else {
+                w.line("good = isPrime(r);");
+            }
+        } else {
+            if (slow) {
+                w.open("for (int rep = 0; rep < " +
+                       std::to_string(repeats_) + "; rep++)");
+            }
+            w.line("int prime = 1;");
+            std::string d = k.idx(1);
+            if (slow) {
+                w.open("for (long long " + d + " = 2; " + d +
+                       " <= sqrt(1.0 * x); " + d + "++)");
+            } else {
+                w.open("for (long long " + d + " = 2; " + d + " * " +
+                       d + " <= r; " + d + "++)");
+            }
+            w.open("if (r % " + d + " == 0)");
+            w.line("prime = 0;");
+            w.close();
+            w.close();
+            w.line("good = prime;");
+            if (slow)
+                w.close();
+        }
+        w.close();
+        w.open("if (good == 1)");
+        w.line("cout << \"YES\" << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << \"NO\" << " + k.eol() + ";");
+        w.close();
+        w.close();
+        w.line("return 0;");
+        w.close();
+    }
+
+    void
+    emitPrimeLoop(CodeWriter& w, const StyleKnobs& k, bool slow,
+                  const std::string& v) const
+    {
+        w.line("int prime = 1;");
+        std::string d = k.idx(2);
+        if (slow) {
+            w.open("for (long long " + d + " = 2; " + d +
+                   " <= sqrt(1.0 * " + v + " * " + v + "); " + d +
+                   "++)");
+        } else {
+            w.open("for (long long " + d + " = 2; " + d + " * " + d +
+                   " <= " + v + "; " + d + "++)");
+        }
+        w.open("if (" + v + " % " + d + " == 0)");
+        w.line("prime = 0;");
+        w.close();
+        w.close();
+        w.line("return prime;");
+    }
+
+    void
+    emitRootFix(CodeWriter& w) const
+    {
+        // Guard against floating-point truncation of the root.
+        w.open("while (r * r < x)");
+        w.line("r++;");
+        w.close();
+        w.open("while (r * r > x)");
+        w.line("r--;");
+        w.close();
+    }
+
+    int limit_;
+    int repeats_;
+};
+
+} // namespace
+
+std::unique_ptr<ProblemGenerator>
+makeFamilyB(int problem_seed)
+{
+    return std::make_unique<FamilyB>(problem_seed);
+}
+
+} // namespace gen
+} // namespace ccsa

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Family C — "Minimum Value Rectangle" (Codeforces 1027C), greedy.
+ * Read n stick lengths, find two pairs of equal sticks minimising
+ * (P^2)/S. The greedy needs the sticks sorted; variants differ in how:
+ *   0: counting sort over the bounded value domain  ~ O(n + V)
+ *   1: std::sort                                    ~ O(n log n)
+ *   2: bubble sort                                  ~ O(n^2)
+ */
+
+#include "codegen/families.hh"
+
+#include "codegen/common.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+namespace
+{
+
+class FamilyC : public ProblemGenerator
+{
+  public:
+    explicit FamilyC(int seed)
+        : maxValue_(seed % 2 == 0 ? 10000 : 16384)
+    {}
+
+    ProblemFamily family() const override { return ProblemFamily::C; }
+    int numVariants() const override { return 3; }
+
+    GeneratedSolution
+    generateVariant(int variant, Rng& rng) const override
+    {
+        StyleKnobs k = StyleKnobs::random(rng);
+        CodeWriter w;
+        prolog(w);
+        std::string a = k.arr();
+        w.line("int " + a + "[200005];");
+        w.line("int pairs[200005];");
+        w.blank();
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int n;");
+        w.line("cin >> n;");
+        readArray(w, k, a, "n");
+
+        if (variant == 0)
+            emitCountingSort(w, k, a);
+        else if (variant == 1)
+            stdSort(w, a, "n");
+        else
+            bubbleSort(w, k, a, "n");
+
+        emitPairScan(w, k, a);
+        secondPass(w, k, a, "n");
+        w.line("return 0;");
+        w.close();
+
+        GeneratedSolution out;
+        out.source = w.str();
+        out.algoVariant = variant;
+        out.numVariants = numVariants();
+        out.knobs = k;
+        return out;
+    }
+
+  private:
+    void
+    emitCountingSort(CodeWriter& w, const StyleKnobs& k,
+                     const std::string& a) const
+    {
+        std::string maxv = std::to_string(maxValue_);
+        std::string i = k.idx(0);
+        std::string j = k.idx(1);
+        w.line("int freq[" + std::to_string(maxValue_ + 1) + "];");
+        w.open("for (int " + i + " = 0; " + i + " <= " + maxv + "; " +
+               i + "++)");
+        w.line("freq[" + i + "] = 0;");
+        w.close();
+        w.open("for (int " + i + " = 0; " + i + " < n; " + i + "++)");
+        w.line("freq[" + a + "[" + i + "]] += 1;");
+        w.close();
+        w.line("int out_pos = 0;");
+        w.open("for (int " + i + " = 0; " + i + " <= " + maxv + "; " +
+               i + "++)");
+        w.open("for (int " + j + " = 0; " + j + " < freq[" + i +
+               "]; " + j + "++)");
+        w.line(a + "[out_pos] = " + i + ";");
+        w.line("out_pos++;");
+        w.close();
+        w.close();
+    }
+
+    void
+    emitPairScan(CodeWriter& w, const StyleKnobs& k,
+                 const std::string& a) const
+    {
+        std::string i = k.idx(0);
+        // Collect equal adjacent sticks into pairs[].
+        w.line("int np = 0;");
+        w.open("for (int " + i + " = 0; " + i + " + 1 < n; " + i +
+               "++)");
+        w.open("if (" + a + "[" + i + "] == " + a + "[" + i + " + 1])");
+        w.line("pairs[np] = " + a + "[" + i + "];");
+        w.line("np++;");
+        w.line(i + "++;");
+        w.close();
+        w.close();
+        // Scan adjacent pairs for the best perimeter-to-area ratio.
+        w.line("long long best_a = pairs[0];");
+        w.line("long long best_b = pairs[1];");
+        w.line("double best = 1e18;");
+        w.open("for (int " + i + " = 0; " + i + " + 1 < np; " + i +
+               "++)");
+        if (k.extraTemp) {
+            w.line("long long " + k.tmp() + " = pairs[" + i + "];");
+            w.line("long long w2 = pairs[" + i + " + 1];");
+            w.line("double ratio = 1.0 * (" + k.tmp() + " + w2) * (" +
+                   k.tmp() + " + w2) / (1.0 * " + k.tmp() +
+                   " * w2);");
+        } else {
+            w.line("double ratio = 1.0 * (pairs[" + i + "] + pairs[" +
+                   i + " + 1]) * (pairs[" + i + "] + pairs[" + i +
+                   " + 1]) / (1.0 * pairs[" + i + "] * pairs[" + i +
+                   " + 1]);");
+        }
+        w.open("if (ratio < best)");
+        w.line("best = ratio;");
+        w.line("best_a = pairs[" + i + "];");
+        w.line("best_b = pairs[" + i + " + 1];");
+        w.close();
+        w.close();
+        w.line("cout << best_a << \" \" << best_a << \" \" << best_b"
+               " << \" \" << best_b << " + k.eol() + ";");
+    }
+
+    int maxValue_;
+};
+
+} // namespace
+
+std::unique_ptr<ProblemGenerator>
+makeFamilyC(int problem_seed)
+{
+    return std::make_unique<FamilyC>(problem_seed);
+}
+
+} // namespace gen
+} // namespace ccsa

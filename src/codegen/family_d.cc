@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Family D — "Bash and a Tough Math Puzzle" (Codeforces 914D), data
+ * structure + number theory: range-gcd queries with point updates.
+ * Variants:
+ *   0: iterative segment tree over gcd        ~ O((n + q) log n)
+ *   1: sqrt decomposition into blocks         ~ O(n + q sqrt(n))
+ *   2: naive full scan per query              ~ O(q n)
+ */
+
+#include "codegen/families.hh"
+
+#include "codegen/common.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+namespace
+{
+
+class FamilyD : public ProblemGenerator
+{
+  public:
+    explicit FamilyD(int seed)
+        : useBuiltinGcd_(seed % 2 == 1)
+    {}
+
+    ProblemFamily family() const override { return ProblemFamily::D; }
+    int numVariants() const override { return 3; }
+
+    GeneratedSolution
+    generateVariant(int variant, Rng& rng) const override
+    {
+        StyleKnobs k = StyleKnobs::random(rng);
+        CodeWriter w;
+        prolog(w);
+        if (!useBuiltinGcd_)
+            emitGcdFn(w);
+        switch (variant) {
+          case 0: emitSegTree(w, k, rng); break;
+          case 1: emitSqrtDecomp(w, k, rng); break;
+          default: emitNaive(w, k, rng); break;
+        }
+        GeneratedSolution out;
+        out.source = w.str();
+        out.algoVariant = variant;
+        out.numVariants = numVariants();
+        out.knobs = k;
+        return out;
+    }
+
+  private:
+    std::string
+    gcdCall(const std::string& a, const std::string& b) const
+    {
+        if (useBuiltinGcd_)
+            return "__gcd(" + a + ", " + b + ")";
+        return "gcdFn(" + a + ", " + b + ")";
+    }
+
+    void
+    emitGcdFn(CodeWriter& w) const
+    {
+        w.open("long long gcdFn(long long a, long long b)");
+        w.open("if (b == 0)");
+        w.line("return a;");
+        w.close();
+        w.line("return gcdFn(b, a % b);");
+        w.close();
+        w.blank();
+    }
+
+    void
+    emitQueryProlog(CodeWriter& w, const StyleKnobs& k, Rng& rng) const
+    {
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int n;");
+        w.line("cin >> n;");
+    }
+
+    void
+    emitSegTree(CodeWriter& w, const StyleKnobs& k, Rng& rng) const
+    {
+        emitQueryProlog(w, k, rng);
+        std::string i = k.idx(0);
+        w.line("int sz = 1;");
+        w.open("while (sz < n)");
+        w.line("sz *= 2;");
+        w.close();
+        w.line("vector<long long> tree(2 * sz, 0);");
+        w.open("for (int " + i + " = 0; " + i + " < n; " + i + "++)");
+        w.line("cin >> tree[sz + " + i + "];");
+        w.close();
+        w.open("for (int " + i + " = sz - 1; " + i + " > 0; " + i +
+               "--)");
+        w.line("tree[" + i + "] = " +
+               gcdCall("tree[2 * " + i + "]",
+                       "tree[2 * " + i + " + 1]") + ";");
+        w.close();
+        w.line("int q;");
+        w.line("cin >> q;");
+        w.open("for (int qq = 0; qq < q; qq++)");
+        w.line("int type;");
+        w.line("cin >> type;");
+        w.open("if (type == 2)");
+        w.line("int pos;");
+        w.line("long long val;");
+        w.line("cin >> pos >> val;");
+        w.line("pos = pos - 1 + sz;");
+        w.line("tree[pos] = val;");
+        w.line("pos /= 2;");
+        w.open("while (pos >= 1)");
+        w.line("tree[pos] = " +
+               gcdCall("tree[2 * pos]", "tree[2 * pos + 1]") + ";");
+        w.line("pos /= 2;");
+        w.close();
+        w.close();
+        w.open("else");
+        w.line("int l;");
+        w.line("int r;");
+        w.line("long long x;");
+        w.line("cin >> l >> r >> x;");
+        w.line("long long g = 0;");
+        w.line("l = l - 1 + sz;");
+        w.line("r = r + sz;");
+        w.open("while (l < r)");
+        w.open("if (l % 2 == 1)");
+        w.line("g = " + gcdCall("g", "tree[l]") + ";");
+        w.line("l++;");
+        w.close();
+        w.open("if (r % 2 == 1)");
+        w.line("r--;");
+        w.line("g = " + gcdCall("g", "tree[r]") + ";");
+        w.close();
+        w.line("l /= 2;");
+        w.line("r /= 2;");
+        w.close();
+        w.open("if (g % x == 0 || g == x)");
+        w.line("cout << \"YES\" << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << \"NO\" << " + k.eol() + ";");
+        w.close();
+        w.close();
+        w.close();
+        w.line("return 0;");
+        w.close();
+    }
+
+    void
+    emitSqrtDecomp(CodeWriter& w, const StyleKnobs& k, Rng& rng) const
+    {
+        emitQueryProlog(w, k, rng);
+        std::string i = k.idx(0);
+        std::string b = k.idx(1);
+        w.line("vector<long long> " + k.arr() + "(n, 0);");
+        readArray(w, k, k.arr(), "n");
+        w.line("int bs = 1;");
+        w.open("while (bs * bs < n)");
+        w.line("bs++;");
+        w.close();
+        w.line("int nb = n / bs + 1;");
+        w.line("vector<long long> blockG(nb + 1, 0);");
+        w.open("for (int " + b + " = 0; " + b + " <= nb; " + b + "++)");
+        w.open("for (int " + i + " = 0; " + i + " < bs; " + i + "++)");
+        w.line("int pos = " + b + " * bs + " + i + ";");
+        w.open("if (pos < n)");
+        w.line("blockG[" + b + "] = " +
+               gcdCall("blockG[" + b + "]",
+                       k.arr() + "[pos]") + ";");
+        w.close();
+        w.close();
+        w.close();
+        w.line("int q;");
+        w.line("cin >> q;");
+        w.open("for (int qq = 0; qq < q; qq++)");
+        w.line("int type;");
+        w.line("cin >> type;");
+        w.open("if (type == 2)");
+        w.line("int pos;");
+        w.line("long long val;");
+        w.line("cin >> pos >> val;");
+        w.line(k.arr() + "[pos - 1] = val;");
+        w.line("int tb = (pos - 1) / bs;");
+        w.line("blockG[tb] = 0;");
+        w.open("for (int " + i + " = 0; " + i + " < bs; " + i + "++)");
+        w.line("int p2 = tb * bs + " + i + ";");
+        w.open("if (p2 < n)");
+        w.line("blockG[tb] = " +
+               gcdCall("blockG[tb]", k.arr() + "[p2]") + ";");
+        w.close();
+        w.close();
+        w.close();
+        w.open("else");
+        w.line("int l;");
+        w.line("int r;");
+        w.line("long long x;");
+        w.line("cin >> l >> r >> x;");
+        w.line("long long g = 0;");
+        w.open("for (int " + b + " = 0; " + b + " <= nb; " + b + "++)");
+        w.line("g = " + gcdCall("g", "blockG[" + b + "]") + ";");
+        w.close();
+        w.open("if (g % x == 0 || g == x)");
+        w.line("cout << \"YES\" << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << \"NO\" << " + k.eol() + ";");
+        w.close();
+        w.close();
+        w.close();
+        w.line("return 0;");
+        w.close();
+    }
+
+    void
+    emitNaive(CodeWriter& w, const StyleKnobs& k, Rng& rng) const
+    {
+        emitQueryProlog(w, k, rng);
+        std::string i = k.idx(0);
+        w.line("vector<long long> " + k.arr() + "(n, 0);");
+        readArray(w, k, k.arr(), "n");
+        w.line("int q;");
+        w.line("cin >> q;");
+        w.open("for (int qq = 0; qq < q; qq++)");
+        w.line("int type;");
+        w.line("cin >> type;");
+        w.open("if (type == 2)");
+        w.line("int pos;");
+        w.line("long long val;");
+        w.line("cin >> pos >> val;");
+        w.line(k.arr() + "[pos - 1] = val;");
+        w.close();
+        w.open("else");
+        w.line("int l;");
+        w.line("int r;");
+        w.line("long long x;");
+        w.line("cin >> l >> r >> x;");
+        w.line("long long g = 0;");
+        w.open("for (int " + i + " = 1; " + i + " <= n; " + i + "++)");
+        w.open("if (" + i + " >= l && " + i + " <= r)");
+        w.line("g = " + gcdCall("g", k.arr() + "[" + i + " - 1]") +
+               ";");
+        w.close();
+        w.close();
+        w.open("if (g % x == 0 || g == x)");
+        w.line("cout << \"YES\" << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << \"NO\" << " + k.eol() + ";");
+        w.close();
+        w.close();
+        w.close();
+        w.line("return 0;");
+        w.close();
+    }
+
+    bool useBuiltinGcd_;
+};
+
+} // namespace
+
+std::unique_ptr<ProblemGenerator>
+makeFamilyD(int problem_seed)
+{
+    return std::make_unique<FamilyD>(problem_seed);
+}
+
+} // namespace gen
+} // namespace ccsa

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Family E — constructive problem (Codeforces 1004C style): for every
+ * first occurrence a_i, add the number of distinct values in the
+ * suffix after i; print the total. Variants:
+ *   0: two linear passes with count arrays        ~ O(n + V)
+ *   1: sorted-copy + binary search bookkeeping    ~ O(n log n)
+ *   2: per-position suffix rescan                 ~ O(n^2)
+ */
+
+#include "codegen/families.hh"
+
+#include "codegen/common.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+namespace
+{
+
+class FamilyE : public ProblemGenerator
+{
+  public:
+    explicit FamilyE(int seed)
+        : maxValue_(seed % 2 == 0 ? 100001 : 131072)
+    {}
+
+    ProblemFamily family() const override { return ProblemFamily::E; }
+    int numVariants() const override { return 3; }
+
+    GeneratedSolution
+    generateVariant(int variant, Rng& rng) const override
+    {
+        StyleKnobs k = StyleKnobs::random(rng);
+        CodeWriter w;
+        prolog(w);
+        std::string a = k.arr();
+        std::string maxv = std::to_string(maxValue_);
+        w.line("int " + a + "[100005];");
+        w.line("int suffix_distinct[100005];");
+        w.line("int seen_before[" + maxv + "];");
+        w.line("int seen_after[" + maxv + "];");
+        w.blank();
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int n;");
+        w.line("cin >> n;");
+        readArray(w, k, a, "n");
+        switch (variant) {
+          case 0: emitLinear(w, k, a); break;
+          case 1: emitSorted(w, k, a); break;
+          default: emitQuadratic(w, k, a); break;
+        }
+        secondPass(w, k, a, "n");
+        w.line("return 0;");
+        w.close();
+
+        GeneratedSolution out;
+        out.source = w.str();
+        out.algoVariant = variant;
+        out.numVariants = numVariants();
+        out.knobs = k;
+        return out;
+    }
+
+  private:
+    void
+    emitLinear(CodeWriter& w, const StyleKnobs& k,
+               const std::string& a) const
+    {
+        std::string i = k.idx(0);
+        // Suffix distinct counts, right to left.
+        w.line("int distinct = 0;");
+        w.open("for (int " + i + " = n - 1; " + i + " >= 0; " + i +
+               "--)");
+        w.open("if (seen_after[" + a + "[" + i + "]] == 0)");
+        w.line("seen_after[" + a + "[" + i + "]] = 1;");
+        w.line("distinct++;");
+        w.close();
+        w.line("suffix_distinct[" + i + "] = distinct;");
+        w.close();
+        w.line("long long total = 0;");
+        w.open("for (int " + i + " = 0; " + i + " + 1 < n; " + i +
+               "++)");
+        w.open("if (seen_before[" + a + "[" + i + "]] == 0)");
+        w.line("seen_before[" + a + "[" + i + "]] = 1;");
+        w.line("total += suffix_distinct[" + i + " + 1];");
+        w.close();
+        w.close();
+        w.line("cout << total << " + k.eol() + ";");
+    }
+
+    void
+    emitSorted(CodeWriter& w, const StyleKnobs& k,
+               const std::string& a) const
+    {
+        std::string i = k.idx(0);
+        // Sort a copy to count distinct values by adjacency, then use
+        // binary searches to track suffix membership thresholds.
+        w.line("int pool[100005];");
+        w.open("for (int " + i + " = 0; " + i + " < n; " + i + "++)");
+        w.line("pool[" + i + "] = " + a + "[" + i + "];");
+        w.close();
+        stdSort(w, "pool", "n");
+        // Right-to-left suffix distinct with count array (kept), but
+        // first-occurrence test via binary search in the sorted pool
+        // plus a seen counter per rank.
+        w.line("int distinct = 0;");
+        w.open("for (int " + i + " = n - 1; " + i + " >= 0; " + i +
+               "--)");
+        w.open("if (seen_after[" + a + "[" + i + "]] == 0)");
+        w.line("seen_after[" + a + "[" + i + "]] = 1;");
+        w.line("distinct++;");
+        w.close();
+        w.line("suffix_distinct[" + i + "] = distinct;");
+        w.close();
+        w.line("long long total = 0;");
+        w.open("for (int " + i + " = 0; " + i + " + 1 < n; " + i +
+               "++)");
+        w.line("int lo = 0;");
+        w.line("int hi = n;");
+        w.open("while (lo < hi)");
+        w.line("int mid = (lo + hi) / 2;");
+        w.open("if (pool[mid] < " + a + "[" + i + "])");
+        w.line("lo = mid + 1;");
+        w.close();
+        w.open("else");
+        w.line("hi = mid;");
+        w.close();
+        w.close();
+        w.open("if (seen_before[" + a + "[" + i + "]] == 0)");
+        w.line("seen_before[" + a + "[" + i + "]] = 1;");
+        w.line("total += suffix_distinct[" + i + " + 1];");
+        w.close();
+        w.close();
+        w.line("cout << total << " + k.eol() + ";");
+    }
+
+    void
+    emitQuadratic(CodeWriter& w, const StyleKnobs& k,
+                  const std::string& a) const
+    {
+        std::string i = k.idx(0);
+        std::string j = k.idx(1);
+        w.line("long long total = 0;");
+        w.open("for (int " + i + " = 0; " + i + " + 1 < n; " + i +
+               "++)");
+        // First-occurrence test: rescan the prefix.
+        w.line("int first_here = 1;");
+        w.open("for (int " + j + " = 0; " + j + " < " + i + "; " + j +
+               "++)");
+        w.open("if (" + a + "[" + j + "] == " + a + "[" + i + "])");
+        w.line("first_here = 0;");
+        w.close();
+        w.close();
+        w.open("if (first_here == 1)");
+        // Count suffix distinct with a mark array, then undo marks.
+        w.line("int distinct = 0;");
+        w.open("for (int " + j + " = " + i + " + 1; " + j + " < n; " +
+               j + "++)");
+        w.open("if (seen_after[" + a + "[" + j + "]] == 0)");
+        w.line("seen_after[" + a + "[" + j + "]] = 1;");
+        w.line("distinct++;");
+        w.close();
+        w.close();
+        w.open("for (int " + j + " = " + i + " + 1; " + j + " < n; " +
+               j + "++)");
+        w.line("seen_after[" + a + "[" + j + "]] = 0;");
+        w.close();
+        w.line("total += distinct;");
+        w.close();
+        w.close();
+        w.line("cout << total << " + k.eol() + ";");
+    }
+
+    int maxValue_;
+};
+
+} // namespace
+
+std::unique_ptr<ProblemGenerator>
+makeFamilyE(int problem_seed)
+{
+    return std::make_unique<FamilyE>(problem_seed);
+}
+
+} // namespace gen
+} // namespace ccsa

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Family F — "Military Problem" (Codeforces 1006E): rooted tree,
+ * queries (u, k) ask for the k-th node in the preorder traversal of
+ * u's subtree. Variants:
+ *   0: one iterative DFS (tin/subtree size), O(1) queries  ~ O(n + q)
+ *   1: one recursive DFS, O(1) queries                     ~ O(n + q)
+ *      (larger constant: call overhead per node)
+ *   2: fresh BFS walk of the subtree per query             ~ O(q n)
+ */
+
+#include "codegen/families.hh"
+
+#include "codegen/common.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+namespace
+{
+
+class FamilyF : public ProblemGenerator
+{
+  public:
+    explicit FamilyF(int seed)
+        : oneIndexed_(seed % 2 == 0)
+    {}
+
+    ProblemFamily family() const override { return ProblemFamily::F; }
+    int numVariants() const override { return 3; }
+
+    GeneratedSolution
+    generateVariant(int variant, Rng& rng) const override
+    {
+        StyleKnobs k = StyleKnobs::random(rng);
+        CodeWriter w;
+        prolog(w);
+        w.line("int parentOf[200005];");
+        w.line("int tin[200005];");
+        w.line("int sz[200005];");
+        w.line("int order[200005];");
+        w.line("int timerPos = 0;");
+        w.line("vector<vector<int>> kids(200005);");
+        if (variant == 1)
+            emitRecursiveDfs(w, k);
+        w.blank();
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int n;");
+        w.line("int q;");
+        w.line("cin >> n >> q;");
+        std::string i = k.idx(0);
+        w.open("for (int " + i + " = 2; " + i + " <= n; " + i + "++)");
+        w.line("int p;");
+        w.line("cin >> p;");
+        w.line("parentOf[" + i + "] = p;");
+        w.line("kids[p].push_back(" + i + ");");
+        w.close();
+
+        if (variant == 0)
+            emitIterativeDfs(w, k);
+        else if (variant == 1)
+            w.line("dfs(1);");
+
+        if (variant <= 1)
+            emitFastQueries(w, k);
+        else
+            emitNaiveQueries(w, k);
+        w.line("return 0;");
+        w.close();
+
+        GeneratedSolution out;
+        out.source = w.str();
+        out.algoVariant = variant;
+        out.numVariants = numVariants();
+        out.knobs = k;
+        return out;
+    }
+
+  private:
+    void
+    emitRecursiveDfs(CodeWriter& w, const StyleKnobs& k) const
+    {
+        w.blank();
+        w.open("void dfs(int u)");
+        w.line("tin[u] = timerPos;");
+        w.line("order[timerPos] = u;");
+        w.line("timerPos++;");
+        w.line("sz[u] = 1;");
+        std::string c = k.idx(1);
+        w.open("for (int " + c + " = 0; " + c + " < kids[u].size(); " +
+               c + "++)");
+        w.line("int v = kids[u][" + c + "];");
+        w.line("dfs(v);");
+        w.line("sz[u] += sz[v];");
+        w.close();
+        w.close();
+    }
+
+    void
+    emitIterativeDfs(CodeWriter& w, const StyleKnobs& k) const
+    {
+        // Explicit-stack preorder; the steps guard both bounds the
+        // walk and keeps the trip count derivable from n.
+        w.line("int stackArr[200005];");
+        w.line("int top = 0;");
+        w.line("stackArr[top] = 1;");
+        w.line("top = 1;");
+        w.line("int steps = 0;");
+        w.open("while (top > 0 && steps < n)");
+        w.line("steps++;");
+        w.line("top--;");
+        w.line("int u = stackArr[top];");
+        w.line("tin[u] = timerPos;");
+        w.line("order[timerPos] = u;");
+        w.line("timerPos++;");
+        std::string c = k.idx(1);
+        w.open("for (int " + c + " = kids[u].size() - 1; " + c +
+               " >= 0; " + c + "--)");
+        w.line("stackArr[top] = kids[u][" + c + "];");
+        w.line("top++;");
+        w.close();
+        w.close();
+        // Subtree sizes: children come after parents in input order,
+        // so accumulate from the back.
+        std::string i = k.idx(0);
+        w.open("for (int " + i + " = 1; " + i + " <= n; " + i + "++)");
+        w.line("sz[" + i + "] = 1;");
+        w.close();
+        w.open("for (int " + i + " = n; " + i + " >= 2; " + i + "--)");
+        w.line("sz[parentOf[" + i + "]] += sz[" + i + "];");
+        w.close();
+    }
+
+    void
+    emitFastQueries(CodeWriter& w, const StyleKnobs& k) const
+    {
+        w.open("for (int qq = 0; qq < q; qq++)");
+        w.line("int u;");
+        w.line("int kk;");
+        w.line("cin >> u >> kk;");
+        w.open("if (kk > sz[u])");
+        w.line("cout << -1 << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << order[tin[u] + kk - 1] << " + k.eol() + ";");
+        w.close();
+        w.close();
+    }
+
+    void
+    emitNaiveQueries(CodeWriter& w, const StyleKnobs& k) const
+    {
+        // Naive per-query scan: for every node, walk its ancestor
+        // chain to test subtree membership, counting matches in
+        // preorder — the classic accepted-but-slow O(q n) pattern.
+        emitIterativeDfs(w, k);
+        std::string v = k.idx(1);
+        w.open("for (int qq = 0; qq < q; qq++)");
+        w.line("int u;");
+        w.line("int kk;");
+        w.line("cin >> u >> kk;");
+        w.line("int found = -1;");
+        w.line("int seen = 0;");
+        w.open("for (int " + v + " = 1; " + v + " <= n; " + v + "++)");
+        w.line("int node = order[" + v + " - 1];");
+        w.line("int anc = node;");
+        w.line("int inside = 0;");
+        w.open("while (anc != 0)");
+        w.open("if (anc == u)");
+        w.line("inside = 1;");
+        w.close();
+        w.line("anc = parentOf[anc];");
+        w.close();
+        w.open("if (inside == 1)");
+        w.line("seen++;");
+        w.open("if (seen == kk && found == -1)");
+        w.line("found = node;");
+        w.close();
+        w.close();
+        w.close();
+        w.line("cout << found << " + k.eol() + ";");
+        w.close();
+        (void)oneIndexed_;
+    }
+
+    bool oneIndexed_;
+};
+
+} // namespace
+
+std::unique_ptr<ProblemGenerator>
+makeFamilyF(int problem_seed)
+{
+    return std::make_unique<FamilyF>(problem_seed);
+}
+
+} // namespace gen
+} // namespace ccsa

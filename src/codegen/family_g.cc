@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Family G — "Valid BFS?" (Codeforces 1037D): given a tree and a
+ * sequence, decide whether the sequence is a valid BFS order from
+ * node 1. Variants:
+ *   0: queue validation with per-level mark array      ~ O(n)
+ *   1: sort children by sequence position, then walk   ~ O(n log n)
+ *   2: per-step membership rescan over all nodes       ~ O(n^2)
+ */
+
+#include "codegen/families.hh"
+
+#include "codegen/common.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+namespace
+{
+
+class FamilyG : public ProblemGenerator
+{
+  public:
+    explicit FamilyG(int seed)
+        : yesWord_(seed % 2 == 0 ? "Yes" : "YES")
+    {}
+
+    ProblemFamily family() const override { return ProblemFamily::G; }
+    int numVariants() const override { return 3; }
+
+    GeneratedSolution
+    generateVariant(int variant, Rng& rng) const override
+    {
+        StyleKnobs k = StyleKnobs::random(rng);
+        CodeWriter w;
+        prolog(w);
+        w.line("vector<vector<int>> adj(200005);");
+        w.line("int seq[200005];");
+        w.line("int pos[200005];");
+        w.line("int markArr[200005];");
+        w.blank();
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int n;");
+        w.line("cin >> n;");
+        std::string i = k.idx(0);
+        w.open("for (int " + i + " = 0; " + i + " + 1 < n; " + i +
+               "++)");
+        w.line("int u;");
+        w.line("int v;");
+        w.line("cin >> u >> v;");
+        w.line("adj[u].push_back(v);");
+        w.line("adj[v].push_back(u);");
+        w.close();
+        w.open("for (int " + i + " = 0; " + i + " < n; " + i + "++)");
+        w.line("cin >> seq[" + i + "];");
+        w.line("pos[seq[" + i + "]] = " + i + ";");
+        w.close();
+        switch (variant) {
+          case 0: emitLinear(w, k); break;
+          case 1: emitSorted(w, k); break;
+          default: emitQuadratic(w, k); break;
+        }
+        w.line("return 0;");
+        w.close();
+
+        GeneratedSolution out;
+        out.source = w.str();
+        out.algoVariant = variant;
+        out.numVariants = numVariants();
+        out.knobs = k;
+        return out;
+    }
+
+  private:
+    void
+    emitVerdict(CodeWriter& w, const StyleKnobs& k,
+                const std::string& okVar) const
+    {
+        w.open("if (" + okVar + " == 1)");
+        w.line("cout << \"" + yesWord_ + "\" << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << \"No\" << " + k.eol() + ";");
+        w.close();
+    }
+
+    void
+    emitLinear(CodeWriter& w, const StyleKnobs& k) const
+    {
+        std::string c = k.idx(1);
+        // Queue pass: for each dequeued node, the next deg(u) entries
+        // of the sequence must be exactly its unvisited neighbours.
+        w.line("int ok = 1;");
+        w.line("int head = 0;");
+        w.line("int cursor = 1;");
+        w.line("markArr[1] = 1;");
+        w.open("if (seq[0] != 1)");
+        w.line("ok = 0;");
+        w.close();
+        w.line("int steps = 0;");
+        w.open("while (head < n && steps < n)");
+        w.line("steps++;");
+        w.line("int u = seq[head];");
+        w.line("head++;");
+        w.line("int expected = 0;");
+        w.open("for (int " + c + " = 0; " + c + " < adj[u].size(); " +
+               c + "++)");
+        w.open("if (markArr[adj[u][" + c + "]] == 0)");
+        w.line("expected++;");
+        w.line("markArr[adj[u][" + c + "]] = 2;");
+        w.close();
+        w.close();
+        w.open("for (int " + c + " = 0; " + c + " < expected; " + c +
+               "++)");
+        w.open("if (cursor >= n || markArr[seq[cursor]] != 2)");
+        w.line("ok = 0;");
+        w.close();
+        w.open("if (cursor < n)");
+        w.line("markArr[seq[cursor]] = 1;");
+        w.line("cursor++;");
+        w.close();
+        w.close();
+        w.close();
+        emitVerdict(w, k, "ok");
+    }
+
+    void
+    emitSorted(CodeWriter& w, const StyleKnobs& k) const
+    {
+        std::string i = k.idx(0);
+        std::string c = k.idx(1);
+        // Re-key every adjacency entry by sequence position, sort the
+        // flattened (2n-2)-entry edge array, then replay the BFS.
+        w.line("vector<long long> keyed(2 * n + 2, 0);");
+        w.line("int ecount = 0;");
+        w.open("for (int " + i + " = 1; " + i + " <= n; " + i + "++)");
+        w.open("for (int " + c + " = 0; " + c + " < adj[" + i +
+               "].size(); " + c + "++)");
+        w.line("long long key = 1LL * " + i + " * 1000000 + pos[adj[" +
+               i + "][" + c + "]];");
+        w.line("keyed[ecount] = key;");
+        w.line("ecount++;");
+        w.close();
+        w.close();
+        w.line("sort(keyed.begin(), keyed.end());");
+        // Rebuild each adjacency list in position order.
+        w.open("for (int " + i + " = 1; " + i + " <= n; " + i + "++)");
+        w.line("adj[" + i + "].clear();");
+        w.close();
+        w.open("for (int " + i + " = 0; " + i + " < ecount; " + i +
+               "++)");
+        w.line("long long key = keyed[" + i + "];");
+        w.line("long long u = key / 1000000;");
+        w.line("long long p = key % 1000000;");
+        w.line("adj[u].push_back(seq[p]);");
+        w.close();
+        // Queue replay identical to the linear variant.
+        emitLinear(w, k);
+    }
+
+    void
+    emitQuadratic(CodeWriter& w, const StyleKnobs& k) const
+    {
+        std::string i = k.idx(0);
+        std::string v = k.idx(1);
+        // For every sequence position, rescan all nodes to check that
+        // the node's parent appeared earlier and level order holds.
+        w.line("int ok = 1;");
+        w.open("if (seq[0] != 1)");
+        w.line("ok = 0;");
+        w.close();
+        w.line("markArr[1] = 1;");
+        w.open("for (int " + i + " = 1; " + i + " < n; " + i + "++)");
+        w.line("int cur = seq[" + i + "];");
+        w.line("int has_visited_neighbor = 0;");
+        w.open("for (int " + v + " = 1; " + v + " <= n; " + v + "++)");
+        w.open("if (markArr[" + v + "] == 1)");
+        std::string c = k.idx(2);
+        w.open("for (int " + c + " = 0; " + c + " < adj[" + v +
+               "].size(); " + c + "++)");
+        w.open("if (adj[" + v + "][" + c + "] == cur)");
+        w.line("has_visited_neighbor = 1;");
+        w.close();
+        w.close();
+        w.close();
+        w.close();
+        w.open("if (has_visited_neighbor == 0)");
+        w.line("ok = 0;");
+        w.close();
+        w.line("markArr[cur] = 1;");
+        w.close();
+        emitVerdict(w, k, "ok");
+    }
+
+    std::string yesWord_;
+};
+
+} // namespace
+
+std::unique_ptr<ProblemGenerator>
+makeFamilyG(int problem_seed)
+{
+    return std::make_unique<FamilyG>(problem_seed);
+}
+
+} // namespace gen
+} // namespace ccsa

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Family H — "Given Length and Sum of Digits" (Codeforces 489C):
+ * find the minimum and maximum m-digit numbers with digit sum s.
+ * The paper's smallest-runtime problem (2-29 ms). Variants:
+ *   0: direct greedy construction                 ~ O(m)
+ *   1: DP over (position, remaining sum)          ~ O(m * S * 10)
+ *   2: two separate DP tables plus a validation
+ *      sweep over the table                       ~ 2-3x variant 1
+ */
+
+#include "codegen/families.hh"
+
+#include "codegen/common.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+namespace
+{
+
+class FamilyH : public ProblemGenerator
+{
+  public:
+    explicit FamilyH(int seed)
+        : sumCap_(seed % 2 == 0 ? 900 : 1024)
+    {}
+
+    ProblemFamily family() const override { return ProblemFamily::H; }
+    int numVariants() const override { return 3; }
+
+    GeneratedSolution
+    generateVariant(int variant, Rng& rng) const override
+    {
+        StyleKnobs k = StyleKnobs::random(rng);
+        CodeWriter w;
+        prolog(w);
+        std::string cap = std::to_string(sumCap_);
+        if (variant >= 1)
+            w.line("int reach[105][" + cap + " + 5];");
+        w.blank();
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int m;");
+        w.line("int s;");
+        w.line("cin >> m >> s;");
+        switch (variant) {
+          case 0: emitGreedy(w, k); break;
+          case 1: emitDp(w, k, false); break;
+          default: emitDp(w, k, true); break;
+        }
+        w.line("return 0;");
+        w.close();
+
+        GeneratedSolution out;
+        out.source = w.str();
+        out.algoVariant = variant;
+        out.numVariants = numVariants();
+        out.knobs = k;
+        return out;
+    }
+
+  private:
+    void
+    emitGreedy(CodeWriter& w, const StyleKnobs& k) const
+    {
+        std::string i = k.idx(0);
+        w.line("string big = \"\";");
+        w.line("string small_num = \"\";");
+        w.open("if (s == 0 && m == 1)");
+        w.line("cout << 0 << \" \" << 0 << " + k.eol() + ";");
+        w.line("return 0;");
+        w.close();
+        w.open("if (s == 0 || s > 9 * m)");
+        w.line("cout << -1 << \" \" << -1 << " + k.eol() + ";");
+        w.line("return 0;");
+        w.close();
+        // Maximum: greedily place 9s from the front.
+        w.line("int rem = s;");
+        w.open("for (int " + i + " = 0; " + i + " < m; " + i + "++)");
+        w.line("int d = 9;");
+        w.open("if (rem < 9)");
+        w.line("d = rem;");
+        w.close();
+        w.line("big = big + \"x\";");
+        w.line("rem -= d;");
+        w.close();
+        // Minimum: place from the back, keep one for the lead digit.
+        w.line("rem = s - 1;");
+        w.open("for (int " + i + " = 0; " + i + " < m; " + i + "++)");
+        w.line("int d = 9;");
+        w.open("if (rem < 9)");
+        w.line("d = rem;");
+        w.close();
+        if (k.extraTemp) {
+            w.line("int " + k.tmp() + " = d;");
+            w.line("rem -= " + k.tmp() + ";");
+        } else {
+            w.line("rem -= d;");
+        }
+        w.line("small_num = small_num + \"x\";");
+        w.close();
+        w.line("cout << small_num << \" \" << big << " + k.eol() +
+               ";");
+    }
+
+    void
+    emitDp(CodeWriter& w, const StyleKnobs& k, bool slow) const
+    {
+        std::string cap = std::to_string(sumCap_);
+        std::string i = k.idx(0);
+        std::string j = k.idx(1);
+        std::string d = k.idx(2);
+        int passes = slow ? 2 : 1;
+        for (int p = 0; p < passes; ++p) {
+            // Reachability DP: reach[i][j] = can we write j as the
+            // digit sum of an i-digit suffix.
+            w.line("reach[0][0] = 1;");
+            w.open("for (int " + i + " = 0; " + i + " < m; " + i +
+                   "++)");
+            w.open("for (int " + j + " = 0; " + j + " <= " + cap +
+                   "; " + j + "++)");
+            w.open("if (reach[" + i + "][" + j + "] == 1)");
+            w.open("for (int " + d + " = 0; " + d + " <= 9; " + d +
+                   "++)");
+            w.open("if (" + j + " + " + d + " <= " + cap + ")");
+            w.line("reach[" + i + " + 1][" + j + " + " + d +
+                   "] = 1;");
+            w.close();
+            w.close();
+            w.close();
+            w.close();
+            w.close();
+        }
+        if (slow) {
+            // Redundant sweep of the completed table.
+            w.line("long long cells = 0;");
+            w.open("for (int " + i + " = 0; " + i + " <= m; " + i +
+                   "++)");
+            w.open("for (int " + j + " = 0; " + j + " <= " + cap +
+                   "; " + j + "++)");
+            w.line("cells += reach[" + i + "][" + j + "];");
+            w.close();
+            w.close();
+            w.open("if (cells < 0)");
+            w.line("return 0;");
+            w.close();
+        }
+        w.open("if (reach[m][s] == 0)");
+        w.line("cout << -1 << \" \" << -1 << " + k.eol() + ";");
+        w.line("return 0;");
+        w.close();
+        // Reconstruct min and max by walking the table.
+        w.line("string big = \"\";");
+        w.line("int rem = s;");
+        w.open("for (int " + i + " = m; " + i + " >= 1; " + i + "--)");
+        w.open("for (int " + d + " = 9; " + d + " >= 0; " + d + "--)");
+        w.open("if (rem - " + d + " >= 0 && reach[" + i +
+               " - 1][rem - " + d + "] == 1)");
+        w.line("big = big + \"x\";");
+        w.line("rem -= " + d + ";");
+        w.line("break;");
+        w.close();
+        w.close();
+        w.close();
+        w.line("cout << big << \" \" << big << " + k.eol() + ";");
+    }
+
+    int sumCap_;
+};
+
+} // namespace
+
+std::unique_ptr<ProblemGenerator>
+makeFamilyH(int problem_seed)
+{
+    return std::make_unique<FamilyH>(problem_seed);
+}
+
+} // namespace gen
+} // namespace ccsa

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Family I — "Substring" (Codeforces 919D): directed graph with a
+ * letter per node; maximise the most frequent letter count along any
+ * path (detect cycles -> -1). Variants:
+ *   0: Kahn topological order + per-letter DP     ~ O(26 (n + m))
+ *   1: memoised recursive DFS DP                  ~ O(26 (n + m)),
+ *      higher constant from recursion
+ *   2: Bellman-Ford-style repeated edge relaxation ~ O(n m)
+ */
+
+#include "codegen/families.hh"
+
+#include "codegen/common.hh"
+
+namespace ccsa
+{
+namespace gen
+{
+
+namespace
+{
+
+class FamilyI : public ProblemGenerator
+{
+  public:
+    explicit FamilyI(int seed)
+        : letterCount_(seed % 2 == 0 ? 26 : 20)
+    {}
+
+    ProblemFamily family() const override { return ProblemFamily::I; }
+    int numVariants() const override { return 3; }
+
+    GeneratedSolution
+    generateVariant(int variant, Rng& rng) const override
+    {
+        StyleKnobs k = StyleKnobs::random(rng);
+        CodeWriter w;
+        prolog(w);
+        std::string lc = std::to_string(letterCount_);
+        w.line("vector<vector<int>> adj(300005);");
+        w.line("int indeg[300005];");
+        w.line("int dp[300005][" + lc + "];");
+        w.line("int letterOf[300005];");
+        w.line("string letters;");
+        if (variant == 1)
+            emitRecursiveDp(w, k);
+        w.blank();
+        w.open("int main()");
+        deadCode(w, k, rng);
+        w.line("int n;");
+        w.line("int m;");
+        w.line("cin >> n >> m;");
+        w.line("cin >> letters;");
+        std::string i = k.idx(0);
+        w.open("for (int " + i + " = 1; " + i + " <= n; " + i + "++)");
+        w.line("letterOf[" + i + "] = letters[" + i + " - 1] - 'a';");
+        w.close();
+        w.open("for (int " + i + " = 0; " + i + " < m; " + i + "++)");
+        w.line("int u;");
+        w.line("int v;");
+        w.line("cin >> u >> v;");
+        w.line("adj[u].push_back(v);");
+        w.line("indeg[v] += 1;");
+        w.close();
+        switch (variant) {
+          case 0: emitKahn(w, k); break;
+          case 1: emitMemoMain(w, k); break;
+          default: emitBellman(w, k); break;
+        }
+        w.line("return 0;");
+        w.close();
+
+        GeneratedSolution out;
+        out.source = w.str();
+        out.algoVariant = variant;
+        out.numVariants = numVariants();
+        out.knobs = k;
+        return out;
+    }
+
+  private:
+    void
+    emitLetterLoopHeader(CodeWriter& w, const std::string& c) const
+    {
+        w.open("for (int " + c + " = 0; " + c + " < " +
+               std::to_string(letterCount_) + "; " + c + "++)");
+    }
+
+    void
+    emitKahn(CodeWriter& w, const StyleKnobs& k) const
+    {
+        std::string i = k.idx(0);
+        std::string c = k.idx(2);
+        w.line("int queueArr[300005];");
+        w.line("int head = 0;");
+        w.line("int tail = 0;");
+        w.open("for (int " + i + " = 1; " + i + " <= n; " + i + "++)");
+        w.open("if (indeg[" + i + "] == 0)");
+        w.line("queueArr[tail] = " + i + ";");
+        w.line("tail++;");
+        w.close();
+        w.close();
+        w.line("int processed = 0;");
+        w.open("while (head < tail && processed <= n)");
+        w.line("processed++;");
+        w.line("int u = queueArr[head];");
+        w.line("head++;");
+        w.line("dp[u][letterOf[u]] += 1;");
+        std::string e = k.idx(1);
+        w.open("for (int " + e + " = 0; " + e + " < adj[u].size(); " +
+               e + "++)");
+        w.line("int v = adj[u][" + e + "];");
+        emitLetterLoopHeader(w, c);
+        w.open("if (dp[v][" + c + "] < dp[u][" + c + "])");
+        w.line("dp[v][" + c + "] = dp[u][" + c + "];");
+        w.close();
+        w.close();
+        w.line("indeg[v] -= 1;");
+        w.open("if (indeg[v] == 0)");
+        w.line("queueArr[tail] = v;");
+        w.line("tail++;");
+        w.close();
+        w.close();
+        w.close();
+        emitAnswerScan(w, k, "processed < n");
+    }
+
+    void
+    emitRecursiveDp(CodeWriter& w, const StyleKnobs& k) const
+    {
+        std::string e = k.idx(1);
+        std::string c = k.idx(2);
+        w.line("int state[300005];");
+        w.line("int has_cycle = 0;");
+        w.blank();
+        w.open("void dfs(int u)");
+        w.open("if (state[u] == 1)");
+        w.line("has_cycle = 1;");
+        w.line("return;");
+        w.close();
+        w.open("if (state[u] == 2)");
+        w.line("return;");
+        w.close();
+        w.line("state[u] = 1;");
+        w.open("for (int " + e + " = 0; " + e + " < adj[u].size(); " +
+               e + "++)");
+        w.line("int v = adj[u][" + e + "];");
+        w.line("dfs(v);");
+        emitLetterLoopHeader(w, c);
+        w.open("if (dp[u][" + c + "] < dp[v][" + c + "])");
+        w.line("dp[u][" + c + "] = dp[v][" + c + "];");
+        w.close();
+        w.close();
+        w.close();
+        w.line("dp[u][letterOf[u]] += 1;");
+        w.line("state[u] = 2;");
+        w.close();
+    }
+
+    void
+    emitMemoMain(CodeWriter& w, const StyleKnobs& k) const
+    {
+        std::string i = k.idx(0);
+        w.open("for (int " + i + " = 1; " + i + " <= n; " + i + "++)");
+        w.open("if (state[" + i + "] == 0)");
+        w.line("dfs(" + i + ");");
+        w.close();
+        w.close();
+        emitAnswerScan(w, k, "has_cycle == 1");
+    }
+
+    void
+    emitBellman(CodeWriter& w, const StyleKnobs& k) const
+    {
+        std::string i = k.idx(0);
+        std::string e = k.idx(1);
+        std::string c = k.idx(2);
+        // Flatten the edge list for repeated relaxation.
+        w.line("int edgeU[300005];");
+        w.line("int edgeV[300005];");
+        w.line("int ecount = 0;");
+        w.open("for (int " + i + " = 1; " + i + " <= n; " + i + "++)");
+        w.open("for (int " + e + " = 0; " + e + " < adj[" + i +
+               "].size(); " + e + "++)");
+        w.line("edgeU[ecount] = " + i + ";");
+        w.line("edgeV[ecount] = adj[" + i + "][" + e + "];");
+        w.line("ecount++;");
+        w.close();
+        w.close();
+        w.open("for (int " + i + " = 1; " + i + " <= n; " + i + "++)");
+        w.line("dp[" + i + "][letterOf[" + i + "]] = 1;");
+        w.close();
+        w.line("int changed = 1;");
+        w.line("int rounds = 0;");
+        // Practical cap: relaxation converges within the longest path
+        // length; contestants commonly bound it by a constant.
+        w.open("while (changed == 1 && rounds < 100)");
+        w.line("rounds++;");
+        w.line("changed = 0;");
+        w.open("for (int " + e + " = 0; " + e + " < m; " + e + "++)");
+        w.line("int u = edgeU[" + e + "];");
+        w.line("int v = edgeV[" + e + "];");
+        emitLetterLoopHeader(w, c);
+        w.line("int cand = dp[u][" + c + "];");
+        w.open("if (" + c + " == letterOf[v])");
+        w.line("cand = cand + 1;");
+        w.close();
+        w.open("if (dp[v][" + c + "] < cand)");
+        w.line("dp[v][" + c + "] = cand;");
+        w.line("changed = 1;");
+        w.close();
+        w.close();
+        w.close();
+        w.close();
+        emitAnswerScan(w, k, "rounds >= 100");
+    }
+
+    void
+    emitAnswerScan(CodeWriter& w, const StyleKnobs& k,
+                   const std::string& cycleCond) const
+    {
+        std::string i = k.idx(0);
+        std::string c = k.idx(2);
+        w.line("int best = 0;");
+        w.open("for (int " + i + " = 1; " + i + " <= n; " + i + "++)");
+        emitLetterLoopHeader(w, c);
+        w.open("if (dp[" + i + "][" + c + "] > best)");
+        w.line("best = dp[" + i + "][" + c + "];");
+        w.close();
+        w.close();
+        w.close();
+        w.open("if (" + cycleCond + ")");
+        w.line("cout << -1 << " + k.eol() + ";");
+        w.close();
+        w.open("else");
+        w.line("cout << best << " + k.eol() + ";");
+        w.close();
+    }
+
+    int letterCount_;
+};
+
+} // namespace
+
+std::unique_ptr<ProblemGenerator>
+makeFamilyI(int problem_seed)
+{
+    return std::make_unique<FamilyI>(problem_seed);
+}
+
+} // namespace gen
+} // namespace ccsa

@@ -1,0 +1,77 @@
+#include "codegen/generator.hh"
+
+#include "base/logging.hh"
+#include "codegen/families.hh"
+
+namespace ccsa
+{
+
+const char*
+familyTag(ProblemFamily f)
+{
+    static const char* tags[] = {"A", "B", "C", "D", "E", "F", "G",
+                                 "H", "I"};
+    int i = static_cast<int>(f);
+    if (i < 0 || i >= kNumFamilies)
+        panic("familyTag: invalid family");
+    return tags[i];
+}
+
+const char*
+familyAlgorithms(ProblemFamily f)
+{
+    switch (f) {
+      case ProblemFamily::A: return "Hashing";
+      case ProblemFamily::B: return "Binary search and number theory";
+      case ProblemFamily::C: return "Greedy";
+      case ProblemFamily::D: return "Data structure and number theory";
+      case ProblemFamily::E: return "Constructive algorithm";
+      case ProblemFamily::F: return "DFS, Graphs, and Trees";
+      case ProblemFamily::G: return "DFS, Graphs, and Trees";
+      case ProblemFamily::H: return "Dynamic programming (DP)";
+      case ProblemFamily::I: return "DFS, DP, Graphs";
+      case ProblemFamily::NumFamilies: break;
+    }
+    panic("familyAlgorithms: invalid family");
+}
+
+GeneratedSolution
+ProblemGenerator::generate(Rng& rng) const
+{
+    // Skew towards mid/fast variants like real accepted submissions:
+    // very slow solutions are rarer because many of them TLE.
+    int v;
+    double r = rng.uniform();
+    int nv = numVariants();
+    if (nv == 2) {
+        v = r < 0.55 ? 0 : 1;
+    } else {
+        if (r < 0.40)
+            v = 0;
+        else if (r < 0.75)
+            v = 1;
+        else
+            v = 2;
+    }
+    return generateVariant(v, rng);
+}
+
+std::unique_ptr<ProblemGenerator>
+makeGenerator(ProblemFamily family, int problem_seed)
+{
+    switch (family) {
+      case ProblemFamily::A: return gen::makeFamilyA(problem_seed);
+      case ProblemFamily::B: return gen::makeFamilyB(problem_seed);
+      case ProblemFamily::C: return gen::makeFamilyC(problem_seed);
+      case ProblemFamily::D: return gen::makeFamilyD(problem_seed);
+      case ProblemFamily::E: return gen::makeFamilyE(problem_seed);
+      case ProblemFamily::F: return gen::makeFamilyF(problem_seed);
+      case ProblemFamily::G: return gen::makeFamilyG(problem_seed);
+      case ProblemFamily::H: return gen::makeFamilyH(problem_seed);
+      case ProblemFamily::I: return gen::makeFamilyI(problem_seed);
+      case ProblemFamily::NumFamilies: break;
+    }
+    panic("makeGenerator: invalid family");
+}
+
+} // namespace ccsa

@@ -1,0 +1,68 @@
+#include "codegen/style.hh"
+
+namespace ccsa
+{
+
+StyleKnobs
+StyleKnobs::random(Rng& rng)
+{
+    StyleKnobs k;
+    k.useWhileLoops = rng.bernoulli(0.25);
+    k.preIncrement = rng.bernoulli(0.5);
+    k.useHelperFunction = rng.bernoulli(0.45);
+    k.passByValue = rng.bernoulli(0.3);
+    k.flushEndl = rng.bernoulli(0.3);
+    k.extraTemp = rng.bernoulli(0.35);
+    k.deadCode = rng.bernoulli(0.3);
+    k.secondPass = rng.bernoulli(0.25);
+    k.useLongLong = rng.bernoulli(0.4);
+    k.nameScheme = rng.uniformInt(0, 3);
+    return k;
+}
+
+std::string
+StyleKnobs::idx(int level) const
+{
+    static const char* schemes[4][3] = {
+        {"i", "j", "k"},
+        {"idx", "jdx", "kdx"},
+        {"p", "q2", "r"},
+        {"it", "jt", "kt"},
+    };
+    return schemes[nameScheme][level % 3];
+}
+
+std::string
+StyleKnobs::arr() const
+{
+    static const char* names[4] = {"a", "arr", "data", "v"};
+    return names[nameScheme];
+}
+
+std::string
+StyleKnobs::helper() const
+{
+    static const char* names[4] = {"solve", "work", "process", "calc"};
+    return names[nameScheme];
+}
+
+std::string
+StyleKnobs::tmp() const
+{
+    static const char* names[4] = {"tmp", "t1", "cur", "val"};
+    return names[nameScheme];
+}
+
+std::string
+StyleKnobs::intType() const
+{
+    return useLongLong ? "long long" : "int";
+}
+
+std::string
+StyleKnobs::eol() const
+{
+    return flushEndl ? "endl" : "\"\\n\"";
+}
+
+} // namespace ccsa

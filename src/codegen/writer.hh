@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Indentation-aware source emitter used by the solution generators.
+ */
+
+#ifndef CCSA_CODEGEN_WRITER_HH
+#define CCSA_CODEGEN_WRITER_HH
+
+#include <sstream>
+#include <string>
+
+namespace ccsa
+{
+
+/** Accumulates MiniCxx source text with brace-scoped indentation. */
+class CodeWriter
+{
+  public:
+    /** Append one line at the current indent. */
+    void
+    line(const std::string& text)
+    {
+        for (int i = 0; i < indent_; ++i)
+            os_ << "    ";
+        os_ << text << "\n";
+    }
+
+    /** Append a blank line. */
+    void blank() { os_ << "\n"; }
+
+    /** Open a block: emits the header followed by '{' and indents. */
+    void
+    open(const std::string& header)
+    {
+        line(header + " {");
+        ++indent_;
+    }
+
+    /** Close the innermost block. */
+    void
+    close(const std::string& suffix = "")
+    {
+        --indent_;
+        line("}" + suffix);
+    }
+
+    /** @return the accumulated source text. */
+    std::string str() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+    int indent_ = 0;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_CODEGEN_WRITER_HH

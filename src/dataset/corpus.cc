@@ -1,0 +1,94 @@
+#include "dataset/corpus.hh"
+
+#include "base/logging.hh"
+#include "frontend/parser.hh"
+
+namespace ccsa
+{
+
+Corpus
+Corpus::generate(const ProblemSpec& spec, int count, std::uint64_t seed)
+{
+    if (count <= 0)
+        fatal("Corpus::generate: count must be positive");
+    Corpus corpus;
+    corpus.problems_.push_back(spec);
+
+    auto generator = makeGenerator(spec.family, spec.problemSeed);
+    SimulatedJudge judge(spec.judge);
+    Rng rng(seed, 0x1234 + static_cast<std::uint64_t>(
+        spec.problemSeed));
+
+    corpus.submissions_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        GeneratedSolution sol = generator->generate(rng);
+        Submission sub;
+        sub.id = i;
+        sub.problemId = 0;
+        sub.source = std::move(sol.source);
+        sub.ast = parseAndPrune(sub.source);
+        sub.runtimeMs = judge.run(sub.ast, rng);
+        sub.algoVariant = sol.algoVariant;
+        corpus.submissions_.push_back(std::move(sub));
+    }
+    return corpus;
+}
+
+Corpus
+Corpus::generateMixed(int num_problems, int per_problem,
+                      std::uint64_t seed)
+{
+    if (num_problems <= 0 || per_problem <= 0)
+        fatal("Corpus::generateMixed: sizes must be positive");
+    Corpus corpus;
+    for (int p = 0; p < num_problems; ++p) {
+        ProblemSpec spec = mpProblemSpec(p);
+        Corpus one = generate(spec, per_problem,
+                              seed + static_cast<std::uint64_t>(p));
+        corpus.append(one);
+    }
+    return corpus;
+}
+
+std::vector<double>
+Corpus::runtimes() const
+{
+    std::vector<double> out;
+    out.reserve(submissions_.size());
+    for (const auto& s : submissions_)
+        out.push_back(s.runtimeMs);
+    return out;
+}
+
+std::pair<std::vector<int>, std::vector<int>>
+Corpus::split(double train_fraction, Rng& rng) const
+{
+    if (train_fraction <= 0.0 || train_fraction >= 1.0)
+        fatal("Corpus::split: train_fraction must be in (0,1)");
+    std::vector<int> idx(submissions_.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = static_cast<int>(i);
+    rng.shuffle(idx);
+    std::size_t cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(idx.size()));
+    cut = std::max<std::size_t>(std::min(cut, idx.size() - 1), 1);
+    std::vector<int> train(idx.begin(), idx.begin() + cut);
+    std::vector<int> test(idx.begin() + cut, idx.end());
+    return {train, test};
+}
+
+void
+Corpus::append(const Corpus& other)
+{
+    int problem_base = static_cast<int>(problems_.size());
+    int id_base = static_cast<int>(submissions_.size());
+    for (const auto& p : other.problems_)
+        problems_.push_back(p);
+    for (Submission s : other.submissions_) {
+        s.problemId += problem_base;
+        s.id += id_base;
+        submissions_.push_back(std::move(s));
+    }
+}
+
+} // namespace ccsa

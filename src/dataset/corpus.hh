@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Corpus construction: the end-to-end substitute for the paper's
+ * 4.3M-solution Codeforces crawl (§II-A). For each problem the corpus
+ * holds generated source text, its pruned AST, and the simulated
+ * judge's runtime — i.e. exactly the (code, label) channel the
+ * paper's pipeline consumes.
+ */
+
+#ifndef CCSA_DATASET_CORPUS_HH
+#define CCSA_DATASET_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hh"
+#include "dataset/problem.hh"
+
+namespace ccsa
+{
+
+/** One judged solution. */
+struct Submission
+{
+    int id = 0;
+    int problemId = 0;
+    std::string source;
+    /** Pruned AST (function definitions under a root, §IV-A). */
+    Ast ast;
+    /** Mean runtime over the judge's test cases, in ms. */
+    double runtimeMs = 0.0;
+    /** Ground-truth algorithm variant (for diagnostics only). */
+    int algoVariant = 0;
+};
+
+/** A set of judged submissions spanning one or more problems. */
+class Corpus
+{
+  public:
+    /** Generate `count` solutions to a single problem. */
+    static Corpus generate(const ProblemSpec& spec, int count,
+                           std::uint64_t seed);
+
+    /**
+     * Generate the MP mixed dataset: `per_problem` solutions to each
+     * of `num_problems` derived problems (paper: 100 x 100).
+     */
+    static Corpus generateMixed(int num_problems, int per_problem,
+                                std::uint64_t seed);
+
+    const std::vector<Submission>& submissions() const
+    {
+        return submissions_;
+    }
+
+    const std::vector<ProblemSpec>& problems() const
+    {
+        return problems_;
+    }
+
+    std::size_t size() const { return submissions_.size(); }
+
+    /** All runtimes, in submission order. */
+    std::vector<double> runtimes() const;
+
+    /**
+     * Random disjoint train/test split of submission indices.
+     * @param train_fraction fraction assigned to training.
+     */
+    std::pair<std::vector<int>, std::vector<int>>
+    split(double train_fraction, Rng& rng) const;
+
+    /** Merge another corpus (problem ids are re-based). */
+    void append(const Corpus& other);
+
+  private:
+    std::vector<Submission> submissions_;
+    std::vector<ProblemSpec> problems_;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_DATASET_CORPUS_HH

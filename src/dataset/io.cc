@@ -1,0 +1,85 @@
+#include "dataset/io.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "frontend/parser.hh"
+
+namespace ccsa
+{
+
+namespace fs = std::filesystem;
+
+void
+exportCorpus(const Corpus& corpus, const std::string& directory)
+{
+    std::error_code ec;
+    fs::create_directories(directory, ec);
+    if (ec)
+        fatal("exportCorpus: cannot create ", directory, ": ",
+              ec.message());
+
+    std::ofstream index(fs::path(directory) / "index.csv");
+    if (!index)
+        fatal("exportCorpus: cannot open index.csv");
+    // Full round-trip precision so reloaded pair labels are
+    // bit-identical to the original run.
+    index << std::setprecision(17);
+    index << "id,problem_id,runtime_ms,algo_variant,source_file\n";
+    for (const auto& sub : corpus.submissions()) {
+        std::string fname = "sub_" + std::to_string(sub.id) + ".cpp";
+        index << sub.id << "," << sub.problemId << ","
+              << sub.runtimeMs << "," << sub.algoVariant << ","
+              << fname << "\n";
+        std::ofstream src(fs::path(directory) / fname);
+        if (!src)
+            fatal("exportCorpus: cannot write ", fname);
+        src << sub.source;
+    }
+    if (!index)
+        fatal("exportCorpus: write error on index.csv");
+}
+
+std::vector<Submission>
+importSubmissions(const std::string& directory)
+{
+    std::ifstream index(fs::path(directory) / "index.csv");
+    if (!index)
+        fatal("importSubmissions: cannot open ", directory,
+              "/index.csv");
+
+    std::vector<Submission> out;
+    std::string line;
+    std::getline(index, line); // header
+    while (std::getline(index, line)) {
+        if (trim(line).empty())
+            continue;
+        auto fields = split(line, ',');
+        if (fields.size() != 5)
+            fatal("importSubmissions: malformed index row: ", line);
+        Submission sub;
+        try {
+            sub.id = std::stoi(fields[0]);
+            sub.problemId = std::stoi(fields[1]);
+            sub.runtimeMs = std::stod(fields[2]);
+            sub.algoVariant = std::stoi(fields[3]);
+        } catch (const std::exception&) {
+            fatal("importSubmissions: bad numeric field in: ", line);
+        }
+        std::ifstream src(fs::path(directory) / fields[4]);
+        if (!src)
+            fatal("importSubmissions: missing source file ",
+                  fields[4]);
+        std::string source((std::istreambuf_iterator<char>(src)),
+                           std::istreambuf_iterator<char>());
+        sub.source = std::move(source);
+        sub.ast = parseAndPrune(sub.source);
+        out.push_back(std::move(sub));
+    }
+    return out;
+}
+
+} // namespace ccsa

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Corpus persistence. The paper promises its crawled dataset "will be
+ * made publicly available via Github along with the pipeline" (§II);
+ * this module provides that interchange format for the generated
+ * corpus: a human-readable index (CSV) plus one source file per
+ * submission, loadable back into a Corpus-equivalent submission list
+ * (ASTs are re-parsed and runtimes reused, so downstream training is
+ * bit-identical to the original run).
+ */
+
+#ifndef CCSA_DATASET_IO_HH
+#define CCSA_DATASET_IO_HH
+
+#include <string>
+
+#include "dataset/corpus.hh"
+
+namespace ccsa
+{
+
+/**
+ * Write a corpus to a directory: `index.csv` with one row per
+ * submission (id, problem id, runtime ms, algorithm variant, source
+ * file name) and `sub_<id>.cpp` source files.
+ * @throws FatalError on I/O failure.
+ */
+void exportCorpus(const Corpus& corpus, const std::string& directory);
+
+/**
+ * Load the submissions written by exportCorpus. Sources are re-parsed
+ * and re-pruned; judge runtimes come from the index, so no judge
+ * re-run is needed.
+ * @throws FatalError on missing/corrupt files.
+ */
+std::vector<Submission> importSubmissions(const std::string& directory);
+
+} // namespace ccsa
+
+#endif // CCSA_DATASET_IO_HH

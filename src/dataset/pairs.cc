@@ -1,0 +1,67 @@
+#include "dataset/pairs.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+std::vector<CodePair>
+buildPairs(const std::vector<Submission>& submissions,
+           const std::vector<int>& indices, const PairOptions& options,
+           Rng& rng)
+{
+    if (options.ratio <= 0.0 || options.ratio > 1.0)
+        fatal("buildPairs: ratio must be in (0,1]");
+
+    std::vector<CodePair> pairs;
+    auto consider = [&](int a, int b) {
+        const Submission& sa = submissions[a];
+        const Submission& sb = submissions[b];
+        if (options.withinProblemOnly &&
+            sa.problemId != sb.problemId)
+            return;
+        if (options.minGapMs > 0.0 &&
+            std::fabs(sa.runtimeMs - sb.runtimeMs) < options.minGapMs)
+            return;
+        if (options.ratio < 1.0 && !rng.bernoulli(options.ratio))
+            return;
+        CodePair p;
+        p.first = a;
+        p.second = b;
+        p.label = sa.runtimeMs >= sb.runtimeMs ? 1.0f : 0.0f;
+        pairs.push_back(p);
+    };
+
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        for (std::size_t j = i + 1; j < indices.size(); ++j) {
+            // Randomise the canonical orientation so the one-way set
+            // is not biased towards a fixed submission order.
+            bool flip = rng.bernoulli(0.5);
+            int a = flip ? indices[j] : indices[i];
+            int b = flip ? indices[i] : indices[j];
+            consider(a, b);
+            if (options.symmetric)
+                consider(b, a);
+        }
+    }
+
+    rng.shuffle(pairs);
+    if (pairs.size() > options.maxPairs)
+        pairs.resize(options.maxPairs);
+    return pairs;
+}
+
+double
+positiveFraction(const std::vector<CodePair>& pairs)
+{
+    if (pairs.empty())
+        return 0.0;
+    double pos = 0.0;
+    for (const auto& p : pairs)
+        pos += p.label;
+    return pos / static_cast<double>(pairs.size());
+}
+
+} // namespace ccsa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Code-pair generation (paper §II-B). For N submissions there are
+ * O(N^2) ordered pairs; the paper shows random subsets suffice and
+ * that including both orderings of a pair helps slightly (§VI-D).
+ * Labels follow Eq. (1): label 1 iff the first program's runtime is
+ * greater than or equal to the second's (second is faster or equal).
+ */
+
+#ifndef CCSA_DATASET_PAIRS_HH
+#define CCSA_DATASET_PAIRS_HH
+
+#include <vector>
+
+#include "dataset/corpus.hh"
+
+namespace ccsa
+{
+
+/** One labelled ordered pair of submission indices. */
+struct CodePair
+{
+    int first = 0;
+    int second = 0;
+    /** 1.0 iff runtime(first) >= runtime(second). */
+    float label = 0.0f;
+};
+
+/** Knobs for pair construction. */
+struct PairOptions
+{
+    /** Fraction of all candidate pairs to keep (random subset). */
+    double ratio = 1.0;
+    /** Include both (a,b) and (b,a) orderings. */
+    bool symmetric = true;
+    /** Hard cap on the number of pairs (applied after sampling). */
+    std::size_t maxPairs = 200000;
+    /**
+     * Drop pairs whose |runtime difference| is below this threshold
+     * (ms). 0 keeps everything; evaluation sweeps use it for the
+     * Fig. 6 sensitivity study.
+     */
+    double minGapMs = 0.0;
+    /** Only pair submissions that belong to the same problem. */
+    bool withinProblemOnly = true;
+};
+
+/**
+ * Build labelled pairs over a subset of a corpus.
+ * @param submissions the corpus submissions.
+ * @param indices which submissions participate.
+ * @param options sampling knobs.
+ * @param rng sampling source.
+ */
+std::vector<CodePair> buildPairs(
+    const std::vector<Submission>& submissions,
+    const std::vector<int>& indices, const PairOptions& options,
+    Rng& rng);
+
+/** Fraction of pairs with label 1 (class balance diagnostics). */
+double positiveFraction(const std::vector<CodePair>& pairs);
+
+} // namespace ccsa
+
+#endif // CCSA_DATASET_PAIRS_HH

@@ -1,0 +1,183 @@
+#include "dataset/problem.hh"
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+namespace
+{
+
+JudgeConfig
+makeJudge(double max_size, int tests, double base_ms,
+          std::map<std::string, double> size_vars = {},
+          std::map<std::string, double> absolute_vars = {})
+{
+    JudgeConfig cfg;
+    cfg.testSizes = JudgeConfig::ladder(max_size, tests);
+    if (!size_vars.empty())
+        cfg.sizeVars = std::move(size_vars);
+    cfg.absoluteVars = std::move(absolute_vars);
+    cfg.baseMs = base_ms;
+    return cfg;
+}
+
+std::vector<ProblemSpec>
+buildTableI()
+{
+    std::vector<ProblemSpec> specs;
+
+    ProblemSpec a;
+    a.family = ProblemFamily::A;
+    a.tag = "A";
+    a.contest = "4 C";
+    a.judge = makeJudge(1e4, 9, 80.0);
+    a.paperCount = 6616;
+    a.paperMinMs = 86;
+    a.paperMedianMs = 1269;
+    a.paperMaxMs = 4063;
+    a.paperStdDev = 445;
+    specs.push_back(a);
+
+    ProblemSpec b;
+    b.family = ProblemFamily::B;
+    b.tag = "B";
+    b.contest = "230 B";
+    b.judge = makeJudge(2e3, 9, 30.0,
+                        {{"t", 1.0}, {"n", 1.0}},
+                        {{"x", 1e8}});
+    b.paperCount = 6099;
+    b.paperMinMs = 31;
+    b.paperMedianMs = 658;
+    b.paperMaxMs = 1872;
+    b.paperStdDev = 386;
+    specs.push_back(b);
+
+    ProblemSpec c;
+    c.family = ProblemFamily::C;
+    c.tag = "C";
+    c.contest = "1027 C";
+    c.judge = makeJudge(1e4, 7, 60.0);
+    c.paperCount = 832;
+    c.paperMinMs = 72;
+    c.paperMedianMs = 437;
+    c.paperMaxMs = 1455;
+    c.paperStdDev = 344;
+    specs.push_back(c);
+
+    ProblemSpec d;
+    d.family = ProblemFamily::D;
+    d.tag = "D";
+    d.contest = "914 D";
+    d.judge = makeJudge(6e3, 7, 180.0);
+    d.paperCount = 612;
+    d.paperMinMs = 206;
+    d.paperMedianMs = 534;
+    d.paperMaxMs = 1965;
+    d.paperStdDev = 464;
+    specs.push_back(d);
+
+    ProblemSpec e;
+    e.family = ProblemFamily::E;
+    e.tag = "E";
+    e.contest = "1004 C";
+    e.judge = makeJudge(3e3, 9, 3.0);
+    e.paperCount = 505;
+    e.paperMinMs = 3;
+    e.paperMedianMs = 80;
+    e.paperMaxMs = 137;
+    e.paperStdDev = 48;
+    specs.push_back(e);
+
+    ProblemSpec f;
+    f.family = ProblemFamily::F;
+    f.tag = "F";
+    f.contest = "1006 E";
+    f.judge = makeJudge(5e3, 7, 45.0);
+    f.paperCount = 599;
+    f.paperMinMs = 51;
+    f.paperMedianMs = 214;
+    f.paperMaxMs = 1647;
+    f.paperStdDev = 471;
+    specs.push_back(f);
+
+    ProblemSpec g;
+    g.family = ProblemFamily::G;
+    g.tag = "G";
+    g.contest = "1037 D";
+    g.judge = makeJudge(2.5e3, 7, 4.0);
+    g.paperCount = 207;
+    g.paperMinMs = 5;
+    g.paperMedianMs = 90;
+    g.paperMaxMs = 450;
+    g.paperStdDev = 63;
+    specs.push_back(g);
+
+    ProblemSpec h;
+    h.family = ProblemFamily::H;
+    h.tag = "H";
+    h.contest = "489 C";
+    h.judge = makeJudge(100, 7, 2.0,
+                        {{"m", 1.0}, {"n", 1.0}});
+    h.paperCount = 5192;
+    h.paperMinMs = 2;
+    h.paperMedianMs = 9;
+    h.paperMaxMs = 29;
+    h.paperStdDev = 15;
+    specs.push_back(h);
+
+    ProblemSpec i;
+    i.family = ProblemFamily::I;
+    i.tag = "I";
+    i.contest = "919 D";
+    i.judge = makeJudge(5e3, 7, 2.0,
+                        {{"n", 1.0}, {"m", 2.0}, {"q", 1.0},
+                         {"t", 1.0}});
+    i.paperCount = 475;
+    i.paperMinMs = 2;
+    i.paperMedianMs = 285;
+    i.paperMaxMs = 800;
+    i.paperStdDev = 202;
+    specs.push_back(i);
+
+    return specs;
+}
+
+} // namespace
+
+const std::vector<ProblemSpec>&
+tableISpecs()
+{
+    static const std::vector<ProblemSpec> specs = buildTableI();
+    return specs;
+}
+
+const ProblemSpec&
+tableISpec(ProblemFamily family)
+{
+    const auto& specs = tableISpecs();
+    int idx = static_cast<int>(family);
+    if (idx < 0 || idx >= static_cast<int>(specs.size()))
+        fatal("tableISpec: invalid family");
+    return specs[idx];
+}
+
+ProblemSpec
+mpProblemSpec(int index)
+{
+    if (index < 0)
+        fatal("mpProblemSpec: negative index");
+    const auto& base = tableISpecs()[index % kNumFamilies];
+    ProblemSpec spec = base;
+    spec.problemSeed = index;
+    spec.tag = "MP" + std::to_string(index);
+    spec.contest = "derived from " + base.contest;
+    // Rescale the input ladder so each derived problem has its own
+    // work profile (0.5x .. 1.5x of the base problem).
+    double scale = 0.5 + 0.1 * (index % 11);
+    for (double& s : spec.judge.testSizes)
+        s = std::max(s * scale, 1.0);
+    return spec;
+}
+
+} // namespace ccsa

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Problem specifications: one per Table I row (tags A-I), binding a
+ * codegen family to a calibrated judge configuration plus the
+ * paper-reported runtime statistics for side-by-side comparison.
+ */
+
+#ifndef CCSA_DATASET_PROBLEM_HH
+#define CCSA_DATASET_PROBLEM_HH
+
+#include <string>
+#include <vector>
+
+#include "codegen/generator.hh"
+#include "judge/judge.hh"
+
+namespace ccsa
+{
+
+/** One concrete problem (a Table I row, or a derived MP problem). */
+struct ProblemSpec
+{
+    ProblemFamily family = ProblemFamily::A;
+    /** Varies surface constants so one family yields many problems. */
+    int problemSeed = 0;
+    /** Display tag ("A".."I" or "MP17"). */
+    std::string tag;
+    /** Codeforces contest reference (Table I "Contest" column). */
+    std::string contest;
+    /** Calibrated judging environment. */
+    JudgeConfig judge;
+
+    // Paper-reported statistics (Table I), for reporting only.
+    int paperCount = 0;
+    double paperMinMs = 0.0;
+    double paperMedianMs = 0.0;
+    double paperMaxMs = 0.0;
+    double paperStdDev = 0.0;
+};
+
+/** @return the nine canonical Table I problems. */
+const std::vector<ProblemSpec>& tableISpecs();
+
+/** @return the spec for a single Table I tag (0=A .. 8=I). */
+const ProblemSpec& tableISpec(ProblemFamily family);
+
+/**
+ * Derive the index-th problem of the MP mixed dataset: families are
+ * cycled and re-seeded so each index behaves like a distinct problem
+ * with its own constants and input scale.
+ */
+ProblemSpec mpProblemSpec(int index);
+
+} // namespace ccsa
+
+#endif // CCSA_DATASET_PROBLEM_HH

@@ -1,0 +1,100 @@
+#include "eval/experiment.hh"
+
+#include <cmath>
+#include <map>
+
+#include "base/str.hh"
+
+namespace ccsa
+{
+
+void
+ExperimentConfig::applyEnvScale()
+{
+    double scale = envScale();
+    if (scale == 1.0)
+        return;
+    submissionsPerProblem = static_cast<int>(
+        std::lround(submissionsPerProblem * scale));
+    train.epochs = std::max(1, static_cast<int>(
+        std::lround(train.epochs * std::sqrt(scale))));
+    trainPairs.maxPairs = static_cast<std::size_t>(
+        trainPairs.maxPairs * scale);
+}
+
+TrainedModel
+trainOnProblem(const ProblemSpec& spec, const ExperimentConfig& cfg)
+{
+    auto corpus = std::make_shared<Corpus>(Corpus::generate(
+        spec, cfg.submissionsPerProblem, cfg.corpusSeed));
+    return trainOnCorpus(corpus, cfg);
+}
+
+TrainedModel
+trainOnCorpus(std::shared_ptr<Corpus> corpus,
+              const ExperimentConfig& cfg)
+{
+    TrainedModel out;
+    out.corpus = std::move(corpus);
+
+    Rng rng(cfg.corpusSeed, 0x5EED);
+    auto [train_idx, test_idx] =
+        out.corpus->split(cfg.trainFraction, rng);
+    out.trainIdx = train_idx;
+    out.testIdx = test_idx;
+
+    out.model = std::make_shared<ComparativePredictor>(
+        cfg.encoder, cfg.train.seed);
+
+    auto pairs = buildPairs(out.corpus->submissions(), train_idx,
+                            cfg.trainPairs, rng);
+    Trainer trainer(*out.model, cfg.train);
+    out.stats = trainer.fit(out.corpus->submissions(), pairs);
+    return out;
+}
+
+std::vector<ScoredPair>
+scoreHeldOut(const TrainedModel& trained, const ExperimentConfig& cfg)
+{
+    Rng rng(cfg.corpusSeed, 0xE7A1);
+    auto pairs = buildPairs(trained.corpus->submissions(),
+                            trained.testIdx, cfg.evalPairs, rng);
+    return scorePairs(*trained.model, trained.corpus->submissions(),
+                      pairs);
+}
+
+double
+evalHeldOut(const TrainedModel& trained, const ExperimentConfig& cfg)
+{
+    return pairwiseAccuracy(scoreHeldOut(trained, cfg));
+}
+
+double
+evalCrossProblem(const TrainedModel& trained, const ProblemSpec& other,
+                 const ExperimentConfig& cfg)
+{
+    // Evaluation corpora are deterministic in (tag, seed, size), so
+    // cache them: sweeps like Fig. 3 evaluate many models against the
+    // same problems.
+    static std::map<std::string, Corpus> cache;
+    int count = std::max(std::min(cfg.submissionsPerProblem / 2, 32),
+                         24);
+    std::string key = other.tag + "/" +
+        std::to_string(cfg.corpusSeed) + "/" + std::to_string(count);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache.emplace(key, Corpus::generate(
+            other, count, cfg.corpusSeed + 0x77)).first;
+    }
+    const Corpus& other_corpus = it->second;
+    std::vector<int> idx(other_corpus.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = static_cast<int>(i);
+    Rng rng(cfg.corpusSeed, 0xC405);
+    auto pairs = buildPairs(other_corpus.submissions(), idx,
+                            cfg.evalPairs, rng);
+    return pairwiseAccuracy(*trained.model,
+                            other_corpus.submissions(), pairs);
+}
+
+} // namespace ccsa

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment driver shared by the benchmark harness: generate a
+ * corpus, split it, build pairs, train a predictor, and evaluate on
+ * disjoint same-problem or cross-problem pairs — the protocol of
+ * paper §V / §VI-A ("train and test datasets are disjoint").
+ */
+
+#ifndef CCSA_EVAL_EXPERIMENT_HH
+#define CCSA_EVAL_EXPERIMENT_HH
+
+#include <memory>
+
+#include "eval/metrics.hh"
+#include "model/trainer.hh"
+
+namespace ccsa
+{
+
+/** Everything one experiment run needs. */
+struct ExperimentConfig
+{
+    EncoderConfig encoder;
+    TrainConfig train;
+    /** Submissions generated per problem. */
+    int submissionsPerProblem = 160;
+    /** Fraction of submissions used for training. */
+    double trainFraction = 0.75;
+    PairOptions trainPairs;
+    PairOptions evalPairs;
+    std::uint64_t corpusSeed = 100;
+
+    ExperimentConfig()
+    {
+        trainPairs.maxPairs = 4000;
+        evalPairs.maxPairs = 1500;
+        evalPairs.symmetric = false;
+    }
+
+    /** Scale submissions/epochs by the CCSA_SCALE env factor. */
+    void applyEnvScale();
+};
+
+/** A trained predictor together with its data split. */
+struct TrainedModel
+{
+    std::shared_ptr<ComparativePredictor> model;
+    std::shared_ptr<Corpus> corpus;
+    std::vector<int> trainIdx;
+    std::vector<int> testIdx;
+    TrainStats stats;
+};
+
+/** Generate a corpus for a problem and fit a predictor on it. */
+TrainedModel trainOnProblem(const ProblemSpec& spec,
+                            const ExperimentConfig& cfg);
+
+/** Fit a predictor on an existing corpus (e.g. the MP mixture). */
+TrainedModel trainOnCorpus(std::shared_ptr<Corpus> corpus,
+                           const ExperimentConfig& cfg);
+
+/**
+ * Accuracy on disjoint submissions of the training problem(s)
+ * (Fig. 3 line plot protocol).
+ */
+double evalHeldOut(const TrainedModel& trained,
+                   const ExperimentConfig& cfg);
+
+/** Scored held-out pairs (for ROC / sensitivity analyses). */
+std::vector<ScoredPair> scoreHeldOut(const TrainedModel& trained,
+                                     const ExperimentConfig& cfg);
+
+/**
+ * Accuracy on pairs from a different problem (Fig. 3 boxplots /
+ * Table II protocol). Fresh submissions are generated for `other`.
+ */
+double evalCrossProblem(const TrainedModel& trained,
+                        const ProblemSpec& other,
+                        const ExperimentConfig& cfg);
+
+} // namespace ccsa
+
+#endif // CCSA_EVAL_EXPERIMENT_HH

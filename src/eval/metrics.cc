@@ -1,0 +1,142 @@
+#include "eval/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+std::vector<ScoredPair>
+scorePairs(const ComparativePredictor& model,
+           const std::vector<Submission>& submissions,
+           const std::vector<CodePair>& pairs)
+{
+    std::vector<ScoredPair> out;
+    out.reserve(pairs.size());
+    for (const CodePair& p : pairs) {
+        ScoredPair s;
+        s.score = model.probFirstSlower(submissions[p.first].ast,
+                                        submissions[p.second].ast);
+        s.label = p.label;
+        s.gapMs = std::fabs(submissions[p.first].runtimeMs -
+                            submissions[p.second].runtimeMs);
+        out.push_back(s);
+    }
+    return out;
+}
+
+double
+pairwiseAccuracy(const std::vector<ScoredPair>& scored)
+{
+    if (scored.empty())
+        fatal("pairwiseAccuracy: no pairs");
+    double correct = 0.0;
+    for (const auto& s : scored) {
+        bool predicted = s.score >= 0.5;
+        if (predicted == (s.label >= 0.5f))
+            correct += 1.0;
+    }
+    return correct / static_cast<double>(scored.size());
+}
+
+double
+pairwiseAccuracy(const ComparativePredictor& model,
+                 const std::vector<Submission>& submissions,
+                 const std::vector<CodePair>& pairs)
+{
+    return pairwiseAccuracy(scorePairs(model, submissions, pairs));
+}
+
+std::vector<RocPoint>
+rocCurve(const std::vector<ScoredPair>& scored)
+{
+    if (scored.empty())
+        fatal("rocCurve: no pairs");
+    std::vector<ScoredPair> sorted = scored;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ScoredPair& a, const ScoredPair& b) {
+                  return a.score > b.score;
+              });
+    double pos = 0.0, neg = 0.0;
+    for (const auto& s : sorted)
+        (s.label >= 0.5f ? pos : neg) += 1.0;
+    if (pos == 0.0 || neg == 0.0)
+        fatal("rocCurve: need both classes present");
+
+    std::vector<RocPoint> curve;
+    curve.push_back({1.0 + sorted.front().score, 0.0, 0.0});
+    double tp = 0.0, fp = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (sorted[i].label >= 0.5f)
+            tp += 1.0;
+        else
+            fp += 1.0;
+        // Emit a point when the score changes (or at the end).
+        if (i + 1 == sorted.size() ||
+            sorted[i + 1].score != sorted[i].score) {
+            curve.push_back({sorted[i].score, fp / neg, tp / pos});
+        }
+    }
+    return curve;
+}
+
+double
+rocAuc(const std::vector<ScoredPair>& scored)
+{
+    auto curve = rocCurve(scored);
+    double auc = 0.0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        double dx = curve[i].fpr - curve[i - 1].fpr;
+        auc += dx * 0.5 * (curve[i].tpr + curve[i - 1].tpr);
+    }
+    return auc;
+}
+
+std::vector<SensitivityPoint>
+sensitivitySweep(const std::vector<ScoredPair>& scored,
+                 const std::vector<double>& thresholds_ms)
+{
+    std::vector<SensitivityPoint> out;
+    for (double t : thresholds_ms) {
+        SensitivityPoint pt;
+        pt.minGapMs = t;
+        double correct = 0.0;
+        std::size_t kept = 0;
+        for (const auto& s : scored) {
+            if (s.gapMs < t)
+                continue;
+            ++kept;
+            bool predicted = s.score >= 0.5;
+            if (predicted == (s.label >= 0.5f))
+                correct += 1.0;
+        }
+        pt.pairsRetained = kept;
+        pt.accuracy = kept == 0
+            ? 0.0 : correct / static_cast<double>(kept);
+        out.push_back(pt);
+    }
+    return out;
+}
+
+Confusion
+confusion(const std::vector<ScoredPair>& scored, double threshold)
+{
+    Confusion c;
+    for (const auto& s : scored) {
+        bool predicted = s.score >= threshold;
+        bool actual = s.label >= 0.5f;
+        if (predicted && actual)
+            ++c.tp;
+        else if (predicted && !actual)
+            ++c.fp;
+        else if (!predicted && !actual)
+            ++c.tn;
+        else
+            ++c.fn;
+    }
+    return c;
+}
+
+} // namespace ccsa

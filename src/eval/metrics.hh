@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Evaluation metrics: pairwise accuracy (the paper's headline metric,
+ * §I "model accuracy"), ROC curves and AUC (§VI-B), and the
+ * runtime-difference sensitivity sweep (§VI-E / Fig. 6).
+ */
+
+#ifndef CCSA_EVAL_METRICS_HH
+#define CCSA_EVAL_METRICS_HH
+
+#include <vector>
+
+#include "dataset/pairs.hh"
+#include "model/predictor.hh"
+
+namespace ccsa
+{
+
+/** One scored pair: model probability vs ground-truth label. */
+struct ScoredPair
+{
+    double score = 0.0;
+    float label = 0.0f;
+    /** |runtime(first) - runtime(second)| in ms. */
+    double gapMs = 0.0;
+};
+
+/** Score every pair with the predictor. */
+std::vector<ScoredPair> scorePairs(
+    const ComparativePredictor& model,
+    const std::vector<Submission>& submissions,
+    const std::vector<CodePair>& pairs);
+
+/** Fraction of pairs classified correctly at threshold 0.5. */
+double pairwiseAccuracy(const std::vector<ScoredPair>& scored);
+
+/** Convenience: score + accuracy in one call. */
+double pairwiseAccuracy(const ComparativePredictor& model,
+                        const std::vector<Submission>& submissions,
+                        const std::vector<CodePair>& pairs);
+
+/** One ROC operating point. */
+struct RocPoint
+{
+    double threshold = 0.0;
+    double fpr = 0.0;
+    double tpr = 0.0;
+};
+
+/** Full ROC curve (thresholds swept over observed scores). */
+std::vector<RocPoint> rocCurve(const std::vector<ScoredPair>& scored);
+
+/** Area under the ROC curve (trapezoidal). */
+double rocAuc(const std::vector<ScoredPair>& scored);
+
+/** One point of the Fig. 6 sensitivity sweep. */
+struct SensitivityPoint
+{
+    double minGapMs = 0.0;
+    double accuracy = 0.0;
+    std::size_t pairsRetained = 0;
+};
+
+/**
+ * Accuracy restricted to pairs whose runtime gap is at least each
+ * threshold (paper §VI-E: accuracy should rise with the gap).
+ */
+std::vector<SensitivityPoint> sensitivitySweep(
+    const std::vector<ScoredPair>& scored,
+    const std::vector<double>& thresholds_ms);
+
+/** Confusion counts at threshold 0.5. */
+struct Confusion
+{
+    std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+    double
+    precision() const
+    {
+        return tp + fp == 0 ? 0.0
+            : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    }
+
+    double
+    recall() const
+    {
+        return tp + fn == 0 ? 0.0
+            : static_cast<double>(tp) / static_cast<double>(tp + fn);
+    }
+};
+
+/** Confusion matrix of a scored set. */
+Confusion confusion(const std::vector<ScoredPair>& scored,
+                    double threshold = 0.5);
+
+} // namespace ccsa
+
+#endif // CCSA_EVAL_METRICS_HH

@@ -1,0 +1,408 @@
+#include "frontend/lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+const char*
+tokenKindName(TokenKind k)
+{
+    switch (k) {
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::IntLit: return "int literal";
+      case TokenKind::DoubleLit: return "double literal";
+      case TokenKind::CharLit: return "char literal";
+      case TokenKind::StringLit: return "string literal";
+      case TokenKind::KwInt: return "'int'";
+      case TokenKind::KwLong: return "'long'";
+      case TokenKind::KwDouble: return "'double'";
+      case TokenKind::KwChar: return "'char'";
+      case TokenKind::KwBool: return "'bool'";
+      case TokenKind::KwVoid: return "'void'";
+      case TokenKind::KwString: return "'string'";
+      case TokenKind::KwVector: return "'vector'";
+      case TokenKind::KwIf: return "'if'";
+      case TokenKind::KwElse: return "'else'";
+      case TokenKind::KwFor: return "'for'";
+      case TokenKind::KwWhile: return "'while'";
+      case TokenKind::KwDo: return "'do'";
+      case TokenKind::KwReturn: return "'return'";
+      case TokenKind::KwBreak: return "'break'";
+      case TokenKind::KwContinue: return "'continue'";
+      case TokenKind::KwTrue: return "'true'";
+      case TokenKind::KwFalse: return "'false'";
+      case TokenKind::KwConst: return "'const'";
+      case TokenKind::KwUsing: return "'using'";
+      case TokenKind::KwNamespace: return "'namespace'";
+      case TokenKind::KwAuto: return "'auto'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::Semi: return "';'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Dot: return "'.'";
+      case TokenKind::Question: return "'?'";
+      case TokenKind::Colon: return "':'";
+      case TokenKind::Assign: return "'='";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Percent: return "'%'";
+      case TokenKind::PlusAssign: return "'+='";
+      case TokenKind::MinusAssign: return "'-='";
+      case TokenKind::StarAssign: return "'*='";
+      case TokenKind::SlashAssign: return "'/='";
+      case TokenKind::PercentAssign: return "'%='";
+      case TokenKind::PlusPlus: return "'++'";
+      case TokenKind::MinusMinus: return "'--'";
+      case TokenKind::Less: return "'<'";
+      case TokenKind::Greater: return "'>'";
+      case TokenKind::LessEq: return "'<='";
+      case TokenKind::GreaterEq: return "'>='";
+      case TokenKind::EqualEqual: return "'=='";
+      case TokenKind::NotEqual: return "'!='";
+      case TokenKind::AmpAmp: return "'&&'";
+      case TokenKind::PipePipe: return "'||'";
+      case TokenKind::Bang: return "'!'";
+      case TokenKind::Amp: return "'&'";
+      case TokenKind::Pipe: return "'|'";
+      case TokenKind::Caret: return "'^'";
+      case TokenKind::LtLt: return "'<<'";
+      case TokenKind::GtGt: return "'>>'";
+      case TokenKind::Eof: return "end of input";
+    }
+    return "unknown token";
+}
+
+namespace
+{
+
+const std::unordered_map<std::string, TokenKind> kKeywords = {
+    {"int", TokenKind::KwInt},
+    {"long", TokenKind::KwLong},
+    {"double", TokenKind::KwDouble},
+    {"float", TokenKind::KwDouble},
+    {"char", TokenKind::KwChar},
+    {"bool", TokenKind::KwBool},
+    {"void", TokenKind::KwVoid},
+    {"string", TokenKind::KwString},
+    {"vector", TokenKind::KwVector},
+    {"if", TokenKind::KwIf},
+    {"else", TokenKind::KwElse},
+    {"for", TokenKind::KwFor},
+    {"while", TokenKind::KwWhile},
+    {"do", TokenKind::KwDo},
+    {"return", TokenKind::KwReturn},
+    {"break", TokenKind::KwBreak},
+    {"continue", TokenKind::KwContinue},
+    {"true", TokenKind::KwTrue},
+    {"false", TokenKind::KwFalse},
+    {"const", TokenKind::KwConst},
+    {"using", TokenKind::KwUsing},
+    {"namespace", TokenKind::KwNamespace},
+    {"auto", TokenKind::KwAuto},
+};
+
+} // namespace
+
+Lexer::Lexer(std::string source)
+    : src_(std::move(source))
+{
+}
+
+char
+Lexer::peek(int ahead) const
+{
+    std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+    return p < src_.size() ? src_[p] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = src_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char expected)
+{
+    if (atEnd() || src_[pos_] != expected)
+        return false;
+    advance();
+    return true;
+}
+
+bool
+Lexer::atEnd() const
+{
+    return pos_ >= src_.size();
+}
+
+void
+Lexer::skipTrivia()
+{
+    while (!atEnd()) {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!atEnd() && peek() != '\n')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+                advance();
+            if (!atEnd()) {
+                advance();
+                advance();
+            }
+        } else if (c == '#' && col_ == 1) {
+            // Preprocessor directive: discard the whole line.
+            while (!atEnd() && peek() != '\n')
+                advance();
+        } else {
+            break;
+        }
+    }
+}
+
+Token
+Lexer::makeToken(TokenKind kind, std::string text) const
+{
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tokLine_;
+    t.col = tokCol_;
+    return t;
+}
+
+Token
+Lexer::lexNumber()
+{
+    std::string text;
+    bool is_double = false;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+        text.push_back(advance());
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(
+            peek(1)))) {
+        is_double = true;
+        text.push_back(advance());
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            text.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+        is_double = true;
+        text.push_back(advance());
+        if (peek() == '+' || peek() == '-')
+            text.push_back(advance());
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            text.push_back(advance());
+    }
+    // Integer suffixes (LL, LLU, U...) are consumed but not recorded.
+    while (peek() == 'l' || peek() == 'L' || peek() == 'u' ||
+           peek() == 'U')
+        advance();
+    return makeToken(is_double ? TokenKind::DoubleLit
+                               : TokenKind::IntLit, text);
+}
+
+Token
+Lexer::lexIdentifier()
+{
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_')
+        text.push_back(advance());
+    auto it = kKeywords.find(text);
+    if (it != kKeywords.end())
+        return makeToken(it->second, text);
+    return makeToken(TokenKind::Identifier, text);
+}
+
+Token
+Lexer::lexString()
+{
+    advance(); // opening quote
+    std::string text;
+    while (!atEnd() && peek() != '"') {
+        char c = advance();
+        if (c == '\\' && !atEnd())
+            text.push_back(advance());
+        else
+            text.push_back(c);
+    }
+    if (atEnd())
+        fatal("lexer: unterminated string literal at line ", tokLine_);
+    advance(); // closing quote
+    return makeToken(TokenKind::StringLit, text);
+}
+
+Token
+Lexer::lexChar()
+{
+    advance(); // opening quote
+    std::string text;
+    while (!atEnd() && peek() != '\'') {
+        char c = advance();
+        if (c == '\\' && !atEnd())
+            text.push_back(advance());
+        else
+            text.push_back(c);
+    }
+    if (atEnd())
+        fatal("lexer: unterminated char literal at line ", tokLine_);
+    advance(); // closing quote
+    return makeToken(TokenKind::CharLit, text);
+}
+
+std::vector<Token>
+Lexer::tokenize()
+{
+    std::vector<Token> out;
+    while (true) {
+        skipTrivia();
+        tokLine_ = line_;
+        tokCol_ = col_;
+        if (atEnd()) {
+            out.push_back(makeToken(TokenKind::Eof, ""));
+            break;
+        }
+        char c = peek();
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            out.push_back(lexNumber());
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            out.push_back(lexIdentifier());
+            continue;
+        }
+        if (c == '"') {
+            out.push_back(lexString());
+            continue;
+        }
+        if (c == '\'') {
+            out.push_back(lexChar());
+            continue;
+        }
+        advance();
+        switch (c) {
+          case '(': out.push_back(makeToken(TokenKind::LParen, "("));
+            break;
+          case ')': out.push_back(makeToken(TokenKind::RParen, ")"));
+            break;
+          case '{': out.push_back(makeToken(TokenKind::LBrace, "{"));
+            break;
+          case '}': out.push_back(makeToken(TokenKind::RBrace, "}"));
+            break;
+          case '[': out.push_back(makeToken(TokenKind::LBracket, "["));
+            break;
+          case ']': out.push_back(makeToken(TokenKind::RBracket, "]"));
+            break;
+          case ';': out.push_back(makeToken(TokenKind::Semi, ";"));
+            break;
+          case ',': out.push_back(makeToken(TokenKind::Comma, ","));
+            break;
+          case '.': out.push_back(makeToken(TokenKind::Dot, "."));
+            break;
+          case '?': out.push_back(makeToken(TokenKind::Question, "?"));
+            break;
+          case ':':
+            // "::" never appears in MiniCxx; treat as single colon.
+            out.push_back(makeToken(TokenKind::Colon, ":"));
+            break;
+          case '+':
+            if (match('+'))
+                out.push_back(makeToken(TokenKind::PlusPlus, "++"));
+            else if (match('='))
+                out.push_back(makeToken(TokenKind::PlusAssign, "+="));
+            else
+                out.push_back(makeToken(TokenKind::Plus, "+"));
+            break;
+          case '-':
+            if (match('-'))
+                out.push_back(makeToken(TokenKind::MinusMinus, "--"));
+            else if (match('='))
+                out.push_back(makeToken(TokenKind::MinusAssign, "-="));
+            else
+                out.push_back(makeToken(TokenKind::Minus, "-"));
+            break;
+          case '*':
+            out.push_back(match('=')
+                ? makeToken(TokenKind::StarAssign, "*=")
+                : makeToken(TokenKind::Star, "*"));
+            break;
+          case '/':
+            out.push_back(match('=')
+                ? makeToken(TokenKind::SlashAssign, "/=")
+                : makeToken(TokenKind::Slash, "/"));
+            break;
+          case '%':
+            out.push_back(match('=')
+                ? makeToken(TokenKind::PercentAssign, "%=")
+                : makeToken(TokenKind::Percent, "%"));
+            break;
+          case '<':
+            if (match('<'))
+                out.push_back(makeToken(TokenKind::LtLt, "<<"));
+            else if (match('='))
+                out.push_back(makeToken(TokenKind::LessEq, "<="));
+            else
+                out.push_back(makeToken(TokenKind::Less, "<"));
+            break;
+          case '>':
+            if (match('>'))
+                out.push_back(makeToken(TokenKind::GtGt, ">>"));
+            else if (match('='))
+                out.push_back(makeToken(TokenKind::GreaterEq, ">="));
+            else
+                out.push_back(makeToken(TokenKind::Greater, ">"));
+            break;
+          case '=':
+            out.push_back(match('=')
+                ? makeToken(TokenKind::EqualEqual, "==")
+                : makeToken(TokenKind::Assign, "="));
+            break;
+          case '!':
+            out.push_back(match('=')
+                ? makeToken(TokenKind::NotEqual, "!=")
+                : makeToken(TokenKind::Bang, "!"));
+            break;
+          case '&':
+            out.push_back(match('&')
+                ? makeToken(TokenKind::AmpAmp, "&&")
+                : makeToken(TokenKind::Amp, "&"));
+            break;
+          case '|':
+            out.push_back(match('|')
+                ? makeToken(TokenKind::PipePipe, "||")
+                : makeToken(TokenKind::Pipe, "|"));
+            break;
+          case '^':
+            out.push_back(makeToken(TokenKind::Caret, "^"));
+            break;
+          default:
+            fatal("lexer: unexpected character '", std::string(1, c),
+                  "' at line ", tokLine_, ", col ", tokCol_);
+        }
+    }
+    return out;
+}
+
+} // namespace ccsa

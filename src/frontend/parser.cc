@@ -1,0 +1,671 @@
+#include "frontend/parser.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "frontend/lexer.hh"
+
+namespace ccsa
+{
+
+namespace
+{
+
+/**
+ * Detach a just-parsed node from its parent and re-hang it under a new
+ * operator node created in its place. Used by the expression parser to
+ * build left-associative trees inside the arena.
+ */
+int
+wrapNode(Ast& ast, int node, NodeKind op, const std::string& text = "")
+{
+    int parent = ast.node(node).parent;
+    auto& siblings = ast.node(parent).children;
+    auto it = std::find(siblings.begin(), siblings.end(), node);
+    if (it == siblings.end())
+        panic("wrapNode: node not registered with its parent");
+    siblings.erase(it);
+    int op_id = ast.addNode(op, parent, text);
+    ast.node(node).parent = op_id;
+    ast.node(op_id).children.push_back(node);
+    return op_id;
+}
+
+/** Binary operator precedence table; -1 means "not a binary op". */
+struct BinOp
+{
+    NodeKind kind;
+    int prec;
+};
+
+BinOp
+binOpFor(TokenKind t)
+{
+    switch (t) {
+      case TokenKind::PipePipe: return {NodeKind::LogicalOr, 1};
+      case TokenKind::AmpAmp: return {NodeKind::LogicalAnd, 2};
+      case TokenKind::Pipe: return {NodeKind::BitOr, 3};
+      case TokenKind::Caret: return {NodeKind::BitXor, 4};
+      case TokenKind::Amp: return {NodeKind::BitAnd, 5};
+      case TokenKind::EqualEqual: return {NodeKind::Equal, 6};
+      case TokenKind::NotEqual: return {NodeKind::NotEqual, 6};
+      case TokenKind::Less: return {NodeKind::Less, 7};
+      case TokenKind::Greater: return {NodeKind::Greater, 7};
+      case TokenKind::LessEq: return {NodeKind::LessEq, 7};
+      case TokenKind::GreaterEq: return {NodeKind::GreaterEq, 7};
+      case TokenKind::LtLt: return {NodeKind::ShiftLeft, 8};
+      case TokenKind::GtGt: return {NodeKind::ShiftRight, 8};
+      case TokenKind::Plus: return {NodeKind::Add, 9};
+      case TokenKind::Minus: return {NodeKind::Sub, 9};
+      case TokenKind::Star: return {NodeKind::Mul, 10};
+      case TokenKind::Slash: return {NodeKind::Div, 10};
+      case TokenKind::Percent: return {NodeKind::Mod, 10};
+      default: return {NodeKind::Root, -1};
+    }
+}
+
+NodeKind
+assignOpFor(TokenKind t)
+{
+    switch (t) {
+      case TokenKind::Assign: return NodeKind::Assign;
+      case TokenKind::PlusAssign: return NodeKind::AddAssign;
+      case TokenKind::MinusAssign: return NodeKind::SubAssign;
+      case TokenKind::StarAssign: return NodeKind::MulAssign;
+      case TokenKind::SlashAssign: return NodeKind::DivAssign;
+      case TokenKind::PercentAssign: return NodeKind::ModAssign;
+      default: return NodeKind::Root;
+    }
+}
+
+bool
+isAssignToken(TokenKind t)
+{
+    return assignOpFor(t) != NodeKind::Root;
+}
+
+} // namespace
+
+Parser::Parser(std::vector<Token> tokens)
+    : tokens_(std::move(tokens))
+{
+    if (tokens_.empty() || tokens_.back().kind != TokenKind::Eof)
+        panic("Parser: token stream must end with Eof");
+}
+
+const Token&
+Parser::peek(int ahead) const
+{
+    std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+    return p < tokens_.size() ? tokens_[p] : tokens_.back();
+}
+
+const Token&
+Parser::advance()
+{
+    const Token& t = tokens_[pos_];
+    if (t.kind != TokenKind::Eof)
+        ++pos_;
+    return t;
+}
+
+bool
+Parser::check(TokenKind kind) const
+{
+    return peek().kind == kind;
+}
+
+bool
+Parser::accept(TokenKind kind)
+{
+    if (!check(kind))
+        return false;
+    advance();
+    return true;
+}
+
+const Token&
+Parser::expect(TokenKind kind, const char* context)
+{
+    if (!check(kind)) {
+        fatal("parse error at line ", peek().line, ", col ",
+              peek().col, ": expected ", tokenKindName(kind), " in ",
+              context, ", found ", tokenKindName(peek().kind),
+              peek().text.empty() ? "" : " '" + peek().text + "'");
+    }
+    return advance();
+}
+
+void
+Parser::syntaxError(const char* context) const
+{
+    fatal("parse error at line ", peek().line, ", col ", peek().col,
+          ": unexpected ", tokenKindName(peek().kind),
+          peek().text.empty() ? "" : " '" + peek().text + "'", " in ",
+          context);
+}
+
+void
+Parser::expectTemplateClose()
+{
+    if (check(TokenKind::Greater)) {
+        advance();
+        return;
+    }
+    if (check(TokenKind::GtGt)) {
+        // Split '>>' into two '>' tokens: consume the first half by
+        // rewriting the token in place.
+        tokens_[pos_].kind = TokenKind::Greater;
+        tokens_[pos_].text = ">";
+        return;
+    }
+    syntaxError("template argument list");
+}
+
+bool
+Parser::atTypeStart() const
+{
+    switch (peek().kind) {
+      case TokenKind::KwInt:
+      case TokenKind::KwLong:
+      case TokenKind::KwDouble:
+      case TokenKind::KwChar:
+      case TokenKind::KwBool:
+      case TokenKind::KwVoid:
+      case TokenKind::KwString:
+      case TokenKind::KwVector:
+      case TokenKind::KwConst:
+      case TokenKind::KwAuto:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Parser::parseType()
+{
+    std::string type;
+    if (accept(TokenKind::KwConst))
+        type += "const ";
+    switch (peek().kind) {
+      case TokenKind::KwInt:
+      case TokenKind::KwDouble:
+      case TokenKind::KwChar:
+      case TokenKind::KwBool:
+      case TokenKind::KwVoid:
+      case TokenKind::KwString:
+      case TokenKind::KwAuto:
+        type += advance().text;
+        break;
+      case TokenKind::KwLong:
+        advance();
+        type += "long";
+        if (accept(TokenKind::KwLong))
+            type += " long";
+        accept(TokenKind::KwInt);
+        break;
+      case TokenKind::KwVector: {
+        advance();
+        expect(TokenKind::Less, "vector type");
+        std::string inner = parseType();
+        expectTemplateClose();
+        type += "vector<" + inner + ">";
+        break;
+      }
+      default:
+        syntaxError("type");
+    }
+    if (accept(TokenKind::Amp))
+        type += "&";
+    return type;
+}
+
+Ast
+Parser::parseTranslationUnit()
+{
+    Ast ast(NodeKind::Root);
+    while (!check(TokenKind::Eof)) {
+        if (check(TokenKind::KwUsing)) {
+            advance();
+            expect(TokenKind::KwNamespace, "using directive");
+            expect(TokenKind::Identifier, "using directive");
+            expect(TokenKind::Semi, "using directive");
+            continue;
+        }
+        if (accept(TokenKind::Semi))
+            continue;
+        parseTopLevel(ast);
+    }
+    return ast;
+}
+
+namespace
+{
+
+bool
+isTypeStartTok(TokenKind k)
+{
+    switch (k) {
+      case TokenKind::KwInt:
+      case TokenKind::KwLong:
+      case TokenKind::KwDouble:
+      case TokenKind::KwChar:
+      case TokenKind::KwBool:
+      case TokenKind::KwVoid:
+      case TokenKind::KwString:
+      case TokenKind::KwVector:
+      case TokenKind::KwConst:
+      case TokenKind::KwAuto:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+Parser::parseTopLevel(Ast& ast)
+{
+    std::string type = parseType();
+    std::string name =
+        expect(TokenKind::Identifier, "top-level declaration").text;
+    // "name(" opens a function definition only when followed by a
+    // parameter type or an empty list; otherwise it is a
+    // constructor-style global initialiser like vector<int> v(n).
+    if (check(TokenKind::LParen) &&
+        (isTypeStartTok(peek(1).kind) ||
+         peek(1).kind == TokenKind::RParen)) {
+        parseFunctionRest(ast, type, name);
+        return;
+    }
+    // Global variable declaration(s).
+    int decl = ast.addNode(NodeKind::DeclStmt, ast.root(), type);
+    parseDeclaratorRestNamed(ast, decl, type, name);
+    while (accept(TokenKind::Comma)) {
+        std::string next =
+            expect(TokenKind::Identifier, "declarator").text;
+        parseDeclaratorRestNamed(ast, decl, type, next);
+    }
+    expect(TokenKind::Semi, "global declaration");
+}
+
+void
+Parser::parseFunctionRest(Ast& ast, const std::string& type,
+                          const std::string& name)
+{
+    int fn = ast.addNode(NodeKind::FunctionDef, ast.root(), name);
+    ast.node(fn).text = name;
+    int params = ast.addNode(NodeKind::ParamList, fn, type);
+    expect(TokenKind::LParen, "function parameters");
+    if (!check(TokenKind::RParen)) {
+        do {
+            std::string ptype = parseType();
+            std::string pname;
+            if (check(TokenKind::Identifier))
+                pname = advance().text;
+            // Param text carries "type|name" so the judge can model
+            // pass-by-value copies; models only read the node kind.
+            int p = ast.addNode(NodeKind::Param, params,
+                                ptype + "|" + pname);
+            // Array-typed parameter: int a[] or int a[10].
+            while (accept(TokenKind::LBracket)) {
+                int ext = ast.addNode(NodeKind::ArrayExtent, p);
+                if (!check(TokenKind::RBracket))
+                    parseExpression(ast, ext);
+                expect(TokenKind::RBracket, "array parameter");
+            }
+        } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "function parameters");
+    if (accept(TokenKind::Semi))
+        return; // prototype: FunctionDef without a body
+    parseBlock(ast, fn);
+}
+
+int
+Parser::parseBlock(Ast& ast, int parent)
+{
+    expect(TokenKind::LBrace, "block");
+    int block = ast.addNode(NodeKind::CompoundStmt, parent);
+    while (!check(TokenKind::RBrace) && !check(TokenKind::Eof))
+        parseStatement(ast, block);
+    expect(TokenKind::RBrace, "block");
+    return block;
+}
+
+int
+Parser::parseStatement(Ast& ast, int parent)
+{
+    switch (peek().kind) {
+      case TokenKind::LBrace:
+        return parseBlock(ast, parent);
+      case TokenKind::Semi:
+        advance();
+        return ast.addNode(NodeKind::EmptyStmt, parent);
+      case TokenKind::KwIf: {
+        advance();
+        int stmt = ast.addNode(NodeKind::IfStmt, parent);
+        expect(TokenKind::LParen, "if condition");
+        parseExpression(ast, stmt);
+        expect(TokenKind::RParen, "if condition");
+        parseStatement(ast, stmt);
+        if (accept(TokenKind::KwElse))
+            parseStatement(ast, stmt);
+        return stmt;
+      }
+      case TokenKind::KwFor: {
+        advance();
+        int stmt = ast.addNode(NodeKind::ForStmt, parent);
+        expect(TokenKind::LParen, "for header");
+        // init
+        if (check(TokenKind::Semi)) {
+            advance();
+            ast.addNode(NodeKind::EmptyStmt, stmt);
+        } else if (atTypeStart()) {
+            parseDeclStmt(ast, stmt);
+        } else {
+            int es = ast.addNode(NodeKind::ExprStmt, stmt);
+            parseExpression(ast, es);
+            expect(TokenKind::Semi, "for init");
+        }
+        // condition
+        if (check(TokenKind::Semi))
+            ast.addNode(NodeKind::EmptyStmt, stmt);
+        else
+            parseExpression(ast, stmt);
+        expect(TokenKind::Semi, "for condition");
+        // increment
+        if (check(TokenKind::RParen))
+            ast.addNode(NodeKind::EmptyStmt, stmt);
+        else
+            parseExpression(ast, stmt);
+        expect(TokenKind::RParen, "for header");
+        parseStatement(ast, stmt);
+        return stmt;
+      }
+      case TokenKind::KwWhile: {
+        advance();
+        int stmt = ast.addNode(NodeKind::WhileStmt, parent);
+        expect(TokenKind::LParen, "while condition");
+        parseExpression(ast, stmt);
+        expect(TokenKind::RParen, "while condition");
+        parseStatement(ast, stmt);
+        return stmt;
+      }
+      case TokenKind::KwDo: {
+        advance();
+        int stmt = ast.addNode(NodeKind::DoWhileStmt, parent);
+        parseStatement(ast, stmt);
+        expect(TokenKind::KwWhile, "do-while");
+        expect(TokenKind::LParen, "do-while condition");
+        parseExpression(ast, stmt);
+        expect(TokenKind::RParen, "do-while condition");
+        expect(TokenKind::Semi, "do-while");
+        return stmt;
+      }
+      case TokenKind::KwReturn: {
+        advance();
+        int stmt = ast.addNode(NodeKind::ReturnStmt, parent);
+        if (!check(TokenKind::Semi))
+            parseExpression(ast, stmt);
+        expect(TokenKind::Semi, "return statement");
+        return stmt;
+      }
+      case TokenKind::KwBreak: {
+        advance();
+        expect(TokenKind::Semi, "break statement");
+        return ast.addNode(NodeKind::BreakStmt, parent);
+      }
+      case TokenKind::KwContinue: {
+        advance();
+        expect(TokenKind::Semi, "continue statement");
+        return ast.addNode(NodeKind::ContinueStmt, parent);
+      }
+      default:
+        if (atTypeStart())
+            return parseDeclStmt(ast, parent);
+        int stmt = ast.addNode(NodeKind::ExprStmt, parent);
+        parseExpression(ast, stmt);
+        expect(TokenKind::Semi, "expression statement");
+        return stmt;
+    }
+}
+
+int
+Parser::parseDeclStmt(Ast& ast, int parent)
+{
+    std::string type = parseType();
+    int decl = ast.addNode(NodeKind::DeclStmt, parent, type);
+    do {
+        std::string name =
+            expect(TokenKind::Identifier, "declarator").text;
+        parseDeclaratorRestNamed(ast, decl, type, name);
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::Semi, "declaration");
+    return decl;
+}
+
+void
+Parser::parseDeclaratorRestNamed(Ast& ast, int decl_stmt,
+                                 const std::string& type,
+                                 const std::string& name)
+{
+    int var = ast.addNode(NodeKind::VarDecl, decl_stmt, name);
+    (void)type;
+    // Array extents, wrapped so consumers can tell dims from inits.
+    while (accept(TokenKind::LBracket)) {
+        int ext = ast.addNode(NodeKind::ArrayExtent, var);
+        if (!check(TokenKind::RBracket))
+            parseExpression(ast, ext);
+        expect(TokenKind::RBracket, "array declarator");
+    }
+    if (accept(TokenKind::Assign)) {
+        if (check(TokenKind::LBrace)) {
+            advance();
+            int init = ast.addNode(NodeKind::InitList, var);
+            if (!check(TokenKind::RBrace)) {
+                do {
+                    parseAssignment(ast, init);
+                } while (accept(TokenKind::Comma));
+            }
+            expect(TokenKind::RBrace, "initializer list");
+        } else {
+            parseAssignment(ast, var);
+        }
+    } else if (accept(TokenKind::LParen)) {
+        // Constructor-style init: vector<int> v(n, 0).
+        int init = ast.addNode(NodeKind::InitList, var);
+        if (!check(TokenKind::RParen)) {
+            do {
+                parseAssignment(ast, init);
+            } while (accept(TokenKind::Comma));
+        }
+        expect(TokenKind::RParen, "constructor initializer");
+    } else if (check(TokenKind::LBrace)) {
+        advance();
+        int init = ast.addNode(NodeKind::InitList, var);
+        if (!check(TokenKind::RBrace)) {
+            do {
+                parseAssignment(ast, init);
+            } while (accept(TokenKind::Comma));
+        }
+        expect(TokenKind::RBrace, "initializer list");
+    }
+}
+
+int
+Parser::parseExpression(Ast& ast, int parent)
+{
+    return parseAssignment(ast, parent);
+}
+
+int
+Parser::parseAssignment(Ast& ast, int parent)
+{
+    int lhs = parseTernary(ast, parent);
+    if (isAssignToken(peek().kind)) {
+        NodeKind op = assignOpFor(advance().kind);
+        int node = wrapNode(ast, lhs, op);
+        parseAssignment(ast, node);
+        return node;
+    }
+    return lhs;
+}
+
+int
+Parser::parseTernary(Ast& ast, int parent)
+{
+    int cond = parseBinary(ast, parent, 1);
+    if (accept(TokenKind::Question)) {
+        int node = wrapNode(ast, cond, NodeKind::CondExpr);
+        parseAssignment(ast, node);
+        expect(TokenKind::Colon, "conditional expression");
+        parseAssignment(ast, node);
+        return node;
+    }
+    return cond;
+}
+
+int
+Parser::parseBinary(Ast& ast, int parent, int min_prec)
+{
+    int lhs = parseUnary(ast, parent);
+    while (true) {
+        BinOp op = binOpFor(peek().kind);
+        if (op.prec < min_prec)
+            break;
+        advance();
+        int node = wrapNode(ast, lhs, op.kind);
+        parseBinary(ast, node, op.prec + 1);
+        lhs = node;
+    }
+    return lhs;
+}
+
+int
+Parser::parseUnary(Ast& ast, int parent)
+{
+    switch (peek().kind) {
+      case TokenKind::Bang: {
+        advance();
+        int node = ast.addNode(NodeKind::LogicalNot, parent);
+        parseUnary(ast, node);
+        return node;
+      }
+      case TokenKind::Minus: {
+        advance();
+        int node = ast.addNode(NodeKind::Negate, parent);
+        parseUnary(ast, node);
+        return node;
+      }
+      case TokenKind::Plus:
+        advance();
+        return parseUnary(ast, parent);
+      case TokenKind::PlusPlus: {
+        advance();
+        int node = ast.addNode(NodeKind::PreInc, parent);
+        parseUnary(ast, node);
+        return node;
+      }
+      case TokenKind::MinusMinus: {
+        advance();
+        int node = ast.addNode(NodeKind::PreDec, parent);
+        parseUnary(ast, node);
+        return node;
+      }
+      default:
+        return parsePostfix(ast, parent);
+    }
+}
+
+int
+Parser::parsePostfix(Ast& ast, int parent)
+{
+    int expr = parsePrimary(ast, parent);
+    while (true) {
+        if (check(TokenKind::LParen)) {
+            advance();
+            int call = wrapNode(ast, expr, NodeKind::CallExpr);
+            if (!check(TokenKind::RParen)) {
+                do {
+                    parseAssignment(ast, call);
+                } while (accept(TokenKind::Comma));
+            }
+            expect(TokenKind::RParen, "call arguments");
+            expr = call;
+        } else if (check(TokenKind::LBracket)) {
+            advance();
+            int sub = wrapNode(ast, expr, NodeKind::SubscriptExpr);
+            parseExpression(ast, sub);
+            expect(TokenKind::RBracket, "subscript");
+            expr = sub;
+        } else if (check(TokenKind::Dot)) {
+            advance();
+            std::string member =
+                expect(TokenKind::Identifier, "member access").text;
+            expr = wrapNode(ast, expr, NodeKind::MemberExpr, member);
+        } else if (check(TokenKind::PlusPlus)) {
+            advance();
+            expr = wrapNode(ast, expr, NodeKind::PostInc);
+        } else if (check(TokenKind::MinusMinus)) {
+            advance();
+            expr = wrapNode(ast, expr, NodeKind::PostDec);
+        } else {
+            break;
+        }
+    }
+    return expr;
+}
+
+int
+Parser::parsePrimary(Ast& ast, int parent)
+{
+    switch (peek().kind) {
+      case TokenKind::IntLit:
+        return ast.addNode(NodeKind::IntLiteral, parent,
+                           advance().text);
+      case TokenKind::DoubleLit:
+        return ast.addNode(NodeKind::DoubleLiteral, parent,
+                           advance().text);
+      case TokenKind::CharLit:
+        return ast.addNode(NodeKind::CharLiteral, parent,
+                           advance().text);
+      case TokenKind::StringLit:
+        return ast.addNode(NodeKind::StringLiteral, parent,
+                           advance().text);
+      case TokenKind::KwTrue:
+        advance();
+        return ast.addNode(NodeKind::BoolLiteral, parent, "true");
+      case TokenKind::KwFalse:
+        advance();
+        return ast.addNode(NodeKind::BoolLiteral, parent, "false");
+      case TokenKind::Identifier:
+        return ast.addNode(NodeKind::VarRef, parent, advance().text);
+      case TokenKind::LParen: {
+        advance();
+        int expr = parseExpression(ast, parent);
+        expect(TokenKind::RParen, "parenthesised expression");
+        return expr;
+      }
+      default:
+        syntaxError("expression");
+    }
+}
+
+Ast
+parseSource(const std::string& source)
+{
+    Lexer lexer(source);
+    Parser parser(lexer.tokenize());
+    return parser.parseTranslationUnit();
+}
+
+Ast
+parseAndPrune(const std::string& source)
+{
+    return pruneToFunctions(parseSource(source));
+}
+
+} // namespace ccsa

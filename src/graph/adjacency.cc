@@ -1,0 +1,37 @@
+#include "graph/adjacency.hh"
+
+#include <cmath>
+#include <vector>
+
+namespace ccsa
+{
+
+std::shared_ptr<const CsrMatrix>
+buildNormalizedAdjacency(const Ast& ast)
+{
+    int n = ast.size();
+    std::vector<double> degree(n, 1.0); // self loop
+    for (int i = 0; i < n; ++i) {
+        for (int c : ast.node(i).children) {
+            degree[i] += 1.0;
+            degree[c] += 1.0;
+        }
+    }
+    std::vector<CooEntry> entries;
+    entries.reserve(static_cast<std::size_t>(3 * n));
+    auto norm = [&](int a, int b) {
+        return static_cast<float>(
+            1.0 / std::sqrt(degree[a] * degree[b]));
+    };
+    for (int i = 0; i < n; ++i) {
+        entries.push_back({i, i, norm(i, i)});
+        for (int c : ast.node(i).children) {
+            entries.push_back({i, c, norm(i, c)});
+            entries.push_back({c, i, norm(c, i)});
+        }
+    }
+    return std::make_shared<CsrMatrix>(
+        CsrMatrix::fromCoo(n, n, std::move(entries)));
+}
+
+} // namespace ccsa

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * AST-to-graph conversion for the GCN baseline: the tree is viewed as
+ * an undirected graph, augmented with self loops and symmetrically
+ * degree-normalised (Kipf & Welling): A_hat = D^-1/2 (A + I) D^-1/2.
+ */
+
+#ifndef CCSA_GRAPH_ADJACENCY_HH
+#define CCSA_GRAPH_ADJACENCY_HH
+
+#include <memory>
+
+#include "ast/ast.hh"
+#include "tensor/sparse.hh"
+
+namespace ccsa
+{
+
+/**
+ * Build the normalised adjacency of an AST.
+ * @return shared CSR matrix of shape (n, n), n = ast.size().
+ */
+std::shared_ptr<const CsrMatrix> buildNormalizedAdjacency(const Ast& ast);
+
+} // namespace ccsa
+
+#endif // CCSA_GRAPH_ADJACENCY_HH

@@ -1,0 +1,116 @@
+#include "judge/cost_model.hh"
+
+#include <unordered_map>
+
+namespace ccsa
+{
+
+double
+CostModel::operatorCost(NodeKind kind) const
+{
+    switch (kind) {
+      case NodeKind::Add:
+      case NodeKind::Sub:
+        return addSub;
+      case NodeKind::Mul:
+        return mulOp;
+      case NodeKind::Div:
+      case NodeKind::Mod:
+        return divMod;
+      case NodeKind::Less:
+      case NodeKind::Greater:
+      case NodeKind::LessEq:
+      case NodeKind::GreaterEq:
+      case NodeKind::Equal:
+      case NodeKind::NotEqual:
+        return compare;
+      case NodeKind::LogicalAnd:
+      case NodeKind::LogicalOr:
+      case NodeKind::LogicalNot:
+        return logical;
+      case NodeKind::BitAnd:
+      case NodeKind::BitOr:
+      case NodeKind::BitXor:
+        return logical;
+      case NodeKind::Assign:
+        return assign;
+      case NodeKind::AddAssign:
+      case NodeKind::SubAssign:
+        return assign + addSub;
+      case NodeKind::MulAssign:
+        return assign + mulOp;
+      case NodeKind::DivAssign:
+      case NodeKind::ModAssign:
+        return assign + divMod;
+      case NodeKind::PreInc:
+      case NodeKind::PreDec:
+      case NodeKind::PostInc:
+      case NodeKind::PostDec:
+        return incDec;
+      case NodeKind::Negate:
+        return addSub;
+      case NodeKind::SubscriptExpr:
+        return subscript;
+      case NodeKind::VarRef:
+        return varRef;
+      case NodeKind::IntLiteral:
+      case NodeKind::DoubleLiteral:
+      case NodeKind::CharLiteral:
+      case NodeKind::StringLiteral:
+      case NodeKind::BoolLiteral:
+        return literal;
+      case NodeKind::MemberExpr:
+        return memberAccess;
+      default:
+        return -1.0;
+    }
+}
+
+double
+CostModel::builtinCost(const std::string& name, bool& found) const
+{
+    static const std::unordered_map<std::string, double> kTable = {
+        {"sqrt", 8.0},
+        {"abs", 1.0},
+        {"fabs", 1.0},
+        {"llabs", 1.0},
+        {"min", 1.5},
+        {"max", 1.5},
+        {"swap", 3.0},
+        {"__gcd", 30.0},
+        {"pow", 20.0},
+        {"log", 10.0},
+        {"log2", 10.0},
+        {"floor", 3.0},
+        {"ceil", 3.0},
+        {"round", 3.0},
+        {"printf", 14.0},
+        {"scanf", 14.0},
+        {"puts", 8.0},
+        {"getline", 16.0},
+        {"push_back", 2.5},
+        {"emplace_back", 2.5},
+        {"pop_back", 1.0},
+        {"size", 0.5},
+        {"length", 0.5},
+        {"begin", 0.5},
+        {"end", 0.5},
+        {"empty", 0.5},
+        {"front", 1.0},
+        {"back", 1.0},
+        {"clear", 2.0},
+        {"resize", 2.0},
+        {"reserve", 2.0},
+        {"substr", 6.0},
+        {"c_str", 0.5},
+    };
+    auto it = kTable.find(name);
+    if (it == kTable.end()) {
+        found = false;
+        return 0.0;
+    }
+    found = true;
+    return it->second;
+}
+
+} // namespace ccsa

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-construct cost constants for the simulated judge. Units are
+ * abstract "operation units" converted to milliseconds by each
+ * problem's JudgeConfig. The values encode relative costs of real
+ * hardware (division and modulo are several times an add; I/O stream
+ * operations cost tens of ALU ops; an endl flush is far more
+ * expensive than a "\n" write), so that structural choices in the
+ * generated code translate into realistic runtime differences.
+ */
+
+#ifndef CCSA_JUDGE_COST_MODEL_HH
+#define CCSA_JUDGE_COST_MODEL_HH
+
+#include <string>
+
+#include "ast/node_kind.hh"
+
+namespace ccsa
+{
+
+/** Cost constants used by the CostInterpreter. */
+struct CostModel
+{
+    // Elementary operations.
+    double addSub = 1.0;
+    double mulOp = 1.2;
+    double divMod = 4.0;
+    double compare = 1.0;
+    double logical = 0.8;
+    double shift = 1.0;
+    double assign = 1.0;
+    double incDec = 1.0;
+    double subscript = 1.5;
+    double varRef = 0.4;
+    double literal = 0.1;
+    double memberAccess = 0.8;
+
+    // Control flow.
+    double loopOverhead = 1.5;
+    double branchOverhead = 0.8;
+    double callOverhead = 6.0;
+    double returnCost = 1.0;
+    /** Extra overhead per recursive invocation (stack frame churn). */
+    double recursionOverhead = 10.0;
+
+    // I/O (dominant constant costs in contest programs).
+    double ioRead = 12.0;
+    double ioWrite = 10.0;
+    double ioFlush = 120.0;
+
+    // Memory.
+    double allocPerElement = 0.8;
+    double copyPerElement = 1.0;
+    double pushBack = 2.5;
+
+    /** Default trip count for loops over opaque containers. */
+    double defaultContainerTrips = 8.0;
+
+    /** Per-element cost factor of a std::sort call: f * n log2 n. */
+    double sortFactor = 4.0;
+
+    /**
+     * @return the cost of evaluating an operator node of this kind
+     * (children not included), or -1 if the kind is not a plain
+     * operator handled by table lookup.
+     */
+    double operatorCost(NodeKind kind) const;
+
+    /**
+     * Cost of a builtin library call by name (sqrt, __gcd, abs, ...).
+     * @param name callee or member name.
+     * @param found set to true when the name is a known builtin.
+     * @return flat unit cost (container-size-dependent builtins like
+     * sort are handled separately by the interpreter).
+     */
+    double builtinCost(const std::string& name, bool& found) const;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_JUDGE_COST_MODEL_HH

@@ -1,0 +1,1178 @@
+#include "judge/interpreter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace ccsa
+{
+
+namespace
+{
+
+double
+log2Clamped(double x)
+{
+    return std::log2(std::max(x, 2.0));
+}
+
+bool
+isComparison(NodeKind k)
+{
+    return k == NodeKind::Less || k == NodeKind::LessEq ||
+        k == NodeKind::Greater || k == NodeKind::GreaterEq ||
+        k == NodeKind::NotEqual || k == NodeKind::Equal;
+}
+
+bool
+isCompoundAssign(NodeKind k)
+{
+    return k == NodeKind::AddAssign || k == NodeKind::SubAssign ||
+        k == NodeKind::MulAssign || k == NodeKind::DivAssign ||
+        k == NodeKind::ModAssign;
+}
+
+bool
+isIncDec(NodeKind k)
+{
+    return k == NodeKind::PreInc || k == NodeKind::PostInc ||
+        k == NodeKind::PreDec || k == NodeKind::PostDec;
+}
+
+} // namespace
+
+CostInterpreter::CostInterpreter(const Ast& ast, CostModel model)
+    : ast_(ast), model_(model)
+{
+    for (int id : ast_.nodesOfKind(NodeKind::FunctionDef))
+        functions_.emplace(ast_.node(id).text, id);
+}
+
+double
+CostInterpreter::programCost(
+    const std::map<std::string, double>& presets) const
+{
+    auto it = functions_.find("main");
+    if (it == functions_.end())
+        fatal("CostInterpreter: program has no main()");
+    callStack_.clear();
+    chargedRecursion_.clear();
+    presets_ = presets;
+    tripMultiplier_ = 1.0;
+
+    Env env = presets;
+    double cost = 0.0;
+    // Globals first: they seed constants (const int LIM = ...) and
+    // charge static allocation costs.
+    for (int child : ast_.node(ast_.root()).children) {
+        if (ast_.node(child).kind == NodeKind::DeclStmt)
+            cost += stmtCost(child, env);
+    }
+    callStack_.push_back("main");
+    cost += functionBodyCost(it->second, env);
+    callStack_.pop_back();
+    return std::clamp(cost, 0.0, maxCost);
+}
+
+double
+CostInterpreter::functionBodyCost(int fn_id, Env& env) const
+{
+    const AstNode& fn = ast_.node(fn_id);
+    if (fn.kind != NodeKind::FunctionDef)
+        panic("functionBodyCost: not a FunctionDef");
+    for (int child : fn.children) {
+        if (ast_.node(child).kind == NodeKind::CompoundStmt)
+            return stmtCost(child, env);
+    }
+    return 0.0; // prototype
+}
+
+double
+CostInterpreter::stmtCost(int id, Env& env) const
+{
+    const AstNode& n = ast_.node(id);
+    switch (n.kind) {
+      case NodeKind::CompoundStmt: {
+        double cost = 0.0;
+        for (int child : n.children)
+            cost += stmtCost(child, env);
+        return cost;
+      }
+      case NodeKind::DeclStmt: {
+        double cost = 0.0;
+        for (int child : n.children)
+            cost += declCost(child, env);
+        return cost;
+      }
+      case NodeKind::ExprStmt:
+        return n.children.empty() ? 0.0 : exprCost(n.children[0], env);
+      case NodeKind::IfStmt:
+        return ifCost(id, env);
+      case NodeKind::ForStmt:
+        return forCost(id, env);
+      case NodeKind::WhileStmt:
+        return whileCost(id, env, false);
+      case NodeKind::DoWhileStmt:
+        return whileCost(id, env, true);
+      case NodeKind::ReturnStmt: {
+        double cost = model_.returnCost;
+        for (int child : n.children)
+            cost += exprCost(child, env);
+        return cost;
+      }
+      case NodeKind::BreakStmt:
+      case NodeKind::ContinueStmt:
+        return 0.3;
+      case NodeKind::EmptyStmt:
+        return 0.0;
+      default:
+        return exprCost(id, env);
+    }
+}
+
+double
+CostInterpreter::declCost(int id, Env& env) const
+{
+    const AstNode& n = ast_.node(id);
+    if (n.kind != NodeKind::VarDecl)
+        return 0.0;
+    const std::string& type = ast_.node(n.parent).text;
+    bool is_vector = type.find("vector") != std::string::npos;
+
+    double cost = 0.5 * model_.assign;
+    double elems = 1.0;
+    bool is_array = false;
+    int init = -1;
+    for (int child : n.children) {
+        const AstNode& c = ast_.node(child);
+        if (c.kind == NodeKind::ArrayExtent) {
+            is_array = true;
+            if (!c.children.empty()) {
+                auto dim = evalConst(c.children[0], env);
+                elems *= dim.value_or(model_.defaultContainerTrips);
+            }
+        } else {
+            init = child;
+        }
+    }
+    if (is_array) {
+        // Static/stack arrays: zero-fill amortised by the loader.
+        cost += elems * 0.02;
+        env.erase(n.text);
+        return cost;
+    }
+    if (init == -1) {
+        env.erase(n.text);
+        return cost;
+    }
+    const AstNode& in = ast_.node(init);
+    if (in.kind == NodeKind::InitList) {
+        // Constructor-style init: vector<T> v(count, fill).
+        double count = 1.0;
+        if (!in.children.empty()) {
+            auto v = evalConst(in.children[0], env);
+            count = v.value_or(fallbackSize(env));
+        }
+        for (int arg : in.children)
+            cost += exprCost(arg, env);
+        if (is_vector)
+            cost += count * model_.allocPerElement;
+        else
+            cost += static_cast<double>(in.children.size()) * 0.5;
+        env.erase(n.text);
+        return cost;
+    }
+    cost += exprCost(init, env);
+    auto v = evalConst(init, env);
+    if (v)
+        env[n.text] = *v;
+    else
+        env.erase(n.text);
+    return cost;
+}
+
+double
+CostInterpreter::ifCost(int id, Env& env) const
+{
+    const AstNode& n = ast_.node(id);
+    if (n.children.empty())
+        return 0.0;
+    double cost = exprCost(n.children[0], env) + model_.branchOverhead;
+    Env then_env = env;
+    Env else_env = env;
+    double then_cost = n.children.size() > 1
+        ? stmtCost(n.children[1], then_env) : 0.0;
+    double else_cost = n.children.size() > 2
+        ? stmtCost(n.children[2], else_env) : 0.0;
+    cost += 0.5 * (then_cost + else_cost);
+    // Merge: keep only bindings on which both arms agree with the
+    // original environment.
+    for (auto it = env.begin(); it != env.end();) {
+        auto ta = then_env.find(it->first);
+        auto ea = else_env.find(it->first);
+        bool same = ta != then_env.end() && ea != else_env.end() &&
+            ta->second == it->second && ea->second == it->second;
+        if (same)
+            ++it;
+        else
+            it = env.erase(it);
+    }
+    return cost;
+}
+
+double
+CostInterpreter::forCost(int id, Env& env) const
+{
+    const AstNode& n = ast_.node(id);
+    if (n.children.size() != 4)
+        panic("forCost: malformed ForStmt");
+    int init = n.children[0];
+    int cond = n.children[1];
+    int inc = n.children[2];
+    int body = n.children[3];
+
+    double cost = stmtCost(init, env);
+
+    // Identify the loop variable from the init clause.
+    std::string loop_var;
+    const AstNode& in = ast_.node(init);
+    if (in.kind == NodeKind::DeclStmt && !in.children.empty()) {
+        loop_var = ast_.node(in.children.back()).text;
+    } else if (in.kind == NodeKind::ExprStmt && !in.children.empty()) {
+        const AstNode& e = ast_.node(in.children[0]);
+        if (e.kind == NodeKind::Assign && !e.children.empty() &&
+            ast_.node(e.children[0]).kind == NodeKind::VarRef)
+            loop_var = ast_.node(e.children[0]).text;
+    }
+
+    TripEstimate est;
+    est.trips = model_.defaultContainerTrips;
+    if (ast_.node(cond).kind != NodeKind::EmptyStmt) {
+        auto t = tripsFromComparison(cond, inc, env, loop_var, true);
+        if (t)
+            est = *t;
+    }
+
+    Env body_env = env;
+    if (!loop_var.empty()) {
+        if (est.midKnown)
+            body_env[loop_var] = est.midValue;
+        else
+            body_env.erase(loop_var);
+    }
+    double saved_mult = tripMultiplier_;
+    tripMultiplier_ *= std::max(est.trips, 1.0);
+    double per_iter = model_.loopOverhead;
+    if (ast_.node(cond).kind != NodeKind::EmptyStmt)
+        per_iter += exprCost(cond, body_env);
+    if (ast_.node(inc).kind != NodeKind::EmptyStmt)
+        per_iter += exprCost(inc, body_env);
+    per_iter += stmtCost(body, body_env);
+    tripMultiplier_ = saved_mult;
+    cost += est.trips * per_iter;
+
+    // Post-loop environment.
+    std::set<std::string> assigned;
+    collectAssigned(body, assigned);
+    collectAssigned(inc, assigned);
+    for (const auto& name : assigned)
+        env.erase(name);
+    if (!loop_var.empty()) {
+        if (est.boundKnown)
+            env[loop_var] = est.boundValue;
+        else
+            env.erase(loop_var);
+    }
+    return cost;
+}
+
+double
+CostInterpreter::whileCost(int id, Env& env, bool do_while) const
+{
+    const AstNode& n = ast_.node(id);
+    if (n.children.size() != 2)
+        panic("whileCost: malformed loop");
+    int cond = do_while ? n.children[1] : n.children[0];
+    int body = do_while ? n.children[0] : n.children[1];
+
+    TripEstimate est = whileTrips(cond, body, env);
+    double trips = std::max(est.trips, do_while ? 1.0 : 0.0);
+
+    Env body_env = env;
+    std::set<std::string> assigned;
+    collectAssigned(body, assigned);
+    for (const auto& name : assigned)
+        body_env.erase(name);
+
+    double saved_mult = tripMultiplier_;
+    tripMultiplier_ *= std::max(trips, 1.0);
+    double per_iter = exprCost(cond, body_env) +
+        stmtCost(body, body_env) + model_.loopOverhead;
+    tripMultiplier_ = saved_mult;
+    double cost = trips * per_iter;
+
+    for (const auto& name : assigned)
+        env.erase(name);
+    // The condition variable exits the loop at (about) its bound:
+    // covers "while (sz < n) sz *= 2" => sz ~= n, the sqrt counter
+    // "while (bs * bs < n) bs++" => bs ~= sqrt(n), and countdown
+    // loops => 0.
+    if (!est.var.empty() && est.boundKnown)
+        env[est.var] = est.boundValue;
+    return cost;
+}
+
+std::optional<CostInterpreter::TripEstimate>
+CostInterpreter::tripsFromComparison(int cond, int inc, const Env& env,
+                                     const std::string& loop_var,
+                                     bool is_for) const
+{
+    const AstNode& c = ast_.node(cond);
+    if (c.kind == NodeKind::LogicalAnd) {
+        // Prefer the conjunct that mentions the loop variable.
+        for (int child : c.children) {
+            if (!loop_var.empty() && mentionsVar(child, loop_var)) {
+                auto t = tripsFromComparison(child, inc, env,
+                                             loop_var, is_for);
+                if (t)
+                    return t;
+            }
+        }
+        for (int child : c.children) {
+            auto t = tripsFromComparison(child, inc, env, loop_var,
+                                         is_for);
+            if (t)
+                return t;
+        }
+        return std::nullopt;
+    }
+    if (!isComparison(c.kind) || c.children.size() != 2)
+        return std::nullopt;
+
+    int var_side = -1;
+    int bound_side = -1;
+    if (!loop_var.empty()) {
+        if (mentionsVar(c.children[0], loop_var)) {
+            var_side = c.children[0];
+            bound_side = c.children[1];
+        } else if (mentionsVar(c.children[1], loop_var)) {
+            var_side = c.children[1];
+            bound_side = c.children[0];
+        }
+    }
+    if (var_side == -1)
+        return std::nullopt;
+
+    auto bound = evalConst(bound_side, env);
+    if (!bound)
+        return std::nullopt;
+
+    TripEstimate est;
+    est.var = loop_var;
+    est.boundKnown = true;
+    est.boundValue = *bound;
+
+    // sqrt loop: i * i <= bound.
+    const AstNode& vs = ast_.node(var_side);
+    if (vs.kind == NodeKind::Mul && vs.children.size() == 2 &&
+        mentionsVar(vs.children[0], loop_var) &&
+        mentionsVar(vs.children[1], loop_var)) {
+        double root = std::sqrt(std::max(*bound, 0.0));
+        est.trips = std::max(root - 1.0, 0.0);
+        est.midValue = root / 2.0;
+        est.midKnown = true;
+        est.boundValue = root;
+        return est;
+    }
+
+    double start = 0.0;
+    auto sit = env.find(loop_var);
+    if (sit != env.end())
+        start = sit->second;
+
+    bool var_on_left = (var_side == c.children[0]);
+    NodeKind k = c.kind;
+    // Normalise to "var OP bound".
+    if (!var_on_left) {
+        if (k == NodeKind::Less) k = NodeKind::Greater;
+        else if (k == NodeKind::Greater) k = NodeKind::Less;
+        else if (k == NodeKind::LessEq) k = NodeKind::GreaterEq;
+        else if (k == NodeKind::GreaterEq) k = NodeKind::LessEq;
+    }
+
+    bool increasing = (k == NodeKind::Less || k == NodeKind::LessEq ||
+                       k == NodeKind::NotEqual);
+    double span = increasing ? *bound - start : start - *bound;
+    if (k == NodeKind::LessEq || k == NodeKind::GreaterEq)
+        span += 1.0;
+    span = std::max(span, 0.0);
+
+    // Step from the increment clause.
+    double step = 1.0;
+    bool geometric = false;
+    bool geometric_down = false;
+    if (is_for && inc >= 0 &&
+        ast_.node(inc).kind != NodeKind::EmptyStmt) {
+        const AstNode& ic = ast_.node(inc);
+        if (isIncDec(ic.kind)) {
+            step = 1.0;
+        } else if (ic.kind == NodeKind::AddAssign ||
+                   ic.kind == NodeKind::SubAssign) {
+            if (ic.children.size() == 2) {
+                auto sv = evalConst(ic.children[1], env);
+                step = std::max(sv.value_or(1.0), 1.0);
+            }
+        } else if (ic.kind == NodeKind::MulAssign) {
+            geometric = true;
+        } else if (ic.kind == NodeKind::DivAssign) {
+            geometric = true;
+            geometric_down = true;
+        } else if (ic.kind == NodeKind::Assign &&
+                   ic.children.size() == 2) {
+            const AstNode& rhs = ast_.node(ic.children[1]);
+            if ((rhs.kind == NodeKind::Add ||
+                 rhs.kind == NodeKind::Sub) &&
+                rhs.children.size() == 2) {
+                auto sv = evalConst(rhs.children[1], env);
+                step = std::max(sv.value_or(1.0), 1.0);
+            }
+        }
+    }
+
+    if (geometric) {
+        est.trips = geometric_down
+            ? log2Clamped(std::max(start, 2.0))
+            : log2Clamped(std::max(*bound, 2.0) /
+                          std::max(start, 1.0));
+        est.midKnown = false;
+        return est;
+    }
+
+    est.trips = span / step;
+    est.midValue = increasing ? start + span / 2.0
+                              : start - span / 2.0;
+    est.midKnown = true;
+    return est;
+}
+
+CostInterpreter::TripEstimate
+CostInterpreter::whileTrips(int cond, int body, const Env& env) const
+{
+    // Flatten conjunctions: the loop exits at the first failing
+    // condition, so the smallest sound estimate wins.
+    std::vector<int> conjuncts;
+    std::vector<int> stack{cond};
+    while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        const AstNode& n = ast_.node(cur);
+        if (n.kind == NodeKind::LogicalAnd) {
+            for (int child : n.children)
+                stack.push_back(child);
+        } else {
+            conjuncts.push_back(cur);
+        }
+    }
+
+    TripEstimate best;
+    bool have = false;
+    bool saw_known_bound = false;
+    double known_bound = 0.0;
+
+    for (int conj : conjuncts) {
+        const AstNode& n = ast_.node(conj);
+        // while (t--) / while (--t) pattern.
+        if (isIncDec(n.kind) && !n.children.empty() &&
+            ast_.node(n.children[0]).kind == NodeKind::VarRef) {
+            auto it = env.find(ast_.node(n.children[0]).text);
+            if (it != env.end()) {
+                TripEstimate e;
+                e.trips = std::max(it->second, 0.0);
+                e.var = ast_.node(n.children[0]).text;
+                if (!have || e.trips < best.trips) {
+                    best = e;
+                    have = true;
+                }
+            }
+            continue;
+        }
+        if (!isComparison(n.kind) || n.children.size() != 2)
+            continue;
+        // sqrt-counter: while (v * v < bound) v++  =>  sqrt(bound)
+        // trips and v ~= sqrt(bound) on exit.
+        for (int side = 0; side < 2; ++side) {
+            const AstNode& vs = ast_.node(n.children[side]);
+            if (vs.kind != NodeKind::Mul || vs.children.size() != 2)
+                continue;
+            const AstNode& l = ast_.node(vs.children[0]);
+            const AstNode& r = ast_.node(vs.children[1]);
+            if (l.kind != NodeKind::VarRef ||
+                r.kind != NodeKind::VarRef || l.text != r.text)
+                continue;
+            auto bound = evalConst(n.children[1 - side], env);
+            if (!bound || monotonicity(body, l.text) == 0)
+                continue;
+            TripEstimate e;
+            e.var = l.text;
+            double root = std::sqrt(std::max(*bound, 1.0));
+            // Counters that already start near the root (the common
+            // float-truncation fix-up idiom) run a handful of trips,
+            // not sqrt(bound).
+            double start = 0.0;
+            auto sv = env.find(l.text);
+            if (sv != env.end())
+                start = sv->second;
+            e.trips = std::max(root - start, 0.0);
+            e.boundKnown = true;
+            e.boundValue = root;
+            if (!have || e.trips < best.trips) {
+                best = e;
+                have = true;
+            }
+        }
+        // Identify a plain variable side.
+        for (int side = 0; side < 2; ++side) {
+            const AstNode& vs = ast_.node(n.children[side]);
+            if (vs.kind != NodeKind::VarRef)
+                continue;
+            const std::string& var = vs.text;
+            auto bound = evalConst(n.children[1 - side], env);
+            if (bound)
+                saw_known_bound = true,
+                known_bound = std::max(known_bound, *bound);
+
+            TripEstimate e;
+            e.var = var;
+            if (hasGeometricUpdate(body, var)) {
+                double ref = bound.value_or(0.0);
+                auto sv = env.find(var);
+                if (sv != env.end())
+                    ref = std::max(ref, sv->second);
+                if (ref < 2.0)
+                    ref = fallbackSize(env);
+                e.trips = log2Clamped(ref);
+                e.boundKnown = bound.has_value();
+                e.boundValue = bound.value_or(0.0);
+            } else {
+                int mono = monotonicity(body, var);
+                if (mono == 0 || !bound)
+                    continue;
+                double start = 0.0;
+                auto sv = env.find(var);
+                if (sv != env.end())
+                    start = sv->second;
+                double span = mono > 0 ? *bound - start
+                                       : start - *bound;
+                if (n.kind == NodeKind::LessEq ||
+                    n.kind == NodeKind::GreaterEq)
+                    span += 1.0;
+                e.trips = std::max(span, 0.0);
+                e.boundKnown = true;
+                e.boundValue = *bound;
+            }
+            if (!have || e.trips < best.trips) {
+                best = e;
+                have = true;
+            }
+        }
+    }
+
+    if (have)
+        return best;
+
+    TripEstimate fallback;
+    if (hasHalvingDivision(body)) {
+        // Binary-search shape: assignments driven by a midpoint
+        // division; logarithmic in the known bound (or in n).
+        double ref = saw_known_bound ? known_bound
+                                     : fallbackSize(env);
+        fallback.trips = log2Clamped(ref);
+    } else {
+        fallback.trips = model_.defaultContainerTrips;
+    }
+    return fallback;
+}
+
+double
+CostInterpreter::exprCost(int id, Env& env) const
+{
+    const AstNode& n = ast_.node(id);
+    switch (n.kind) {
+      case NodeKind::IntLiteral:
+      case NodeKind::DoubleLiteral:
+      case NodeKind::CharLiteral:
+      case NodeKind::StringLiteral:
+      case NodeKind::BoolLiteral:
+        return model_.literal;
+      case NodeKind::VarRef:
+        return model_.varRef;
+      case NodeKind::CallExpr:
+        return callCost(id, env);
+      case NodeKind::InitList: {
+        double cost = 0.0;
+        for (int child : n.children)
+            cost += exprCost(child, env);
+        return cost;
+      }
+      case NodeKind::CondExpr: {
+        if (n.children.size() != 3)
+            break;
+        return exprCost(n.children[0], env) +
+            model_.branchOverhead +
+            0.5 * (exprCost(n.children[1], env) +
+                   exprCost(n.children[2], env));
+      }
+      case NodeKind::Assign: {
+        if (n.children.size() != 2)
+            break;
+        double cost = exprCost(n.children[0], env) +
+            exprCost(n.children[1], env) + model_.assign;
+        const AstNode& lhs = ast_.node(n.children[0]);
+        if (lhs.kind == NodeKind::VarRef) {
+            auto v = evalConst(n.children[1], env);
+            if (v)
+                env[lhs.text] = *v;
+            else
+                env.erase(lhs.text);
+        }
+        return cost;
+      }
+      case NodeKind::AddAssign:
+      case NodeKind::SubAssign:
+      case NodeKind::MulAssign:
+      case NodeKind::DivAssign:
+      case NodeKind::ModAssign: {
+        if (n.children.size() != 2)
+            break;
+        double cost = exprCost(n.children[0], env) +
+            exprCost(n.children[1], env) +
+            model_.operatorCost(n.kind);
+        const AstNode& lhs = ast_.node(n.children[0]);
+        if (lhs.kind == NodeKind::VarRef) {
+            auto cur = env.find(lhs.text);
+            auto v = evalConst(n.children[1], env);
+            if (cur != env.end() && v) {
+                switch (n.kind) {
+                  case NodeKind::AddAssign:
+                    cur->second += *v;
+                    break;
+                  case NodeKind::SubAssign:
+                    cur->second -= *v;
+                    break;
+                  case NodeKind::MulAssign:
+                    cur->second *= *v;
+                    break;
+                  case NodeKind::DivAssign:
+                    if (*v != 0.0)
+                        cur->second /= *v;
+                    else
+                        env.erase(lhs.text);
+                    break;
+                  default:
+                    env.erase(lhs.text);
+                }
+            } else {
+                env.erase(lhs.text);
+            }
+        }
+        return cost;
+      }
+      case NodeKind::PreInc:
+      case NodeKind::PostInc:
+      case NodeKind::PreDec:
+      case NodeKind::PostDec: {
+        double cost = model_.incDec;
+        if (!n.children.empty()) {
+            cost += exprCost(n.children[0], env);
+            const AstNode& c = ast_.node(n.children[0]);
+            if (c.kind == NodeKind::VarRef) {
+                auto it = env.find(c.text);
+                if (it != env.end()) {
+                    bool inc = n.kind == NodeKind::PreInc ||
+                        n.kind == NodeKind::PostInc;
+                    it->second += inc ? 1.0 : -1.0;
+                }
+            }
+        }
+        return cost;
+      }
+      case NodeKind::ShiftRight: {
+        if (n.children.size() != 2)
+            break;
+        double cost = exprCost(n.children[0], env) +
+            exprCost(n.children[1], env);
+        if (mentionsVar(n.children[0], "cin")) {
+            // Stream extraction: reading an input-size variable binds
+            // it to its preset; any other target becomes unknown.
+            cost += model_.ioRead;
+            const AstNode& rhs = ast_.node(n.children[1]);
+            if (rhs.kind == NodeKind::VarRef) {
+                auto pit = presets_.find(rhs.text);
+                if (pit != presets_.end())
+                    env[rhs.text] = pit->second;
+                else
+                    env.erase(rhs.text);
+            }
+        } else {
+            cost += model_.shift;
+        }
+        return cost;
+      }
+      case NodeKind::ShiftLeft: {
+        if (n.children.size() != 2)
+            break;
+        double cost = exprCost(n.children[0], env) +
+            exprCost(n.children[1], env);
+        if (mentionsVar(n.children[0], "cout")) {
+            cost += model_.ioWrite;
+            const AstNode& rhs = ast_.node(n.children[1]);
+            if (rhs.kind == NodeKind::VarRef && rhs.text == "endl")
+                cost += model_.ioFlush;
+        } else {
+            cost += model_.shift;
+        }
+        return cost;
+      }
+      default:
+        break;
+    }
+    // Generic operator / remaining expression kinds.
+    double cost = 0.0;
+    for (int child : n.children)
+        cost += exprCost(child, env);
+    double op = model_.operatorCost(n.kind);
+    cost += op >= 0.0 ? op : 0.5;
+    return cost;
+}
+
+double
+CostInterpreter::sortSize(const std::vector<int>& args,
+                          const Env& env) const
+{
+    for (std::size_t i = args.size(); i-- > 1;) {
+        const AstNode& a = ast_.node(args[i]);
+        auto v = evalConst(args[i], env);
+        if (v)
+            return std::max(*v, 1.0);
+        if (a.kind == NodeKind::Add && a.children.size() == 2) {
+            auto r = evalConst(a.children[1], env);
+            if (r)
+                return std::max(*r, 1.0);
+            auto l = evalConst(a.children[0], env);
+            if (l)
+                return std::max(*l, 1.0);
+        }
+    }
+    return fallbackSize(env);
+}
+
+double
+CostInterpreter::callCost(int id, Env& env) const
+{
+    const AstNode& n = ast_.node(id);
+    if (n.children.empty())
+        return model_.callOverhead;
+    int callee = n.children[0];
+    std::vector<int> args(n.children.begin() + 1, n.children.end());
+
+    double cost = 0.0;
+    for (int arg : args)
+        cost += exprCost(arg, env);
+
+    const AstNode& cal = ast_.node(callee);
+    if (cal.kind == NodeKind::MemberExpr) {
+        // Container method: cost of the object expression + method.
+        for (int child : cal.children)
+            cost += exprCost(child, env);
+        bool found = false;
+        double c = model_.builtinCost(cal.text, found);
+        cost += found ? c : model_.callOverhead;
+        return cost;
+    }
+    if (cal.kind != NodeKind::VarRef)
+        return cost + model_.callOverhead;
+
+    const std::string& name = cal.text;
+    if (name == "sort" || name == "stable_sort") {
+        double s = sortSize(args, env);
+        return cost + model_.sortFactor * s * log2Clamped(s);
+    }
+    if (name == "reverse")
+        return cost + sortSize(args, env) * 1.0;
+    if (name == "lower_bound" || name == "upper_bound" ||
+        name == "binary_search")
+        return cost + 3.0 * log2Clamped(sortSize(args, env));
+    if (name == "memset" || name == "fill")
+        return cost + fallbackSize(env) * 0.3;
+
+    bool found = false;
+    double builtin = model_.builtinCost(name, found);
+    if (found)
+        return cost + builtin;
+
+    auto fit = functions_.find(name);
+    if (fit == functions_.end())
+        return cost + model_.callOverhead;
+    int fn_id = fit->second;
+
+    // Bind parameters (Param text is "type|name").
+    Env callee_env = env;
+    const AstNode& fn = ast_.node(fn_id);
+    if (!fn.children.empty() &&
+        ast_.node(fn.children[0]).kind == NodeKind::ParamList) {
+        const AstNode& plist = ast_.node(fn.children[0]);
+        for (std::size_t i = 0; i < plist.children.size(); ++i) {
+            const AstNode& p = ast_.node(plist.children[i]);
+            auto bar = p.text.find('|');
+            std::string ptype = bar == std::string::npos
+                ? "" : p.text.substr(0, bar);
+            std::string pname = bar == std::string::npos
+                ? p.text : p.text.substr(bar + 1);
+            if (i < args.size()) {
+                auto v = evalConst(args[i], env);
+                if (v)
+                    callee_env[pname] = *v;
+                else
+                    callee_env.erase(pname);
+            }
+            // Pass-by-value containers copy their payload.
+            bool by_ref = !ptype.empty() && ptype.back() == '&';
+            if (!by_ref) {
+                if (ptype.find("vector") != std::string::npos)
+                    cost += model_.copyPerElement *
+                        fallbackSize(env);
+                else if (ptype.find("string") != std::string::npos)
+                    cost += 16.0;
+            }
+        }
+    }
+
+    // Recursion.
+    bool on_stack = std::find(callStack_.begin(), callStack_.end(),
+                              name) != callStack_.end();
+    if (on_stack)
+        return cost + model_.recursionOverhead;
+
+    bool recursive = false;
+    for (int call_site : ast_.nodesOfKind(NodeKind::CallExpr)) {
+        // Self-call inside the function body?
+        const AstNode& cs = ast_.node(call_site);
+        if (cs.children.empty())
+            continue;
+        const AstNode& cc = ast_.node(cs.children[0]);
+        if (cc.kind != NodeKind::VarRef || cc.text != name)
+            continue;
+        int up = cs.parent;
+        while (up != -1 && up != fn_id)
+            up = ast_.node(up).parent;
+        if (up == fn_id) {
+            recursive = true;
+            // Halving recursion (gcd-style): any self-call argument
+            // built from division / modulo / shifts.
+            break;
+        }
+    }
+
+    if (!recursive) {
+        callStack_.push_back(name);
+        double body = functionBodyCost(fn_id, callee_env);
+        callStack_.pop_back();
+        return cost + model_.callOverhead + body;
+    }
+
+    // Classify the recursion: argument-shrinking (logarithmic depth,
+    // gcd / divide-by-two) vs traversal (visits ~n nodes overall).
+    bool halving = false;
+    for (int call_site : ast_.nodesOfKind(NodeKind::CallExpr)) {
+        const AstNode& cs = ast_.node(call_site);
+        if (cs.children.empty())
+            continue;
+        const AstNode& cc = ast_.node(cs.children[0]);
+        if (cc.kind != NodeKind::VarRef || cc.text != name)
+            continue;
+        int up = cs.parent;
+        while (up != -1 && up != fn_id)
+            up = ast_.node(up).parent;
+        if (up != fn_id)
+            continue;
+        for (std::size_t a = 1; a < cs.children.size(); ++a) {
+            std::vector<int> stack{cs.children[a]};
+            while (!stack.empty()) {
+                int cur = stack.back();
+                stack.pop_back();
+                NodeKind k = ast_.node(cur).kind;
+                if (k == NodeKind::Div || k == NodeKind::Mod ||
+                    k == NodeKind::ShiftRight)
+                    halving = true;
+                for (int ch : ast_.node(cur).children)
+                    stack.push_back(ch);
+            }
+        }
+    }
+
+    callStack_.push_back(name);
+    double body = functionBodyCost(fn_id, callee_env);
+    callStack_.pop_back();
+
+    if (halving) {
+        // Charged at every call: depth is logarithmic and cheap.
+        double depth = log2Clamped(fallbackSize(env));
+        return cost + depth * (body + model_.recursionOverhead);
+    }
+    // Traversal recursion: visited/memo semantics make the whole
+    // traversal linear; charge the full walk only once per program.
+    // Dividing by the enclosing-loop multiplier amortises the charge
+    // when the first call site sits inside a loop (the loop's trip
+    // multiplication restores exactly one full walk).
+    if (chargedRecursion_.count(name))
+        return cost + model_.callOverhead + 2.0;
+    chargedRecursion_.insert(name);
+    double breadth = std::max(fallbackSize(env), 1.0);
+    double walk = breadth *
+        (body + model_.recursionOverhead + model_.callOverhead);
+    return cost + walk / std::max(tripMultiplier_, 1.0);
+}
+
+std::optional<double>
+CostInterpreter::evalConst(int id, const Env& env) const
+{
+    const AstNode& n = ast_.node(id);
+    switch (n.kind) {
+      case NodeKind::IntLiteral:
+      case NodeKind::DoubleLiteral:
+        try {
+            return std::stod(n.text);
+        } catch (...) {
+            return std::nullopt;
+        }
+      case NodeKind::CharLiteral:
+        return n.text.empty()
+            ? std::nullopt
+            : std::optional<double>(
+                  static_cast<double>(n.text[0]));
+      case NodeKind::BoolLiteral:
+        return n.text == "true" ? 1.0 : 0.0;
+      case NodeKind::VarRef: {
+        auto it = env.find(n.text);
+        if (it == env.end())
+            return std::nullopt;
+        return it->second;
+      }
+      case NodeKind::Negate: {
+        auto v = evalConst(n.children[0], env);
+        if (!v)
+            return std::nullopt;
+        return -*v;
+      }
+      case NodeKind::Add:
+      case NodeKind::Sub:
+      case NodeKind::Mul:
+      case NodeKind::Div:
+      case NodeKind::Mod:
+      case NodeKind::ShiftLeft:
+      case NodeKind::ShiftRight: {
+        if (n.children.size() != 2)
+            return std::nullopt;
+        auto a = evalConst(n.children[0], env);
+        auto b = evalConst(n.children[1], env);
+        if (!a || !b)
+            return std::nullopt;
+        switch (n.kind) {
+          case NodeKind::Add: return *a + *b;
+          case NodeKind::Sub: return *a - *b;
+          case NodeKind::Mul: return *a * *b;
+          case NodeKind::Div:
+            if (*b == 0.0)
+                return std::nullopt;
+            return std::floor(*a / *b);
+          case NodeKind::Mod:
+            if (*b == 0.0)
+                return std::nullopt;
+            return std::fmod(*a, *b);
+          case NodeKind::ShiftLeft:
+            return *a * std::pow(2.0, *b);
+          case NodeKind::ShiftRight:
+            return std::floor(*a / std::pow(2.0, *b));
+          default: return std::nullopt;
+        }
+      }
+      case NodeKind::CallExpr: {
+        if (n.children.empty())
+            return std::nullopt;
+        const AstNode& cal = ast_.node(n.children[0]);
+        if (cal.kind != NodeKind::VarRef)
+            return std::nullopt;
+        std::vector<double> vals;
+        for (std::size_t i = 1; i < n.children.size(); ++i) {
+            auto v = evalConst(n.children[i], env);
+            if (!v)
+                return std::nullopt;
+            vals.push_back(*v);
+        }
+        if (cal.text == "sqrt" && vals.size() == 1)
+            return std::sqrt(std::max(vals[0], 0.0));
+        if (cal.text == "abs" || cal.text == "fabs" ||
+            cal.text == "llabs") {
+            if (vals.size() == 1)
+                return std::fabs(vals[0]);
+        }
+        if (cal.text == "min" && vals.size() == 2)
+            return std::min(vals[0], vals[1]);
+        if (cal.text == "max" && vals.size() == 2)
+            return std::max(vals[0], vals[1]);
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+bool
+CostInterpreter::mentionsVar(int id, const std::string& name) const
+{
+    std::vector<int> stack{id};
+    while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        const AstNode& n = ast_.node(cur);
+        if (n.kind == NodeKind::VarRef && n.text == name)
+            return true;
+        for (int child : n.children)
+            stack.push_back(child);
+    }
+    return false;
+}
+
+void
+CostInterpreter::collectAssigned(int id, std::set<std::string>& out)
+    const
+{
+    std::vector<int> stack{id};
+    while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        const AstNode& n = ast_.node(cur);
+        bool writes = n.kind == NodeKind::Assign ||
+            isCompoundAssign(n.kind) || isIncDec(n.kind);
+        if (writes && !n.children.empty()) {
+            const AstNode& lhs = ast_.node(n.children[0]);
+            if (lhs.kind == NodeKind::VarRef)
+                out.insert(lhs.text);
+        }
+        if (n.kind == NodeKind::VarDecl)
+            out.insert(n.text);
+        // cin >> v also writes v.
+        if (n.kind == NodeKind::ShiftRight &&
+            n.children.size() == 2 &&
+            mentionsVar(n.children[0], "cin")) {
+            const AstNode& rhs = ast_.node(n.children[1]);
+            if (rhs.kind == NodeKind::VarRef)
+                out.insert(rhs.text);
+        }
+        for (int child : n.children)
+            stack.push_back(child);
+    }
+}
+
+int
+CostInterpreter::monotonicity(int body, const std::string& var) const
+{
+    int incs = 0, decs = 0, others = 0;
+    std::vector<int> stack{body};
+    while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        const AstNode& n = ast_.node(cur);
+        if (!n.children.empty()) {
+            const AstNode& lhs = ast_.node(n.children[0]);
+            bool targets = lhs.kind == NodeKind::VarRef &&
+                lhs.text == var;
+            if (targets) {
+                if (n.kind == NodeKind::PreInc ||
+                    n.kind == NodeKind::PostInc ||
+                    n.kind == NodeKind::AddAssign)
+                    ++incs;
+                else if (n.kind == NodeKind::PreDec ||
+                         n.kind == NodeKind::PostDec ||
+                         n.kind == NodeKind::SubAssign)
+                    ++decs;
+                else if (n.kind == NodeKind::Assign ||
+                         isCompoundAssign(n.kind))
+                    ++others;
+            }
+        }
+        for (int child : n.children)
+            stack.push_back(child);
+    }
+    if (others > 0 || (incs > 0 && decs > 0))
+        return 0;
+    if (incs > 0)
+        return 1;
+    if (decs > 0)
+        return -1;
+    return 0;
+}
+
+bool
+CostInterpreter::hasGeometricUpdate(int body, const std::string& var)
+    const
+{
+    std::vector<int> stack{body};
+    while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        const AstNode& n = ast_.node(cur);
+        if ((n.kind == NodeKind::MulAssign ||
+             n.kind == NodeKind::DivAssign) &&
+            !n.children.empty()) {
+            const AstNode& lhs = ast_.node(n.children[0]);
+            if (lhs.kind == NodeKind::VarRef && lhs.text == var)
+                return true;
+        }
+        if (n.kind == NodeKind::Assign && n.children.size() == 2) {
+            const AstNode& lhs = ast_.node(n.children[0]);
+            const AstNode& rhs = ast_.node(n.children[1]);
+            if (lhs.kind == NodeKind::VarRef && lhs.text == var &&
+                (rhs.kind == NodeKind::Div ||
+                 rhs.kind == NodeKind::Mul ||
+                 rhs.kind == NodeKind::ShiftRight) &&
+                mentionsVar(n.children[1], var))
+                return true;
+        }
+        for (int child : n.children)
+            stack.push_back(child);
+    }
+    return false;
+}
+
+bool
+CostInterpreter::hasHalvingDivision(int id) const
+{
+    std::vector<int> stack{id};
+    while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        const AstNode& n = ast_.node(cur);
+        if (n.kind == NodeKind::Div && n.children.size() == 2) {
+            const AstNode& d = ast_.node(n.children[1]);
+            if (d.kind == NodeKind::IntLiteral && d.text == "2")
+                return true;
+        }
+        for (int child : n.children)
+            stack.push_back(child);
+    }
+    return false;
+}
+
+double
+CostInterpreter::fallbackSize(const Env& env) const
+{
+    auto it = env.find("n");
+    if (it != env.end() && it->second > 0.0)
+        return it->second;
+    return 64.0;
+}
+
+} // namespace ccsa

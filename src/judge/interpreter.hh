@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Abstract cost interpreter: the analysis engine of the simulated
+ * judge. It walks a MiniCxx AST and estimates the number of abstract
+ * operation units the program executes for a given input size, by
+ *
+ *  - propagating constants through declarations and assignments
+ *    (seeded with the input-size variables n/m/q/t/x),
+ *  - estimating loop trip counts symbolically: counting loops from
+ *    (start, bound, step), sqrt loops from i*i<=x conditions,
+ *    logarithmic loops from halving/doubling updates, and a fixed
+ *    average-degree default for opaque container iteration,
+ *  - charging per-construct costs from the CostModel (I/O, division,
+ *    sorting, allocation, function calls, ...),
+ *  - handling user functions including recursion: a recursive callee
+ *    is charged breadth x body once per program (visited/memo
+ *    semantics), with breadth = n for traversal-style recursion and
+ *    log2(n) for argument-halving recursion.
+ *
+ * The result is a deterministic map from code structure to work,
+ * which is exactly the property the paper's comparative formulation
+ * relies on ("factors that impact applications outside of code
+ * structure get nullified", SI).
+ */
+
+#ifndef CCSA_JUDGE_INTERPRETER_HH
+#define CCSA_JUDGE_INTERPRETER_HH
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hh"
+#include "judge/cost_model.hh"
+
+namespace ccsa
+{
+
+/** Estimates abstract execution cost of a MiniCxx program. */
+class CostInterpreter
+{
+  public:
+    /**
+     * @param ast a full translation unit (must define main()).
+     * @param model cost constants.
+     */
+    explicit CostInterpreter(const Ast& ast, CostModel model = {});
+
+    /**
+     * Interpret the program.
+     * @param presets initial variable bindings (input sizes).
+     * @return estimated cost in abstract units (clamped to maxCost).
+     */
+    double programCost(const std::map<std::string, double>& presets)
+        const;
+
+    /** Upper clamp applied to the returned cost. */
+    static constexpr double maxCost = 1e15;
+
+  private:
+    using Env = std::map<std::string, double>;
+
+    double stmtCost(int id, Env& env) const;
+    double exprCost(int id, Env& env) const;
+    double declCost(int id, Env& env) const;
+    double forCost(int id, Env& env) const;
+    double whileCost(int id, Env& env, bool do_while) const;
+    double ifCost(int id, Env& env) const;
+    double callCost(int id, Env& env) const;
+    double functionBodyCost(int fn_id, Env& env) const;
+
+    /** Constant-fold an expression under the environment. */
+    std::optional<double> evalConst(int id, const Env& env) const;
+
+    /** Estimate the element count passed to a sort-like call. */
+    double sortSize(const std::vector<int>& args, const Env& env) const;
+
+    /** @return true if the subtree contains a VarRef to name. */
+    bool mentionsVar(int id, const std::string& name) const;
+
+    /** Collect names of variables assigned anywhere in a subtree. */
+    void collectAssigned(int id, std::set<std::string>& out) const;
+
+    /** -1 = only decremented, +1 = only incremented, 0 = mixed/none. */
+    int monotonicity(int body, const std::string& var) const;
+
+    /** @return true if the body halves/doubles var (log-style loop). */
+    bool hasGeometricUpdate(int body, const std::string& var) const;
+
+    /** @return true if the subtree has a division by literal 2. */
+    bool hasHalvingDivision(int id) const;
+
+    struct TripEstimate
+    {
+        double trips = 0.0;
+        std::string var;
+        double midValue = 0.0;
+        bool midKnown = false;
+        double boundValue = 0.0;
+        bool boundKnown = false;
+    };
+
+    /** Trip estimate for a comparison-style condition. */
+    std::optional<TripEstimate>
+    tripsFromComparison(int cond, int body_or_inc, const Env& env,
+                        const std::string& loop_var, bool is_for) const;
+
+    /** Trip estimate for a while condition (handles &&). */
+    TripEstimate whileTrips(int cond, int body, const Env& env) const;
+
+    double fallbackSize(const Env& env) const;
+
+    const Ast& ast_;
+    CostModel model_;
+    std::map<std::string, int> functions_;
+    /** Input-size presets of the current interpretation. */
+    mutable Env presets_;
+    /**
+     * Product of the trip counts of all enclosing loops while a loop
+     * body is being interpreted. Traversal-style recursion charges
+     * its full walk divided by this multiplier, so that the loop
+     * multiplication re-amortises it back to one walk per program
+     * (visited/memo semantics).
+     */
+    mutable double tripMultiplier_ = 1.0;
+    mutable std::vector<std::string> callStack_;
+    /** Recursive functions already charged their full traversal. */
+    mutable std::set<std::string> chargedRecursion_;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_JUDGE_INTERPRETER_HH

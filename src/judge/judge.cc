@@ -1,0 +1,81 @@
+#include "judge/judge.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+std::vector<double>
+JudgeConfig::ladder(double max_size, int tests)
+{
+    if (tests < 1 || max_size < 1.0)
+        fatal("JudgeConfig::ladder: invalid parameters");
+    std::vector<double> sizes;
+    double lo = std::max(max_size / 16.0, 1.0);
+    for (int i = 0; i < tests; ++i) {
+        double f = tests == 1
+            ? 1.0 : static_cast<double>(i) / (tests - 1);
+        sizes.push_back(lo * std::pow(max_size / lo, f));
+    }
+    return sizes;
+}
+
+SimulatedJudge::SimulatedJudge(JudgeConfig cfg, CostModel model)
+    : cfg_(std::move(cfg)), model_(model)
+{
+    if (cfg_.testSizes.empty())
+        fatal("SimulatedJudge: no test cases configured");
+}
+
+std::map<std::string, double>
+SimulatedJudge::presetsFor(double size) const
+{
+    std::map<std::string, double> env;
+    for (const auto& [name, factor] : cfg_.sizeVars)
+        env[name] = std::max(factor * size, 1.0);
+    for (const auto& [name, value] : cfg_.absoluteVars)
+        env[name] = value;
+    return env;
+}
+
+double
+SimulatedJudge::run(const Ast& ast, Rng& rng) const
+{
+    CostInterpreter interp(ast, model_);
+    double total = 0.0;
+    for (double size : cfg_.testSizes) {
+        double units = interp.programCost(presetsFor(size));
+        double ms = units * cfg_.msPerMegaUnit * 1e-6;
+        if (cfg_.noiseSigma > 0.0)
+            ms *= rng.logNormal(0.0, cfg_.noiseSigma);
+        total += ms;
+    }
+    double mean = total / static_cast<double>(cfg_.testSizes.size());
+    double base = cfg_.baseMs;
+    if (cfg_.noiseSigma > 0.0)
+        base *= rng.logNormal(0.0, cfg_.noiseSigma);
+    return mean + base;
+}
+
+double
+SimulatedJudge::staticCost(const Ast& ast, double size) const
+{
+    CostInterpreter interp(ast, model_);
+    return interp.programCost(presetsFor(size));
+}
+
+double
+SimulatedJudge::deterministicMs(const Ast& ast) const
+{
+    CostInterpreter interp(ast, model_);
+    double total = 0.0;
+    for (double size : cfg_.testSizes)
+        total += interp.programCost(presetsFor(size)) *
+            cfg_.msPerMegaUnit * 1e-6;
+    return total / static_cast<double>(cfg_.testSizes.size()) +
+        cfg_.baseMs;
+}
+
+} // namespace ccsa

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The simulated online judge: substitutes Codeforces' measurement
+ * infrastructure (paper §II-A). A program is "executed" on several
+ * test cases of varying input size by the CostInterpreter; each test
+ * contributes cost x time-scale x log-normal measurement noise, and
+ * the reported runtime is the mean over tests plus a fixed startup
+ * cost — matching the paper's averaging of per-test runtimes.
+ */
+
+#ifndef CCSA_JUDGE_JUDGE_HH
+#define CCSA_JUDGE_JUDGE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hh"
+#include "base/rng.hh"
+#include "judge/interpreter.hh"
+
+namespace ccsa
+{
+
+/** Calibration of one problem's judging environment. */
+struct JudgeConfig
+{
+    /** Per-test input sizes (5-13 tests, like Codeforces). */
+    std::vector<double> testSizes;
+    /**
+     * Multipliers applied to the test size to preset size variables:
+     * env[name] = factor * size. Defaults cover n/m/q/t.
+     */
+    std::map<std::string, double> sizeVars = {
+        {"n", 1.0}, {"m", 1.0}, {"q", 1.0}, {"t", 1.0}};
+    /** Absolute presets independent of test size (e.g. magnitude x). */
+    std::map<std::string, double> absoluteVars;
+    /** Milliseconds per million abstract cost units. */
+    double msPerMegaUnit = 4.0;
+    /** Fixed process startup / teardown cost in ms. */
+    double baseMs = 1.5;
+    /** Log-normal measurement noise sigma (0 disables noise). */
+    double noiseSigma = 0.08;
+
+    /**
+     * Build a test ladder: sizes geometrically spread in
+     * [max_size/16, max_size].
+     */
+    static std::vector<double> ladder(double max_size, int tests);
+};
+
+/** Judges MiniCxx programs: structure in, milliseconds out. */
+class SimulatedJudge
+{
+  public:
+    explicit SimulatedJudge(JudgeConfig cfg, CostModel model = {});
+
+    /**
+     * Run the program over all test cases.
+     * @param ast full translation unit (needs main()).
+     * @param rng noise source.
+     * @return mean runtime in milliseconds.
+     */
+    double run(const Ast& ast, Rng& rng) const;
+
+    /** Noise-free cost (units) at one input size. */
+    double staticCost(const Ast& ast, double size) const;
+
+    /** Noise-free runtime in ms (mean over the test ladder). */
+    double deterministicMs(const Ast& ast) const;
+
+    const JudgeConfig& config() const { return cfg_; }
+
+  private:
+    std::map<std::string, double> presetsFor(double size) const;
+
+    JudgeConfig cfg_;
+    CostModel model_;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_JUDGE_JUDGE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Configuration types for the comparative predictor: encoder family
+ * and sizes (paper §V: tree-LSTM with 100 hidden units and lambda=120
+ * embeddings; we default to laptop-scale 48/32 — every experiment
+ * honours CCSA_SCALE to grow them) and the training loop knobs.
+ */
+
+#ifndef CCSA_MODEL_CONFIG_HH
+#define CCSA_MODEL_CONFIG_HH
+
+#include <cstdint>
+
+#include "nn/tree_lstm.hh"
+
+namespace ccsa
+{
+
+/** Which deep representation learner encodes the AST (paper §V-B). */
+enum class EncoderKind
+{
+    TreeLstm, ///< proposed approach (§III-B)
+    Gcn,      ///< graph-convolution baseline
+    TokenLstm,///< sequential-LSTM related-work baseline (§VIII)
+};
+
+/** @return printable encoder name. */
+const char* encoderKindName(EncoderKind kind);
+
+/** Encoder hyper-parameters. */
+struct EncoderConfig
+{
+    EncoderKind kind = EncoderKind::TreeLstm;
+    /** Node-embedding dimension lambda. */
+    int embedDim = 32;
+    /** Hidden state size per direction / GCN width. */
+    int hiddenDim = 48;
+    /** Stacked layer count. */
+    int layers = 1;
+    /** Multi-layer wiring (tree-LSTM only). */
+    nn::TreeArch arch = nn::TreeArch::Uni;
+};
+
+/** Training-loop hyper-parameters. */
+struct TrainConfig
+{
+    int epochs = 6;
+    float learningRate = 3e-3f;
+    int batchPairs = 32;
+    float gradClip = 5.0f;
+    std::uint64_t seed = 1;
+    /** Emit one inform() line per epoch. */
+    bool verbose = false;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_MODEL_CONFIG_HH

@@ -1,0 +1,122 @@
+#include "model/encoder.hh"
+
+#include "base/logging.hh"
+#include "graph/adjacency.hh"
+
+namespace ccsa
+{
+
+const char*
+encoderKindName(EncoderKind kind)
+{
+    switch (kind) {
+      case EncoderKind::TreeLstm: return "tree-LSTM";
+      case EncoderKind::Gcn: return "GCN";
+      case EncoderKind::TokenLstm: return "token-LSTM";
+    }
+    return "unknown";
+}
+
+TreeLstmEncoder::TreeLstmEncoder(const EncoderConfig& cfg, Rng& rng)
+    : embed_(kNumNodeKinds, cfg.embedDim, rng),
+      lstm_(cfg.embedDim, cfg.hiddenDim, cfg.layers, cfg.arch, rng)
+{
+}
+
+std::vector<ag::Var>
+TreeLstmEncoder::encodeNodes(const Ast& ast) const
+{
+    nn::TreeSpec spec = nn::TreeSpec::fromParents(ast.parents());
+    std::vector<int> kinds = ast.kindIds();
+    std::vector<ag::Var> inputs;
+    inputs.reserve(kinds.size());
+    for (int k : kinds)
+        inputs.push_back(embed_.forward({k}));
+    return lstm_.encodeNodes(spec, inputs);
+}
+
+ag::Var
+TreeLstmEncoder::encode(const Ast& ast) const
+{
+    nn::TreeSpec spec = nn::TreeSpec::fromParents(ast.parents());
+    std::vector<int> kinds = ast.kindIds();
+    std::vector<ag::Var> inputs;
+    inputs.reserve(kinds.size());
+    for (int k : kinds)
+        inputs.push_back(embed_.forward({k}));
+    return lstm_.encodeRoot(spec, inputs);
+}
+
+std::vector<nn::Parameter*>
+TreeLstmEncoder::parameters()
+{
+    std::vector<nn::Parameter*> out = embed_.parameters();
+    auto ps = lstm_.parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+    return out;
+}
+
+GcnEncoder::GcnEncoder(const EncoderConfig& cfg, Rng& rng)
+    : embed_(kNumNodeKinds, cfg.embedDim, rng),
+      gcn_(cfg.embedDim, cfg.hiddenDim, cfg.layers, rng)
+{
+}
+
+ag::Var
+GcnEncoder::encode(const Ast& ast) const
+{
+    auto adj = buildNormalizedAdjacency(ast);
+    ag::Var x = embed_.forward(ast.kindIds());
+    return gcn_.readout(adj, x);
+}
+
+std::vector<nn::Parameter*>
+GcnEncoder::parameters()
+{
+    std::vector<nn::Parameter*> out = embed_.parameters();
+    auto ps = gcn_.parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+    return out;
+}
+
+TokenLstmEncoder::TokenLstmEncoder(const EncoderConfig& cfg, Rng& rng)
+    : embed_(kNumNodeKinds, cfg.embedDim, rng),
+      cell_(cfg.embedDim, cfg.hiddenDim, rng, "tokenlstm")
+{
+}
+
+ag::Var
+TokenLstmEncoder::encode(const Ast& ast) const
+{
+    std::vector<ag::Var> xs;
+    xs.reserve(static_cast<std::size_t>(ast.size()));
+    ast.visitPreorder([&](int id) {
+        xs.push_back(embed_.forward({kindId(ast.node(id).kind)}));
+    });
+    return cell_.runSequence(xs).h;
+}
+
+std::vector<nn::Parameter*>
+TokenLstmEncoder::parameters()
+{
+    std::vector<nn::Parameter*> out = embed_.parameters();
+    auto ps = cell_.parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+    return out;
+}
+
+std::unique_ptr<CodeEncoder>
+makeEncoder(const EncoderConfig& cfg, Rng& rng)
+{
+    switch (cfg.kind) {
+      case EncoderKind::TreeLstm:
+        return std::make_unique<TreeLstmEncoder>(cfg, rng);
+      case EncoderKind::Gcn:
+        return std::make_unique<GcnEncoder>(cfg, rng);
+      case EncoderKind::TokenLstm:
+        return std::make_unique<TokenLstmEncoder>(cfg, rng);
+    }
+    panic("makeEncoder: invalid encoder kind");
+}
+
+} // namespace ccsa

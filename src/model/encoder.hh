@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Code encoders: deep representation learners mapping an AST to a
+ * fixed-size latent vector z (paper §III-A, F : P -> Z). Three
+ * implementations: the proposed tree-LSTM, the GCN baseline the paper
+ * compares against, and a sequential token-LSTM representing the
+ * related-work approach of flattening code order.
+ */
+
+#ifndef CCSA_MODEL_ENCODER_HH
+#define CCSA_MODEL_ENCODER_HH
+
+#include <memory>
+
+#include "ast/ast.hh"
+#include "model/config.hh"
+#include "nn/embedding.hh"
+#include "nn/gcn.hh"
+#include "nn/lstm.hh"
+#include "nn/tree_lstm.hh"
+
+namespace ccsa
+{
+
+/** Maps ASTs to latent vectors; owns the node-embedding table. */
+class CodeEncoder : public nn::Module
+{
+  public:
+    /** Encode a pruned AST into a (1 x outputDim) latent vector. */
+    virtual ag::Var encode(const Ast& ast) const = 0;
+
+    /** @return dimensionality d of the latent space. */
+    virtual int outputDim() const = 0;
+
+    /** @return the node-kind embedding table (Fig. 7a analysis). */
+    virtual const nn::Embedding& embedding() const = 0;
+};
+
+/** Tree-LSTM encoder: root hidden state is the code representation. */
+class TreeLstmEncoder : public CodeEncoder
+{
+  public:
+    TreeLstmEncoder(const EncoderConfig& cfg, Rng& rng);
+
+    ag::Var encode(const Ast& ast) const override;
+    int outputDim() const override { return lstm_.outputDim(); }
+    const nn::Embedding& embedding() const override { return embed_; }
+    std::vector<nn::Parameter*> parameters() override;
+
+    /** Per-node hidden states (Fig. 7 / diagnostics). */
+    std::vector<ag::Var> encodeNodes(const Ast& ast) const;
+
+  private:
+    nn::Embedding embed_;
+    nn::TreeLstm lstm_;
+};
+
+/** GCN encoder with mean-pool readout (paper §V-B baseline). */
+class GcnEncoder : public CodeEncoder
+{
+  public:
+    GcnEncoder(const EncoderConfig& cfg, Rng& rng);
+
+    ag::Var encode(const Ast& ast) const override;
+    int outputDim() const override { return gcn_.outputDim(); }
+    const nn::Embedding& embedding() const override { return embed_; }
+    std::vector<nn::Parameter*> parameters() override;
+
+  private:
+    nn::Embedding embed_;
+    nn::GcnStack gcn_;
+};
+
+/**
+ * Sequential LSTM over the preorder kind sequence: the related-work
+ * style baseline (Cummins et al.) that discards tree structure.
+ */
+class TokenLstmEncoder : public CodeEncoder
+{
+  public:
+    TokenLstmEncoder(const EncoderConfig& cfg, Rng& rng);
+
+    ag::Var encode(const Ast& ast) const override;
+    int outputDim() const override { return cell_.hiddenDim(); }
+    const nn::Embedding& embedding() const override { return embed_; }
+    std::vector<nn::Parameter*> parameters() override;
+
+  private:
+    nn::Embedding embed_;
+    nn::LstmCell cell_;
+};
+
+/** Factory over EncoderConfig::kind. */
+std::unique_ptr<CodeEncoder> makeEncoder(const EncoderConfig& cfg,
+                                         Rng& rng);
+
+} // namespace ccsa
+
+#endif // CCSA_MODEL_ENCODER_HH

@@ -1,0 +1,88 @@
+#include "model/predictor.hh"
+
+#include <cmath>
+
+#include "frontend/parser.hh"
+#include "nn/serialize.hh"
+
+namespace ccsa
+{
+
+ComparativeClassifier::ComparativeClassifier(int latent_dim, Rng& rng)
+    : linear_(2 * latent_dim, 1, rng, "classifier")
+{
+}
+
+ag::Var
+ComparativeClassifier::logit(const ag::Var& z_first,
+                             const ag::Var& z_second) const
+{
+    return linear_.forward(ag::concatColsOp(z_first, z_second));
+}
+
+ComparativePredictor::ComparativePredictor(const EncoderConfig& cfg,
+                                           std::uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    encoder_ = makeEncoder(cfg_, rng_);
+    classifier_ = std::make_unique<ComparativeClassifier>(
+        encoder_->outputDim(), rng_);
+}
+
+ag::Var
+ComparativePredictor::encode(const Ast& ast) const
+{
+    return encoder_->encode(ast);
+}
+
+ag::Var
+ComparativePredictor::logitFromEncodings(const ag::Var& z_first,
+                                         const ag::Var& z_second) const
+{
+    return classifier_->logit(z_first, z_second);
+}
+
+double
+ComparativePredictor::probFirstSlower(const Ast& first,
+                                      const Ast& second) const
+{
+    ag::Var z = logitFromEncodings(encode(first), encode(second));
+    return 1.0 / (1.0 + std::exp(-z.value().at(0, 0)));
+}
+
+double
+ComparativePredictor::probFirstSlowerSource(
+    const std::string& first, const std::string& second) const
+{
+    return probFirstSlower(parseAndPrune(first), parseAndPrune(second));
+}
+
+int
+ComparativePredictor::predictLabel(const Ast& first,
+                                   const Ast& second) const
+{
+    return probFirstSlower(first, second) >= 0.5 ? 1 : 0;
+}
+
+void
+ComparativePredictor::save(const std::string& path)
+{
+    nn::saveParameters(path, parameters());
+}
+
+void
+ComparativePredictor::load(const std::string& path)
+{
+    nn::loadParameters(path, parameters());
+}
+
+std::vector<nn::Parameter*>
+ComparativePredictor::parameters()
+{
+    std::vector<nn::Parameter*> out = encoder_->parameters();
+    auto ps = classifier_->parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+    return out;
+}
+
+} // namespace ccsa

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The paper's end product: a comparative performance predictor. Two
+ * ASTs are encoded to latent vectors, concatenated, and classified by
+ * a single sigmoid layer (§IV-D: the classifier has 2*d inputs).
+ * Output semantics follow Eq. (1): the predicted probability is the
+ * likelihood that the FIRST program is slower-or-equal, i.e. that the
+ * second program is the better version.
+ */
+
+#ifndef CCSA_MODEL_PREDICTOR_HH
+#define CCSA_MODEL_PREDICTOR_HH
+
+#include <memory>
+#include <string>
+
+#include "model/encoder.hh"
+#include "nn/linear.hh"
+
+namespace ccsa
+{
+
+/** Tree-pair classifier: concat(z_i, z_j) -> sigmoid logit. */
+class ComparativeClassifier : public nn::Module
+{
+  public:
+    /** @param latent_dim d = encoder output size. */
+    ComparativeClassifier(int latent_dim, Rng& rng);
+
+    /** @return raw logit (1x1) for the concatenated pair. */
+    ag::Var logit(const ag::Var& z_first,
+                  const ag::Var& z_second) const;
+
+    std::vector<nn::Parameter*> parameters() override
+    {
+        return linear_.parameters();
+    }
+
+  private:
+    nn::Linear linear_;
+};
+
+/** Encoder + classifier; the deployable unit. */
+class ComparativePredictor : public nn::Module
+{
+  public:
+    ComparativePredictor(const EncoderConfig& cfg, std::uint64_t seed);
+
+    /** Encode one pruned AST. */
+    ag::Var encode(const Ast& ast) const;
+
+    /** Differentiable pair logit from precomputed encodings. */
+    ag::Var logitFromEncodings(const ag::Var& z_first,
+                               const ag::Var& z_second) const;
+
+    /**
+     * @return P(first is slower or equal) in [0,1]; values > 0.5 mean
+     * the second program is predicted to be the faster version.
+     */
+    double probFirstSlower(const Ast& first, const Ast& second) const;
+
+    /** Convenience overload parsing and pruning raw source text. */
+    double probFirstSlowerSource(const std::string& first,
+                                 const std::string& second) const;
+
+    /** Hard decision with the default 0.5 threshold (Eq. 1 label). */
+    int predictLabel(const Ast& first, const Ast& second) const;
+
+    /** Persist / restore all weights. */
+    void save(const std::string& path);
+    void load(const std::string& path);
+
+    const EncoderConfig& config() const { return cfg_; }
+    CodeEncoder& encoder() { return *encoder_; }
+    const CodeEncoder& encoder() const { return *encoder_; }
+
+    std::vector<nn::Parameter*> parameters() override;
+
+  private:
+    EncoderConfig cfg_;
+    Rng rng_;
+    std::unique_ptr<CodeEncoder> encoder_;
+    std::unique_ptr<ComparativeClassifier> classifier_;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_MODEL_PREDICTOR_HH

@@ -1,0 +1,95 @@
+#include "model/trainer.hh"
+
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "nn/optim.hh"
+
+namespace ccsa
+{
+
+Trainer::Trainer(ComparativePredictor& model, TrainConfig cfg)
+    : model_(model), cfg_(cfg)
+{
+    if (cfg_.epochs < 1 || cfg_.batchPairs < 1)
+        fatal("Trainer: epochs and batchPairs must be positive");
+}
+
+TrainStats
+Trainer::fit(const std::vector<Submission>& submissions,
+             const std::vector<CodePair>& pairs)
+{
+    if (pairs.empty())
+        fatal("Trainer::fit: no training pairs");
+
+    nn::Adam optim(model_.parameters(), cfg_.learningRate);
+    Rng rng(cfg_.seed, 0xBEEF);
+    std::vector<CodePair> order = pairs;
+
+    TrainStats stats;
+    for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        rng.shuffle(order);
+        double loss_sum = 0.0;
+        double correct = 0.0;
+        std::size_t batches = 0;
+
+        for (std::size_t start = 0; start < order.size();
+             start += static_cast<std::size_t>(cfg_.batchPairs)) {
+            std::size_t end = std::min(
+                order.size(),
+                start + static_cast<std::size_t>(cfg_.batchPairs));
+
+            // Encode each distinct submission once; reuse the Var.
+            std::unordered_map<int, ag::Var> encoded;
+            for (std::size_t p = start; p < end; ++p) {
+                for (int idx : {order[p].first, order[p].second}) {
+                    if (!encoded.count(idx))
+                        encoded.emplace(
+                            idx,
+                            model_.encode(submissions[idx].ast));
+                }
+            }
+
+            std::vector<ag::Var> losses;
+            losses.reserve(end - start);
+            for (std::size_t p = start; p < end; ++p) {
+                const CodePair& pair = order[p];
+                ag::Var logit = model_.logitFromEncodings(
+                    encoded.at(pair.first), encoded.at(pair.second));
+                Tensor target(1, 1, pair.label);
+                losses.push_back(ag::bceWithLogits(logit, target));
+                bool predicted =
+                    logit.value().at(0, 0) >= 0.0f;
+                if (predicted == (pair.label >= 0.5f))
+                    correct += 1.0;
+            }
+            ag::Var batch_loss = ag::scale(
+                ag::addN(losses),
+                1.0f / static_cast<float>(losses.size()));
+
+            optim.zeroGrad();
+            ag::backward(batch_loss);
+            if (cfg_.gradClip > 0.0f)
+                optim.clipGradNorm(cfg_.gradClip);
+            optim.step();
+
+            loss_sum += batch_loss.value().at(0, 0);
+            ++batches;
+        }
+
+        stats.epochLoss.push_back(loss_sum /
+                                  static_cast<double>(batches));
+        stats.epochAccuracy.push_back(
+            correct / static_cast<double>(order.size()));
+        if (cfg_.verbose) {
+            inform("epoch " + std::to_string(epoch + 1) + "/" +
+                   std::to_string(cfg_.epochs) + ": loss=" +
+                   std::to_string(stats.epochLoss.back()) +
+                   " train-acc=" +
+                   std::to_string(stats.epochAccuracy.back()));
+        }
+    }
+    return stats;
+}
+
+} // namespace ccsa

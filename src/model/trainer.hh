@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Mini-batch trainer for the comparative predictor: Adam on binary
+ * cross-entropy over code pairs (paper §IV-D). A batch of pairs
+ * references far fewer distinct submissions than 2x its size, so the
+ * trainer encodes each distinct tree once per batch and fans the
+ * resulting Var out across all pairs that use it — the autograd tape
+ * accumulates gradients through every use.
+ */
+
+#ifndef CCSA_MODEL_TRAINER_HH
+#define CCSA_MODEL_TRAINER_HH
+
+#include "dataset/pairs.hh"
+#include "model/predictor.hh"
+
+namespace ccsa
+{
+
+/** Per-epoch training telemetry. */
+struct TrainStats
+{
+    std::vector<double> epochLoss;
+    std::vector<double> epochAccuracy;
+
+    double finalLoss() const
+    {
+        return epochLoss.empty() ? 0.0 : epochLoss.back();
+    }
+
+    double finalAccuracy() const
+    {
+        return epochAccuracy.empty() ? 0.0 : epochAccuracy.back();
+    }
+};
+
+/** Fits a ComparativePredictor on labelled pairs. */
+class Trainer
+{
+  public:
+    Trainer(ComparativePredictor& model, TrainConfig cfg);
+
+    /**
+     * Run the configured number of epochs.
+     * @param submissions corpus backing the pair indices.
+     * @param pairs training pairs.
+     * @return loss / accuracy per epoch.
+     */
+    TrainStats fit(const std::vector<Submission>& submissions,
+                   const std::vector<CodePair>& pairs);
+
+  private:
+    ComparativePredictor& model_;
+    TrainConfig cfg_;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_MODEL_TRAINER_HH

@@ -1,0 +1,25 @@
+#include "nn/embedding.hh"
+
+#include "nn/init.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+Embedding::Embedding(int num_ids, int dim, Rng& rng)
+    : numIds_(num_ids), dim_(dim),
+      weight_("embedding.weight", uniformInit(num_ids, dim, 0.1f, rng))
+{
+    if (num_ids <= 0 || dim <= 0)
+        fatal("Embedding: dimensions must be positive");
+}
+
+ag::Var
+Embedding::forward(const std::vector<int>& ids) const
+{
+    return ag::gatherRows(weight_.var, ids);
+}
+
+} // namespace nn
+} // namespace ccsa

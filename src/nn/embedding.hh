@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Embedding lookup table (paper §IV-B). Each AST node kind receives a
+ * learned dense vector of dimension lambda; rows are tuned by
+ * backpropagation starting from random initialisation, exactly as the
+ * paper describes (pre-trained embeddings are future work there too).
+ */
+
+#ifndef CCSA_NN_EMBEDDING_HH
+#define CCSA_NN_EMBEDDING_HH
+
+#include "nn/module.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+/** Trainable lookup table mapping integer ids to dense rows. */
+class Embedding : public Module
+{
+  public:
+    /**
+     * @param num_ids vocabulary size (distinct node kinds).
+     * @param dim embedding dimension lambda.
+     * @param rng initialisation source.
+     */
+    Embedding(int num_ids, int dim, Rng& rng);
+
+    /** Look up a batch of ids -> (N x dim) differentiable output. */
+    ag::Var forward(const std::vector<int>& ids) const;
+
+    int dim() const { return dim_; }
+    int numIds() const { return numIds_; }
+
+    std::vector<Parameter*> parameters() override { return {&weight_}; }
+
+    /** Direct access to the table (visualisation / tests). */
+    const Tensor& table() const { return weight_.var.value(); }
+
+  private:
+    int numIds_;
+    int dim_;
+    Parameter weight_;
+};
+
+} // namespace nn
+} // namespace ccsa
+
+#endif // CCSA_NN_EMBEDDING_HH

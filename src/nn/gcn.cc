@@ -1,0 +1,68 @@
+#include "nn/gcn.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+GcnLayer::GcnLayer(int in, int out, Rng& rng,
+                   const std::string& name_prefix)
+    : linear_(in, out, rng, name_prefix)
+{
+    // Small positive bias keeps ReLU units alive at initialisation;
+    // with zero bias a deep stack can die entirely (zero readout and
+    // zero gradient everywhere).
+    linear_.parameters()[1]->var.mutableValue().fill(0.05f);
+}
+
+ag::Var
+GcnLayer::forward(const std::shared_ptr<const CsrMatrix>& adj,
+                  const ag::Var& h) const
+{
+    return ag::relu(linear_.forward(ag::spmm(adj, h)));
+}
+
+GcnStack::GcnStack(int input_dim, int hidden_dim, int num_layers,
+                   Rng& rng)
+    : hiddenDim_(hidden_dim)
+{
+    if (num_layers < 1)
+        fatal("GcnStack: need at least one layer");
+    int in = input_dim;
+    for (int l = 0; l < num_layers; ++l) {
+        layers_.push_back(std::make_unique<GcnLayer>(
+            in, hidden_dim, rng, "gcn.l" + std::to_string(l)));
+        in = hidden_dim;
+    }
+}
+
+ag::Var
+GcnStack::forwardNodes(const std::shared_ptr<const CsrMatrix>& adj,
+                       const ag::Var& x) const
+{
+    ag::Var h = x;
+    for (const auto& layer : layers_)
+        h = layer->forward(adj, h);
+    return h;
+}
+
+ag::Var
+GcnStack::readout(const std::shared_ptr<const CsrMatrix>& adj,
+                  const ag::Var& x) const
+{
+    return ag::meanRowsOp(forwardNodes(adj, x));
+}
+
+std::vector<Parameter*>
+GcnStack::parameters()
+{
+    std::vector<Parameter*> out;
+    for (auto& layer : layers_) {
+        auto ps = layer->parameters();
+        out.insert(out.end(), ps.begin(), ps.end());
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace ccsa

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Graph Convolutional Network baseline (paper §V-B; Kipf & Welling
+ * 2016). A stack of graph convolutions H' = relu(A_hat H W + b) over a
+ * degree-normalised adjacency A_hat, followed by a mean-pool readout
+ * producing the code representation. The paper contrasts this generic
+ * neighbourhood aggregation against the tree-LSTM's explicit
+ * parent-child information flow.
+ */
+
+#ifndef CCSA_NN_GCN_HH
+#define CCSA_NN_GCN_HH
+
+#include <memory>
+
+#include "nn/linear.hh"
+#include "nn/module.hh"
+#include "tensor/sparse.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+/** One graph convolution layer with ReLU activation. */
+class GcnLayer : public Module
+{
+  public:
+    GcnLayer(int in, int out, Rng& rng,
+             const std::string& name_prefix = "gcn");
+
+    /**
+     * @param adj normalised adjacency (N x N), constant.
+     * @param h node features (N x in).
+     * @return activated node features (N x out).
+     */
+    ag::Var forward(const std::shared_ptr<const CsrMatrix>& adj,
+                    const ag::Var& h) const;
+
+    std::vector<Parameter*> parameters() override
+    {
+        return linear_.parameters();
+    }
+
+  private:
+    Linear linear_;
+};
+
+/** Stacked GCN with mean-pool readout over node states. */
+class GcnStack : public Module
+{
+  public:
+    /**
+     * @param input_dim node feature size (lambda).
+     * @param hidden_dim width of every convolution layer.
+     * @param num_layers convolution depth (>= 1).
+     */
+    GcnStack(int input_dim, int hidden_dim, int num_layers, Rng& rng);
+
+    /** Per-node representations after the full stack. */
+    ag::Var forwardNodes(const std::shared_ptr<const CsrMatrix>& adj,
+                         const ag::Var& x) const;
+
+    /** Whole-graph representation: mean over node states (1 x hidden). */
+    ag::Var readout(const std::shared_ptr<const CsrMatrix>& adj,
+                    const ag::Var& x) const;
+
+    int outputDim() const { return hiddenDim_; }
+    int numLayers() const { return static_cast<int>(layers_.size()); }
+
+    std::vector<Parameter*> parameters() override;
+
+  private:
+    int hiddenDim_;
+    std::vector<std::unique_ptr<GcnLayer>> layers_;
+};
+
+} // namespace nn
+} // namespace ccsa
+
+#endif // CCSA_NN_GCN_HH

@@ -1,0 +1,28 @@
+#include "nn/init.hh"
+
+#include <cmath>
+
+namespace ccsa
+{
+namespace nn
+{
+
+Tensor
+xavierUniform(int fan_in, int fan_out, Rng& rng)
+{
+    float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    Tensor t(fan_in, fan_out);
+    t.fillUniform(rng, -bound, bound);
+    return t;
+}
+
+Tensor
+uniformInit(int rows, int cols, float bound, Rng& rng)
+{
+    Tensor t(rows, cols);
+    t.fillUniform(rng, -bound, bound);
+    return t;
+}
+
+} // namespace nn
+} // namespace ccsa

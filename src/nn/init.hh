@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Weight initialisation schemes.
+ */
+
+#ifndef CCSA_NN_INIT_HH
+#define CCSA_NN_INIT_HH
+
+#include "base/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+/** Xavier/Glorot uniform initialisation for a fan_in x fan_out matrix. */
+Tensor xavierUniform(int fan_in, int fan_out, Rng& rng);
+
+/** Uniform initialisation in [-bound, bound]. */
+Tensor uniformInit(int rows, int cols, float bound, Rng& rng);
+
+} // namespace nn
+} // namespace ccsa
+
+#endif // CCSA_NN_INIT_HH

@@ -1,0 +1,26 @@
+#include "nn/linear.hh"
+
+#include "nn/init.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+Linear::Linear(int in, int out, Rng& rng, const std::string& name_prefix)
+    : in_(in), out_(out),
+      weight_(name_prefix + ".weight", xavierUniform(in, out, rng)),
+      bias_(name_prefix + ".bias", Tensor::zeros(1, out))
+{
+    if (in <= 0 || out <= 0)
+        fatal("Linear: dimensions must be positive");
+}
+
+ag::Var
+Linear::forward(const ag::Var& x) const
+{
+    return ag::addRowBroadcast(ag::matmul(x, weight_.var), bias_.var);
+}
+
+} // namespace nn
+} // namespace ccsa

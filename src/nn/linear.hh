@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fully connected layer: y = x W + b.
+ */
+
+#ifndef CCSA_NN_LINEAR_HH
+#define CCSA_NN_LINEAR_HH
+
+#include "nn/module.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+/** Affine transform with Xavier-initialised weights. */
+class Linear : public Module
+{
+  public:
+    /**
+     * @param in input feature count.
+     * @param out output feature count.
+     * @param name_prefix parameter name prefix for serialisation.
+     */
+    Linear(int in, int out, Rng& rng,
+           const std::string& name_prefix = "linear");
+
+    /** Forward: (N x in) -> (N x out). */
+    ag::Var forward(const ag::Var& x) const;
+
+    int inDim() const { return in_; }
+    int outDim() const { return out_; }
+
+    std::vector<Parameter*>
+    parameters() override
+    {
+        return {&weight_, &bias_};
+    }
+
+  private:
+    int in_;
+    int out_;
+    Parameter weight_;
+    Parameter bias_;
+};
+
+} // namespace nn
+} // namespace ccsa
+
+#endif // CCSA_NN_LINEAR_HH

@@ -1,0 +1,73 @@
+#include "nn/lstm.hh"
+
+#include "nn/init.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+LstmCell::LstmCell(int input_dim, int hidden_dim, Rng& rng,
+                   const std::string& name_prefix)
+    : inputDim_(input_dim), hiddenDim_(hidden_dim),
+      wi_(name_prefix + ".wi", xavierUniform(input_dim, hidden_dim, rng)),
+      ui_(name_prefix + ".ui", xavierUniform(hidden_dim, hidden_dim, rng)),
+      bi_(name_prefix + ".bi", Tensor::zeros(1, hidden_dim)),
+      wf_(name_prefix + ".wf", xavierUniform(input_dim, hidden_dim, rng)),
+      uf_(name_prefix + ".uf", xavierUniform(hidden_dim, hidden_dim, rng)),
+      bf_(name_prefix + ".bf", Tensor::ones(1, hidden_dim)),
+      wo_(name_prefix + ".wo", xavierUniform(input_dim, hidden_dim, rng)),
+      uo_(name_prefix + ".uo", xavierUniform(hidden_dim, hidden_dim, rng)),
+      bo_(name_prefix + ".bo", Tensor::zeros(1, hidden_dim)),
+      wu_(name_prefix + ".wu", xavierUniform(input_dim, hidden_dim, rng)),
+      uu_(name_prefix + ".uu", xavierUniform(hidden_dim, hidden_dim, rng)),
+      bu_(name_prefix + ".bu", Tensor::zeros(1, hidden_dim))
+{
+    if (input_dim <= 0 || hidden_dim <= 0)
+        fatal("LstmCell: dimensions must be positive");
+    // Forget-gate bias starts at one, the standard trick to let long
+    // dependencies survive early training.
+}
+
+LstmState
+LstmCell::step(const ag::Var& x, const LstmState& prev) const
+{
+    using namespace ag;
+    Var i = sigmoid(addRowBroadcast(
+        add(matmul(x, wi_.var), matmul(prev.h, ui_.var)), bi_.var));
+    Var f = sigmoid(addRowBroadcast(
+        add(matmul(x, wf_.var), matmul(prev.h, uf_.var)), bf_.var));
+    Var o = sigmoid(addRowBroadcast(
+        add(matmul(x, wo_.var), matmul(prev.h, uo_.var)), bo_.var));
+    Var u = tanhOp(addRowBroadcast(
+        add(matmul(x, wu_.var), matmul(prev.h, uu_.var)), bu_.var));
+    Var c = add(mul(i, u), mul(f, prev.c));
+    Var h = mul(o, tanhOp(c));
+    return {h, c};
+}
+
+LstmState
+LstmCell::runSequence(const std::vector<ag::Var>& xs) const
+{
+    LstmState state = zeroState();
+    for (const auto& x : xs)
+        state = step(x, state);
+    return state;
+}
+
+LstmState
+LstmCell::zeroState() const
+{
+    return {ag::constant(Tensor::zeros(1, hiddenDim_)),
+            ag::constant(Tensor::zeros(1, hiddenDim_))};
+}
+
+std::vector<Parameter*>
+LstmCell::parameters()
+{
+    return {&wi_, &ui_, &bi_, &wf_, &uf_, &bf_,
+            &wo_, &uo_, &bo_, &wu_, &uu_, &bu_};
+}
+
+} // namespace nn
+} // namespace ccsa

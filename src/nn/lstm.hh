@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sequential LSTM cell implementing Eq. (3) of the paper. Used by the
+ * token-sequence baseline encoder (related-work style, Cummins et al.)
+ * and as the reference for the tree-LSTM unit tests.
+ */
+
+#ifndef CCSA_NN_LSTM_HH
+#define CCSA_NN_LSTM_HH
+
+#include "nn/module.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+/** Hidden and cell state pair. */
+struct LstmState
+{
+    ag::Var h;
+    ag::Var c;
+};
+
+/**
+ * Standard LSTM cell with input/forget/output gates and candidate
+ * update (Eq. 3):
+ *   i = sig(W_i x + U_i h + b_i)     f = sig(W_f x + U_f h + b_f)
+ *   o = sig(W_o x + U_o h + b_o)     u = tanh(W_u x + U_u h + b_u)
+ *   c' = i .* u + f .* c             h' = o .* tanh(c')
+ *
+ * Note: the paper's Eq. (3) prints sigma for the candidate u as well;
+ * we follow the canonical formulation (Tai et al. 2015, the paper's
+ * reference [34]) and use tanh.
+ */
+class LstmCell : public Module
+{
+  public:
+    LstmCell(int input_dim, int hidden_dim, Rng& rng,
+             const std::string& name_prefix = "lstm");
+
+    /** One step: x is 1 x input_dim; state holds 1 x hidden_dim h/c. */
+    LstmState step(const ag::Var& x, const LstmState& prev) const;
+
+    /** Run a whole sequence from the zero state; @return final state. */
+    LstmState runSequence(const std::vector<ag::Var>& xs) const;
+
+    /** @return a zero initial state. */
+    LstmState zeroState() const;
+
+    int inputDim() const { return inputDim_; }
+    int hiddenDim() const { return hiddenDim_; }
+
+    std::vector<Parameter*> parameters() override;
+
+  private:
+    friend class ChildSumTreeLstmCell;
+
+    int inputDim_;
+    int hiddenDim_;
+    // One W (input), U (recurrent), b per gate: i, f, o, u.
+    Parameter wi_, ui_, bi_;
+    Parameter wf_, uf_, bf_;
+    Parameter wo_, uo_, bo_;
+    Parameter wu_, uu_, bu_;
+};
+
+} // namespace nn
+} // namespace ccsa
+
+#endif // CCSA_NN_LSTM_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Base class for trainable neural-network modules plus the named
+ * Parameter wrapper used by optimizers and (de)serialisation.
+ */
+
+#ifndef CCSA_NN_MODULE_HH
+#define CCSA_NN_MODULE_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+/** A named trainable leaf of the autograd tape. */
+struct Parameter
+{
+    std::string name;
+    ag::Var var;
+
+    Parameter() = default;
+
+    Parameter(std::string n, Tensor t)
+        : name(std::move(n)), var(ag::leaf(std::move(t)))
+    {}
+};
+
+/** Base class for anything that owns Parameters. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** @return pointers to every trainable parameter (recursively). */
+    virtual std::vector<Parameter*> parameters() = 0;
+
+    /** Zero every parameter gradient. */
+    void
+    zeroGrad()
+    {
+        for (Parameter* p : parameters())
+            p->var.zeroGrad();
+    }
+
+    /** @return total scalar count across all parameters. */
+    std::size_t
+    parameterCount()
+    {
+        std::size_t n = 0;
+        for (Parameter* p : parameters())
+            n += p->var.value().size();
+        return n;
+    }
+};
+
+} // namespace nn
+} // namespace ccsa
+
+#endif // CCSA_NN_MODULE_HH

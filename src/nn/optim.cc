@@ -1,0 +1,103 @@
+#include "nn/optim.hh"
+
+#include <cmath>
+
+namespace ccsa
+{
+namespace nn
+{
+
+Optimizer::Optimizer(std::vector<Parameter*> params)
+    : params_(std::move(params))
+{
+    if (params_.empty())
+        fatal("Optimizer: no parameters");
+}
+
+void
+Optimizer::zeroGrad()
+{
+    for (Parameter* p : params_)
+        p->var.zeroGrad();
+}
+
+void
+Optimizer::clipGradNorm(float max_norm)
+{
+    float total = 0.0f;
+    for (Parameter* p : params_)
+        total += p->var.grad().normSq();
+    float norm = std::sqrt(total);
+    if (norm <= max_norm || norm == 0.0f)
+        return;
+    float scale = max_norm / norm;
+    for (Parameter* p : params_)
+        p->var.grad() *= scale;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum)
+{
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_)
+        velocity_.emplace_back(p->var.value().rows(),
+                               p->var.value().cols());
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Tensor& w = params_[i]->var.mutableValue();
+        const Tensor& g = params_[i]->var.grad();
+        if (momentum_ != 0.0f) {
+            velocity_[i] *= momentum_;
+            velocity_[i] += g;
+            w -= velocity_[i] * lr_;
+        } else {
+            w -= g * lr_;
+        }
+    }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1),
+      beta2_(beta2), eps_(eps)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Parameter* p : params_) {
+        m_.emplace_back(p->var.value().rows(), p->var.value().cols());
+        v_.emplace_back(p->var.value().rows(), p->var.value().cols());
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Tensor& w = params_[i]->var.mutableValue();
+        const Tensor& g = params_[i]->var.grad();
+        Tensor& m = m_[i];
+        Tensor& v = v_[i];
+        for (int r = 0; r < w.rows(); ++r) {
+            for (int c = 0; c < w.cols(); ++c) {
+                float gi = g.at(r, c);
+                m.at(r, c) = beta1_ * m.at(r, c) + (1 - beta1_) * gi;
+                v.at(r, c) = beta2_ * v.at(r, c) +
+                    (1 - beta2_) * gi * gi;
+                float mhat = m.at(r, c) / bc1;
+                float vhat = v.at(r, c) / bc2;
+                w.at(r, c) -= lr_ * mhat /
+                    (std::sqrt(vhat) + eps_);
+            }
+        }
+    }
+}
+
+} // namespace nn
+} // namespace ccsa

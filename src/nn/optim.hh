@@ -1,0 +1,72 @@
+/**
+ * @file
+ * First-order optimizers over Module parameters: plain SGD with
+ * momentum and Adam (the paper's training setup uses standard
+ * stochastic optimisation on binary cross-entropy).
+ */
+
+#ifndef CCSA_NN_OPTIM_HH
+#define CCSA_NN_OPTIM_HH
+
+#include "nn/module.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+/** Common optimizer interface. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Parameter*> params);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update using the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zero all parameter gradients. */
+    void zeroGrad();
+
+    /** Clip gradient global norm to max_norm (no-op if under). */
+    void clipGradNorm(float max_norm);
+
+  protected:
+    std::vector<Parameter*> params_;
+};
+
+/** Stochastic gradient descent with optional momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Parameter*> params, float lr,
+        float momentum = 0.0f);
+
+    void step() override;
+
+  private:
+    float lr_;
+    float momentum_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba, 2015). */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Parameter*> params, float lr = 1e-3f,
+         float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+    void step() override;
+
+  private:
+    float lr_, beta1_, beta2_, eps_;
+    long t_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+} // namespace nn
+} // namespace ccsa
+
+#endif // CCSA_NN_OPTIM_HH

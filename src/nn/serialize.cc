@@ -1,0 +1,117 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+namespace ccsa
+{
+namespace nn
+{
+
+namespace
+{
+
+const char kMagic[4] = {'C', 'C', 'S', 'A'};
+const std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writeRaw(std::ofstream& f, const T& v)
+{
+    f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void
+readRaw(std::ifstream& f, T& v)
+{
+    f.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+
+} // namespace
+
+void
+saveParameters(const std::string& path,
+               const std::vector<Parameter*>& params)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        fatal("saveParameters: cannot open ", path);
+    f.write(kMagic, 4);
+    writeRaw(f, kVersion);
+    writeRaw(f, static_cast<std::uint32_t>(params.size()));
+    for (const Parameter* p : params) {
+        const Tensor& t = p->var.value();
+        writeRaw(f, static_cast<std::uint32_t>(p->name.size()));
+        f.write(p->name.data(),
+                static_cast<std::streamsize>(p->name.size()));
+        writeRaw(f, static_cast<std::int32_t>(t.rows()));
+        writeRaw(f, static_cast<std::int32_t>(t.cols()));
+        f.write(reinterpret_cast<const char*>(t.data()),
+                static_cast<std::streamsize>(t.size() * sizeof(float)));
+    }
+    if (!f)
+        fatal("saveParameters: write error on ", path);
+}
+
+void
+loadParameters(const std::string& path,
+               const std::vector<Parameter*>& params)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        fatal("loadParameters: cannot open ", path);
+    char magic[4];
+    f.read(magic, 4);
+    if (!f || std::string(magic, 4) != std::string(kMagic, 4))
+        fatal("loadParameters: bad magic in ", path);
+    std::uint32_t version = 0, count = 0;
+    readRaw(f, version);
+    if (version != kVersion)
+        fatal("loadParameters: unsupported version ", version);
+    readRaw(f, count);
+
+    struct Entry
+    {
+        int rows;
+        int cols;
+        std::vector<float> data;
+    };
+    std::map<std::string, Entry> entries;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t len = 0;
+        readRaw(f, len);
+        std::string name(len, '\0');
+        f.read(name.data(), len);
+        std::int32_t rows = 0, cols = 0;
+        readRaw(f, rows);
+        readRaw(f, cols);
+        Entry e;
+        e.rows = rows;
+        e.cols = cols;
+        e.data.resize(static_cast<std::size_t>(rows) * cols);
+        f.read(reinterpret_cast<char*>(e.data.data()),
+               static_cast<std::streamsize>(
+                   e.data.size() * sizeof(float)));
+        if (!f)
+            fatal("loadParameters: truncated file ", path);
+        entries.emplace(std::move(name), std::move(e));
+    }
+
+    for (Parameter* p : params) {
+        auto it = entries.find(p->name);
+        if (it == entries.end())
+            fatal("loadParameters: missing parameter '", p->name, "'");
+        const Entry& e = it->second;
+        Tensor& t = p->var.mutableValue();
+        if (e.rows != t.rows() || e.cols != t.cols())
+            fatal("loadParameters: shape mismatch for '", p->name,
+                  "': file ", e.rows, "x", e.cols, " vs model ",
+                  t.rows(), "x", t.cols());
+        t = Tensor::fromVector(e.data, e.rows, e.cols);
+    }
+}
+
+} // namespace nn
+} // namespace ccsa

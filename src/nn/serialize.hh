@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Binary (de)serialisation of named parameters, so trained predictors
+ * can be saved from one process and reloaded in another (the paper's
+ * continuous-learning deployment needs persistent models).
+ *
+ * Format: magic "CCSA" + version + count, then per parameter:
+ * name length, name bytes, rows, cols, row-major float32 payload.
+ */
+
+#ifndef CCSA_NN_SERIALIZE_HH
+#define CCSA_NN_SERIALIZE_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+/** Write all parameters to a binary file. @throws FatalError on I/O. */
+void saveParameters(const std::string& path,
+                    const std::vector<Parameter*>& params);
+
+/**
+ * Load parameters by name; every parameter must be present in the file
+ * with matching shape. @throws FatalError on mismatch or I/O error.
+ */
+void loadParameters(const std::string& path,
+                    const std::vector<Parameter*>& params);
+
+} // namespace nn
+} // namespace ccsa
+
+#endif // CCSA_NN_SERIALIZE_HH

@@ -1,0 +1,255 @@
+#include "nn/tree_lstm.hh"
+
+#include <algorithm>
+
+namespace ccsa
+{
+namespace nn
+{
+
+TreeSpec
+TreeSpec::fromParents(const std::vector<int>& parent_of)
+{
+    TreeSpec spec;
+    spec.parent = parent_of;
+    int n = static_cast<int>(parent_of.size());
+    if (n == 0)
+        fatal("TreeSpec: empty tree");
+    spec.children.resize(n);
+    int roots = 0;
+    for (int i = 0; i < n; ++i) {
+        int p = parent_of[i];
+        if (p == -1) {
+            spec.root = i;
+            ++roots;
+        } else if (p < 0 || p >= n) {
+            fatal("TreeSpec: parent index out of range");
+        } else {
+            spec.children[p].push_back(i);
+        }
+    }
+    if (roots != 1)
+        fatal("TreeSpec: expected exactly one root, found ", roots);
+
+    // Iterative post-order (children before parents).
+    spec.postOrder.reserve(n);
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(spec.root, 0);
+    while (!stack.empty()) {
+        auto& [node, next] = stack.back();
+        if (next < spec.children[node].size()) {
+            int child = spec.children[node][next++];
+            stack.emplace_back(child, 0);
+        } else {
+            spec.postOrder.push_back(node);
+            stack.pop_back();
+        }
+    }
+    if (static_cast<int>(spec.postOrder.size()) != n)
+        fatal("TreeSpec: disconnected nodes (cycle or forest)");
+    return spec;
+}
+
+ChildSumTreeLstmCell::ChildSumTreeLstmCell(int input_dim, int hidden_dim,
+                                           Rng& rng,
+                                           const std::string& name_prefix)
+    : cell_(input_dim, hidden_dim, rng, name_prefix)
+{
+}
+
+LstmState
+ChildSumTreeLstmCell::compose(const ag::Var& x,
+                              const std::vector<ag::Var>& child_h,
+                              const std::vector<ag::Var>& child_c) const
+{
+    using namespace ag;
+    if (child_h.size() != child_c.size())
+        panic("ChildSumTreeLstmCell: child h/c count mismatch");
+
+    // h~ = sum of child hidden states (zero for leaves).
+    Var h_tilde = child_h.empty()
+        ? constant(Tensor::zeros(1, cell_.hiddenDim_))
+        : addN(child_h);
+
+    Var i = sigmoid(addRowBroadcast(
+        add(matmul(x, cell_.wi_.var), matmul(h_tilde, cell_.ui_.var)),
+        cell_.bi_.var));
+    Var o = sigmoid(addRowBroadcast(
+        add(matmul(x, cell_.wo_.var), matmul(h_tilde, cell_.uo_.var)),
+        cell_.bo_.var));
+    Var u = tanhOp(addRowBroadcast(
+        add(matmul(x, cell_.wu_.var), matmul(h_tilde, cell_.uu_.var)),
+        cell_.bu_.var));
+
+    // c = i .* u + sum_k f_k .* c_k with a per-child forget gate
+    // f_k = sig(W_f x + U_f h_k + b_f).
+    Var c = mul(i, u);
+    if (!child_h.empty()) {
+        Var wf_x = matmul(x, cell_.wf_.var);
+        std::vector<Var> terms;
+        terms.push_back(c);
+        for (std::size_t k = 0; k < child_h.size(); ++k) {
+            Var f_k = sigmoid(addRowBroadcast(
+                add(wf_x, matmul(child_h[k], cell_.uf_.var)),
+                cell_.bf_.var));
+            terms.push_back(mul(f_k, child_c[k]));
+        }
+        c = addN(terms);
+    }
+    Var h = mul(o, tanhOp(c));
+    return {h, c};
+}
+
+const char*
+treeArchName(TreeArch arch)
+{
+    switch (arch) {
+      case TreeArch::Uni:
+        return "uni-directional";
+      case TreeArch::Bi:
+        return "bi-directional";
+      case TreeArch::Alternating:
+        return "alternating";
+    }
+    return "unknown";
+}
+
+TreeLstm::TreeLstm(int input_dim, int hidden_dim, int num_layers,
+                   TreeArch arch, Rng& rng)
+    : arch_(arch), hiddenDim_(hidden_dim)
+{
+    if (num_layers < 1)
+        fatal("TreeLstm: need at least one layer");
+    int in = input_dim;
+    for (int l = 0; l < num_layers; ++l) {
+        Layer layer;
+        std::string prefix = "treelstm.l" + std::to_string(l);
+        switch (arch) {
+          case TreeArch::Uni:
+            layer.up = std::make_unique<ChildSumTreeLstmCell>(
+                in, hidden_dim, rng, prefix + ".up");
+            layer.soloDirection = TreeDirection::Upward;
+            layer.outDim = hidden_dim;
+            break;
+          case TreeArch::Bi:
+            layer.up = std::make_unique<ChildSumTreeLstmCell>(
+                in, hidden_dim, rng, prefix + ".up");
+            layer.down = std::make_unique<ChildSumTreeLstmCell>(
+                in, hidden_dim, rng, prefix + ".down");
+            layer.outDim = 2 * hidden_dim;
+            break;
+          case TreeArch::Alternating:
+            layer.soloDirection = (l % 2 == 0)
+                ? TreeDirection::Upward : TreeDirection::Downward;
+            layer.up = std::make_unique<ChildSumTreeLstmCell>(
+                in, hidden_dim, rng,
+                prefix + (l % 2 == 0 ? ".up" : ".down"));
+            layer.outDim = hidden_dim;
+            break;
+        }
+        in = layer.outDim;
+        layers_.push_back(std::move(layer));
+    }
+}
+
+std::vector<ag::Var>
+TreeLstm::runDirection(const ChildSumTreeLstmCell& cell,
+                       TreeDirection dir, const TreeSpec& tree,
+                       const std::vector<ag::Var>& inputs)
+{
+    std::size_t n = tree.size();
+    std::vector<LstmState> states(n);
+
+    if (dir == TreeDirection::Upward) {
+        // Children first: post-order guarantees availability.
+        for (int node : tree.postOrder) {
+            std::vector<ag::Var> ch, cc;
+            ch.reserve(tree.children[node].size());
+            for (int child : tree.children[node]) {
+                ch.push_back(states[child].h);
+                cc.push_back(states[child].c);
+            }
+            states[node] = cell.compose(inputs[node], ch, cc);
+        }
+    } else {
+        // Parents first: reverse post-order. Each node's only
+        // predecessor is its parent (the parent "copies its
+        // representation to all its children", paper §IV-C).
+        for (auto it = tree.postOrder.rbegin();
+             it != tree.postOrder.rend(); ++it) {
+            int node = *it;
+            std::vector<ag::Var> ch, cc;
+            if (tree.parent[node] != -1) {
+                ch.push_back(states[tree.parent[node]].h);
+                cc.push_back(states[tree.parent[node]].c);
+            }
+            states[node] = cell.compose(inputs[node], ch, cc);
+        }
+    }
+
+    std::vector<ag::Var> hs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        hs[i] = states[i].h;
+    return hs;
+}
+
+std::vector<ag::Var>
+TreeLstm::encodeNodes(const TreeSpec& tree,
+                      const std::vector<ag::Var>& inputs) const
+{
+    if (inputs.size() != tree.size())
+        fatal("TreeLstm::encodeNodes: input count ", inputs.size(),
+              " != tree size ", tree.size());
+
+    std::vector<ag::Var> current = inputs;
+    for (const Layer& layer : layers_) {
+        if (arch_ == TreeArch::Bi) {
+            auto up = runDirection(*layer.up, TreeDirection::Upward,
+                                   tree, current);
+            auto down = runDirection(*layer.down,
+                                     TreeDirection::Downward, tree,
+                                     current);
+            std::vector<ag::Var> merged(tree.size());
+            for (std::size_t i = 0; i < tree.size(); ++i)
+                merged[i] = ag::concatColsOp(up[i], down[i]);
+            current = std::move(merged);
+        } else {
+            current = runDirection(*layer.up, layer.soloDirection,
+                                   tree, current);
+        }
+    }
+    return current;
+}
+
+ag::Var
+TreeLstm::encodeRoot(const TreeSpec& tree,
+                     const std::vector<ag::Var>& inputs) const
+{
+    return encodeNodes(tree, inputs)[tree.root];
+}
+
+int
+TreeLstm::outputDim() const
+{
+    return layers_.back().outDim;
+}
+
+std::vector<Parameter*>
+TreeLstm::parameters()
+{
+    std::vector<Parameter*> out;
+    for (Layer& layer : layers_) {
+        if (layer.up) {
+            auto ps = layer.up->parameters();
+            out.insert(out.end(), ps.begin(), ps.end());
+        }
+        if (layer.down) {
+            auto ps = layer.down->parameters();
+            out.insert(out.end(), ps.begin(), ps.end());
+        }
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace ccsa

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Child-sum tree-LSTM (paper Eq. 4, after Tai et al. 2015) and the
+ * three multi-layer drivers of Figure 2:
+ *
+ *  - uni-directional: every layer propagates leaves -> root;
+ *  - bi-directional: every layer runs an upward and a downward
+ *    tree-LSTM and concatenates the two hidden states per node;
+ *  - alternating: layers alternate upward / downward / upward ...,
+ *    halving the parameter count of the bi-directional variant (the
+ *    configuration the paper finds best overall).
+ *
+ * The drivers are structure-agnostic: they consume a TreeSpec (parent
+ * array + traversal orders), so the nn module stays independent of the
+ * AST representation.
+ */
+
+#ifndef CCSA_NN_TREE_LSTM_HH
+#define CCSA_NN_TREE_LSTM_HH
+
+#include <memory>
+
+#include "nn/lstm.hh"
+#include "nn/module.hh"
+
+namespace ccsa
+{
+namespace nn
+{
+
+/** Structural view of a rooted tree for the tree-LSTM drivers. */
+struct TreeSpec
+{
+    /** parent[i] = parent node id, or -1 for the root. */
+    std::vector<int> parent;
+    /** children[i] = node ids of i's children. */
+    std::vector<std::vector<int>> children;
+    /** Nodes ordered children-before-parents (upward pass order). */
+    std::vector<int> postOrder;
+    /** Index of the root node. */
+    int root = 0;
+
+    std::size_t size() const { return parent.size(); }
+
+    /**
+     * Build the derived fields from a parent array.
+     * @param parent_of parent id per node, exactly one -1 entry.
+     */
+    static TreeSpec fromParents(const std::vector<int>& parent_of);
+};
+
+/**
+ * Child-sum tree-LSTM unit (Eq. 4): gates read the sum of child hidden
+ * states; each child gets its own forget gate so the cell can
+ * selectively keep information per subtree.
+ */
+class ChildSumTreeLstmCell : public Module
+{
+  public:
+    ChildSumTreeLstmCell(int input_dim, int hidden_dim, Rng& rng,
+                         const std::string& name_prefix = "treelstm");
+
+    /**
+     * Compose one node from its children.
+     * @param x node input (1 x input_dim).
+     * @param child_h hidden states of the children (may be empty).
+     * @param child_c cell states of the children (same length).
+     */
+    LstmState compose(const ag::Var& x,
+                      const std::vector<ag::Var>& child_h,
+                      const std::vector<ag::Var>& child_c) const;
+
+    int inputDim() const { return cell_.inputDim(); }
+    int hiddenDim() const { return cell_.hiddenDim(); }
+
+    std::vector<Parameter*> parameters() override
+    {
+        return cell_.parameters();
+    }
+
+  private:
+    // Reuses the LstmCell parameter block; the composition logic
+    // differs (summed child states, per-child forget gates).
+    LstmCell cell_;
+};
+
+/** Propagation direction of one tree-LSTM layer. */
+enum class TreeDirection
+{
+    Upward,   ///< leaves to root (information flows child -> parent)
+    Downward, ///< root to leaves (parent copies state to children)
+};
+
+/** Multi-layer architecture (Fig. 2 of the paper). */
+enum class TreeArch
+{
+    Uni,         ///< all layers upward
+    Bi,          ///< each layer: upward + downward, concatenated
+    Alternating, ///< upward, downward, upward, ...
+};
+
+/** @return human-readable architecture name. */
+const char* treeArchName(TreeArch arch);
+
+/**
+ * Stacked tree-LSTM encoder over a TreeSpec. Layer l's per-node hidden
+ * states feed layer l+1 as inputs, "leading to greater refinement of
+ * each sub-tree's representation" (paper §IV-C).
+ */
+class TreeLstm : public Module
+{
+  public:
+    /**
+     * @param input_dim per-node input feature size (lambda).
+     * @param hidden_dim hidden state size per direction.
+     * @param num_layers stacked layer count (>= 1).
+     * @param arch multi-layer wiring of Fig. 2.
+     */
+    TreeLstm(int input_dim, int hidden_dim, int num_layers,
+             TreeArch arch, Rng& rng);
+
+    /**
+     * Encode every node of a tree.
+     * @param tree structural view.
+     * @param inputs per-node input vectors (1 x input_dim each).
+     * @return final-layer hidden state per node.
+     */
+    std::vector<ag::Var> encodeNodes(
+        const TreeSpec& tree, const std::vector<ag::Var>& inputs) const;
+
+    /** Encode and return only the root representation. */
+    ag::Var encodeRoot(const TreeSpec& tree,
+                       const std::vector<ag::Var>& inputs) const;
+
+    /** @return dimensionality of the per-node output. */
+    int outputDim() const;
+
+    int numLayers() const { return static_cast<int>(layers_.size()); }
+    TreeArch arch() const { return arch_; }
+
+    std::vector<Parameter*> parameters() override;
+
+  private:
+    struct Layer
+    {
+        std::unique_ptr<ChildSumTreeLstmCell> up;
+        std::unique_ptr<ChildSumTreeLstmCell> down;
+        TreeDirection soloDirection = TreeDirection::Upward;
+        int outDim = 0;
+    };
+
+    /** Run a single direction over the tree with the given cell. */
+    static std::vector<ag::Var> runDirection(
+        const ChildSumTreeLstmCell& cell, TreeDirection dir,
+        const TreeSpec& tree, const std::vector<ag::Var>& inputs);
+
+    TreeArch arch_;
+    int hiddenDim_;
+    std::vector<Layer> layers_;
+};
+
+} // namespace nn
+} // namespace ccsa
+
+#endif // CCSA_NN_TREE_LSTM_HH

@@ -1,0 +1,489 @@
+#include "tensor/autograd.hh"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+namespace ag
+{
+
+Var::Var(Tensor v, bool requires_grad)
+{
+    node_ = std::make_shared<VarNode>();
+    node_->value = std::move(v);
+    node_->requiresGrad = requires_grad;
+}
+
+const Tensor&
+Var::value() const
+{
+    if (!node_)
+        panic("Var::value: undefined Var");
+    return node_->value;
+}
+
+Tensor&
+Var::grad()
+{
+    if (!node_)
+        panic("Var::grad: undefined Var");
+    node_->ensureGrad();
+    return node_->grad;
+}
+
+void
+Var::zeroGrad()
+{
+    if (!node_)
+        panic("Var::zeroGrad: undefined Var");
+    if (!node_->grad.empty())
+        node_->grad.fill(0.0f);
+}
+
+Tensor&
+Var::mutableValue()
+{
+    if (!node_)
+        panic("Var::mutableValue: undefined Var");
+    return node_->value;
+}
+
+bool
+Var::requiresGrad() const
+{
+    return node_ && node_->requiresGrad;
+}
+
+/** Internal helper: build an op node from value + parents + backward. */
+Var
+makeOp(Tensor value, std::vector<Var> parents,
+       std::function<void(VarNode&)> backward)
+{
+    Var out(std::move(value), false);
+    bool needs = false;
+    for (const auto& p : parents) {
+        if (!p.defined())
+            panic("autograd op: undefined operand");
+        out.node_->parents.push_back(p.node());
+        needs = needs || p.node()->requiresGrad;
+    }
+    out.node_->requiresGrad = needs;
+    if (needs)
+        out.node_->backwardFn = std::move(backward);
+    return out;
+}
+
+Var
+constant(Tensor t)
+{
+    return Var(std::move(t), false);
+}
+
+Var
+leaf(Tensor t)
+{
+    return Var(std::move(t), true);
+}
+
+Var
+matmul(const Var& a, const Var& b)
+{
+    Tensor v = a.value().matmul(b.value());
+    auto an = a.node();
+    auto bn = b.node();
+    return makeOp(std::move(v), {a, b}, [an, bn](VarNode& self) {
+        if (an->requiresGrad) {
+            an->ensureGrad();
+            an->grad += self.grad.matmul(bn->value.transpose());
+        }
+        if (bn->requiresGrad) {
+            bn->ensureGrad();
+            bn->grad += an->value.transpose().matmul(self.grad);
+        }
+    });
+}
+
+Var
+add(const Var& a, const Var& b)
+{
+    Tensor v = a.value() + b.value();
+    auto an = a.node();
+    auto bn = b.node();
+    return makeOp(std::move(v), {a, b}, [an, bn](VarNode& self) {
+        if (an->requiresGrad) {
+            an->ensureGrad();
+            an->grad += self.grad;
+        }
+        if (bn->requiresGrad) {
+            bn->ensureGrad();
+            bn->grad += self.grad;
+        }
+    });
+}
+
+Var
+sub(const Var& a, const Var& b)
+{
+    Tensor v = a.value() - b.value();
+    auto an = a.node();
+    auto bn = b.node();
+    return makeOp(std::move(v), {a, b}, [an, bn](VarNode& self) {
+        if (an->requiresGrad) {
+            an->ensureGrad();
+            an->grad += self.grad;
+        }
+        if (bn->requiresGrad) {
+            bn->ensureGrad();
+            bn->grad -= self.grad;
+        }
+    });
+}
+
+Var
+mul(const Var& a, const Var& b)
+{
+    Tensor v = a.value() * b.value();
+    auto an = a.node();
+    auto bn = b.node();
+    return makeOp(std::move(v), {a, b}, [an, bn](VarNode& self) {
+        if (an->requiresGrad) {
+            an->ensureGrad();
+            an->grad += self.grad * bn->value;
+        }
+        if (bn->requiresGrad) {
+            bn->ensureGrad();
+            bn->grad += self.grad * an->value;
+        }
+    });
+}
+
+Var
+scale(const Var& a, float s)
+{
+    Tensor v = a.value() * s;
+    auto an = a.node();
+    return makeOp(std::move(v), {a}, [an, s](VarNode& self) {
+        if (an->requiresGrad) {
+            an->ensureGrad();
+            an->grad += self.grad * s;
+        }
+    });
+}
+
+Var
+addN(const std::vector<Var>& xs)
+{
+    if (xs.empty())
+        panic("addN: empty operand list");
+    Tensor v = xs[0].value();
+    for (std::size_t i = 1; i < xs.size(); ++i)
+        v += xs[i].value();
+    std::vector<VarNodePtr> nodes;
+    for (const auto& x : xs)
+        nodes.push_back(x.node());
+    return makeOp(std::move(v), xs, [nodes](VarNode& self) {
+        for (const auto& n : nodes) {
+            if (n->requiresGrad) {
+                n->ensureGrad();
+                n->grad += self.grad;
+            }
+        }
+    });
+}
+
+Var
+sigmoid(const Var& a)
+{
+    Tensor v = a.value();
+    for (int i = 0; i < v.rows(); ++i)
+        for (int j = 0; j < v.cols(); ++j)
+            v.at(i, j) = 1.0f / (1.0f + std::exp(-v.at(i, j)));
+    auto an = a.node();
+    return makeOp(v, {a}, [an, v](VarNode& self) {
+        if (!an->requiresGrad)
+            return;
+        an->ensureGrad();
+        for (int i = 0; i < v.rows(); ++i)
+            for (int j = 0; j < v.cols(); ++j) {
+                float y = v.at(i, j);
+                an->grad.at(i, j) += self.grad.at(i, j) * y * (1 - y);
+            }
+    });
+}
+
+Var
+tanhOp(const Var& a)
+{
+    Tensor v = a.value();
+    for (int i = 0; i < v.rows(); ++i)
+        for (int j = 0; j < v.cols(); ++j)
+            v.at(i, j) = std::tanh(v.at(i, j));
+    auto an = a.node();
+    return makeOp(v, {a}, [an, v](VarNode& self) {
+        if (!an->requiresGrad)
+            return;
+        an->ensureGrad();
+        for (int i = 0; i < v.rows(); ++i)
+            for (int j = 0; j < v.cols(); ++j) {
+                float y = v.at(i, j);
+                an->grad.at(i, j) += self.grad.at(i, j) * (1 - y * y);
+            }
+    });
+}
+
+Var
+relu(const Var& a)
+{
+    Tensor v = a.value();
+    for (int i = 0; i < v.rows(); ++i)
+        for (int j = 0; j < v.cols(); ++j)
+            v.at(i, j) = v.at(i, j) > 0.0f ? v.at(i, j) : 0.0f;
+    auto an = a.node();
+    return makeOp(v, {a}, [an](VarNode& self) {
+        if (!an->requiresGrad)
+            return;
+        an->ensureGrad();
+        for (int i = 0; i < self.value.rows(); ++i)
+            for (int j = 0; j < self.value.cols(); ++j)
+                if (an->value.at(i, j) > 0.0f)
+                    an->grad.at(i, j) += self.grad.at(i, j);
+    });
+}
+
+Var
+addRowBroadcast(const Var& a, const Var& bias)
+{
+    Tensor v = a.value().addRowBroadcast(bias.value());
+    auto an = a.node();
+    auto bn = bias.node();
+    return makeOp(std::move(v), {a, bias}, [an, bn](VarNode& self) {
+        if (an->requiresGrad) {
+            an->ensureGrad();
+            an->grad += self.grad;
+        }
+        if (bn->requiresGrad) {
+            bn->ensureGrad();
+            bn->grad += self.grad.sumRows();
+        }
+    });
+}
+
+Var
+concatColsOp(const Var& a, const Var& b)
+{
+    Tensor v = concatCols(a.value(), b.value());
+    auto an = a.node();
+    auto bn = b.node();
+    int ac = a.value().cols();
+    return makeOp(std::move(v), {a, b}, [an, bn, ac](VarNode& self) {
+        if (an->requiresGrad) {
+            an->ensureGrad();
+            for (int i = 0; i < an->value.rows(); ++i)
+                for (int j = 0; j < ac; ++j)
+                    an->grad.at(i, j) += self.grad.at(i, j);
+        }
+        if (bn->requiresGrad) {
+            bn->ensureGrad();
+            for (int i = 0; i < bn->value.rows(); ++i)
+                for (int j = 0; j < bn->value.cols(); ++j)
+                    bn->grad.at(i, j) += self.grad.at(i, ac + j);
+        }
+    });
+}
+
+Var
+gatherRows(const Var& table, std::vector<int> indices)
+{
+    const Tensor& t = table.value();
+    Tensor v(static_cast<int>(indices.size()), t.cols());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        int r = indices[i];
+        if (r < 0 || r >= t.rows())
+            panic("gatherRows: index ", r, " out of range");
+        for (int j = 0; j < t.cols(); ++j)
+            v.at(static_cast<int>(i), j) = t.at(r, j);
+    }
+    auto tn = table.node();
+    return makeOp(std::move(v), {table},
+                  [tn, idx = std::move(indices)](VarNode& self) {
+        if (!tn->requiresGrad)
+            return;
+        tn->ensureGrad();
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            for (int j = 0; j < tn->value.cols(); ++j)
+                tn->grad.at(idx[i], j) +=
+                    self.grad.at(static_cast<int>(i), j);
+    });
+}
+
+Var
+sumRowsOp(const Var& a)
+{
+    Tensor v = a.value().sumRows();
+    auto an = a.node();
+    return makeOp(std::move(v), {a}, [an](VarNode& self) {
+        if (!an->requiresGrad)
+            return;
+        an->ensureGrad();
+        for (int i = 0; i < an->value.rows(); ++i)
+            for (int j = 0; j < an->value.cols(); ++j)
+                an->grad.at(i, j) += self.grad.at(0, j);
+    });
+}
+
+Var
+meanRowsOp(const Var& a)
+{
+    int n = a.value().rows();
+    if (n == 0)
+        panic("meanRowsOp: empty input");
+    Tensor v = a.value().sumRows() * (1.0f / static_cast<float>(n));
+    auto an = a.node();
+    return makeOp(std::move(v), {a}, [an, n](VarNode& self) {
+        if (!an->requiresGrad)
+            return;
+        an->ensureGrad();
+        float inv = 1.0f / static_cast<float>(n);
+        for (int i = 0; i < an->value.rows(); ++i)
+            for (int j = 0; j < an->value.cols(); ++j)
+                an->grad.at(i, j) += self.grad.at(0, j) * inv;
+    });
+}
+
+Var
+sumAllOp(const Var& a)
+{
+    Tensor v(1, 1, a.value().sumAll());
+    auto an = a.node();
+    return makeOp(std::move(v), {a}, [an](VarNode& self) {
+        if (!an->requiresGrad)
+            return;
+        an->ensureGrad();
+        float g = self.grad.at(0, 0);
+        for (int i = 0; i < an->value.rows(); ++i)
+            for (int j = 0; j < an->value.cols(); ++j)
+                an->grad.at(i, j) += g;
+    });
+}
+
+Var
+spmm(std::shared_ptr<const CsrMatrix> a, const Var& h)
+{
+    if (!a)
+        panic("spmm: null adjacency");
+    Tensor v = a->multiply(h.value());
+    auto hn = h.node();
+    return makeOp(std::move(v), {h}, [a, hn](VarNode& self) {
+        if (!hn->requiresGrad)
+            return;
+        hn->ensureGrad();
+        hn->grad += a->transposeMultiply(self.grad);
+    });
+}
+
+Var
+bceWithLogits(const Var& logits, const Tensor& targets)
+{
+    const Tensor& z = logits.value();
+    if (z.cols() != 1 || !z.sameShape(targets))
+        fatal("bceWithLogits: logits and targets must both be Nx1");
+    int n = z.rows();
+    if (n == 0)
+        fatal("bceWithLogits: empty batch");
+    // loss_i = max(z,0) - z*y + log(1 + exp(-|z|))
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double zi = z.at(i, 0);
+        double yi = targets.at(i, 0);
+        total += std::max(zi, 0.0) - zi * yi +
+            std::log1p(std::exp(-std::fabs(zi)));
+    }
+    Tensor v(1, 1, static_cast<float>(total / n));
+    auto ln = logits.node();
+    return makeOp(std::move(v), {logits}, [ln, targets, n](VarNode& self) {
+        if (!ln->requiresGrad)
+            return;
+        ln->ensureGrad();
+        float g = self.grad.at(0, 0) / static_cast<float>(n);
+        for (int i = 0; i < n; ++i) {
+            float zi = ln->value.at(i, 0);
+            float p = 1.0f / (1.0f + std::exp(-zi));
+            ln->grad.at(i, 0) += g * (p - targets.at(i, 0));
+        }
+    });
+}
+
+Var
+mseLoss(const Var& pred, const Tensor& target)
+{
+    const Tensor& p = pred.value();
+    if (!p.sameShape(target))
+        fatal("mseLoss: shape mismatch");
+    int n = static_cast<int>(p.size());
+    if (n == 0)
+        fatal("mseLoss: empty input");
+    double total = 0.0;
+    for (int i = 0; i < p.rows(); ++i)
+        for (int j = 0; j < p.cols(); ++j) {
+            double d = p.at(i, j) - target.at(i, j);
+            total += d * d;
+        }
+    Tensor v(1, 1, static_cast<float>(total / n));
+    auto pn = pred.node();
+    return makeOp(std::move(v), {pred}, [pn, target, n](VarNode& self) {
+        if (!pn->requiresGrad)
+            return;
+        pn->ensureGrad();
+        float g = 2.0f * self.grad.at(0, 0) / static_cast<float>(n);
+        for (int i = 0; i < pn->value.rows(); ++i)
+            for (int j = 0; j < pn->value.cols(); ++j)
+                pn->grad.at(i, j) +=
+                    g * (pn->value.at(i, j) - target.at(i, j));
+    });
+}
+
+void
+backward(const Var& root)
+{
+    if (!root.defined())
+        panic("backward: undefined root");
+    if (root.value().rows() != 1 || root.value().cols() != 1)
+        fatal("backward: root must be a 1x1 scalar");
+
+    // Iterative DFS to produce a reverse topological order.
+    std::vector<VarNode*> order;
+    std::unordered_set<VarNode*> visited;
+    std::vector<std::pair<VarNode*, std::size_t>> stack;
+    stack.emplace_back(root.node().get(), 0);
+    visited.insert(root.node().get());
+    while (!stack.empty()) {
+        auto& [node, next] = stack.back();
+        if (next < node->parents.size()) {
+            VarNode* p = node->parents[next++].get();
+            if (p->requiresGrad && !visited.count(p)) {
+                visited.insert(p);
+                stack.emplace_back(p, 0);
+            }
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+
+    root.node()->ensureGrad();
+    root.node()->grad.at(0, 0) = 1.0f;
+
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        VarNode* node = *it;
+        if (node->backwardFn && node->requiresGrad) {
+            node->ensureGrad();
+            node->backwardFn(*node);
+        }
+    }
+}
+
+} // namespace ag
+} // namespace ccsa

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tape-based reverse-mode automatic differentiation over Tensor.
+ *
+ * Every forward operation allocates a VarNode that records its operands
+ * and a backward closure. backward() seeds the scalar output with
+ * gradient one, walks the recorded graph in reverse topological order,
+ * and accumulates gradients into every node that requires them. Leaf
+ * Vars (model parameters) persist across steps; interior nodes are
+ * reclaimed when the last Var referencing them goes out of scope.
+ *
+ * The operation set is exactly what the paper's models need: dense and
+ * sparse matrix products, elementwise arithmetic and non-linearities,
+ * row gather (embedding lookup), concatenation, reductions, and a
+ * numerically stable binary cross-entropy on logits.
+ */
+
+#ifndef CCSA_TENSOR_AUTOGRAD_HH
+#define CCSA_TENSOR_AUTOGRAD_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/sparse.hh"
+#include "tensor/tensor.hh"
+
+namespace ccsa
+{
+namespace ag
+{
+
+class VarNode;
+using VarNodePtr = std::shared_ptr<VarNode>;
+
+/** One recorded node of the computation tape. */
+class VarNode
+{
+  public:
+    Tensor value;
+    Tensor grad;
+    bool requiresGrad = false;
+    std::vector<VarNodePtr> parents;
+    std::function<void(VarNode&)> backwardFn;
+
+    /** Allocate the gradient buffer on first use. */
+    void
+    ensureGrad()
+    {
+        if (grad.empty() && !value.empty())
+            grad = Tensor::zeros(value.rows(), value.cols());
+    }
+};
+
+/** Handle to a node of the autograd tape. */
+class Var
+{
+  public:
+    /** An undefined Var (no node). */
+    Var() = default;
+
+    /** Wrap a tensor; requires_grad marks it as a trainable leaf. */
+    explicit Var(Tensor v, bool requires_grad = false);
+
+    bool defined() const { return node_ != nullptr; }
+
+    /** @return the forward value (fatal if undefined). */
+    const Tensor& value() const;
+
+    /** @return the accumulated gradient (allocated on demand). */
+    Tensor& grad();
+
+    /** Reset the gradient buffer to zero. */
+    void zeroGrad();
+
+    /** Replace the stored value in-place (optimizer update path). */
+    Tensor& mutableValue();
+
+    bool requiresGrad() const;
+
+    const VarNodePtr& node() const { return node_; }
+
+  private:
+    friend Var makeOp(Tensor value, std::vector<Var> parents,
+                      std::function<void(VarNode&)> backward);
+    VarNodePtr node_;
+};
+
+/** Create a constant (non-trainable) Var. */
+Var constant(Tensor t);
+
+/** Create a trainable leaf Var. */
+Var leaf(Tensor t);
+
+/** Dense matrix product. */
+Var matmul(const Var& a, const Var& b);
+
+/** Elementwise sum of two same-shape Vars. */
+Var add(const Var& a, const Var& b);
+
+/** Elementwise difference. */
+Var sub(const Var& a, const Var& b);
+
+/** Elementwise (Hadamard) product. */
+Var mul(const Var& a, const Var& b);
+
+/** Multiply by a compile-time constant scalar. */
+Var scale(const Var& a, float s);
+
+/** Elementwise sum of k >= 1 same-shape Vars (child-sum aggregation). */
+Var addN(const std::vector<Var>& xs);
+
+/** Logistic sigmoid. */
+Var sigmoid(const Var& a);
+
+/** Hyperbolic tangent. */
+Var tanhOp(const Var& a);
+
+/** Rectified linear unit. */
+Var relu(const Var& a);
+
+/** Add a 1xC bias row to every row of an NxC input. */
+Var addRowBroadcast(const Var& a, const Var& bias);
+
+/** Concatenate along columns (equal row counts). */
+Var concatColsOp(const Var& a, const Var& b);
+
+/** Gather rows of a table by index: (DxC, N indices) -> NxC. */
+Var gatherRows(const Var& table, std::vector<int> indices);
+
+/** Sum over rows: NxC -> 1xC. */
+Var sumRowsOp(const Var& a);
+
+/** Mean over rows: NxC -> 1xC. */
+Var meanRowsOp(const Var& a);
+
+/** Sum of all elements -> 1x1 (used by tests). */
+Var sumAllOp(const Var& a);
+
+/** Sparse (constant) times dense (autograd) product. */
+Var spmm(std::shared_ptr<const CsrMatrix> a, const Var& h);
+
+/**
+ * Numerically stable mean binary cross-entropy over logits.
+ * @param logits Nx1 raw scores.
+ * @param targets Nx1 labels in {0, 1} (constant).
+ * @return 1x1 mean loss.
+ */
+Var bceWithLogits(const Var& logits, const Tensor& targets);
+
+/** Mean squared error against a constant target (tests/toys). */
+Var mseLoss(const Var& pred, const Tensor& target);
+
+/**
+ * Run reverse-mode differentiation from a scalar (1x1) output.
+ * Gradients accumulate into every node with requiresGrad.
+ */
+void backward(const Var& root);
+
+} // namespace ag
+} // namespace ccsa
+
+#endif // CCSA_TENSOR_AUTOGRAD_HH

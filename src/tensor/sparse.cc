@@ -1,0 +1,87 @@
+#include "tensor/sparse.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+CsrMatrix
+CsrMatrix::fromCoo(int rows, int cols, std::vector<CooEntry> entries)
+{
+    for (const auto& e : entries) {
+        if (e.row < 0 || e.row >= rows || e.col < 0 || e.col >= cols)
+            panic("CsrMatrix::fromCoo: entry out of bounds");
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const CooEntry& a, const CooEntry& b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+
+    CsrMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.rowPtr_.assign(rows + 1, 0);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        // Merge duplicates by summation.
+        if (!m.colIdx_.empty() && i > 0 &&
+            entries[i].row == entries[i - 1].row &&
+            entries[i].col == entries[i - 1].col) {
+            m.values_.back() += entries[i].value;
+            continue;
+        }
+        m.colIdx_.push_back(entries[i].col);
+        m.values_.push_back(entries[i].value);
+        ++m.rowPtr_[entries[i].row + 1];
+    }
+    for (int r = 0; r < rows; ++r)
+        m.rowPtr_[r + 1] += m.rowPtr_[r];
+    return m;
+}
+
+Tensor
+CsrMatrix::multiply(const Tensor& dense) const
+{
+    if (dense.rows() != cols_)
+        panic("CsrMatrix::multiply: dimension mismatch");
+    Tensor out(rows_, dense.cols());
+    for (int r = 0; r < rows_; ++r) {
+        for (int p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p) {
+            int c = colIdx_[p];
+            float v = values_[p];
+            for (int j = 0; j < dense.cols(); ++j)
+                out.at(r, j) += v * dense.at(c, j);
+        }
+    }
+    return out;
+}
+
+Tensor
+CsrMatrix::transposeMultiply(const Tensor& dense) const
+{
+    if (dense.rows() != rows_)
+        panic("CsrMatrix::transposeMultiply: dimension mismatch");
+    Tensor out(cols_, dense.cols());
+    for (int r = 0; r < rows_; ++r) {
+        for (int p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p) {
+            int c = colIdx_[p];
+            float v = values_[p];
+            for (int j = 0; j < dense.cols(); ++j)
+                out.at(c, j) += v * dense.at(r, j);
+        }
+    }
+    return out;
+}
+
+Tensor
+CsrMatrix::toDense() const
+{
+    Tensor out(rows_, cols_);
+    for (int r = 0; r < rows_; ++r)
+        for (int p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p)
+            out.at(r, colIdx_[p]) += values_[p];
+    return out;
+}
+
+} // namespace ccsa

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Compressed sparse row matrices, used for the degree-normalised
+ * adjacency matrices consumed by the GCN baseline (Kipf & Welling).
+ * Adjacencies are constants of the computation graph, so only
+ * sparse-times-dense products (and their transposed form, needed for
+ * the backward pass) are provided.
+ */
+
+#ifndef CCSA_TENSOR_SPARSE_HH
+#define CCSA_TENSOR_SPARSE_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace ccsa
+{
+
+/** One coordinate-format entry used to assemble a CsrMatrix. */
+struct CooEntry
+{
+    int row;
+    int col;
+    float value;
+};
+
+/** Immutable CSR sparse matrix. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** Build from coordinate entries (duplicates are summed). */
+    static CsrMatrix fromCoo(int rows, int cols,
+                             std::vector<CooEntry> entries);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    std::size_t nnz() const { return values_.size(); }
+
+    /** Dense product: this (RxC) times dense (CxN) -> RxN. */
+    Tensor multiply(const Tensor& dense) const;
+
+    /** Transposed product: this^T (CxR) times dense (RxN) -> CxN. */
+    Tensor transposeMultiply(const Tensor& dense) const;
+
+    /** Materialise as a dense tensor (tests / small graphs only). */
+    Tensor toDense() const;
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<int> rowPtr_;
+    std::vector<int> colIdx_;
+    std::vector<float> values_;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_TENSOR_SPARSE_HH

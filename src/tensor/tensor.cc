@@ -1,0 +1,247 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccsa
+{
+
+Tensor::Tensor(int rows, int cols, float fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, fill)
+{
+    if (rows < 0 || cols < 0)
+        panic("Tensor: negative dimension");
+}
+
+Tensor
+Tensor::fromVector(const std::vector<float>& data, int rows, int cols)
+{
+    if (data.size() != static_cast<std::size_t>(rows) * cols)
+        panic("Tensor::fromVector: size mismatch");
+    Tensor t(rows, cols);
+    t.data_ = data;
+    return t;
+}
+
+Tensor
+Tensor::matmul(const Tensor& o) const
+{
+    if (cols_ != o.rows_)
+        panic("Tensor::matmul: inner dimensions ", cols_, " vs ",
+              o.rows_);
+    Tensor out(rows_, o.cols_);
+    // ikj loop order for cache-friendly access of both operands.
+    for (int i = 0; i < rows_; ++i) {
+        const float* arow = data_.data() +
+            static_cast<std::size_t>(i) * cols_;
+        float* orow = out.data_.data() +
+            static_cast<std::size_t>(i) * o.cols_;
+        for (int k = 0; k < cols_; ++k) {
+            float a = arow[k];
+            if (a == 0.0f)
+                continue;
+            const float* brow = o.data_.data() +
+                static_cast<std::size_t>(k) * o.cols_;
+            for (int j = 0; j < o.cols_; ++j)
+                orow[j] += a * brow[j];
+        }
+    }
+    return out;
+}
+
+Tensor
+Tensor::transpose() const
+{
+    Tensor out(cols_, rows_);
+    for (int i = 0; i < rows_; ++i)
+        for (int j = 0; j < cols_; ++j)
+            out.at(j, i) = at(i, j);
+    return out;
+}
+
+Tensor
+Tensor::operator+(const Tensor& o) const
+{
+    if (!sameShape(o))
+        panic("Tensor::operator+: shape mismatch");
+    Tensor out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] += o.data_[i];
+    return out;
+}
+
+Tensor
+Tensor::operator-(const Tensor& o) const
+{
+    if (!sameShape(o))
+        panic("Tensor::operator-: shape mismatch");
+    Tensor out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] -= o.data_[i];
+    return out;
+}
+
+Tensor
+Tensor::operator*(const Tensor& o) const
+{
+    if (!sameShape(o))
+        panic("Tensor::operator*: shape mismatch");
+    Tensor out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] *= o.data_[i];
+    return out;
+}
+
+Tensor&
+Tensor::operator+=(const Tensor& o)
+{
+    if (!sameShape(o))
+        panic("Tensor::operator+=: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += o.data_[i];
+    return *this;
+}
+
+Tensor&
+Tensor::operator-=(const Tensor& o)
+{
+    if (!sameShape(o))
+        panic("Tensor::operator-=: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= o.data_[i];
+    return *this;
+}
+
+Tensor
+Tensor::operator*(float s) const
+{
+    Tensor out = *this;
+    for (auto& v : out.data_)
+        v *= s;
+    return out;
+}
+
+Tensor&
+Tensor::operator*=(float s)
+{
+    for (auto& v : data_)
+        v *= s;
+    return *this;
+}
+
+Tensor
+Tensor::addRowBroadcast(const Tensor& row) const
+{
+    if (row.rows_ != 1 || row.cols_ != cols_)
+        panic("Tensor::addRowBroadcast: bias must be 1x", cols_);
+    Tensor out = *this;
+    for (int i = 0; i < rows_; ++i)
+        for (int j = 0; j < cols_; ++j)
+            out.at(i, j) += row.at(0, j);
+    return out;
+}
+
+Tensor
+Tensor::sumRows() const
+{
+    Tensor out(1, cols_);
+    for (int i = 0; i < rows_; ++i)
+        for (int j = 0; j < cols_; ++j)
+            out.at(0, j) += at(i, j);
+    return out;
+}
+
+float
+Tensor::sumAll() const
+{
+    float s = 0.0f;
+    for (float v : data_)
+        s += v;
+    return s;
+}
+
+float
+Tensor::meanAll() const
+{
+    if (data_.empty())
+        fatal("Tensor::meanAll: empty tensor");
+    return sumAll() / static_cast<float>(data_.size());
+}
+
+float
+Tensor::normSq() const
+{
+    float s = 0.0f;
+    for (float v : data_)
+        s += v * v;
+    return s;
+}
+
+Tensor
+Tensor::rowCopy(int r) const
+{
+    if (r < 0 || r >= rows_)
+        panic("Tensor::rowCopy: row out of range");
+    Tensor out(1, cols_);
+    for (int j = 0; j < cols_; ++j)
+        out.at(0, j) = at(r, j);
+    return out;
+}
+
+void
+Tensor::setRow(int r, const Tensor& row)
+{
+    if (r < 0 || r >= rows_ || row.rows_ != 1 || row.cols_ != cols_)
+        panic("Tensor::setRow: shape mismatch");
+    for (int j = 0; j < cols_; ++j)
+        at(r, j) = row.at(0, j);
+}
+
+void
+Tensor::fillUniform(Rng& rng, float lo, float hi)
+{
+    for (auto& v : data_)
+        v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void
+Tensor::fillNormal(Rng& rng, float mean, float stddev)
+{
+    for (auto& v : data_)
+        v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+float
+Tensor::maxAbsDiff(const Tensor& o) const
+{
+    if (!sameShape(o))
+        panic("Tensor::maxAbsDiff: shape mismatch");
+    float m = 0.0f;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+    return m;
+}
+
+Tensor
+concatCols(const Tensor& a, const Tensor& b)
+{
+    if (a.rows() != b.rows())
+        panic("concatCols: row mismatch");
+    Tensor out(a.rows(), a.cols() + b.cols());
+    for (int i = 0; i < a.rows(); ++i) {
+        for (int j = 0; j < a.cols(); ++j)
+            out.at(i, j) = a.at(i, j);
+        for (int j = 0; j < b.cols(); ++j)
+            out.at(i, a.cols() + j) = b.at(i, j);
+    }
+    return out;
+}
+
+} // namespace ccsa

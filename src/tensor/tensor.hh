@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A minimal dense float32 tensor (rank <= 2, row-major) that underpins
+ * the from-scratch neural-network stack. The paper trained its models
+ * with a GPU deep-learning framework; this repository substitutes a
+ * self-contained CPU implementation with identical mathematics so the
+ * full pipeline runs offline with no external dependencies.
+ */
+
+#ifndef CCSA_TENSOR_TENSOR_HH
+#define CCSA_TENSOR_TENSOR_HH
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace ccsa
+{
+
+/** Dense row-major matrix of float32; a 1xN tensor doubles as a vector. */
+class Tensor
+{
+  public:
+    /** Construct an empty (0x0) tensor. */
+    Tensor() = default;
+
+    /** Construct a rows x cols tensor filled with a constant. */
+    Tensor(int rows, int cols, float fill = 0.0f);
+
+    /** @return a rows x cols tensor of zeros. */
+    static Tensor zeros(int rows, int cols) { return {rows, cols, 0.0f}; }
+
+    /** @return a rows x cols tensor of ones. */
+    static Tensor ones(int rows, int cols) { return {rows, cols, 1.0f}; }
+
+    /** Build from a flat row-major buffer (size must be rows*cols). */
+    static Tensor fromVector(const std::vector<float>& data,
+                             int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Mutable element access with bounds panic in debug paths. */
+    float&
+    at(int r, int c)
+    {
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
+    }
+
+    float
+    at(int r, int c) const
+    {
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
+    }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    /** @return true if shapes match. */
+    bool
+    sameShape(const Tensor& o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_;
+    }
+
+    /** Matrix product (this: MxK, o: KxN) -> MxN. */
+    Tensor matmul(const Tensor& o) const;
+
+    /** @return the transpose. */
+    Tensor transpose() const;
+
+    /** Elementwise operations (shape-checked). */
+    Tensor operator+(const Tensor& o) const;
+    Tensor operator-(const Tensor& o) const;
+    Tensor operator*(const Tensor& o) const;
+
+    Tensor& operator+=(const Tensor& o);
+    Tensor& operator-=(const Tensor& o);
+
+    /** Scalar operations. */
+    Tensor operator*(float s) const;
+    Tensor& operator*=(float s);
+
+    /** Add a 1xC row vector to every row of this NxC tensor. */
+    Tensor addRowBroadcast(const Tensor& row) const;
+
+    /** Sum over rows -> 1xC. */
+    Tensor sumRows() const;
+
+    /** Sum of all elements. */
+    float sumAll() const;
+
+    /** Mean of all elements (fatal if empty). */
+    float meanAll() const;
+
+    /** Squared Frobenius norm. */
+    float normSq() const;
+
+    /** Copy of row r as a 1xC tensor. */
+    Tensor rowCopy(int r) const;
+
+    /** Overwrite row r with a 1xC tensor. */
+    void setRow(int r, const Tensor& row);
+
+    /** Fill with U(lo, hi) samples. */
+    void fillUniform(Rng& rng, float lo, float hi);
+
+    /** Fill with N(mean, stddev) samples. */
+    void fillNormal(Rng& rng, float mean, float stddev);
+
+    /** Set all elements to a constant. */
+    void fill(float v);
+
+    /** Max absolute elementwise difference to another tensor. */
+    float maxAbsDiff(const Tensor& o) const;
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** Concatenate two tensors with equal rows along columns. */
+Tensor concatCols(const Tensor& a, const Tensor& b);
+
+} // namespace ccsa
+
+#endif // CCSA_TENSOR_TENSOR_HH

@@ -1,0 +1,184 @@
+#include "viz/tsne.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+namespace
+{
+
+/** Squared Euclidean distances between all row pairs. */
+std::vector<double>
+pairwiseSqDist(const Tensor& x)
+{
+    int n = x.rows();
+    std::vector<double> d(static_cast<std::size_t>(n) * n, 0.0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            double s = 0.0;
+            for (int k = 0; k < x.cols(); ++k) {
+                double diff = x.at(i, k) - x.at(j, k);
+                s += diff * diff;
+            }
+            d[static_cast<std::size_t>(i) * n + j] = s;
+            d[static_cast<std::size_t>(j) * n + i] = s;
+        }
+    }
+    return d;
+}
+
+/**
+ * Row-wise conditional probabilities with per-point bandwidth chosen
+ * by binary search to match the target perplexity.
+ */
+std::vector<double>
+affinities(const std::vector<double>& d2, int n, double perplexity)
+{
+    std::vector<double> p(d2.size(), 0.0);
+    double log_perp = std::log(std::max(perplexity, 2.0));
+    for (int i = 0; i < n; ++i) {
+        double beta = 1.0, beta_lo = 0.0, beta_hi = 1e18;
+        for (int iter = 0; iter < 60; ++iter) {
+            double sum = 0.0, sum_dp = 0.0;
+            for (int j = 0; j < n; ++j) {
+                if (j == i)
+                    continue;
+                double e = std::exp(
+                    -d2[static_cast<std::size_t>(i) * n + j] * beta);
+                sum += e;
+                sum_dp += d2[static_cast<std::size_t>(i) * n + j] * e;
+            }
+            if (sum <= 0.0)
+                break;
+            double entropy = std::log(sum) + beta * sum_dp / sum;
+            if (std::fabs(entropy - log_perp) < 1e-4)
+                break;
+            if (entropy > log_perp) {
+                beta_lo = beta;
+                beta = beta_hi > 1e17 ? beta * 2 : (beta + beta_hi) / 2;
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2;
+            }
+        }
+        double sum = 0.0;
+        for (int j = 0; j < n; ++j)
+            if (j != i)
+                sum += std::exp(
+                    -d2[static_cast<std::size_t>(i) * n + j] * beta);
+        for (int j = 0; j < n; ++j) {
+            if (j == i || sum <= 0.0)
+                continue;
+            p[static_cast<std::size_t>(i) * n + j] =
+                std::exp(-d2[static_cast<std::size_t>(i) * n + j] *
+                         beta) / sum;
+        }
+    }
+    return p;
+}
+
+} // namespace
+
+Tensor
+tsne(const Tensor& points, const TsneConfig& cfg)
+{
+    int n = points.rows();
+    if (n < 3)
+        fatal("tsne: need at least 3 points");
+
+    auto d2 = pairwiseSqDist(points);
+    auto p_cond = affinities(d2, n, cfg.perplexity);
+
+    // Symmetrise: p_ij = (p_j|i + p_i|j) / 2n, floored for stability.
+    std::vector<double> p(p_cond.size(), 0.0);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+            std::size_t ij = static_cast<std::size_t>(i) * n + j;
+            std::size_t ji = static_cast<std::size_t>(j) * n + i;
+            p[ij] = std::max((p_cond[ij] + p_cond[ji]) / (2.0 * n),
+                             1e-12);
+        }
+
+    Rng rng(cfg.seed);
+    Tensor y(n, 2);
+    y.fillNormal(rng, 0.0f, 1e-2f);
+    Tensor velocity(n, 2);
+
+    std::vector<double> q(p.size(), 0.0);
+    for (int iter = 0; iter < cfg.iterations; ++iter) {
+        double exaggeration = iter < cfg.exaggerationIters
+            ? cfg.earlyExaggeration : 1.0;
+        double momentum = iter < cfg.exaggerationIters
+            ? cfg.momentumStart : cfg.momentumFinal;
+
+        // Student-t affinities in the embedding.
+        double q_sum = 0.0;
+        for (int i = 0; i < n; ++i) {
+            for (int j = i + 1; j < n; ++j) {
+                double dy0 = y.at(i, 0) - y.at(j, 0);
+                double dy1 = y.at(i, 1) - y.at(j, 1);
+                double t = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+                q[static_cast<std::size_t>(i) * n + j] = t;
+                q[static_cast<std::size_t>(j) * n + i] = t;
+                q_sum += 2.0 * t;
+            }
+        }
+
+        for (int i = 0; i < n; ++i) {
+            double g0 = 0.0, g1 = 0.0;
+            for (int j = 0; j < n; ++j) {
+                if (j == i)
+                    continue;
+                std::size_t ij = static_cast<std::size_t>(i) * n + j;
+                double q_ij = std::max(q[ij] / q_sum, 1e-12);
+                double mult = (exaggeration * p[ij] - q_ij) * q[ij];
+                g0 += mult * (y.at(i, 0) - y.at(j, 0));
+                g1 += mult * (y.at(i, 1) - y.at(j, 1));
+            }
+            velocity.at(i, 0) = static_cast<float>(
+                momentum * velocity.at(i, 0) -
+                cfg.learningRate * 4.0 * g0);
+            velocity.at(i, 1) = static_cast<float>(
+                momentum * velocity.at(i, 1) -
+                cfg.learningRate * 4.0 * g1);
+        }
+        for (int i = 0; i < n; ++i) {
+            y.at(i, 0) += velocity.at(i, 0);
+            y.at(i, 1) += velocity.at(i, 1);
+        }
+    }
+    return y;
+}
+
+double
+separationRatio(const Tensor& embedding, const std::vector<int>& labels)
+{
+    if (static_cast<int>(labels.size()) != embedding.rows())
+        fatal("separationRatio: label count mismatch");
+    double intra = 0.0, inter = 0.0;
+    std::size_t n_intra = 0, n_inter = 0;
+    for (int i = 0; i < embedding.rows(); ++i) {
+        for (int j = i + 1; j < embedding.rows(); ++j) {
+            double d0 = embedding.at(i, 0) - embedding.at(j, 0);
+            double d1 = embedding.at(i, 1) - embedding.at(j, 1);
+            double d = std::sqrt(d0 * d0 + d1 * d1);
+            if (labels[i] == labels[j]) {
+                intra += d;
+                ++n_intra;
+            } else {
+                inter += d;
+                ++n_inter;
+            }
+        }
+    }
+    if (n_intra == 0 || n_inter == 0)
+        return 0.0;
+    return (inter / static_cast<double>(n_inter)) /
+        std::max(intra / static_cast<double>(n_intra), 1e-12);
+}
+
+} // namespace ccsa

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Exact t-distributed Stochastic Neighbor Embedding (van der Maaten &
+ * Hinton 2008), used to regenerate Figure 7: 2-D projections of the
+ * learned node embeddings and code representations. O(N^2) — ample
+ * for the few hundred points the figure plots.
+ */
+
+#ifndef CCSA_VIZ_TSNE_HH
+#define CCSA_VIZ_TSNE_HH
+
+#include "base/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace ccsa
+{
+
+/** t-SNE hyper-parameters. */
+struct TsneConfig
+{
+    double perplexity = 15.0;
+    int iterations = 400;
+    double learningRate = 100.0;
+    double earlyExaggeration = 4.0;
+    int exaggerationIters = 80;
+    double momentumStart = 0.5;
+    double momentumFinal = 0.8;
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Project high-dimensional rows to 2-D.
+ * @param points N x D input matrix (one row per point).
+ * @param cfg hyper-parameters.
+ * @return N x 2 embedding.
+ */
+Tensor tsne(const Tensor& points, const TsneConfig& cfg = {});
+
+/**
+ * Cluster-separation diagnostic for a labelled 2-D embedding: the
+ * ratio of mean inter-class to mean intra-class pairwise distance
+ * (> 1 means classes are visibly separated).
+ */
+double separationRatio(const Tensor& embedding,
+                       const std::vector<int>& labels);
+
+} // namespace ccsa
+
+#endif // CCSA_VIZ_TSNE_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the AST arena, traversals, pruning, and node-kind
+ * metadata.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ast/ast.hh"
+#include "base/logging.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+TEST(NodeKind, NamesAndCategoriesCoverAllKinds)
+{
+    for (int i = 0; i < kNumNodeKinds; ++i) {
+        NodeKind k = static_cast<NodeKind>(i);
+        EXPECT_NE(nodeKindName(k), nullptr);
+        // Category must be resolvable for every kind.
+        NodeCategory c = nodeKindCategory(k);
+        EXPECT_NE(nodeCategoryName(c), nullptr);
+    }
+}
+
+TEST(NodeKind, CategorySpotChecks)
+{
+    EXPECT_EQ(nodeKindCategory(NodeKind::ForStmt),
+              NodeCategory::Statement);
+    EXPECT_EQ(nodeKindCategory(NodeKind::Add),
+              NodeCategory::Operation);
+    EXPECT_EQ(nodeKindCategory(NodeKind::IntLiteral),
+              NodeCategory::Literal);
+    EXPECT_EQ(nodeKindCategory(NodeKind::CallExpr),
+              NodeCategory::Expression);
+    EXPECT_EQ(nodeKindCategory(NodeKind::Root),
+              NodeCategory::Support);
+}
+
+TEST(Ast, BuildAndNavigate)
+{
+    Ast ast(NodeKind::Root);
+    int fn = ast.addNode(NodeKind::FunctionDef, ast.root(), "main");
+    int body = ast.addNode(NodeKind::CompoundStmt, fn);
+    int ret = ast.addNode(NodeKind::ReturnStmt, body);
+    EXPECT_EQ(ast.size(), 4);
+    EXPECT_EQ(ast.node(ret).parent, body);
+    EXPECT_EQ(ast.node(fn).text, "main");
+    EXPECT_EQ(ast.parents(), (std::vector<int>{-1, 0, 1, 2}));
+    EXPECT_EQ(ast.depth(), 4);
+    EXPECT_EQ(ast.countKind(NodeKind::ReturnStmt), 1);
+    EXPECT_EQ(ast.subtreeSize(fn), 3);
+}
+
+TEST(Ast, InvalidAccessPanics)
+{
+    Ast ast;
+    EXPECT_THROW(ast.node(5), PanicError);
+    EXPECT_THROW(ast.addNode(NodeKind::IfStmt, 9), PanicError);
+}
+
+TEST(Ast, PreorderVisitsParentFirstInOrder)
+{
+    Ast ast(NodeKind::Root);
+    int a = ast.addNode(NodeKind::FunctionDef, 0, "a");
+    int b = ast.addNode(NodeKind::FunctionDef, 0, "b");
+    int a1 = ast.addNode(NodeKind::CompoundStmt, a);
+    std::vector<int> visited;
+    ast.visitPreorder([&](int id) { visited.push_back(id); });
+    EXPECT_EQ(visited, (std::vector<int>{0, a, a1, b}));
+}
+
+TEST(Ast, KindIdsMatchNodes)
+{
+    Ast ast(NodeKind::Root);
+    ast.addNode(NodeKind::IfStmt, 0);
+    auto ids = ast.kindIds();
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], kindId(NodeKind::Root));
+    EXPECT_EQ(ids[1], kindId(NodeKind::IfStmt));
+}
+
+TEST(Ast, SExpressionFormat)
+{
+    Ast ast(NodeKind::Root);
+    int fn = ast.addNode(NodeKind::FunctionDef, 0, "main");
+    ast.addNode(NodeKind::CompoundStmt, fn);
+    EXPECT_EQ(ast.toSExpression(),
+              "(Root (FunctionDef:main (CompoundStmt)))");
+}
+
+TEST(Ast, DotContainsAllNodesAndEdges)
+{
+    Ast ast(NodeKind::Root);
+    int fn = ast.addNode(NodeKind::FunctionDef, 0, "f");
+    ast.addNode(NodeKind::CompoundStmt, fn);
+    std::string dot = ast.toDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+    EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+}
+
+TEST(Prune, KeepsOnlyFunctionSubtrees)
+{
+    Ast full(NodeKind::Root);
+    // Global decl should be pruned away.
+    int g = full.addNode(NodeKind::DeclStmt, 0, "int");
+    full.addNode(NodeKind::VarDecl, g, "global");
+    int f1 = full.addNode(NodeKind::FunctionDef, 0, "main");
+    int b1 = full.addNode(NodeKind::CompoundStmt, f1);
+    full.addNode(NodeKind::ReturnStmt, b1);
+    int f2 = full.addNode(NodeKind::FunctionDef, 0, "helper");
+    full.addNode(NodeKind::CompoundStmt, f2);
+
+    Ast pruned = pruneToFunctions(full);
+    EXPECT_EQ(pruned.countKind(NodeKind::DeclStmt), 0);
+    EXPECT_EQ(pruned.countKind(NodeKind::FunctionDef), 2);
+    // Functions hang directly off the root (§IV-A).
+    for (int id : pruned.nodesOfKind(NodeKind::FunctionDef))
+        EXPECT_EQ(pruned.node(id).parent, pruned.root());
+    EXPECT_EQ(pruned.countKind(NodeKind::ReturnStmt), 1);
+}
+
+TEST(Prune, NoFunctionsFatal)
+{
+    Ast full(NodeKind::Root);
+    full.addNode(NodeKind::DeclStmt, 0);
+    EXPECT_THROW(pruneToFunctions(full), FatalError);
+}
+
+} // namespace
+} // namespace ccsa

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for corpus generation, splitting, and pair construction.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+#include "dataset/corpus.hh"
+#include "dataset/pairs.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+Corpus
+smallCorpus()
+{
+    static Corpus corpus = Corpus::generate(
+        tableISpec(ProblemFamily::H), 40, 11);
+    return corpus;
+}
+
+TEST(Corpus, GeneratesRequestedCount)
+{
+    Corpus corpus = smallCorpus();
+    EXPECT_EQ(corpus.size(), 40u);
+    EXPECT_EQ(corpus.problems().size(), 1u);
+    for (const auto& s : corpus.submissions()) {
+        EXPECT_GT(s.runtimeMs, 0.0);
+        EXPECT_FALSE(s.source.empty());
+        EXPECT_GT(s.ast.size(), 10);
+        EXPECT_EQ(s.problemId, 0);
+    }
+}
+
+TEST(Corpus, RuntimesVary)
+{
+    Corpus corpus = smallCorpus();
+    auto rts = corpus.runtimes();
+    Summary s = summarize(rts);
+    EXPECT_GT(s.max, 1.5 * s.min)
+        << "no runtime variability to learn from";
+}
+
+TEST(Corpus, DeterministicForSeed)
+{
+    Corpus a = Corpus::generate(tableISpec(ProblemFamily::H), 10, 3);
+    Corpus b = Corpus::generate(tableISpec(ProblemFamily::H), 10, 3);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.submissions()[i].source, b.submissions()[i].source);
+        EXPECT_DOUBLE_EQ(a.submissions()[i].runtimeMs,
+                         b.submissions()[i].runtimeMs);
+    }
+}
+
+TEST(Corpus, SplitDisjointAndComplete)
+{
+    Corpus corpus = smallCorpus();
+    Rng rng(5);
+    auto [train, test] = corpus.split(0.75, rng);
+    EXPECT_EQ(train.size() + test.size(), corpus.size());
+    std::set<int> seen(train.begin(), train.end());
+    for (int t : test)
+        EXPECT_EQ(seen.count(t), 0u);
+    EXPECT_NEAR(static_cast<double>(train.size()) /
+                    static_cast<double>(corpus.size()),
+                0.75, 0.05);
+}
+
+TEST(Corpus, SplitInvalidFractionFatal)
+{
+    Corpus corpus = smallCorpus();
+    Rng rng(5);
+    EXPECT_THROW(corpus.split(0.0, rng), FatalError);
+    EXPECT_THROW(corpus.split(1.0, rng), FatalError);
+}
+
+TEST(Corpus, MixedCorpusSpansProblems)
+{
+    Corpus corpus = Corpus::generateMixed(4, 6, 21);
+    EXPECT_EQ(corpus.size(), 24u);
+    EXPECT_EQ(corpus.problems().size(), 4u);
+    std::set<int> pids;
+    for (const auto& s : corpus.submissions())
+        pids.insert(s.problemId);
+    EXPECT_EQ(pids.size(), 4u);
+}
+
+TEST(MpSpec, DerivedProblemsDiffer)
+{
+    ProblemSpec a = mpProblemSpec(0);
+    ProblemSpec b = mpProblemSpec(9);
+    EXPECT_EQ(a.family, b.family); // same base family (index % 9)
+    EXPECT_NE(a.problemSeed, b.problemSeed);
+    EXPECT_NE(a.judge.testSizes.back(), b.judge.testSizes.back());
+    EXPECT_THROW(mpProblemSpec(-1), FatalError);
+}
+
+TEST(Pairs, LabelsFollowEquationOne)
+{
+    Corpus corpus = smallCorpus();
+    std::vector<int> idx;
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        idx.push_back(static_cast<int>(i));
+    Rng rng(7);
+    PairOptions opt;
+    auto pairs = buildPairs(corpus.submissions(), idx, opt, rng);
+    ASSERT_FALSE(pairs.empty());
+    for (const auto& p : pairs) {
+        double t_first = corpus.submissions()[p.first].runtimeMs;
+        double t_second = corpus.submissions()[p.second].runtimeMs;
+        EXPECT_EQ(p.label >= 0.5f, t_first >= t_second);
+        EXPECT_NE(p.first, p.second);
+    }
+}
+
+TEST(Pairs, SymmetricDoublesOneWay)
+{
+    Corpus corpus = smallCorpus();
+    std::vector<int> idx;
+    for (int i = 0; i < 12; ++i)
+        idx.push_back(i);
+    PairOptions sym;
+    sym.symmetric = true;
+    PairOptions one;
+    one.symmetric = false;
+    Rng r1(9), r2(9);
+    auto sym_pairs = buildPairs(corpus.submissions(), idx, sym, r1);
+    auto one_pairs = buildPairs(corpus.submissions(), idx, one, r2);
+    EXPECT_EQ(sym_pairs.size(), 12u * 11u);
+    EXPECT_EQ(one_pairs.size(), 12u * 11u / 2u);
+}
+
+TEST(Pairs, RatioSubsamples)
+{
+    Corpus corpus = smallCorpus();
+    std::vector<int> idx;
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        idx.push_back(static_cast<int>(i));
+    PairOptions opt;
+    opt.ratio = 0.25;
+    Rng rng(13);
+    auto pairs = buildPairs(corpus.submissions(), idx, opt, rng);
+    double full = 40.0 * 39.0;
+    EXPECT_NEAR(static_cast<double>(pairs.size()) / full, 0.25,
+                0.07);
+}
+
+TEST(Pairs, MaxPairsCaps)
+{
+    Corpus corpus = smallCorpus();
+    std::vector<int> idx;
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        idx.push_back(static_cast<int>(i));
+    PairOptions opt;
+    opt.maxPairs = 50;
+    Rng rng(15);
+    auto pairs = buildPairs(corpus.submissions(), idx, opt, rng);
+    EXPECT_EQ(pairs.size(), 50u);
+}
+
+TEST(Pairs, MinGapFiltersCloseRuntimes)
+{
+    Corpus corpus = smallCorpus();
+    std::vector<int> idx;
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        idx.push_back(static_cast<int>(i));
+    PairOptions opt;
+    opt.minGapMs = 5.0;
+    Rng rng(17);
+    auto pairs = buildPairs(corpus.submissions(), idx, opt, rng);
+    for (const auto& p : pairs) {
+        double gap = std::abs(corpus.submissions()[p.first].runtimeMs -
+                              corpus.submissions()[p.second].runtimeMs);
+        EXPECT_GE(gap, 5.0);
+    }
+}
+
+TEST(Pairs, BalancedClasses)
+{
+    Corpus corpus = smallCorpus();
+    std::vector<int> idx;
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        idx.push_back(static_cast<int>(i));
+    PairOptions opt; // symmetric => exactly balanced up to ties
+    Rng rng(19);
+    auto pairs = buildPairs(corpus.submissions(), idx, opt, rng);
+    EXPECT_NEAR(positiveFraction(pairs), 0.5, 0.05);
+}
+
+TEST(Pairs, InvalidRatioFatal)
+{
+    Corpus corpus = smallCorpus();
+    PairOptions opt;
+    opt.ratio = 0.0;
+    Rng rng(21);
+    std::vector<int> idx{0, 1};
+    EXPECT_THROW(buildPairs(corpus.submissions(), idx, opt, rng),
+                 FatalError);
+}
+
+TEST(Pairs, CrossProblemExcludedByDefault)
+{
+    Corpus corpus = Corpus::generateMixed(2, 5, 23);
+    std::vector<int> idx;
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        idx.push_back(static_cast<int>(i));
+    PairOptions opt;
+    Rng rng(25);
+    auto pairs = buildPairs(corpus.submissions(), idx, opt, rng);
+    for (const auto& p : pairs)
+        EXPECT_EQ(corpus.submissions()[p.first].problemId,
+                  corpus.submissions()[p.second].problemId);
+
+    opt.withinProblemOnly = false;
+    Rng rng2(25);
+    auto all = buildPairs(corpus.submissions(), idx, opt, rng2);
+    EXPECT_GT(all.size(), pairs.size());
+}
+
+} // namespace
+} // namespace ccsa

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for corpus export/import (the paper's published-dataset
+ * interchange format).
+ */
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "dataset/io.hh"
+#include "dataset/pairs.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class DatasetIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("ccsa_io_test_" + std::to_string(::getpid())))
+            .string();
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(DatasetIoTest, RoundTripPreservesEverything)
+{
+    Corpus corpus = Corpus::generate(tableISpec(ProblemFamily::H),
+                                     12, 5);
+    exportCorpus(corpus, dir_);
+
+    EXPECT_TRUE(fs::exists(fs::path(dir_) / "index.csv"));
+    EXPECT_TRUE(fs::exists(fs::path(dir_) / "sub_0.cpp"));
+
+    auto loaded = importSubmissions(dir_);
+    ASSERT_EQ(loaded.size(), corpus.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        const Submission& a = corpus.submissions()[i];
+        const Submission& b = loaded[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.problemId, b.problemId);
+        EXPECT_EQ(a.source, b.source);
+        EXPECT_EQ(a.algoVariant, b.algoVariant);
+        EXPECT_NEAR(a.runtimeMs, b.runtimeMs,
+                    1e-6 * std::max(a.runtimeMs, 1.0));
+        // Re-parsed AST matches the original structurally.
+        EXPECT_EQ(a.ast.toSExpression(), b.ast.toSExpression());
+    }
+}
+
+TEST_F(DatasetIoTest, ImportMissingDirectoryFatal)
+{
+    EXPECT_THROW(importSubmissions(dir_ + "_nonexistent"),
+                 FatalError);
+}
+
+TEST_F(DatasetIoTest, ImportMalformedIndexFatal)
+{
+    fs::create_directories(dir_);
+    {
+        std::ofstream f(fs::path(dir_) / "index.csv");
+        f << "id,problem_id,runtime_ms,algo_variant,source_file\n";
+        f << "not,enough\n";
+    }
+    EXPECT_THROW(importSubmissions(dir_), FatalError);
+}
+
+TEST_F(DatasetIoTest, ImportMissingSourceFatal)
+{
+    fs::create_directories(dir_);
+    {
+        std::ofstream f(fs::path(dir_) / "index.csv");
+        f << "id,problem_id,runtime_ms,algo_variant,source_file\n";
+        f << "0,0,12.5,1,sub_0.cpp\n";
+    }
+    EXPECT_THROW(importSubmissions(dir_), FatalError);
+}
+
+TEST_F(DatasetIoTest, LoadedSubmissionsTrainable)
+{
+    Corpus corpus = Corpus::generate(tableISpec(ProblemFamily::H),
+                                     10, 7);
+    exportCorpus(corpus, dir_);
+    auto loaded = importSubmissions(dir_);
+
+    // Pairs built from the re-imported corpus carry valid labels.
+    std::vector<int> idx;
+    for (std::size_t i = 0; i < loaded.size(); ++i)
+        idx.push_back(static_cast<int>(i));
+    Rng rng(9);
+    PairOptions opt;
+    auto pairs = buildPairs(loaded, idx, opt, rng);
+    EXPECT_FALSE(pairs.empty());
+    for (const auto& p : pairs)
+        EXPECT_EQ(p.label >= 0.5f,
+                  loaded[p.first].runtimeMs >=
+                      loaded[p.second].runtimeMs);
+}
+
+} // namespace
+} // namespace ccsa

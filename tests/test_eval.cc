@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the evaluation metrics: accuracy, ROC/AUC, sensitivity
+ * sweep, and confusion counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+std::vector<ScoredPair>
+makeScored(std::initializer_list<std::tuple<double, float, double>> xs)
+{
+    std::vector<ScoredPair> out;
+    for (const auto& [score, label, gap] : xs)
+        out.push_back({score, label, gap});
+    return out;
+}
+
+TEST(Metrics, AccuracyCountsCorrectly)
+{
+    auto scored = makeScored({
+        {0.9, 1.0f, 10}, // correct
+        {0.2, 0.0f, 10}, // correct
+        {0.8, 0.0f, 10}, // wrong
+        {0.4, 1.0f, 10}, // wrong
+    });
+    EXPECT_DOUBLE_EQ(pairwiseAccuracy(scored), 0.5);
+}
+
+TEST(Metrics, AccuracyEmptyFatal)
+{
+    EXPECT_THROW(pairwiseAccuracy(std::vector<ScoredPair>{}),
+                 FatalError);
+}
+
+TEST(Metrics, PerfectSeparationAucOne)
+{
+    auto scored = makeScored({
+        {0.9, 1.0f, 1}, {0.8, 1.0f, 1}, {0.7, 1.0f, 1},
+        {0.3, 0.0f, 1}, {0.2, 0.0f, 1}, {0.1, 0.0f, 1},
+    });
+    EXPECT_NEAR(rocAuc(scored), 1.0, 1e-9);
+}
+
+TEST(Metrics, InvertedScoresAucZero)
+{
+    auto scored = makeScored({
+        {0.1, 1.0f, 1}, {0.2, 1.0f, 1},
+        {0.8, 0.0f, 1}, {0.9, 0.0f, 1},
+    });
+    EXPECT_NEAR(rocAuc(scored), 0.0, 1e-9);
+}
+
+TEST(Metrics, UninformativeScoresAucHalf)
+{
+    auto scored = makeScored({
+        {0.5, 1.0f, 1}, {0.5, 0.0f, 1},
+        {0.5, 1.0f, 1}, {0.5, 0.0f, 1},
+    });
+    EXPECT_NEAR(rocAuc(scored), 0.5, 1e-9);
+}
+
+TEST(Metrics, RocCurveMonotone)
+{
+    auto scored = makeScored({
+        {0.9, 1.0f, 1}, {0.7, 0.0f, 1}, {0.6, 1.0f, 1},
+        {0.4, 1.0f, 1}, {0.3, 0.0f, 1}, {0.1, 0.0f, 1},
+    });
+    auto curve = rocCurve(scored);
+    ASSERT_GE(curve.size(), 3u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+        EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    }
+    EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+    EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(Metrics, RocSingleClassFatal)
+{
+    auto scored = makeScored({{0.9, 1.0f, 1}, {0.8, 1.0f, 1}});
+    EXPECT_THROW(rocCurve(scored), FatalError);
+}
+
+TEST(Metrics, SensitivityFiltersOnGap)
+{
+    auto scored = makeScored({
+        {0.9, 1.0f, 1.0},   // correct, small gap
+        {0.1, 1.0f, 2.0},   // wrong, small gap
+        {0.9, 1.0f, 100.0}, // correct, big gap
+        {0.8, 1.0f, 200.0}, // correct, big gap
+        {0.2, 0.0f, 150.0}, // correct, big gap
+    });
+    auto sweep = sensitivitySweep(scored, {0.0, 50.0, 1000.0});
+    ASSERT_EQ(sweep.size(), 3u);
+    EXPECT_EQ(sweep[0].pairsRetained, 5u);
+    EXPECT_DOUBLE_EQ(sweep[0].accuracy, 0.8);
+    EXPECT_EQ(sweep[1].pairsRetained, 3u);
+    EXPECT_DOUBLE_EQ(sweep[1].accuracy, 1.0);
+    EXPECT_EQ(sweep[2].pairsRetained, 0u);
+}
+
+TEST(Metrics, ConfusionCounts)
+{
+    auto scored = makeScored({
+        {0.9, 1.0f, 1}, // tp
+        {0.9, 0.0f, 1}, // fp
+        {0.1, 0.0f, 1}, // tn
+        {0.1, 1.0f, 1}, // fn
+        {0.8, 1.0f, 1}, // tp
+    });
+    Confusion c = confusion(scored);
+    EXPECT_EQ(c.tp, 2u);
+    EXPECT_EQ(c.fp, 1u);
+    EXPECT_EQ(c.tn, 1u);
+    EXPECT_EQ(c.fn, 1u);
+    EXPECT_NEAR(c.precision(), 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(c.recall(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, ConfusionThresholdShifts)
+{
+    auto scored = makeScored({{0.6, 1.0f, 1}, {0.6, 0.0f, 1}});
+    Confusion strict = confusion(scored, 0.7);
+    EXPECT_EQ(strict.tp, 0u);
+    EXPECT_EQ(strict.fn, 1u);
+    Confusion lax = confusion(scored, 0.5);
+    EXPECT_EQ(lax.tp, 1u);
+    EXPECT_EQ(lax.fp, 1u);
+}
+
+} // namespace
+} // namespace ccsa

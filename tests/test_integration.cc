@@ -1,0 +1,96 @@
+/**
+ * @file
+ * End-to-end integration tests: generate a corpus, train a small
+ * predictor, and verify it beats chance on disjoint held-out pairs —
+ * the core claim of the paper at miniature scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+ExperimentConfig
+tinyConfig()
+{
+    ExperimentConfig cfg;
+    cfg.encoder.embedDim = 16;
+    cfg.encoder.hiddenDim = 20;
+    cfg.submissionsPerProblem = 36;
+    cfg.train.epochs = 3;
+    cfg.train.learningRate = 5e-3f;
+    cfg.trainPairs.maxPairs = 500;
+    cfg.evalPairs.maxPairs = 300;
+    return cfg;
+}
+
+TEST(Integration, TreeLstmBeatsChanceOnHeldOut)
+{
+    ExperimentConfig cfg = tinyConfig();
+    TrainedModel tm = trainOnProblem(tableISpec(ProblemFamily::H),
+                                     cfg);
+    EXPECT_EQ(tm.trainIdx.size() + tm.testIdx.size(),
+              tm.corpus->size());
+    double acc = evalHeldOut(tm, cfg);
+    EXPECT_GT(acc, 0.62) << "model failed to learn the task";
+    EXPECT_GT(tm.stats.finalAccuracy(), 0.6);
+}
+
+TEST(Integration, ScoredPairsSupportRocAndSensitivity)
+{
+    ExperimentConfig cfg = tinyConfig();
+    TrainedModel tm = trainOnProblem(tableISpec(ProblemFamily::H),
+                                     cfg);
+    auto scored = scoreHeldOut(tm, cfg);
+    ASSERT_FALSE(scored.empty());
+    double auc = rocAuc(scored);
+    EXPECT_GT(auc, 0.6);
+    // Sensitivity (Fig. 6 shape): accuracy at a generous gap
+    // threshold must be at least the unfiltered accuracy.
+    auto sweep = sensitivitySweep(scored, {0.0, 4.0});
+    ASSERT_EQ(sweep.size(), 2u);
+    if (sweep[1].pairsRetained > 20)
+        EXPECT_GE(sweep[1].accuracy, sweep[0].accuracy - 0.05);
+}
+
+TEST(Integration, CrossProblemEvaluationRuns)
+{
+    ExperimentConfig cfg = tinyConfig();
+    cfg.submissionsPerProblem = 24;
+    TrainedModel tm = trainOnProblem(tableISpec(ProblemFamily::H),
+                                     cfg);
+    double acc = evalCrossProblem(
+        tm, tableISpec(ProblemFamily::E), cfg);
+    EXPECT_GT(acc, 0.3);
+    EXPECT_LE(acc, 1.0);
+}
+
+TEST(Integration, GcnEncoderTrainsEndToEnd)
+{
+    ExperimentConfig cfg = tinyConfig();
+    cfg.encoder.kind = EncoderKind::Gcn;
+    cfg.encoder.layers = 2;
+    cfg.submissionsPerProblem = 24;
+    cfg.trainPairs.maxPairs = 250;
+    TrainedModel tm = trainOnProblem(tableISpec(ProblemFamily::H),
+                                     cfg);
+    double acc = evalHeldOut(tm, cfg);
+    EXPECT_GT(acc, 0.45);
+}
+
+TEST(Integration, EnvScaleAdjustsConfig)
+{
+    ExperimentConfig cfg = tinyConfig();
+    int subs = cfg.submissionsPerProblem;
+    setenv("CCSA_SCALE", "2.0", 1);
+    cfg.applyEnvScale();
+    unsetenv("CCSA_SCALE");
+    EXPECT_EQ(cfg.submissionsPerProblem, 2 * subs);
+}
+
+} // namespace
+} // namespace ccsa

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Additional edge-case coverage for the cost interpreter: constant
+ * folding corners, environment merging across branches, loop-variable
+ * shadowing, and io/env interactions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hh"
+#include "judge/interpreter.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+double
+costOf(const std::string& body, double n)
+{
+    Ast ast = parseSource(body);
+    CostInterpreter interp(ast);
+    return interp.programCost({{"n", n}, {"m", n}, {"q", n},
+                               {"t", n}, {"x", n}});
+}
+
+TEST(InterpreterEdge, ArithmeticDerivedBoundsScale)
+{
+    // Bound n/2 + 1 must still follow n.
+    std::string src =
+        "int main() { int n; cin >> n; int half = n / 2 + 1;"
+        " long long s = 0;"
+        " for (int i = 0; i < half; i++) s += i; return 0; }";
+    double c1 = costOf(src, 1e3);
+    double c2 = costOf(src, 1e4);
+    EXPECT_NEAR(c2 / c1, 10.0, 2.0);
+}
+
+TEST(InterpreterEdge, SqrtDerivedVariableBound)
+{
+    // nb = sqrt-ish block count: the sqrt-decomposition idiom.
+    std::string src =
+        "int main() { int n; cin >> n; int bs = 1;"
+        " while (bs * bs < n) bs++;"
+        " long long s = 0;"
+        " for (int b = 0; b <= bs; b++) s += b; return 0; }";
+    double c1 = costOf(src, 1e4); // sqrt = 100
+    double c2 = costOf(src, 1e8); // sqrt = 10000
+    EXPECT_NEAR(c2 / c1, 100.0, 30.0);
+}
+
+TEST(InterpreterEdge, BranchAssignmentsMergeConservatively)
+{
+    // x differs across branches -> later loop bound unknown ->
+    // default trips (small), NOT the then-branch constant.
+    std::string src =
+        "int main() { int n; cin >> n; int x = 0;"
+        " if (n > 5) x = 1000000; else x = 1;"
+        " long long s = 0;"
+        " for (int i = 0; i < x; i++) s += i; return 0; }";
+    EXPECT_LT(costOf(src, 100), 1e5);
+}
+
+TEST(InterpreterEdge, AgreeingBranchesKeepBinding)
+{
+    std::string src =
+        "int main() { int n; cin >> n; int x = 50000;"
+        " if (n > 5) { int y = 1; } else { int z = 2; }"
+        " long long s = 0;"
+        " for (int i = 0; i < x; i++) s += i; return 0; }";
+    EXPECT_GT(costOf(src, 100), 5e4);
+}
+
+TEST(InterpreterEdge, DownwardLoopCounts)
+{
+    std::string src =
+        "int main() { int n; cin >> n; long long s = 0;"
+        " for (int i = n; i >= 1; i--) s += i; return 0; }";
+    double c1 = costOf(src, 1e3);
+    double c2 = costOf(src, 1e4);
+    EXPECT_NEAR(c2 / c1, 10.0, 2.0);
+}
+
+TEST(InterpreterEdge, SteppedLoopDividesTrips)
+{
+    std::string step1 =
+        "int main() { int n; cin >> n; long long s = 0;"
+        " for (int i = 0; i < n; i++) s += i; return 0; }";
+    std::string step10 =
+        "int main() { int n; cin >> n; long long s = 0;"
+        " for (int i = 0; i < n; i += 10) s += i; return 0; }";
+    double r = costOf(step1, 1e5) / costOf(step10, 1e5);
+    EXPECT_NEAR(r, 10.0, 3.0);
+}
+
+TEST(InterpreterEdge, GeometricForLoopIsLogarithmic)
+{
+    std::string src =
+        "int main() { int n; cin >> n; long long s = 0;"
+        " for (int i = 1; i < n; i *= 2) s += i; return 0; }";
+    double c1 = costOf(src, 1e3);
+    double c2 = costOf(src, 1e6);
+    EXPECT_LT(c2 / c1, 3.0);
+}
+
+TEST(InterpreterEdge, UnknownContainerBoundUsesDefault)
+{
+    // Opaque adjacency iteration must not explode to n trips.
+    std::string src =
+        "vector<vector<int>> adj(100005);\n"
+        "int main() { int n; cin >> n; long long s = 0;\n"
+        " for (int e = 0; e < adj[1].size(); e++) s += e;\n"
+        " return 0; }";
+    double c = costOf(src, 1e6);
+    EXPECT_LT(c, 1e6); // far below n iterations
+}
+
+TEST(InterpreterEdge, VectorAllocationChargedBySize)
+{
+    std::string big =
+        "int main() { int n; cin >> n;"
+        " vector<long long> v(2 * n, 0); return 0; }";
+    std::string small =
+        "int main() { int n; cin >> n;"
+        " vector<long long> v(2, 0); return 0; }";
+    EXPECT_GT(costOf(big, 1e6), costOf(small, 1e6) + 1e5);
+}
+
+TEST(InterpreterEdge, StringConstantsDoNotCrashFold)
+{
+    std::string src =
+        "int main() { string s = \"abc\";"
+        " cout << s << \"\\n\"; return 0; }";
+    EXPECT_GT(costOf(src, 10), 0.0);
+}
+
+TEST(InterpreterEdge, TernaryChargesBothArmsHalf)
+{
+    std::string src =
+        "int main() { int n; cin >> n;"
+        " int y = n > 2 ? 1 : 0; cout << y; return 0; }";
+    EXPECT_GT(costOf(src, 10), 0.0);
+}
+
+TEST(InterpreterEdge, PrototypesCostNothing)
+{
+    std::string src =
+        "int helper(int a);\n"
+        "int main() { return 0; }";
+    EXPECT_LT(costOf(src, 1e6), 50.0);
+}
+
+TEST(InterpreterEdge, UnknownCalleeChargedOverheadOnly)
+{
+    std::string src =
+        "int main() { int n; cin >> n;"
+        " int y = mystery(n); return 0; }";
+    EXPECT_LT(costOf(src, 1e6), 100.0);
+}
+
+TEST(InterpreterEdge, CharLiteralArithmeticFolds)
+{
+    std::string src =
+        "int main() { int n; cin >> n; int base = 'a';"
+        " long long s = 0;"
+        " for (int i = 0; i < n; i++) s += base; return 0; }";
+    double c1 = costOf(src, 1e3);
+    double c2 = costOf(src, 1e4);
+    EXPECT_NEAR(c2 / c1, 10.0, 2.0);
+}
+
+TEST(InterpreterEdge, DoWhileRunsAtLeastOnce)
+{
+    std::string src =
+        "int main() { int n; cin >> n; int x = 0;"
+        " do { x++; } while (x < 0); return 0; }";
+    EXPECT_GT(costOf(src, 10), 0.0);
+}
+
+
+TEST(InterpreterEdge, SqrtCounterRespectsKnownStart)
+{
+    // Float-truncation fix-up: r already starts at ~sqrt(x), so the
+    // correction loop runs O(1) trips, not sqrt(x).
+    std::string src =
+        "int main() { long long x; cin >> x;"
+        " double root = sqrt(1.0 * x); long long r = root;"
+        " while (r * r < x) r++;"
+        " cout << r; return 0; }";
+    double c1 = costOf(src, 1e4);
+    double c2 = costOf(src, 1e12);
+    // Cost must stay flat in x (no sqrt(x) blow-up).
+    EXPECT_LT(c2, c1 * 3.0 + 100.0);
+}
+
+TEST(InterpreterEdge, SqrtCounterFromZeroChargesRoot)
+{
+    std::string src =
+        "int main() { int n; cin >> n; int bs = 1;"
+        " while (bs * bs < n) bs++; cout << bs; return 0; }";
+    double c1 = costOf(src, 1e4);  // ~100 trips
+    double c2 = costOf(src, 1e8);  // ~10000 trips
+    EXPECT_NEAR(c2 / c1, 100.0, 35.0);
+}
+
+} // namespace
+} // namespace ccsa

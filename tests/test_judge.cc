@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the cost interpreter and the simulated judge: symbolic
+ * trip counting (linear, quadratic, sqrt, logarithmic), construct
+ * costs (I/O, endl, pass-by-value), recursion handling, and the
+ * end-to-end property that asymptotically faster variants of every
+ * problem family receive smaller runtimes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/generator.hh"
+#include "dataset/problem.hh"
+#include "frontend/parser.hh"
+#include "judge/judge.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+double
+costOf(const std::string& body, double n)
+{
+    Ast ast = parseSource(body);
+    CostInterpreter interp(ast);
+    return interp.programCost({{"n", n}, {"m", n}, {"q", n},
+                               {"t", n}, {"x", n}});
+}
+
+TEST(Interpreter, LinearLoopScalesLinearly)
+{
+    std::string src =
+        "int main() { int n; cin >> n; long long s = 0;"
+        " for (int i = 0; i < n; i++) { s += i; } return 0; }";
+    double c1 = costOf(src, 1e3);
+    double c2 = costOf(src, 1e4);
+    EXPECT_NEAR(c2 / c1, 10.0, 1.5);
+}
+
+TEST(Interpreter, NestedLoopScalesQuadratically)
+{
+    std::string src =
+        "int main() { int n; cin >> n; long long s = 0;"
+        " for (int i = 0; i < n; i++)"
+        " for (int j = 0; j < n; j++) s += j; return 0; }";
+    double c1 = costOf(src, 100);
+    double c2 = costOf(src, 1000);
+    EXPECT_NEAR(c2 / c1, 100.0, 20.0);
+}
+
+TEST(Interpreter, TriangularLoopHalvesQuadratic)
+{
+    std::string full =
+        "int main() { int n; cin >> n; long long s = 0;"
+        " for (int i = 0; i < n; i++)"
+        " for (int j = 0; j < n; j++) s += j; return 0; }";
+    std::string tri =
+        "int main() { int n; cin >> n; long long s = 0;"
+        " for (int i = 0; i < n; i++)"
+        " for (int j = 0; j < i; j++) s += j; return 0; }";
+    double cf = costOf(full, 2000);
+    double ct = costOf(tri, 2000);
+    EXPECT_NEAR(cf / ct, 2.0, 0.5);
+}
+
+TEST(Interpreter, SqrtLoopScalesAsRoot)
+{
+    std::string src =
+        "int main() { long long x; cin >> x; int c = 0;"
+        " for (long long d = 2; d * d <= x; d++)"
+        " { if (x % d == 0) c++; } return 0; }";
+    double c1 = costOf(src, 1e4);  // sqrt = 100
+    double c2 = costOf(src, 1e8);  // sqrt = 10000
+    EXPECT_NEAR(c2 / c1, 100.0, 25.0);
+}
+
+TEST(Interpreter, HalvingWhileIsLogarithmic)
+{
+    std::string src =
+        "int main() { int n; cin >> n; int x = n; int c = 0;"
+        " while (x > 1) { x /= 2; c++; } return 0; }";
+    double c1 = costOf(src, 1e3);
+    double c2 = costOf(src, 1e6);
+    // log2(1e6)/log2(1e3) = 2 => far from linear 1000x.
+    EXPECT_LT(c2 / c1, 3.0);
+    EXPECT_GT(c2, c1);
+}
+
+TEST(Interpreter, DoublingWhileSetsVarToBound)
+{
+    std::string src =
+        "int main() { int n; cin >> n; int sz = 1;"
+        " while (sz < n) sz *= 2;"
+        " for (int i = 0; i < sz; i++) { int y = i; } return 0; }";
+    double c1 = costOf(src, 1e3);
+    double c2 = costOf(src, 1e5);
+    // The second loop must scale with n through sz.
+    EXPECT_GT(c2 / c1, 30.0);
+}
+
+TEST(Interpreter, CountdownWhileCountsTests)
+{
+    std::string src =
+        "int main() { int t; cin >> t;"
+        " while (t > 0) { t--; int z = 0; } return 0; }";
+    double c1 = costOf(src, 100);
+    double c2 = costOf(src, 1000);
+    EXPECT_NEAR(c2 / c1, 10.0, 2.0);
+}
+
+TEST(Interpreter, BinarySearchIsLogarithmic)
+{
+    std::string src =
+        "int main() { int n; cin >> n; int lo = 0; int hi = n;"
+        " while (lo < hi) { int mid = (lo + hi) / 2;"
+        " if (mid < 17) lo = mid + 1; else hi = mid; } return 0; }";
+    double c1 = costOf(src, 1e3);
+    double c2 = costOf(src, 1e6);
+    EXPECT_LT(c2 / c1, 3.0);
+}
+
+TEST(Interpreter, SortCallChargesNLogN)
+{
+    std::string with_sort =
+        "int main() { int n; cin >> n; vector<int> a(n, 0);"
+        " sort(a.begin(), a.end()); return 0; }";
+    std::string without =
+        "int main() { int n; cin >> n; vector<int> a(n, 0);"
+        " return 0; }";
+    double n = 1e5;
+    double diff = costOf(with_sort, n) - costOf(without, n);
+    // ~ sortFactor * n log2 n.
+    EXPECT_GT(diff, n * 10);
+    EXPECT_LT(diff, n * 120);
+}
+
+TEST(Interpreter, EndlFlushCostsMoreThanNewline)
+{
+    std::string flush =
+        "int main() { int n; cin >> n;"
+        " for (int i = 0; i < n; i++) cout << i << endl;"
+        " return 0; }";
+    std::string newline =
+        "int main() { int n; cin >> n;"
+        " for (int i = 0; i < n; i++) cout << i << \"\\n\";"
+        " return 0; }";
+    EXPECT_GT(costOf(flush, 1e4), 1.5 * costOf(newline, 1e4));
+}
+
+TEST(Interpreter, PassByValueVectorCostsCopy)
+{
+    std::string by_value =
+        "int f(vector<int> a, int k) { return k; }\n"
+        "int main() { int n; cin >> n; vector<int> a(n, 0);"
+        " for (int i = 0; i < n; i++) { int z = f(a, i); }"
+        " return 0; }";
+    std::string by_ref =
+        "int f(vector<int>& a, int k) { return k; }\n"
+        "int main() { int n; cin >> n; vector<int> a(n, 0);"
+        " for (int i = 0; i < n; i++) { int z = f(a, i); }"
+        " return 0; }";
+    // Copying inside the loop turns O(n) into O(n^2).
+    EXPECT_GT(costOf(by_value, 3000), 5.0 * costOf(by_ref, 3000));
+}
+
+TEST(Interpreter, TraversalRecursionIsLinearNotQuadratic)
+{
+    // dfs with memo guard called from a loop over all nodes: the
+    // whole traversal must be charged once, not once per call site.
+    std::string src =
+        "vector<vector<int>> adj(100005);\n"
+        "int state[100005];\n"
+        "void dfs(int u) {\n"
+        "    if (state[u] == 2) return;\n"
+        "    state[u] = 2;\n"
+        "    for (int e = 0; e < adj[u].size(); e++) dfs(adj[u][e]);\n"
+        "}\n"
+        "int main() { int n; cin >> n;\n"
+        "    for (int i = 1; i <= n; i++) { if (state[i] == 0)"
+        " dfs(i); }\n"
+        "    return 0; }";
+    double c1 = costOf(src, 1e3);
+    double c2 = costOf(src, 1e4);
+    EXPECT_NEAR(c2 / c1, 10.0, 4.0);
+}
+
+TEST(Interpreter, GcdRecursionChargedPerCall)
+{
+    std::string src =
+        "long long gcdFn(long long a, long long b) {\n"
+        "    if (b == 0) return a;\n"
+        "    return gcdFn(b, a % b);\n"
+        "}\n"
+        "int main() { int n; cin >> n; long long g = 0;\n"
+        "    for (int i = 0; i < n; i++) g = gcdFn(g, i);\n"
+        "    return 0; }";
+    double c1 = costOf(src, 1e3);
+    double c2 = costOf(src, 1e4);
+    // O(n log n): gcd charged each iteration with log-depth cost.
+    EXPECT_GT(c2 / c1, 8.0);
+    EXPECT_LT(c2 / c1, 20.0);
+}
+
+TEST(Interpreter, GlobalConstantsPropagate)
+{
+    std::string src =
+        "const int LIM = 50000;\n"
+        "int main() { long long s = 0;"
+        " for (int i = 0; i < LIM; i++) s += i; return 0; }";
+    EXPECT_GT(costOf(src, 10), 50000.0);
+}
+
+TEST(Interpreter, MissingMainFatal)
+{
+    Ast ast = parseSource("int helper() { return 1; }");
+    CostInterpreter interp(ast);
+    EXPECT_THROW(interp.programCost({}), FatalError);
+}
+
+// ---------------------------------------------------------------- //
+
+TEST(Judge, LadderSpansSizes)
+{
+    auto sizes = JudgeConfig::ladder(1600, 5);
+    ASSERT_EQ(sizes.size(), 5u);
+    EXPECT_NEAR(sizes.front(), 100.0, 1.0);
+    EXPECT_NEAR(sizes.back(), 1600.0, 1.0);
+    for (std::size_t i = 1; i < sizes.size(); ++i)
+        EXPECT_GT(sizes[i], sizes[i - 1]);
+}
+
+TEST(Judge, NoiseIsBoundedAndSeeded)
+{
+    const ProblemSpec& spec = tableISpec(ProblemFamily::E);
+    SimulatedJudge judge(spec.judge);
+    auto gen = makeGenerator(spec.family, 0);
+    Rng grng(3);
+    Ast ast = parseAndPrune(gen->generateVariant(0, grng).source);
+
+    Rng r1(5), r2(5), r3(6);
+    double a = judge.run(ast, r1);
+    double b = judge.run(ast, r2);
+    double c = judge.run(ast, r3);
+    EXPECT_DOUBLE_EQ(a, b);  // same seed, same measurement
+    EXPECT_NE(a, c);         // different seed jitters
+    double det = judge.deterministicMs(ast);
+    EXPECT_NEAR(a, det, det * 0.5);
+}
+
+class FamilyMonotonicityTest
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FamilyMonotonicityTest, FasterVariantsJudgeFaster)
+{
+    auto family = static_cast<ProblemFamily>(GetParam());
+    const ProblemSpec& spec = tableISpec(family);
+    SimulatedJudge judge(spec.judge);
+    auto gen = makeGenerator(family, 0);
+
+    // Average deterministic runtimes over a few style draws.
+    std::vector<double> mean_ms(gen->numVariants(), 0.0);
+    const int reps = 4;
+    for (int v = 0; v < gen->numVariants(); ++v) {
+        Rng rng(100 + static_cast<std::uint64_t>(v));
+        for (int r = 0; r < reps; ++r) {
+            Ast ast = parseAndPrune(
+                gen->generateVariant(v, rng).source);
+            mean_ms[v] += judge.deterministicMs(ast) / reps;
+        }
+    }
+    // The asymptotically slowest variant must dominate the fastest
+    // by a clear margin; the middle variant must not beat the
+    // fastest by more than noise.
+    int last = gen->numVariants() - 1;
+    EXPECT_GT(mean_ms[last], 1.5 * mean_ms[0])
+        << "slow variant not slower";
+    for (int v = 0; v + 1 < gen->numVariants(); ++v)
+        EXPECT_LT(mean_ms[v], mean_ms[last]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyMonotonicityTest,
+                         ::testing::Range(0, kNumFamilies));
+
+TEST(Judge, EmptyConfigFatal)
+{
+    JudgeConfig cfg;
+    EXPECT_THROW(SimulatedJudge{cfg}, FatalError);
+}
+
+} // namespace
+} // namespace ccsa

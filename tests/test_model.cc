@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the encoders, the comparative predictor, the trainer
+ * (including the overfit sanity check), and model persistence.
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "dataset/pairs.hh"
+#include "frontend/parser.hh"
+#include "model/trainer.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+Ast
+tinyProgram(int loops)
+{
+    std::string src = "int main() {\n int n;\n cin >> n;\n";
+    for (int i = 0; i < loops; ++i) {
+        std::string v = "i" + std::to_string(i);
+        src += " for (int " + v + " = 0; " + v + " < n; " + v +
+            "++) { int z" + std::to_string(i) + " = " + v + "; }\n";
+    }
+    src += " return 0;\n}\n";
+    return parseAndPrune(src);
+}
+
+class EncoderKindTest : public ::testing::TestWithParam<EncoderKind>
+{
+};
+
+TEST_P(EncoderKindTest, EncodesToConfiguredDimension)
+{
+    EncoderConfig cfg;
+    cfg.kind = GetParam();
+    cfg.embedDim = 8;
+    cfg.hiddenDim = 12;
+    cfg.layers = 2;
+    Rng rng(1);
+    auto encoder = makeEncoder(cfg, rng);
+    Ast ast = tinyProgram(2);
+    ag::Var z = encoder->encode(ast);
+    EXPECT_EQ(z.value().rows(), 1);
+    EXPECT_EQ(z.value().cols(), encoder->outputDim());
+    EXPECT_GT(encoder->parameterCount(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncoders, EncoderKindTest,
+    ::testing::Values(EncoderKind::TreeLstm, EncoderKind::Gcn,
+                      EncoderKind::TokenLstm));
+
+TEST(Encoder, BiArchDoublesOutputDim)
+{
+    EncoderConfig cfg;
+    cfg.hiddenDim = 10;
+    cfg.arch = nn::TreeArch::Bi;
+    Rng rng(2);
+    auto encoder = makeEncoder(cfg, rng);
+    EXPECT_EQ(encoder->outputDim(), 20);
+}
+
+TEST(Encoder, DistinguishesStructures)
+{
+    EncoderConfig cfg;
+    cfg.embedDim = 8;
+    cfg.hiddenDim = 8;
+    Rng rng(3);
+    auto encoder = makeEncoder(cfg, rng);
+    Tensor z1 = encoder->encode(tinyProgram(1)).value();
+    Tensor z3 = encoder->encode(tinyProgram(3)).value();
+    EXPECT_GT(z1.maxAbsDiff(z3), 1e-6f);
+}
+
+TEST(Predictor, ProbabilitiesAreValid)
+{
+    EncoderConfig cfg;
+    cfg.embedDim = 8;
+    cfg.hiddenDim = 8;
+    ComparativePredictor model(cfg, 7);
+    Ast a = tinyProgram(1);
+    Ast b = tinyProgram(3);
+    double p = model.probFirstSlower(a, b);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_EQ(model.predictLabel(a, b), p >= 0.5 ? 1 : 0);
+}
+
+TEST(Predictor, SourceOverloadParses)
+{
+    EncoderConfig cfg;
+    cfg.embedDim = 8;
+    cfg.hiddenDim = 8;
+    ComparativePredictor model(cfg, 7);
+    double p = model.probFirstSlowerSource(
+        "int main() { return 0; }",
+        "int main() { int n; cin >> n;"
+        " for (int i = 0; i < n; i++) { int z = i; } return 0; }");
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+}
+
+TEST(Predictor, SaveLoadRoundTrip)
+{
+    EncoderConfig cfg;
+    cfg.embedDim = 8;
+    cfg.hiddenDim = 8;
+    ComparativePredictor model(cfg, 11);
+    Ast a = tinyProgram(1);
+    Ast b = tinyProgram(2);
+    double before = model.probFirstSlower(a, b);
+
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         "ccsa_model_roundtrip.bin").string();
+    model.save(path);
+
+    ComparativePredictor other(cfg, 999); // different init
+    EXPECT_NE(other.probFirstSlower(a, b), before);
+    other.load(path);
+    EXPECT_NEAR(other.probFirstSlower(a, b), before, 1e-6);
+    std::remove(path.c_str());
+}
+
+TEST(Trainer, RejectsEmptyPairs)
+{
+    EncoderConfig cfg;
+    cfg.embedDim = 4;
+    cfg.hiddenDim = 4;
+    ComparativePredictor model(cfg, 1);
+    TrainConfig tc;
+    Trainer trainer(model, tc);
+    std::vector<Submission> subs;
+    EXPECT_THROW(trainer.fit(subs, {}), FatalError);
+}
+
+TEST(Trainer, OverfitsTinySeparableDataset)
+{
+    // Six structurally distinct programs whose runtime grows with
+    // their loop count: every pair is decidable from structure, so
+    // the model must reach near-perfect training accuracy.
+    std::vector<Submission> subs;
+    for (int i = 0; i < 6; ++i) {
+        Submission s;
+        s.id = i;
+        s.problemId = 0;
+        s.ast = tinyProgram(i + 1);
+        s.runtimeMs = 50.0 * (i + 1);
+        subs.push_back(std::move(s));
+    }
+    std::vector<int> idx{0, 1, 2, 3, 4, 5};
+    Rng rng(13);
+    PairOptions popt;
+    auto pairs = buildPairs(subs, idx, popt, rng);
+
+    EncoderConfig cfg;
+    cfg.embedDim = 8;
+    cfg.hiddenDim = 12;
+    ComparativePredictor model(cfg, 3);
+    TrainConfig tc;
+    tc.epochs = 40;
+    tc.learningRate = 1.5e-2f;
+    tc.batchPairs = 8;
+    Trainer trainer(model, tc);
+    TrainStats stats = trainer.fit(subs, pairs);
+
+    EXPECT_GT(stats.finalAccuracy(), 0.95);
+    EXPECT_LT(stats.finalLoss(), stats.epochLoss.front());
+}
+
+TEST(TrainStats, EmptyDefaults)
+{
+    TrainStats stats;
+    EXPECT_DOUBLE_EQ(stats.finalLoss(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.finalAccuracy(), 0.0);
+}
+
+TEST(EncoderKindName, AllNamed)
+{
+    EXPECT_STREQ(encoderKindName(EncoderKind::TreeLstm), "tree-LSTM");
+    EXPECT_STREQ(encoderKindName(EncoderKind::Gcn), "GCN");
+    EXPECT_STREQ(encoderKindName(EncoderKind::TokenLstm),
+                 "token-LSTM");
+}
+
+} // namespace
+} // namespace ccsa

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for nn layers: embedding, linear, optimizers, initialisation,
+ * serialisation, and small end-to-end convergence checks.
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hh"
+#include "nn/embedding.hh"
+#include "nn/init.hh"
+#include "nn/linear.hh"
+#include "nn/optim.hh"
+#include "nn/serialize.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+using testutil::expectGradientsMatch;
+using testutil::patterned;
+
+TEST(Linear, ShapesAndGradients)
+{
+    Rng rng(1);
+    nn::Linear lin(3, 2, rng);
+    ag::Var x = ag::leaf(patterned(4, 3, 0.4f));
+    ag::Var y = lin.forward(x);
+    EXPECT_EQ(y.value().rows(), 4);
+    EXPECT_EQ(y.value().cols(), 2);
+
+    std::vector<ag::Var> leaves{x};
+    for (auto* p : lin.parameters())
+        leaves.push_back(p->var);
+    ASSERT_EQ(leaves.size(), 3u);
+    expectGradientsMatch(leaves, [&] {
+        return ag::sumAllOp(ag::mul(lin.forward(leaves[0]),
+                                    lin.forward(leaves[0])));
+    });
+}
+
+TEST(Linear, InvalidDimsFatal)
+{
+    Rng rng(1);
+    EXPECT_THROW(nn::Linear(0, 2, rng), FatalError);
+}
+
+TEST(Embedding, LookupMatchesTable)
+{
+    Rng rng(2);
+    nn::Embedding emb(10, 4, rng);
+    ag::Var out = emb.forward({3, 3, 7});
+    EXPECT_EQ(out.value().rows(), 3);
+    EXPECT_EQ(out.value().cols(), 4);
+    for (int j = 0; j < 4; ++j) {
+        EXPECT_FLOAT_EQ(out.value().at(0, j), emb.table().at(3, j));
+        EXPECT_FLOAT_EQ(out.value().at(1, j), emb.table().at(3, j));
+        EXPECT_FLOAT_EQ(out.value().at(2, j), emb.table().at(7, j));
+    }
+}
+
+TEST(Embedding, GradientFlowsToUsedRowsOnly)
+{
+    Rng rng(3);
+    nn::Embedding emb(6, 3, rng);
+    ag::Var out = emb.forward({1, 1});
+    ag::backward(ag::sumAllOp(out));
+    Tensor& g = emb.parameters()[0]->var.grad();
+    for (int j = 0; j < 3; ++j) {
+        EXPECT_FLOAT_EQ(g.at(1, j), 2.0f); // used twice
+        EXPECT_FLOAT_EQ(g.at(0, j), 0.0f);
+        EXPECT_FLOAT_EQ(g.at(5, j), 0.0f);
+    }
+}
+
+TEST(Init, XavierBounds)
+{
+    Rng rng(4);
+    Tensor w = nn::xavierUniform(30, 40, rng);
+    float bound = std::sqrt(6.0f / 70.0f);
+    for (int i = 0; i < w.rows(); ++i)
+        for (int j = 0; j < w.cols(); ++j) {
+            EXPECT_LE(w.at(i, j), bound);
+            EXPECT_GE(w.at(i, j), -bound);
+        }
+}
+
+TEST(Optim, SgdConvergesOnLinearRegression)
+{
+    // Fit y = x * W_true with SGD on MSE.
+    Rng rng(5);
+    Tensor w_true = patterned(3, 1, 1.0f);
+    Tensor x(20, 3);
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor y = x.matmul(w_true);
+
+    nn::Parameter w("w", nn::xavierUniform(3, 1, rng));
+    nn::Sgd opt({&w}, 0.1f, 0.5f);
+    double last = 1e9;
+    for (int step = 0; step < 300; ++step) {
+        ag::Var pred = ag::matmul(ag::constant(x), w.var);
+        ag::Var loss = ag::mseLoss(pred, y);
+        opt.zeroGrad();
+        ag::backward(loss);
+        opt.step();
+        last = loss.value().at(0, 0);
+    }
+    EXPECT_LT(last, 1e-3);
+}
+
+TEST(Optim, AdamConvergesOnLogisticRegression)
+{
+    Rng rng(6);
+    // Two separable clusters.
+    Tensor x(40, 2);
+    Tensor labels(40, 1);
+    for (int i = 0; i < 40; ++i) {
+        bool pos = i % 2 == 0;
+        x.at(i, 0) = static_cast<float>(
+            rng.normal(pos ? 2.0 : -2.0, 0.5));
+        x.at(i, 1) = static_cast<float>(
+            rng.normal(pos ? -1.0 : 1.0, 0.5));
+        labels.at(i, 0) = pos ? 1.0f : 0.0f;
+    }
+    nn::Linear lin(2, 1, rng);
+    nn::Adam opt(lin.parameters(), 0.05f);
+    double last = 1e9;
+    for (int step = 0; step < 200; ++step) {
+        ag::Var logits = lin.forward(ag::constant(x));
+        ag::Var loss = ag::bceWithLogits(logits, labels);
+        opt.zeroGrad();
+        ag::backward(loss);
+        opt.step();
+        last = loss.value().at(0, 0);
+    }
+    EXPECT_LT(last, 0.05);
+}
+
+TEST(Optim, ClipGradNormScales)
+{
+    nn::Parameter w("w", Tensor(1, 2, 0.0f));
+    nn::Sgd opt({&w}, 1.0f);
+    w.var.grad().at(0, 0) = 30.0f;
+    w.var.grad().at(0, 1) = 40.0f; // norm = 50
+    opt.clipGradNorm(5.0f);
+    EXPECT_NEAR(w.var.grad().at(0, 0), 3.0f, 1e-5f);
+    EXPECT_NEAR(w.var.grad().at(0, 1), 4.0f, 1e-5f);
+}
+
+TEST(Optim, NoParamsFatal)
+{
+    EXPECT_THROW(nn::Sgd({}, 0.1f), FatalError);
+}
+
+TEST(Serialize, RoundTripPreservesValues)
+{
+    Rng rng(7);
+    nn::Parameter a("layer.a", nn::xavierUniform(3, 4, rng));
+    nn::Parameter b("layer.b", nn::xavierUniform(1, 4, rng));
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         "ccsa_serialize_test.bin").string();
+    nn::saveParameters(path, {&a, &b});
+
+    nn::Parameter a2("layer.a", Tensor(3, 4, 0.0f));
+    nn::Parameter b2("layer.b", Tensor(1, 4, 0.0f));
+    nn::loadParameters(path, {&a2, &b2});
+    EXPECT_LT(a2.var.value().maxAbsDiff(a.var.value()), 1e-7f);
+    EXPECT_LT(b2.var.value().maxAbsDiff(b.var.value()), 1e-7f);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingParameterFatal)
+{
+    Rng rng(8);
+    nn::Parameter a("p.a", nn::xavierUniform(2, 2, rng));
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         "ccsa_serialize_missing.bin").string();
+    nn::saveParameters(path, {&a});
+    nn::Parameter other("p.other", Tensor(2, 2, 0.0f));
+    EXPECT_THROW(nn::loadParameters(path, {&other}), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchFatal)
+{
+    Rng rng(9);
+    nn::Parameter a("p.a", nn::xavierUniform(2, 2, rng));
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         "ccsa_serialize_shape.bin").string();
+    nn::saveParameters(path, {&a});
+    nn::Parameter wrong("p.a", Tensor(3, 2, 0.0f));
+    EXPECT_THROW(nn::loadParameters(path, {&wrong}), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Module, ParameterCountMatches)
+{
+    Rng rng(10);
+    nn::Linear lin(4, 3, rng);
+    EXPECT_EQ(lin.parameterCount(), 4u * 3u + 3u);
+}
+
+} // namespace
+} // namespace ccsa

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the deterministic PCG32 generator.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.nextU32() == b.nextU32())
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, DifferentStreamsDiffer)
+{
+    Rng a(7, 1), b(7, 2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.nextU32() == b.nextU32())
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        int v = rng.uniformInt(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.uniformInt(4, 4), 4);
+}
+
+TEST(Rng, UniformIntInvalidPanics)
+{
+    Rng rng(3);
+    EXPECT_THROW(rng.uniformInt(2, 1), PanicError);
+}
+
+TEST(Rng, UniformUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 4000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 4000.0, 0.5, 0.03);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+TEST(Rng, LogNormalPositive)
+{
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_GT(rng.logNormal(0.0, 0.3), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleIndicesDistinctInRange)
+{
+    Rng rng(19);
+    auto idx = rng.sampleIndices(50, 20);
+    EXPECT_EQ(idx.size(), 20u);
+    std::set<int> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 20u);
+    for (int i : idx) {
+        EXPECT_GE(i, 0);
+        EXPECT_LT(i, 50);
+    }
+}
+
+TEST(Rng, SampleIndicesFull)
+{
+    Rng rng(19);
+    auto idx = rng.sampleIndices(5, 5);
+    std::set<int> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Rng, SampleIndicesInvalidPanics)
+{
+    Rng rng(19);
+    EXPECT_THROW(rng.sampleIndices(3, 4), PanicError);
+}
+
+TEST(Rng, ChoicePicksExistingElement)
+{
+    Rng rng(23);
+    std::vector<int> v{10, 20, 30};
+    for (int i = 0; i < 50; ++i) {
+        int c = rng.choice(v);
+        EXPECT_TRUE(c == 10 || c == 20 || c == 30);
+    }
+}
+
+TEST(Rng, ChoiceEmptyPanics)
+{
+    Rng rng(23);
+    std::vector<int> v;
+    EXPECT_THROW(rng.choice(v), PanicError);
+}
+
+TEST(Rng, SplitIndependence)
+{
+    Rng parent(31);
+    Rng child = parent.split();
+    // Child continues to work and differs from parent stream.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent.nextU32() == child.nextU32())
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+} // namespace
+} // namespace ccsa

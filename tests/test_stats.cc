@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for descriptive statistics and string/table helpers.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/str.hh"
+#include "base/table.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+TEST(Stats, MeanAndStddev)
+{
+    std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, MeanEmptyFatal)
+{
+    EXPECT_THROW(mean({}), FatalError);
+}
+
+TEST(Stats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Stats, QuantileInterpolation)
+{
+    std::vector<double> xs{0, 10};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+    EXPECT_THROW(quantile(xs, 1.5), FatalError);
+}
+
+TEST(Stats, SummaryFields)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    Summary s = summarize(xs);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_GT(s.q3, s.q1);
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    std::vector<double> ys{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-9);
+    std::vector<double> yneg{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, yneg), -1.0, 1e-9);
+}
+
+TEST(Stats, PearsonConstantIsZero)
+{
+    std::vector<double> xs{1, 2, 3};
+    std::vector<double> ys{5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Str, SplitJoinRoundTrip)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(Str, TrimAndAffixes)
+{
+    EXPECT_EQ(trim("  hi \n"), "hi");
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_TRUE(endsWith("foobar", "bar"));
+    EXPECT_FALSE(endsWith("ar", "bar"));
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow("beta", {2.5}, 1);
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("2.5"), std::string::npos);
+    EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"x,y", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchFatal)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, EmptyHeaderFatal)
+{
+    EXPECT_THROW(TextTable(std::vector<std::string>{}), FatalError);
+}
+
+} // namespace
+} // namespace ccsa

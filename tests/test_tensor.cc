@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the dense Tensor and CSR sparse matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "tensor/sparse.hh"
+#include "tensor/tensor.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+TEST(Tensor, ConstructionAndAccess)
+{
+    Tensor t(2, 3, 1.5f);
+    EXPECT_EQ(t.rows(), 2);
+    EXPECT_EQ(t.cols(), 3);
+    EXPECT_EQ(t.size(), 6u);
+    EXPECT_FLOAT_EQ(t.at(1, 2), 1.5f);
+    t.at(0, 1) = 7.0f;
+    EXPECT_FLOAT_EQ(t.at(0, 1), 7.0f);
+}
+
+TEST(Tensor, FromVectorChecksSize)
+{
+    std::vector<float> data{1, 2, 3, 4, 5, 6};
+    Tensor t = Tensor::fromVector(data, 2, 3);
+    EXPECT_FLOAT_EQ(t.at(1, 0), 4.0f);
+    EXPECT_THROW(Tensor::fromVector(data, 2, 2), PanicError);
+}
+
+TEST(Tensor, MatmulKnownValues)
+{
+    Tensor a = Tensor::fromVector({1, 2, 3, 4}, 2, 2);
+    Tensor b = Tensor::fromVector({5, 6, 7, 8}, 2, 2);
+    Tensor c = a.matmul(b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Tensor, MatmulShapeMismatchPanics)
+{
+    Tensor a(2, 3), b(2, 3);
+    EXPECT_THROW(a.matmul(b), PanicError);
+}
+
+TEST(Tensor, MatmulIdentity)
+{
+    Rng rng(4);
+    Tensor a(3, 3);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    Tensor eye(3, 3);
+    for (int i = 0; i < 3; ++i)
+        eye.at(i, i) = 1.0f;
+    EXPECT_LT(a.matmul(eye).maxAbsDiff(a), 1e-6f);
+}
+
+TEST(Tensor, TransposeInvolution)
+{
+    Rng rng(5);
+    Tensor a(2, 5);
+    a.fillUniform(rng, -1.0f, 1.0f);
+    EXPECT_LT(a.transpose().transpose().maxAbsDiff(a), 1e-7f);
+    EXPECT_EQ(a.transpose().rows(), 5);
+}
+
+TEST(Tensor, ElementwiseOps)
+{
+    Tensor a = Tensor::fromVector({1, 2, 3, 4}, 2, 2);
+    Tensor b = Tensor::fromVector({4, 3, 2, 1}, 2, 2);
+    EXPECT_FLOAT_EQ((a + b).at(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ((a - b).at(1, 1), 3.0f);
+    EXPECT_FLOAT_EQ((a * b).at(0, 1), 6.0f);
+    EXPECT_FLOAT_EQ((a * 2.0f).at(1, 0), 6.0f);
+    Tensor c = a;
+    c += b;
+    EXPECT_FLOAT_EQ(c.at(0, 0), 5.0f);
+    c -= b;
+    EXPECT_LT(c.maxAbsDiff(a), 1e-7f);
+}
+
+TEST(Tensor, ShapeMismatchPanics)
+{
+    Tensor a(2, 2), b(2, 3);
+    EXPECT_THROW(a + b, PanicError);
+    EXPECT_THROW(a - b, PanicError);
+    EXPECT_THROW(a * b, PanicError);
+}
+
+TEST(Tensor, RowBroadcastAndSumRows)
+{
+    Tensor a = Tensor::fromVector({1, 2, 3, 4}, 2, 2);
+    Tensor bias = Tensor::fromVector({10, 20}, 1, 2);
+    Tensor c = a.addRowBroadcast(bias);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 24.0f);
+    Tensor s = a.sumRows();
+    EXPECT_FLOAT_EQ(s.at(0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(s.at(0, 1), 6.0f);
+    EXPECT_FLOAT_EQ(a.sumAll(), 10.0f);
+    EXPECT_FLOAT_EQ(a.meanAll(), 2.5f);
+}
+
+TEST(Tensor, RowCopySetRow)
+{
+    Tensor a = Tensor::fromVector({1, 2, 3, 4}, 2, 2);
+    Tensor r = a.rowCopy(1);
+    EXPECT_FLOAT_EQ(r.at(0, 0), 3.0f);
+    a.setRow(0, r);
+    EXPECT_FLOAT_EQ(a.at(0, 1), 4.0f);
+    EXPECT_THROW(a.rowCopy(5), PanicError);
+}
+
+TEST(Tensor, ConcatCols)
+{
+    Tensor a = Tensor::fromVector({1, 2}, 2, 1);
+    Tensor b = Tensor::fromVector({3, 4, 5, 6}, 2, 2);
+    Tensor c = concatCols(a, b);
+    EXPECT_EQ(c.cols(), 3);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 2.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 2), 6.0f);
+}
+
+TEST(Sparse, FromCooAndDense)
+{
+    auto m = CsrMatrix::fromCoo(
+        2, 3, {{0, 1, 2.0f}, {1, 2, 3.0f}, {0, 1, 0.5f}});
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.cols(), 3);
+    // Duplicates merged.
+    EXPECT_EQ(m.nnz(), 2u);
+    Tensor d = m.toDense();
+    EXPECT_FLOAT_EQ(d.at(0, 1), 2.5f);
+    EXPECT_FLOAT_EQ(d.at(1, 2), 3.0f);
+}
+
+TEST(Sparse, MultiplyMatchesDense)
+{
+    Rng rng(6);
+    std::vector<CooEntry> entries;
+    for (int i = 0; i < 5; ++i)
+        for (int j = 0; j < 5; ++j)
+            if (rng.bernoulli(0.4))
+                entries.push_back(
+                    {i, j, static_cast<float>(rng.uniform(-1, 1))});
+    auto m = CsrMatrix::fromCoo(5, 5, entries);
+    Tensor x(5, 3);
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor got = m.multiply(x);
+    Tensor expected = m.toDense().matmul(x);
+    EXPECT_LT(got.maxAbsDiff(expected), 1e-5f);
+
+    Tensor y(5, 2);
+    y.fillNormal(rng, 0.0f, 1.0f);
+    Tensor got_t = m.transposeMultiply(y);
+    Tensor expected_t = m.toDense().transpose().matmul(y);
+    EXPECT_LT(got_t.maxAbsDiff(expected_t), 1e-5f);
+}
+
+TEST(Sparse, OutOfBoundsPanics)
+{
+    EXPECT_THROW(CsrMatrix::fromCoo(2, 2, {{2, 0, 1.0f}}), PanicError);
+}
+
+} // namespace
+} // namespace ccsa

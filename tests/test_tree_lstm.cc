@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the sequential LSTM cell, the child-sum tree-LSTM cell,
+ * and the three multi-layer tree drivers of Fig. 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hh"
+#include "nn/tree_lstm.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+using testutil::expectGradientsMatch;
+using testutil::patterned;
+
+TEST(TreeSpec, FromParentsBuildsOrders)
+{
+    //      0
+    //     / \
+    //    1   2
+    //   /
+    //  3
+    nn::TreeSpec spec = nn::TreeSpec::fromParents({-1, 0, 0, 1});
+    EXPECT_EQ(spec.root, 0);
+    EXPECT_EQ(spec.children[0], (std::vector<int>{1, 2}));
+    EXPECT_EQ(spec.children[1], (std::vector<int>{3}));
+    ASSERT_EQ(spec.postOrder.size(), 4u);
+    // Children precede parents.
+    std::vector<int> pos(4);
+    for (int i = 0; i < 4; ++i)
+        pos[spec.postOrder[i]] = i;
+    EXPECT_LT(pos[3], pos[1]);
+    EXPECT_LT(pos[1], pos[0]);
+    EXPECT_LT(pos[2], pos[0]);
+}
+
+TEST(TreeSpec, RejectsForests)
+{
+    EXPECT_THROW(nn::TreeSpec::fromParents({-1, -1}), FatalError);
+    EXPECT_THROW(nn::TreeSpec::fromParents({0, 0}), FatalError);
+    EXPECT_THROW(nn::TreeSpec::fromParents({}), FatalError);
+    EXPECT_THROW(nn::TreeSpec::fromParents({-1, 5}), FatalError);
+}
+
+TEST(LstmCell, StepShapesAndRange)
+{
+    Rng rng(1);
+    nn::LstmCell cell(3, 5, rng);
+    ag::Var x = ag::constant(patterned(1, 3, 0.5f));
+    auto state = cell.step(x, cell.zeroState());
+    EXPECT_EQ(state.h.value().cols(), 5);
+    EXPECT_EQ(state.c.value().cols(), 5);
+    for (int j = 0; j < 5; ++j) {
+        EXPECT_LT(std::fabs(state.h.value().at(0, j)), 1.0f);
+    }
+}
+
+TEST(LstmCell, SequenceOrderMatters)
+{
+    Rng rng(2);
+    nn::LstmCell cell(2, 4, rng);
+    std::vector<ag::Var> ab{ag::constant(patterned(1, 2, 0.9f)),
+                            ag::constant(patterned(1, 2, 0.9f, 2.f))};
+    std::vector<ag::Var> ba{ab[1], ab[0]};
+    Tensor h_ab = cell.runSequence(ab).h.value();
+    Tensor h_ba = cell.runSequence(ba).h.value();
+    EXPECT_GT(h_ab.maxAbsDiff(h_ba), 1e-5f);
+}
+
+TEST(LstmCell, GradientsFlowThroughSequence)
+{
+    Rng rng(3);
+    nn::LstmCell cell(2, 3, rng);
+    std::vector<ag::Var> leaves{ag::leaf(patterned(1, 2, 0.6f)),
+                                ag::leaf(patterned(1, 2, 0.6f, 1.f))};
+    expectGradientsMatch(leaves, [&] {
+        auto st = cell.runSequence({leaves[0], leaves[1]});
+        return ag::sumAllOp(st.h);
+    }, 1e-2f, 3e-2f);
+}
+
+TEST(ChildSumCell, LeafComposesFromInputOnly)
+{
+    Rng rng(4);
+    nn::ChildSumTreeLstmCell cell(3, 4, rng);
+    ag::Var x = ag::constant(patterned(1, 3, 0.5f));
+    auto st = cell.compose(x, {}, {});
+    EXPECT_EQ(st.h.value().cols(), 4);
+}
+
+TEST(ChildSumCell, ChildOrderInvariance)
+{
+    // Child-sum aggregation must be permutation invariant (Eq. 4
+    // sums child hidden states).
+    Rng rng(5);
+    nn::ChildSumTreeLstmCell cell(3, 4, rng);
+    ag::Var x = ag::constant(patterned(1, 3, 0.5f));
+    auto a = cell.compose(x, {}, {});
+    ag::Var x2 = ag::constant(patterned(1, 3, 0.5f, 1.0f));
+    auto b = cell.compose(x2, {}, {});
+
+    auto ab = cell.compose(x, {a.h, b.h}, {a.c, b.c});
+    auto ba = cell.compose(x, {b.h, a.h}, {b.c, a.c});
+    EXPECT_LT(ab.h.value().maxAbsDiff(ba.h.value()), 1e-6f);
+}
+
+TEST(ChildSumCell, MismatchedChildStatesPanics)
+{
+    Rng rng(6);
+    nn::ChildSumTreeLstmCell cell(2, 3, rng);
+    ag::Var x = ag::constant(patterned(1, 2, 0.5f));
+    auto st = cell.compose(x, {}, {});
+    EXPECT_THROW(cell.compose(x, {st.h}, {}), PanicError);
+}
+
+TEST(ChildSumCell, GradientsThroughTree)
+{
+    Rng rng(7);
+    nn::ChildSumTreeLstmCell cell(2, 3, rng);
+    std::vector<ag::Var> leaves{ag::leaf(patterned(1, 2, 0.5f)),
+                                ag::leaf(patterned(1, 2, 0.5f, 1.f)),
+                                ag::leaf(patterned(1, 2, 0.5f, 2.f))};
+    expectGradientsMatch(leaves, [&] {
+        auto c1 = cell.compose(leaves[0], {}, {});
+        auto c2 = cell.compose(leaves[1], {}, {});
+        auto root = cell.compose(leaves[2], {c1.h, c2.h},
+                                 {c1.c, c2.c});
+        return ag::sumAllOp(root.h);
+    }, 1e-2f, 3e-2f);
+}
+
+class TreeLstmArchTest
+    : public ::testing::TestWithParam<std::tuple<nn::TreeArch, int>>
+{
+};
+
+TEST_P(TreeLstmArchTest, EncodesAndBackpropagates)
+{
+    auto [arch, layers] = GetParam();
+    Rng rng(8);
+    nn::TreeLstm lstm(3, 4, layers, arch, rng);
+
+    nn::TreeSpec spec = nn::TreeSpec::fromParents({-1, 0, 0, 1, 1});
+    std::vector<ag::Var> inputs;
+    for (int i = 0; i < 5; ++i)
+        inputs.push_back(
+            ag::constant(patterned(1, 3, 0.4f,
+                                   static_cast<float>(i))));
+
+    ag::Var root = lstm.encodeRoot(spec, inputs);
+    int expected = arch == nn::TreeArch::Bi ? 8 : 4;
+    EXPECT_EQ(root.value().cols(), expected);
+    EXPECT_EQ(lstm.outputDim(), expected);
+
+    // Backward reaches the parameters.
+    ag::backward(ag::sumAllOp(root));
+    double grad_norm = 0.0;
+    for (auto* p : lstm.parameters())
+        grad_norm += p->var.grad().normSq();
+    EXPECT_GT(grad_norm, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchitectures, TreeLstmArchTest,
+    ::testing::Combine(
+        ::testing::Values(nn::TreeArch::Uni, nn::TreeArch::Bi,
+                          nn::TreeArch::Alternating),
+        ::testing::Values(1, 2, 3)));
+
+TEST(TreeLstm, StructureChangesRepresentation)
+{
+    Rng rng(9);
+    nn::TreeLstm lstm(2, 4, 1, nn::TreeArch::Uni, rng);
+    std::vector<ag::Var> inputs;
+    for (int i = 0; i < 4; ++i)
+        inputs.push_back(
+            ag::constant(patterned(1, 2, 0.5f,
+                                   static_cast<float>(i))));
+    // Same inputs, different shapes: chain vs star.
+    nn::TreeSpec chain = nn::TreeSpec::fromParents({-1, 0, 1, 2});
+    nn::TreeSpec star = nn::TreeSpec::fromParents({-1, 0, 0, 0});
+    Tensor h_chain = lstm.encodeRoot(chain, inputs).value();
+    Tensor h_star = lstm.encodeRoot(star, inputs).value();
+    EXPECT_GT(h_chain.maxAbsDiff(h_star), 1e-5f);
+}
+
+TEST(TreeLstm, InputCountMismatchFatal)
+{
+    Rng rng(10);
+    nn::TreeLstm lstm(2, 3, 1, nn::TreeArch::Uni, rng);
+    nn::TreeSpec spec = nn::TreeSpec::fromParents({-1, 0});
+    EXPECT_THROW(lstm.encodeNodes(spec, {}), FatalError);
+}
+
+TEST(TreeLstm, ParameterCountsPerArch)
+{
+    Rng rng(11);
+    // Per cell: 4 gates x (W in x h + U h x h + b h).
+    auto cell_params = [](int in, int h) {
+        return 4 * (in * h + h * h + h);
+    };
+    nn::TreeLstm uni(3, 4, 2, nn::TreeArch::Uni, rng);
+    EXPECT_EQ(uni.parameterCount(),
+              static_cast<std::size_t>(cell_params(3, 4) +
+                                       cell_params(4, 4)));
+    nn::TreeLstm bi(3, 4, 2, nn::TreeArch::Bi, rng);
+    EXPECT_EQ(bi.parameterCount(),
+              static_cast<std::size_t>(2 * cell_params(3, 4) +
+                                       2 * cell_params(8, 4)));
+    // Alternating halves the bi-directional parameter count
+    // (paper §IV-C).
+    nn::TreeLstm alt(3, 4, 2, nn::TreeArch::Alternating, rng);
+    EXPECT_EQ(alt.parameterCount(), uni.parameterCount());
+}
+
+TEST(TreeArch, Names)
+{
+    EXPECT_STREQ(treeArchName(nn::TreeArch::Uni), "uni-directional");
+    EXPECT_STREQ(treeArchName(nn::TreeArch::Bi), "bi-directional");
+    EXPECT_STREQ(treeArchName(nn::TreeArch::Alternating),
+                 "alternating");
+}
+
+} // namespace
+} // namespace ccsa

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the exact t-SNE implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "viz/tsne.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+TEST(Tsne, OutputShape)
+{
+    Rng rng(1);
+    Tensor x(20, 5);
+    x.fillNormal(rng, 0.0f, 1.0f);
+    TsneConfig cfg;
+    cfg.iterations = 50;
+    Tensor y = tsne(x, cfg);
+    EXPECT_EQ(y.rows(), 20);
+    EXPECT_EQ(y.cols(), 2);
+}
+
+TEST(Tsne, TooFewPointsFatal)
+{
+    Tensor x(2, 3);
+    EXPECT_THROW(tsne(x), FatalError);
+}
+
+TEST(Tsne, SeparatesDistantClusters)
+{
+    // Two well-separated Gaussian blobs in 10-D must remain visibly
+    // separated in the 2-D embedding.
+    Rng rng(2);
+    const int per = 25;
+    Tensor x(2 * per, 10);
+    std::vector<int> labels(2 * per);
+    for (int i = 0; i < 2 * per; ++i) {
+        bool second = i >= per;
+        labels[i] = second ? 1 : 0;
+        for (int j = 0; j < 10; ++j)
+            x.at(i, j) = static_cast<float>(
+                rng.normal(second ? 8.0 : -8.0, 0.5));
+    }
+    TsneConfig cfg;
+    cfg.iterations = 250;
+    cfg.perplexity = 10.0;
+    Tensor y = tsne(x, cfg);
+    EXPECT_GT(separationRatio(y, labels), 2.0);
+}
+
+TEST(Tsne, DeterministicForSeed)
+{
+    Rng rng(3);
+    Tensor x(12, 4);
+    x.fillNormal(rng, 0.0f, 1.0f);
+    TsneConfig cfg;
+    cfg.iterations = 60;
+    Tensor a = tsne(x, cfg);
+    Tensor b = tsne(x, cfg);
+    EXPECT_LT(a.maxAbsDiff(b), 1e-6f);
+}
+
+TEST(SeparationRatio, KnownConfiguration)
+{
+    // Two tight clusters at distance 10, intra distance ~0.
+    Tensor y(4, 2);
+    y.at(0, 0) = 0.0f;
+    y.at(1, 0) = 0.1f;
+    y.at(2, 0) = 10.0f;
+    y.at(3, 0) = 10.1f;
+    std::vector<int> labels{0, 0, 1, 1};
+    EXPECT_GT(separationRatio(y, labels), 50.0);
+}
+
+TEST(SeparationRatio, MismatchedLabelsFatal)
+{
+    Tensor y(3, 2);
+    EXPECT_THROW(separationRatio(y, {0, 1}), FatalError);
+}
+
+TEST(SeparationRatio, SingleClassReturnsZero)
+{
+    Tensor y(3, 2);
+    EXPECT_DOUBLE_EQ(separationRatio(y, {0, 0, 0}), 0.0);
+}
+
+} // namespace
+} // namespace ccsa
