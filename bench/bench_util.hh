@@ -52,6 +52,22 @@ banner(const std::string& what, const std::string& paper_ref)
     std::printf("=====================================================\n");
 }
 
+/** Print one model's serving-engine counters (cache effectiveness). */
+inline void
+engineReport(const TrainedModel& tm)
+{
+    if (!tm.engine)
+        return;
+    Engine::Stats s = tm.engine->stats();
+    std::printf("[engine] pairs=%llu encoded=%llu hits=%llu "
+                "misses=%llu evictions=%llu\n",
+                static_cast<unsigned long long>(s.pairsServed),
+                static_cast<unsigned long long>(s.treesEncoded),
+                static_cast<unsigned long long>(s.cacheHits),
+                static_cast<unsigned long long>(s.cacheMisses),
+                static_cast<unsigned long long>(s.cacheEvictions));
+}
+
 } // namespace bench
 } // namespace ccsa
 

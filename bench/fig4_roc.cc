@@ -53,5 +53,6 @@ main()
     std::printf("\nconfusion @0.5: tp=%zu fp=%zu tn=%zu fn=%zu "
                 "(precision %.3f, recall %.3f)\n",
                 c.tp, c.fp, c.tn, c.fn, c.precision(), c.recall());
+    bench::engineReport(tm);
     return 0;
 }

@@ -38,6 +38,7 @@ main()
         // Threshold ladder scaled to the problem's runtime range.
         std::vector<double> thresholds{0,    10,   25,  50, 100,
                                        200,  400,  800, 1200};
+        bench::engineReport(tm);
         auto sweep = sensitivitySweep(scored, thresholds);
         for (const auto& pt : sweep) {
             if (pt.pairsRetained < 10)

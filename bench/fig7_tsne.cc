@@ -33,7 +33,8 @@ main()
     TrainedModel tm = trainOnCorpus(corpus, cfg);
 
     // (a) node embeddings.
-    const Tensor& table = tm.model->encoder().embedding().table();
+    const Tensor& table =
+        tm.engine->model().encoder().embedding().table();
     TsneConfig tsne_cfg;
     tsne_cfg.perplexity = 8.0;
     Tensor node_xy = tsne(table, tsne_cfg);
@@ -72,18 +73,22 @@ main()
     std::vector<ProblemFamily> fams{ProblemFamily::A,
                                     ProblemFamily::E,
                                     ProblemFamily::H};
-    std::vector<Tensor> codes;
     std::vector<int> code_labels;
     int per_problem = 40;
-    for (std::size_t f = 0; f < fams.size(); ++f) {
-        Corpus c = Corpus::generate(tableISpec(fams[f]), per_problem,
-                                    1000 + f);
-        for (const auto& sub : c.submissions()) {
-            codes.push_back(
-                tm.model->encode(sub.ast).value());
+    std::vector<Corpus> corpora;
+    for (std::size_t f = 0; f < fams.size(); ++f)
+        corpora.push_back(Corpus::generate(tableISpec(fams[f]),
+                                           per_problem, 1000 + f));
+    // One engine batch encodes every submission of all problems.
+    std::vector<const Ast*> trees;
+    for (std::size_t f = 0; f < corpora.size(); ++f) {
+        for (const auto& sub : corpora[f].submissions()) {
+            trees.push_back(&sub.ast);
             code_labels.push_back(static_cast<int>(f));
         }
     }
+    std::vector<Tensor> codes =
+        tm.engine->encodeBatch(trees).take();
     Tensor code_mat(static_cast<int>(codes.size()), codes[0].cols());
     for (std::size_t i = 0; i < codes.size(); ++i)
         code_mat.setRow(static_cast<int>(i), codes[i]);

@@ -13,6 +13,7 @@
 #include "dataset/pairs.hh"
 #include "frontend/parser.hh"
 #include "model/trainer.hh"
+#include "serve/engine.hh"
 
 namespace
 {
@@ -171,6 +172,57 @@ BM_BatchUniqueTreeEncoding(benchmark::State& state)
     }
 }
 BENCHMARK(BM_BatchUniqueTreeEncoding)
+    ->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+/**
+ * Serving ablation: repeated-candidate batch scoring through
+ * Engine::compareMany (encoding cache + thread pool, arg 1) vs the
+ * legacy one-pair-at-a-time probFirstSlower path (arg 0), which
+ * re-encodes both trees of every pair. Items/s is pairs scored per
+ * second; the batched mode must be >= 2x the unbatched mode.
+ */
+void
+BM_ServingBatchedVsUnbatched(benchmark::State& state)
+{
+    bool batched = state.range(0) == 1;
+    EncoderConfig cfg;
+    cfg.embedDim = 24;
+    cfg.hiddenDim = 32;
+    auto model = std::make_shared<ComparativePredictor>(cfg, 1);
+    const auto& subs = benchCorpus().submissions();
+
+    // A ranking-style workload: 96 pairs drawn from a pool of 24
+    // candidates, so every tree recurs across many pairs.
+    std::vector<int> idx;
+    for (std::size_t i = 0; i < subs.size(); ++i)
+        idx.push_back(static_cast<int>(i));
+    Rng rng(23);
+    PairOptions popt;
+    popt.maxPairs = 96;
+    auto pairs = buildPairs(subs, idx, popt, rng);
+
+    Engine engine(model);
+    std::vector<Engine::PairRequest> requests;
+    for (const auto& p : pairs)
+        requests.push_back(
+            {&subs[p.first].ast, &subs[p.second].ast});
+
+    for (auto _ : state) {
+        if (batched) {
+            benchmark::DoNotOptimize(engine.compareMany(requests));
+        } else {
+            for (const auto& p : pairs) {
+                benchmark::DoNotOptimize(model->probFirstSlower(
+                    subs[p.first].ast, subs[p.second].ast));
+            }
+        }
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(pairs.size()));
+    state.SetLabel(batched ? "engine-batched" : "legacy-per-pair");
+}
+BENCHMARK(BM_ServingBatchedVsUnbatched)
     ->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void

@@ -44,6 +44,7 @@ main()
                         tableISpec(test_family).tag.c_str(), acc);
         }
         table.addRow(row);
+        bench::engineReport(tm);
     }
 
     std::printf("\n");

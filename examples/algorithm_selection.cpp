@@ -48,7 +48,6 @@ main()
         std::string name;
         Ast ast;
         double judgeMs;
-        int wins = 0;
     };
     std::vector<Candidate> candidates;
     const char* names[] = {"counting-sort", "std::sort",
@@ -62,40 +61,43 @@ main()
         candidates.push_back(std::move(c));
     }
 
-    // Round-robin: a candidate scores a win when the model predicts
-    // it is the faster element of the pair.
-    std::printf("[3/3] round-robin comparison...\n\n");
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        for (std::size_t j = 0; j < candidates.size(); ++j) {
-            if (i == j)
-                continue;
-            double p = tm.model->probFirstSlower(candidates[i].ast,
-                                                 candidates[j].ast);
-            if (p >= 0.5)
-                candidates[j].wins++;
-            else
-                candidates[i].wins++;
-        }
+    // One rank() request runs the whole round-robin tournament:
+    // every ordered pair is compared, but each candidate tree is
+    // encoded exactly once thanks to the engine's encoding cache.
+    std::printf("[3/3] round-robin comparison via Engine::rank..."
+                "\n\n");
+    std::vector<const Ast*> pool;
+    for (const Candidate& c : candidates)
+        pool.push_back(&c.ast);
+    Result<std::vector<Engine::RankedCandidate>> ranking =
+        tm.engine->rank(pool);
+    if (!ranking.isOk()) {
+        std::printf("  ranking failed: %s\n",
+                    ranking.status().toString().c_str());
+        return 1;
     }
+    const auto& ranked = ranking.value();
 
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                  return a.wins > b.wins;
-              });
-
-    std::printf("  rank  candidate       model wins   judge runtime\n");
-    std::printf("  ----  -------------   ----------   -------------\n");
-    for (std::size_t i = 0; i < candidates.size(); ++i)
-        std::printf("   %zu    %-14s  %6d       %9.1f ms\n", i + 1,
-                    candidates[i].name.c_str(), candidates[i].wins,
-                    candidates[i].judgeMs);
+    std::printf("  rank  candidate       model wins   P(faster)   "
+                "judge runtime\n");
+    std::printf("  ----  -------------   ----------   ---------   "
+                "-------------\n");
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        const Candidate& c = candidates[ranked[i].index];
+        std::printf("   %zu    %-14s  %6d       %7.3f   %9.1f ms\n",
+                    i + 1, c.name.c_str(), ranked[i].wins,
+                    ranked[i].meanProbFaster, c.judgeMs);
+    }
 
     // Near-identical runtimes are ties: what matters is that no
     // clearly slower candidate is ranked above a clearly faster one.
     bool agrees = true;
-    for (std::size_t i = 1; i < candidates.size(); ++i)
-        if (candidates[i - 1].judgeMs > 1.1 * candidates[i].judgeMs)
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+        double prev = candidates[ranked[i - 1].index].judgeMs;
+        double cur = candidates[ranked[i].index].judgeMs;
+        if (prev > 1.1 * cur)
             agrees = false;
+    }
     std::printf("\n  model ranking %s the judge's ground truth "
                 "(ties within 10%% allowed).\n",
                 agrees ? "matches" : "deviates from");

@@ -116,12 +116,36 @@ int main() {
 )"},
     };
 
+    // One batched request covers the whole history: consecutive
+    // commits share a tree, so the engine encodes each version once.
     std::printf("[2/2] replaying commit history...\n\n");
+    Engine& engine = *tm.engine;
+    std::vector<Ast> versions;
+    versions.reserve(history.size());
+    for (const Commit& commit : history) {
+        Result<Ast> ast = Engine::parseSource(commit.source);
+        if (!ast.isOk()) {
+            std::printf("  unparseable commit (%s): %s\n",
+                        commit.message,
+                        ast.status().toString().c_str());
+            return 1;
+        }
+        versions.push_back(ast.take());
+    }
+    std::vector<Engine::PairRequest> deltas;
+    for (std::size_t i = 1; i < history.size(); ++i)
+        deltas.push_back({&versions[i - 1], &versions[i]});
+    Result<std::vector<double>> probs = engine.compareMany(deltas);
+    if (!probs.isOk()) {
+        std::printf("  comparison failed: %s\n",
+                    probs.status().toString().c_str());
+        return 1;
+    }
+
     for (std::size_t i = 1; i < history.size(); ++i) {
         // P(previous slower) < 0.5 means the NEW version is slower:
         // flag it.
-        double p_prev_slower = tm.model->probFirstSlowerSource(
-            history[i - 1].source, history[i].source);
+        double p_prev_slower = probs.value()[i - 1];
         bool regression = p_prev_slower < 0.5;
         std::printf("  commit %zu: %s\n", i + 1, history[i].message);
         std::printf("    P(new version faster) = %.3f -> %s\n\n",

@@ -70,7 +70,9 @@ main()
     std::printf("      held-out accuracy: %.3f\n\n",
                 evalHeldOut(tm, cfg));
 
-    const Tensor& table = tm.model->encoder().embedding().table();
+    // Weight-level access goes through the engine's model handle.
+    const Tensor& table =
+        tm.engine->model().encoder().embedding().table();
 
     std::printf("[2/2] nearest neighbours in embedding space "
                 "(euclidean):\n\n");

@@ -72,18 +72,40 @@ int main() {
 }
 )";
 
-    // 3. Compare: P(first slower) > 0.5 means the second program is
-    //    predicted to be the better version (paper Eq. 1).
+    // 3. Compare through the serving engine: P(first slower) > 0.5
+    //    means the second program is predicted to be the better
+    //    version (paper Eq. 1). Parse errors come back as a Status
+    //    instead of tearing the process down.
     std::printf("[2/3] comparing a quadratic rescan vs a counting "
                 "array...\n");
-    double p = tm.model->probFirstSlowerSource(quadratic, linear);
-    std::printf("      P(quadratic is slower) = %.3f -> %s\n\n", p,
-                p >= 0.5 ? "prefer the counting-array version"
-                         : "prefer the quadratic version (?)");
+    Engine& engine = *tm.engine;
+    Result<double> p = engine.compareSources(quadratic, linear);
+    if (!p.isOk()) {
+        std::printf("      comparison failed: %s\n",
+                    p.status().toString().c_str());
+        return 1;
+    }
+    std::printf("      P(quadratic is slower) = %.3f -> %s\n\n",
+                p.value(),
+                p.value() >= 0.5
+                    ? "prefer the counting-array version"
+                    : "prefer the quadratic version (?)");
 
     std::printf("[3/3] sanity: reversed comparison\n");
-    double q = tm.model->probFirstSlowerSource(linear, quadratic);
-    std::printf("      P(linear is slower)    = %.3f\n\n", q);
+    Result<double> q = engine.compareSources(linear, quadratic);
+    if (!q.isOk()) {
+        std::printf("      comparison failed: %s\n",
+                    q.status().toString().c_str());
+        return 1;
+    }
+    std::printf("      P(linear is slower)    = %.3f\n\n", q.value());
+
+    Engine::Stats stats = engine.stats();
+    std::printf("engine: %llu pairs served, %llu trees encoded, "
+                "%llu cache hits\n\n",
+                static_cast<unsigned long long>(stats.pairsServed),
+                static_cast<unsigned long long>(stats.treesEncoded),
+                static_cast<unsigned long long>(stats.cacheHits));
 
     std::printf("done. See examples/algorithm_selection.cpp and\n"
                 "examples/code_evolution.cpp for the paper's other "

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Status / Result<T>: value-based error reporting for the serving
+ * layer. The library core keeps the gem5-style fatal()/panic() typed
+ * exceptions for programming errors, but a serving facade must not
+ * tear down the process because one request carried an unparseable
+ * source file — Engine endpoints therefore report per-request
+ * failures through these types instead.
+ */
+
+#ifndef CCSA_BASE_RESULT_HH
+#define CCSA_BASE_RESULT_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+/** Machine-checkable category of a Status. */
+enum class StatusCode
+{
+    Ok,
+    /** Malformed request payload (e.g. unparseable source text). */
+    InvalidArgument,
+    /** Filesystem / stream failure while persisting or loading. */
+    IoError,
+    /** An internal invariant broke while serving the request. */
+    Internal,
+};
+
+/** @return printable name of a StatusCode. */
+inline const char*
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid-argument";
+      case StatusCode::IoError: return "io-error";
+      case StatusCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+/** Success-or-error outcome of a serving operation. */
+class Status
+{
+  public:
+    /** Default: success. */
+    Status() = default;
+
+    static Status
+    ok()
+    {
+        return Status();
+    }
+
+    static Status
+    error(StatusCode code, std::string message)
+    {
+        Status s;
+        s.code_ = code;
+        s.message_ = std::move(message);
+        return s;
+    }
+
+    static Status
+    invalidArgument(std::string message)
+    {
+        return error(StatusCode::InvalidArgument, std::move(message));
+    }
+
+    static Status
+    ioError(std::string message)
+    {
+        return error(StatusCode::IoError, std::move(message));
+    }
+
+    static Status
+    internal(std::string message)
+    {
+        return error(StatusCode::Internal, std::move(message));
+    }
+
+    bool isOk() const { return code_ == StatusCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "ok" or "<code>: <message>". */
+    std::string
+    toString() const
+    {
+        if (isOk())
+            return "ok";
+        return std::string(statusCodeName(code_)) + ": " + message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * A Status plus, on success, a value of type T. Modelled on
+ * absl::StatusOr: either `ok()` and `value()` is usable, or the
+ * error status explains what went wrong.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Success. */
+    Result(T value) // NOLINT: implicit by design, mirrors StatusOr
+        : value_(std::move(value))
+    {}
+
+    /** Failure; `status` must not be ok. */
+    Result(Status status) // NOLINT: implicit by design
+        : status_(std::move(status))
+    {
+        if (status_.isOk())
+            panic("Result: ok Status without a value");
+    }
+
+    bool isOk() const { return status_.isOk(); }
+    explicit operator bool() const { return isOk(); }
+
+    const Status& status() const { return status_; }
+
+    /** @return the held value; panics if this is an error. */
+    const T&
+    value() const
+    {
+        if (!value_)
+            panic("Result::value on error: ", status_.toString());
+        return *value_;
+    }
+
+    T&
+    value()
+    {
+        if (!value_)
+            panic("Result::value on error: ", status_.toString());
+        return *value_;
+    }
+
+    /** Move the value out (panics if this is an error). */
+    T
+    take()
+    {
+        if (!value_)
+            panic("Result::take on error: ", status_.toString());
+        return std::move(*value_);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_BASE_RESULT_HH

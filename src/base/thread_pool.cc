@@ -1,0 +1,128 @@
+#include "base/thread_pool.hh"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+
+namespace ccsa
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    // A one-thread pool would only add queue latency over running
+    // inline, so anything <= 1 stays worker-less.
+    if (threads <= 1)
+        return;
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stopping_ and drained
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    struct SharedState
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+        std::mutex errorMutex;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<SharedState>();
+
+    // One self-scheduling task per worker: each pulls the next free
+    // index until the range is exhausted, so uneven per-item cost
+    // (trees vary widely in size) balances automatically.
+    std::size_t tasks = std::min<std::size_t>(workers_.size(), n);
+    for (std::size_t t = 0; t < tasks; ++t) {
+        submit([state, n, &fn] {
+            std::size_t finished = 0;
+            for (;;) {
+                std::size_t i =
+                    state->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    break;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(state->errorMutex);
+                    if (!state->error)
+                        state->error = std::current_exception();
+                }
+                ++finished;
+            }
+            if (finished > 0 &&
+                state->done.fetch_add(finished) + finished == n) {
+                std::lock_guard<std::mutex> lock(state->doneMutex);
+                state->doneCv.notify_all();
+            }
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(state->doneMutex);
+    state->doneCv.wait(lock, [&state, n] {
+        return state->done.load() == n;
+    });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace ccsa

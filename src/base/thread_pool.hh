@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A small reusable worker pool for data-parallel sections. Built for
+ * the serving layer's batch encoding (every tree in a batch is
+ * independent), but generic: submit() runs one task, parallelFor()
+ * partitions an index range over the workers and blocks until done.
+ *
+ * Determinism contract: parallelFor(n, fn) invokes fn(i) exactly once
+ * for every i in [0, n) with no ordering guarantee, so callers that
+ * write result[i] from fn(i) observe output that is bitwise-identical
+ * regardless of the worker count — the property the Engine tests pin.
+ * A pool of size <= 1 executes inline on the calling thread.
+ */
+
+#ifndef CCSA_BASE_THREAD_POOL_HH
+#define CCSA_BASE_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ccsa
+{
+
+/** Fixed-size worker pool with a shared FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means one per hardware thread,
+     * 1 means run every task inline on the submitting thread.
+     */
+    explicit ThreadPool(int threads = 0);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** @return the number of worker threads (0 when inline-only). */
+    int workerCount() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    /** Enqueue one task; runs inline when the pool has no workers. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Run fn(i) for every i in [0, n), spread across the workers, and
+     * block until all iterations finished. Exceptions thrown by fn
+     * are rethrown on the calling thread (first one wins).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)>& fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_BASE_THREAD_POOL_HH

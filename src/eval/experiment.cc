@@ -50,6 +50,10 @@ trainOnCorpus(std::shared_ptr<Corpus> corpus,
                             cfg.trainPairs, rng);
     Trainer trainer(*out.model, cfg.train);
     out.stats = trainer.fit(out.corpus->submissions(), pairs);
+
+    // Serve the trained weights: every evaluation below fans out
+    // through the engine's batch endpoints and shares its cache.
+    out.engine = std::make_shared<Engine>(out.model);
     return out;
 }
 
@@ -59,7 +63,7 @@ scoreHeldOut(const TrainedModel& trained, const ExperimentConfig& cfg)
     Rng rng(cfg.corpusSeed, 0xE7A1);
     auto pairs = buildPairs(trained.corpus->submissions(),
                             trained.testIdx, cfg.evalPairs, rng);
-    return scorePairs(*trained.model, trained.corpus->submissions(),
+    return scorePairs(*trained.engine, trained.corpus->submissions(),
                       pairs);
 }
 
@@ -93,7 +97,7 @@ evalCrossProblem(const TrainedModel& trained, const ProblemSpec& other,
     Rng rng(cfg.corpusSeed, 0xC405);
     auto pairs = buildPairs(other_corpus.submissions(), idx,
                             cfg.evalPairs, rng);
-    return pairwiseAccuracy(*trained.model,
+    return pairwiseAccuracy(*trained.engine,
                             other_corpus.submissions(), pairs);
 }
 

@@ -41,10 +41,16 @@ struct ExperimentConfig
     void applyEnvScale();
 };
 
-/** A trained predictor together with its data split. */
+/**
+ * A trained predictor together with its data split, wrapped in a
+ * serving Engine. All evaluation fans out through the Engine's batch
+ * endpoints; `model` stays exposed for weight-level access (the
+ * embedding explorer, serialization tests).
+ */
 struct TrainedModel
 {
     std::shared_ptr<ComparativePredictor> model;
+    std::shared_ptr<Engine> engine;
     std::shared_ptr<Corpus> corpus;
     std::vector<int> trainIdx;
     std::vector<int> testIdx;

@@ -9,6 +9,34 @@ namespace ccsa
 {
 
 std::vector<ScoredPair>
+scorePairs(Engine& engine,
+           const std::vector<Submission>& submissions,
+           const std::vector<CodePair>& pairs)
+{
+    std::vector<Engine::PairRequest> requests;
+    requests.reserve(pairs.size());
+    for (const CodePair& p : pairs)
+        requests.push_back({&submissions[p.first].ast,
+                            &submissions[p.second].ast});
+    Result<std::vector<double>> probs = engine.compareMany(requests);
+    if (!probs.isOk())
+        fatal("scorePairs: ", probs.status().toString());
+
+    std::vector<ScoredPair> out;
+    out.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const CodePair& p = pairs[i];
+        ScoredPair s;
+        s.score = probs.value()[i];
+        s.label = p.label;
+        s.gapMs = std::fabs(submissions[p.first].runtimeMs -
+                            submissions[p.second].runtimeMs);
+        out.push_back(s);
+    }
+    return out;
+}
+
+std::vector<ScoredPair>
 scorePairs(const ComparativePredictor& model,
            const std::vector<Submission>& submissions,
            const std::vector<CodePair>& pairs)
@@ -39,6 +67,14 @@ pairwiseAccuracy(const std::vector<ScoredPair>& scored)
             correct += 1.0;
     }
     return correct / static_cast<double>(scored.size());
+}
+
+double
+pairwiseAccuracy(Engine& engine,
+                 const std::vector<Submission>& submissions,
+                 const std::vector<CodePair>& pairs)
+{
+    return pairwiseAccuracy(scorePairs(engine, submissions, pairs));
 }
 
 double

@@ -12,6 +12,7 @@
 
 #include "dataset/pairs.hh"
 #include "model/predictor.hh"
+#include "serve/engine.hh"
 
 namespace ccsa
 {
@@ -25,7 +26,21 @@ struct ScoredPair
     double gapMs = 0.0;
 };
 
-/** Score every pair with the predictor. */
+/**
+ * Score every pair through the serving engine: all pairs share one
+ * encoding batch, so each distinct submission is encoded at most
+ * once (and often not at all, on a warm cache).
+ */
+std::vector<ScoredPair> scorePairs(
+    Engine& engine, const std::vector<Submission>& submissions,
+    const std::vector<CodePair>& pairs);
+
+/**
+ * Score every pair one at a time with the bare predictor.
+ * @deprecated Legacy per-pair path, kept as the reference the Engine
+ * batch path is pinned against (and for out-of-tree callers that
+ * have no Engine). Re-encodes both trees of every pair.
+ */
 std::vector<ScoredPair> scorePairs(
     const ComparativePredictor& model,
     const std::vector<Submission>& submissions,
@@ -35,6 +50,14 @@ std::vector<ScoredPair> scorePairs(
 double pairwiseAccuracy(const std::vector<ScoredPair>& scored);
 
 /** Convenience: score + accuracy in one call. */
+double pairwiseAccuracy(Engine& engine,
+                        const std::vector<Submission>& submissions,
+                        const std::vector<CodePair>& pairs);
+
+/**
+ * Convenience over the legacy per-pair path.
+ * @deprecated Prefer the Engine overload.
+ */
 double pairwiseAccuracy(const ComparativePredictor& model,
                         const std::vector<Submission>& submissions,
                         const std::vector<CodePair>& pairs);

@@ -1,0 +1,27 @@
+#include "model/batch_encode.hh"
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+std::unordered_map<int, ag::Var>
+encodeDistinct(const ComparativePredictor& model,
+               const std::vector<Submission>& submissions,
+               const std::vector<CodePair>& pairs, std::size_t begin,
+               std::size_t end)
+{
+    if (end > pairs.size())
+        panic("encodeDistinct: range past the end of pairs");
+    std::unordered_map<int, ag::Var> encoded;
+    for (std::size_t p = begin; p < end; ++p) {
+        for (int idx : {pairs[p].first, pairs[p].second}) {
+            if (!encoded.count(idx))
+                encoded.emplace(idx,
+                                model.encode(submissions[idx].ast));
+        }
+    }
+    return encoded;
+}
+
+} // namespace ccsa

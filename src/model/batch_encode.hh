@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The shared encode-once path: a batch of pairs references far fewer
+ * distinct submissions than 2x its size, so each distinct tree is
+ * encoded exactly once and its Var fans out across every pair that
+ * uses it. The Trainer relies on this for the differentiable path
+ * (the autograd tape accumulates gradients through every reuse); the
+ * serving Engine applies the same dedup idea one level up, with a
+ * persistent content-hash cache over gradient-free latents.
+ */
+
+#ifndef CCSA_MODEL_BATCH_ENCODE_HH
+#define CCSA_MODEL_BATCH_ENCODE_HH
+
+#include <unordered_map>
+
+#include "dataset/pairs.hh"
+#include "model/predictor.hh"
+
+namespace ccsa
+{
+
+/**
+ * Encode every distinct submission referenced by pairs[begin, end)
+ * exactly once.
+ * @return map from submission index to its encoding Var.
+ */
+std::unordered_map<int, ag::Var> encodeDistinct(
+    const ComparativePredictor& model,
+    const std::vector<Submission>& submissions,
+    const std::vector<CodePair>& pairs, std::size_t begin,
+    std::size_t end);
+
+} // namespace ccsa
+
+#endif // CCSA_MODEL_BATCH_ENCODE_HH

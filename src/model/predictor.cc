@@ -64,16 +64,26 @@ ComparativePredictor::predictLabel(const Ast& first,
     return probFirstSlower(first, second) >= 0.5 ? 1 : 0;
 }
 
-void
+Status
 ComparativePredictor::save(const std::string& path)
 {
-    nn::saveParameters(path, parameters());
+    try {
+        nn::saveParameters(path, parameters());
+    } catch (const FatalError& e) {
+        return Status::ioError(e.what());
+    }
+    return Status::ok();
 }
 
-void
+Status
 ComparativePredictor::load(const std::string& path)
 {
-    nn::loadParameters(path, parameters());
+    try {
+        nn::loadParameters(path, parameters());
+    } catch (const FatalError& e) {
+        return Status::ioError(e.what());
+    }
+    return Status::ok();
 }
 
 std::vector<nn::Parameter*>

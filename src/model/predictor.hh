@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "base/result.hh"
 #include "model/encoder.hh"
 #include "nn/linear.hh"
 
@@ -56,19 +57,35 @@ class ComparativePredictor : public nn::Module
     /**
      * @return P(first is slower or equal) in [0,1]; values > 0.5 mean
      * the second program is predicted to be the faster version.
+     *
+     * @deprecated Legacy one-pair-at-a-time shim: re-encodes both
+     * trees on every call. Prefer ccsa::Engine::compareMany / rank,
+     * which cache encodings and batch across pairs.
      */
     double probFirstSlower(const Ast& first, const Ast& second) const;
 
-    /** Convenience overload parsing and pruning raw source text. */
+    /**
+     * Convenience overload parsing and pruning raw source text.
+     * @deprecated Prefer ccsa::Engine::compareSources, which reports
+     * parse failures through Status instead of throwing.
+     */
     double probFirstSlowerSource(const std::string& first,
                                  const std::string& second) const;
 
-    /** Hard decision with the default 0.5 threshold (Eq. 1 label). */
+    /**
+     * Hard decision with the default 0.5 threshold (Eq. 1 label).
+     * @deprecated Prefer thresholding ccsa::Engine::compareMany.
+     */
     int predictLabel(const Ast& first, const Ast& second) const;
 
-    /** Persist / restore all weights. */
-    void save(const std::string& path);
-    void load(const std::string& path);
+    /**
+     * Persist / restore all weights. I/O and format problems come
+     * back as an error Status (the legacy behaviour of throwing
+     * FatalError is gone: a serving process must be able to survive
+     * a bad model path).
+     */
+    Status save(const std::string& path);
+    Status load(const std::string& path);
 
     const EncoderConfig& config() const { return cfg_; }
     CodeEncoder& encoder() { return *encoder_; }

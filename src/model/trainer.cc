@@ -1,8 +1,7 @@
 #include "model/trainer.hh"
 
-#include <unordered_map>
-
 #include "base/logging.hh"
+#include "model/batch_encode.hh"
 #include "nn/optim.hh"
 
 namespace ccsa
@@ -40,15 +39,8 @@ Trainer::fit(const std::vector<Submission>& submissions,
                 start + static_cast<std::size_t>(cfg_.batchPairs));
 
             // Encode each distinct submission once; reuse the Var.
-            std::unordered_map<int, ag::Var> encoded;
-            for (std::size_t p = start; p < end; ++p) {
-                for (int idx : {order[p].first, order[p].second}) {
-                    if (!encoded.count(idx))
-                        encoded.emplace(
-                            idx,
-                            model_.encode(submissions[idx].ast));
-                }
-            }
+            auto encoded = encodeDistinct(model_, submissions, order,
+                                          start, end);
 
             std::vector<ag::Var> losses;
             losses.reserve(end - start);

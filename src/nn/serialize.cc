@@ -99,17 +99,24 @@ loadParameters(const std::string& path,
         entries.emplace(std::move(name), std::move(e));
     }
 
+    // Validate everything before touching any weight, so a bad file
+    // (missing parameter, shape mismatch) leaves the model exactly
+    // as it was — load is transactional.
     for (Parameter* p : params) {
         auto it = entries.find(p->name);
         if (it == entries.end())
             fatal("loadParameters: missing parameter '", p->name, "'");
         const Entry& e = it->second;
-        Tensor& t = p->var.mutableValue();
+        const Tensor& t = p->var.value();
         if (e.rows != t.rows() || e.cols != t.cols())
             fatal("loadParameters: shape mismatch for '", p->name,
                   "': file ", e.rows, "x", e.cols, " vs model ",
                   t.rows(), "x", t.cols());
-        t = Tensor::fromVector(e.data, e.rows, e.cols);
+    }
+    for (Parameter* p : params) {
+        const Entry& e = entries.at(p->name);
+        p->var.mutableValue() =
+            Tensor::fromVector(e.data, e.rows, e.cols);
     }
 }
 

@@ -1,0 +1,89 @@
+#include "serve/encoding_cache.hh"
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+/** Second stream: different offset so the two words are independent. */
+constexpr std::uint64_t kFnvOffset2 = 0x6C62272E07BB0142ULL;
+
+inline void
+mix(std::uint64_t& h, std::uint64_t v)
+{
+    h = (h ^ v) * kFnvPrime;
+}
+
+} // namespace
+
+AstDigest
+digestAst(const Ast& ast)
+{
+    AstDigest d;
+    d.lo = kFnvOffset;
+    d.hi = kFnvOffset2;
+    mix(d.lo, static_cast<std::uint64_t>(ast.size()));
+    mix(d.hi, static_cast<std::uint64_t>(ast.size()));
+    for (int id = 0; id < ast.size(); ++id) {
+        const AstNode& n = ast.node(id);
+        std::uint64_t word =
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(n.parent)) << 32) |
+            static_cast<std::uint32_t>(n.kind);
+        mix(d.lo, word);
+        mix(d.hi, word + 0x9E3779B97F4A7C15ULL);
+    }
+    return d;
+}
+
+EncodingCache::EncodingCache(std::size_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        fatal("EncodingCache: capacity must be >= 1");
+}
+
+const Tensor*
+EncodingCache::lookup(const AstDigest& key)
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->latent;
+}
+
+void
+EncodingCache::insert(const AstDigest& key, Tensor latent)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        it->second->latent = std::move(latent);
+        order_.splice(order_.begin(), order_, it->second);
+        return;
+    }
+    order_.push_front(Entry{key, std::move(latent)});
+    entries_.emplace(key, order_.begin());
+    while (entries_.size() > capacity_) {
+        entries_.erase(order_.back().key);
+        order_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+void
+EncodingCache::clear()
+{
+    entries_.clear();
+    order_.clear();
+}
+
+} // namespace ccsa

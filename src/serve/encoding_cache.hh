@@ -1,0 +1,113 @@
+/**
+ * @file
+ * LRU cache of encoded latents keyed by AST content. The encoders
+ * consume only the node-kind sequence and the tree shape, so two
+ * structurally identical trees — however they were parsed or where
+ * they live in memory — share one cache entry. Serving workloads are
+ * dominated by repeated candidates (ranking tournaments, regression
+ * watch over commit history), which is exactly what an LRU rewards.
+ *
+ * Keys are 128-bit structural digests (two independent FNV-1a streams
+ * over the kind/parent arrays); a collision needs ~2^64 distinct
+ * trees, far beyond any corpus this system serves.
+ */
+
+#ifndef CCSA_SERVE_ENCODING_CACHE_HH
+#define CCSA_SERVE_ENCODING_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "ast/ast.hh"
+#include "tensor/tensor.hh"
+
+namespace ccsa
+{
+
+/** 128-bit structural digest of an AST. */
+struct AstDigest
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    bool
+    operator==(const AstDigest& other) const
+    {
+        return lo == other.lo && hi == other.hi;
+    }
+};
+
+/** Digest the model-visible content of a tree (kinds + shape). */
+AstDigest digestAst(const Ast& ast);
+
+/** Hash functor so AstDigest can key unordered containers. */
+struct AstDigestHash
+{
+    std::size_t
+    operator()(const AstDigest& d) const
+    {
+        // lo is already a well-mixed 64-bit hash; fold hi in.
+        return static_cast<std::size_t>(
+            d.lo ^ (d.hi * 0x9E3779B97F4A7C15ULL));
+    }
+};
+
+/**
+ * Least-recently-used map from AST digest to encoded latent (a
+ * 1 x d row vector). Not internally synchronised: the Engine guards
+ * it with its own mutex so lookup+insert batches stay atomic.
+ */
+class EncodingCache
+{
+  public:
+    /** Running hit/miss/eviction counters. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    /** @param capacity maximum resident entries (>= 1). */
+    explicit EncodingCache(std::size_t capacity);
+
+    /**
+     * Look up a digest, refreshing its recency on a hit.
+     * @return pointer to the cached latent, or nullptr on a miss.
+     * The pointer stays valid until the entry is evicted or the
+     * cache is cleared.
+     */
+    const Tensor* lookup(const AstDigest& key);
+
+    /**
+     * Insert (or overwrite) an entry, evicting the least recently
+     * used entries when over capacity.
+     */
+    void insert(const AstDigest& key, Tensor latent);
+
+    /** Drop every entry (counters are preserved). */
+    void clear();
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    const Stats& stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        AstDigest key;
+        Tensor latent;
+    };
+
+    /** Front = most recently used. */
+    std::list<Entry> order_;
+    std::unordered_map<AstDigest, std::list<Entry>::iterator,
+                       AstDigestHash> entries_;
+    std::size_t capacity_;
+    Stats stats_;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_SERVE_ENCODING_CACHE_HH

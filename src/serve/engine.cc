@@ -1,0 +1,275 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "frontend/parser.hh"
+
+namespace ccsa
+{
+
+namespace
+{
+
+/** The exact probability map of the legacy per-pair path. */
+inline double
+logitToProb(float logit)
+{
+    return 1.0 / (1.0 + std::exp(-logit));
+}
+
+} // namespace
+
+Engine::Engine() : Engine(Options()) {}
+
+Engine::Engine(Options opts)
+    : model_(std::make_shared<ComparativePredictor>(opts.encoder,
+                                                    opts.seed)),
+      opts_(opts), pool_(opts.threads), cache_(opts.cacheCapacity)
+{
+}
+
+Engine::Engine(std::shared_ptr<ComparativePredictor> model)
+    : Engine(std::move(model), Options())
+{
+}
+
+Engine::Engine(std::shared_ptr<ComparativePredictor> model,
+               Options opts)
+    : model_(std::move(model)), opts_(opts), pool_(opts.threads),
+      cache_(opts.cacheCapacity)
+{
+    if (!model_)
+        fatal("Engine: null model");
+    opts_.encoder = model_->config();
+}
+
+Result<std::vector<Tensor>>
+Engine::encodeBatch(const std::vector<const Ast*>& trees)
+{
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+        if (trees[i] == nullptr)
+            return Status::invalidArgument(
+                "encodeBatch: null tree at index " + std::to_string(i));
+    }
+
+    // Deduplicate by structural digest, preserving first-appearance
+    // order so cache insertion (and therefore eviction) order is
+    // deterministic regardless of the thread count.
+    std::vector<std::size_t> slot_of(trees.size());
+    std::vector<const Ast*> unique_trees;
+    std::vector<AstDigest> unique_digests;
+    {
+        std::unordered_map<AstDigest, std::size_t, AstDigestHash> seen;
+        for (std::size_t i = 0; i < trees.size(); ++i) {
+            AstDigest d = digestAst(*trees[i]);
+            auto [it, inserted] = seen.emplace(d, unique_trees.size());
+            if (inserted) {
+                unique_trees.push_back(trees[i]);
+                unique_digests.push_back(d);
+            }
+            slot_of[i] = it->second;
+        }
+    }
+
+    std::vector<Tensor> latents(unique_trees.size());
+    std::vector<std::size_t> miss_slots;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t s = 0; s < unique_trees.size(); ++s) {
+            if (const Tensor* hit = cache_.lookup(unique_digests[s]))
+                latents[s] = *hit;
+            else
+                miss_slots.push_back(s);
+        }
+    }
+
+    if (!miss_slots.empty()) {
+        try {
+            pool_.parallelFor(
+                miss_slots.size(), [&](std::size_t i) {
+                    std::size_t s = miss_slots[i];
+                    latents[s] =
+                        model_->encode(*unique_trees[s]).value();
+                });
+        } catch (const std::exception& e) {
+            return Status::internal(
+                std::string("encodeBatch: ") + e.what());
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t s : miss_slots)
+            cache_.insert(unique_digests[s], latents[s]);
+        treesEncoded_ += miss_slots.size();
+    }
+
+    std::vector<Tensor> out;
+    out.reserve(trees.size());
+    for (std::size_t i = 0; i < trees.size(); ++i)
+        out.push_back(latents[slot_of[i]]);
+    return out;
+}
+
+Result<std::vector<double>>
+Engine::compareMany(const std::vector<PairRequest>& pairs)
+{
+    std::vector<const Ast*> trees;
+    trees.reserve(pairs.size() * 2);
+    for (const PairRequest& p : pairs) {
+        trees.push_back(p.first);
+        trees.push_back(p.second);
+    }
+
+    Result<std::vector<Tensor>> latents = encodeBatch(trees);
+    if (!latents.isOk())
+        return latents.status();
+
+    // The classifier head is a single 2d -> 1 linear layer; running
+    // it serially in request order keeps the output deterministic
+    // and adds negligible cost next to encoding.
+    std::vector<double> probs;
+    probs.reserve(pairs.size());
+    try {
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            ag::Var z = model_->logitFromEncodings(
+                ag::constant(latents.value()[2 * i]),
+                ag::constant(latents.value()[2 * i + 1]));
+            probs.push_back(logitToProb(z.value().at(0, 0)));
+        }
+    } catch (const std::exception& e) {
+        return Status::internal(
+            std::string("compareMany: ") + e.what());
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    pairsServed_ += pairs.size();
+    return probs;
+}
+
+Result<double>
+Engine::compare(const Ast& first, const Ast& second)
+{
+    Result<std::vector<double>> probs =
+        compareMany({PairRequest{&first, &second}});
+    if (!probs.isOk())
+        return probs.status();
+    return probs.value()[0];
+}
+
+Result<double>
+Engine::compareSources(const std::string& first,
+                       const std::string& second)
+{
+    Result<Ast> a = parseSource(first);
+    if (!a.isOk())
+        return a.status();
+    Result<Ast> b = parseSource(second);
+    if (!b.isOk())
+        return b.status();
+    return compare(a.value(), b.value());
+}
+
+Result<std::vector<Engine::RankedCandidate>>
+Engine::rank(const std::vector<const Ast*>& candidates)
+{
+    if (candidates.size() < 2)
+        return Status::invalidArgument(
+            "rank: need at least two candidates");
+
+    // Round-robin over every ordered pair: the classifier is not
+    // antisymmetric, so (i, j) and (j, i) are distinct evidence.
+    // Encoding cost stays O(candidates): all pairs share one batch.
+    std::vector<PairRequest> pairs;
+    pairs.reserve(candidates.size() * (candidates.size() - 1));
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        for (std::size_t j = 0; j < candidates.size(); ++j)
+            if (i != j)
+                pairs.push_back(
+                    PairRequest{candidates[i], candidates[j]});
+
+    Result<std::vector<double>> probs = compareMany(pairs);
+    if (!probs.isOk())
+        return probs.status();
+
+    std::vector<RankedCandidate> ranked(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        ranked[i].index = static_cast<int>(i);
+
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        for (std::size_t j = 0; j < candidates.size(); ++j) {
+            if (i == j)
+                continue;
+            // p = P(i slower than j); > 0.5 elects j.
+            double p = probs.value()[k++];
+            if (p >= 0.5)
+                ranked[j].wins++;
+            else
+                ranked[i].wins++;
+            ranked[i].meanProbFaster += 1.0 - p;
+            ranked[j].meanProbFaster += p;
+        }
+    }
+    // Each candidate appears in 2 * (n - 1) ordered pairs.
+    double norm = 2.0 * static_cast<double>(candidates.size() - 1);
+    for (RankedCandidate& r : ranked)
+        r.meanProbFaster /= norm;
+
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RankedCandidate& a, const RankedCandidate& b) {
+                  if (a.wins != b.wins)
+                      return a.wins > b.wins;
+                  if (a.meanProbFaster != b.meanProbFaster)
+                      return a.meanProbFaster > b.meanProbFaster;
+                  return a.index < b.index;
+              });
+    return ranked;
+}
+
+Result<Ast>
+Engine::parseSource(const std::string& source)
+{
+    try {
+        return parseAndPrune(source);
+    } catch (const FatalError& e) {
+        return Status::invalidArgument(e.what());
+    }
+}
+
+Status
+Engine::save(const std::string& path)
+{
+    return model_->save(path);
+}
+
+Status
+Engine::load(const std::string& path)
+{
+    Status s = model_->load(path);
+    if (s.isOk())
+        invalidateCache();
+    return s;
+}
+
+Engine::Stats
+Engine::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats out;
+    out.cacheHits = cache_.stats().hits;
+    out.cacheMisses = cache_.stats().misses;
+    out.cacheEvictions = cache_.stats().evictions;
+    out.cacheSize = cache_.size();
+    out.pairsServed = pairsServed_;
+    out.treesEncoded = treesEncoded_;
+    return out;
+}
+
+void
+Engine::invalidateCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+} // namespace ccsa

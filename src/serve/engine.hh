@@ -1,0 +1,221 @@
+/**
+ * @file
+ * ccsa::Engine — the serving facade and canonical public API of the
+ * library. Where ComparativePredictor answers one pair at a time and
+ * re-encodes both trees on every call, the Engine is shaped like the
+ * paper's actual product (rank many candidate versions of a program):
+ * it dedups and caches encodings across requests, encodes batch
+ * misses in parallel on a ThreadPool, fans cached latents across all
+ * pairs that reference them, and reports per-request failures through
+ * Status/Result instead of exceptions.
+ *
+ * Determinism contract: every probability produced by the batch
+ * endpoints is bitwise-identical to the legacy per-pair path and
+ * invariant to the thread count — each tree's encoding is an
+ * independent computation, and the classifier head always runs on the
+ * calling thread in request order.
+ */
+
+#ifndef CCSA_SERVE_ENGINE_HH
+#define CCSA_SERVE_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/result.hh"
+#include "base/thread_pool.hh"
+#include "model/predictor.hh"
+#include "serve/encoding_cache.hh"
+
+namespace ccsa
+{
+
+/** Batched, cached, thread-parallel serving facade. */
+class Engine
+{
+  public:
+    /**
+     * Builder-style construction options subsuming EncoderConfig:
+     * `Engine::Options().withHiddenDim(64).withThreads(4)`.
+     */
+    struct Options
+    {
+        /** Model architecture (ignored when wrapping a model). */
+        EncoderConfig encoder;
+        /** Weight-initialisation seed for fresh models. */
+        std::uint64_t seed = 1;
+        /** Maximum resident entries in the encoding cache. */
+        std::size_t cacheCapacity = 4096;
+        /** Encoder worker threads; 0 = hardware, 1 = inline. */
+        int threads = 0;
+
+        Options& withEncoder(const EncoderConfig& cfg)
+        {
+            encoder = cfg;
+            return *this;
+        }
+
+        Options& withEncoderKind(EncoderKind kind)
+        {
+            encoder.kind = kind;
+            return *this;
+        }
+
+        Options& withEmbedDim(int dim)
+        {
+            encoder.embedDim = dim;
+            return *this;
+        }
+
+        Options& withHiddenDim(int dim)
+        {
+            encoder.hiddenDim = dim;
+            return *this;
+        }
+
+        Options& withLayers(int n)
+        {
+            encoder.layers = n;
+            return *this;
+        }
+
+        Options& withArch(nn::TreeArch arch)
+        {
+            encoder.arch = arch;
+            return *this;
+        }
+
+        Options& withSeed(std::uint64_t s)
+        {
+            seed = s;
+            return *this;
+        }
+
+        Options& withCacheCapacity(std::size_t n)
+        {
+            cacheCapacity = n;
+            return *this;
+        }
+
+        Options& withThreads(int n)
+        {
+            threads = n;
+            return *this;
+        }
+    };
+
+    /** One comparison request; both trees must outlive the call. */
+    struct PairRequest
+    {
+        const Ast* first = nullptr;
+        const Ast* second = nullptr;
+    };
+
+    /** rank() output, best candidate first. */
+    struct RankedCandidate
+    {
+        /** Index into the candidates vector passed to rank(). */
+        int index = 0;
+        /** Round-robin wins (candidate predicted faster). */
+        int wins = 0;
+        /** Mean probability of being the faster element of a pair. */
+        double meanProbFaster = 0.0;
+    };
+
+    /** Serving counters (cache behaviour + request volume). */
+    struct Stats
+    {
+        std::uint64_t cacheHits = 0;
+        std::uint64_t cacheMisses = 0;
+        std::uint64_t cacheEvictions = 0;
+        std::size_t cacheSize = 0;
+        std::uint64_t pairsServed = 0;
+        std::uint64_t treesEncoded = 0;
+    };
+
+    /** Default-configured engine with a fresh (untrained) model. */
+    Engine();
+
+    /** Build a fresh (untrained) model per opts.encoder/opts.seed. */
+    explicit Engine(Options opts);
+
+    /** Serve an existing (typically trained) predictor. */
+    explicit Engine(std::shared_ptr<ComparativePredictor> model);
+
+    /** Serve an existing predictor with explicit serving options. */
+    Engine(std::shared_ptr<ComparativePredictor> model, Options opts);
+
+    /**
+     * Encode a batch of trees, one latent row vector per input, in
+     * input order. Each distinct tree (by structural digest) is
+     * encoded at most once; cache hits skip encoding entirely and
+     * misses run data-parallel on the thread pool.
+     */
+    Result<std::vector<Tensor>>
+    encodeBatch(const std::vector<const Ast*>& trees);
+
+    /**
+     * P(first slower-or-equal) for every requested pair, in request
+     * order (paper Eq. 1: > 0.5 means the second program is the
+     * better version). All trees across all pairs share one encoding
+     * batch.
+     */
+    Result<std::vector<double>>
+    compareMany(const std::vector<PairRequest>& pairs);
+
+    /** Single-pair convenience over compareMany(). */
+    Result<double> compare(const Ast& first, const Ast& second);
+
+    /** Parse + prune + compare; parse errors come back as Status. */
+    Result<double> compareSources(const std::string& first,
+                                  const std::string& second);
+
+    /**
+     * Round-robin tournament over candidate versions of a program
+     * (the paper's algorithm-selection use case). Every ordered pair
+     * is compared through one shared encoding batch; candidates come
+     * back best-first (wins, then meanProbFaster).
+     */
+    Result<std::vector<RankedCandidate>>
+    rank(const std::vector<const Ast*>& candidates);
+
+    /** Parse + prune one source file without aborting on errors. */
+    static Result<Ast> parseSource(const std::string& source);
+
+    /** Persist / restore the model weights. */
+    Status save(const std::string& path);
+    Status load(const std::string& path);
+
+    ComparativePredictor& model() { return *model_; }
+    const ComparativePredictor& model() const { return *model_; }
+    std::shared_ptr<ComparativePredictor> sharedModel()
+    {
+        return model_;
+    }
+
+    /** Snapshot of the serving counters. */
+    Stats stats() const;
+
+    /**
+     * Drop all cached encodings. Call after mutating model weights
+     * (e.g. further training or load()); cached latents are only
+     * valid for the weights that produced them.
+     */
+    void invalidateCache();
+
+  private:
+    std::shared_ptr<ComparativePredictor> model_;
+    Options opts_;
+    ThreadPool pool_;
+    mutable std::mutex mutex_;
+    EncodingCache cache_;
+    std::uint64_t pairsServed_ = 0;
+    std::uint64_t treesEncoded_ = 0;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_SERVE_ENGINE_HH

@@ -53,8 +53,9 @@ TEST(Integration, ScoredPairsSupportRocAndSensitivity)
     // threshold must be at least the unfiltered accuracy.
     auto sweep = sensitivitySweep(scored, {0.0, 4.0});
     ASSERT_EQ(sweep.size(), 2u);
-    if (sweep[1].pairsRetained > 20)
+    if (sweep[1].pairsRetained > 20) {
         EXPECT_GE(sweep[1].accuracy, sweep[0].accuracy - 0.05);
+    }
 }
 
 TEST(Integration, CrossProblemEvaluationRuns)

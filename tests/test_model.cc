@@ -119,13 +119,61 @@ TEST(Predictor, SaveLoadRoundTrip)
     std::string path =
         (std::filesystem::temp_directory_path() /
          "ccsa_model_roundtrip.bin").string();
-    model.save(path);
+    ASSERT_TRUE(model.save(path).isOk());
 
     ComparativePredictor other(cfg, 999); // different init
     EXPECT_NE(other.probFirstSlower(a, b), before);
-    other.load(path);
+    ASSERT_TRUE(other.load(path).isOk());
     EXPECT_NEAR(other.probFirstSlower(a, b), before, 1e-6);
     std::remove(path.c_str());
+}
+
+TEST(Predictor, SaveToUnopenablePathReportsStatus)
+{
+    EncoderConfig cfg;
+    cfg.embedDim = 4;
+    cfg.hiddenDim = 4;
+    ComparativePredictor model(cfg, 1);
+    Status s = model.save("/nonexistent-ccsa-dir/model.bin");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::IoError);
+    EXPECT_NE(s.message().find("cannot open"), std::string::npos);
+}
+
+TEST(Predictor, FailedLoadLeavesWeightsUntouched)
+{
+    EncoderConfig small;
+    small.embedDim = 4;
+    small.hiddenDim = 4;
+    ComparativePredictor donor(small, 1);
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         "ccsa_model_mismatch.bin").string();
+    ASSERT_TRUE(donor.save(path).isOk());
+
+    EncoderConfig bigger = small;
+    bigger.hiddenDim = 8; // shape mismatch against the file
+    ComparativePredictor model(bigger, 2);
+    Ast a = tinyProgram(1);
+    Ast b = tinyProgram(2);
+    double before = model.probFirstSlower(a, b);
+
+    Status s = model.load(path);
+    EXPECT_FALSE(s.isOk());
+    // Load is transactional: a bad file must not half-overwrite.
+    EXPECT_EQ(model.probFirstSlower(a, b), before);
+    std::remove(path.c_str());
+}
+
+TEST(Predictor, LoadFromMissingPathReportsStatus)
+{
+    EncoderConfig cfg;
+    cfg.embedDim = 4;
+    cfg.hiddenDim = 4;
+    ComparativePredictor model(cfg, 1);
+    Status s = model.load("/nonexistent-ccsa-dir/model.bin");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::IoError);
 }
 
 TEST(Trainer, RejectsEmptyPairs)

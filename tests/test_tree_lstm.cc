@@ -20,7 +20,7 @@ using testutil::patterned;
 TEST(TreeSpec, FromParentsBuildsOrders)
 {
     //      0
-    //     / \
+    //     / |
     //    1   2
     //   /
     //  3
