@@ -1,0 +1,196 @@
+/**
+ * @file
+ * BoundedQueue<T>: a bounded multi-producer multi-consumer FIFO with
+ * blocking, non-blocking, and timed operations — the backpressure
+ * primitive under the async serving layer. Producers block (or fail
+ * fast via tryPush) when the queue is at capacity; consumers block
+ * (or time out via popFor) when it is empty. close() transitions the
+ * queue to a draining state: further pushes fail with Closed, while
+ * pops keep returning the remaining items and then report exhaustion,
+ * so a consumer can always finish every request that was accepted.
+ */
+
+#ifndef CCSA_BASE_BOUNDED_QUEUE_HH
+#define CCSA_BASE_BOUNDED_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ccsa
+{
+
+/** Outcome of a push attempt on a BoundedQueue. */
+enum class QueuePush
+{
+    Ok,
+    /** tryPush only: the queue is at capacity right now. */
+    Full,
+    /** The queue was close()d; no new items are accepted. */
+    Closed,
+};
+
+/** Bounded MPMC FIFO with blocking push/pop and close-to-drain. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** @param capacity maximum queued items; clamped to >= 1. */
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /**
+     * Block until there is room (or the queue closes), then enqueue.
+     * On Closed the item is left untouched in the caller's hands.
+     */
+    QueuePush
+    push(T&& item)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notFull_.wait(lock, [this] {
+                return closed_ || items_.size() < capacity_;
+            });
+            if (closed_)
+                return QueuePush::Closed;
+            items_.push_back(std::move(item));
+        }
+        notEmpty_.notify_one();
+        return QueuePush::Ok;
+    }
+
+    /**
+     * Enqueue without blocking. On Full or Closed the item is left
+     * untouched in the caller's hands (nothing is moved from it).
+     */
+    QueuePush
+    tryPush(T&& item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return QueuePush::Closed;
+            if (items_.size() >= capacity_)
+                return QueuePush::Full;
+            items_.push_back(std::move(item));
+        }
+        notEmpty_.notify_one();
+        return QueuePush::Ok;
+    }
+
+    /**
+     * Block until an item is available and dequeue it.
+     * @return nullopt only when the queue is closed AND drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::optional<T> out;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait(lock, [this] {
+                return closed_ || !items_.empty();
+            });
+            if (items_.empty())
+                return std::nullopt; // closed and drained
+            out.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        notFull_.notify_one();
+        return out;
+    }
+
+    /**
+     * Dequeue without blocking.
+     * @return nullopt when nothing is queued right now.
+     */
+    std::optional<T>
+    tryPop()
+    {
+        std::optional<T> out;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (items_.empty())
+                return std::nullopt;
+            out.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        notFull_.notify_one();
+        return out;
+    }
+
+    /**
+     * pop() with a deadline: wait at most `timeout` for an item.
+     * @return nullopt on timeout or when closed and drained.
+     */
+    std::optional<T>
+    popFor(std::chrono::microseconds timeout)
+    {
+        std::optional<T> out;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait_for(lock, timeout, [this] {
+                return closed_ || !items_.empty();
+            });
+            if (items_.empty())
+                return std::nullopt; // timed out, or closed+drained
+            out.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        notFull_.notify_one();
+        return out;
+    }
+
+    /**
+     * Stop accepting items and wake every blocked producer/consumer.
+     * Already-queued items remain poppable (drain semantics).
+     * Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_BASE_BOUNDED_QUEUE_HH

@@ -30,6 +30,10 @@ enum class StatusCode
     IoError,
     /** An internal invariant broke while serving the request. */
     Internal,
+    /** The serving component is shut down (or shutting down). */
+    Unavailable,
+    /** A bounded resource (e.g. a request queue) is full. */
+    ResourceExhausted,
 };
 
 /** @return printable name of a StatusCode. */
@@ -41,6 +45,8 @@ statusCodeName(StatusCode code)
       case StatusCode::InvalidArgument: return "invalid-argument";
       case StatusCode::IoError: return "io-error";
       case StatusCode::Internal: return "internal";
+      case StatusCode::Unavailable: return "unavailable";
+      case StatusCode::ResourceExhausted: return "resource-exhausted";
     }
     return "unknown";
 }
@@ -83,6 +89,19 @@ class Status
     internal(std::string message)
     {
         return error(StatusCode::Internal, std::move(message));
+    }
+
+    static Status
+    unavailable(std::string message)
+    {
+        return error(StatusCode::Unavailable, std::move(message));
+    }
+
+    static Status
+    resourceExhausted(std::string message)
+    {
+        return error(StatusCode::ResourceExhausted,
+                     std::move(message));
     }
 
     bool isOk() const { return code_ == StatusCode::Ok; }

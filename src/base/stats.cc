@@ -86,4 +86,70 @@ pearson(const std::vector<double>& xs, const std::vector<double>& ys)
     return sxy / std::sqrt(sxx * syy);
 }
 
+void
+Histogram::add(std::size_t value)
+{
+    counts_[bucketIndex(value)]++;
+    total_++;
+    sum_ += value;
+    if (value > max_)
+        max_ = value;
+}
+
+double
+Histogram::meanValue() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    if (i >= kBuckets)
+        fatal("Histogram: bucket index out of range");
+    return counts_[i];
+}
+
+std::size_t
+Histogram::bucketIndex(std::size_t value)
+{
+    std::size_t i = 0;
+    std::size_t bound = 1;
+    while (value > bound && i + 1 < kBuckets) {
+        bound <<= 1;
+        ++i;
+    }
+    return i;
+}
+
+std::size_t
+Histogram::bucketUpperBound(std::size_t i)
+{
+    if (i >= kBuckets)
+        fatal("Histogram: bucket index out of range");
+    return static_cast<std::size_t>(1) << i;
+}
+
+std::string
+Histogram::toString() const
+{
+    if (total_ == 0)
+        return "(empty)";
+    std::string out;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        if (!out.empty())
+            out += ' ';
+        if (i + 1 == kBuckets)
+            out += ">" + std::to_string(bucketUpperBound(i - 1));
+        else
+            out += "<=" + std::to_string(bucketUpperBound(i));
+        out += ':' + std::to_string(counts_[i]);
+    }
+    return out;
+}
+
 } // namespace ccsa

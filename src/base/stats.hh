@@ -2,12 +2,17 @@
  * @file
  * Descriptive statistics used throughout the benchmark harness —
  * primarily to reproduce the per-problem runtime summaries of Table I
- * and the boxplots of Figure 3.
+ * and the boxplots of Figure 3 — plus the Histogram used by the
+ * serving layer to report batch-size distributions.
  */
 
 #ifndef CCSA_BASE_STATS_HH
 #define CCSA_BASE_STATS_HH
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace ccsa
@@ -47,6 +52,52 @@ Summary summarize(const std::vector<double>& xs);
 /** @return Pearson correlation of two equal-length samples. */
 double pearson(const std::vector<double>& xs,
                const std::vector<double>& ys);
+
+/**
+ * Power-of-two-bucketed histogram of non-negative integer samples
+ * (batch sizes, queue depths). Bucket i covers values in
+ * (2^(i-1), 2^i], with bucket 0 covering {0, 1}; the last bucket is
+ * open-ended. Cheap enough to update under a serving-path lock.
+ */
+class Histogram
+{
+  public:
+    /** Bucket upper bounds 1, 2, 4, ..., 65536, then overflow. */
+    static constexpr std::size_t kBuckets = 18;
+
+    /** Record one sample. */
+    void add(std::size_t value);
+
+    /** @return total number of recorded samples. */
+    std::uint64_t count() const { return total_; }
+
+    /** @return sum of all recorded samples. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** @return largest recorded sample (0 when empty). */
+    std::size_t max() const { return max_; }
+
+    /** @return mean sample value (0 when empty). */
+    double meanValue() const;
+
+    /** @return number of samples in bucket i. */
+    std::uint64_t bucket(std::size_t i) const;
+
+    /** @return the bucket index a value falls into. */
+    static std::size_t bucketIndex(std::size_t value);
+
+    /** @return inclusive upper bound of bucket i (last is open). */
+    static std::size_t bucketUpperBound(std::size_t i);
+
+    /** Compact rendering of non-empty buckets: "<=1:3 <=4:2". */
+    std::string toString() const;
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+    std::size_t max_ = 0;
+};
 
 } // namespace ccsa
 

@@ -9,6 +9,8 @@ namespace ccsa
 
 ThreadPool::ThreadPool(int threads)
 {
+    if (threads < 0)
+        threads = 1;
     if (threads == 0) {
         unsigned hw = std::thread::hardware_concurrency();
         threads = hw == 0 ? 1 : static_cast<int>(hw);
@@ -24,27 +26,49 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
+    std::lock_guard<std::mutex> serial(shutdownMutex_);
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return; // already shut down (workers joined below us)
         stopping_ = true;
     }
     cv_.notify_all();
     for (std::thread& w : workers_)
         w.join();
+    workers_.clear();
 }
 
-void
+bool
+ThreadPool::isShutdown() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopping_;
+}
+
+Status
 ThreadPool::submit(std::function<void()> task)
 {
-    if (workers_.empty()) {
-        task();
-        return;
-    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        tasks_.push(std::move(task));
+        if (stopping_)
+            return Status::unavailable(
+                "ThreadPool: submit after shutdown");
+        if (!workers_.empty()) {
+            tasks_.push(std::move(task));
+            cv_.notify_one();
+            return Status::ok();
+        }
     }
-    cv_.notify_one();
+    // Worker-less pool: run inline on the submitting thread.
+    task();
+    return Status::ok();
 }
 
 void
@@ -69,6 +93,8 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)>& fn)
 {
+    if (isShutdown())
+        fatal("ThreadPool: parallelFor after shutdown");
     if (n == 0)
         return;
     if (workers_.empty()) {
@@ -93,7 +119,7 @@ ThreadPool::parallelFor(std::size_t n,
     // (trees vary widely in size) balances automatically.
     std::size_t tasks = std::min<std::size_t>(workers_.size(), n);
     for (std::size_t t = 0; t < tasks; ++t) {
-        submit([state, n, &fn] {
+        std::function<void()> task = [state, n, &fn] {
             std::size_t finished = 0;
             for (;;) {
                 std::size_t i =
@@ -114,7 +140,12 @@ ThreadPool::parallelFor(std::size_t n,
                 std::lock_guard<std::mutex> lock(state->doneMutex);
                 state->doneCv.notify_all();
             }
-        });
+        };
+        // If shutdown raced us between the check above and this
+        // submit, fall back to running the span inline — the wait
+        // below must never deadlock on a task that was dropped.
+        if (!submit(task).isOk())
+            task();
     }
 
     std::unique_lock<std::mutex> lock(state->doneMutex);

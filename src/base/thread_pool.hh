@@ -10,6 +10,13 @@
  * write result[i] from fn(i) observe output that is bitwise-identical
  * regardless of the worker count — the property the Engine tests pin.
  * A pool of size <= 1 executes inline on the calling thread.
+ *
+ * Lifecycle contract: shutdown() drains outstanding tasks, joins the
+ * workers, and is idempotent (double-shutdown is a no-op; the
+ * destructor just calls it). After shutdown, submit() reports
+ * Unavailable instead of silently running inline, and parallelFor()
+ * throws FatalError — enqueue-after-shutdown is a caller bug, never
+ * undefined behavior.
  */
 
 #ifndef CCSA_BASE_THREAD_POOL_HH
@@ -24,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "base/result.hh"
+
 namespace ccsa
 {
 
@@ -34,10 +43,11 @@ class ThreadPool
     /**
      * @param threads worker count; 0 means one per hardware thread,
      * 1 means run every task inline on the submitting thread.
+     * Negative values (and a hardware probe of 0) clamp to 1.
      */
     explicit ThreadPool(int threads = 0);
 
-    /** Drains outstanding tasks, then joins the workers. */
+    /** Equivalent to shutdown(). */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -49,13 +59,27 @@ class ThreadPool
         return static_cast<int>(workers_.size());
     }
 
-    /** Enqueue one task; runs inline when the pool has no workers. */
-    void submit(std::function<void()> task);
+    /**
+     * Drain outstanding tasks, then join and release the workers.
+     * Safe to call more than once; later calls are no-ops.
+     */
+    void shutdown();
+
+    /** @return true once shutdown() has begun. */
+    bool isShutdown() const;
+
+    /**
+     * Enqueue one task; runs inline when the pool has no workers.
+     * @return Unavailable (and does not run the task) after
+     * shutdown().
+     */
+    Status submit(std::function<void()> task);
 
     /**
      * Run fn(i) for every i in [0, n), spread across the workers, and
      * block until all iterations finished. Exceptions thrown by fn
-     * are rethrown on the calling thread (first one wins).
+     * are rethrown on the calling thread (first one wins). Throws
+     * FatalError if the pool has been shut down.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)>& fn);
@@ -65,9 +89,12 @@ class ThreadPool
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
+    /** Serialises shutdown() callers so double-shutdown never races
+     * a join in progress. */
+    std::mutex shutdownMutex_;
 };
 
 } // namespace ccsa

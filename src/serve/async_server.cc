@@ -1,0 +1,387 @@
+#include "serve/async_server.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace ccsa
+{
+
+namespace
+{
+
+/** Sliding-window size for latency percentiles: large enough for
+ * stable p99, small enough to snapshot under the stats lock. */
+constexpr std::size_t kLatencyWindow = 8192;
+
+inline double
+toMs(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration_cast<
+               std::chrono::duration<double, std::milli>>(d)
+        .count();
+}
+
+} // namespace
+
+AsyncServer::AsyncServer(Engine& engine)
+    : AsyncServer(engine, Options())
+{
+}
+
+AsyncServer::AsyncServer(Engine::Options engineOpts)
+    : AsyncServer(std::move(engineOpts), Options())
+{
+}
+
+AsyncServer::AsyncServer(Engine& engine, Options opts)
+    : engine_(&engine), opts_(opts), queue_(opts.queueCapacity)
+{
+    if (opts_.maxBatchSize == 0)
+        opts_.maxBatchSize = 1;
+    if (opts_.maxBatchDelay.count() < 0)
+        opts_.maxBatchDelay = std::chrono::microseconds(0);
+    if (!opts_.startPaused)
+        start();
+}
+
+AsyncServer::AsyncServer(Engine::Options engineOpts, Options opts)
+    : owned_(std::make_unique<Engine>(engineOpts)),
+      engine_(owned_.get()), opts_(opts), queue_(opts.queueCapacity)
+{
+    if (opts_.maxBatchSize == 0)
+        opts_.maxBatchSize = 1;
+    if (opts_.maxBatchDelay.count() < 0)
+        opts_.maxBatchDelay = std::chrono::microseconds(0);
+    if (!opts_.startPaused)
+        start();
+}
+
+AsyncServer::~AsyncServer()
+{
+    shutdown();
+}
+
+void
+AsyncServer::start()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (shutdown_ || batcher_.joinable())
+        return;
+    batcher_ = std::thread([this] { batcherLoop(); });
+}
+
+void
+AsyncServer::shutdown()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (shutdown_)
+        return;
+    // No new requests; already-queued ones stay poppable.
+    queue_.close();
+    // A paused server still owes answers for everything it accepted:
+    // run the batcher now so the closed queue drains, then exits.
+    if (!batcher_.joinable())
+        batcher_ = std::thread([this] { batcherLoop(); });
+    batcher_.join();
+    batcher_ = std::thread();
+    shutdown_ = true;
+}
+
+bool
+AsyncServer::isShutdown() const
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    return shutdown_;
+}
+
+bool
+AsyncServer::submitCore(
+    std::vector<Engine::PairRequest> pairs,
+    std::function<void(Result<std::vector<double>>)> complete,
+    bool blocking)
+{
+    // Per-request validation: a malformed request fails only its own
+    // future and never reaches (or poisons) a shared batch.
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (pairs[i].first == nullptr || pairs[i].second == nullptr) {
+            complete(Status::invalidArgument(
+                "submit: null tree in pair " + std::to_string(i)));
+            noteFailed();
+            return true;
+        }
+    }
+    if (pairs.empty()) {
+        complete(std::vector<double>{});
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        completed_++;
+        return true;
+    }
+
+    Request request;
+    request.pairs = std::move(pairs);
+    request.complete = std::move(complete);
+    request.enqueued = std::chrono::steady_clock::now();
+
+    QueuePush outcome = blocking ? queue_.push(std::move(request))
+                                 : queue_.tryPush(std::move(request));
+    switch (outcome) {
+      case QueuePush::Ok: {
+          std::lock_guard<std::mutex> lock(statsMutex_);
+          submitted_++;
+          return true;
+      }
+      case QueuePush::Full: {
+          // Backpressure: the caller keeps no future and may retry.
+          std::lock_guard<std::mutex> lock(statsMutex_);
+          rejected_++;
+          return false;
+      }
+      case QueuePush::Closed: {
+          {
+              std::lock_guard<std::mutex> lock(statsMutex_);
+              rejected_++;
+          }
+          // Push guarantees the request is untouched on rejection.
+          request.complete(Status::unavailable(
+              "AsyncServer: submit after shutdown"));
+          return true;
+      }
+    }
+    return true; // unreachable
+}
+
+std::future<Result<double>>
+AsyncServer::submitCompare(const Ast& first, const Ast& second)
+{
+    auto promise =
+        std::make_shared<std::promise<Result<double>>>();
+    std::future<Result<double>> future = promise->get_future();
+    submitCore({Engine::PairRequest{&first, &second}},
+               [promise](Result<std::vector<double>> r) {
+                   if (r.isOk())
+                       promise->set_value(r.value()[0]);
+                   else
+                       promise->set_value(r.status());
+               },
+               /*blocking=*/true);
+    return future;
+}
+
+std::future<Result<std::vector<double>>>
+AsyncServer::submitCompareMany(
+    std::vector<Engine::PairRequest> pairs)
+{
+    auto promise = std::make_shared<
+        std::promise<Result<std::vector<double>>>>();
+    std::future<Result<std::vector<double>>> future =
+        promise->get_future();
+    submitCore(std::move(pairs),
+               [promise](Result<std::vector<double>> r) {
+                   promise->set_value(std::move(r));
+               },
+               /*blocking=*/true);
+    return future;
+}
+
+std::future<Result<std::vector<Engine::RankedCandidate>>>
+AsyncServer::submitRank(std::vector<const Ast*> candidates)
+{
+    auto promise = std::make_shared<
+        std::promise<Result<std::vector<Engine::RankedCandidate>>>>();
+    std::future<Result<std::vector<Engine::RankedCandidate>>> future =
+        promise->get_future();
+    if (candidates.size() < 2) {
+        promise->set_value(Status::invalidArgument(
+            "submitRank: need at least two candidates"));
+        noteFailed();
+        return future;
+    }
+    std::size_t n = candidates.size();
+    submitCore(Engine::tournamentPairs(candidates),
+               [promise, n](Result<std::vector<double>> r) {
+                   if (r.isOk())
+                       promise->set_value(Engine::aggregateTournament(
+                           n, r.value()));
+                   else
+                       promise->set_value(r.status());
+               },
+               /*blocking=*/true);
+    return future;
+}
+
+std::optional<std::future<Result<double>>>
+AsyncServer::trySubmitCompare(const Ast& first, const Ast& second)
+{
+    auto promise =
+        std::make_shared<std::promise<Result<double>>>();
+    std::future<Result<double>> future = promise->get_future();
+    bool accepted =
+        submitCore({Engine::PairRequest{&first, &second}},
+                   [promise](Result<std::vector<double>> r) {
+                       if (r.isOk())
+                           promise->set_value(r.value()[0]);
+                       else
+                           promise->set_value(r.status());
+                   },
+                   /*blocking=*/false);
+    if (!accepted)
+        return std::nullopt;
+    return future;
+}
+
+std::optional<std::future<Result<std::vector<double>>>>
+AsyncServer::trySubmitCompareMany(
+    std::vector<Engine::PairRequest> pairs)
+{
+    auto promise = std::make_shared<
+        std::promise<Result<std::vector<double>>>>();
+    std::future<Result<std::vector<double>>> future =
+        promise->get_future();
+    bool accepted =
+        submitCore(std::move(pairs),
+                   [promise](Result<std::vector<double>> r) {
+                       promise->set_value(std::move(r));
+                   },
+                   /*blocking=*/false);
+    if (!accepted)
+        return std::nullopt;
+    return future;
+}
+
+void
+AsyncServer::batcherLoop()
+{
+    for (;;) {
+        // Block for the tick's first request; nullopt means the
+        // queue is closed and fully drained — clean exit.
+        std::optional<Request> first = queue_.pop();
+        if (!first)
+            return;
+
+        std::vector<Request> batch;
+        std::size_t pairCount = first->pairs.size();
+        batch.push_back(std::move(*first));
+
+        // Coalesce across requests until the batch is full or the
+        // oldest member has waited maxBatchDelay since it was
+        // submitted (queue time counts against the budget). Once the
+        // budget is spent we stop waiting but still sweep up
+        // anything already queued — free coalescing under backlog.
+        auto deadline = batch[0].enqueued + opts_.maxBatchDelay;
+        while (pairCount < opts_.maxBatchSize) {
+            auto now = std::chrono::steady_clock::now();
+            std::optional<Request> next;
+            if (now >= deadline) {
+                next = queue_.tryPop();
+                if (!next)
+                    break; // budget spent and nothing ready
+            } else {
+                next = queue_.popFor(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(deadline - now));
+                if (!next)
+                    break; // timed out, or closed and drained
+            }
+            pairCount += next->pairs.size();
+            batch.push_back(std::move(*next));
+        }
+
+        // One Engine call for the whole coalesced batch: encodings
+        // dedup across every member request.
+        std::vector<Engine::PairRequest> all;
+        all.reserve(pairCount);
+        for (const Request& r : batch)
+            all.insert(all.end(), r.pairs.begin(), r.pairs.end());
+        Result<std::vector<double>> probs = engine_->compareMany(all);
+        recordBatch(pairCount);
+
+        // Fan results (or the batch-level failure) back out to each
+        // member's promise, in submission order. Counters update
+        // BEFORE the promise resolves so a caller that returns from
+        // future.get() never observes stats lagging its request.
+        auto completedAt = std::chrono::steady_clock::now();
+        std::size_t offset = 0;
+        for (Request& r : batch) {
+            recordOutcome(r, probs.isOk(), completedAt);
+            if (probs.isOk()) {
+                auto begin = probs.value().begin() +
+                    static_cast<std::ptrdiff_t>(offset);
+                r.complete(std::vector<double>(
+                    begin,
+                    begin + static_cast<std::ptrdiff_t>(
+                                r.pairs.size())));
+            } else {
+                r.complete(probs.status());
+            }
+            offset += r.pairs.size();
+        }
+    }
+}
+
+void
+AsyncServer::recordBatch(std::size_t pairCount)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    batches_++;
+    pairsServed_ += pairCount;
+    batchSizes_.add(pairCount);
+}
+
+void
+AsyncServer::recordOutcome(
+    const Request& request, bool ok,
+    std::chrono::steady_clock::time_point now)
+{
+    double ms = toMs(now - request.enqueued);
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    if (ok)
+        completed_++;
+    else
+        failed_++;
+    if (latenciesMs_.size() < kLatencyWindow) {
+        latenciesMs_.push_back(ms);
+    } else {
+        latenciesMs_[latencyNext_] = ms;
+        latencyNext_ = (latencyNext_ + 1) % kLatencyWindow;
+    }
+    if (ms > latencyMaxMs_)
+        latencyMaxMs_ = ms;
+}
+
+void
+AsyncServer::noteFailed()
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    failed_++;
+}
+
+ServerStats
+AsyncServer::stats() const
+{
+    ServerStats out;
+    out.queueDepth = queue_.size();
+    out.queueCapacity = queue_.capacity();
+
+    std::vector<double> latencies;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        out.requestsSubmitted = submitted_;
+        out.requestsRejected = rejected_;
+        out.requestsCompleted = completed_;
+        out.requestsFailed = failed_;
+        out.batches = batches_;
+        out.pairsServed = pairsServed_;
+        out.batchSizes = batchSizes_;
+        out.latencyMaxMs = latencyMaxMs_;
+        latencies = latenciesMs_;
+    }
+    if (!latencies.empty()) {
+        out.latencyP50Ms = quantile(latencies, 0.5);
+        out.latencyP99Ms = quantile(latencies, 0.99);
+        out.latencyMeanMs = mean(latencies);
+    }
+    out.engine = engine_->stats();
+    return out;
+}
+
+} // namespace ccsa

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * ccsa::AsyncServer — futures-based asynchronous serving with
+ * cross-request dynamic batching. The Engine (PR 1) batches within
+ * one call; every caller still blocks on compareMany, so batches can
+ * only form inside a single request. AsyncServer is the serving-style
+ * layer above it: many client threads submit comparisons and
+ * immediately get a std::future back; submissions land in a bounded
+ * MPMC RequestQueue (backpressure: submit() blocks when full,
+ * trySubmit*() fails fast), and a dedicated batcher thread coalesces
+ * pending pairs ACROSS requests into one Engine::compareMany call per
+ * tick — flushing when the accumulated batch reaches maxBatchSize
+ * pairs or the oldest request has waited maxBatchDelay — then fans
+ * the results back out to each caller's promise.
+ *
+ * Determinism contract: batch composition never changes a result.
+ * Each probability is produced by Engine::compareMany, whose output
+ * per pair is independent of what else shares the batch, so every
+ * future resolves to a value bitwise-identical to a synchronous
+ * Engine call on the same model (tests/test_async_server.cc pins
+ * this under an 8-producer stress load).
+ *
+ * Failure semantics: per-request Status, never process death. A
+ * malformed request fails only its own future; a batch-level engine
+ * failure is fanned out as each member request's Status; submissions
+ * after shutdown() resolve immediately with Unavailable.
+ *
+ * Lifetime: trees referenced by a request must stay alive until its
+ * future is ready. Futures are fulfilled from the batcher thread.
+ * shutdown() closes the queue, drains every accepted request, joins
+ * the batcher, and is idempotent; the destructor calls it.
+ *
+ * This queue/batcher seam is where the ROADMAP's sharded and
+ * multi-process serving will plug in: shards become multiple batcher
+ * consumers of the same RequestQueue.
+ */
+
+#ifndef CCSA_SERVE_ASYNC_SERVER_HH
+#define CCSA_SERVE_ASYNC_SERVER_HH
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/bounded_queue.hh"
+#include "base/result.hh"
+#include "serve/engine.hh"
+#include "serve/server_stats.hh"
+
+namespace ccsa
+{
+
+/** Async facade over an Engine with cross-request dynamic batching. */
+class AsyncServer
+{
+  public:
+    /** Builder-style serving options. */
+    struct Options
+    {
+        /** Max requests waiting in the queue (backpressure bound). */
+        std::size_t queueCapacity = 1024;
+        /** Flush the current batch once it holds this many pairs. */
+        std::size_t maxBatchSize = 256;
+        /** Flush once the oldest pending request has waited this
+         * long, even if the batch is below maxBatchSize. Smaller =
+         * lower latency; larger = bigger batches / higher
+         * throughput. */
+        std::chrono::microseconds maxBatchDelay{500};
+        /** Do not start the batcher thread until start() — lets tests
+         * and daemons stage requests deterministically. */
+        bool startPaused = false;
+
+        Options& withQueueCapacity(std::size_t n)
+        {
+            queueCapacity = n;
+            return *this;
+        }
+
+        Options& withMaxBatchSize(std::size_t n)
+        {
+            maxBatchSize = n == 0 ? 1 : n;
+            return *this;
+        }
+
+        Options& withMaxBatchDelay(std::chrono::microseconds d)
+        {
+            maxBatchDelay = d;
+            return *this;
+        }
+
+        Options& withStartPaused(bool paused)
+        {
+            startPaused = paused;
+            return *this;
+        }
+    };
+
+    /**
+     * Serve an existing engine (not owned; must outlive the server).
+     * Starts the batcher thread unless opts.startPaused.
+     */
+    explicit AsyncServer(Engine& engine);
+    AsyncServer(Engine& engine, Options opts);
+
+    /** Construct and own a fresh Engine, then serve it. */
+    explicit AsyncServer(Engine::Options engineOpts);
+    AsyncServer(Engine::Options engineOpts, Options opts);
+
+    /** Equivalent to shutdown(). */
+    ~AsyncServer();
+
+    AsyncServer(const AsyncServer&) = delete;
+    AsyncServer& operator=(const AsyncServer&) = delete;
+
+    /**
+     * Submit one comparison; resolves to P(first slower-or-equal),
+     * exactly as Engine::compare. Blocks while the queue is full.
+     */
+    std::future<Result<double>> submitCompare(const Ast& first,
+                                              const Ast& second);
+
+    /**
+     * Submit a pair batch; resolves to one probability per pair in
+     * request order, exactly as Engine::compareMany. Blocks while
+     * the queue is full.
+     */
+    std::future<Result<std::vector<double>>>
+    submitCompareMany(std::vector<Engine::PairRequest> pairs);
+
+    /**
+     * Submit a ranking tournament; resolves to the same best-first
+     * ranking Engine::rank would return. Blocks while the queue is
+     * full. Candidate trees must outlive the future.
+     */
+    std::future<Result<std::vector<Engine::RankedCandidate>>>
+    submitRank(std::vector<const Ast*> candidates);
+
+    /**
+     * Non-blocking submitCompare: @return nullopt when the queue is
+     * at capacity (the request was NOT accepted — retry or shed
+     * load). A shut-down server still returns a future carrying
+     * Unavailable, so callers can distinguish backpressure from
+     * teardown.
+     */
+    std::optional<std::future<Result<double>>>
+    trySubmitCompare(const Ast& first, const Ast& second);
+
+    /** Non-blocking submitCompareMany; same contract. */
+    std::optional<std::future<Result<std::vector<double>>>>
+    trySubmitCompareMany(std::vector<Engine::PairRequest> pairs);
+
+    /** Start the batcher if construction was startPaused. No-op when
+     * already running or shut down. */
+    void start();
+
+    /**
+     * Stop accepting requests, drain and answer everything already
+     * accepted, then join the batcher. Idempotent and safe from any
+     * thread (but not from a request callback).
+     */
+    void shutdown();
+
+    /** @return true once shutdown() has completed. */
+    bool isShutdown() const;
+
+    /** Snapshot of serving counters (queue, batches, latency, the
+     * wrapped engine's cache counters). */
+    ServerStats stats() const;
+
+    const Options& options() const { return opts_; }
+
+    Engine& engine() { return *engine_; }
+    const Engine& engine() const { return *engine_; }
+
+  private:
+    /** One queued unit of work: pairs to score plus a type-erased
+     * completion that converts the probability slice into the
+     * endpoint's result type and fulfils the caller's promise. */
+    struct Request
+    {
+        std::vector<Engine::PairRequest> pairs;
+        std::function<void(Result<std::vector<double>>)> complete;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    /**
+     * Validate + enqueue a request. Invalid requests and
+     * closed-queue rejections are answered through `complete`
+     * immediately (on the calling thread).
+     * @return false only for a non-blocking attempt that found the
+     * queue full — the one case where no future should be handed out.
+     */
+    bool submitCore(
+        std::vector<Engine::PairRequest> pairs,
+        std::function<void(Result<std::vector<double>>)> complete,
+        bool blocking);
+
+    void batcherLoop();
+    void recordBatch(std::size_t pairCount);
+    void recordOutcome(const Request& request, bool ok,
+                       std::chrono::steady_clock::time_point now);
+    void noteFailed();
+
+    std::unique_ptr<Engine> owned_;
+    Engine* engine_;
+    Options opts_;
+    BoundedQueue<Request> queue_;
+
+    /** Guards the batcher thread lifecycle (start/shutdown). */
+    mutable std::mutex lifecycleMutex_;
+    std::thread batcher_;
+    bool shutdown_ = false;
+
+    /** Guards the counters below (shared by clients + batcher). */
+    mutable std::mutex statsMutex_;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t pairsServed_ = 0;
+    Histogram batchSizes_;
+    /** Sliding window of recent request latencies (ms). */
+    std::vector<double> latenciesMs_;
+    std::size_t latencyNext_ = 0;
+    double latencyMaxMs_ = 0.0;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_SERVE_ASYNC_SERVER_HH

@@ -176,6 +176,16 @@ Engine::rank(const std::vector<const Ast*>& candidates)
         return Status::invalidArgument(
             "rank: need at least two candidates");
 
+    Result<std::vector<double>> probs =
+        compareMany(tournamentPairs(candidates));
+    if (!probs.isOk())
+        return probs.status();
+    return aggregateTournament(candidates.size(), probs.value());
+}
+
+std::vector<Engine::PairRequest>
+Engine::tournamentPairs(const std::vector<const Ast*>& candidates)
+{
     // Round-robin over every ordered pair: the classifier is not
     // antisymmetric, so (i, j) and (j, i) are distinct evidence.
     // Encoding cost stays O(candidates): all pairs share one batch.
@@ -186,22 +196,28 @@ Engine::rank(const std::vector<const Ast*>& candidates)
             if (i != j)
                 pairs.push_back(
                     PairRequest{candidates[i], candidates[j]});
+    return pairs;
+}
 
-    Result<std::vector<double>> probs = compareMany(pairs);
-    if (!probs.isOk())
-        return probs.status();
+std::vector<Engine::RankedCandidate>
+Engine::aggregateTournament(std::size_t n,
+                            const std::vector<double>& probs)
+{
+    if (n < 2 || probs.size() != n * (n - 1))
+        panic("aggregateTournament: ", probs.size(),
+              " probs for ", n, " candidates");
 
-    std::vector<RankedCandidate> ranked(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i)
+    std::vector<RankedCandidate> ranked(n);
+    for (std::size_t i = 0; i < n; ++i)
         ranked[i].index = static_cast<int>(i);
 
     std::size_t k = 0;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        for (std::size_t j = 0; j < candidates.size(); ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
             if (i == j)
                 continue;
             // p = P(i slower than j); > 0.5 elects j.
-            double p = probs.value()[k++];
+            double p = probs[k++];
             if (p >= 0.5)
                 ranked[j].wins++;
             else
@@ -211,7 +227,7 @@ Engine::rank(const std::vector<const Ast*>& candidates)
         }
     }
     // Each candidate appears in 2 * (n - 1) ordered pairs.
-    double norm = 2.0 * static_cast<double>(candidates.size() - 1);
+    double norm = 2.0 * static_cast<double>(n - 1);
     for (RankedCandidate& r : ranked)
         r.meanProbFaster /= norm;
 

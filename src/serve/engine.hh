@@ -182,6 +182,26 @@ class Engine
     Result<std::vector<RankedCandidate>>
     rank(const std::vector<const Ast*>& candidates);
 
+    /**
+     * Build the ordered round-robin pair list rank() scores: every
+     * (i, j), i != j, in row-major order over n candidates. Exposed
+     * so the async serving layer submits exactly the pairs rank()
+     * would.
+     */
+    static std::vector<PairRequest>
+    tournamentPairs(const std::vector<const Ast*>& candidates);
+
+    /**
+     * Aggregate round-robin probabilities (as produced by
+     * compareMany() over tournamentPairs()) into a best-first
+     * ranking. Deterministic and shared with AsyncServer, so async
+     * rankings are bitwise-identical to rank(). `probs` must hold
+     * n * (n - 1) entries.
+     */
+    static std::vector<RankedCandidate>
+    aggregateTournament(std::size_t n,
+                        const std::vector<double>& probs);
+
     /** Parse + prune one source file without aborting on errors. */
     static Result<Ast> parseSource(const std::string& source);
 

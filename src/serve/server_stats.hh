@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ServerStats — a point-in-time snapshot of an AsyncServer's
+ * observable state: queue pressure, request volume, dynamic-batching
+ * effectiveness (batch count + batch-size histogram), end-to-end
+ * request latency percentiles, and the wrapped Engine's counters
+ * (including the encoding cache's hit/miss/eviction counts, so cache
+ * efficacy is observable rather than inferred from benchmarks).
+ */
+
+#ifndef CCSA_SERVE_SERVER_STATS_HH
+#define CCSA_SERVE_SERVER_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/stats.hh"
+#include "serve/engine.hh"
+
+namespace ccsa
+{
+
+/** Snapshot of AsyncServer counters; see AsyncServer::stats(). */
+struct ServerStats
+{
+    // ------------------------------------------------ queue pressure
+    /** Requests currently waiting for the batcher. */
+    std::size_t queueDepth = 0;
+    /** Configured request-queue capacity (backpressure bound). */
+    std::size_t queueCapacity = 0;
+
+    // ------------------------------------------------ request volume
+    /** Requests accepted into the queue. */
+    std::uint64_t requestsSubmitted = 0;
+    /** Requests refused: queue full (trySubmit) or server shut down. */
+    std::uint64_t requestsRejected = 0;
+    /** Requests whose future was fulfilled with a value. */
+    std::uint64_t requestsCompleted = 0;
+    /** Requests whose future was fulfilled with an error Status. */
+    std::uint64_t requestsFailed = 0;
+
+    // ---------------------------------------------- dynamic batching
+    /** compareMany ticks executed by the batcher. */
+    std::uint64_t batches = 0;
+    /** Total pairs scored across all batches. */
+    std::uint64_t pairsServed = 0;
+    /** Distribution of pairs-per-batch (coalescing effectiveness). */
+    Histogram batchSizes;
+
+    // ------------------------------- end-to-end latency (submit done)
+    /** Completed-request latency percentiles in milliseconds, over a
+     * sliding window of recent requests; 0 until a request finishes. */
+    double latencyP50Ms = 0.0;
+    double latencyP99Ms = 0.0;
+    double latencyMeanMs = 0.0;
+    double latencyMaxMs = 0.0;
+
+    // ----------------------------------------------- wrapped engine
+    /** Engine counters: encoding-cache hits / misses / evictions /
+     * size plus pairsServed and treesEncoded. */
+    Engine::Stats engine;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_SERVE_SERVER_STATS_HH

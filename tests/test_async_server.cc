@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Tests for the async serving subsystem: the BoundedQueue
+ * backpressure primitive and the AsyncServer facade. The pinned
+ * contracts: every future resolves to a value bitwise-identical to
+ * the synchronous Engine path (including under an 8-producer stress
+ * load), shutdown drains every accepted request, a full queue rejects
+ * trySubmit without losing anything, and ServerStats exposes the
+ * batching histogram, latency percentiles, and the engine's
+ * encoding-cache counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "frontend/parser.hh"
+#include "serve/async_server.hh"
+
+namespace ccsa
+{
+namespace
+{
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+Ast
+tinyProgram(int loops)
+{
+    std::string src = "int main() {\n int n;\n cin >> n;\n";
+    for (int i = 0; i < loops; ++i) {
+        std::string v = "i" + std::to_string(i);
+        src += " for (int " + v + " = 0; " + v + " < n; " + v +
+            "++) { int z" + std::to_string(i) + " = " + v + "; }\n";
+    }
+    src += " return 0;\n}\n";
+    return parseAndPrune(src);
+}
+
+Engine::Options
+tinyOptions()
+{
+    return Engine::Options()
+        .withEmbedDim(8)
+        .withHiddenDim(8)
+        .withSeed(7)
+        .withThreads(1);
+}
+
+// ---------------------------------------------------- BoundedQueue
+
+TEST(BoundedQueue, FifoPushPop)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_EQ(q.push(1), QueuePush::Ok);
+    EXPECT_EQ(q.push(2), QueuePush::Ok);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushReportsFullWithoutConsumingItem)
+{
+    BoundedQueue<std::string> q(1);
+    std::string a = "first", b = "second";
+    EXPECT_EQ(q.tryPush(std::move(a)), QueuePush::Ok);
+    EXPECT_EQ(q.tryPush(std::move(b)), QueuePush::Full);
+    EXPECT_EQ(b, "second"); // rejected item left untouched
+    EXPECT_EQ(q.pop().value(), "first");
+    EXPECT_EQ(q.tryPush(std::move(b)), QueuePush::Ok);
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingThenReportsExhaustion)
+{
+    BoundedQueue<int> q(4);
+    ASSERT_EQ(q.push(10), QueuePush::Ok);
+    ASSERT_EQ(q.push(20), QueuePush::Ok);
+    q.close();
+    EXPECT_EQ(q.push(30), QueuePush::Closed);
+    EXPECT_EQ(q.tryPush(40), QueuePush::Closed);
+    EXPECT_EQ(q.pop().value(), 10);
+    EXPECT_EQ(q.pop().value(), 20);
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_FALSE(q.popFor(microseconds(100)).has_value());
+}
+
+TEST(BoundedQueue, TryPopNeverBlocks)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_FALSE(q.tryPop().has_value());
+    ASSERT_EQ(q.push(5), QueuePush::Ok);
+    EXPECT_EQ(q.tryPop().value(), 5);
+    q.close();
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(BoundedQueue, PopForTimesOutOnEmptyQueue)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_FALSE(q.popFor(microseconds(500)).has_value());
+    ASSERT_EQ(q.push(7), QueuePush::Ok);
+    EXPECT_EQ(q.popFor(microseconds(500)).value(), 7);
+}
+
+TEST(BoundedQueue, BlockedProducerUnblocksWhenSpaceFrees)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_EQ(q.push(1), QueuePush::Ok);
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_EQ(q.push(2), QueuePush::Ok); // blocks until pop
+        pushed = true;
+    });
+    std::this_thread::sleep_for(milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, BlockedProducerUnblocksOnClose)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_EQ(q.push(1), QueuePush::Ok);
+    std::thread producer(
+        [&] { EXPECT_EQ(q.push(2), QueuePush::Closed); });
+    std::this_thread::sleep_for(milliseconds(20));
+    q.close();
+    producer.join();
+}
+
+// ----------------------------------------------------- AsyncServer
+
+TEST(AsyncServer, CompareMatchesSynchronousEngineBitwise)
+{
+    Engine engine(tinyOptions());
+    Ast a = tinyProgram(2);
+    Ast b = tinyProgram(5);
+    double expected = engine.compare(a, b).value();
+
+    AsyncServer server(engine);
+    auto future = server.submitCompare(a, b);
+    Result<double> got = future.get();
+    ASSERT_TRUE(got.isOk());
+    EXPECT_EQ(got.value(), expected);
+}
+
+TEST(AsyncServer, CompareManyMatchesSynchronousEngineBitwise)
+{
+    Engine engine(tinyOptions());
+    std::vector<Ast> trees;
+    for (int i = 1; i <= 5; ++i)
+        trees.push_back(tinyProgram(i));
+    std::vector<Engine::PairRequest> pairs;
+    for (std::size_t i = 0; i < trees.size(); ++i)
+        for (std::size_t j = 0; j < trees.size(); ++j)
+            if (i != j)
+                pairs.push_back({&trees[i], &trees[j]});
+    std::vector<double> expected = engine.compareMany(pairs).value();
+
+    AsyncServer server(engine);
+    auto got = server.submitCompareMany(pairs).get();
+    ASSERT_TRUE(got.isOk());
+    ASSERT_EQ(got.value().size(), expected.size());
+    for (std::size_t k = 0; k < expected.size(); ++k)
+        EXPECT_EQ(got.value()[k], expected[k]) << "pair " << k;
+}
+
+TEST(AsyncServer, RankMatchesSynchronousEngineExactly)
+{
+    Engine engine(tinyOptions());
+    Ast fast = tinyProgram(1);
+    Ast mid = tinyProgram(3);
+    Ast slow = tinyProgram(6);
+    std::vector<const Ast*> candidates{&mid, &fast, &slow};
+    auto expected = engine.rank(candidates).value();
+
+    AsyncServer server(engine);
+    auto got = server.submitRank(candidates).get();
+    ASSERT_TRUE(got.isOk());
+    ASSERT_EQ(got.value().size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got.value()[i].index, expected[i].index);
+        EXPECT_EQ(got.value()[i].wins, expected[i].wins);
+        EXPECT_EQ(got.value()[i].meanProbFaster,
+                  expected[i].meanProbFaster);
+    }
+}
+
+TEST(AsyncServer, ManyProducerStressIsBitwiseEqualToSyncPath)
+{
+    constexpr int kClients = 8;
+    constexpr int kRequestsPerClient = 100;
+    constexpr int kTrees = 6;
+
+    Engine engine(tinyOptions());
+    std::vector<Ast> trees;
+    for (int i = 1; i <= kTrees; ++i)
+        trees.push_back(tinyProgram(i));
+
+    // Reference matrix from the synchronous path, computed first so
+    // the async run also exercises warm-cache fan-out.
+    std::vector<Engine::PairRequest> allPairs;
+    for (int i = 0; i < kTrees; ++i)
+        for (int j = 0; j < kTrees; ++j)
+            if (i != j)
+                allPairs.push_back({&trees[i], &trees[j]});
+    std::vector<double> reference =
+        engine.compareMany(allPairs).value();
+    auto expectedProb = [&](int i, int j) {
+        // Row-major over ordered pairs with the diagonal removed.
+        int row = i * (kTrees - 1);
+        int col = j < i ? j : j - 1;
+        return reference[static_cast<std::size_t>(row + col)];
+    };
+
+    AsyncServer server(engine,
+                       AsyncServer::Options()
+                           .withQueueCapacity(64)
+                           .withMaxBatchSize(32)
+                           .withMaxBatchDelay(microseconds(200)));
+
+    std::vector<std::thread> clients;
+    std::vector<int> mismatches(kClients, 0);
+    std::vector<int> failures(kClients, 0);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int k = 0; k < kRequestsPerClient; ++k) {
+                int i = (c * 7 + k) % kTrees;
+                int j = (c * 11 + 3 * k + 1) % kTrees;
+                if (i == j)
+                    j = (j + 1) % kTrees;
+                auto future = server.submitCompare(trees[static_cast<
+                                                       std::size_t>(i)],
+                                                   trees[static_cast<
+                                                       std::size_t>(j)]);
+                Result<double> got = future.get();
+                if (!got.isOk())
+                    failures[static_cast<std::size_t>(c)]++;
+                else if (got.value() != expectedProb(i, j))
+                    mismatches[static_cast<std::size_t>(c)]++;
+            }
+        });
+    }
+    for (std::thread& t : clients)
+        t.join();
+    for (int c = 0; c < kClients; ++c) {
+        EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0)
+            << "client " << c;
+        EXPECT_EQ(mismatches[static_cast<std::size_t>(c)], 0)
+            << "client " << c;
+    }
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requestsSubmitted,
+              static_cast<std::uint64_t>(kClients *
+                                         kRequestsPerClient));
+    EXPECT_EQ(stats.requestsCompleted, stats.requestsSubmitted);
+    EXPECT_EQ(stats.requestsFailed, 0u);
+    EXPECT_EQ(stats.pairsServed, stats.requestsSubmitted);
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_EQ(stats.batchSizes.count(), stats.batches);
+    EXPECT_EQ(stats.batchSizes.sum(), stats.pairsServed);
+}
+
+TEST(AsyncServer, CoalescesStagedRequestsIntoOneBatch)
+{
+    Engine engine(tinyOptions());
+    Ast a = tinyProgram(1);
+    Ast b = tinyProgram(2);
+
+    AsyncServer server(engine,
+                       AsyncServer::Options()
+                           .withStartPaused(true)
+                           .withMaxBatchSize(10)
+                           .withMaxBatchDelay(milliseconds(50)));
+    std::vector<std::future<Result<double>>> futures;
+    for (int k = 0; k < 10; ++k)
+        futures.push_back(server.submitCompare(a, b));
+    EXPECT_EQ(server.stats().queueDepth, 10u);
+
+    server.start();
+    for (auto& f : futures)
+        EXPECT_TRUE(f.get().isOk());
+
+    // All ten single-pair requests were staged before the batcher
+    // ran, so they coalesce into exactly one full batch.
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.pairsServed, 10u);
+    EXPECT_EQ(stats.batchSizes.max(), 10u);
+    EXPECT_EQ(stats.queueDepth, 0u);
+}
+
+TEST(AsyncServer, ShutdownDrainsPendingRequests)
+{
+    Engine engine(tinyOptions());
+    Ast a = tinyProgram(1);
+    Ast b = tinyProgram(3);
+
+    // Paused server: requests stay queued until shutdown, which must
+    // still answer every accepted request before returning.
+    AsyncServer server(
+        engine, AsyncServer::Options().withStartPaused(true));
+    std::vector<std::future<Result<double>>> futures;
+    for (int k = 0; k < 20; ++k)
+        futures.push_back(server.submitCompare(a, b));
+    EXPECT_EQ(server.stats().queueDepth, 20u);
+
+    server.shutdown();
+    EXPECT_TRUE(server.isShutdown());
+    double expected = engine.compare(a, b).value();
+    for (auto& f : futures) {
+        Result<double> got = f.get();
+        ASSERT_TRUE(got.isOk());
+        EXPECT_EQ(got.value(), expected);
+    }
+    EXPECT_EQ(server.stats().requestsCompleted, 20u);
+}
+
+TEST(AsyncServer, SubmitAfterShutdownResolvesUnavailable)
+{
+    Engine engine(tinyOptions());
+    Ast a = tinyProgram(1);
+    Ast b = tinyProgram(2);
+    AsyncServer server(engine);
+    server.shutdown();
+    server.shutdown(); // idempotent
+
+    auto blocking = server.submitCompare(a, b).get();
+    ASSERT_FALSE(blocking.isOk());
+    EXPECT_EQ(blocking.status().code(), StatusCode::Unavailable);
+
+    // trySubmit distinguishes teardown (future with Unavailable)
+    // from backpressure (nullopt).
+    auto attempted = server.trySubmitCompare(a, b);
+    ASSERT_TRUE(attempted.has_value());
+    auto tried = attempted->get();
+    ASSERT_FALSE(tried.isOk());
+    EXPECT_EQ(tried.status().code(), StatusCode::Unavailable);
+    EXPECT_GE(server.stats().requestsRejected, 2u);
+}
+
+TEST(AsyncServer, TrySubmitShedsLoadWhenQueueIsFull)
+{
+    Engine engine(tinyOptions());
+    Ast a = tinyProgram(1);
+    Ast b = tinyProgram(2);
+
+    AsyncServer server(engine,
+                       AsyncServer::Options()
+                           .withStartPaused(true)
+                           .withQueueCapacity(2));
+    auto first = server.trySubmitCompare(a, b);
+    auto second = server.trySubmitCompare(a, b);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+
+    auto third = server.trySubmitCompare(a, b);
+    EXPECT_FALSE(third.has_value()); // queue full: load shed
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.queueDepth, 2u);
+    EXPECT_EQ(stats.queueCapacity, 2u);
+    EXPECT_EQ(stats.requestsSubmitted, 2u);
+    EXPECT_EQ(stats.requestsRejected, 1u);
+
+    // The accepted requests are still answered once draining starts.
+    server.shutdown();
+    EXPECT_TRUE(first->get().isOk());
+    EXPECT_TRUE(second->get().isOk());
+}
+
+TEST(AsyncServer, MalformedRequestsFailOnlyTheirOwnFuture)
+{
+    Engine engine(tinyOptions());
+    Ast a = tinyProgram(1);
+    AsyncServer server(engine);
+
+    auto null_pair = server
+                         .submitCompareMany(
+                             {Engine::PairRequest{&a, nullptr}})
+                         .get();
+    ASSERT_FALSE(null_pair.isOk());
+    EXPECT_EQ(null_pair.status().code(),
+              StatusCode::InvalidArgument);
+
+    auto degenerate = server.submitRank({&a}).get();
+    ASSERT_FALSE(degenerate.isOk());
+    EXPECT_EQ(degenerate.status().code(),
+              StatusCode::InvalidArgument);
+
+    auto empty = server.submitCompareMany({}).get();
+    ASSERT_TRUE(empty.isOk());
+    EXPECT_TRUE(empty.value().empty());
+
+    // The server keeps serving after rejecting malformed requests.
+    Ast b = tinyProgram(2);
+    EXPECT_TRUE(server.submitCompare(a, b).get().isOk());
+    EXPECT_EQ(server.stats().requestsFailed, 2u);
+}
+
+TEST(AsyncServer, StatsExposeEngineCacheCountersAndLatency)
+{
+    Engine engine(tinyOptions());
+    Ast a = tinyProgram(2);
+    Ast b = tinyProgram(4);
+    AsyncServer server(engine);
+
+    // Same pair repeatedly: first batch encodes, later ones hit.
+    for (int round = 0; round < 3; ++round)
+        ASSERT_TRUE(server.submitCompare(a, b).get().isOk());
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.engine.treesEncoded, 2u);
+    EXPECT_GE(stats.engine.cacheHits, 2u);
+    EXPECT_GE(stats.engine.cacheMisses, 2u);
+    EXPECT_EQ(stats.engine.cacheSize, 2u);
+    EXPECT_EQ(stats.engine.pairsServed, 3u);
+
+    EXPECT_GE(stats.latencyP50Ms, 0.0);
+    EXPECT_GE(stats.latencyP99Ms, stats.latencyP50Ms);
+    EXPECT_GE(stats.latencyMaxMs, stats.latencyP99Ms);
+    EXPECT_GT(stats.latencyMaxMs, 0.0);
+}
+
+TEST(AsyncServer, OwningConstructorServesItsOwnEngine)
+{
+    AsyncServer server(tinyOptions(),
+                       AsyncServer::Options().withMaxBatchSize(8));
+    Ast a = tinyProgram(1);
+    Ast b = tinyProgram(2);
+    auto got = server.submitCompare(a, b).get();
+    ASSERT_TRUE(got.isOk());
+    EXPECT_GE(got.value(), 0.0);
+    EXPECT_LE(got.value(), 1.0);
+    // Bitwise parity with a synchronous engine built from the same
+    // options/seed.
+    Engine reference(tinyOptions());
+    EXPECT_EQ(got.value(), reference.compare(a, b).value());
+}
+
+} // namespace
+} // namespace ccsa

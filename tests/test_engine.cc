@@ -108,6 +108,45 @@ TEST(ThreadPool, ZeroIterationsIsANoop)
     pool.parallelFor(0, [](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, NegativeThreadCountClampsToInline)
+{
+    ThreadPool pool(-5);
+    EXPECT_EQ(pool.workerCount(), 0); // clamped to 1 => inline
+    std::atomic<int> ran{0};
+    pool.parallelFor(4, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, SubmitReportsOkAndRunsTheTask)
+{
+    for (int threads : {1, 3}) {
+        ThreadPool pool(threads);
+        std::atomic<bool> ran{false};
+        ASSERT_TRUE(pool.submit([&] { ran = true; }).isOk());
+        pool.shutdown(); // drains the task before joining
+        EXPECT_TRUE(ran.load());
+    }
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndRejectsNewWork)
+{
+    ThreadPool pool(2);
+    EXPECT_FALSE(pool.isShutdown());
+    pool.shutdown();
+    pool.shutdown(); // double-shutdown is a safe no-op
+    EXPECT_TRUE(pool.isShutdown());
+    EXPECT_EQ(pool.workerCount(), 0);
+
+    std::atomic<bool> ran{false};
+    Status s = pool.submit([&] { ran = true; });
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::Unavailable);
+    EXPECT_FALSE(ran.load()); // rejected task never runs
+
+    EXPECT_THROW(pool.parallelFor(4, [](std::size_t) {}),
+                 FatalError);
+}
+
 // ------------------------------------------------- EncodingCache
 
 TEST(EncodingCache, DigestSeesStructureNotText)

@@ -17,6 +17,48 @@ namespace ccsa
 namespace
 {
 
+TEST(Histogram, BucketsByPowerOfTwoUpperBounds)
+{
+    EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(1), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(2), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(4), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(5), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(65536), Histogram::kBuckets - 2);
+    // Values beyond the largest bound land in the overflow bucket.
+    EXPECT_EQ(Histogram::bucketIndex(1u << 20),
+              Histogram::kBuckets - 1);
+    EXPECT_EQ(Histogram::bucketUpperBound(3), 8u);
+}
+
+TEST(Histogram, TracksCountSumMaxAndMean)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.meanValue(), 0.0);
+    EXPECT_EQ(h.toString(), "(empty)");
+
+    h.add(1);
+    h.add(1);
+    h.add(6);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 8u);
+    EXPECT_EQ(h.max(), 6u);
+    EXPECT_DOUBLE_EQ(h.meanValue(), 8.0 / 3.0);
+    EXPECT_EQ(h.bucket(0), 2u); // the two 1s
+    EXPECT_EQ(h.bucket(3), 1u); // 6 is in (4, 8]
+    EXPECT_EQ(h.toString(), "<=1:2 <=8:1");
+}
+
+TEST(Histogram, BucketIndexOutOfRangeIsFatal)
+{
+    Histogram h;
+    EXPECT_THROW(h.bucket(Histogram::kBuckets), FatalError);
+    EXPECT_THROW(Histogram::bucketUpperBound(Histogram::kBuckets),
+                 FatalError);
+}
+
 TEST(Stats, MeanAndStddev)
 {
     std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
