@@ -50,6 +50,152 @@ BM_TensorMatmul(benchmark::State& state)
 }
 BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64)->Arg(128);
 
+/**
+ * Kernel ablation: the blocked/unrolled GEMM (arg 1) vs the original
+ * scalar ikj loop with its per-element zero-skip branch (arg 0, kept
+ * as Tensor::matmulReference). Items/s is multiply-adds per second.
+ */
+void
+BM_MatmulKernel(benchmark::State& state)
+{
+    bool blocked = state.range(0) == 1;
+    int n = static_cast<int>(state.range(1));
+    Rng rng(2);
+    Tensor a(n, n), b(n, n);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        if (blocked)
+            benchmark::DoNotOptimize(a.matmul(b));
+        else
+            benchmark::DoNotOptimize(a.matmulReference(b));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+    state.SetLabel(blocked ? "blocked-kernel" : "reference-kernel");
+}
+BENCHMARK(BM_MatmulKernel)
+    ->Args({1, 32})->Args({0, 32})
+    ->Args({1, 64})->Args({0, 64})
+    ->Args({1, 128})->Args({0, 128})
+    ->Args({1, 256})->Args({0, 256});
+
+/** Parent arrays for the encode-ablation tree shapes. */
+std::vector<int>
+benchTreeParents(int shape)
+{
+    switch (shape) {
+      case 0: { // degenerate chain: no level ever batches
+        std::vector<int> p(64);
+        p[0] = -1;
+        for (std::size_t i = 1; i < p.size(); ++i)
+            p[i] = static_cast<int>(i) - 1;
+        return p;
+      }
+      case 1: { // bushy: complete 4-ary tree of depth 4 (341 nodes,
+                // levels of width 1/4/16/64/256)
+        std::vector<int> p{-1};
+        std::size_t parent = 0;
+        while (p.size() < 341) {
+            for (int k = 0; k < 4 && p.size() < 341; ++k)
+                p.push_back(static_cast<int>(parent));
+            ++parent;
+        }
+        return p;
+      }
+      default: // realistic AST from the generated corpus
+        return benchCorpus().submissions()[0].ast.parents();
+    }
+}
+
+const char*
+benchTreeName(int shape)
+{
+    switch (shape) {
+      case 0: return "chain";
+      case 1: return "bushy";
+      default: return "ast";
+    }
+}
+
+/**
+ * The headline ablation of this PR: level-batched wavefront encoding
+ * (arg 0 == 1) vs the per-node oracle path (arg 0 == 0) on three
+ * tree shapes. Items/s is nodes encoded per second. The level-batched
+ * mode must be >= 3x on bushy trees and must not regress on chains.
+ */
+void
+BM_EncodeLevelBatchedVsPerNode(benchmark::State& state)
+{
+    bool batched = state.range(0) == 1;
+    int shape = static_cast<int>(state.range(1));
+    Rng rng(31);
+    // Laptop-scale model dims (matches bench_util defaultConfig);
+    // alternating layers exercise both pass directions.
+    nn::TreeLstm lstm(24, 32, 2, nn::TreeArch::Alternating, rng);
+    nn::TreeSpec spec = nn::TreeSpec::fromParents(
+        benchTreeParents(shape));
+    std::vector<ag::Var> inputs;
+    inputs.reserve(spec.size());
+    Rng irng(5);
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        Tensor t(1, 24);
+        t.fillNormal(irng, 0.0f, 1.0f);
+        inputs.push_back(ag::constant(t));
+    }
+    for (auto _ : state) {
+        // Both modes encode every node; the serving workload reads
+        // the root representation.
+        if (batched)
+            benchmark::DoNotOptimize(lstm.encodeRoot(spec, inputs));
+        else
+            benchmark::DoNotOptimize(
+                lstm.encodeNodesPerNode(spec, inputs)[spec.root]);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(spec.size()));
+    state.SetLabel(std::string(benchTreeName(shape)) + "/" +
+                   (batched ? "level-batched" : "per-node"));
+}
+BENCHMARK(BM_EncodeLevelBatchedVsPerNode)
+    ->Args({1, 0})->Args({0, 0})
+    ->Args({1, 1})->Args({0, 1})
+    ->Args({1, 2})->Args({0, 2})
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Forest batching: encoding a batch of 16 distinct realistic trees
+ * through one encodeMany wavefront (arg 1) vs 16 separate encode
+ * calls (arg 0). Items/s is trees per second.
+ */
+void
+BM_EncodeForestVsSequential(benchmark::State& state)
+{
+    bool forest = state.range(0) == 1;
+    EncoderConfig cfg;
+    cfg.embedDim = 24;
+    cfg.hiddenDim = 32;
+    ComparativePredictor model(cfg, 1);
+    const auto& subs = benchCorpus().submissions();
+    std::vector<const Ast*> trees;
+    for (std::size_t i = 0; i < 16 && i < subs.size(); ++i)
+        trees.push_back(&subs[i].ast);
+    for (auto _ : state) {
+        if (forest) {
+            benchmark::DoNotOptimize(model.encodeMany(trees));
+        } else {
+            for (const Ast* t : trees)
+                benchmark::DoNotOptimize(model.encode(*t));
+        }
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(trees.size()));
+    state.SetLabel(forest ? "forest-batched" : "tree-at-a-time");
+}
+BENCHMARK(BM_EncodeForestVsSequential)
+    ->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 void
 BM_ParseSource(benchmark::State& state)
 {

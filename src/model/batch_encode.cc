@@ -13,14 +13,24 @@ encodeDistinct(const ComparativePredictor& model,
 {
     if (end > pairs.size())
         panic("encodeDistinct: range past the end of pairs");
+    // Collect distinct submissions in first-appearance order, then
+    // encode them all in ONE forest-batched wavefront: every level of
+    // every distinct tree joins the same batched matmuls.
     std::unordered_map<int, ag::Var> encoded;
+    std::vector<int> distinct;
     for (std::size_t p = begin; p < end; ++p) {
         for (int idx : {pairs[p].first, pairs[p].second}) {
-            if (!encoded.count(idx))
-                encoded.emplace(idx,
-                                model.encode(submissions[idx].ast));
+            if (encoded.emplace(idx, ag::Var()).second)
+                distinct.push_back(idx);
         }
     }
+    std::vector<const Ast*> asts;
+    asts.reserve(distinct.size());
+    for (int idx : distinct)
+        asts.push_back(&submissions[idx].ast);
+    std::vector<ag::Var> vars = model.encodeMany(asts);
+    for (std::size_t i = 0; i < distinct.size(); ++i)
+        encoded[distinct[i]] = vars[i];
     return encoded;
 }
 

@@ -17,6 +17,19 @@ encoderKindName(EncoderKind kind)
     return "unknown";
 }
 
+std::vector<ag::Var>
+CodeEncoder::encodeMany(const std::vector<const Ast*>& asts) const
+{
+    std::vector<ag::Var> out;
+    out.reserve(asts.size());
+    for (const Ast* ast : asts) {
+        if (ast == nullptr)
+            panic("CodeEncoder::encodeMany: null AST");
+        out.push_back(encode(*ast));
+    }
+    return out;
+}
+
 TreeLstmEncoder::TreeLstmEncoder(const EncoderConfig& cfg, Rng& rng)
     : embed_(kNumNodeKinds, cfg.embedDim, rng),
       lstm_(cfg.embedDim, cfg.hiddenDim, cfg.layers, cfg.arch, rng)
@@ -27,24 +40,45 @@ std::vector<ag::Var>
 TreeLstmEncoder::encodeNodes(const Ast& ast) const
 {
     nn::TreeSpec spec = nn::TreeSpec::fromParents(ast.parents());
-    std::vector<int> kinds = ast.kindIds();
-    std::vector<ag::Var> inputs;
-    inputs.reserve(kinds.size());
-    for (int k : kinds)
-        inputs.push_back(embed_.forward({k}));
-    return lstm_.encodeNodes(spec, inputs);
+    // One embedding gather for the whole tree, then the level-batched
+    // wavefront path.
+    ag::Var x = embed_.forward(ast.kindIds());
+    return lstm_.encodeForest({&spec}, x)[0];
 }
 
 ag::Var
 TreeLstmEncoder::encode(const Ast& ast) const
 {
     nn::TreeSpec spec = nn::TreeSpec::fromParents(ast.parents());
-    std::vector<int> kinds = ast.kindIds();
-    std::vector<ag::Var> inputs;
-    inputs.reserve(kinds.size());
-    for (int k : kinds)
-        inputs.push_back(embed_.forward({k}));
-    return lstm_.encodeRoot(spec, inputs);
+    ag::Var x = embed_.forward(ast.kindIds());
+    return lstm_.encodeForestRoots({&spec}, x)[0];
+}
+
+std::vector<ag::Var>
+TreeLstmEncoder::encodeMany(const std::vector<const Ast*>& asts) const
+{
+    if (asts.empty())
+        return {};
+    std::vector<nn::TreeSpec> specs;
+    specs.reserve(asts.size());
+    std::vector<int> kinds;
+    for (const Ast* ast : asts) {
+        if (ast == nullptr)
+            panic("TreeLstmEncoder::encodeMany: null AST");
+        specs.push_back(nn::TreeSpec::fromParents(ast->parents()));
+        std::vector<int> k = ast->kindIds();
+        kinds.insert(kinds.end(), k.begin(), k.end());
+    }
+    std::vector<const nn::TreeSpec*> spec_ptrs;
+    spec_ptrs.reserve(specs.size());
+    for (const nn::TreeSpec& s : specs)
+        spec_ptrs.push_back(&s);
+
+    // The entire forest shares one embedding gather and one
+    // level-batched wavefront: every request batch's distinct trees
+    // feed the same large matmuls.
+    ag::Var x = embed_.forward(kinds);
+    return lstm_.encodeForestRoots(spec_ptrs, x);
 }
 
 std::vector<nn::Parameter*>

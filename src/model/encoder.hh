@@ -29,6 +29,15 @@ class CodeEncoder : public nn::Module
     /** Encode a pruned AST into a (1 x outputDim) latent vector. */
     virtual ag::Var encode(const Ast& ast) const = 0;
 
+    /**
+     * Encode a batch of ASTs (non-null, borrowed) into one latent
+     * vector each, in input order. The default loops encode();
+     * structure-batched encoders override it to share work across
+     * the whole batch. Results per tree are identical to encode().
+     */
+    virtual std::vector<ag::Var>
+    encodeMany(const std::vector<const Ast*>& asts) const;
+
     /** @return dimensionality d of the latent space. */
     virtual int outputDim() const = 0;
 
@@ -43,6 +52,14 @@ class TreeLstmEncoder : public CodeEncoder
     TreeLstmEncoder(const EncoderConfig& cfg, Rng& rng);
 
     ag::Var encode(const Ast& ast) const override;
+
+    /**
+     * Forest-batched override: all trees share one embedding gather
+     * and one level-batched wavefront through the tree-LSTM stack.
+     */
+    std::vector<ag::Var>
+    encodeMany(const std::vector<const Ast*>& asts) const override;
+
     int outputDim() const override { return lstm_.outputDim(); }
     const nn::Embedding& embedding() const override { return embed_; }
     std::vector<nn::Parameter*> parameters() override;

@@ -35,6 +35,13 @@ ComparativePredictor::encode(const Ast& ast) const
     return encoder_->encode(ast);
 }
 
+std::vector<ag::Var>
+ComparativePredictor::encodeMany(
+    const std::vector<const Ast*>& asts) const
+{
+    return encoder_->encodeMany(asts);
+}
+
 ag::Var
 ComparativePredictor::logitFromEncodings(const ag::Var& z_first,
                                          const ag::Var& z_second) const

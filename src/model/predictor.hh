@@ -50,6 +50,16 @@ class ComparativePredictor : public nn::Module
     /** Encode one pruned AST. */
     ag::Var encode(const Ast& ast) const;
 
+    /**
+     * Encode a batch of ASTs in one shot. With the tree-LSTM
+     * encoder the whole batch is forest-batched through shared
+     * level-wise matmuls; per-tree results are identical to
+     * encode(). The Trainer and the serving Engine both funnel
+     * their distinct-tree batches through this.
+     */
+    std::vector<ag::Var>
+    encodeMany(const std::vector<const Ast*>& asts) const;
+
     /** Differentiable pair logit from precomputed encodings. */
     ag::Var logitFromEncodings(const ag::Var& z_first,
                                const ag::Var& z_second) const;

@@ -31,6 +31,27 @@ namespace nn
 /** Structural view of a rooted tree for the tree-LSTM drivers. */
 struct TreeSpec
 {
+    /**
+     * Wavefront schedule for one propagation direction. The
+     * tree-LSTM recurrence is depth-synchronous: every node of
+     * levels[l] depends only on nodes in levels < l, so a whole
+     * level composes as ONE batched cell application (one matmul
+     * per weight matrix) instead of one tiny matmul per node.
+     *
+     * depIds[l] flattens the dependency node ids of levels[l] (the
+     * children for the upward pass, the parent for the downward
+     * pass) grouped per node in level order; depOffsets[l] holds the
+     * levels[l].size() + 1 segment boundaries into depIds[l].
+     */
+    struct LevelSchedule
+    {
+        std::vector<std::vector<int>> levels;
+        std::vector<std::vector<int>> depIds;
+        std::vector<std::vector<int>> depOffsets;
+
+        std::size_t depth() const { return levels.size(); }
+    };
+
     /** parent[i] = parent node id, or -1 for the root. */
     std::vector<int> parent;
     /** children[i] = node ids of i's children. */
@@ -39,6 +60,14 @@ struct TreeSpec
     std::vector<int> postOrder;
     /** Index of the root node. */
     int root = 0;
+
+    /**
+     * Height-grouped wavefronts (children as dependencies), computed
+     * once in fromParents and reused across layers and encode calls.
+     */
+    LevelSchedule upSchedule;
+    /** Depth-grouped wavefronts (parent as the only dependency). */
+    LevelSchedule downSchedule;
 
     std::size_t size() const { return parent.size(); }
 
@@ -70,6 +99,27 @@ class ChildSumTreeLstmCell : public Module
                       const std::vector<ag::Var>& child_h,
                       const std::vector<ag::Var>& child_c) const;
 
+    /**
+     * Batched form of compose(): one wavefront of B same-level
+     * nodes in a single cell application.
+     *
+     * Numerics: every gate preactivation row and every child-sum
+     * accumulates in exactly the per-node order (ordered matmul
+     * kernel, segment sums seeded like addN), so each output row is
+     * bitwise-identical to compose() on that node alone.
+     *
+     * @param x level inputs (B x input_dim).
+     * @param child_h stacked child hidden states (K x hidden_dim),
+     *        grouped per node; an undefined Var when the level has
+     *        no children at all (K == 0).
+     * @param child_c stacked child cell states (same layout).
+     * @param offsets B + 1 segment boundaries mapping children to
+     *        nodes (offsets[b]..offsets[b+1] are node b's children).
+     */
+    LstmState composeLevel(const ag::Var& x, const ag::Var& child_h,
+                           const ag::Var& child_c,
+                           const std::vector<int>& offsets) const;
+
     int inputDim() const { return cell_.inputDim(); }
     int hiddenDim() const { return cell_.hiddenDim(); }
 
@@ -82,6 +132,10 @@ class ChildSumTreeLstmCell : public Module
     // Reuses the LstmCell parameter block; the composition logic
     // differs (summed child states, per-child forget gates).
     LstmCell cell_;
+    // Shared leaf h~ (1 x hidden zeros), hoisted out of compose():
+    // constants carry no gradient, so one tape node serves every
+    // leaf of every tree.
+    ag::Var zeroRow_;
 };
 
 /** Propagation direction of one tree-LSTM layer. */
@@ -120,7 +174,9 @@ class TreeLstm : public Module
              TreeArch arch, Rng& rng);
 
     /**
-     * Encode every node of a tree.
+     * Encode every node of a tree through the level-batched
+     * wavefront path: per layer, O(depth) large matmuls instead of
+     * O(nodes) tiny ones.
      * @param tree structural view.
      * @param inputs per-node input vectors (1 x input_dim each).
      * @return final-layer hidden state per node.
@@ -128,9 +184,44 @@ class TreeLstm : public Module
     std::vector<ag::Var> encodeNodes(
         const TreeSpec& tree, const std::vector<ag::Var>& inputs) const;
 
+    /**
+     * The legacy one-node-at-a-time path, kept as the reference
+     * oracle for the level-batched kernels (parity tests and the
+     * old-vs-new encode benchmark). Same results as encodeNodes().
+     */
+    std::vector<ag::Var> encodeNodesPerNode(
+        const TreeSpec& tree, const std::vector<ag::Var>& inputs) const;
+
     /** Encode and return only the root representation. */
     ag::Var encodeRoot(const TreeSpec& tree,
                        const std::vector<ag::Var>& inputs) const;
+
+    /**
+     * Encode a whole forest in one wavefront: level l of every tree
+     * joins a single batched cell application, so all distinct trees
+     * of a request batch share the same large matmuls. Because rows
+     * never mix across trees, each tree's encoding is independent of
+     * its companions — forest batching is a pure throughput win.
+     * @param trees borrowed tree specs (non-null).
+     * @param inputs stacked per-node inputs, trees concatenated in
+     *        order (sum of tree sizes x input_dim).
+     * @return final-layer hidden states as one stacked matrix
+     *         (sum of tree sizes x outputDim), trees in input order.
+     */
+    ag::Var encodeForestStacked(
+        const std::vector<const TreeSpec*>& trees,
+        const ag::Var& inputs) const;
+
+    /** Forest encode sliced per tree, per node (diagnostics). */
+    std::vector<std::vector<ag::Var>> encodeForest(
+        const std::vector<const TreeSpec*>& trees,
+        const ag::Var& inputs) const;
+
+    /** Forest encode returning only each tree's root row — the
+     * serving path (no per-node slicing). */
+    std::vector<ag::Var> encodeForestRoots(
+        const std::vector<const TreeSpec*>& trees,
+        const ag::Var& inputs) const;
 
     /** @return dimensionality of the per-node output. */
     int outputDim() const;
@@ -149,10 +240,20 @@ class TreeLstm : public Module
         int outDim = 0;
     };
 
-    /** Run a single direction over the tree with the given cell. */
+    /** Run a single direction per-node (legacy oracle path). */
     static std::vector<ag::Var> runDirection(
         const ChildSumTreeLstmCell& cell, TreeDirection dir,
         const TreeSpec& tree, const std::vector<ag::Var>& inputs);
+
+    /**
+     * Run a single direction level-batched over a (possibly merged)
+     * schedule; @return the stacked hidden states (node_count x
+     * hidden) in node order.
+     */
+    static ag::Var runDirectionLevels(
+        const ChildSumTreeLstmCell& cell,
+        const TreeSpec::LevelSchedule& sched, std::size_t node_count,
+        const ag::Var& inputs);
 
     TreeArch arch_;
     int hiddenDim_;

@@ -87,12 +87,30 @@ Engine::encodeBatch(const std::vector<const Ast*>& trees)
 
     if (!miss_slots.empty()) {
         try {
-            pool_.parallelFor(
-                miss_slots.size(), [&](std::size_t i) {
-                    std::size_t s = miss_slots[i];
-                    latents[s] =
-                        model_->encode(*unique_trees[s]).value();
-                });
+            // Forest-batch the misses: each worker encodes one
+            // contiguous chunk of distinct trees in a single
+            // level-batched wavefront. Tree rows never mix inside a
+            // forest batch, so every latent is independent of the
+            // chunking — and therefore of the thread count.
+            std::size_t workers = static_cast<std::size_t>(
+                std::max(1, pool_.workerCount()));
+            std::size_t chunks = std::min(miss_slots.size(), workers);
+            std::size_t per = (miss_slots.size() + chunks - 1) / chunks;
+            pool_.parallelFor(chunks, [&](std::size_t ci) {
+                std::size_t lo = ci * per;
+                std::size_t hi =
+                    std::min(miss_slots.size(), lo + per);
+                if (lo >= hi)
+                    return;
+                std::vector<const Ast*> chunk;
+                chunk.reserve(hi - lo);
+                for (std::size_t i = lo; i < hi; ++i)
+                    chunk.push_back(unique_trees[miss_slots[i]]);
+                std::vector<ag::Var> encoded =
+                    model_->encodeMany(chunk);
+                for (std::size_t i = lo; i < hi; ++i)
+                    latents[miss_slots[i]] = encoded[i - lo].value();
+            });
         } catch (const std::exception& e) {
             return Status::internal(
                 std::string("encodeBatch: ") + e.what());

@@ -1,5 +1,6 @@
 #include "tensor/autograd.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
@@ -95,13 +96,71 @@ matmul(const Var& a, const Var& b)
     auto an = a.node();
     auto bn = b.node();
     return makeOp(std::move(v), {a, b}, [an, bn](VarNode& self) {
+        // Accumulate straight into the gradient buffers: no
+        // transpose materialisation, no product temporary, no
+        // elementwise add pass.
         if (an->requiresGrad) {
             an->ensureGrad();
-            an->grad += self.grad.matmul(bn->value.transpose());
+            self.grad.matmulTransBAccumInto(bn->value, an->grad);
         }
         if (bn->requiresGrad) {
             bn->ensureGrad();
-            bn->grad += an->value.transpose().matmul(self.grad);
+            an->value.matmulTransAAccumInto(self.grad, bn->grad);
+        }
+    });
+}
+
+Var
+affinePair(const Var& x, const Var& w, const Var& h, const Var& u,
+           const Var& bias)
+{
+    const Tensor& xv = x.value();
+    const Tensor& wv = w.value();
+    const Tensor& hv = h.value();
+    const Tensor& uv = u.value();
+    const Tensor& bv = bias.value();
+    if (xv.rows() != hv.rows())
+        panic("affinePair: x rows ", xv.rows(), " vs h rows ",
+              hv.rows());
+    if (wv.cols() != uv.cols() || bv.rows() != 1 ||
+        bv.cols() != wv.cols())
+        panic("affinePair: output column mismatch");
+
+    Tensor v(xv.rows(), wv.cols());
+    xv.matmulInto(wv, v);
+    Tensor tmp(hv.rows(), uv.cols());
+    hv.matmulInto(uv, tmp);
+    v += tmp; // elementwise: same order as add(matmul, matmul)
+    for (int i = 0; i < v.rows(); ++i)
+        for (int j = 0; j < v.cols(); ++j)
+            v.at(i, j) += bv.at(0, j);
+
+    auto xn = x.node();
+    auto wn = w.node();
+    auto hn = h.node();
+    auto un = u.node();
+    auto bn = bias.node();
+    return makeOp(std::move(v), {x, w, h, u, bias},
+                  [xn, wn, hn, un, bn](VarNode& self) {
+        if (xn->requiresGrad) {
+            xn->ensureGrad();
+            self.grad.matmulTransBAccumInto(wn->value, xn->grad);
+        }
+        if (wn->requiresGrad) {
+            wn->ensureGrad();
+            xn->value.matmulTransAAccumInto(self.grad, wn->grad);
+        }
+        if (hn->requiresGrad) {
+            hn->ensureGrad();
+            self.grad.matmulTransBAccumInto(un->value, hn->grad);
+        }
+        if (un->requiresGrad) {
+            un->ensureGrad();
+            hn->value.matmulTransAAccumInto(self.grad, un->grad);
+        }
+        if (bn->requiresGrad) {
+            bn->ensureGrad();
+            bn->grad += self.grad.sumRows();
         }
     });
 }
@@ -316,6 +375,229 @@ gatherRows(const Var& table, std::vector<int> indices)
             for (int j = 0; j < tn->value.cols(); ++j)
                 tn->grad.at(idx[i], j) +=
                     self.grad.at(static_cast<int>(i), j);
+    });
+}
+
+Var
+stackRows(const std::vector<Var>& xs)
+{
+    if (xs.empty())
+        panic("stackRows: empty operand list");
+    int cols = xs[0].value().cols();
+    int total = 0;
+    for (const auto& x : xs) {
+        if (x.value().cols() != cols)
+            panic("stackRows: column mismatch (", x.value().cols(),
+                  " vs ", cols, ")");
+        total += x.value().rows();
+    }
+    Tensor v(total, cols);
+    int r = 0;
+    for (const auto& x : xs) {
+        const Tensor& t = x.value();
+        std::copy(t.data(), t.data() + t.size(),
+                  v.data() + static_cast<std::size_t>(r) * cols);
+        r += t.rows();
+    }
+    std::vector<VarNodePtr> nodes;
+    nodes.reserve(xs.size());
+    for (const auto& x : xs)
+        nodes.push_back(x.node());
+    return makeOp(std::move(v), xs, [nodes](VarNode& self) {
+        int cols = self.value.cols();
+        int r = 0;
+        for (const auto& n : nodes) {
+            int rows = n->value.rows();
+            if (n->requiresGrad) {
+                n->ensureGrad();
+                for (int i = 0; i < rows; ++i)
+                    for (int j = 0; j < cols; ++j)
+                        n->grad.at(i, j) += self.grad.at(r + i, j);
+            }
+            r += rows;
+        }
+    });
+}
+
+Var
+scatterRows(const Var& x, std::vector<int> indices, int num_rows)
+{
+    const Tensor& t = x.value();
+    if (static_cast<int>(indices.size()) != t.rows())
+        panic("scatterRows: ", indices.size(), " indices for ",
+              t.rows(), " rows");
+    Tensor v(num_rows, t.cols());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        int r = indices[i];
+        if (r < 0 || r >= num_rows)
+            panic("scatterRows: index ", r, " out of range");
+        for (int j = 0; j < t.cols(); ++j)
+            v.at(r, j) += t.at(static_cast<int>(i), j);
+    }
+    auto xn = x.node();
+    return makeOp(std::move(v), {x},
+                  [xn, idx = std::move(indices)](VarNode& self) {
+        if (!xn->requiresGrad)
+            return;
+        xn->ensureGrad();
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            for (int j = 0; j < xn->value.cols(); ++j)
+                xn->grad.at(static_cast<int>(i), j) +=
+                    self.grad.at(idx[i], j);
+    });
+}
+
+Var
+rowSlice(const Var& x, int begin, int rows)
+{
+    const Tensor& t = x.value();
+    if (begin < 0 || rows < 1 || begin + rows > t.rows())
+        panic("rowSlice: [", begin, ", ", begin + rows,
+              ") out of range for ", t.rows(), " rows");
+    Tensor v(rows, t.cols());
+    std::copy(
+        t.data() + static_cast<std::size_t>(begin) * t.cols(),
+        t.data() + static_cast<std::size_t>(begin + rows) * t.cols(),
+        v.data());
+    auto xn = x.node();
+    return makeOp(std::move(v), {x}, [xn, begin, rows](VarNode& self) {
+        if (!xn->requiresGrad)
+            return;
+        xn->ensureGrad();
+        for (int i = 0; i < rows; ++i)
+            for (int j = 0; j < xn->value.cols(); ++j)
+                xn->grad.at(begin + i, j) += self.grad.at(i, j);
+    });
+}
+
+Var
+pickRows(const std::vector<Var>& sources,
+         std::vector<std::pair<int, int>> picks)
+{
+    if (sources.empty())
+        panic("pickRows: no sources");
+    int cols = sources[0].value().cols();
+    for (const auto& s : sources)
+        if (s.value().cols() != cols)
+            panic("pickRows: column mismatch");
+    Tensor v(static_cast<int>(picks.size()), cols);
+    for (std::size_t i = 0; i < picks.size(); ++i) {
+        auto [src, row] = picks[i];
+        if (src < 0 || src >= static_cast<int>(sources.size()))
+            panic("pickRows: source ", src, " out of range");
+        const Tensor& t = sources[src].value();
+        if (row < 0 || row >= t.rows())
+            panic("pickRows: row ", row, " out of range for source ",
+                  src);
+        std::copy(t.data() + static_cast<std::size_t>(row) * cols,
+                  t.data() + static_cast<std::size_t>(row + 1) * cols,
+                  v.data() + i * static_cast<std::size_t>(cols));
+    }
+    std::vector<VarNodePtr> nodes;
+    nodes.reserve(sources.size());
+    for (const auto& s : sources)
+        nodes.push_back(s.node());
+    return makeOp(std::move(v), sources,
+                  [nodes, ps = std::move(picks)](VarNode& self) {
+        for (std::size_t i = 0; i < ps.size(); ++i) {
+            VarNode& src = *nodes[ps[i].first];
+            if (!src.requiresGrad)
+                continue;
+            src.ensureGrad();
+            int row = ps[i].second;
+            for (int j = 0; j < src.value.cols(); ++j)
+                src.grad.at(row, j) +=
+                    self.grad.at(static_cast<int>(i), j);
+        }
+    });
+}
+
+namespace
+{
+
+/** Validate a segment-offset vector; @return the segment count. */
+int
+checkSegments(const std::vector<int>& offsets, int rows)
+{
+    if (offsets.size() < 2)
+        panic("segmentSum: need at least one segment");
+    if (offsets.front() != 0 || offsets.back() != rows)
+        panic("segmentSum: offsets must span [0, ", rows, "]");
+    for (std::size_t s = 1; s < offsets.size(); ++s)
+        if (offsets[s] < offsets[s - 1])
+            panic("segmentSum: offsets must be non-decreasing");
+    return static_cast<int>(offsets.size()) - 1;
+}
+
+/**
+ * Shared backward of both segmentSum forms: every row of segment s
+ * receives the output gradient row s.
+ */
+void
+segmentSumBackward(VarNode& x, const Tensor& out_grad,
+                   const std::vector<int>& offsets)
+{
+    int segs = static_cast<int>(offsets.size()) - 1;
+    for (int s = 0; s < segs; ++s)
+        for (int r = offsets[s]; r < offsets[s + 1]; ++r)
+            for (int j = 0; j < x.value.cols(); ++j)
+                x.grad.at(r, j) += out_grad.at(s, j);
+}
+
+} // namespace
+
+Var
+segmentSum(const Var& x, std::vector<int> offsets)
+{
+    const Tensor& t = x.value();
+    int segs = checkSegments(offsets, t.rows());
+    Tensor v(segs, t.cols());
+    for (int s = 0; s < segs; ++s) {
+        if (offsets[s] == offsets[s + 1])
+            continue; // empty segment -> zero row
+        // Seed from the first row, then add in ascending order: the
+        // exact accumulation order of addN over the same rows.
+        for (int j = 0; j < t.cols(); ++j)
+            v.at(s, j) = t.at(offsets[s], j);
+        for (int r = offsets[s] + 1; r < offsets[s + 1]; ++r)
+            for (int j = 0; j < t.cols(); ++j)
+                v.at(s, j) += t.at(r, j);
+    }
+    auto xn = x.node();
+    return makeOp(std::move(v), {x},
+                  [xn, off = std::move(offsets)](VarNode& self) {
+        if (!xn->requiresGrad)
+            return;
+        xn->ensureGrad();
+        segmentSumBackward(*xn, self.grad, off);
+    });
+}
+
+Var
+segmentSum(const Var& x, std::vector<int> offsets, const Var& init)
+{
+    const Tensor& t = x.value();
+    int segs = checkSegments(offsets, t.rows());
+    const Tensor& seed = init.value();
+    if (seed.rows() != segs || seed.cols() != t.cols())
+        panic("segmentSum: init must be ", segs, "x", t.cols());
+    Tensor v = seed;
+    for (int s = 0; s < segs; ++s)
+        for (int r = offsets[s]; r < offsets[s + 1]; ++r)
+            for (int j = 0; j < t.cols(); ++j)
+                v.at(s, j) += t.at(r, j);
+    auto xn = x.node();
+    auto in = init.node();
+    return makeOp(std::move(v), {x, init},
+                  [xn, in, off = std::move(offsets)](VarNode& self) {
+        if (in->requiresGrad) {
+            in->ensureGrad();
+            in->grad += self.grad;
+        }
+        if (xn->requiresGrad) {
+            xn->ensureGrad();
+            segmentSumBackward(*xn, self.grad, off);
+        }
     });
 }
 

@@ -95,6 +95,16 @@ Var leaf(Tensor t);
 /** Dense matrix product. */
 Var matmul(const Var& a, const Var& b);
 
+/**
+ * Fused gate preactivation: x*W + h*U + bias (bias row-broadcast).
+ * One tape node and two kernel calls instead of four ops; the
+ * summation order is exactly add(matmul(x, W), matmul(h, U)) then
+ * addRowBroadcast, so results are bitwise-identical to the unfused
+ * chain. The level-batched tree-LSTM computes every gate this way.
+ */
+Var affinePair(const Var& x, const Var& w, const Var& h,
+               const Var& u, const Var& bias);
+
 /** Elementwise sum of two same-shape Vars. */
 Var add(const Var& a, const Var& b);
 
@@ -127,6 +137,56 @@ Var concatColsOp(const Var& a, const Var& b);
 
 /** Gather rows of a table by index: (DxC, N indices) -> NxC. */
 Var gatherRows(const Var& table, std::vector<int> indices);
+
+/**
+ * Stack k Vars (each r_i x C, equal column counts) into one
+ * (sum r_i) x C tensor; the inverse split happens in backward. The
+ * level-batched tree-LSTM uses this to fuse one wavefront's node
+ * states into a single matrix.
+ */
+Var stackRows(const std::vector<Var>& xs);
+
+/**
+ * Scatter rows of x (N x C) into a num_rows x C tensor at the given
+ * row indices; unmentioned rows are zero and repeated indices
+ * accumulate. Exact inverse of gatherRows (backward gathers).
+ */
+Var scatterRows(const Var& x, std::vector<int> indices, int num_rows);
+
+/**
+ * Contiguous row slice [begin, begin + rows) of x as its own Var;
+ * backward accumulates into the matching rows of x. The cheap
+ * "row-sliced view" used to address one node inside a level batch.
+ */
+Var rowSlice(const Var& x, int begin, int rows);
+
+/**
+ * Multi-source row gather: picks[i] = (source index, row) selects
+ * one row of one source Var; the result stacks all picked rows. One
+ * op replaces a per-row slice-and-stack chain — this is how a
+ * wavefront collects child states scattered across earlier levels.
+ */
+Var pickRows(const std::vector<Var>& sources,
+             std::vector<std::pair<int, int>> picks);
+
+/**
+ * Segment sum over rows: offsets has S+1 non-decreasing entries with
+ * offsets[S] == x.rows(); out (S x C) row s is the sum of x rows
+ * [offsets[s], offsets[s+1]) accumulated in ascending order (empty
+ * segments yield zero rows). This is the child-sum aggregation over
+ * variable arity in one op.
+ */
+Var segmentSum(const Var& x, std::vector<int> offsets);
+
+/**
+ * Segment sum with an initial accumulator: out[s] starts from
+ * init row s (init is S x C) and adds the segment's rows in
+ * ascending order — the exact per-node summation order of
+ * addN({init, x_k...}), preserving bitwise parity with the
+ * per-node oracle.
+ */
+Var segmentSum(const Var& x, std::vector<int> offsets,
+               const Var& init);
 
 /** Sum over rows: NxC -> 1xC. */
 Var sumRowsOp(const Var& a);

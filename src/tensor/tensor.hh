@@ -66,8 +66,47 @@ class Tensor
         return rows_ == o.rows_ && cols_ == o.cols_;
     }
 
-    /** Matrix product (this: MxK, o: KxN) -> MxN. */
+    /**
+     * Matrix product (this: MxK, o: KxN) -> MxN.
+     *
+     * Backed by a blocked, unrolled kernel. The accumulation order
+     * per output element is strictly ascending over the inner
+     * dimension, so each output row is bitwise-identical whether it
+     * is computed alone (1xK gemv) or as part of a larger batch —
+     * the property the level-batched tree-LSTM parity relies on.
+     */
     Tensor matmul(const Tensor& o) const;
+
+    /**
+     * No-alloc matmul: out = this * o. `out` must be preallocated to
+     * rows() x o.cols(); its contents are overwritten. The serving
+     * hot path uses this to reuse scratch buffers across calls.
+     */
+    void matmulInto(const Tensor& o, Tensor& out) const;
+
+    /** Accumulating matmul: out += this * o (no temporaries). */
+    void matmulAccumInto(const Tensor& o, Tensor& out) const;
+
+    /**
+     * out += transpose(this) * o without materialising the
+     * transpose (this: MxK, o: MxN, out: KxN). Gradient-of-weights
+     * path of ag::matmul.
+     */
+    void matmulTransAAccumInto(const Tensor& o, Tensor& out) const;
+
+    /**
+     * out += this * transpose(o) without materialising the
+     * transpose (this: MxN, o: KxN, out: MxK). Gradient-of-inputs
+     * path of ag::matmul.
+     */
+    void matmulTransBAccumInto(const Tensor& o, Tensor& out) const;
+
+    /**
+     * The pre-kernel scalar implementation (ikj with a per-element
+     * zero skip), kept as the correctness oracle for kernel tests
+     * and the old-vs-new microbenchmark.
+     */
+    Tensor matmulReference(const Tensor& o) const;
 
     /** @return the transpose. */
     Tensor transpose() const;

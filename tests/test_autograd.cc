@@ -107,6 +107,127 @@ TEST(Autograd, GatherRowsOutOfRangePanics)
     EXPECT_THROW(ag::gatherRows(t, {3}), PanicError);
 }
 
+TEST(Autograd, StackRowsValuesAndGradients)
+{
+    // Mixed row counts: 1 + 2 + 1 rows -> 4 x 3.
+    std::vector<ag::Var> leaves{ag::leaf(patterned(1, 3, 0.4f)),
+                                ag::leaf(patterned(2, 3, 0.4f, 1.f)),
+                                ag::leaf(patterned(1, 3, 0.4f, 2.f))};
+    ag::Var s = ag::stackRows(leaves);
+    ASSERT_EQ(s.value().rows(), 4);
+    EXPECT_FLOAT_EQ(s.value().at(0, 1), leaves[0].value().at(0, 1));
+    EXPECT_FLOAT_EQ(s.value().at(2, 2), leaves[1].value().at(1, 2));
+    EXPECT_FLOAT_EQ(s.value().at(3, 0), leaves[2].value().at(0, 0));
+
+    expectGradientsMatch(leaves, [&] {
+        ag::Var v = ag::stackRows(leaves);
+        return ag::sumAllOp(ag::mul(v, v));
+    });
+
+    EXPECT_THROW(ag::stackRows({}), PanicError);
+    ag::Var wide = ag::leaf(Tensor(1, 4, 1.0f));
+    EXPECT_THROW(ag::stackRows({leaves[0], wide}), PanicError);
+}
+
+TEST(Autograd, ScatterRowsValuesAndGradients)
+{
+    std::vector<ag::Var> leaves{ag::leaf(patterned(3, 2, 0.5f))};
+    // Repeated target index accumulates; row 1 stays zero.
+    ag::Var s = ag::scatterRows(leaves[0], {0, 2, 0}, 4);
+    ASSERT_EQ(s.value().rows(), 4);
+    EXPECT_FLOAT_EQ(s.value().at(0, 1),
+                    leaves[0].value().at(0, 1) +
+                        leaves[0].value().at(2, 1));
+    EXPECT_FLOAT_EQ(s.value().at(1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(s.value().at(2, 0), leaves[0].value().at(1, 0));
+
+    expectGradientsMatch(leaves, [&] {
+        ag::Var v = ag::scatterRows(leaves[0], {0, 2, 0}, 4);
+        return ag::sumAllOp(ag::mul(v, v));
+    });
+
+    EXPECT_THROW(ag::scatterRows(leaves[0], {0, 1}, 4), PanicError);
+    EXPECT_THROW(ag::scatterRows(leaves[0], {0, 1, 4}, 4),
+                 PanicError);
+}
+
+TEST(Autograd, ScatterRowsInvertsGatherRows)
+{
+    ag::Var table = ag::leaf(patterned(4, 3, 0.7f));
+    ag::Var g = ag::gatherRows(table, {2, 0});
+    ag::Var back = ag::scatterRows(g, {2, 0}, 4);
+    EXPECT_FLOAT_EQ(back.value().at(2, 1), table.value().at(2, 1));
+    EXPECT_FLOAT_EQ(back.value().at(0, 0), table.value().at(0, 0));
+    EXPECT_FLOAT_EQ(back.value().at(1, 0), 0.0f);
+}
+
+TEST(Autograd, RowSliceValuesAndGradients)
+{
+    std::vector<ag::Var> leaves{ag::leaf(patterned(5, 3, 0.6f))};
+    ag::Var s = ag::rowSlice(leaves[0], 1, 2);
+    ASSERT_EQ(s.value().rows(), 2);
+    EXPECT_FLOAT_EQ(s.value().at(0, 2), leaves[0].value().at(1, 2));
+    EXPECT_FLOAT_EQ(s.value().at(1, 0), leaves[0].value().at(2, 0));
+
+    expectGradientsMatch(leaves, [&] {
+        // Overlapping slices exercise accumulation into the source.
+        ag::Var a = ag::rowSlice(leaves[0], 1, 2);
+        ag::Var b = ag::rowSlice(leaves[0], 2, 2);
+        return ag::sumAllOp(ag::mul(ag::add(a, b), a));
+    });
+
+    EXPECT_THROW(ag::rowSlice(leaves[0], 4, 2), PanicError);
+    EXPECT_THROW(ag::rowSlice(leaves[0], -1, 1), PanicError);
+    EXPECT_THROW(ag::rowSlice(leaves[0], 0, 0), PanicError);
+}
+
+TEST(Autograd, SegmentSumValuesAndGradients)
+{
+    std::vector<ag::Var> leaves{ag::leaf(patterned(5, 2, 0.5f))};
+    // Segments: [0,2) [2,2) empty [2,5).
+    std::vector<int> offsets{0, 2, 2, 5};
+    ag::Var s = ag::segmentSum(leaves[0], offsets);
+    ASSERT_EQ(s.value().rows(), 3);
+    EXPECT_FLOAT_EQ(s.value().at(0, 0),
+                    leaves[0].value().at(0, 0) +
+                        leaves[0].value().at(1, 0));
+    EXPECT_FLOAT_EQ(s.value().at(1, 0), 0.0f); // empty segment
+    EXPECT_FLOAT_EQ(s.value().at(2, 1),
+                    leaves[0].value().at(2, 1) +
+                        leaves[0].value().at(3, 1) +
+                        leaves[0].value().at(4, 1));
+
+    expectGradientsMatch(leaves, [&] {
+        ag::Var v = ag::segmentSum(leaves[0], offsets);
+        return ag::sumAllOp(ag::mul(v, v));
+    });
+
+    EXPECT_THROW(ag::segmentSum(leaves[0], {0, 2}), PanicError);
+    EXPECT_THROW(ag::segmentSum(leaves[0], {0, 3, 2, 5}),
+                 PanicError);
+    EXPECT_THROW(ag::segmentSum(leaves[0], {5}), PanicError);
+}
+
+TEST(Autograd, SegmentSumWithInitGradients)
+{
+    std::vector<ag::Var> leaves{ag::leaf(patterned(4, 2, 0.5f)),
+                                ag::leaf(patterned(2, 2, 0.5f, 1.f))};
+    std::vector<int> offsets{0, 3, 4};
+    ag::Var s = ag::segmentSum(leaves[0], offsets, leaves[1]);
+    EXPECT_FLOAT_EQ(s.value().at(1, 1),
+                    leaves[1].value().at(1, 1) +
+                        leaves[0].value().at(3, 1));
+
+    expectGradientsMatch(leaves, [&] {
+        ag::Var v = ag::segmentSum(leaves[0], offsets, leaves[1]);
+        return ag::sumAllOp(ag::mul(v, v));
+    });
+
+    ag::Var bad_init = ag::leaf(Tensor(3, 2, 0.0f));
+    EXPECT_THROW(ag::segmentSum(leaves[0], offsets, bad_init),
+                 PanicError);
+}
+
 TEST(Autograd, ReductionGradients)
 {
     std::vector<ag::Var> leaves{ag::leaf(patterned(4, 3, 0.6f))};

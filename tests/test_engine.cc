@@ -254,6 +254,32 @@ TEST(Engine, ResultsInvariantToThreadPoolSize)
     }
 }
 
+TEST(Engine, ForestBatchedEncodingMatchesSingleTreeEncoding)
+{
+    // encodeBatch forest-batches cache misses (possibly chunked
+    // across pool workers); every latent must equal the one-tree
+    // encode of the same AST exactly, whatever shared the batch.
+    for (int threads : {1, 3}) {
+        Engine engine(tinyOptions().withThreads(threads));
+        std::vector<Ast> trees;
+        std::vector<const Ast*> ptrs;
+        for (int i = 1; i <= 7; ++i) {
+            trees.push_back(tinyProgram(i));
+        }
+        for (const Ast& t : trees)
+            ptrs.push_back(&t);
+
+        auto batched = engine.encodeBatch(ptrs);
+        ASSERT_TRUE(batched.isOk());
+        for (std::size_t i = 0; i < trees.size(); ++i) {
+            Tensor solo = engine.model().encode(trees[i]).value();
+            EXPECT_FLOAT_EQ(
+                batched.value()[i].maxAbsDiff(solo), 0.0f)
+                << "threads=" << threads << " tree " << i;
+        }
+    }
+}
+
 TEST(Engine, EncodeBatchDedupsWithinOneCall)
 {
     Engine engine(tinyOptions());

@@ -50,6 +50,95 @@ TEST(Tensor, MatmulShapeMismatchPanics)
     EXPECT_THROW(a.matmul(b), PanicError);
 }
 
+TEST(Tensor, BlockedKernelMatchesReferenceAcrossShapes)
+{
+    // The blocked/unrolled kernel keeps a single ascending-order
+    // accumulator per output element, so it must agree with the
+    // scalar reference bitwise — including ragged sizes that
+    // exercise the unroll tail and the cache-block edges.
+    Rng rng(11);
+    const int shapes[][3] = {{1, 7, 5},   {3, 8, 8},   {13, 21, 9},
+                             {64, 64, 64}, {65, 129, 33}, {2, 200, 1}};
+    for (const auto& s : shapes) {
+        Tensor a(s[0], s[1]), b(s[1], s[2]);
+        a.fillNormal(rng, 0.0f, 1.0f);
+        b.fillNormal(rng, 0.0f, 1.0f);
+        // Sprinkle exact zeros so the reference's zero-skip branch
+        // actually fires.
+        a.at(0, 0) = 0.0f;
+        a.at(s[0] - 1, s[1] - 1) = 0.0f;
+        Tensor fast = a.matmul(b);
+        Tensor ref = a.matmulReference(b);
+        EXPECT_FLOAT_EQ(fast.maxAbsDiff(ref), 0.0f)
+            << s[0] << "x" << s[1] << "x" << s[2];
+    }
+}
+
+TEST(Tensor, BatchedRowsMatchSingleRowMatmuls)
+{
+    // The property the level-batched tree-LSTM leans on: row i of a
+    // batched product is bitwise the same as the 1xK gemv of row i.
+    Rng rng(12);
+    Tensor a(9, 33), b(33, 17);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    Tensor batched = a.matmul(b);
+    for (int i = 0; i < a.rows(); ++i) {
+        Tensor row = a.rowCopy(i).matmul(b);
+        for (int j = 0; j < b.cols(); ++j)
+            EXPECT_EQ(batched.at(i, j), row.at(0, j));
+    }
+}
+
+TEST(Tensor, MatmulIntoVariants)
+{
+    Rng rng(13);
+    Tensor a(5, 6), b(6, 4);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    Tensor expect = a.matmul(b);
+
+    Tensor out(5, 4, 99.0f); // stale contents must be overwritten
+    a.matmulInto(b, out);
+    EXPECT_FLOAT_EQ(out.maxAbsDiff(expect), 0.0f);
+
+    // Accumulation starts FROM the seed (1 + t0 + t1 + ...), which
+    // legitimately reassociates against (t0 + t1 + ...) + 1.
+    Tensor acc(5, 4, 1.0f);
+    a.matmulAccumInto(b, acc);
+    EXPECT_LT(acc.maxAbsDiff(expect + Tensor(5, 4, 1.0f)), 1e-5f);
+
+    Tensor bad(4, 4);
+    EXPECT_THROW(a.matmulInto(b, bad), PanicError);
+    EXPECT_THROW(a.matmulAccumInto(b, bad), PanicError);
+}
+
+TEST(Tensor, TransposedAccumulateKernels)
+{
+    Rng rng(14);
+    Tensor a(7, 5), g(7, 3);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    g.fillNormal(rng, 0.0f, 1.0f);
+
+    // out += a^T * g, no transpose materialised.
+    Tensor ta(5, 3, 0.5f);
+    Tensor ta_expect = ta + a.transpose().matmul(g);
+    a.matmulTransAAccumInto(g, ta);
+    EXPECT_LT(ta.maxAbsDiff(ta_expect), 1e-6f);
+
+    // out += g * b^T, no transpose materialised.
+    Tensor b(4, 3);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    Tensor tb(7, 4, -0.25f);
+    Tensor tb_expect = tb + g.matmul(b.transpose());
+    g.matmulTransBAccumInto(b, tb);
+    EXPECT_LT(tb.maxAbsDiff(tb_expect), 1e-6f);
+
+    Tensor bad(1, 1);
+    EXPECT_THROW(a.matmulTransAAccumInto(g, bad), PanicError);
+    EXPECT_THROW(g.matmulTransBAccumInto(b, bad), PanicError);
+}
+
 TEST(Tensor, MatmulIdentity)
 {
     Rng rng(4);

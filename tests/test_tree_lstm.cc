@@ -225,5 +225,229 @@ TEST(TreeArch, Names)
                  "alternating");
 }
 
+// ----------------------------------------- level-batched wavefronts
+
+/**
+ * Forward-parity tolerance between the level-batched path and the
+ * per-node oracle. The blocked matmul kernel accumulates each output
+ * element in the same ascending order whether a row is computed alone
+ * or inside a level batch, and the segment sums replay addN's
+ * accumulation order, so in practice the two paths are
+ * bitwise-identical; the tolerance is headroom for platforms whose
+ * compilers reassociate differently.
+ */
+constexpr float kLevelBatchTol = 1e-6f;
+
+/** Gradient-parity tolerance: backward accumulates the same
+ * contributions in a different order across the two tapes. */
+constexpr float kLevelBatchGradTol = 1e-4f;
+
+std::vector<std::vector<int>>
+parityTreeShapes()
+{
+    return {
+        {-1, 0, 1, 2, 3, 4, 5, 6},                    // deep chain
+        {-1, 0, 0, 0, 0, 0, 0},                       // star
+        {-1, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5},        // bushy
+        {-1, 0, 1, 1, 0, 4, 4, 6, 6, 6},              // ragged
+        {-1},                                         // single node
+    };
+}
+
+TEST(TreeSpec, LevelSchedulesPartitionNodesByHeightAndDepth)
+{
+    //      0
+    //     / |
+    //    1   2
+    //   3 4   (children of 1)
+    nn::TreeSpec spec = nn::TreeSpec::fromParents({-1, 0, 0, 1, 1});
+
+    // Upward: leaves {2,3,4} at level 0, then {1}, then {0}.
+    ASSERT_EQ(spec.upSchedule.depth(), 3u);
+    EXPECT_EQ(spec.upSchedule.levels[0], (std::vector<int>{2, 3, 4}));
+    EXPECT_EQ(spec.upSchedule.levels[1], (std::vector<int>{1}));
+    EXPECT_EQ(spec.upSchedule.levels[2], (std::vector<int>{0}));
+    // Level 1's dependencies are node 1's children, in child order.
+    EXPECT_EQ(spec.upSchedule.depIds[1], (std::vector<int>{3, 4}));
+    EXPECT_EQ(spec.upSchedule.depOffsets[1],
+              (std::vector<int>{0, 2}));
+    // Leaves have no dependencies: offsets all zero.
+    EXPECT_EQ(spec.upSchedule.depOffsets[0],
+              (std::vector<int>{0, 0, 0, 0}));
+
+    // Downward: root first, then {1,2}, then {3,4}; the single
+    // dependency is the parent.
+    ASSERT_EQ(spec.downSchedule.depth(), 3u);
+    EXPECT_EQ(spec.downSchedule.levels[0], (std::vector<int>{0}));
+    EXPECT_EQ(spec.downSchedule.levels[1], (std::vector<int>{1, 2}));
+    EXPECT_EQ(spec.downSchedule.levels[2], (std::vector<int>{3, 4}));
+    EXPECT_EQ(spec.downSchedule.depIds[2], (std::vector<int>{1, 1}));
+}
+
+TEST(ChildSumCell, ComposeLevelMatchesComposePerNode)
+{
+    Rng rng(21);
+    nn::ChildSumTreeLstmCell cell(3, 4, rng);
+    // Three nodes: two children, none, one child.
+    std::vector<ag::Var> xs{
+        ag::constant(patterned(1, 3, 0.5f)),
+        ag::constant(patterned(1, 3, 0.5f, 1.f)),
+        ag::constant(patterned(1, 3, 0.5f, 2.f))};
+    std::vector<ag::Var> kid_h, kid_c;
+    for (int k = 0; k < 3; ++k) {
+        auto st = cell.compose(
+            ag::constant(patterned(1, 3, 0.3f,
+                                   static_cast<float>(k))), {}, {});
+        kid_h.push_back(st.h);
+        kid_c.push_back(st.c);
+    }
+
+    auto a = cell.compose(xs[0], {kid_h[0], kid_h[1]},
+                          {kid_c[0], kid_c[1]});
+    auto b = cell.compose(xs[1], {}, {});
+    auto c = cell.compose(xs[2], {kid_h[2]}, {kid_c[2]});
+
+    auto level = cell.composeLevel(
+        ag::stackRows(xs),
+        ag::stackRows({kid_h[0], kid_h[1], kid_h[2]}),
+        ag::stackRows({kid_c[0], kid_c[1], kid_c[2]}),
+        {0, 2, 2, 3});
+    ASSERT_EQ(level.h.value().rows(), 3);
+    EXPECT_LE(ag::rowSlice(level.h, 0, 1).value().maxAbsDiff(
+                  a.h.value()), kLevelBatchTol);
+    EXPECT_LE(ag::rowSlice(level.h, 1, 1).value().maxAbsDiff(
+                  b.h.value()), kLevelBatchTol);
+    EXPECT_LE(ag::rowSlice(level.h, 2, 1).value().maxAbsDiff(
+                  c.h.value()), kLevelBatchTol);
+    EXPECT_LE(ag::rowSlice(level.c, 0, 1).value().maxAbsDiff(
+                  a.c.value()), kLevelBatchTol);
+    EXPECT_LE(ag::rowSlice(level.c, 2, 1).value().maxAbsDiff(
+                  c.c.value()), kLevelBatchTol);
+}
+
+class LevelBatchParityTest
+    : public ::testing::TestWithParam<std::tuple<nn::TreeArch, int>>
+{
+};
+
+TEST_P(LevelBatchParityTest, ForwardMatchesPerNodeOracle)
+{
+    auto [arch, layers] = GetParam();
+    Rng rng(22);
+    nn::TreeLstm lstm(3, 4, layers, arch, rng);
+
+    for (const auto& parents : parityTreeShapes()) {
+        nn::TreeSpec spec = nn::TreeSpec::fromParents(parents);
+        std::vector<ag::Var> inputs;
+        for (std::size_t i = 0; i < spec.size(); ++i)
+            inputs.push_back(ag::constant(
+                patterned(1, 3, 0.4f, static_cast<float>(i))));
+
+        auto batched = lstm.encodeNodes(spec, inputs);
+        auto oracle = lstm.encodeNodesPerNode(spec, inputs);
+        ASSERT_EQ(batched.size(), oracle.size());
+        for (std::size_t i = 0; i < batched.size(); ++i)
+            EXPECT_LE(batched[i].value().maxAbsDiff(
+                          oracle[i].value()), kLevelBatchTol)
+                << "tree size " << spec.size() << " node " << i;
+    }
+}
+
+TEST_P(LevelBatchParityTest, ParameterGradientsMatchPerNodeOracle)
+{
+    auto [arch, layers] = GetParam();
+    Rng rng(23);
+    nn::TreeLstm lstm(3, 4, layers, arch, rng);
+    nn::TreeSpec spec = nn::TreeSpec::fromParents(
+        {-1, 0, 0, 1, 1, 2, 2, 3, 3, 4});
+    std::vector<ag::Var> inputs;
+    for (std::size_t i = 0; i < spec.size(); ++i)
+        inputs.push_back(ag::constant(
+            patterned(1, 3, 0.4f, static_cast<float>(i))));
+
+    auto run = [&](bool batched) {
+        lstm.zeroGrad();
+        auto hs = batched ? lstm.encodeNodes(spec, inputs)
+                          : lstm.encodeNodesPerNode(spec, inputs);
+        ag::backward(ag::sumAllOp(ag::addN(hs)));
+        std::vector<Tensor> grads;
+        for (auto* p : lstm.parameters())
+            grads.push_back(p->var.grad());
+        return grads;
+    };
+
+    auto g_batched = run(true);
+    auto g_oracle = run(false);
+    ASSERT_EQ(g_batched.size(), g_oracle.size());
+    double total = 0.0;
+    for (std::size_t p = 0; p < g_batched.size(); ++p) {
+        EXPECT_LE(g_batched[p].maxAbsDiff(g_oracle[p]),
+                  kLevelBatchGradTol)
+            << "parameter " << p;
+        total += g_batched[p].normSq();
+    }
+    EXPECT_GT(total, 0.0); // the comparison is not vacuous
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchitectures, LevelBatchParityTest,
+    ::testing::Combine(
+        ::testing::Values(nn::TreeArch::Uni, nn::TreeArch::Bi,
+                          nn::TreeArch::Alternating),
+        ::testing::Values(1, 2, 3)));
+
+TEST(TreeLstm, BatchedPathPassesGradcheckAgainstFiniteDifferences)
+{
+    // Trainer-style gradcheck through the level-batched tape:
+    // analytic input gradients vs central finite differences.
+    Rng rng(24);
+    nn::TreeLstm lstm(2, 3, 2, nn::TreeArch::Alternating, rng);
+    nn::TreeSpec spec = nn::TreeSpec::fromParents({-1, 0, 0, 1, 1});
+    std::vector<ag::Var> leaves;
+    for (int i = 0; i < 5; ++i)
+        leaves.push_back(ag::leaf(
+            patterned(1, 2, 0.5f, static_cast<float>(i))));
+    expectGradientsMatch(leaves, [&] {
+        auto hs = lstm.encodeNodes(spec, leaves);
+        return ag::sumAllOp(ag::addN(hs));
+    }, 1e-2f, 3e-2f);
+}
+
+TEST(TreeLstm, ForestEncodingMatchesPerTreeEncoding)
+{
+    Rng rng(25);
+    nn::TreeLstm lstm(3, 4, 2, nn::TreeArch::Bi, rng);
+
+    std::vector<nn::TreeSpec> specs;
+    specs.push_back(nn::TreeSpec::fromParents({-1, 0, 1, 2}));
+    specs.push_back(nn::TreeSpec::fromParents({-1}));
+    specs.push_back(
+        nn::TreeSpec::fromParents({-1, 0, 0, 1, 1, 2, 2}));
+
+    std::vector<std::vector<ag::Var>> inputs(specs.size());
+    std::vector<ag::Var> all_rows;
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        for (std::size_t i = 0; i < specs[t].size(); ++i) {
+            inputs[t].push_back(ag::constant(patterned(
+                1, 3, 0.4f, static_cast<float>(10 * t + i))));
+            all_rows.push_back(inputs[t].back());
+        }
+    }
+
+    auto forest = lstm.encodeForest(
+        {&specs[0], &specs[1], &specs[2]}, ag::stackRows(all_rows));
+    ASSERT_EQ(forest.size(), 3u);
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+        auto solo = lstm.encodeNodes(specs[t], inputs[t]);
+        ASSERT_EQ(forest[t].size(), solo.size());
+        // Tree rows never mix inside a forest batch, so batching
+        // across trees must not change any value at all.
+        for (std::size_t i = 0; i < solo.size(); ++i)
+            EXPECT_FLOAT_EQ(forest[t][i].value().maxAbsDiff(
+                                solo[i].value()), 0.0f)
+                << "tree " << t << " node " << i;
+    }
+}
+
 } // namespace
 } // namespace ccsa

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate the level-batched encode benchmark.
+
+Reads the google-benchmark JSON written by
+
+    micro_ops --benchmark_filter='BM_EncodeLevelBatchedVsPerNode|BM_MatmulKernel' \
+              --benchmark_out=BENCH_encode.json --benchmark_out_format=json
+
+and fails (exit 1) when the level-batched path loses its edge over the
+per-node oracle: a kernel or scheduling regression shows up here as a
+collapsed ratio. Floors are deliberately below the typically observed
+ratios (~3.8x bushy, ~3x ast, ~1.0x chain) so CI noise does not flap,
+while real regressions — e.g. the batched path degenerating to
+per-node cost — still fail loudly.
+"""
+
+import json
+import statistics
+import sys
+
+
+FLOORS = {
+    # shape -> minimum batched/per-node throughput ratio. The chain
+    # floor guards against gross regressions only: chains dispatch to
+    # the per-node path (true ratio ~1.0), so on a contended runner
+    # the two measurements are the same code path plus noise.
+    "bushy": 2.0,
+    "ast": 1.5,
+    "chain": 0.7,
+}
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_encode.json"
+    with open(path) as f:
+        data = json.load(f)
+
+    samples = {}
+    for bench in data.get("benchmarks", []):
+        if not bench.get("name", "").startswith(
+                "BM_EncodeLevelBatchedVsPerNode"):
+            continue
+        # With --benchmark_repetitions the JSON carries per-repetition
+        # entries plus mean/median/stddev aggregates; keep the raw
+        # repetitions (run_type absent on old benchmark versions).
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        label = bench.get("label", "")
+        if "/" not in label:
+            continue
+        shape, mode = label.split("/", 1)
+        samples.setdefault((shape, mode), []).append(
+            bench["items_per_second"])
+
+    # Median across repetitions shrugs off one noisy measurement.
+    perf = {key: statistics.median(vals)
+            for key, vals in samples.items()}
+
+    failed = False
+    for shape, floor in FLOORS.items():
+        batched = perf.get((shape, "level-batched"))
+        pernode = perf.get((shape, "per-node"))
+        if batched is None or pernode is None:
+            print(f"{shape:6s} missing benchmark results")
+            failed = True
+            continue
+        ratio = batched / pernode
+        ok = ratio >= floor
+        print(f"{shape:6s} level-batched {batched:12.0f} nodes/s  "
+              f"per-node {pernode:12.0f} nodes/s  "
+              f"ratio {ratio:5.2f}x  floor {floor}x  "
+              f"{'ok' if ok else 'FAIL'}")
+        failed |= not ok
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
