@@ -8,6 +8,11 @@
  * an operator would scrape (queue pressure, batch-size histogram,
  * latency percentiles, cache counters).
  *
+ * The second half shows the next rung of the ladder: the same
+ * traffic on a ShardedServer — N batcher workers over a partitioned
+ * encoding cache — with the per-shard stats rows an operator would
+ * use to spot a hot shard.
+ *
  * The engine here is untrained so the demo runs instantly — a real
  * daemon would call engine.load("model.bin") at startup (see
  * examples/quickstart.cpp for training one).
@@ -22,6 +27,7 @@
 
 #include "base/rng.hh"
 #include "serve/async_server.hh"
+#include "serve/sharded_server.hh"
 
 using namespace ccsa;
 
@@ -75,7 +81,7 @@ main()
     //    algorithm-selection tournaments, all through futures.
     constexpr int kClients = 4;
     constexpr int kRequests = 40;
-    std::printf("[1/3] %d clients x %d requests (compares + ranks)"
+    std::printf("[1/4] %d clients x %d requests (compares + ranks)"
                 "...\n",
                 kClients, kRequests);
     std::vector<std::thread> clients;
@@ -120,7 +126,7 @@ main()
 
     // 4. Drain and stop; futures submitted after this fail fast with
     //    Unavailable instead of hanging.
-    std::printf("\n[2/3] clean shutdown (drains pending work)...\n");
+    std::printf("\n[2/4] clean shutdown (drains pending work)...\n");
     server.shutdown();
     auto late = server
                     .submitCompare(variants[0], variants[1])
@@ -129,7 +135,7 @@ main()
                 late.status().toString().c_str());
 
     // 5. The operator's view.
-    std::printf("\n[3/3] server stats\n");
+    std::printf("\n[3/4] server stats\n");
     ServerStats s = server.stats();
     std::printf("      queue: depth=%zu capacity=%zu\n",
                 s.queueDepth, s.queueCapacity);
@@ -160,7 +166,74 @@ main()
                 static_cast<unsigned long long>(
                     s.engine.treesEncoded));
 
+    // 6. The same clients against a sharded front: four batcher
+    //    workers over one queue, each with its own engine, all
+    //    sharing a 4-way partitioned encoding cache (every variant's
+    //    latent lives on exactly one shard). Results are bitwise
+    //    what the AsyncServer returned above.
+    std::printf("\n[4/4] sharded serving (4 workers, partitioned "
+                "cache)...\n");
+    ShardedServer sharded(Engine::Options()
+                              .withEmbedDim(24)
+                              .withHiddenDim(32)
+                              .withCacheCapacity(1024),
+                          ShardedServer::Options()
+                              .withNumShards(4)
+                              .withQueueCapacity(512)
+                              .withMaxBatchSize(128)
+                              .withMaxBatchDelay(
+                                  std::chrono::microseconds(800)));
+    std::vector<std::thread> shardClients;
+    for (int c = 0; c < kClients; ++c) {
+        shardClients.emplace_back([&, c] {
+            Rng rng(77 + static_cast<std::uint64_t>(c));
+            int ok = 0;
+            for (int k = 0; k < kRequests; ++k) {
+                int i = rng.uniformInt(
+                    0, static_cast<int>(variants.size()) - 1);
+                int j = rng.uniformInt(
+                    0, static_cast<int>(variants.size()) - 2);
+                if (j >= i)
+                    ++j;
+                if (sharded
+                        .submitCompare(
+                            variants[static_cast<std::size_t>(i)],
+                            variants[static_cast<std::size_t>(j)])
+                        .get()
+                        .isOk())
+                    ++ok;
+            }
+            std::printf("      client %d: %d/%d ok\n", c, ok,
+                        kRequests);
+        });
+    }
+    for (std::thread& t : shardClients)
+        t.join();
+    sharded.shutdown();
+
+    ShardedServerStats ss = sharded.stats();
+    std::printf("      aggregate: %llu batches, %llu pairs, p50=%.3f"
+                " p99=%.3f ms (from merged histograms)\n",
+                static_cast<unsigned long long>(ss.aggregate.batches),
+                static_cast<unsigned long long>(
+                    ss.aggregate.pairsServed),
+                ss.aggregate.latencyP50Ms, ss.aggregate.latencyP99Ms);
+    for (std::size_t sh = 0; sh < ss.shards.size(); ++sh) {
+        const ServerStats& row = ss.shards[sh];
+        std::printf("      shard %zu: batches=%llu pairs=%llu "
+                    "cache hits=%llu misses=%llu resident=%zu\n",
+                    sh,
+                    static_cast<unsigned long long>(row.batches),
+                    static_cast<unsigned long long>(row.pairsServed),
+                    static_cast<unsigned long long>(
+                        row.engine.cacheHits),
+                    static_cast<unsigned long long>(
+                        row.engine.cacheMisses),
+                    row.engine.cacheSize);
+    }
+
     std::printf("\ndone. Tune maxBatchDelay down for latency, up "
-                "for throughput;\nsee README \"Async serving\".\n");
+                "for throughput;\nshard when one batcher saturates —"
+                " see README \"Sharded serving\".\n");
     return 0;
 }

@@ -88,6 +88,36 @@ class BoundedQueue
     }
 
     /**
+     * Enqueue every item or none, without blocking: the batch is
+     * admitted only when the queue has room for all of it. The
+     * all-or-nothing contract is what lets a sharded submitter split
+     * one request into per-shard pieces without ever stranding half
+     * of them in the queue on load-shed. On Ok the items are
+     * moved-from; on Full or Closed they are left untouched.
+     * An empty batch is Ok and a no-op.
+     */
+    QueuePush
+    tryPushAll(std::vector<T>& items)
+    {
+        if (items.empty())
+            return QueuePush::Ok;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return QueuePush::Closed;
+            if (items_.size() + items.size() > capacity_)
+                return QueuePush::Full;
+            for (T& item : items)
+                items_.push_back(std::move(item));
+        }
+        if (items.size() == 1)
+            notEmpty_.notify_one();
+        else
+            notEmpty_.notify_all();
+        return QueuePush::Ok;
+    }
+
+    /**
      * Block until an item is available and dequeue it.
      * @return nullopt only when the queue is closed AND drained.
      */

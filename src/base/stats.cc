@@ -96,6 +96,37 @@ Histogram::add(std::size_t value)
         max_ = value;
 }
 
+void
+Histogram::merge(const Histogram& other)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
+std::size_t
+Histogram::quantileUpperBound(double p) const
+{
+    if (p < 0.0 || p > 1.0)
+        fatal("Histogram::quantileUpperBound: p out of [0,1]");
+    if (total_ == 0)
+        return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i + 1 < kBuckets; ++i) {
+        cum += counts_[i];
+        if (cum >= rank)
+            return std::min(bucketUpperBound(i), max_);
+    }
+    return max_; // open-ended overflow bucket: max is the bound
+}
+
 double
 Histogram::meanValue() const
 {

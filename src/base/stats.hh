@@ -55,18 +55,42 @@ double pearson(const std::vector<double>& xs,
 
 /**
  * Power-of-two-bucketed histogram of non-negative integer samples
- * (batch sizes, queue depths). Bucket i covers values in
- * (2^(i-1), 2^i], with bucket 0 covering {0, 1}; the last bucket is
- * open-ended. Cheap enough to update under a serving-path lock.
+ * (batch sizes, queue depths, microsecond latencies). Bucket i
+ * covers values in (2^(i-1), 2^i], with bucket 0 covering {0, 1};
+ * the last bucket is open-ended. Cheap enough to update under a
+ * serving-path lock.
  */
 class Histogram
 {
   public:
-    /** Bucket upper bounds 1, 2, 4, ..., 65536, then overflow. */
-    static constexpr std::size_t kBuckets = 18;
+    /** Bucket upper bounds 1, 2, 4, ..., 2^24, then overflow. The
+     * bounded range must comfortably cover microsecond request
+     * latencies (2^24 us ~ 16.8 s): quantiles collapse to max()
+     * inside the overflow bucket, so only pathological samples may
+     * land there. */
+    static constexpr std::size_t kBuckets = 26;
 
     /** Record one sample. */
     void add(std::size_t value);
+
+    /**
+     * Fold another histogram into this one (bucket counts, total,
+     * sum, and max all combine losslessly). This is the correct way
+     * to aggregate distributions across serving shards: quantiles do
+     * NOT merge — averaging per-shard p99s answers a different (and
+     * wrong) question — but the underlying histograms do, and the
+     * merged histogram yields the quantiles of the combined sample.
+     */
+    void merge(const Histogram& other);
+
+    /**
+     * Estimate the p-quantile (0 <= p <= 1) of the recorded sample:
+     * the upper bound of the bucket holding the ceil(p * count)-th
+     * smallest sample, clamped to the observed max so quantile(1)
+     * reports max() exactly. Resolution is one power-of-two bucket.
+     * @return 0 when the histogram is empty.
+     */
+    std::size_t quantileUpperBound(double p) const;
 
     /** @return total number of recorded samples. */
     std::uint64_t count() const { return total_; }

@@ -3,25 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "serve/coalesce.hh"
+
 namespace ccsa
 {
-
-namespace
-{
-
-/** Sliding-window size for latency percentiles: large enough for
- * stable p99, small enough to snapshot under the stats lock. */
-constexpr std::size_t kLatencyWindow = 8192;
-
-inline double
-toMs(std::chrono::steady_clock::duration d)
-{
-    return std::chrono::duration_cast<
-               std::chrono::duration<double, std::milli>>(d)
-        .count();
-}
-
-} // namespace
 
 AsyncServer::AsyncServer(Engine& engine)
     : AsyncServer(engine, Options())
@@ -252,48 +237,19 @@ void
 AsyncServer::batcherLoop()
 {
     for (;;) {
-        // Block for the tick's first request; nullopt means the
+        // Pop-and-coalesce (serve/coalesce.hh); nullopt means the
         // queue is closed and fully drained — clean exit.
-        std::optional<Request> first = queue_.pop();
-        if (!first)
+        std::optional<CoalescedBatch<Request>> batch =
+            popCoalescedBatch(queue_, opts_.maxBatchSize,
+                              opts_.maxBatchDelay);
+        if (!batch)
             return;
-
-        std::vector<Request> batch;
-        std::size_t pairCount = first->pairs.size();
-        batch.push_back(std::move(*first));
-
-        // Coalesce across requests until the batch is full or the
-        // oldest member has waited maxBatchDelay since it was
-        // submitted (queue time counts against the budget). Once the
-        // budget is spent we stop waiting but still sweep up
-        // anything already queued — free coalescing under backlog.
-        auto deadline = batch[0].enqueued + opts_.maxBatchDelay;
-        while (pairCount < opts_.maxBatchSize) {
-            auto now = std::chrono::steady_clock::now();
-            std::optional<Request> next;
-            if (now >= deadline) {
-                next = queue_.tryPop();
-                if (!next)
-                    break; // budget spent and nothing ready
-            } else {
-                next = queue_.popFor(
-                    std::chrono::duration_cast<
-                        std::chrono::microseconds>(deadline - now));
-                if (!next)
-                    break; // timed out, or closed and drained
-            }
-            pairCount += next->pairs.size();
-            batch.push_back(std::move(*next));
-        }
 
         // One Engine call for the whole coalesced batch: encodings
         // dedup across every member request.
-        std::vector<Engine::PairRequest> all;
-        all.reserve(pairCount);
-        for (const Request& r : batch)
-            all.insert(all.end(), r.pairs.begin(), r.pairs.end());
-        Result<std::vector<double>> probs = engine_->compareMany(all);
-        recordBatch(pairCount);
+        Result<std::vector<double>> probs =
+            engine_->compareMany(batch->flattenPairs());
+        recordBatch(batch->pairCount);
 
         // Fan results (or the batch-level failure) back out to each
         // member's promise, in submission order. Counters update
@@ -301,7 +257,7 @@ AsyncServer::batcherLoop()
         // future.get() never observes stats lagging its request.
         auto completedAt = std::chrono::steady_clock::now();
         std::size_t offset = 0;
-        for (Request& r : batch) {
+        for (Request& r : batch->requests) {
             recordOutcome(r, probs.isOk(), completedAt);
             if (probs.isOk()) {
                 auto begin = probs.value().begin() +
@@ -332,20 +288,13 @@ AsyncServer::recordOutcome(
     const Request& request, bool ok,
     std::chrono::steady_clock::time_point now)
 {
-    double ms = toMs(now - request.enqueued);
+    std::size_t us = latencySampleUs(now - request.enqueued);
     std::lock_guard<std::mutex> lock(statsMutex_);
     if (ok)
         completed_++;
     else
         failed_++;
-    if (latenciesMs_.size() < kLatencyWindow) {
-        latenciesMs_.push_back(ms);
-    } else {
-        latenciesMs_[latencyNext_] = ms;
-        latencyNext_ = (latencyNext_ + 1) % kLatencyWindow;
-    }
-    if (ms > latencyMaxMs_)
-        latencyMaxMs_ = ms;
+    latencyUs_.add(us);
 }
 
 void
@@ -361,8 +310,6 @@ AsyncServer::stats() const
     ServerStats out;
     out.queueDepth = queue_.size();
     out.queueCapacity = queue_.capacity();
-
-    std::vector<double> latencies;
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         out.requestsSubmitted = submitted_;
@@ -372,14 +319,9 @@ AsyncServer::stats() const
         out.batches = batches_;
         out.pairsServed = pairsServed_;
         out.batchSizes = batchSizes_;
-        out.latencyMaxMs = latencyMaxMs_;
-        latencies = latenciesMs_;
+        out.latencyUs = latencyUs_;
     }
-    if (!latencies.empty()) {
-        out.latencyP50Ms = quantile(latencies, 0.5);
-        out.latencyP99Ms = quantile(latencies, 0.99);
-        out.latencyMeanMs = mean(latencies);
-    }
+    fillLatencyPercentiles(out);
     out.engine = engine_->stats();
     return out;
 }

@@ -227,10 +227,11 @@ class AsyncServer
     std::uint64_t batches_ = 0;
     std::uint64_t pairsServed_ = 0;
     Histogram batchSizes_;
-    /** Sliding window of recent request latencies (ms). */
-    std::vector<double> latenciesMs_;
-    std::size_t latencyNext_ = 0;
-    double latencyMaxMs_ = 0.0;
+    /** All-time latency distribution (us); the ServerStats
+     * percentile fields derive from it, exactly as a sharded
+     * aggregate derives them from merged shard histograms — one
+     * latency population semantics across every server flavour. */
+    Histogram latencyUs_;
 };
 
 } // namespace ccsa

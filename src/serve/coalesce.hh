@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The pop-and-coalesce state machine shared by AsyncServer's single
+ * batcher and every ShardedServer worker. Exactly one implementation
+ * exists of the subtle part — how long a batcher waits for more work
+ * before executing: block for the tick's first request, then keep
+ * popping until the batch holds maxBatchSize pairs or the oldest
+ * member has waited maxBatchDelay since submission (queue time
+ * counts against the budget), and once the budget is spent still
+ * sweep up anything already queued — free coalescing under backlog.
+ *
+ * Request is any type with `.pairs` (a vector of Engine pair
+ * requests) and `.enqueued` (a steady_clock time_point).
+ */
+
+#ifndef CCSA_SERVE_COALESCE_HH
+#define CCSA_SERVE_COALESCE_HH
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "base/bounded_queue.hh"
+#include "serve/engine.hh"
+
+namespace ccsa
+{
+
+/** One batcher tick's worth of coalesced requests. */
+template <typename Request>
+struct CoalescedBatch
+{
+    std::vector<Request> requests;
+    /** Total pairs across all member requests. */
+    std::size_t pairCount = 0;
+
+    /** The members' pairs flattened in submission order — the
+     * argument to one Engine::compareMany call. */
+    std::vector<Engine::PairRequest>
+    flattenPairs() const
+    {
+        std::vector<Engine::PairRequest> all;
+        all.reserve(pairCount);
+        for (const Request& r : requests)
+            all.insert(all.end(), r.pairs.begin(), r.pairs.end());
+        return all;
+    }
+};
+
+/**
+ * Block for the next batch of work.
+ * @return nullopt only when the queue is closed AND drained — the
+ * batcher's clean-exit signal.
+ */
+template <typename Request>
+std::optional<CoalescedBatch<Request>>
+popCoalescedBatch(BoundedQueue<Request>& queue,
+                  std::size_t maxBatchSize,
+                  std::chrono::microseconds maxBatchDelay)
+{
+    std::optional<Request> first = queue.pop();
+    if (!first)
+        return std::nullopt;
+
+    CoalescedBatch<Request> batch;
+    batch.pairCount = first->pairs.size();
+    batch.requests.push_back(std::move(*first));
+
+    auto deadline = batch.requests[0].enqueued + maxBatchDelay;
+    while (batch.pairCount < maxBatchSize) {
+        auto now = std::chrono::steady_clock::now();
+        std::optional<Request> next;
+        if (now >= deadline) {
+            next = queue.tryPop();
+            if (!next)
+                break; // budget spent and nothing ready
+        } else {
+            next = queue.popFor(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    deadline - now));
+            if (!next)
+                break; // timed out, or closed and drained
+        }
+        batch.pairCount += next->pairs.size();
+        batch.requests.push_back(std::move(*next));
+    }
+    return batch;
+}
+
+} // namespace ccsa
+
+#endif // CCSA_SERVE_COALESCE_HH

@@ -86,4 +86,87 @@ EncodingCache::clear()
     order_.clear();
 }
 
+ShardedEncodingCache::ShardedEncodingCache(
+    std::size_t numShards, std::size_t capacityPerShard)
+    : capacityPerShard_(capacityPerShard)
+{
+    if (numShards == 0)
+        fatal("ShardedEncodingCache: numShards must be >= 1");
+    shards_.reserve(numShards);
+    for (std::size_t s = 0; s < numShards; ++s)
+        shards_.push_back(std::make_unique<Shard>(capacityPerShard));
+}
+
+bool
+ShardedEncodingCache::lookup(const AstDigest& key, Tensor* out)
+{
+    Shard& shard = *shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const Tensor* hit = shard.cache.lookup(key);
+    if (hit == nullptr)
+        return false;
+    *out = *hit;
+    return true;
+}
+
+void
+ShardedEncodingCache::insert(const AstDigest& key, Tensor latent)
+{
+    Shard& shard = *shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache.insert(key, std::move(latent));
+}
+
+void
+ShardedEncodingCache::clear()
+{
+    for (auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->cache.clear();
+    }
+}
+
+std::size_t
+ShardedEncodingCache::size() const
+{
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->cache.size();
+    }
+    return total;
+}
+
+std::size_t
+ShardedEncodingCache::shardSize(std::size_t shard) const
+{
+    if (shard >= shards_.size())
+        fatal("ShardedEncodingCache: shard index out of range");
+    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+    return shards_[shard]->cache.size();
+}
+
+EncodingCache::Stats
+ShardedEncodingCache::stats() const
+{
+    EncodingCache::Stats total;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        const EncodingCache::Stats& s = shard->cache.stats();
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.evictions += s.evictions;
+    }
+    return total;
+}
+
+EncodingCache::Stats
+ShardedEncodingCache::shardStats(std::size_t shard) const
+{
+    if (shard >= shards_.size())
+        fatal("ShardedEncodingCache: shard index out of range");
+    std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+    return shards_[shard]->cache.stats();
+}
+
 } // namespace ccsa

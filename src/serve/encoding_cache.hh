@@ -17,7 +17,10 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "ast/ast.hh"
 #include "tensor/tensor.hh"
@@ -55,8 +58,12 @@ struct AstDigestHash
 
 /**
  * Least-recently-used map from AST digest to encoded latent (a
- * 1 x d row vector). Not internally synchronised: the Engine guards
- * it with its own mutex so lookup+insert batches stay atomic.
+ * 1 x d row vector). Not internally synchronised: callers go through
+ * ShardedEncodingCache, which wraps each partition in its own mutex.
+ * Lookup and insert are NOT one atomic unit there — two engines can
+ * miss on the same digest and both encode it, a benign duplicate
+ * since encoding is deterministic and the last insert wins with an
+ * identical latent.
  */
 class EncodingCache
 {
@@ -106,6 +113,98 @@ class EncodingCache
                        AstDigestHash> entries_;
     std::size_t capacity_;
     Stats stats_;
+};
+
+/**
+ * A partitioned, independently-locked view over N EncodingCaches —
+ * the shared cache under sharded serving. Every digest is owned by
+ * exactly one partition (`shardOf(digest) == digest % numShards` on
+ * the digest's low word), so a tree's latent lives on exactly one
+ * shard no matter which worker encodes it, per-shard hit/miss/
+ * eviction counters partition the unsharded counters exactly, and
+ * eviction pressure in one shard can never invalidate an entry held
+ * by another. Each partition has its own mutex: concurrent workers
+ * touching different shards never contend.
+ *
+ * With numShards == 1 this is behaviourally identical to a single
+ * mutex-guarded EncodingCache — the Engine always goes through this
+ * class so the sharded and unsharded code paths cannot drift.
+ */
+class ShardedEncodingCache
+{
+  public:
+    /**
+     * @param numShards partition count (>= 1).
+     * @param capacityPerShard LRU capacity of EACH partition (>= 1);
+     * aggregate capacity is numShards * capacityPerShard, which is
+     * the point of sharding: memory scales with the shard count while
+     * per-shard eviction behaviour stays local.
+     */
+    ShardedEncodingCache(std::size_t numShards,
+                         std::size_t capacityPerShard);
+
+    ShardedEncodingCache(const ShardedEncodingCache&) = delete;
+    ShardedEncodingCache& operator=(const ShardedEncodingCache&) =
+        delete;
+
+    /** @return the partition that owns a digest under n shards. */
+    static std::size_t
+    shardOf(const AstDigest& key, std::size_t numShards)
+    {
+        return static_cast<std::size_t>(key.lo % numShards);
+    }
+
+    /** @return the partition that owns a digest in this cache. */
+    std::size_t
+    shardOf(const AstDigest& key) const
+    {
+        return shardOf(key, shards_.size());
+    }
+
+    /**
+     * Look up a digest on its owning partition, refreshing recency
+     * on a hit. The latent is copied out under the partition lock so
+     * the caller never holds a pointer into a concurrently evicting
+     * cache.
+     * @return true and fill *out on a hit; false on a miss.
+     */
+    bool lookup(const AstDigest& key, Tensor* out);
+
+    /** Insert (or overwrite) on the owning partition, evicting that
+     * partition's LRU entries when it is over capacity. */
+    void insert(const AstDigest& key, Tensor latent);
+
+    /** Drop every entry in every partition (counters preserved). */
+    void clear();
+
+    /** @return total resident entries across all partitions. */
+    std::size_t size() const;
+
+    /** @return resident entries in one partition. */
+    std::size_t shardSize(std::size_t shard) const;
+
+    /** @return counters summed across partitions — by construction
+     * equal to what one unsharded cache serving the same keys under
+     * the same per-key eviction pressure would report. */
+    EncodingCache::Stats stats() const;
+
+    /** @return one partition's counters. */
+    EncodingCache::Stats shardStats(std::size_t shard) const;
+
+    std::size_t numShards() const { return shards_.size(); }
+    std::size_t capacityPerShard() const { return capacityPerShard_; }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        EncodingCache cache;
+
+        explicit Shard(std::size_t capacity) : cache(capacity) {}
+    };
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::size_t capacityPerShard_;
 };
 
 } // namespace ccsa

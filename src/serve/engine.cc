@@ -26,7 +26,10 @@ Engine::Engine() : Engine(Options()) {}
 Engine::Engine(Options opts)
     : model_(std::make_shared<ComparativePredictor>(opts.encoder,
                                                     opts.seed)),
-      opts_(opts), pool_(opts.threads), cache_(opts.cacheCapacity)
+      opts_(opts), pool_(opts.threads),
+      cache_(std::make_shared<ShardedEncodingCache>(
+          opts.cacheShards == 0 ? 1 : opts.cacheShards,
+          opts.cacheCapacity))
 {
 }
 
@@ -37,11 +40,23 @@ Engine::Engine(std::shared_ptr<ComparativePredictor> model)
 
 Engine::Engine(std::shared_ptr<ComparativePredictor> model,
                Options opts)
+    : Engine(std::move(model), opts,
+             std::make_shared<ShardedEncodingCache>(
+                 opts.cacheShards == 0 ? 1 : opts.cacheShards,
+                 opts.cacheCapacity))
+{
+}
+
+Engine::Engine(std::shared_ptr<ComparativePredictor> model,
+               Options opts,
+               std::shared_ptr<ShardedEncodingCache> cache)
     : model_(std::move(model)), opts_(opts), pool_(opts.threads),
-      cache_(opts.cacheCapacity)
+      cache_(std::move(cache))
 {
     if (!model_)
         fatal("Engine: null model");
+    if (!cache_)
+        fatal("Engine: null cache");
     opts_.encoder = model_->config();
 }
 
@@ -73,16 +88,17 @@ Engine::encodeBatch(const std::vector<const Ast*>& trees)
         }
     }
 
+    // The partitioned cache locks per shard, so concurrent engines
+    // sharing it (sharded serving) only contend when their trees
+    // hash to the same partition. Two engines racing on the same
+    // digest may both miss and both encode — a benign duplicate:
+    // encoding is deterministic, so whichever insert lands last
+    // stores the identical latent.
     std::vector<Tensor> latents(unique_trees.size());
     std::vector<std::size_t> miss_slots;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (std::size_t s = 0; s < unique_trees.size(); ++s) {
-            if (const Tensor* hit = cache_.lookup(unique_digests[s]))
-                latents[s] = *hit;
-            else
-                miss_slots.push_back(s);
-        }
+    for (std::size_t s = 0; s < unique_trees.size(); ++s) {
+        if (!cache_->lookup(unique_digests[s], &latents[s]))
+            miss_slots.push_back(s);
     }
 
     if (!miss_slots.empty()) {
@@ -115,9 +131,9 @@ Engine::encodeBatch(const std::vector<const Ast*>& trees)
             return Status::internal(
                 std::string("encodeBatch: ") + e.what());
         }
-        std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t s : miss_slots)
-            cache_.insert(unique_digests[s], latents[s]);
+            cache_->insert(unique_digests[s], latents[s]);
+        std::lock_guard<std::mutex> lock(mutex_);
         treesEncoded_ += miss_slots.size();
     }
 
@@ -288,12 +304,13 @@ Engine::load(const std::string& path)
 Engine::Stats
 Engine::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     Stats out;
-    out.cacheHits = cache_.stats().hits;
-    out.cacheMisses = cache_.stats().misses;
-    out.cacheEvictions = cache_.stats().evictions;
-    out.cacheSize = cache_.size();
+    EncodingCache::Stats cache = cache_->stats();
+    out.cacheHits = cache.hits;
+    out.cacheMisses = cache.misses;
+    out.cacheEvictions = cache.evictions;
+    out.cacheSize = cache_->size();
+    std::lock_guard<std::mutex> lock(mutex_);
     out.pairsServed = pairsServed_;
     out.treesEncoded = treesEncoded_;
     return out;
@@ -302,8 +319,7 @@ Engine::stats() const
 void
 Engine::invalidateCache()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    cache_.clear();
+    cache_->clear();
 }
 
 } // namespace ccsa

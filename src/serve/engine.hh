@@ -47,8 +47,14 @@ class Engine
         EncoderConfig encoder;
         /** Weight-initialisation seed for fresh models. */
         std::uint64_t seed = 1;
-        /** Maximum resident entries in the encoding cache. */
+        /** Maximum resident entries PER cache shard; aggregate
+         * capacity is cacheShards * cacheCapacity. */
         std::size_t cacheCapacity = 4096;
+        /** Encoding-cache partitions (independently locked, keys
+         * routed by structural digest). 1 = classic single cache;
+         * ignored when the Engine is handed an external shared
+         * cache. */
+        std::size_t cacheShards = 1;
         /** Encoder worker threads; 0 = hardware, 1 = inline. */
         int threads = 0;
 
@@ -100,6 +106,12 @@ class Engine
             return *this;
         }
 
+        Options& withCacheShards(std::size_t n)
+        {
+            cacheShards = n == 0 ? 1 : n;
+            return *this;
+        }
+
         Options& withThreads(int n)
         {
             threads = n;
@@ -147,6 +159,18 @@ class Engine
 
     /** Serve an existing predictor with explicit serving options. */
     Engine(std::shared_ptr<ComparativePredictor> model, Options opts);
+
+    /**
+     * Serve an existing predictor through an EXTERNAL encoding
+     * cache, shared with other engines. This is the sharded-serving
+     * seam: every ShardedServer worker owns one of these engines and
+     * they all resolve latents through the same partitioned cache,
+     * so a tree encoded by any worker is visible to all of them while
+     * still living on exactly one cache shard. opts.cacheCapacity /
+     * opts.cacheShards are ignored (the cache is already built).
+     */
+    Engine(std::shared_ptr<ComparativePredictor> model, Options opts,
+           std::shared_ptr<ShardedEncodingCache> cache);
 
     /**
      * Encode a batch of trees, one latent row vector per input, in
@@ -216,6 +240,14 @@ class Engine
         return model_;
     }
 
+    /** The (possibly shared) partitioned encoding cache. */
+    ShardedEncodingCache& cache() { return *cache_; }
+    const ShardedEncodingCache& cache() const { return *cache_; }
+    std::shared_ptr<ShardedEncodingCache> sharedCache()
+    {
+        return cache_;
+    }
+
     /** Snapshot of the serving counters. */
     Stats stats() const;
 
@@ -230,8 +262,9 @@ class Engine
     std::shared_ptr<ComparativePredictor> model_;
     Options opts_;
     ThreadPool pool_;
+    std::shared_ptr<ShardedEncodingCache> cache_;
+    /** Guards the volume counters below (the cache locks itself). */
     mutable std::mutex mutex_;
-    EncodingCache cache_;
     std::uint64_t pairsServed_ = 0;
     std::uint64_t treesEncoded_ = 0;
 };

@@ -1,0 +1,48 @@
+#include "serve/server_stats.hh"
+
+namespace ccsa
+{
+
+ServerStats
+mergeServerStats(const std::vector<ServerStats>& shards)
+{
+    ServerStats out;
+    for (const ServerStats& s : shards) {
+        out.queueDepth += s.queueDepth;
+        out.queueCapacity += s.queueCapacity;
+        out.requestsSubmitted += s.requestsSubmitted;
+        out.requestsRejected += s.requestsRejected;
+        out.requestsCompleted += s.requestsCompleted;
+        out.requestsFailed += s.requestsFailed;
+        out.batches += s.batches;
+        out.pairsServed += s.pairsServed;
+        out.batchSizes.merge(s.batchSizes);
+        out.latencyUs.merge(s.latencyUs);
+        out.engine.cacheHits += s.engine.cacheHits;
+        out.engine.cacheMisses += s.engine.cacheMisses;
+        out.engine.cacheEvictions += s.engine.cacheEvictions;
+        out.engine.cacheSize += s.engine.cacheSize;
+        out.engine.pairsServed += s.engine.pairsServed;
+        out.engine.treesEncoded += s.engine.treesEncoded;
+    }
+    fillLatencyPercentiles(out);
+    return out;
+}
+
+void
+fillLatencyPercentiles(ServerStats& stats)
+{
+    if (stats.latencyUs.count() == 0)
+        return;
+    stats.latencyP50Ms = static_cast<double>(
+                             stats.latencyUs.quantileUpperBound(0.5)) /
+        1000.0;
+    stats.latencyP99Ms = static_cast<double>(
+                             stats.latencyUs.quantileUpperBound(0.99)) /
+        1000.0;
+    stats.latencyMeanMs = stats.latencyUs.meanValue() / 1000.0;
+    stats.latencyMaxMs =
+        static_cast<double>(stats.latencyUs.max()) / 1000.0;
+}
+
+} // namespace ccsa

@@ -11,14 +11,28 @@
 #ifndef CCSA_SERVE_SERVER_STATS_HH
 #define CCSA_SERVE_SERVER_STATS_HH
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "base/stats.hh"
 #include "serve/engine.hh"
 
 namespace ccsa
 {
+
+/** Clamp a request duration to the non-negative microsecond sample
+ * ServerStats::latencyUs records — shared by every server flavour so
+ * their latency populations stay comparable. */
+inline std::size_t
+latencySampleUs(std::chrono::steady_clock::duration d)
+{
+    auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(d)
+            .count();
+    return us < 0 ? 0 : static_cast<std::size_t>(us);
+}
 
 /** Snapshot of AsyncServer counters; see AsyncServer::stats(). */
 struct ServerStats
@@ -48,18 +62,58 @@ struct ServerStats
     Histogram batchSizes;
 
     // ------------------------------- end-to-end latency (submit done)
-    /** Completed-request latency percentiles in milliseconds, over a
-     * sliding window of recent requests; 0 until a request finishes. */
+    /** Latency percentiles in milliseconds; 0 until a request
+     * finishes. Always derived from the latencyUs histogram below
+     * (fillLatencyPercentiles) — single batcher, per-shard row, and
+     * merged aggregate alike — so the fields mean the same thing
+     * wherever they appear; resolution is one power-of-two bucket.
+     * Aggregators must merge histograms, never these fields
+     * (quantiles of quantiles would be wrong — see
+     * mergeServerStats). */
     double latencyP50Ms = 0.0;
     double latencyP99Ms = 0.0;
     double latencyMeanMs = 0.0;
     double latencyMaxMs = 0.0;
+    /** Latency distribution in MICROseconds of every unit the
+     * batcher served: one sample per request on a single-batcher
+     * server, one sample per per-shard SLICE on a sharded one (a
+     * split request contributes a sample per slice, each measuring
+     * submit -> slice completion; the caller-observed latency is the
+     * max of its slices, so count() can exceed requestsCompleted and
+     * split-request samples bound the caller latency from below).
+     * Unlike the percentile fields above, histograms merge
+     * losslessly across batchers/shards, so this is the field an
+     * aggregator combines. */
+    Histogram latencyUs;
 
     // ----------------------------------------------- wrapped engine
     /** Engine counters: encoding-cache hits / misses / evictions /
      * size plus pairsServed and treesEncoded. */
     Engine::Stats engine;
 };
+
+/**
+ * Combine per-batcher (per-shard) snapshots into one fleet view.
+ * Counters and engine volumes sum; batchSizes and latencyUs merge
+ * bucket-wise; the latency percentiles of the result are recomputed
+ * from the MERGED latencyUs histogram. Averaging the shards'
+ * p50/p99 fields would be statistically wrong — a shard serving 1%
+ * of traffic would pull the "p99" as hard as one serving 99% — so
+ * the merged histogram, which preserves every shard's sample mass,
+ * is the only field consulted (tests/test_stats.cc pins the
+ * difference).
+ *
+ * Engine cache counters are summed too; when every snapshot reports
+ * the SAME shared cache (ShardedServer), the caller must overwrite
+ * `.engine`'s cache fields afterwards instead of trusting the sum.
+ */
+ServerStats mergeServerStats(const std::vector<ServerStats>& shards);
+
+/** Derive the ms latency-percentile fields of a snapshot from its
+ * own latencyUs histogram (no-op while the histogram is empty).
+ * Shared by mergeServerStats and per-shard reporting so both derive
+ * percentiles identically. */
+void fillLatencyPercentiles(ServerStats& stats);
 
 } // namespace ccsa
 

@@ -1,0 +1,495 @@
+#include "serve/sharded_server.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/coalesce.hh"
+
+namespace ccsa
+{
+
+namespace
+{
+
+ShardedServer::Options
+normalized(ShardedServer::Options opts)
+{
+    if (opts.numShards == 0)
+        opts.numShards = 1;
+    if (opts.maxBatchSize == 0)
+        opts.maxBatchSize = 1;
+    if (opts.maxBatchDelay.count() < 0)
+        opts.maxBatchDelay = std::chrono::microseconds(0);
+    return opts;
+}
+
+} // namespace
+
+ShardedServer::ShardedServer(Engine::Options engineOpts)
+    : ShardedServer(std::move(engineOpts), Options())
+{
+}
+
+ShardedServer::ShardedServer(Engine::Options engineOpts, Options opts)
+    : ShardedServer(std::make_shared<ComparativePredictor>(
+                        engineOpts.encoder, engineOpts.seed),
+                    engineOpts, opts)
+{
+}
+
+ShardedServer::ShardedServer(
+    std::shared_ptr<ComparativePredictor> model,
+    Engine::Options engineOpts, Options opts)
+    : opts_(normalized(opts)),
+      cache_(std::make_shared<ShardedEncodingCache>(
+          opts_.numShards, engineOpts.cacheCapacity)),
+      queue_(opts_.queueCapacity)
+{
+    engineOpts.threads = opts_.threadsPerShard;
+    workers_.reserve(opts_.numShards);
+    for (std::size_t s = 0; s < opts_.numShards; ++s) {
+        auto worker = std::make_unique<Worker>();
+        worker->engine =
+            std::make_unique<Engine>(model, engineOpts, cache_);
+        workers_.push_back(std::move(worker));
+    }
+    if (!opts_.startPaused)
+        start();
+}
+
+ShardedServer::~ShardedServer()
+{
+    shutdown();
+}
+
+void
+ShardedServer::startWorkersLocked()
+{
+    for (std::size_t s = 0; s < workers_.size(); ++s)
+        workers_[s]->thread =
+            std::thread([this, s] { workerLoop(s); });
+    started_ = true;
+}
+
+void
+ShardedServer::start()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (shutdown_ || started_)
+        return;
+    startWorkersLocked();
+}
+
+void
+ShardedServer::shutdown()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (shutdown_)
+        return;
+    // No new requests; already-queued ones stay poppable.
+    queue_.close();
+    // A paused server still owes answers for everything it
+    // accepted: run the workers now so the closed queue drains.
+    if (!started_)
+        startWorkersLocked();
+    for (auto& worker : workers_)
+        worker->thread.join();
+    shutdown_ = true;
+}
+
+bool
+ShardedServer::isShutdown() const
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    return shutdown_;
+}
+
+Engine&
+ShardedServer::shardEngine(std::size_t s)
+{
+    if (s >= workers_.size())
+        fatal("ShardedServer: shard index out of range");
+    return *workers_[s]->engine;
+}
+
+std::vector<ShardedServer::Request>
+ShardedServer::splitRequest(
+    std::vector<Engine::PairRequest> pairs,
+    std::function<void(Result<std::vector<double>>)> complete)
+{
+    auto now = std::chrono::steady_clock::now();
+    std::vector<Request> requests;
+
+    // Group pair indices by the cache partition owning each first
+    // tree. Routing is purely an optimisation (slices land where
+    // their first latents live, and a big request spreads across
+    // workers); correctness never depends on it. The engine will
+    // re-digest these trees for its cache lookup, but a digest is
+    // one O(nodes) walk against the O(nodes * dim^2) encode it
+    // routes, and running it here keeps routing on the producer's
+    // thread instead of adding work to the worker critical path.
+    std::vector<std::vector<std::size_t>> groups(workers_.size());
+    if (workers_.size() > 1 && pairs.size() > 1) {
+        // Memoise by tree identity: tournament requests repeat each
+        // candidate as .first many times, and one digest walk per
+        // DISTINCT tree is enough to route them all.
+        std::unordered_map<const Ast*, std::size_t> shardOfTree;
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            auto [it, inserted] =
+                shardOfTree.emplace(pairs[i].first, 0);
+            if (inserted)
+                it->second =
+                    cache_->shardOf(digestAst(*pairs[i].first));
+            groups[it->second].push_back(i);
+        }
+    }
+    std::size_t nonEmpty = 0;
+    for (const auto& g : groups)
+        nonEmpty += g.empty() ? 0 : 1;
+
+    if (nonEmpty <= 1) {
+        // Whole request fits one worker: no join needed.
+        Request request;
+        request.pairs = std::move(pairs);
+        request.complete = std::move(complete);
+        request.enqueued = now;
+        requests.push_back(std::move(request));
+        return requests;
+    }
+
+    auto join = std::make_shared<JoinState>();
+    join->values.resize(pairs.size(), 0.0);
+    join->remaining = nonEmpty;
+    join->complete = std::move(complete);
+
+    for (const std::vector<std::size_t>& slots : groups) {
+        if (slots.empty())
+            continue;
+        Request request;
+        request.pairs.reserve(slots.size());
+        for (std::size_t i : slots)
+            request.pairs.push_back(pairs[i]);
+        request.enqueued = now;
+        request.complete =
+            [join, slots](Result<std::vector<double>> r) {
+                bool done = false;
+                {
+                    std::lock_guard<std::mutex> lock(join->mutex);
+                    if (r.isOk()) {
+                        for (std::size_t k = 0; k < slots.size();
+                             ++k)
+                            join->values[slots[k]] = r.value()[k];
+                    } else if (join->error.isOk()) {
+                        join->error = r.status();
+                    }
+                    done = --join->remaining == 0;
+                }
+                // Last slice completes the caller. No lock held:
+                // nobody else can touch the join once remaining
+                // hit zero.
+                if (done) {
+                    if (join->error.isOk())
+                        join->complete(std::move(join->values));
+                    else
+                        join->complete(join->error);
+                }
+            };
+        requests.push_back(std::move(request));
+    }
+    return requests;
+}
+
+bool
+ShardedServer::submitCore(
+    std::vector<Engine::PairRequest> pairs,
+    std::function<void(Result<std::vector<double>>)> complete,
+    bool blocking)
+{
+    // Request-level counters update BEFORE the caller's promise
+    // resolves, so a returned future never observes lagging stats.
+    // A request refused at the door (queue closed) is counted as
+    // rejected ONLY — matching AsyncServer, where completed/failed/
+    // rejected are disjoint outcomes — so the Closed paths below
+    // raise this tag before resolving the slices.
+    auto rejectedTag = std::make_shared<std::atomic<bool>>(false);
+    auto counted =
+        [this, rejectedTag, complete = std::move(complete)](
+            Result<std::vector<double>> r) {
+            if (!rejectedTag->load()) {
+                std::lock_guard<std::mutex> lock(submitMutex_);
+                if (r.isOk())
+                    completed_++;
+                else
+                    failed_++;
+            }
+            complete(std::move(r));
+        };
+
+    // Per-request validation: a malformed request fails only its
+    // own future and never reaches a shared batch.
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (pairs[i].first == nullptr || pairs[i].second == nullptr) {
+            counted(Status::invalidArgument(
+                "submit: null tree in pair " + std::to_string(i)));
+            return true;
+        }
+    }
+    if (pairs.empty()) {
+        counted(std::vector<double>{});
+        return true;
+    }
+
+    std::vector<Request> requests =
+        splitRequest(std::move(pairs), std::move(counted));
+
+    if (!blocking) {
+        // All-or-nothing: either every slice is admitted or none.
+        switch (queue_.tryPushAll(requests)) {
+          case QueuePush::Ok: {
+              std::lock_guard<std::mutex> lock(submitMutex_);
+              submitted_++;
+              return true;
+          }
+          case QueuePush::Full: {
+              std::lock_guard<std::mutex> lock(submitMutex_);
+              rejected_++;
+              return false; // caller keeps no future and may retry
+          }
+          case QueuePush::Closed: {
+              {
+                  std::lock_guard<std::mutex> lock(submitMutex_);
+                  rejected_++;
+              }
+              rejectedTag->store(true);
+              // Resolve EVERY slice: a split request's join only
+              // completes (and the caller's promise only resolves)
+              // once all of its slices have reported in.
+              for (Request& request : requests)
+                  request.complete(Status::unavailable(
+                      "ShardedServer: submit after shutdown"));
+              return true;
+          }
+        }
+        return true; // unreachable
+    }
+
+    bool anyClosed = false;
+    for (Request& request : requests) {
+        if (queue_.push(std::move(request)) == QueuePush::Closed) {
+            // Push leaves the request untouched on rejection. A
+            // rejected slice resolves Unavailable through its own
+            // completion, so a join still fans in correctly even
+            // when shutdown lands mid-split.
+            if (!anyClosed) {
+                std::lock_guard<std::mutex> lock(submitMutex_);
+                rejected_++;
+            }
+            anyClosed = true;
+            rejectedTag->store(true);
+            request.complete(Status::unavailable(
+                "ShardedServer: submit after shutdown"));
+        }
+    }
+    if (!anyClosed) {
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        submitted_++;
+    }
+    return true;
+}
+
+std::future<Result<double>>
+ShardedServer::submitCompare(const Ast& first, const Ast& second)
+{
+    auto promise = std::make_shared<std::promise<Result<double>>>();
+    std::future<Result<double>> future = promise->get_future();
+    submitCore({Engine::PairRequest{&first, &second}},
+               [promise](Result<std::vector<double>> r) {
+                   if (r.isOk())
+                       promise->set_value(r.value()[0]);
+                   else
+                       promise->set_value(r.status());
+               },
+               /*blocking=*/true);
+    return future;
+}
+
+std::future<Result<std::vector<double>>>
+ShardedServer::submitCompareMany(
+    std::vector<Engine::PairRequest> pairs)
+{
+    auto promise = std::make_shared<
+        std::promise<Result<std::vector<double>>>>();
+    std::future<Result<std::vector<double>>> future =
+        promise->get_future();
+    submitCore(std::move(pairs),
+               [promise](Result<std::vector<double>> r) {
+                   promise->set_value(std::move(r));
+               },
+               /*blocking=*/true);
+    return future;
+}
+
+std::future<Result<std::vector<Engine::RankedCandidate>>>
+ShardedServer::submitRank(std::vector<const Ast*> candidates)
+{
+    auto promise = std::make_shared<
+        std::promise<Result<std::vector<Engine::RankedCandidate>>>>();
+    std::future<Result<std::vector<Engine::RankedCandidate>>> future =
+        promise->get_future();
+    if (candidates.size() < 2) {
+        promise->set_value(Status::invalidArgument(
+            "submitRank: need at least two candidates"));
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        failed_++;
+        return future;
+    }
+    std::size_t n = candidates.size();
+    submitCore(Engine::tournamentPairs(candidates),
+               [promise, n](Result<std::vector<double>> r) {
+                   if (r.isOk())
+                       promise->set_value(Engine::aggregateTournament(
+                           n, r.value()));
+                   else
+                       promise->set_value(r.status());
+               },
+               /*blocking=*/true);
+    return future;
+}
+
+std::optional<std::future<Result<double>>>
+ShardedServer::trySubmitCompare(const Ast& first, const Ast& second)
+{
+    auto promise = std::make_shared<std::promise<Result<double>>>();
+    std::future<Result<double>> future = promise->get_future();
+    bool accepted =
+        submitCore({Engine::PairRequest{&first, &second}},
+                   [promise](Result<std::vector<double>> r) {
+                       if (r.isOk())
+                           promise->set_value(r.value()[0]);
+                       else
+                           promise->set_value(r.status());
+                   },
+                   /*blocking=*/false);
+    if (!accepted)
+        return std::nullopt;
+    return future;
+}
+
+std::optional<std::future<Result<std::vector<double>>>>
+ShardedServer::trySubmitCompareMany(
+    std::vector<Engine::PairRequest> pairs)
+{
+    auto promise = std::make_shared<
+        std::promise<Result<std::vector<double>>>>();
+    std::future<Result<std::vector<double>>> future =
+        promise->get_future();
+    bool accepted =
+        submitCore(std::move(pairs),
+                   [promise](Result<std::vector<double>> r) {
+                       promise->set_value(std::move(r));
+                   },
+                   /*blocking=*/false);
+    if (!accepted)
+        return std::nullopt;
+    return future;
+}
+
+void
+ShardedServer::workerLoop(std::size_t shard)
+{
+    Worker& worker = *workers_[shard];
+    for (;;) {
+        // The same pop-and-coalesce state machine as AsyncServer's
+        // batcher (serve/coalesce.hh); nullopt means the queue is
+        // closed and fully drained — clean exit.
+        std::optional<CoalescedBatch<Request>> batch =
+            popCoalescedBatch(queue_, opts_.maxBatchSize,
+                              opts_.maxBatchDelay);
+        if (!batch)
+            return;
+
+        // One engine call per worker tick. Other workers run their
+        // own ticks concurrently; the shared cache dedups latents
+        // across all of them.
+        Result<std::vector<double>> probs =
+            worker.engine->compareMany(batch->flattenPairs());
+
+        auto completedAt = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(worker.mutex);
+            worker.batches++;
+            worker.pairsServed += batch->pairCount;
+            worker.batchSizes.add(batch->pairCount);
+            for (const Request& r : batch->requests)
+                worker.latencyUs.add(
+                    latencySampleUs(completedAt - r.enqueued));
+        }
+
+        // Fan slices (or the batch-level failure) back out in
+        // submission order.
+        std::size_t offset = 0;
+        for (Request& r : batch->requests) {
+            if (probs.isOk()) {
+                auto begin = probs.value().begin() +
+                    static_cast<std::ptrdiff_t>(offset);
+                r.complete(std::vector<double>(
+                    begin,
+                    begin + static_cast<std::ptrdiff_t>(
+                                r.pairs.size())));
+            } else {
+                r.complete(probs.status());
+            }
+            offset += r.pairs.size();
+        }
+    }
+}
+
+ShardedServerStats
+ShardedServer::stats() const
+{
+    ShardedServerStats out;
+    out.shards.reserve(workers_.size());
+    for (std::size_t s = 0; s < workers_.size(); ++s) {
+        const Worker& worker = *workers_[s];
+        ServerStats row;
+        {
+            std::lock_guard<std::mutex> lock(worker.mutex);
+            row.batches = worker.batches;
+            row.pairsServed = worker.pairsServed;
+            row.batchSizes = worker.batchSizes;
+            row.latencyUs = worker.latencyUs;
+        }
+        fillLatencyPercentiles(row);
+        // Engine volume is per shard engine; cache counters are the
+        // shard's PARTITION of the shared cache, so the per-shard
+        // rows partition the aggregate exactly.
+        Engine::Stats engine = worker.engine->stats();
+        EncodingCache::Stats part = cache_->shardStats(s);
+        row.engine.treesEncoded = engine.treesEncoded;
+        row.engine.pairsServed = engine.pairsServed;
+        row.engine.cacheHits = part.hits;
+        row.engine.cacheMisses = part.misses;
+        row.engine.cacheEvictions = part.evictions;
+        row.engine.cacheSize = cache_->shardSize(s);
+        out.shards.push_back(std::move(row));
+    }
+
+    // Merged histograms drive the aggregate latency percentiles;
+    // per-shard cache partitions sum to the shared cache's totals.
+    out.aggregate = mergeServerStats(out.shards);
+    out.aggregate.queueDepth = queue_.size();
+    out.aggregate.queueCapacity = queue_.capacity();
+    {
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        out.aggregate.requestsSubmitted = submitted_;
+        out.aggregate.requestsRejected = rejected_;
+        out.aggregate.requestsCompleted = completed_;
+        out.aggregate.requestsFailed = failed_;
+    }
+    return out;
+}
+
+} // namespace ccsa

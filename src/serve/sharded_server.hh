@@ -1,0 +1,296 @@
+/**
+ * @file
+ * ccsa::ShardedServer — N batcher workers over a partitioned
+ * encoding cache. AsyncServer (PR 2) scaled request *admission*
+ * (many producers, one queue) but kept a single batcher: one thread
+ * executes every coalesced batch, one mutex-guarded LRU holds every
+ * latent, and one engine's serial sections (digesting, cache walk,
+ * classifier head, promise fan-out) bound throughput. ShardedServer
+ * scales the execution side:
+ *
+ *  - N worker threads consume the SAME BoundedQueue (work-stealing
+ *    load balance: an idle worker takes whatever is next), each
+ *    running the AsyncServer coalescing loop against its own Engine,
+ *    so up to N batches are in flight at once.
+ *  - All N engines share one ShardedEncodingCache: the key space is
+ *    partitioned by AST structural digest (digest % numShards), each
+ *    partition is an independently-locked LRU, so a tree's latent
+ *    lives on exactly one shard no matter which worker encoded it,
+ *    workers only contend when their trees hash to the same
+ *    partition, and aggregate cache capacity scales with the shard
+ *    count at a fixed per-shard memory budget.
+ *  - Cross-shard requests are split and joined: a multi-pair request
+ *    is broken into per-shard sub-requests (grouped by the owning
+ *    partition of each pair's first tree) that different workers
+ *    execute concurrently, and a join fans the slices back into one
+ *    result in request order. submitRank rides the same machinery —
+ *    Engine::tournamentPairs to split, Engine::aggregateTournament
+ *    to join — so a big tournament parallelises across shards.
+ *
+ * Determinism contract: identical to AsyncServer's. Every pair's
+ * probability is produced by Engine::compareMany, whose per-pair
+ * output is independent of batch composition, worker assignment, and
+ * shard count, so results are bitwise-identical to a synchronous
+ * Engine on the same weights at 1, 2, 4, or 8 shards
+ * (tests/test_sharded_server.cc pins this under a multi-producer
+ * stress schedule).
+ *
+ * Stats: per-shard ServerStats plus an aggregate whose latency
+ * percentiles are derived from the MERGED per-shard latency
+ * histograms (mergeServerStats) — never by averaging per-shard
+ * percentiles, which is statistically wrong.
+ *
+ * Failure semantics, lifetime, and shutdown-drain match AsyncServer:
+ * per-request Status, trees outlive their futures, shutdown()
+ * answers everything accepted before joining the workers.
+ */
+
+#ifndef CCSA_SERVE_SHARDED_SERVER_HH
+#define CCSA_SERVE_SHARDED_SERVER_HH
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "base/bounded_queue.hh"
+#include "base/result.hh"
+#include "base/stats.hh"
+#include "serve/engine.hh"
+#include "serve/server_stats.hh"
+
+namespace ccsa
+{
+
+/** Fleet-plus-per-shard snapshot; see ShardedServer::stats(). */
+struct ShardedServerStats
+{
+    /** Whole-server view. Queue and request counters are global;
+     * batching/latency/engine fields are the per-shard rows merged
+     * (latency percentiles from the merged histogram). */
+    ServerStats aggregate;
+    /** One row per shard: that worker's batching volume and latency
+     * distribution, its engine's encode volume, and its cache
+     * PARTITION's hit/miss/eviction/size counters (request-level
+     * and queue fields stay zero — those are global). */
+    std::vector<ServerStats> shards;
+};
+
+/** N-worker sharded serving front over one request queue. */
+class ShardedServer
+{
+  public:
+    /** Builder-style serving options. */
+    struct Options
+    {
+        /** Worker threads == engines == cache partitions. */
+        std::size_t numShards = 4;
+        /** Max requests waiting in the shared queue. */
+        std::size_t queueCapacity = 1024;
+        /** Flush a worker's batch once it holds this many pairs. */
+        std::size_t maxBatchSize = 256;
+        /** Flush once the oldest member waited this long. */
+        std::chrono::microseconds maxBatchDelay{500};
+        /** Encoder threads inside EACH shard engine. The default of
+         * 1 (inline) is right when numShards already covers the
+         * cores; raise it for few shards + huge batches. */
+        int threadsPerShard = 1;
+        /** Do not start the workers until start(). */
+        bool startPaused = false;
+
+        Options& withNumShards(std::size_t n)
+        {
+            numShards = n == 0 ? 1 : n;
+            return *this;
+        }
+
+        Options& withQueueCapacity(std::size_t n)
+        {
+            queueCapacity = n;
+            return *this;
+        }
+
+        Options& withMaxBatchSize(std::size_t n)
+        {
+            maxBatchSize = n == 0 ? 1 : n;
+            return *this;
+        }
+
+        Options& withMaxBatchDelay(std::chrono::microseconds d)
+        {
+            maxBatchDelay = d;
+            return *this;
+        }
+
+        Options& withThreadsPerShard(int n)
+        {
+            threadsPerShard = n;
+            return *this;
+        }
+
+        Options& withStartPaused(bool paused)
+        {
+            startPaused = paused;
+            return *this;
+        }
+    };
+
+    /** Build a fresh model from engineOpts and serve it sharded. */
+    explicit ShardedServer(Engine::Options engineOpts);
+    ShardedServer(Engine::Options engineOpts, Options opts);
+
+    /**
+     * Serve an existing (typically trained) predictor: every shard
+     * engine shares the SAME model object, so all shards answer with
+     * identical weights. engineOpts supplies the per-shard serving
+     * knobs (cacheCapacity is PER PARTITION; threads is overridden
+     * by opts.threadsPerShard).
+     */
+    ShardedServer(std::shared_ptr<ComparativePredictor> model,
+                  Engine::Options engineOpts, Options opts);
+
+    /** Equivalent to shutdown(). */
+    ~ShardedServer();
+
+    ShardedServer(const ShardedServer&) = delete;
+    ShardedServer& operator=(const ShardedServer&) = delete;
+
+    /** Submit one comparison; same contract as AsyncServer. */
+    std::future<Result<double>> submitCompare(const Ast& first,
+                                              const Ast& second);
+
+    /**
+     * Submit a pair batch; resolves to one probability per pair in
+     * request order. Multi-pair requests are split into per-shard
+     * sub-requests executed by different workers and joined back in
+     * order — the result is bitwise-identical to
+     * Engine::compareMany on the whole batch.
+     */
+    std::future<Result<std::vector<double>>>
+    submitCompareMany(std::vector<Engine::PairRequest> pairs);
+
+    /**
+     * Submit a ranking tournament: tournamentPairs splits it across
+     * shards, aggregateTournament joins it, so the ranking is
+     * bitwise-identical to Engine::rank.
+     */
+    std::future<Result<std::vector<Engine::RankedCandidate>>>
+    submitRank(std::vector<const Ast*> candidates);
+
+    /**
+     * Non-blocking submitCompare: nullopt when the queue lacks room
+     * (nothing was enqueued). A shut-down server still returns a
+     * future carrying Unavailable.
+     */
+    std::optional<std::future<Result<double>>>
+    trySubmitCompare(const Ast& first, const Ast& second);
+
+    /**
+     * Non-blocking submitCompareMany. Admission is all-or-nothing:
+     * either every per-shard piece of the request fits in the queue
+     * or none is enqueued and nullopt is returned — a load-shed
+     * request never leaves half of itself behind.
+     */
+    std::optional<std::future<Result<std::vector<double>>>>
+    trySubmitCompareMany(std::vector<Engine::PairRequest> pairs);
+
+    /** Start the workers if construction was startPaused. */
+    void start();
+
+    /**
+     * Stop accepting requests, drain and answer everything already
+     * accepted (starting the workers if they never ran), then join
+     * all N workers. Idempotent.
+     */
+    void shutdown();
+
+    /** @return true once shutdown() has completed. */
+    bool isShutdown() const;
+
+    /** Aggregate + per-shard counters snapshot. */
+    ShardedServerStats stats() const;
+
+    std::size_t numShards() const { return workers_.size(); }
+    const Options& options() const { return opts_; }
+
+    /** Shard s's engine (shares the model and the cache). */
+    Engine& shardEngine(std::size_t s);
+
+    /** The shared partitioned cache. */
+    ShardedEncodingCache& cache() { return *cache_; }
+    const ShardedEncodingCache& cache() const { return *cache_; }
+
+  private:
+    /** One queued unit: a per-shard slice of a client request. */
+    struct Request
+    {
+        std::vector<Engine::PairRequest> pairs;
+        std::function<void(Result<std::vector<double>>)> complete;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    /** Fan-in for a request split across shards. */
+    struct JoinState
+    {
+        std::mutex mutex;
+        std::vector<double> values;
+        Status error; // Ok until the first failing slice
+        std::size_t remaining = 0;
+        std::function<void(Result<std::vector<double>>)> complete;
+    };
+
+    /** A worker: one thread, one engine, its own counters. */
+    struct Worker
+    {
+        std::unique_ptr<Engine> engine;
+        std::thread thread;
+        mutable std::mutex mutex;
+        std::uint64_t batches = 0;
+        std::uint64_t pairsServed = 0;
+        Histogram batchSizes;
+        Histogram latencyUs;
+    };
+
+    bool submitCore(
+        std::vector<Engine::PairRequest> pairs,
+        std::function<void(Result<std::vector<double>>)> complete,
+        bool blocking);
+
+    /** Split validated pairs into per-shard Requests wired to one
+     * completion (directly, or through a JoinState when the request
+     * crosses shards). */
+    std::vector<Request> splitRequest(
+        std::vector<Engine::PairRequest> pairs,
+        std::function<void(Result<std::vector<double>>)> complete);
+
+    void workerLoop(std::size_t shard);
+
+    /** Spawn all worker threads; caller holds lifecycleMutex_. */
+    void startWorkersLocked();
+
+    Options opts_;
+    std::shared_ptr<ShardedEncodingCache> cache_;
+    BoundedQueue<Request> queue_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    /** Guards the worker-thread lifecycle (start/shutdown). */
+    mutable std::mutex lifecycleMutex_;
+    bool started_ = false;
+    bool shutdown_ = false;
+
+    /** Guards the request-level counters below. */
+    mutable std::mutex submitMutex_;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_SERVE_SHARDED_SERVER_HH

@@ -172,6 +172,191 @@ TEST(EncodingCache, LruEvictsOldestFirst)
     EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
+// ------------------------------------- ShardedEncodingCache (ISSUE 4)
+
+/** Deterministic "random" program: structure varies with both knobs
+ * so distinct (loops, pad) pairs digest differently. */
+Ast
+variantProgram(int loops, int pad)
+{
+    std::string src = "int main() {\n int n;\n cin >> n;\n";
+    for (int p = 0; p < pad; ++p)
+        src += " int pad" + std::to_string(p) + " = " +
+            std::to_string(p) + ";\n";
+    for (int i = 0; i < loops; ++i) {
+        std::string v = "i" + std::to_string(i);
+        src += " for (int " + v + " = 0; " + v + " < n; " + v +
+            "++) { int z" + std::to_string(i) + " = " + v + "; }\n";
+    }
+    src += " return 0;\n}\n";
+    return parseAndPrune(src);
+}
+
+/** A randomized forest of distinct-by-digest trees. */
+std::vector<Ast>
+randomForest(Rng& rng, std::size_t count)
+{
+    std::vector<Ast> forest;
+    std::vector<AstDigest> seen;
+    while (forest.size() < count) {
+        Ast tree =
+            variantProgram(rng.uniformInt(0, 7), rng.uniformInt(0, 7));
+        AstDigest d = digestAst(tree);
+        bool fresh = true;
+        for (const AstDigest& s : seen)
+            fresh = fresh && !(s == d);
+        if (!fresh)
+            continue;
+        seen.push_back(d);
+        forest.push_back(std::move(tree));
+    }
+    return forest;
+}
+
+TEST(ShardedEncodingCache, EveryDigestRoutesToExactlyOneShard)
+{
+    Rng rng(41);
+    std::vector<Ast> forest = randomForest(rng, 24);
+    for (std::size_t n : {1u, 2u, 3u, 4u, 8u}) {
+        for (const Ast& tree : forest) {
+            AstDigest d = digestAst(tree);
+            std::size_t shard = ShardedEncodingCache::shardOf(d, n);
+            EXPECT_LT(shard, n);
+            // Routing is a pure function of the digest: repeated
+            // calls and structurally identical trees agree.
+            EXPECT_EQ(ShardedEncodingCache::shardOf(d, n), shard);
+            EXPECT_EQ(
+                ShardedEncodingCache::shardOf(digestAst(tree), n),
+                shard);
+        }
+    }
+    // Sanity: with a few shards, a 24-tree forest actually uses more
+    // than one of them (the partition is not degenerate).
+    std::vector<bool> used(4, false);
+    for (const Ast& tree : forest)
+        used[ShardedEncodingCache::shardOf(digestAst(tree), 4)] =
+            true;
+    int distinct = 0;
+    for (bool u : used)
+        distinct += u ? 1 : 0;
+    EXPECT_GT(distinct, 1);
+}
+
+TEST(ShardedEncodingCache, PerShardCountersSumToUnshardedCounters)
+{
+    Rng rng(42);
+    std::vector<Ast> forest = randomForest(rng, 20);
+    std::vector<AstDigest> digests;
+    for (const Ast& tree : forest)
+        digests.push_back(digestAst(tree));
+
+    // Identical randomized lookup/insert-on-miss streams against a
+    // 4-way partitioned cache and an unsharded one, both roomy
+    // enough never to evict: partitioning the key space must
+    // partition the counters, nothing more.
+    ShardedEncodingCache sharded(4, 64);
+    ShardedEncodingCache flat(1, 256);
+    Rng stream(43);
+    for (int step = 0; step < 400; ++step) {
+        const AstDigest& d =
+            digests[static_cast<std::size_t>(stream.uniformInt(
+                0, static_cast<int>(digests.size()) - 1))];
+        Tensor out;
+        bool hitSharded = sharded.lookup(d, &out);
+        bool hitFlat = flat.lookup(d, &out);
+        EXPECT_EQ(hitSharded, hitFlat) << "step " << step;
+        if (!hitSharded) {
+            sharded.insert(d, Tensor(1, 4, 1.0f));
+            flat.insert(d, Tensor(1, 4, 1.0f));
+        }
+    }
+
+    EncodingCache::Stats summed;
+    std::size_t sizeSum = 0;
+    for (std::size_t s = 0; s < sharded.numShards(); ++s) {
+        EncodingCache::Stats part = sharded.shardStats(s);
+        summed.hits += part.hits;
+        summed.misses += part.misses;
+        summed.evictions += part.evictions;
+        sizeSum += sharded.shardSize(s);
+    }
+    EncodingCache::Stats unsharded = flat.stats();
+    EXPECT_EQ(summed.hits, unsharded.hits);
+    EXPECT_EQ(summed.misses, unsharded.misses);
+    EXPECT_EQ(summed.evictions, unsharded.evictions);
+    EXPECT_EQ(summed.evictions, 0u);
+    EXPECT_EQ(sizeSum, flat.size());
+    // The aggregate accessor reports exactly the per-shard sums.
+    EXPECT_EQ(sharded.stats().hits, summed.hits);
+    EXPECT_EQ(sharded.stats().misses, summed.misses);
+    EXPECT_EQ(sharded.size(), sizeSum);
+}
+
+TEST(ShardedEncodingCache, EvictionInOneShardNeverInvalidatesAnother)
+{
+    Rng rng(44);
+    std::vector<Ast> forest = randomForest(rng, 40);
+    std::vector<AstDigest> shard0Owned, shard1Owned;
+    for (const Ast& tree : forest) {
+        AstDigest d = digestAst(tree);
+        if (ShardedEncodingCache::shardOf(d, 2) == 0)
+            shard0Owned.push_back(d);
+        else
+            shard1Owned.push_back(d);
+    }
+    ASSERT_GE(shard0Owned.size(), 4u);
+    ASSERT_GE(shard1Owned.size(), 2u);
+
+    ShardedEncodingCache cache(2, 2);
+    // Resident entries on shard 1...
+    cache.insert(shard1Owned[0], Tensor(1, 4, 1.0f));
+    cache.insert(shard1Owned[1], Tensor(1, 4, 2.0f));
+    // ...then flood shard 0 far past its capacity.
+    for (const AstDigest& d : shard0Owned)
+        cache.insert(d, Tensor(1, 4, 3.0f));
+
+    EXPECT_GT(cache.shardStats(0).evictions, 0u);
+    EXPECT_EQ(cache.shardStats(1).evictions, 0u);
+    Tensor out;
+    EXPECT_TRUE(cache.lookup(shard1Owned[0], &out));
+    EXPECT_TRUE(cache.lookup(shard1Owned[1], &out));
+    EXPECT_EQ(cache.shardSize(0), 2u); // at its own capacity
+    EXPECT_EQ(cache.shardSize(1), 2u); // untouched by the flood
+}
+
+TEST(Engine, ShardedCacheServesIdenticalLatentsAndPartitionsKeys)
+{
+    Rng rng(45);
+    std::vector<Ast> forest = randomForest(rng, 12);
+    std::vector<const Ast*> ptrs;
+    for (const Ast& tree : forest)
+        ptrs.push_back(&tree);
+
+    Engine flat(tinyOptions());
+    Engine sharded(tinyOptions().withCacheShards(4));
+    auto flatLatents = flat.encodeBatch(ptrs);
+    auto shardedLatents = sharded.encodeBatch(ptrs);
+    ASSERT_TRUE(flatLatents.isOk());
+    ASSERT_TRUE(shardedLatents.isOk());
+    for (std::size_t i = 0; i < ptrs.size(); ++i)
+        EXPECT_FLOAT_EQ(shardedLatents.value()[i].maxAbsDiff(
+                            flatLatents.value()[i]),
+                        0.0f)
+            << "tree " << i;
+
+    // Every distinct tree is resident on exactly one partition.
+    EXPECT_EQ(sharded.cache().size(), forest.size());
+    std::size_t perShard = 0;
+    for (std::size_t s = 0; s < sharded.cache().numShards(); ++s)
+        perShard += sharded.cache().shardSize(s);
+    EXPECT_EQ(perShard, forest.size());
+
+    // A second pass is all hits on both layouts.
+    ASSERT_TRUE(sharded.encodeBatch(ptrs).isOk());
+    EXPECT_EQ(sharded.stats().treesEncoded, forest.size());
+    EXPECT_GE(sharded.stats().cacheHits, forest.size());
+}
+
 // --------------------------------------------------------- Engine
 
 TEST(Engine, CompareManyBitwiseMatchesLegacyPerPairPath)

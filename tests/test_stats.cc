@@ -25,9 +25,11 @@ TEST(Histogram, BucketsByPowerOfTwoUpperBounds)
     EXPECT_EQ(Histogram::bucketIndex(3), 2u);
     EXPECT_EQ(Histogram::bucketIndex(4), 2u);
     EXPECT_EQ(Histogram::bucketIndex(5), 3u);
-    EXPECT_EQ(Histogram::bucketIndex(65536), Histogram::kBuckets - 2);
+    EXPECT_EQ(Histogram::bucketIndex(65536), 16u);
+    EXPECT_EQ(Histogram::bucketIndex(1u << 24),
+              Histogram::kBuckets - 2);
     // Values beyond the largest bound land in the overflow bucket.
-    EXPECT_EQ(Histogram::bucketIndex(1u << 20),
+    EXPECT_EQ(Histogram::bucketIndex(1u << 30),
               Histogram::kBuckets - 1);
     EXPECT_EQ(Histogram::bucketUpperBound(3), 8u);
 }
@@ -49,6 +51,88 @@ TEST(Histogram, TracksCountSumMaxAndMean)
     EXPECT_EQ(h.bucket(0), 2u); // the two 1s
     EXPECT_EQ(h.bucket(3), 1u); // 6 is in (4, 8]
     EXPECT_EQ(h.toString(), "<=1:2 <=8:1");
+}
+
+TEST(Histogram, MergeCombinesCountsSumAndMaxLosslessly)
+{
+    Histogram a, b, expected;
+    for (std::size_t v : {1u, 3u, 3u, 9u}) {
+        a.add(v);
+        expected.add(v);
+    }
+    for (std::size_t v : {2u, 40u, 500u}) {
+        b.add(v);
+        expected.add(v);
+    }
+
+    a.merge(b);
+    EXPECT_EQ(a.count(), expected.count());
+    EXPECT_EQ(a.sum(), expected.sum());
+    EXPECT_EQ(a.max(), expected.max());
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+        EXPECT_EQ(a.bucket(i), expected.bucket(i)) << "bucket " << i;
+}
+
+TEST(Histogram, QuantileUpperBoundWalksTheBuckets)
+{
+    Histogram h;
+    EXPECT_EQ(h.quantileUpperBound(0.5), 0u); // empty
+    for (int i = 0; i < 90; ++i)
+        h.add(1);
+    for (int i = 0; i < 10; ++i)
+        h.add(100);
+    // Ranks 1..90 are 1s; ranks 91..100 live in the (64,128] bucket.
+    EXPECT_EQ(h.quantileUpperBound(0.5), 1u);
+    EXPECT_EQ(h.quantileUpperBound(0.9), 1u);
+    EXPECT_EQ(h.quantileUpperBound(0.95), 100u); // clamped to max
+    EXPECT_EQ(h.quantileUpperBound(1.0), 100u);
+    EXPECT_THROW(h.quantileUpperBound(1.5), FatalError);
+
+    // A single sample answers every quantile with itself.
+    Histogram one;
+    one.add(7);
+    EXPECT_EQ(one.quantileUpperBound(0.0), 7u);
+    EXPECT_EQ(one.quantileUpperBound(0.99), 7u);
+}
+
+TEST(Histogram, QuantileOfOverflowBucketReportsObservedMax)
+{
+    Histogram h;
+    h.add(1u << 30); // beyond the last bounded bucket
+    h.add(1);
+    EXPECT_EQ(h.quantileUpperBound(1.0), 1u << 30);
+}
+
+TEST(Histogram, MergedQuantilesBeatAveragedPerShardQuantiles)
+{
+    // The sharded-serving regression (ISSUE 4): per-shard p99s must
+    // NOT be averaged. Shard A serves 990 fast requests, shard B
+    // serves 10 slow ones; the fleet p99 is still fast, but the
+    // average of per-shard p99s is dominated by the tiny slow shard.
+    Histogram shardA, shardB, fleet;
+    for (int i = 0; i < 990; ++i) {
+        shardA.add(2);
+        fleet.add(2);
+    }
+    for (int i = 0; i < 10; ++i) {
+        shardB.add(4096);
+        fleet.add(4096);
+    }
+
+    double naive =
+        (static_cast<double>(shardA.quantileUpperBound(0.99)) +
+         static_cast<double>(shardB.quantileUpperBound(0.99))) /
+        2.0;
+
+    Histogram merged = shardA;
+    merged.merge(shardB);
+    // Merging histograms is lossless: the merged distribution is
+    // exactly the fleet's, so its quantiles are the fleet quantiles.
+    EXPECT_EQ(merged.quantileUpperBound(0.99),
+              fleet.quantileUpperBound(0.99));
+    EXPECT_EQ(merged.quantileUpperBound(0.99), 2u);
+    // The naive merge is off by three orders of magnitude.
+    EXPECT_GT(naive, 2000.0);
 }
 
 TEST(Histogram, BucketIndexOutOfRangeIsFatal)

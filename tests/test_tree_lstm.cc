@@ -449,5 +449,73 @@ TEST(TreeLstm, ForestEncodingMatchesPerTreeEncoding)
     }
 }
 
+TEST(TreeLstm, ForestStackedEncodingIsInvariantToShardSplits)
+{
+    // The sharded-serving seam (ROADMAP, ISSUE 4): a shard takes a
+    // contiguous range of a forest, so splitting a forest at ANY
+    // boundary and concatenating the two stacked encodings must be
+    // bitwise-equal to encoding the unsplit forest. Trees never
+    // share rows inside a wavefront, so the merged level schedules
+    // cannot leak information across the split.
+    Rng rng(26);
+    nn::TreeLstm lstm(3, 4, 2, nn::TreeArch::Alternating, rng);
+
+    std::vector<nn::TreeSpec> specs;
+    specs.push_back(nn::TreeSpec::fromParents({-1, 0, 0, 1, 1}));
+    specs.push_back(nn::TreeSpec::fromParents({-1}));
+    specs.push_back(nn::TreeSpec::fromParents({-1, 0, 1, 2})); // chain
+    specs.push_back(
+        nn::TreeSpec::fromParents({-1, 0, 0, 0, 2, 2, 4}));
+    std::vector<const nn::TreeSpec*> all;
+    for (const nn::TreeSpec& s : specs)
+        all.push_back(&s);
+
+    // Per-tree input rows, stacked forest-style.
+    std::vector<std::vector<ag::Var>> rows(specs.size());
+    for (std::size_t t = 0; t < specs.size(); ++t)
+        for (std::size_t i = 0; i < specs[t].size(); ++i)
+            rows[t].push_back(ag::constant(patterned(
+                1, 3, 0.3f, static_cast<float>(9 * t + i))));
+
+    auto stackRange = [&](std::size_t lo, std::size_t hi) {
+        std::vector<ag::Var> flat;
+        for (std::size_t t = lo; t < hi; ++t)
+            for (const ag::Var& r : rows[t])
+                flat.push_back(r);
+        return ag::stackRows(flat);
+    };
+
+    Tensor full =
+        lstm.encodeForestStacked(all, stackRange(0, specs.size()))
+            .value();
+
+    for (std::size_t boundary = 1; boundary < specs.size();
+         ++boundary) {
+        std::vector<const nn::TreeSpec*> left(
+            all.begin(), all.begin() + boundary);
+        std::vector<const nn::TreeSpec*> right(
+            all.begin() + boundary, all.end());
+        Tensor leftOut =
+            lstm.encodeForestStacked(left, stackRange(0, boundary))
+                .value();
+        Tensor rightOut =
+            lstm.encodeForestStacked(
+                    right, stackRange(boundary, specs.size()))
+                .value();
+        ASSERT_EQ(leftOut.rows() + rightOut.rows(), full.rows())
+            << "boundary " << boundary;
+
+        for (int r = 0; r < full.rows(); ++r) {
+            const Tensor& part =
+                r < leftOut.rows() ? leftOut : rightOut;
+            int pr = r < leftOut.rows() ? r : r - leftOut.rows();
+            for (int c = 0; c < full.cols(); ++c)
+                EXPECT_EQ(part.at(pr, c), full.at(r, c))
+                    << "boundary " << boundary << " row " << r
+                    << " col " << c;
+        }
+    }
+}
+
 } // namespace
 } // namespace ccsa

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Gate the sharded-serving throughput benchmark.
+
+Reads the JSON written by
+
+    serve_throughput --json BENCH_serve.json
+
+and fails (exit 1) when ShardedServer loses its edge over the
+single-batcher AsyncServer under interactive (depth-1 closed-loop)
+clients. The acceptance bar from ISSUE 4 is sharded >= 1.5x the
+single-batcher aggregate pairs/sec at 4 shards; the win there is
+mostly structural (a 4-way partitioned cache holds 4x the latents at
+the same per-shard budget, so the deterministic re-encode count
+collapses), which is why a throughput ratio makes a workable CI gate:
+a regression in the cache partitioning, the split/join path, or the
+worker loop shows up as the encode storm returning, not as scheduler
+noise. A 1-shard sanity floor guards against ShardedServer simply
+being slower plumbing than AsyncServer.
+"""
+
+import json
+import sys
+
+
+# shard count -> minimum sharded/single-batcher throughput ratio.
+# 4 shards is the ISSUE-4 acceptance bar; 1 shard is a plumbing
+# sanity check (same cache budget as the baseline, so parity minus
+# noise is expected — the floor only catches gross regressions).
+FLOORS = {
+    1: 0.6,
+    4: 1.5,
+}
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_serve.json"
+    with open(path) as f:
+        data = json.load(f)
+
+    baseline = None
+    sharded = {}
+    for row in data.get("rows", []):
+        if row.get("mode") == "async_closed":
+            baseline = row
+        elif row.get("mode") == "sharded":
+            sharded[int(row.get("shards", 0))] = row
+
+    if baseline is None or baseline.get("pairs_per_sec", 0) <= 0:
+        print("missing async_closed baseline row")
+        return 1
+
+    base_rate = baseline["pairs_per_sec"]
+    print(f"single-batcher baseline {base_rate:10.0f} pairs/s  "
+          f"({baseline.get('trees_encoded', '?')} trees encoded)")
+
+    failed = False
+    for shards, floor in sorted(FLOORS.items()):
+        row = sharded.get(shards)
+        if row is None:
+            print(f"{shards} shards: missing benchmark row")
+            failed = True
+            continue
+        ratio = row["pairs_per_sec"] / base_rate
+        ok = ratio >= floor
+        print(f"{shards} shards {row['pairs_per_sec']:10.0f} pairs/s  "
+              f"ratio {ratio:5.2f}x  floor {floor}x  "
+              f"({row.get('trees_encoded', '?')} trees encoded)  "
+              f"{'ok' if ok else 'FAIL'}")
+        failed |= not ok
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
