@@ -15,6 +15,10 @@
 #include "model/trainer.hh"
 #include "serve/engine.hh"
 
+// The unbatched per-pair baseline shares the tests' oracle so every
+// consumer pins against one reference implementation.
+#include "../tests/oracle.hh"
+
 namespace
 {
 
@@ -322,10 +326,10 @@ BENCHMARK(BM_BatchUniqueTreeEncoding)
 
 /**
  * Serving ablation: repeated-candidate batch scoring through
- * Engine::compareMany (encoding cache + thread pool, arg 1) vs the
- * legacy one-pair-at-a-time probFirstSlower path (arg 0), which
- * re-encodes both trees of every pair. Items/s is pairs scored per
- * second; the batched mode must be >= 2x the unbatched mode.
+ * Engine::compareMany (encoding cache + thread pool, arg 1) vs
+ * one-pair-at-a-time scoring (arg 0), which re-encodes both trees
+ * of every pair. Items/s is pairs scored per second; the batched
+ * mode must be >= 2x the unbatched mode.
  */
 void
 BM_ServingBatchedVsUnbatched(benchmark::State& state)
@@ -358,8 +362,8 @@ BM_ServingBatchedVsUnbatched(benchmark::State& state)
             benchmark::DoNotOptimize(engine.compareMany(requests));
         } else {
             for (const auto& p : pairs) {
-                benchmark::DoNotOptimize(model->probFirstSlower(
-                    subs[p.first].ast, subs[p.second].ast));
+                benchmark::DoNotOptimize(perPairProb(
+                    *model, subs[p.first].ast, subs[p.second].ast));
             }
         }
     }

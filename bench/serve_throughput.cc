@@ -9,6 +9,13 @@
  *  3. the same clients on ShardedServer at 1/2/4/8 shards — N
  *     batcher workers over a partitioned encoding cache.
  *
+ * A fourth measurement gates the ModelRegistry refactor: the SAME
+ * single-model workload through a direct Engine vs a
+ * registry-backed one (per-batch name resolution + namespaced cache
+ * keys). The registry path must stay >= 0.95x direct — the lookup
+ * is one mutex-protected map probe amortised over a whole batch, so
+ * anything below that means the resolution leaked into a hot loop.
+ *
  * The workload models a busy ranking service under cache pressure:
  * requests draw pairs from a tree pool larger than any single
  * encoding cache, so the synchronous path keeps re-encoding evicted
@@ -39,6 +46,7 @@
 #include "base/table.hh"
 #include "frontend/parser.hh"
 #include "serve/async_server.hh"
+#include "serve/model_registry.hh"
 #include "serve/sharded_server.hh"
 
 using namespace ccsa;
@@ -114,7 +122,8 @@ secondsSince(std::chrono::steady_clock::time_point start)
 /** One measured configuration, also emitted as a JSON row. */
 struct BenchRow
 {
-    std::string mode; // "sync" | "async" | "sharded"
+    std::string mode; // sync|async|async_closed|sharded|
+                      // engine_direct|engine_registry
     int clients = 0;
     int shards = 0; // 0 for non-sharded modes
     double pairsPerSec = 0.0;
@@ -423,6 +432,65 @@ main(int argc, char** argv)
                 " numShards x 12 latents resident, so the re-encode\n"
                 "storm the small single caches suffer above fades"
                 " as shards are added.\n");
+
+    // ---------------------- registry overhead, single-model traffic
+    // The same deterministic batched workload through a direct
+    // Engine and through a registry-backed one serving the SAME
+    // model object. Both see identical cache behaviour (one
+    // namespace, same capacity); the only delta is the per-batch
+    // name resolution, which must stay in the noise.
+    {
+        const int batchPairs = 16;
+        const int registryRounds =
+            std::max(40, static_cast<int>(120 * envScale()));
+        std::vector<WorkItem> stream =
+            clientStream(99, registryRounds * batchPairs, poolSize);
+        auto runBatches = [&](Engine& engine) {
+            auto start = std::chrono::steady_clock::now();
+            std::size_t cursor = 0;
+            for (int r = 0; r < registryRounds; ++r) {
+                std::vector<Engine::PairRequest> request;
+                request.reserve(batchPairs);
+                for (int k = 0; k < batchPairs; ++k) {
+                    const WorkItem& w = stream[cursor++];
+                    request.push_back(
+                        {&pool[static_cast<std::size_t>(w.first)],
+                         &pool[static_cast<std::size_t>(w.second)]});
+                }
+                auto probs = engine.compareMany(request);
+                if (!probs.isOk())
+                    std::fprintf(stderr, "registry bench: %s\n",
+                                 probs.status().toString().c_str());
+            }
+            double total = static_cast<double>(registryRounds) *
+                static_cast<double>(batchPairs);
+            return total / secondsSince(start);
+        };
+
+        auto model = std::make_shared<ComparativePredictor>(
+            servingOptions().encoder, 42);
+        double directRate = 0.0, registryRate = 0.0;
+        {
+            Engine direct(model, servingOptions());
+            directRate = runBatches(direct);
+        }
+        {
+            auto registry = std::make_shared<ModelRegistry>();
+            registry->publish("prod", model);
+            Engine viaRegistry(registry, servingOptions());
+            registryRate = runBatches(viaRegistry);
+        }
+        rows.push_back(BenchRow{"engine_direct", 1, 0, directRate,
+                                0});
+        rows.push_back(BenchRow{"engine_registry", 1, 0,
+                                registryRate, 0});
+        std::printf("\nregistry overhead (single model, %d-pair "
+                    "batches):\n  direct Engine   %10.0f pairs/s\n"
+                    "  via registry    %10.0f pairs/s  (%.3fx, CI "
+                    "floor 0.95x)\n",
+                    batchPairs, directRate, registryRate,
+                    registryRate / directRate);
+    }
 
     if (!jsonPath.empty())
         writeJson(jsonPath, poolSize, requestsPerClient, rows);

@@ -8,25 +8,32 @@
  * an operator would scrape (queue pressure, batch-size histogram,
  * latency percentiles, cache counters).
  *
- * The second half shows the next rung of the ladder: the same
+ * The second half shows the next rungs of the ladder: the same
  * traffic on a ShardedServer — N batcher workers over a partitioned
  * encoding cache — with the per-shard stats rows an operator would
- * use to spot a hot shard.
+ * use to spot a hot shard; then multi-model serving through a
+ * ModelRegistry: two problem-family models behind one sharded
+ * front, traffic split by model name, and one model hot-swapped
+ * mid-run without stopping the service (the paper's
+ * continuous-learning deployment).
  *
- * The engine here is untrained so the demo runs instantly — a real
- * daemon would call engine.load("model.bin") at startup (see
- * examples/quickstart.cpp for training one).
+ * The engines here are untrained so the demo runs instantly — a
+ * real daemon would registry.load("family-a.bin") at startup (v2
+ * checkpoints embed their own config; see examples/quickstart.cpp
+ * for training one).
  *
  * Usage: ./serving_daemon
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/rng.hh"
 #include "serve/async_server.hh"
+#include "serve/model_registry.hh"
 #include "serve/sharded_server.hh"
 
 using namespace ccsa;
@@ -81,7 +88,7 @@ main()
     //    algorithm-selection tournaments, all through futures.
     constexpr int kClients = 4;
     constexpr int kRequests = 40;
-    std::printf("[1/4] %d clients x %d requests (compares + ranks)"
+    std::printf("[1/5] %d clients x %d requests (compares + ranks)"
                 "...\n",
                 kClients, kRequests);
     std::vector<std::thread> clients;
@@ -126,7 +133,7 @@ main()
 
     // 4. Drain and stop; futures submitted after this fail fast with
     //    Unavailable instead of hanging.
-    std::printf("\n[2/4] clean shutdown (drains pending work)...\n");
+    std::printf("\n[2/5] clean shutdown (drains pending work)...\n");
     server.shutdown();
     auto late = server
                     .submitCompare(variants[0], variants[1])
@@ -135,7 +142,7 @@ main()
                 late.status().toString().c_str());
 
     // 5. The operator's view.
-    std::printf("\n[3/4] server stats\n");
+    std::printf("\n[3/5] server stats\n");
     ServerStats s = server.stats();
     std::printf("      queue: depth=%zu capacity=%zu\n",
                 s.queueDepth, s.queueCapacity);
@@ -171,7 +178,7 @@ main()
     //    sharing a 4-way partitioned encoding cache (every variant's
     //    latent lives on exactly one shard). Results are bitwise
     //    what the AsyncServer returned above.
-    std::printf("\n[4/4] sharded serving (4 workers, partitioned "
+    std::printf("\n[4/5] sharded serving (4 workers, partitioned "
                 "cache)...\n");
     ShardedServer sharded(Engine::Options()
                               .withEmbedDim(24)
@@ -232,8 +239,97 @@ main()
                     row.engine.cacheSize);
     }
 
+    // 7. Multi-model serving: two problem-family models behind one
+    //    registry, traffic split by model name, family-a hot-swapped
+    //    with a retrained build mid-run. Requests admitted before the
+    //    swap complete on the old version; nothing stops.
+    std::printf("\n[5/5] multi-model serving (registry, hot swap "
+                "mid-run)...\n");
+    auto registry = std::make_shared<ModelRegistry>();
+    EncoderConfig famCfg;
+    famCfg.embedDim = 24;
+    famCfg.hiddenDim = 32;
+    registry->publish("family-a",
+                      std::make_shared<ComparativePredictor>(
+                          famCfg, /*seed=*/101));
+    registry->publish("family-b",
+                      std::make_shared<ComparativePredictor>(
+                          famCfg, /*seed=*/202));
+    ShardedServer multi(registry,
+                        Engine::Options().withCacheCapacity(1024),
+                        ShardedServer::Options()
+                            .withNumShards(2)
+                            .withQueueCapacity(512)
+                            .withMaxBatchSize(128)
+                            .withMaxBatchDelay(
+                                std::chrono::microseconds(800)));
+    std::vector<std::thread> multiClients;
+    for (int c = 0; c < kClients; ++c) {
+        multiClients.emplace_back([&, c] {
+            Rng rng(177 + static_cast<std::uint64_t>(c));
+            // Clients for family A and B alternate by thread.
+            const char* family = c % 2 == 0 ? "family-a" : "family-b";
+            int ok = 0;
+            for (int k = 0; k < kRequests; ++k) {
+                int i = rng.uniformInt(
+                    0, static_cast<int>(variants.size()) - 1);
+                int j = rng.uniformInt(
+                    0, static_cast<int>(variants.size()) - 2);
+                if (j >= i)
+                    ++j;
+                if (multi
+                        .submitCompare(
+                            family,
+                            variants[static_cast<std::size_t>(i)],
+                            variants[static_cast<std::size_t>(j)])
+                        .get()
+                        .isOk())
+                    ++ok;
+                if (c == 0 && k == kRequests / 2) {
+                    // Mid-run redeploy of family-a: the "retrained"
+                    // model goes live between two of this client's
+                    // own requests. In-flight work finishes on the
+                    // old version's snapshot; the old latents age
+                    // out of the cache under their own namespace.
+                    auto v = registry->publish(
+                        "family-a",
+                        std::make_shared<ComparativePredictor>(
+                            famCfg, /*seed=*/303));
+                    std::printf("      hot-swapped family-a -> "
+                                "version %llu\n",
+                                static_cast<unsigned long long>(
+                                    v->sequence));
+                }
+            }
+            std::printf("      client %d (%s): %d/%d ok\n", c,
+                        family, ok, kRequests);
+        });
+    }
+    for (std::thread& t : multiClients)
+        t.join();
+    multi.shutdown();
+
+    ShardedServerStats ms = multi.stats();
+    std::printf("      per-model cache namespaces:\n");
+    for (const ModelCacheStats& row : ms.aggregate.models) {
+        std::printf("        %-10s v%llu: hits=%llu misses=%llu "
+                    "evictions=%llu resident=%zu\n",
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(row.sequence),
+                    static_cast<unsigned long long>(row.cache.hits),
+                    static_cast<unsigned long long>(row.cache.misses),
+                    static_cast<unsigned long long>(
+                        row.cache.evictions),
+                    row.cache.residents);
+    }
+    std::printf("      (family-a shows v2: the swapped build owns a "
+                "fresh namespace;\n       the v1 latents expire "
+                "through plain LRU aging)\n");
+
     std::printf("\ndone. Tune maxBatchDelay down for latency, up "
-                "for throughput;\nshard when one batcher saturates —"
-                " see README \"Sharded serving\".\n");
+                "for throughput;\nshard when one batcher saturates;"
+                " register models when one service must\nserve many"
+                " problem families — see README \"Multi-model"
+                " serving & hot-swap\".\n");
     return 0;
 }

@@ -36,25 +36,6 @@ scorePairs(Engine& engine,
     return out;
 }
 
-std::vector<ScoredPair>
-scorePairs(const ComparativePredictor& model,
-           const std::vector<Submission>& submissions,
-           const std::vector<CodePair>& pairs)
-{
-    std::vector<ScoredPair> out;
-    out.reserve(pairs.size());
-    for (const CodePair& p : pairs) {
-        ScoredPair s;
-        s.score = model.probFirstSlower(submissions[p.first].ast,
-                                        submissions[p.second].ast);
-        s.label = p.label;
-        s.gapMs = std::fabs(submissions[p.first].runtimeMs -
-                            submissions[p.second].runtimeMs);
-        out.push_back(s);
-    }
-    return out;
-}
-
 double
 pairwiseAccuracy(const std::vector<ScoredPair>& scored)
 {
@@ -75,14 +56,6 @@ pairwiseAccuracy(Engine& engine,
                  const std::vector<CodePair>& pairs)
 {
     return pairwiseAccuracy(scorePairs(engine, submissions, pairs));
-}
-
-double
-pairwiseAccuracy(const ComparativePredictor& model,
-                 const std::vector<Submission>& submissions,
-                 const std::vector<CodePair>& pairs)
-{
-    return pairwiseAccuracy(scorePairs(model, submissions, pairs));
 }
 
 std::vector<RocPoint>

@@ -11,7 +11,6 @@
 #include <vector>
 
 #include "dataset/pairs.hh"
-#include "model/predictor.hh"
 #include "serve/engine.hh"
 
 namespace ccsa
@@ -29,21 +28,12 @@ struct ScoredPair
 /**
  * Score every pair through the serving engine: all pairs share one
  * encoding batch, so each distinct submission is encoded at most
- * once (and often not at all, on a warm cache).
+ * once (and often not at all, on a warm cache). The per-pair oracle
+ * this path is pinned against lives in the tests
+ * (tests/test_engine.cc) — it is no longer a library API.
  */
 std::vector<ScoredPair> scorePairs(
     Engine& engine, const std::vector<Submission>& submissions,
-    const std::vector<CodePair>& pairs);
-
-/**
- * Score every pair one at a time with the bare predictor.
- * @deprecated Legacy per-pair path, kept as the reference the Engine
- * batch path is pinned against (and for out-of-tree callers that
- * have no Engine). Re-encodes both trees of every pair.
- */
-std::vector<ScoredPair> scorePairs(
-    const ComparativePredictor& model,
-    const std::vector<Submission>& submissions,
     const std::vector<CodePair>& pairs);
 
 /** Fraction of pairs classified correctly at threshold 0.5. */
@@ -51,14 +41,6 @@ double pairwiseAccuracy(const std::vector<ScoredPair>& scored);
 
 /** Convenience: score + accuracy in one call. */
 double pairwiseAccuracy(Engine& engine,
-                        const std::vector<Submission>& submissions,
-                        const std::vector<CodePair>& pairs);
-
-/**
- * Convenience over the legacy per-pair path.
- * @deprecated Prefer the Engine overload.
- */
-double pairwiseAccuracy(const ComparativePredictor& model,
                         const std::vector<Submission>& submissions,
                         const std::vector<CodePair>& pairs);
 

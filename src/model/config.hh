@@ -39,6 +39,20 @@ struct EncoderConfig
     int layers = 1;
     /** Multi-layer wiring (tree-LSTM only). */
     nn::TreeArch arch = nn::TreeArch::Uni;
+
+    bool
+    operator==(const EncoderConfig& other) const
+    {
+        return kind == other.kind && embedDim == other.embedDim &&
+            hiddenDim == other.hiddenDim && layers == other.layers &&
+            arch == other.arch;
+    }
+
+    bool
+    operator!=(const EncoderConfig& other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /** Training-loop hyper-parameters. */

@@ -1,10 +1,5 @@
 #include "model/predictor.hh"
 
-#include <cmath>
-
-#include "frontend/parser.hh"
-#include "nn/serialize.hh"
-
 namespace ccsa
 {
 
@@ -49,33 +44,20 @@ ComparativePredictor::logitFromEncodings(const ag::Var& z_first,
     return classifier_->logit(z_first, z_second);
 }
 
-double
-ComparativePredictor::probFirstSlower(const Ast& first,
-                                      const Ast& second) const
-{
-    ag::Var z = logitFromEncodings(encode(first), encode(second));
-    return 1.0 / (1.0 + std::exp(-z.value().at(0, 0)));
-}
-
-double
-ComparativePredictor::probFirstSlowerSource(
-    const std::string& first, const std::string& second) const
-{
-    return probFirstSlower(parseAndPrune(first), parseAndPrune(second));
-}
-
-int
-ComparativePredictor::predictLabel(const Ast& first,
-                                   const Ast& second) const
-{
-    return probFirstSlower(first, second) >= 0.5 ? 1 : 0;
-}
-
 Status
 ComparativePredictor::save(const std::string& path)
 {
+    return save(path, "model", 1);
+}
+
+Status
+ComparativePredictor::save(const std::string& path,
+                           const std::string& name,
+                           std::uint64_t version)
+{
     try {
-        nn::saveParameters(path, parameters());
+        nn::saveParameters(path, parameters(),
+                           manifestFor(cfg_, name, version));
     } catch (const FatalError& e) {
         return Status::ioError(e.what());
     }
@@ -86,11 +68,86 @@ Status
 ComparativePredictor::load(const std::string& path)
 {
     try {
+        std::optional<nn::CheckpointManifest> manifest =
+            nn::readCheckpointManifest(path);
+        // A self-describing checkpoint must actually describe THIS
+        // model: a config mismatch that happens to share parameter
+        // shapes (e.g. a different encoder kind) would otherwise
+        // load garbage weights silently.
+        if (manifest && configFromManifest(*manifest) != cfg_)
+            return Status::ioError(
+                "load: checkpoint config does not match the model "
+                "(saved from '" + manifest->modelName + "')");
         nn::loadParameters(path, parameters());
     } catch (const FatalError& e) {
         return Status::ioError(e.what());
     }
     return Status::ok();
+}
+
+Result<std::shared_ptr<ComparativePredictor>>
+ComparativePredictor::fromCheckpoint(const std::string& path)
+{
+    std::optional<nn::CheckpointManifest> manifest;
+    try {
+        manifest = nn::readCheckpointManifest(path);
+    } catch (const FatalError& e) {
+        return Status::ioError(e.what());
+    }
+    if (!manifest)
+        return Status::invalidArgument(
+            "fromCheckpoint: " + path +
+            " is a v1 checkpoint with no embedded config; build the "
+            "model from its EncoderConfig and load() instead");
+    // A corrupt (or future-format) manifest must come back as a
+    // Status, not escape construction as a thrown enum/dimension
+    // error — load() promises a serving process survives bad files.
+    if (manifest->encoderKind < 0 || manifest->encoderKind > 2 ||
+        manifest->arch < 0 || manifest->arch > 2 ||
+        manifest->embedDim < 1 || manifest->hiddenDim < 1 ||
+        manifest->layers < 1)
+        return Status::ioError(
+            "fromCheckpoint: corrupt manifest in " + path);
+    try {
+        auto model = std::make_shared<ComparativePredictor>(
+            configFromManifest(*manifest), /*seed=*/1);
+        Status loaded = model->load(path);
+        if (!loaded.isOk())
+            return loaded;
+        return model;
+    } catch (const std::exception& e) {
+        return Status::ioError(
+            std::string("fromCheckpoint: ") + e.what());
+    }
+}
+
+nn::CheckpointManifest
+ComparativePredictor::manifestFor(const EncoderConfig& cfg,
+                                  const std::string& name,
+                                  std::uint64_t version)
+{
+    nn::CheckpointManifest m;
+    m.modelName = name;
+    m.version = version;
+    m.encoderKind = static_cast<std::int32_t>(cfg.kind);
+    m.embedDim = cfg.embedDim;
+    m.hiddenDim = cfg.hiddenDim;
+    m.layers = cfg.layers;
+    m.arch = static_cast<std::int32_t>(cfg.arch);
+    return m;
+}
+
+EncoderConfig
+ComparativePredictor::configFromManifest(
+    const nn::CheckpointManifest& manifest)
+{
+    EncoderConfig cfg;
+    cfg.kind = static_cast<EncoderKind>(manifest.encoderKind);
+    cfg.embedDim = manifest.embedDim;
+    cfg.hiddenDim = manifest.hiddenDim;
+    cfg.layers = manifest.layers;
+    cfg.arch = static_cast<nn::TreeArch>(manifest.arch);
+    return cfg;
 }
 
 std::vector<nn::Parameter*>

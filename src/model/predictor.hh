@@ -17,6 +17,7 @@
 #include "base/result.hh"
 #include "model/encoder.hh"
 #include "nn/linear.hh"
+#include "nn/serialize.hh"
 
 namespace ccsa
 {
@@ -65,37 +66,41 @@ class ComparativePredictor : public nn::Module
                                const ag::Var& z_second) const;
 
     /**
-     * @return P(first is slower or equal) in [0,1]; values > 0.5 mean
-     * the second program is predicted to be the faster version.
-     *
-     * @deprecated Legacy one-pair-at-a-time shim: re-encodes both
-     * trees on every call. Prefer ccsa::Engine::compareMany / rank,
-     * which cache encodings and batch across pairs.
-     */
-    double probFirstSlower(const Ast& first, const Ast& second) const;
-
-    /**
-     * Convenience overload parsing and pruning raw source text.
-     * @deprecated Prefer ccsa::Engine::compareSources, which reports
-     * parse failures through Status instead of throwing.
-     */
-    double probFirstSlowerSource(const std::string& first,
-                                 const std::string& second) const;
-
-    /**
-     * Hard decision with the default 0.5 threshold (Eq. 1 label).
-     * @deprecated Prefer thresholding ccsa::Engine::compareMany.
-     */
-    int predictLabel(const Ast& first, const Ast& second) const;
-
-    /**
      * Persist / restore all weights. I/O and format problems come
      * back as an error Status (the legacy behaviour of throwing
      * FatalError is gone: a serving process must be able to survive
      * a bad model path).
+     *
+     * save() writes a self-describing v2 checkpoint: the manifest
+     * embeds this model's EncoderConfig plus a model name and a
+     * monotonically increasing version id (ModelRegistry::save
+     * supplies real ones; the single-arg overload stamps
+     * "model" / 1). load() accepts v1 and v2 files; when a manifest
+     * is present its embedded config must match this model's.
      */
     Status save(const std::string& path);
+    Status save(const std::string& path, const std::string& name,
+                std::uint64_t version);
     Status load(const std::string& path);
+
+    /**
+     * Reconstruct a predictor from a self-describing v2 checkpoint:
+     * the architecture comes from the embedded manifest, the weights
+     * from the payload. A v1 file (no manifest) is an
+     * InvalidArgument — the caller must build the model from a known
+     * EncoderConfig and load() into it instead.
+     */
+    static Result<std::shared_ptr<ComparativePredictor>>
+    fromCheckpoint(const std::string& path);
+
+    /** Manifest encoder words for this model's config (v2 save). */
+    static nn::CheckpointManifest
+    manifestFor(const EncoderConfig& cfg, const std::string& name,
+                std::uint64_t version);
+
+    /** Decode a manifest's encoder words back into a config. */
+    static EncoderConfig
+    configFromManifest(const nn::CheckpointManifest& manifest);
 
     const EncoderConfig& config() const { return cfg_; }
     CodeEncoder& encoder() { return *encoder_; }

@@ -1,6 +1,5 @@
 #include "nn/serialize.hh"
 
-#include <cstdint>
 #include <fstream>
 #include <map>
 
@@ -13,7 +12,8 @@ namespace
 {
 
 const char kMagic[4] = {'C', 'C', 'S', 'A'};
-const std::uint32_t kVersion = 1;
+const std::uint32_t kVersionLegacy = 1;
+const std::uint32_t kVersionManifest = 2;
 
 template <typename T>
 void
@@ -29,17 +29,62 @@ readRaw(std::ifstream& f, T& v)
     f.read(reinterpret_cast<char*>(&v), sizeof(T));
 }
 
-} // namespace
+void
+writeString(std::ofstream& f, const std::string& s)
+{
+    writeRaw(f, static_cast<std::uint32_t>(s.size()));
+    f.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::ifstream& f, const std::string& path)
+{
+    // Names are short; a length beyond this is file corruption, and
+    // honouring it would allocate gigabytes (std::bad_alloc escapes
+    // the FatalError-only recovery in the Status-returning loaders).
+    constexpr std::uint32_t kMaxStringLen = 1u << 20;
+    std::uint32_t len = 0;
+    readRaw(f, len);
+    if (!f || len > kMaxStringLen)
+        fatal("loadParameters: corrupt string length in ", path);
+    std::string s(len, '\0');
+    f.read(s.data(), len);
+    if (!f)
+        fatal("loadParameters: truncated file ", path);
+    return s;
+}
 
 void
-saveParameters(const std::string& path,
-               const std::vector<Parameter*>& params)
+writeManifest(std::ofstream& f, const CheckpointManifest& m)
 {
-    std::ofstream f(path, std::ios::binary);
+    writeString(f, m.modelName);
+    writeRaw(f, m.version);
+    writeRaw(f, m.encoderKind);
+    writeRaw(f, m.embedDim);
+    writeRaw(f, m.hiddenDim);
+    writeRaw(f, m.layers);
+    writeRaw(f, m.arch);
+}
+
+CheckpointManifest
+readManifest(std::ifstream& f, const std::string& path)
+{
+    CheckpointManifest m;
+    m.modelName = readString(f, path);
+    readRaw(f, m.version);
+    readRaw(f, m.encoderKind);
+    readRaw(f, m.embedDim);
+    readRaw(f, m.hiddenDim);
+    readRaw(f, m.layers);
+    readRaw(f, m.arch);
     if (!f)
-        fatal("saveParameters: cannot open ", path);
-    f.write(kMagic, 4);
-    writeRaw(f, kVersion);
+        fatal("loadParameters: truncated manifest in ", path);
+    return m;
+}
+
+void
+writeParams(std::ofstream& f, const std::vector<Parameter*>& params)
+{
     writeRaw(f, static_cast<std::uint32_t>(params.size()));
     for (const Parameter* p : params) {
         const Tensor& t = p->var.value();
@@ -51,6 +96,58 @@ saveParameters(const std::string& path,
         f.write(reinterpret_cast<const char*>(t.data()),
                 static_cast<std::streamsize>(t.size() * sizeof(float)));
     }
+}
+
+/** Read the magic + version header; fatal on a foreign file. */
+std::uint32_t
+readHeader(std::ifstream& f, const std::string& path)
+{
+    char magic[4];
+    f.read(magic, 4);
+    if (!f || std::string(magic, 4) != std::string(kMagic, 4))
+        fatal("loadParameters: bad magic in ", path);
+    std::uint32_t version = 0;
+    readRaw(f, version);
+    if (version != kVersionLegacy && version != kVersionManifest)
+        fatal("loadParameters: unsupported version ", version);
+    return version;
+}
+
+} // namespace
+
+void
+saveParameters(const std::string& path,
+               const std::vector<Parameter*>& params)
+{
+    saveParameters(path, params, CheckpointManifest());
+}
+
+void
+saveParameters(const std::string& path,
+               const std::vector<Parameter*>& params,
+               const CheckpointManifest& manifest)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        fatal("saveParameters: cannot open ", path);
+    f.write(kMagic, 4);
+    writeRaw(f, kVersionManifest);
+    writeManifest(f, manifest);
+    writeParams(f, params);
+    if (!f)
+        fatal("saveParameters: write error on ", path);
+}
+
+void
+saveParametersV1(const std::string& path,
+                 const std::vector<Parameter*>& params)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        fatal("saveParameters: cannot open ", path);
+    f.write(kMagic, 4);
+    writeRaw(f, kVersionLegacy);
+    writeParams(f, params);
     if (!f)
         fatal("saveParameters: write error on ", path);
 }
@@ -62,14 +159,9 @@ loadParameters(const std::string& path,
     std::ifstream f(path, std::ios::binary);
     if (!f)
         fatal("loadParameters: cannot open ", path);
-    char magic[4];
-    f.read(magic, 4);
-    if (!f || std::string(magic, 4) != std::string(kMagic, 4))
-        fatal("loadParameters: bad magic in ", path);
-    std::uint32_t version = 0, count = 0;
-    readRaw(f, version);
-    if (version != kVersion)
-        fatal("loadParameters: unsupported version ", version);
+    if (readHeader(f, path) == kVersionManifest)
+        readManifest(f, path); // weights load ignores the manifest
+    std::uint32_t count = 0;
     readRaw(f, count);
 
     struct Entry
@@ -80,13 +172,17 @@ loadParameters(const std::string& path,
     };
     std::map<std::string, Entry> entries;
     for (std::uint32_t i = 0; i < count; ++i) {
-        std::uint32_t len = 0;
-        readRaw(f, len);
-        std::string name(len, '\0');
-        f.read(name.data(), len);
+        std::string name = readString(f, path);
         std::int32_t rows = 0, cols = 0;
         readRaw(f, rows);
         readRaw(f, cols);
+        // Same corruption guard as readString: a negative or absurd
+        // shape must fail as FatalError, not as a giant allocation.
+        constexpr std::int32_t kMaxDim = 1 << 20;
+        if (!f || rows < 0 || cols < 0 || rows > kMaxDim ||
+            cols > kMaxDim)
+            fatal("loadParameters: corrupt shape for '", name,
+                  "' in ", path);
         Entry e;
         e.rows = rows;
         e.cols = cols;
@@ -118,6 +214,17 @@ loadParameters(const std::string& path,
         p->var.mutableValue() =
             Tensor::fromVector(e.data, e.rows, e.cols);
     }
+}
+
+std::optional<CheckpointManifest>
+readCheckpointManifest(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        fatal("readCheckpointManifest: cannot open ", path);
+    if (readHeader(f, path) == kVersionLegacy)
+        return std::nullopt;
+    return readManifest(f, path);
 }
 
 } // namespace nn

@@ -4,13 +4,24 @@
  * can be saved from one process and reloaded in another (the paper's
  * continuous-learning deployment needs persistent models).
  *
- * Format: magic "CCSA" + version + count, then per parameter:
- * name length, name bytes, rows, cols, row-major float32 payload.
+ * Format v2 — self-describing checkpoints: magic "CCSA" + version +
+ * a manifest (model name, monotonically increasing version id, the
+ * encoder configuration as five raw int32 words), then count and per
+ * parameter: name length, name bytes, rows, cols, row-major float32
+ * payload. A v2 file carries everything needed to reconstruct the
+ * model it was saved from; callers no longer have to know the
+ * EncoderConfig out of band (ModelRegistry leans on this).
+ *
+ * Format v1 (legacy) is the same without the manifest. v1 files
+ * still LOAD — loadParameters accepts both — but every save now
+ * writes v2.
  */
 
 #ifndef CCSA_NN_SERIALIZE_HH
 #define CCSA_NN_SERIALIZE_HH
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,16 +32,62 @@ namespace ccsa
 namespace nn
 {
 
-/** Write all parameters to a binary file. @throws FatalError on I/O. */
+/**
+ * The self-describing header of a v2 checkpoint. The encoder
+ * configuration is stored as raw int32 words so this layer stays
+ * independent of model/config.hh; ComparativePredictor converts
+ * to and from EncoderConfig.
+ */
+struct CheckpointManifest
+{
+    /** Model name the checkpoint was saved under. */
+    std::string modelName = "model";
+    /** Monotonically increasing per-name version id. */
+    std::uint64_t version = 1;
+    /** EncoderKind as an integer. */
+    std::int32_t encoderKind = 0;
+    std::int32_t embedDim = 0;
+    std::int32_t hiddenDim = 0;
+    std::int32_t layers = 0;
+    /** nn::TreeArch as an integer. */
+    std::int32_t arch = 0;
+};
+
+/**
+ * Write all parameters to a binary v2 file under a default manifest.
+ * @throws FatalError on I/O.
+ */
 void saveParameters(const std::string& path,
                     const std::vector<Parameter*>& params);
 
+/** Write a v2 file with an explicit manifest. @throws FatalError. */
+void saveParameters(const std::string& path,
+                    const std::vector<Parameter*>& params,
+                    const CheckpointManifest& manifest);
+
 /**
- * Load parameters by name; every parameter must be present in the file
- * with matching shape. @throws FatalError on mismatch or I/O error.
+ * Write the LEGACY v1 layout (no manifest). Kept so the v1
+ * backward-compatibility contract stays testable; new code always
+ * writes v2. @throws FatalError on I/O.
+ */
+void saveParametersV1(const std::string& path,
+                      const std::vector<Parameter*>& params);
+
+/**
+ * Load parameters by name from a v1 or v2 file; every parameter must
+ * be present with matching shape. @throws FatalError on mismatch or
+ * I/O error.
  */
 void loadParameters(const std::string& path,
                     const std::vector<Parameter*>& params);
+
+/**
+ * Read just the manifest of a checkpoint.
+ * @return the manifest of a v2 file, or nullopt for a v1 file (which
+ * has none). @throws FatalError on I/O error or corruption.
+ */
+std::optional<CheckpointManifest>
+readCheckpointManifest(const std::string& path);
 
 } // namespace nn
 } // namespace ccsa

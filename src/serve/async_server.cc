@@ -41,6 +41,24 @@ AsyncServer::AsyncServer(Engine::Options engineOpts, Options opts)
         start();
 }
 
+AsyncServer::AsyncServer(std::shared_ptr<ModelRegistry> registry)
+    : AsyncServer(std::move(registry), Options())
+{
+}
+
+AsyncServer::AsyncServer(std::shared_ptr<ModelRegistry> registry,
+                         Options opts)
+    : owned_(std::make_unique<Engine>(std::move(registry))),
+      engine_(owned_.get()), opts_(opts), queue_(opts.queueCapacity)
+{
+    if (opts_.maxBatchSize == 0)
+        opts_.maxBatchSize = 1;
+    if (opts_.maxBatchDelay.count() < 0)
+        opts_.maxBatchDelay = std::chrono::microseconds(0);
+    if (!opts_.startPaused)
+        start();
+}
+
 AsyncServer::~AsyncServer()
 {
     shutdown();
@@ -81,6 +99,7 @@ AsyncServer::isShutdown() const
 
 bool
 AsyncServer::submitCore(
+    const std::string& model,
     std::vector<Engine::PairRequest> pairs,
     std::function<void(Result<std::vector<double>>)> complete,
     bool blocking)
@@ -102,8 +121,20 @@ AsyncServer::submitCore(
         return true;
     }
 
+    // Resolve the model AT ADMISSION: the request pins this version
+    // snapshot for its whole life, so a registry hot-swap between
+    // now and execution cannot change what it is answered with.
+    Result<std::shared_ptr<const ModelVersion>> version =
+        engine_->resolveModel(model);
+    if (!version.isOk()) {
+        complete(version.status());
+        noteFailed();
+        return true;
+    }
+
     Request request;
     request.pairs = std::move(pairs);
+    request.version = version.take();
     request.complete = std::move(complete);
     request.enqueued = std::chrono::steady_clock::now();
 
@@ -138,10 +169,17 @@ AsyncServer::submitCore(
 std::future<Result<double>>
 AsyncServer::submitCompare(const Ast& first, const Ast& second)
 {
+    return submitCompare(std::string(), first, second);
+}
+
+std::future<Result<double>>
+AsyncServer::submitCompare(const std::string& model,
+                           const Ast& first, const Ast& second)
+{
     auto promise =
         std::make_shared<std::promise<Result<double>>>();
     std::future<Result<double>> future = promise->get_future();
-    submitCore({Engine::PairRequest{&first, &second}},
+    submitCore(model, {Engine::PairRequest{&first, &second}},
                [promise](Result<std::vector<double>> r) {
                    if (r.isOk())
                        promise->set_value(r.value()[0]);
@@ -156,11 +194,19 @@ std::future<Result<std::vector<double>>>
 AsyncServer::submitCompareMany(
     std::vector<Engine::PairRequest> pairs)
 {
+    return submitCompareMany(std::string(), std::move(pairs));
+}
+
+std::future<Result<std::vector<double>>>
+AsyncServer::submitCompareMany(
+    const std::string& model,
+    std::vector<Engine::PairRequest> pairs)
+{
     auto promise = std::make_shared<
         std::promise<Result<std::vector<double>>>>();
     std::future<Result<std::vector<double>>> future =
         promise->get_future();
-    submitCore(std::move(pairs),
+    submitCore(model, std::move(pairs),
                [promise](Result<std::vector<double>> r) {
                    promise->set_value(std::move(r));
                },
@@ -170,6 +216,13 @@ AsyncServer::submitCompareMany(
 
 std::future<Result<std::vector<Engine::RankedCandidate>>>
 AsyncServer::submitRank(std::vector<const Ast*> candidates)
+{
+    return submitRank(std::string(), std::move(candidates));
+}
+
+std::future<Result<std::vector<Engine::RankedCandidate>>>
+AsyncServer::submitRank(const std::string& model,
+                        std::vector<const Ast*> candidates)
 {
     auto promise = std::make_shared<
         std::promise<Result<std::vector<Engine::RankedCandidate>>>>();
@@ -182,7 +235,7 @@ AsyncServer::submitRank(std::vector<const Ast*> candidates)
         return future;
     }
     std::size_t n = candidates.size();
-    submitCore(Engine::tournamentPairs(candidates),
+    submitCore(model, Engine::tournamentPairs(candidates),
                [promise, n](Result<std::vector<double>> r) {
                    if (r.isOk())
                        promise->set_value(Engine::aggregateTournament(
@@ -197,11 +250,18 @@ AsyncServer::submitRank(std::vector<const Ast*> candidates)
 std::optional<std::future<Result<double>>>
 AsyncServer::trySubmitCompare(const Ast& first, const Ast& second)
 {
+    return trySubmitCompare(std::string(), first, second);
+}
+
+std::optional<std::future<Result<double>>>
+AsyncServer::trySubmitCompare(const std::string& model,
+                              const Ast& first, const Ast& second)
+{
     auto promise =
         std::make_shared<std::promise<Result<double>>>();
     std::future<Result<double>> future = promise->get_future();
     bool accepted =
-        submitCore({Engine::PairRequest{&first, &second}},
+        submitCore(model, {Engine::PairRequest{&first, &second}},
                    [promise](Result<std::vector<double>> r) {
                        if (r.isOk())
                            promise->set_value(r.value()[0]);
@@ -218,12 +278,20 @@ std::optional<std::future<Result<std::vector<double>>>>
 AsyncServer::trySubmitCompareMany(
     std::vector<Engine::PairRequest> pairs)
 {
+    return trySubmitCompareMany(std::string(), std::move(pairs));
+}
+
+std::optional<std::future<Result<std::vector<double>>>>
+AsyncServer::trySubmitCompareMany(
+    const std::string& model,
+    std::vector<Engine::PairRequest> pairs)
+{
     auto promise = std::make_shared<
         std::promise<Result<std::vector<double>>>>();
     std::future<Result<std::vector<double>>> future =
         promise->get_future();
     bool accepted =
-        submitCore(std::move(pairs),
+        submitCore(model, std::move(pairs),
                    [promise](Result<std::vector<double>> r) {
                        promise->set_value(std::move(r));
                    },
@@ -245,23 +313,31 @@ AsyncServer::batcherLoop()
         if (!batch)
             return;
 
-        // One Engine call for the whole coalesced batch: encodings
-        // dedup across every member request.
-        Result<std::vector<double>> probs =
-            engine_->compareMany(batch->flattenPairs());
+        // One Engine call per model version in the batch: encodings
+        // dedup across every member request OF THAT VERSION (the
+        // cache namespaces keep versions apart). A failing model
+        // fails only its own members.
+        ModelBatches grouped = groupBatchByModel(*batch);
+        std::vector<Result<std::vector<double>>> results;
+        results.reserve(grouped.groups.size());
+        for (const ModelBatches::Group& g : grouped.groups)
+            results.push_back(
+                engine_->compareMany(*g.version, g.pairs));
         recordBatch(batch->pairCount);
 
-        // Fan results (or the batch-level failure) back out to each
+        // Fan results (or each group's failure) back out to each
         // member's promise, in submission order. Counters update
         // BEFORE the promise resolves so a caller that returns from
         // future.get() never observes stats lagging its request.
         auto completedAt = std::chrono::steady_clock::now();
-        std::size_t offset = 0;
-        for (Request& r : batch->requests) {
+        for (std::size_t i = 0; i < batch->requests.size(); ++i) {
+            Request& r = batch->requests[i];
+            const Result<std::vector<double>>& probs =
+                results[grouped.groupOf[i]];
             recordOutcome(r, probs.isOk(), completedAt);
             if (probs.isOk()) {
                 auto begin = probs.value().begin() +
-                    static_cast<std::ptrdiff_t>(offset);
+                    static_cast<std::ptrdiff_t>(grouped.offsetOf[i]);
                 r.complete(std::vector<double>(
                     begin,
                     begin + static_cast<std::ptrdiff_t>(
@@ -269,7 +345,6 @@ AsyncServer::batcherLoop()
             } else {
                 r.complete(probs.status());
             }
-            offset += r.pairs.size();
         }
     }
 }
@@ -323,6 +398,7 @@ AsyncServer::stats() const
     }
     fillLatencyPercentiles(out);
     out.engine = engine_->stats();
+    out.models = engine_->perModelCacheStats();
     return out;
 }
 

@@ -30,8 +30,19 @@
  * shutdown() closes the queue, drains every accepted request, joins
  * the batcher, and is idempotent; the destructor calls it.
  *
+ * Multi-model serving: every submit endpoint has an overload taking
+ * a model NAME, resolved through the wrapped Engine AT ADMISSION
+ * time to an immutable ModelVersion snapshot — so a request admitted
+ * before a registry hot-swap completes on the version it was
+ * admitted under, and an unknown name fails only its own future.
+ * The batcher still coalesces everything in flight into one tick,
+ * then executes one Engine call per (model version, pairs) group
+ * (serve/coalesce.hh groupBatchByModel); per-pair results are
+ * independent of batch composition, so the determinism contract
+ * holds per model.
+ *
  * This queue/batcher seam is where the ROADMAP's sharded and
- * multi-process serving will plug in: shards become multiple batcher
+ * multi-process serving plug in: shards become multiple batcher
  * consumers of the same RequestQueue.
  */
 
@@ -113,6 +124,11 @@ class AsyncServer
     explicit AsyncServer(Engine::Options engineOpts);
     AsyncServer(Engine::Options engineOpts, Options opts);
 
+    /** Construct and own a registry-backed Engine (multi-model
+     * serving: submit with model names, hot-swap via the registry). */
+    explicit AsyncServer(std::shared_ptr<ModelRegistry> registry);
+    AsyncServer(std::shared_ptr<ModelRegistry> registry, Options opts);
+
     /** Equivalent to shutdown(). */
     ~AsyncServer();
 
@@ -122,9 +138,14 @@ class AsyncServer
     /**
      * Submit one comparison; resolves to P(first slower-or-equal),
      * exactly as Engine::compare. Blocks while the queue is full.
+     * The model-name overloads serve a named registry model (the
+     * unnamed forms serve the default model).
      */
     std::future<Result<double>> submitCompare(const Ast& first,
                                               const Ast& second);
+    std::future<Result<double>> submitCompare(
+        const std::string& model, const Ast& first,
+        const Ast& second);
 
     /**
      * Submit a pair batch; resolves to one probability per pair in
@@ -133,6 +154,9 @@ class AsyncServer
      */
     std::future<Result<std::vector<double>>>
     submitCompareMany(std::vector<Engine::PairRequest> pairs);
+    std::future<Result<std::vector<double>>>
+    submitCompareMany(const std::string& model,
+                      std::vector<Engine::PairRequest> pairs);
 
     /**
      * Submit a ranking tournament; resolves to the same best-first
@@ -141,6 +165,9 @@ class AsyncServer
      */
     std::future<Result<std::vector<Engine::RankedCandidate>>>
     submitRank(std::vector<const Ast*> candidates);
+    std::future<Result<std::vector<Engine::RankedCandidate>>>
+    submitRank(const std::string& model,
+               std::vector<const Ast*> candidates);
 
     /**
      * Non-blocking submitCompare: @return nullopt when the queue is
@@ -151,10 +178,16 @@ class AsyncServer
      */
     std::optional<std::future<Result<double>>>
     trySubmitCompare(const Ast& first, const Ast& second);
+    std::optional<std::future<Result<double>>>
+    trySubmitCompare(const std::string& model, const Ast& first,
+                     const Ast& second);
 
     /** Non-blocking submitCompareMany; same contract. */
     std::optional<std::future<Result<std::vector<double>>>>
     trySubmitCompareMany(std::vector<Engine::PairRequest> pairs);
+    std::optional<std::future<Result<std::vector<double>>>>
+    trySubmitCompareMany(const std::string& model,
+                         std::vector<Engine::PairRequest> pairs);
 
     /** Start the batcher if construction was startPaused. No-op when
      * already running or shut down. */
@@ -180,24 +213,28 @@ class AsyncServer
     const Engine& engine() const { return *engine_; }
 
   private:
-    /** One queued unit of work: pairs to score plus a type-erased
-     * completion that converts the probability slice into the
-     * endpoint's result type and fulfils the caller's promise. */
+    /** One queued unit of work: pairs to score, the ModelVersion
+     * snapshot resolved at admission, plus a type-erased completion
+     * that converts the probability slice into the endpoint's result
+     * type and fulfils the caller's promise. */
     struct Request
     {
         std::vector<Engine::PairRequest> pairs;
+        std::shared_ptr<const ModelVersion> version;
         std::function<void(Result<std::vector<double>>)> complete;
         std::chrono::steady_clock::time_point enqueued;
     };
 
     /**
-     * Validate + enqueue a request. Invalid requests and
-     * closed-queue rejections are answered through `complete`
-     * immediately (on the calling thread).
+     * Validate + resolve the model + enqueue a request. Invalid
+     * requests (including unknown model names) and closed-queue
+     * rejections are answered through `complete` immediately (on the
+     * calling thread).
      * @return false only for a non-blocking attempt that found the
      * queue full — the one case where no future should be handed out.
      */
     bool submitCore(
+        const std::string& model,
         std::vector<Engine::PairRequest> pairs,
         std::function<void(Result<std::vector<double>>)> complete,
         bool blocking);

@@ -9,8 +9,18 @@
  * counts against the budget), and once the budget is spent still
  * sweep up anything already queued — free coalescing under backlog.
  *
+ * Since the ModelRegistry refactor a request also pins the
+ * ModelVersion it resolved at ADMISSION time, so one coalesced batch
+ * can span models. groupBatchByModel() is the second shared piece:
+ * it partitions a batch into per-version groups — one
+ * Engine::compareMany(version, pairs) call each — while remembering
+ * where every member request's slice lives, so the executors fan
+ * results back per request and a failing model fails only its own
+ * requests.
+ *
  * Request is any type with `.pairs` (a vector of Engine pair
- * requests) and `.enqueued` (a steady_clock time_point).
+ * requests), `.version` (a shared_ptr<const ModelVersion> resolved
+ * at admission) and `.enqueued` (a steady_clock time_point).
  */
 
 #ifndef CCSA_SERVE_COALESCE_HH
@@ -18,7 +28,10 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "base/bounded_queue.hh"
@@ -47,6 +60,57 @@ struct CoalescedBatch
         return all;
     }
 };
+
+/** A coalesced batch partitioned into per-model-version groups. */
+struct ModelBatches
+{
+    struct Group
+    {
+        /** The admission-time snapshot every member resolved. */
+        std::shared_ptr<const ModelVersion> version;
+        /** Members' pairs flattened in submission order — one
+         * Engine::compareMany(*version, pairs) call. */
+        std::vector<Engine::PairRequest> pairs;
+    };
+
+    /** Groups in first-appearance order (deterministic). */
+    std::vector<Group> groups;
+    /** Per batch request: which group holds its pairs... */
+    std::vector<std::size_t> groupOf;
+    /** ...and at which offset within that group's pairs. */
+    std::vector<std::size_t> offsetOf;
+};
+
+/**
+ * Partition a coalesced batch by the ModelVersion each request
+ * pinned at admission (grouping on the version's namespace id, so
+ * two versions of one NAME stay separate across a hot swap).
+ */
+template <typename Request>
+ModelBatches
+groupBatchByModel(const CoalescedBatch<Request>& batch)
+{
+    ModelBatches out;
+    out.groupOf.resize(batch.requests.size());
+    out.offsetOf.resize(batch.requests.size());
+    std::unordered_map<std::uint64_t, std::size_t> groupIndex;
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+        const Request& r = batch.requests[i];
+        std::uint64_t id = r.version ? r.version->id : 0;
+        auto [it, inserted] =
+            groupIndex.emplace(id, out.groups.size());
+        if (inserted) {
+            out.groups.emplace_back();
+            out.groups.back().version = r.version;
+        }
+        ModelBatches::Group& g = out.groups[it->second];
+        out.groupOf[i] = it->second;
+        out.offsetOf[i] = g.pairs.size();
+        g.pairs.insert(g.pairs.end(), r.pairs.begin(),
+                       r.pairs.end());
+    }
+    return out;
+}
 
 /**
  * Block for the next batch of work.

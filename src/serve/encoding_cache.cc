@@ -1,5 +1,8 @@
 #include "serve/encoding_cache.hh"
 
+#include <algorithm>
+#include <atomic>
+
 #include "base/logging.hh"
 
 namespace ccsa
@@ -41,6 +44,15 @@ digestAst(const Ast& ast)
     return d;
 }
 
+std::uint64_t
+allocateModelNamespace()
+{
+    // 0 is never handed out: it stays the "no model" sentinel a
+    // default-constructed EncodingKey carries.
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1);
+}
+
 EncodingCache::EncodingCache(std::size_t capacity)
     : capacity_(capacity)
 {
@@ -49,20 +61,22 @@ EncodingCache::EncodingCache(std::size_t capacity)
 }
 
 const Tensor*
-EncodingCache::lookup(const AstDigest& key)
+EncodingCache::lookup(const EncodingKey& key)
 {
     auto it = entries_.find(key);
     if (it == entries_.end()) {
         ++stats_.misses;
+        ++perNamespace_[key.modelVersion].misses;
         return nullptr;
     }
     ++stats_.hits;
+    ++perNamespace_[key.modelVersion].hits;
     order_.splice(order_.begin(), order_, it->second);
     return &it->second->latent;
 }
 
 void
-EncodingCache::insert(const AstDigest& key, Tensor latent)
+EncodingCache::insert(const EncodingKey& key, Tensor latent)
 {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
@@ -72,10 +86,32 @@ EncodingCache::insert(const AstDigest& key, Tensor latent)
     }
     order_.push_front(Entry{key, std::move(latent)});
     entries_.emplace(key, order_.begin());
+    ++perNamespace_[key.modelVersion].residents;
     while (entries_.size() > capacity_) {
-        entries_.erase(order_.back().key);
+        const EncodingKey& victim = order_.back().key;
+        NamespaceStats& ns = perNamespace_[victim.modelVersion];
+        ++ns.evictions;
+        --ns.residents;
+        entries_.erase(victim);
         order_.pop_back();
         ++stats_.evictions;
+    }
+
+    // Bound the per-namespace counter map: continuous hot-swap mints
+    // a fresh namespace per publish, and retired versions' rows would
+    // otherwise accumulate forever. Once the map far exceeds anything
+    // the resident set can reference, drop fully-evicted namespaces —
+    // their counters are only lost long after the version retired.
+    if (perNamespace_.size() >
+        std::max<std::size_t>(64, 4 * capacity_)) {
+        for (auto it = perNamespace_.begin();
+             it != perNamespace_.end();) {
+            if (it->second.residents == 0 &&
+                !(it->first == key.modelVersion))
+                it = perNamespace_.erase(it);
+            else
+                ++it;
+        }
     }
 }
 
@@ -84,11 +120,43 @@ EncodingCache::clear()
 {
     entries_.clear();
     order_.clear();
+    for (auto& [ns, stats] : perNamespace_)
+        stats.residents = 0;
+}
+
+void
+EncodingCache::clearNamespace(std::uint64_t modelVersion)
+{
+    for (auto it = order_.begin(); it != order_.end();) {
+        if (it->key.modelVersion == modelVersion) {
+            entries_.erase(it->key);
+            it = order_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    perNamespace_[modelVersion].residents = 0;
+}
+
+EncodingCache::NamespaceStats
+EncodingCache::namespaceStats(std::uint64_t modelVersion) const
+{
+    auto it = perNamespace_.find(modelVersion);
+    return it == perNamespace_.end() ? NamespaceStats() : it->second;
 }
 
 ShardedEncodingCache::ShardedEncodingCache(
     std::size_t numShards, std::size_t capacityPerShard)
-    : capacityPerShard_(capacityPerShard)
+    : ShardedEncodingCache(numShards, capacityPerShard,
+                           /*namespaceAware=*/false)
+{
+}
+
+ShardedEncodingCache::ShardedEncodingCache(
+    std::size_t numShards, std::size_t capacityPerShard,
+    bool namespaceAware)
+    : capacityPerShard_(capacityPerShard),
+      namespaceAware_(namespaceAware)
 {
     if (numShards == 0)
         fatal("ShardedEncodingCache: numShards must be >= 1");
@@ -97,8 +165,48 @@ ShardedEncodingCache::ShardedEncodingCache(
         shards_.push_back(std::make_unique<Shard>(capacityPerShard));
 }
 
+std::shared_ptr<ShardedEncodingCache>
+ShardedEncodingCache::makeShared(std::size_t numShards,
+                                 std::size_t capacityPerShard)
+{
+    return std::shared_ptr<ShardedEncodingCache>(
+        new ShardedEncodingCache(numShards, capacityPerShard,
+                                 /*namespaceAware=*/true));
+}
+
+std::uint64_t
+ShardedEncodingCache::namespaceFor(
+    const std::shared_ptr<const void>& owner)
+{
+    if (!namespaceAware_)
+        fatal("ShardedEncodingCache: namespaceFor on a cache not "
+              "built via makeShared()");
+    if (!owner)
+        fatal("ShardedEncodingCache: namespaceFor(nullptr)");
+    std::lock_guard<std::mutex> lock(namespaceMutex_);
+    // Reclaim memo rows whose model died: under continuous hot-swap
+    // (a fresh model object per publish) the memo would otherwise
+    // grow by one entry per retired version forever.
+    for (auto it = namespaces_.begin(); it != namespaces_.end();) {
+        if (it->second.owner.expired())
+            it = namespaces_.erase(it);
+        else
+            ++it;
+    }
+    NamespaceEntry& entry = namespaces_[owner.get()];
+    // A dead weak_ptr means the address was recycled by a NEW model:
+    // mint a fresh id so the newcomer can never read the old
+    // tenant's latents. (The sweep above already dropped such rows,
+    // but a zero id covers the freshly-inserted case too.)
+    if (entry.id == 0 || entry.owner.expired()) {
+        entry.owner = owner;
+        entry.id = allocateModelNamespace();
+    }
+    return entry.id;
+}
+
 bool
-ShardedEncodingCache::lookup(const AstDigest& key, Tensor* out)
+ShardedEncodingCache::lookup(const EncodingKey& key, Tensor* out)
 {
     Shard& shard = *shards_[shardOf(key)];
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -110,7 +218,7 @@ ShardedEncodingCache::lookup(const AstDigest& key, Tensor* out)
 }
 
 void
-ShardedEncodingCache::insert(const AstDigest& key, Tensor latent)
+ShardedEncodingCache::insert(const EncodingKey& key, Tensor latent)
 {
     Shard& shard = *shards_[shardOf(key)];
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -123,6 +231,15 @@ ShardedEncodingCache::clear()
     for (auto& shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
         shard->cache.clear();
+    }
+}
+
+void
+ShardedEncodingCache::clearNamespace(std::uint64_t modelVersion)
+{
+    for (auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->cache.clearNamespace(modelVersion);
     }
 }
 
@@ -167,6 +284,22 @@ ShardedEncodingCache::shardStats(std::size_t shard) const
         fatal("ShardedEncodingCache: shard index out of range");
     std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
     return shards_[shard]->cache.stats();
+}
+
+EncodingCache::NamespaceStats
+ShardedEncodingCache::namespaceStats(std::uint64_t modelVersion) const
+{
+    EncodingCache::NamespaceStats total;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        EncodingCache::NamespaceStats s =
+            shard->cache.namespaceStats(modelVersion);
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.evictions += s.evictions;
+        total.residents += s.residents;
+    }
+    return total;
 }
 
 } // namespace ccsa

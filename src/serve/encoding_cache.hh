@@ -1,15 +1,20 @@
 /**
  * @file
- * LRU cache of encoded latents keyed by AST content. The encoders
- * consume only the node-kind sequence and the tree shape, so two
- * structurally identical trees — however they were parsed or where
- * they live in memory — share one cache entry. Serving workloads are
- * dominated by repeated candidates (ranking tournaments, regression
- * watch over commit history), which is exactly what an LRU rewards.
+ * LRU cache of encoded latents keyed by (model version, AST content).
+ * The encoders consume only the node-kind sequence and the tree
+ * shape, so two structurally identical trees — however they were
+ * parsed or where they live in memory — share one cache entry PER
+ * MODEL VERSION. Serving workloads are dominated by repeated
+ * candidates (ranking tournaments, regression watch over commit
+ * history), which is exactly what an LRU rewards.
  *
- * Keys are 128-bit structural digests (two independent FNV-1a streams
- * over the kind/parent arrays); a collision needs ~2^64 distinct
- * trees, far beyond any corpus this system serves.
+ * Keys pair a model-version namespace id with a 128-bit structural
+ * digest (two independent FNV-1a streams over the kind/parent
+ * arrays); a digest collision needs ~2^64 distinct trees, far beyond
+ * any corpus this system serves. The namespace id is what lets many
+ * model versions share one cache without ever serving each other's
+ * latents: a hot-swapped version gets a fresh namespace and the old
+ * version's entries simply age out of the LRU.
  */
 
 #ifndef CCSA_SERVE_ENCODING_CACHE_HH
@@ -57,18 +62,59 @@ struct AstDigestHash
 };
 
 /**
- * Least-recently-used map from AST digest to encoded latent (a
+ * Full cache key: which model version encoded the latent, and the
+ * structural digest of the tree it encodes. Two models (or two
+ * versions of one model) sharing a cache can never cross-read: their
+ * namespace ids differ, so their keys differ even for the same tree.
+ */
+struct EncodingKey
+{
+    /** Model-version namespace (ModelVersion::id). */
+    std::uint64_t modelVersion = 0;
+    AstDigest digest;
+
+    bool
+    operator==(const EncodingKey& other) const
+    {
+        return modelVersion == other.modelVersion &&
+            digest == other.digest;
+    }
+};
+
+/** Hash functor so EncodingKey can key unordered containers. */
+struct EncodingKeyHash
+{
+    std::size_t
+    operator()(const EncodingKey& k) const
+    {
+        return AstDigestHash()(k.digest) ^
+            static_cast<std::size_t>(
+                k.modelVersion * 0x9E3779B97F4A7C15ULL);
+    }
+};
+
+/**
+ * @return a fresh process-unique model-version namespace id
+ * (monotonically increasing, never reused, never 0). Every
+ * ModelVersion — registry-published or wrapped by an Engine — draws
+ * from this one counter, so namespaces can never collide no matter
+ * which caches and registries end up sharing a process.
+ */
+std::uint64_t allocateModelNamespace();
+
+/**
+ * Least-recently-used map from EncodingKey to encoded latent (a
  * 1 x d row vector). Not internally synchronised: callers go through
  * ShardedEncodingCache, which wraps each partition in its own mutex.
  * Lookup and insert are NOT one atomic unit there — two engines can
- * miss on the same digest and both encode it, a benign duplicate
- * since encoding is deterministic and the last insert wins with an
+ * miss on the same key and both encode it, a benign duplicate since
+ * encoding is deterministic and the last insert wins with an
  * identical latent.
  */
 class EncodingCache
 {
   public:
-    /** Running hit/miss/eviction counters. */
+    /** Running hit/miss/eviction counters (all namespaces). */
     struct Stats
     {
         std::uint64_t hits = 0;
@@ -76,64 +122,98 @@ class EncodingCache
         std::uint64_t evictions = 0;
     };
 
+    /** Per-model-version counters, plus that version's resident
+     * entry count (evictions are attributed to the namespace of the
+     * evicted entry, so per-namespace rows partition the global
+     * counters exactly). Rows for long-retired, fully-evicted
+     * namespaces are garbage-collected once the map far outgrows the
+     * cache capacity, so continuous hot-swap cannot grow it without
+     * bound. */
+    struct NamespaceStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t residents = 0;
+    };
+
     /** @param capacity maximum resident entries (>= 1). */
     explicit EncodingCache(std::size_t capacity);
 
     /**
-     * Look up a digest, refreshing its recency on a hit.
+     * Look up a key, refreshing its recency on a hit.
      * @return pointer to the cached latent, or nullptr on a miss.
      * The pointer stays valid until the entry is evicted or the
      * cache is cleared.
      */
-    const Tensor* lookup(const AstDigest& key);
+    const Tensor* lookup(const EncodingKey& key);
 
     /**
      * Insert (or overwrite) an entry, evicting the least recently
-     * used entries when over capacity.
+     * used entries when over capacity. Eviction is capacity-global:
+     * a hot namespace can push a cold one's entries out, which is
+     * the intended behaviour for retired model versions.
      */
-    void insert(const AstDigest& key, Tensor latent);
+    void insert(const EncodingKey& key, Tensor latent);
 
     /** Drop every entry (counters are preserved). */
     void clear();
+
+    /** Drop one namespace's entries (counters preserved). */
+    void clearNamespace(std::uint64_t modelVersion);
 
     std::size_t size() const { return entries_.size(); }
     std::size_t capacity() const { return capacity_; }
     const Stats& stats() const { return stats_; }
 
+    /** One namespace's counters (zeros for an unseen namespace). */
+    NamespaceStats namespaceStats(std::uint64_t modelVersion) const;
+
   private:
     struct Entry
     {
-        AstDigest key;
+        EncodingKey key;
         Tensor latent;
     };
 
     /** Front = most recently used. */
     std::list<Entry> order_;
-    std::unordered_map<AstDigest, std::list<Entry>::iterator,
-                       AstDigestHash> entries_;
+    std::unordered_map<EncodingKey, std::list<Entry>::iterator,
+                       EncodingKeyHash> entries_;
     std::size_t capacity_;
     Stats stats_;
+    std::unordered_map<std::uint64_t, NamespaceStats> perNamespace_;
 };
 
 /**
  * A partitioned, independently-locked view over N EncodingCaches —
- * the shared cache under sharded serving. Every digest is owned by
- * exactly one partition (`shardOf(digest) == digest % numShards` on
- * the digest's low word), so a tree's latent lives on exactly one
- * shard no matter which worker encodes it, per-shard hit/miss/
- * eviction counters partition the unsharded counters exactly, and
- * eviction pressure in one shard can never invalidate an entry held
- * by another. Each partition has its own mutex: concurrent workers
- * touching different shards never contend.
+ * the shared cache under sharded and multi-model serving. Every key
+ * is owned by exactly one partition (`shardOf(digest) ==
+ * digest % numShards` on the digest's low word — routing ignores the
+ * namespace, so every version of a tree lives on the same shard),
+ * per-shard hit/miss/eviction counters partition the unsharded
+ * counters exactly, and eviction pressure in one shard can never
+ * invalidate an entry held by another. Each partition has its own
+ * mutex: concurrent workers touching different shards never contend.
  *
  * With numShards == 1 this is behaviourally identical to a single
  * mutex-guarded EncodingCache — the Engine always goes through this
  * class so the sharded and unsharded code paths cannot drift.
+ *
+ * Namespace-aware mode: a cache built through makeShared() is meant
+ * to be SHARED between engines (sharded serving, model registries)
+ * and can mint a namespace per distinct model object via
+ * namespaceFor(). Engines refuse to attach to an external cache that
+ * was NOT built this way — before namespaced keys existed, two
+ * models sharing a digest-keyed cache silently served each other's
+ * latents, and the construction-time FatalError is what keeps that
+ * hazard structurally impossible now.
  */
 class ShardedEncodingCache
 {
   public:
     /**
+     * A private (single-tenant) partitioned cache.
      * @param numShards partition count (>= 1).
      * @param capacityPerShard LRU capacity of EACH partition (>= 1);
      * aggregate capacity is numShards * capacityPerShard, which is
@@ -146,6 +226,27 @@ class ShardedEncodingCache
     ShardedEncodingCache(const ShardedEncodingCache&) = delete;
     ShardedEncodingCache& operator=(const ShardedEncodingCache&) =
         delete;
+
+    /**
+     * Build a namespace-aware cache for sharing between engines —
+     * the only flavour Engine accepts as an external cache.
+     */
+    static std::shared_ptr<ShardedEncodingCache>
+    makeShared(std::size_t numShards, std::size_t capacityPerShard);
+
+    /** @return true when built via makeShared(). */
+    bool namespaceAware() const { return namespaceAware_; }
+
+    /**
+     * Mint (or recall) the namespace id for a model object: the same
+     * live object always maps to the same id, so N engines serving
+     * one predictor share latents, while distinct models get
+     * distinct namespaces and can never cross-read. Ids are drawn
+     * from allocateModelNamespace() and never reused — a model freed
+     * and reallocated at the same address gets a fresh namespace.
+     * FatalError unless namespaceAware().
+     */
+    std::uint64_t namespaceFor(const std::shared_ptr<const void>& owner);
 
     /** @return the partition that owns a digest under n shards. */
     static std::size_t
@@ -161,21 +262,32 @@ class ShardedEncodingCache
         return shardOf(key, shards_.size());
     }
 
+    /** @return the partition that owns a key (digest routing). */
+    std::size_t
+    shardOf(const EncodingKey& key) const
+    {
+        return shardOf(key.digest, shards_.size());
+    }
+
     /**
-     * Look up a digest on its owning partition, refreshing recency
-     * on a hit. The latent is copied out under the partition lock so
-     * the caller never holds a pointer into a concurrently evicting
+     * Look up a key on its owning partition, refreshing recency on a
+     * hit. The latent is copied out under the partition lock so the
+     * caller never holds a pointer into a concurrently evicting
      * cache.
      * @return true and fill *out on a hit; false on a miss.
      */
-    bool lookup(const AstDigest& key, Tensor* out);
+    bool lookup(const EncodingKey& key, Tensor* out);
 
     /** Insert (or overwrite) on the owning partition, evicting that
      * partition's LRU entries when it is over capacity. */
-    void insert(const AstDigest& key, Tensor latent);
+    void insert(const EncodingKey& key, Tensor latent);
 
     /** Drop every entry in every partition (counters preserved). */
     void clear();
+
+    /** Drop one namespace's entries everywhere (counters
+     * preserved) — e.g. after mutating a model's weights in place. */
+    void clearNamespace(std::uint64_t modelVersion);
 
     /** @return total resident entries across all partitions. */
     std::size_t size() const;
@@ -191,6 +303,11 @@ class ShardedEncodingCache
     /** @return one partition's counters. */
     EncodingCache::Stats shardStats(std::size_t shard) const;
 
+    /** @return one namespace's counters summed across partitions —
+     * the per-model rows surfaced through ServerStats. */
+    EncodingCache::NamespaceStats
+    namespaceStats(std::uint64_t modelVersion) const;
+
     std::size_t numShards() const { return shards_.size(); }
     std::size_t capacityPerShard() const { return capacityPerShard_; }
 
@@ -203,8 +320,22 @@ class ShardedEncodingCache
         explicit Shard(std::size_t capacity) : cache(capacity) {}
     };
 
+    ShardedEncodingCache(std::size_t numShards,
+                         std::size_t capacityPerShard,
+                         bool namespaceAware);
+
     std::vector<std::unique_ptr<Shard>> shards_;
     std::size_t capacityPerShard_;
+    bool namespaceAware_ = false;
+
+    /** Guards the model-object -> namespace-id memo below. */
+    std::mutex namespaceMutex_;
+    struct NamespaceEntry
+    {
+        std::weak_ptr<const void> owner;
+        std::uint64_t id = 0;
+    };
+    std::unordered_map<const void*, NamespaceEntry> namespaces_;
 };
 
 } // namespace ccsa

@@ -19,17 +19,27 @@ logitToProb(float logit)
     return 1.0 / (1.0 + std::exp(-logit));
 }
 
+/** Wrap a bare predictor in an immutable single-model version. */
+std::shared_ptr<const ModelVersion>
+wrapModel(std::shared_ptr<ComparativePredictor> model,
+          std::uint64_t namespaceId)
+{
+    auto version = std::make_shared<ModelVersion>();
+    version->name = "model";
+    version->id = namespaceId;
+    version->sequence = 1;
+    version->model = std::move(model);
+    return version;
+}
+
 } // namespace
 
 Engine::Engine() : Engine(Options()) {}
 
 Engine::Engine(Options opts)
-    : model_(std::make_shared<ComparativePredictor>(opts.encoder,
-                                                    opts.seed)),
-      opts_(opts), pool_(opts.threads),
-      cache_(std::make_shared<ShardedEncodingCache>(
-          opts.cacheShards == 0 ? 1 : opts.cacheShards,
-          opts.cacheCapacity))
+    : Engine(std::make_shared<ComparativePredictor>(opts.encoder,
+                                                    opts.seed),
+             opts)
 {
 }
 
@@ -40,28 +50,126 @@ Engine::Engine(std::shared_ptr<ComparativePredictor> model)
 
 Engine::Engine(std::shared_ptr<ComparativePredictor> model,
                Options opts)
-    : Engine(std::move(model), opts,
-             std::make_shared<ShardedEncodingCache>(
-                 opts.cacheShards == 0 ? 1 : opts.cacheShards,
-                 opts.cacheCapacity))
+    : version_(wrapModel(model, allocateModelNamespace())),
+      opts_(opts), pool_(opts.threads)
 {
+    if (!version_->model)
+        fatal("Engine: null model");
+    opts_.encoder = version_->model->config();
+    init(nullptr, /*externalCache=*/false);
 }
 
 Engine::Engine(std::shared_ptr<ComparativePredictor> model,
                Options opts,
                std::shared_ptr<ShardedEncodingCache> cache)
-    : model_(std::move(model)), opts_(opts), pool_(opts.threads),
-      cache_(std::move(cache))
+    : opts_(opts), pool_(opts.threads)
 {
-    if (!model_)
+    if (!model)
         fatal("Engine: null model");
-    if (!cache_)
-        fatal("Engine: null cache");
-    opts_.encoder = model_->config();
+    init(std::move(cache), /*externalCache=*/true);
+    // Same model object => same namespace => shared latents; a
+    // different model sharing this cache gets its own namespace.
+    version_ = wrapModel(model, cache_->namespaceFor(model));
+    opts_.encoder = version_->model->config();
+}
+
+Engine::Engine(std::shared_ptr<const ModelVersion> version,
+               Options opts,
+               std::shared_ptr<ShardedEncodingCache> cache)
+    : version_(std::move(version)), opts_(opts), pool_(opts.threads)
+{
+    if (!version_ || !version_->model)
+        fatal("Engine: null model version");
+    if (version_->id == 0)
+        fatal("Engine: model version without a cache namespace");
+    opts_.encoder = version_->model->config();
+    init(std::move(cache), /*externalCache=*/true);
+}
+
+Engine::Engine(std::shared_ptr<ModelRegistry> registry)
+    : Engine(std::move(registry), Options())
+{
+}
+
+Engine::Engine(std::shared_ptr<ModelRegistry> registry, Options opts)
+    : registry_(std::move(registry)), opts_(opts),
+      pool_(opts.threads)
+{
+    if (!registry_)
+        fatal("Engine: null registry");
+    init(nullptr, /*externalCache=*/false);
+}
+
+Engine::Engine(std::shared_ptr<ModelRegistry> registry, Options opts,
+               std::shared_ptr<ShardedEncodingCache> cache)
+    : registry_(std::move(registry)), opts_(opts),
+      pool_(opts.threads)
+{
+    if (!registry_)
+        fatal("Engine: null registry");
+    init(std::move(cache), /*externalCache=*/true);
+}
+
+void
+Engine::init(std::shared_ptr<ShardedEncodingCache> cache,
+             bool externalCache)
+{
+    if (externalCache) {
+        if (!cache)
+            fatal("Engine: null cache");
+        if (!cache->namespaceAware())
+            fatal("Engine: an external shared cache must be built "
+                  "via ShardedEncodingCache::makeShared() — a "
+                  "digest-only cache would serve one model's latents "
+                  "to another");
+        cache_ = std::move(cache);
+        return;
+    }
+    cache_ = std::make_shared<ShardedEncodingCache>(
+        opts_.cacheShards == 0 ? 1 : opts_.cacheShards,
+        opts_.cacheCapacity);
+}
+
+Result<std::shared_ptr<const ModelVersion>>
+Engine::resolveModel(const std::string& name) const
+{
+    if (registry_) {
+        std::shared_ptr<const ModelVersion> version =
+            registry_->resolve(name);
+        if (!version)
+            return Status::invalidArgument(
+                name.empty()
+                    ? std::string("Engine: registry has no models")
+                    : "Engine: unknown model '" + name + "'");
+        return version;
+    }
+    if (name.empty() || name == version_->name)
+        return version_;
+    return Status::invalidArgument(
+        "Engine: unknown model '" + name +
+        "' (single-model engine serves '" + version_->name + "')");
 }
 
 Result<std::vector<Tensor>>
 Engine::encodeBatch(const std::vector<const Ast*>& trees)
+{
+    return encodeBatch(std::string(), trees);
+}
+
+Result<std::vector<Tensor>>
+Engine::encodeBatch(const std::string& model,
+                    const std::vector<const Ast*>& trees)
+{
+    Result<std::shared_ptr<const ModelVersion>> version =
+        resolveModel(model);
+    if (!version.isOk())
+        return version.status();
+    return encodeBatch(*version.value(), trees);
+}
+
+Result<std::vector<Tensor>>
+Engine::encodeBatch(const ModelVersion& version,
+                    const std::vector<const Ast*>& trees)
 {
     for (std::size_t i = 0; i < trees.size(); ++i) {
         if (trees[i] == nullptr)
@@ -74,7 +182,7 @@ Engine::encodeBatch(const std::vector<const Ast*>& trees)
     // deterministic regardless of the thread count.
     std::vector<std::size_t> slot_of(trees.size());
     std::vector<const Ast*> unique_trees;
-    std::vector<AstDigest> unique_digests;
+    std::vector<EncodingKey> unique_keys;
     {
         std::unordered_map<AstDigest, std::size_t, AstDigestHash> seen;
         for (std::size_t i = 0; i < trees.size(); ++i) {
@@ -82,7 +190,7 @@ Engine::encodeBatch(const std::vector<const Ast*>& trees)
             auto [it, inserted] = seen.emplace(d, unique_trees.size());
             if (inserted) {
                 unique_trees.push_back(trees[i]);
-                unique_digests.push_back(d);
+                unique_keys.push_back(EncodingKey{version.id, d});
             }
             slot_of[i] = it->second;
         }
@@ -91,13 +199,15 @@ Engine::encodeBatch(const std::vector<const Ast*>& trees)
     // The partitioned cache locks per shard, so concurrent engines
     // sharing it (sharded serving) only contend when their trees
     // hash to the same partition. Two engines racing on the same
-    // digest may both miss and both encode — a benign duplicate:
+    // key may both miss and both encode — a benign duplicate:
     // encoding is deterministic, so whichever insert lands last
-    // stores the identical latent.
+    // stores the identical latent. Keys carry the model-version
+    // namespace, so different versions sharing the cache can never
+    // race at all — their keys are disjoint.
     std::vector<Tensor> latents(unique_trees.size());
     std::vector<std::size_t> miss_slots;
     for (std::size_t s = 0; s < unique_trees.size(); ++s) {
-        if (!cache_->lookup(unique_digests[s], &latents[s]))
+        if (!cache_->lookup(unique_keys[s], &latents[s]))
             miss_slots.push_back(s);
     }
 
@@ -123,7 +233,7 @@ Engine::encodeBatch(const std::vector<const Ast*>& trees)
                 for (std::size_t i = lo; i < hi; ++i)
                     chunk.push_back(unique_trees[miss_slots[i]]);
                 std::vector<ag::Var> encoded =
-                    model_->encodeMany(chunk);
+                    version.model->encodeMany(chunk);
                 for (std::size_t i = lo; i < hi; ++i)
                     latents[miss_slots[i]] = encoded[i - lo].value();
             });
@@ -132,7 +242,7 @@ Engine::encodeBatch(const std::vector<const Ast*>& trees)
                 std::string("encodeBatch: ") + e.what());
         }
         for (std::size_t s : miss_slots)
-            cache_->insert(unique_digests[s], latents[s]);
+            cache_->insert(unique_keys[s], latents[s]);
         std::lock_guard<std::mutex> lock(mutex_);
         treesEncoded_ += miss_slots.size();
     }
@@ -147,6 +257,26 @@ Engine::encodeBatch(const std::vector<const Ast*>& trees)
 Result<std::vector<double>>
 Engine::compareMany(const std::vector<PairRequest>& pairs)
 {
+    return compareMany(std::string(), pairs);
+}
+
+Result<std::vector<double>>
+Engine::compareMany(const std::string& model,
+                    const std::vector<PairRequest>& pairs)
+{
+    // One handle resolution per request batch: the whole batch runs
+    // on this snapshot even if the registry hot-swaps mid-flight.
+    Result<std::shared_ptr<const ModelVersion>> version =
+        resolveModel(model);
+    if (!version.isOk())
+        return version.status();
+    return compareMany(*version.value(), pairs);
+}
+
+Result<std::vector<double>>
+Engine::compareMany(const ModelVersion& version,
+                    const std::vector<PairRequest>& pairs)
+{
     std::vector<const Ast*> trees;
     trees.reserve(pairs.size() * 2);
     for (const PairRequest& p : pairs) {
@@ -154,7 +284,7 @@ Engine::compareMany(const std::vector<PairRequest>& pairs)
         trees.push_back(p.second);
     }
 
-    Result<std::vector<Tensor>> latents = encodeBatch(trees);
+    Result<std::vector<Tensor>> latents = encodeBatch(version, trees);
     if (!latents.isOk())
         return latents.status();
 
@@ -165,7 +295,7 @@ Engine::compareMany(const std::vector<PairRequest>& pairs)
     probs.reserve(pairs.size());
     try {
         for (std::size_t i = 0; i < pairs.size(); ++i) {
-            ag::Var z = model_->logitFromEncodings(
+            ag::Var z = version.model->logitFromEncodings(
                 ag::constant(latents.value()[2 * i]),
                 ag::constant(latents.value()[2 * i + 1]));
             probs.push_back(logitToProb(z.value().at(0, 0)));
@@ -206,12 +336,19 @@ Engine::compareSources(const std::string& first,
 Result<std::vector<Engine::RankedCandidate>>
 Engine::rank(const std::vector<const Ast*>& candidates)
 {
+    return rank(std::string(), candidates);
+}
+
+Result<std::vector<Engine::RankedCandidate>>
+Engine::rank(const std::string& model,
+             const std::vector<const Ast*>& candidates)
+{
     if (candidates.size() < 2)
         return Status::invalidArgument(
             "rank: need at least two candidates");
 
     Result<std::vector<double>> probs =
-        compareMany(tournamentPairs(candidates));
+        compareMany(model, tournamentPairs(candidates));
     if (!probs.isOk())
         return probs.status();
     return aggregateTournament(candidates.size(), probs.value());
@@ -289,16 +426,64 @@ Engine::parseSource(const std::string& source)
 Status
 Engine::save(const std::string& path)
 {
-    return model_->save(path);
+    if (registry_)
+        return Status::invalidArgument(
+            "Engine::save: this engine serves a ModelRegistry; save "
+            "through ModelRegistry::save(name, path)");
+    return version_->model->save(path, version_->name,
+                                 version_->sequence);
 }
 
 Status
 Engine::load(const std::string& path)
 {
-    Status s = model_->load(path);
-    if (s.isOk())
-        invalidateCache();
+    if (registry_)
+        return Status::invalidArgument(
+            "Engine::load: this engine serves a ModelRegistry; "
+            "publish through ModelRegistry::load instead of mutating "
+            "weights in place");
+    Status s = version_->model->load(path);
+    if (s.isOk()) {
+        // Weights changed in place under the SAME namespace, so only
+        // this model's cached latents are stale.
+        cache_->clearNamespace(version_->id);
+    }
     return s;
+}
+
+ComparativePredictor&
+Engine::model()
+{
+    return const_cast<ComparativePredictor&>(
+        static_cast<const Engine*>(this)->model());
+}
+
+const ComparativePredictor&
+Engine::model() const
+{
+    std::shared_ptr<const ModelVersion> version = modelVersion();
+    if (!version)
+        fatal("Engine::model: registry has no models");
+    // The reference stays valid while the version is registered (or
+    // for the engine's lifetime in classic mode).
+    return *version->model;
+}
+
+std::shared_ptr<ComparativePredictor>
+Engine::sharedModel()
+{
+    std::shared_ptr<const ModelVersion> version = modelVersion();
+    if (!version)
+        fatal("Engine::sharedModel: registry has no models");
+    return version->model;
+}
+
+std::shared_ptr<const ModelVersion>
+Engine::modelVersion() const
+{
+    Result<std::shared_ptr<const ModelVersion>> version =
+        resolveModel(std::string());
+    return version.isOk() ? version.value() : nullptr;
 }
 
 Engine::Stats
@@ -313,6 +498,31 @@ Engine::stats() const
     std::lock_guard<std::mutex> lock(mutex_);
     out.pairsServed = pairsServed_;
     out.treesEncoded = treesEncoded_;
+    return out;
+}
+
+std::vector<ModelCacheStats>
+Engine::perModelCacheStats() const
+{
+    std::vector<ModelCacheStats> out;
+    auto addRow = [&](const std::shared_ptr<const ModelVersion>& v) {
+        ModelCacheStats row;
+        row.name = v->name;
+        row.versionId = v->id;
+        row.sequence = v->sequence;
+        row.cache = cache_->namespaceStats(v->id);
+        out.push_back(std::move(row));
+    };
+    if (registry_) {
+        for (const std::string& name : registry_->names()) {
+            std::shared_ptr<const ModelVersion> v =
+                registry_->resolve(name);
+            if (v)
+                addRow(v);
+        }
+    } else {
+        addRow(version_);
+    }
     return out;
 }
 

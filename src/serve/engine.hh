@@ -9,11 +9,22 @@
  * pairs that reference them, and reports per-request failures through
  * Status/Result instead of exceptions.
  *
+ * Since the ModelRegistry refactor the Engine no longer OWNS a
+ * predictor: it resolves an immutable ModelVersion handle per request
+ * batch — either a fixed version wrapped at construction (classic
+ * single-model mode) or by name through a shared ModelRegistry
+ * (multi-model mode, hot-swap safe: a batch keeps the snapshot it
+ * resolved even while a new version is published mid-flight). Cache
+ * keys are (model version id, structural digest), so versions and
+ * models sharing one cache occupy isolated namespaces.
+ *
  * Determinism contract: every probability produced by the batch
- * endpoints is bitwise-identical to the legacy per-pair path and
- * invariant to the thread count — each tree's encoding is an
- * independent computation, and the classifier head always runs on the
- * calling thread in request order.
+ * endpoints is bitwise-identical to a per-pair encode+classify of
+ * the same version's weights and invariant to the thread count —
+ * each tree's encoding is an independent computation, and the
+ * classifier head always runs on the calling thread in request
+ * order. Per model, a registry-backed engine is bitwise-identical
+ * to a dedicated single-model engine on the same weights.
  */
 
 #ifndef CCSA_SERVE_ENGINE_HH
@@ -29,9 +40,22 @@
 #include "base/thread_pool.hh"
 #include "model/predictor.hh"
 #include "serve/encoding_cache.hh"
+#include "serve/model_registry.hh"
 
 namespace ccsa
 {
+
+/** One model's cache-namespace counters (see Engine::
+ * perModelCacheStats / ServerStats::models). */
+struct ModelCacheStats
+{
+    std::string name;
+    /** Cache namespace id of the CURRENT version. */
+    std::uint64_t versionId = 0;
+    /** Publish sequence of the current version. */
+    std::uint64_t sequence = 0;
+    EncodingCache::NamespaceStats cache;
+};
 
 /** Batched, cached, thread-parallel serving facade. */
 class Engine
@@ -166,11 +190,48 @@ class Engine
      * seam: every ShardedServer worker owns one of these engines and
      * they all resolve latents through the same partitioned cache,
      * so a tree encoded by any worker is visible to all of them while
-     * still living on exactly one cache shard. opts.cacheCapacity /
-     * opts.cacheShards are ignored (the cache is already built).
+     * still living on exactly one cache shard. The cache MUST have
+     * been built namespace-aware (ShardedEncodingCache::makeShared);
+     * anything else is a FatalError — a digest-only shared cache
+     * would let two models serve each other's latents. Engines
+     * handed the SAME model object share its cache namespace (and
+     * therefore its latents); distinct models get isolated
+     * namespaces. opts.cacheCapacity / opts.cacheShards are ignored
+     * (the cache is already built).
      */
     Engine(std::shared_ptr<ComparativePredictor> model, Options opts,
            std::shared_ptr<ShardedEncodingCache> cache);
+
+    /**
+     * Serve a pre-wrapped immutable version through an external
+     * namespace-aware cache — the seam for callers that manage
+     * versions themselves (ShardedServer wraps its model once and
+     * hands every worker the same version).
+     */
+    Engine(std::shared_ptr<const ModelVersion> version, Options opts,
+           std::shared_ptr<ShardedEncodingCache> cache);
+
+    /**
+     * Multi-model mode: resolve models BY NAME through a shared
+     * registry, one handle per request batch. Hot-swap safe — see
+     * the file comment. Unnamed endpoints serve the registry's
+     * default model.
+     */
+    explicit Engine(std::shared_ptr<ModelRegistry> registry);
+    Engine(std::shared_ptr<ModelRegistry> registry, Options opts);
+    Engine(std::shared_ptr<ModelRegistry> registry, Options opts,
+           std::shared_ptr<ShardedEncodingCache> cache);
+
+    /**
+     * Resolve a model name to the version snapshot a batch would
+     * serve right now. "" resolves the default model (the fixed
+     * version in classic mode). Unknown names are InvalidArgument.
+     * The async layers resolve at ADMISSION time through this, so a
+     * request admitted before a hot swap completes on the version it
+     * was admitted under.
+     */
+    Result<std::shared_ptr<const ModelVersion>>
+    resolveModel(const std::string& name) const;
 
     /**
      * Encode a batch of trees, one latent row vector per input, in
@@ -181,6 +242,16 @@ class Engine
     Result<std::vector<Tensor>>
     encodeBatch(const std::vector<const Ast*>& trees);
 
+    /** encodeBatch through a named model. */
+    Result<std::vector<Tensor>>
+    encodeBatch(const std::string& model,
+                const std::vector<const Ast*>& trees);
+
+    /** encodeBatch on an explicit version snapshot. */
+    Result<std::vector<Tensor>>
+    encodeBatch(const ModelVersion& version,
+                const std::vector<const Ast*>& trees);
+
     /**
      * P(first slower-or-equal) for every requested pair, in request
      * order (paper Eq. 1: > 0.5 means the second program is the
@@ -189,6 +260,17 @@ class Engine
      */
     Result<std::vector<double>>
     compareMany(const std::vector<PairRequest>& pairs);
+
+    /** compareMany through a named model. */
+    Result<std::vector<double>>
+    compareMany(const std::string& model,
+                const std::vector<PairRequest>& pairs);
+
+    /** compareMany on an explicit version snapshot — what the async
+     * batchers execute per coalesced (model, pairs) group. */
+    Result<std::vector<double>>
+    compareMany(const ModelVersion& version,
+                const std::vector<PairRequest>& pairs);
 
     /** Single-pair convenience over compareMany(). */
     Result<double> compare(const Ast& first, const Ast& second);
@@ -205,6 +287,11 @@ class Engine
      */
     Result<std::vector<RankedCandidate>>
     rank(const std::vector<const Ast*>& candidates);
+
+    /** rank through a named model. */
+    Result<std::vector<RankedCandidate>>
+    rank(const std::string& model,
+         const std::vector<const Ast*>& candidates);
 
     /**
      * Build the ordered round-robin pair list rank() scores: every
@@ -229,15 +316,31 @@ class Engine
     /** Parse + prune one source file without aborting on errors. */
     static Result<Ast> parseSource(const std::string& source);
 
-    /** Persist / restore the model weights. */
+    /**
+     * Persist / restore the default model's weights. Classic mode
+     * only: a registry-backed engine reports InvalidArgument — save
+     * and load through the registry, which stamps real manifests and
+     * publishes hot-swaps instead of mutating weights in place.
+     */
     Status save(const std::string& path);
     Status load(const std::string& path);
 
-    ComparativePredictor& model() { return *model_; }
-    const ComparativePredictor& model() const { return *model_; }
-    std::shared_ptr<ComparativePredictor> sharedModel()
+    /**
+     * The default model (classic mode: the fixed version's
+     * predictor; registry mode: the current default version's).
+     * FatalError when a registry-backed engine has no models yet.
+     */
+    ComparativePredictor& model();
+    const ComparativePredictor& model() const;
+    std::shared_ptr<ComparativePredictor> sharedModel();
+
+    /** Current default version snapshot (see resolveModel("")). */
+    std::shared_ptr<const ModelVersion> modelVersion() const;
+
+    /** The registry, or nullptr for a classic engine. */
+    const std::shared_ptr<ModelRegistry>& registry() const
     {
-        return model_;
+        return registry_;
     }
 
     /** The (possibly shared) partitioned encoding cache. */
@@ -251,15 +354,28 @@ class Engine
     /** Snapshot of the serving counters. */
     Stats stats() const;
 
+    /** Per-model cache-namespace counters for every CURRENTLY
+     * resolvable model (one row in classic mode; one per registered
+     * name in registry mode, sorted by name). Retired hot-swapped
+     * versions are not listed — their entries age out of the LRU. */
+    std::vector<ModelCacheStats> perModelCacheStats() const;
+
     /**
-     * Drop all cached encodings. Call after mutating model weights
-     * (e.g. further training or load()); cached latents are only
-     * valid for the weights that produced them.
+     * Drop all cached encodings (every namespace). Rarely needed
+     * since versions are immutable and namespaced; classic load()
+     * already invalidates just its own namespace.
      */
     void invalidateCache();
 
   private:
-    std::shared_ptr<ComparativePredictor> model_;
+    /** Shared ctor tail: validate + allocate the private cache when
+     * none was supplied. */
+    void init(std::shared_ptr<ShardedEncodingCache> cache,
+              bool externalCache);
+
+    /** Fixed version (classic mode); null in registry mode. */
+    std::shared_ptr<const ModelVersion> version_;
+    std::shared_ptr<ModelRegistry> registry_;
     Options opts_;
     ThreadPool pool_;
     std::shared_ptr<ShardedEncodingCache> cache_;

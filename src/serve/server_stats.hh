@@ -90,6 +90,16 @@ struct ServerStats
     /** Engine counters: encoding-cache hits / misses / evictions /
      * size plus pairsServed and treesEncoded. */
     Engine::Stats engine;
+
+    // ------------------------------------------------- per model
+    /** One row per CURRENTLY resolvable model: that version's cache
+     * namespace counters (hits/misses/evictions/residents). Filled
+     * by the server's stats() from the engine's view of its cache;
+     * retired hot-swapped versions are not listed. mergeServerStats
+     * leaves this empty — per-shard rows would all describe the same
+     * shared cache, so the aggregator sets it once instead of
+     * summing duplicates. */
+    std::vector<ModelCacheStats> models;
 };
 
 /**

@@ -44,7 +44,34 @@ ShardedServer::ShardedServer(
     std::shared_ptr<ComparativePredictor> model,
     Engine::Options engineOpts, Options opts)
     : opts_(normalized(opts)),
-      cache_(std::make_shared<ShardedEncodingCache>(
+      cache_(ShardedEncodingCache::makeShared(
+          opts_.numShards, engineOpts.cacheCapacity)),
+      queue_(opts_.queueCapacity)
+{
+    engineOpts.threads = opts_.threadsPerShard;
+    // Wrap the model ONCE: every worker engine shares this version
+    // and therefore its cache namespace — a latent encoded by any
+    // worker serves all of them.
+    auto version = std::make_shared<ModelVersion>();
+    version->name = "model";
+    version->id = cache_->namespaceFor(model);
+    version->sequence = 1;
+    version->model = std::move(model);
+    workers_.reserve(opts_.numShards);
+    for (std::size_t s = 0; s < opts_.numShards; ++s) {
+        auto worker = std::make_unique<Worker>();
+        worker->engine =
+            std::make_unique<Engine>(version, engineOpts, cache_);
+        workers_.push_back(std::move(worker));
+    }
+    if (!opts_.startPaused)
+        start();
+}
+
+ShardedServer::ShardedServer(std::shared_ptr<ModelRegistry> registry,
+                             Engine::Options engineOpts, Options opts)
+    : opts_(normalized(opts)),
+      cache_(ShardedEncodingCache::makeShared(
           opts_.numShards, engineOpts.cacheCapacity)),
       queue_(opts_.queueCapacity)
 {
@@ -53,7 +80,7 @@ ShardedServer::ShardedServer(
     for (std::size_t s = 0; s < opts_.numShards; ++s) {
         auto worker = std::make_unique<Worker>();
         worker->engine =
-            std::make_unique<Engine>(model, engineOpts, cache_);
+            std::make_unique<Engine>(registry, engineOpts, cache_);
         workers_.push_back(std::move(worker));
     }
     if (!opts_.startPaused)
@@ -118,6 +145,7 @@ ShardedServer::shardEngine(std::size_t s)
 std::vector<ShardedServer::Request>
 ShardedServer::splitRequest(
     std::vector<Engine::PairRequest> pairs,
+    std::shared_ptr<const ModelVersion> version,
     std::function<void(Result<std::vector<double>>)> complete)
 {
     auto now = std::chrono::steady_clock::now();
@@ -154,6 +182,7 @@ ShardedServer::splitRequest(
         // Whole request fits one worker: no join needed.
         Request request;
         request.pairs = std::move(pairs);
+        request.version = std::move(version);
         request.complete = std::move(complete);
         request.enqueued = now;
         requests.push_back(std::move(request));
@@ -172,6 +201,7 @@ ShardedServer::splitRequest(
         request.pairs.reserve(slots.size());
         for (std::size_t i : slots)
             request.pairs.push_back(pairs[i]);
+        request.version = version;
         request.enqueued = now;
         request.complete =
             [join, slots](Result<std::vector<double>> r) {
@@ -204,6 +234,7 @@ ShardedServer::splitRequest(
 
 bool
 ShardedServer::submitCore(
+    const std::string& model,
     std::vector<Engine::PairRequest> pairs,
     std::function<void(Result<std::vector<double>>)> complete,
     bool blocking)
@@ -242,8 +273,18 @@ ShardedServer::submitCore(
         return true;
     }
 
-    std::vector<Request> requests =
-        splitRequest(std::move(pairs), std::move(counted));
+    // Admission-time model resolution: the whole request (however
+    // many shard slices it splits into) runs on this one snapshot,
+    // so a hot swap can never straddle a request.
+    Result<std::shared_ptr<const ModelVersion>> version =
+        workers_[0]->engine->resolveModel(model);
+    if (!version.isOk()) {
+        counted(version.status());
+        return true;
+    }
+
+    std::vector<Request> requests = splitRequest(
+        std::move(pairs), version.take(), std::move(counted));
 
     if (!blocking) {
         // All-or-nothing: either every slice is admitted or none.
@@ -303,9 +344,16 @@ ShardedServer::submitCore(
 std::future<Result<double>>
 ShardedServer::submitCompare(const Ast& first, const Ast& second)
 {
+    return submitCompare(std::string(), first, second);
+}
+
+std::future<Result<double>>
+ShardedServer::submitCompare(const std::string& model,
+                             const Ast& first, const Ast& second)
+{
     auto promise = std::make_shared<std::promise<Result<double>>>();
     std::future<Result<double>> future = promise->get_future();
-    submitCore({Engine::PairRequest{&first, &second}},
+    submitCore(model, {Engine::PairRequest{&first, &second}},
                [promise](Result<std::vector<double>> r) {
                    if (r.isOk())
                        promise->set_value(r.value()[0]);
@@ -320,11 +368,18 @@ std::future<Result<std::vector<double>>>
 ShardedServer::submitCompareMany(
     std::vector<Engine::PairRequest> pairs)
 {
+    return submitCompareMany(std::string(), std::move(pairs));
+}
+
+std::future<Result<std::vector<double>>>
+ShardedServer::submitCompareMany(
+    const std::string& model, std::vector<Engine::PairRequest> pairs)
+{
     auto promise = std::make_shared<
         std::promise<Result<std::vector<double>>>>();
     std::future<Result<std::vector<double>>> future =
         promise->get_future();
-    submitCore(std::move(pairs),
+    submitCore(model, std::move(pairs),
                [promise](Result<std::vector<double>> r) {
                    promise->set_value(std::move(r));
                },
@@ -334,6 +389,13 @@ ShardedServer::submitCompareMany(
 
 std::future<Result<std::vector<Engine::RankedCandidate>>>
 ShardedServer::submitRank(std::vector<const Ast*> candidates)
+{
+    return submitRank(std::string(), std::move(candidates));
+}
+
+std::future<Result<std::vector<Engine::RankedCandidate>>>
+ShardedServer::submitRank(const std::string& model,
+                          std::vector<const Ast*> candidates)
 {
     auto promise = std::make_shared<
         std::promise<Result<std::vector<Engine::RankedCandidate>>>>();
@@ -347,7 +409,7 @@ ShardedServer::submitRank(std::vector<const Ast*> candidates)
         return future;
     }
     std::size_t n = candidates.size();
-    submitCore(Engine::tournamentPairs(candidates),
+    submitCore(model, Engine::tournamentPairs(candidates),
                [promise, n](Result<std::vector<double>> r) {
                    if (r.isOk())
                        promise->set_value(Engine::aggregateTournament(
@@ -362,10 +424,17 @@ ShardedServer::submitRank(std::vector<const Ast*> candidates)
 std::optional<std::future<Result<double>>>
 ShardedServer::trySubmitCompare(const Ast& first, const Ast& second)
 {
+    return trySubmitCompare(std::string(), first, second);
+}
+
+std::optional<std::future<Result<double>>>
+ShardedServer::trySubmitCompare(const std::string& model,
+                                const Ast& first, const Ast& second)
+{
     auto promise = std::make_shared<std::promise<Result<double>>>();
     std::future<Result<double>> future = promise->get_future();
     bool accepted =
-        submitCore({Engine::PairRequest{&first, &second}},
+        submitCore(model, {Engine::PairRequest{&first, &second}},
                    [promise](Result<std::vector<double>> r) {
                        if (r.isOk())
                            promise->set_value(r.value()[0]);
@@ -382,12 +451,19 @@ std::optional<std::future<Result<std::vector<double>>>>
 ShardedServer::trySubmitCompareMany(
     std::vector<Engine::PairRequest> pairs)
 {
+    return trySubmitCompareMany(std::string(), std::move(pairs));
+}
+
+std::optional<std::future<Result<std::vector<double>>>>
+ShardedServer::trySubmitCompareMany(
+    const std::string& model, std::vector<Engine::PairRequest> pairs)
+{
     auto promise = std::make_shared<
         std::promise<Result<std::vector<double>>>>();
     std::future<Result<std::vector<double>>> future =
         promise->get_future();
     bool accepted =
-        submitCore(std::move(pairs),
+        submitCore(model, std::move(pairs),
                    [promise](Result<std::vector<double>> r) {
                        promise->set_value(std::move(r));
                    },
@@ -411,11 +487,15 @@ ShardedServer::workerLoop(std::size_t shard)
         if (!batch)
             return;
 
-        // One engine call per worker tick. Other workers run their
-        // own ticks concurrently; the shared cache dedups latents
-        // across all of them.
-        Result<std::vector<double>> probs =
-            worker.engine->compareMany(batch->flattenPairs());
+        // One engine call per model version in this worker's tick.
+        // Other workers run their own ticks concurrently; the shared
+        // cache dedups latents per version across all of them.
+        ModelBatches grouped = groupBatchByModel(*batch);
+        std::vector<Result<std::vector<double>>> results;
+        results.reserve(grouped.groups.size());
+        for (const ModelBatches::Group& g : grouped.groups)
+            results.push_back(
+                worker.engine->compareMany(*g.version, g.pairs));
 
         auto completedAt = std::chrono::steady_clock::now();
         {
@@ -428,13 +508,15 @@ ShardedServer::workerLoop(std::size_t shard)
                     latencySampleUs(completedAt - r.enqueued));
         }
 
-        // Fan slices (or the batch-level failure) back out in
+        // Fan slices (or their group's failure) back out in
         // submission order.
-        std::size_t offset = 0;
-        for (Request& r : batch->requests) {
+        for (std::size_t i = 0; i < batch->requests.size(); ++i) {
+            Request& r = batch->requests[i];
+            const Result<std::vector<double>>& probs =
+                results[grouped.groupOf[i]];
             if (probs.isOk()) {
                 auto begin = probs.value().begin() +
-                    static_cast<std::ptrdiff_t>(offset);
+                    static_cast<std::ptrdiff_t>(grouped.offsetOf[i]);
                 r.complete(std::vector<double>(
                     begin,
                     begin + static_cast<std::ptrdiff_t>(
@@ -442,7 +524,6 @@ ShardedServer::workerLoop(std::size_t shard)
             } else {
                 r.complete(probs.status());
             }
-            offset += r.pairs.size();
         }
     }
 }
@@ -482,6 +563,10 @@ ShardedServer::stats() const
     out.aggregate = mergeServerStats(out.shards);
     out.aggregate.queueDepth = queue_.size();
     out.aggregate.queueCapacity = queue_.capacity();
+    // Per-model rows describe the ONE shared cache; any worker's
+    // engine sees the same namespaces, so fill them once rather than
+    // summing N identical copies.
+    out.aggregate.models = workers_[0]->engine->perModelCacheStats();
     {
         std::lock_guard<std::mutex> lock(submitMutex_);
         out.aggregate.requestsSubmitted = submitted_;

@@ -40,6 +40,17 @@
  * histograms (mergeServerStats) — never by averaging per-shard
  * percentiles, which is statistically wrong.
  *
+ * Multi-model serving: construct over a ModelRegistry and submit
+ * with model names. Names resolve to immutable ModelVersion
+ * snapshots AT ADMISSION (a request admitted before a hot swap
+ * completes on the version it was admitted under); each worker tick
+ * executes one engine call per (model version, pairs) group of its
+ * coalesced batch; and the shared cache keys latents by
+ * (version id, digest), so models and hot-swapped versions occupy
+ * isolated namespaces while all N workers still share each
+ * version's latents. Per model, results stay bitwise-identical to a
+ * dedicated single-model Engine at any shard count.
+ *
  * Failure semantics, lifetime, and shutdown-drain match AsyncServer:
  * per-request Status, trees outlive their futures, shutdown()
  * answers everything accepted before joining the workers.
@@ -55,6 +66,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -146,12 +158,22 @@ class ShardedServer
 
     /**
      * Serve an existing (typically trained) predictor: every shard
-     * engine shares the SAME model object, so all shards answer with
-     * identical weights. engineOpts supplies the per-shard serving
-     * knobs (cacheCapacity is PER PARTITION; threads is overridden
-     * by opts.threadsPerShard).
+     * engine shares the SAME model object (wrapped once in one
+     * ModelVersion, so they also share its cache namespace) and all
+     * shards answer with identical weights. engineOpts supplies the
+     * per-shard serving knobs (cacheCapacity is PER PARTITION;
+     * threads is overridden by opts.threadsPerShard).
      */
     ShardedServer(std::shared_ptr<ComparativePredictor> model,
+                  Engine::Options engineOpts, Options opts);
+
+    /**
+     * Multi-model serving: every shard engine resolves model names
+     * through the same registry, over one shared namespace-aware
+     * cache. Submit with the model-name overloads; hot-swap by
+     * publishing to the registry while traffic flows.
+     */
+    ShardedServer(std::shared_ptr<ModelRegistry> registry,
                   Engine::Options engineOpts, Options opts);
 
     /** Equivalent to shutdown(). */
@@ -160,9 +182,13 @@ class ShardedServer
     ShardedServer(const ShardedServer&) = delete;
     ShardedServer& operator=(const ShardedServer&) = delete;
 
-    /** Submit one comparison; same contract as AsyncServer. */
+    /** Submit one comparison; same contract as AsyncServer. The
+     * model-name overloads serve a named registry model. */
     std::future<Result<double>> submitCompare(const Ast& first,
                                               const Ast& second);
+    std::future<Result<double>> submitCompare(
+        const std::string& model, const Ast& first,
+        const Ast& second);
 
     /**
      * Submit a pair batch; resolves to one probability per pair in
@@ -173,6 +199,9 @@ class ShardedServer
      */
     std::future<Result<std::vector<double>>>
     submitCompareMany(std::vector<Engine::PairRequest> pairs);
+    std::future<Result<std::vector<double>>>
+    submitCompareMany(const std::string& model,
+                      std::vector<Engine::PairRequest> pairs);
 
     /**
      * Submit a ranking tournament: tournamentPairs splits it across
@@ -181,6 +210,9 @@ class ShardedServer
      */
     std::future<Result<std::vector<Engine::RankedCandidate>>>
     submitRank(std::vector<const Ast*> candidates);
+    std::future<Result<std::vector<Engine::RankedCandidate>>>
+    submitRank(const std::string& model,
+               std::vector<const Ast*> candidates);
 
     /**
      * Non-blocking submitCompare: nullopt when the queue lacks room
@@ -189,6 +221,9 @@ class ShardedServer
      */
     std::optional<std::future<Result<double>>>
     trySubmitCompare(const Ast& first, const Ast& second);
+    std::optional<std::future<Result<double>>>
+    trySubmitCompare(const std::string& model, const Ast& first,
+                     const Ast& second);
 
     /**
      * Non-blocking submitCompareMany. Admission is all-or-nothing:
@@ -198,6 +233,9 @@ class ShardedServer
      */
     std::optional<std::future<Result<std::vector<double>>>>
     trySubmitCompareMany(std::vector<Engine::PairRequest> pairs);
+    std::optional<std::future<Result<std::vector<double>>>>
+    trySubmitCompareMany(const std::string& model,
+                         std::vector<Engine::PairRequest> pairs);
 
     /** Start the workers if construction was startPaused. */
     void start();
@@ -226,10 +264,12 @@ class ShardedServer
     const ShardedEncodingCache& cache() const { return *cache_; }
 
   private:
-    /** One queued unit: a per-shard slice of a client request. */
+    /** One queued unit: a per-shard slice of a client request,
+     * pinned to the ModelVersion resolved at admission. */
     struct Request
     {
         std::vector<Engine::PairRequest> pairs;
+        std::shared_ptr<const ModelVersion> version;
         std::function<void(Result<std::vector<double>>)> complete;
         std::chrono::steady_clock::time_point enqueued;
     };
@@ -257,15 +297,17 @@ class ShardedServer
     };
 
     bool submitCore(
+        const std::string& model,
         std::vector<Engine::PairRequest> pairs,
         std::function<void(Result<std::vector<double>>)> complete,
         bool blocking);
 
     /** Split validated pairs into per-shard Requests wired to one
      * completion (directly, or through a JoinState when the request
-     * crosses shards). */
+     * crosses shards); every slice pins `version`. */
     std::vector<Request> splitRequest(
         std::vector<Engine::PairRequest> pairs,
+        std::shared_ptr<const ModelVersion> version,
         std::function<void(Result<std::vector<double>>)> complete);
 
     void workerLoop(std::size_t shard);

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The per-pair probability oracle the batched serving paths are
+ * pinned against: encode both trees independently, classify the
+ * concatenated latents, sigmoid — exactly the computation the
+ * retired ComparativePredictor::probFirstSlower shim performed.
+ * It lives here (tests; also included by bench/micro_ops.cc as the
+ * unbatched baseline) rather than in the library so production
+ * callers cannot reach a one-pair-at-a-time path, while every suite
+ * pins against the SAME reference implementation.
+ */
+
+#ifndef CCSA_TESTS_ORACLE_HH
+#define CCSA_TESTS_ORACLE_HH
+
+#include <cmath>
+
+#include "model/predictor.hh"
+
+namespace ccsa
+{
+
+inline double
+perPairProb(const ComparativePredictor& model, const Ast& first,
+            const Ast& second)
+{
+    ag::Var z = model.logitFromEncodings(model.encode(first),
+                                         model.encode(second));
+    return 1.0 / (1.0 + std::exp(-z.value().at(0, 0)));
+}
+
+} // namespace ccsa
+
+#endif // CCSA_TESTS_ORACLE_HH

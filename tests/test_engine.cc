@@ -13,6 +13,7 @@
 
 #include "eval/metrics.hh"
 #include "frontend/parser.hh"
+#include "oracle.hh"
 #include "serve/engine.hh"
 
 namespace ccsa
@@ -161,7 +162,7 @@ TEST(EncodingCache, DigestSeesStructureNotText)
 TEST(EncodingCache, LruEvictsOldestFirst)
 {
     EncodingCache cache(2);
-    AstDigest k1{1, 1}, k2{2, 2}, k3{3, 3};
+    EncodingKey k1{1, {1, 1}}, k2{1, {2, 2}}, k3{1, {3, 3}};
     cache.insert(k1, Tensor(1, 1, 1.0f));
     cache.insert(k2, Tensor(1, 1, 2.0f));
     ASSERT_NE(cache.lookup(k1), nullptr); // refresh k1: k2 is LRU
@@ -169,6 +170,54 @@ TEST(EncodingCache, LruEvictsOldestFirst)
     EXPECT_NE(cache.lookup(k1), nullptr);
     EXPECT_EQ(cache.lookup(k2), nullptr);
     EXPECT_NE(cache.lookup(k3), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(EncodingCache, ModelNamespacesAreIsolated)
+{
+    // The same digest under two model-version namespaces is two
+    // distinct entries — the latent-collision hazard the registry
+    // refactor retires (ISSUE 5): before namespaced keys, two
+    // models sharing one cache silently served each other's rows.
+    EncodingCache cache(8);
+    AstDigest d{7, 7};
+    cache.insert(EncodingKey{1, d}, Tensor(1, 1, 1.0f));
+    EXPECT_EQ(cache.lookup(EncodingKey{2, d}), nullptr);
+    cache.insert(EncodingKey{2, d}, Tensor(1, 1, 2.0f));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_FLOAT_EQ(cache.lookup(EncodingKey{1, d})->at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(cache.lookup(EncodingKey{2, d})->at(0, 0), 2.0f);
+
+    // Per-namespace counters partition the global ones.
+    EncodingCache::NamespaceStats ns1 = cache.namespaceStats(1);
+    EncodingCache::NamespaceStats ns2 = cache.namespaceStats(2);
+    EXPECT_EQ(ns1.hits, 1u);
+    EXPECT_EQ(ns2.hits, 1u);
+    EXPECT_EQ(ns2.misses, 1u);
+    EXPECT_EQ(ns1.residents, 1u);
+    EXPECT_EQ(ns2.residents, 1u);
+    EXPECT_EQ(cache.stats().hits, ns1.hits + ns2.hits);
+    EXPECT_EQ(cache.stats().misses, ns1.misses + ns2.misses);
+
+    // clearNamespace drops exactly one tenant.
+    cache.clearNamespace(1);
+    EXPECT_EQ(cache.lookup(EncodingKey{1, d}), nullptr);
+    EXPECT_NE(cache.lookup(EncodingKey{2, d}), nullptr);
+    EXPECT_EQ(cache.namespaceStats(1).residents, 0u);
+}
+
+TEST(EncodingCache, EvictionsAttributeToTheEvictedNamespace)
+{
+    EncodingCache cache(2);
+    cache.insert(EncodingKey{1, {1, 1}}, Tensor(1, 1, 1.0f));
+    cache.insert(EncodingKey{2, {2, 2}}, Tensor(1, 1, 2.0f));
+    // A hot namespace may push a cold one's entry out; the eviction
+    // is charged to the VICTIM's namespace.
+    cache.insert(EncodingKey{2, {3, 3}}, Tensor(1, 1, 3.0f));
+    EXPECT_EQ(cache.namespaceStats(1).evictions, 1u);
+    EXPECT_EQ(cache.namespaceStats(1).residents, 0u);
+    EXPECT_EQ(cache.namespaceStats(2).evictions, 0u);
+    EXPECT_EQ(cache.namespaceStats(2).residents, 2u);
     EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
@@ -261,13 +310,14 @@ TEST(ShardedEncodingCache, PerShardCountersSumToUnshardedCounters)
         const AstDigest& d =
             digests[static_cast<std::size_t>(stream.uniformInt(
                 0, static_cast<int>(digests.size()) - 1))];
+        EncodingKey key{1, d};
         Tensor out;
-        bool hitSharded = sharded.lookup(d, &out);
-        bool hitFlat = flat.lookup(d, &out);
+        bool hitSharded = sharded.lookup(key, &out);
+        bool hitFlat = flat.lookup(key, &out);
         EXPECT_EQ(hitSharded, hitFlat) << "step " << step;
         if (!hitSharded) {
-            sharded.insert(d, Tensor(1, 4, 1.0f));
-            flat.insert(d, Tensor(1, 4, 1.0f));
+            sharded.insert(key, Tensor(1, 4, 1.0f));
+            flat.insert(key, Tensor(1, 4, 1.0f));
         }
     }
 
@@ -309,17 +359,17 @@ TEST(ShardedEncodingCache, EvictionInOneShardNeverInvalidatesAnother)
 
     ShardedEncodingCache cache(2, 2);
     // Resident entries on shard 1...
-    cache.insert(shard1Owned[0], Tensor(1, 4, 1.0f));
-    cache.insert(shard1Owned[1], Tensor(1, 4, 2.0f));
+    cache.insert(EncodingKey{1, shard1Owned[0]}, Tensor(1, 4, 1.0f));
+    cache.insert(EncodingKey{1, shard1Owned[1]}, Tensor(1, 4, 2.0f));
     // ...then flood shard 0 far past its capacity.
     for (const AstDigest& d : shard0Owned)
-        cache.insert(d, Tensor(1, 4, 3.0f));
+        cache.insert(EncodingKey{1, d}, Tensor(1, 4, 3.0f));
 
     EXPECT_GT(cache.shardStats(0).evictions, 0u);
     EXPECT_EQ(cache.shardStats(1).evictions, 0u);
     Tensor out;
-    EXPECT_TRUE(cache.lookup(shard1Owned[0], &out));
-    EXPECT_TRUE(cache.lookup(shard1Owned[1], &out));
+    EXPECT_TRUE(cache.lookup(EncodingKey{1, shard1Owned[0]}, &out));
+    EXPECT_TRUE(cache.lookup(EncodingKey{1, shard1Owned[1]}, &out));
     EXPECT_EQ(cache.shardSize(0), 2u); // at its own capacity
     EXPECT_EQ(cache.shardSize(1), 2u); // untouched by the flood
 }
@@ -373,8 +423,8 @@ TEST(Engine, CompareManyBitwiseMatchesLegacyPerPairPath)
             if (i == j)
                 continue;
             requests.push_back({&trees[i], &trees[j]});
-            legacy.push_back(engine.model().probFirstSlower(
-                trees[i], trees[j]));
+            legacy.push_back(
+                perPairProb(engine.model(), trees[i], trees[j]));
         }
     }
 
@@ -582,10 +632,10 @@ TEST(Engine, LoadInvalidatesStaleCache)
     std::remove(path.c_str());
 }
 
-TEST(Engine, EvalMetricsAgreeWithLegacyScoring)
+TEST(Engine, EvalMetricsAgreeWithPerPairOracle)
 {
-    // scorePairs(Engine&) must reproduce scorePairs(model) exactly —
-    // the property every experiment driver now leans on.
+    // scorePairs(Engine&) must reproduce the per-pair oracle
+    // exactly — the property every experiment driver now leans on.
     Engine engine(tinyOptions());
     std::vector<Submission> subs;
     for (int i = 0; i < 5; ++i) {
@@ -601,13 +651,95 @@ TEST(Engine, EvalMetricsAgreeWithLegacyScoring)
     auto pairs = buildPairs(subs, idx, popt, rng);
 
     auto via_engine = scorePairs(engine, subs, pairs);
-    auto via_legacy = scorePairs(engine.model(), subs, pairs);
-    ASSERT_EQ(via_engine.size(), via_legacy.size());
+    ASSERT_EQ(via_engine.size(), pairs.size());
     for (std::size_t i = 0; i < via_engine.size(); ++i) {
-        EXPECT_EQ(via_engine[i].score, via_legacy[i].score);
-        EXPECT_EQ(via_engine[i].label, via_legacy[i].label);
-        EXPECT_EQ(via_engine[i].gapMs, via_legacy[i].gapMs);
+        EXPECT_EQ(via_engine[i].score,
+                  perPairProb(engine.model(), subs[pairs[i].first].ast,
+                              subs[pairs[i].second].ast));
+        EXPECT_EQ(via_engine[i].label, pairs[i].label);
     }
+}
+
+// ----------------------------- multi-model cache safety (ISSUE 5)
+
+TEST(Engine, ExternalCacheMustBeNamespaceAware)
+{
+    // A plain ShardedEncodingCache has no namespace allocator: two
+    // engines attaching different models to it used to cross-read
+    // latents. The ctor now refuses it outright.
+    auto model = std::make_shared<ComparativePredictor>(
+        tinyOptions().encoder, 7);
+    auto plain = std::make_shared<ShardedEncodingCache>(2, 16);
+    EXPECT_THROW(Engine(model, tinyOptions(), plain), FatalError);
+
+    auto aware = ShardedEncodingCache::makeShared(2, 16);
+    Engine ok(model, tinyOptions(), aware); // namespace-aware: fine
+    EXPECT_TRUE(ok.compare(tinyProgram(1), tinyProgram(2)).isOk());
+}
+
+TEST(Engine, TwoModelsOnOneSharedCacheNeverCrossRead)
+{
+    // Regression for the latent-collision hazard: two DIFFERENT
+    // models behind one shared cache, queried with the SAME trees,
+    // must each reproduce their private-cache outputs bitwise; the
+    // cache must hold one entry per (model, tree).
+    auto modelA = std::make_shared<ComparativePredictor>(
+        tinyOptions().encoder, 7);
+    auto modelB = std::make_shared<ComparativePredictor>(
+        tinyOptions().encoder, 1234);
+
+    Ast a = tinyProgram(2);
+    Ast b = tinyProgram(5);
+    double soloA = Engine(modelA, tinyOptions()).compare(a, b).value();
+    double soloB = Engine(modelB, tinyOptions()).compare(a, b).value();
+    ASSERT_NE(soloA, soloB); // different weights, different answers
+
+    auto cache = ShardedEncodingCache::makeShared(2, 64);
+    Engine engineA(modelA, tinyOptions(), cache);
+    Engine engineB(modelB, tinyOptions(), cache);
+
+    // Interleave so each engine's second read hits entries the OTHER
+    // model wrote in between — the old digest-only keying would have
+    // served engineB modelA's latents here.
+    EXPECT_EQ(engineA.compare(a, b).value(), soloA);
+    EXPECT_EQ(engineB.compare(a, b).value(), soloB);
+    EXPECT_EQ(engineA.compare(a, b).value(), soloA);
+    EXPECT_EQ(engineB.compare(a, b).value(), soloB);
+
+    // One namespace per model, two residents (a, b) in each.
+    EXPECT_EQ(cache->size(), 4u);
+    auto rowsA = engineA.perModelCacheStats();
+    auto rowsB = engineB.perModelCacheStats();
+    ASSERT_EQ(rowsA.size(), 1u);
+    ASSERT_EQ(rowsB.size(), 1u);
+    EXPECT_NE(rowsA[0].versionId, rowsB[0].versionId);
+    EXPECT_EQ(rowsA[0].cache.residents, 2u);
+    EXPECT_EQ(rowsB[0].cache.residents, 2u);
+    // The second round was pure hits for both tenants.
+    EXPECT_GE(rowsA[0].cache.hits, 2u);
+    EXPECT_GE(rowsB[0].cache.hits, 2u);
+}
+
+TEST(Engine, SameModelOnOneSharedCacheSharesItsNamespace)
+{
+    // The sharded-serving seam: N engines over ONE model must share
+    // latents (one namespace), or the shared cache loses its point.
+    auto model = std::make_shared<ComparativePredictor>(
+        tinyOptions().encoder, 7);
+    auto cache = ShardedEncodingCache::makeShared(2, 64);
+    Engine e1(model, tinyOptions(), cache);
+    Engine e2(model, tinyOptions(), cache);
+
+    Ast a = tinyProgram(2);
+    Ast b = tinyProgram(5);
+    ASSERT_TRUE(e1.compare(a, b).isOk());
+    std::uint64_t missesAfterFirst = cache->stats().misses;
+    ASSERT_TRUE(e2.compare(a, b).isOk()); // all hits via e1's work
+    EXPECT_EQ(cache->stats().misses, missesAfterFirst);
+    EXPECT_EQ(cache->size(), 2u);
+    EXPECT_EQ(e1.perModelCacheStats()[0].versionId,
+              e2.perModelCacheStats()[0].versionId);
+    EXPECT_EQ(e1.stats().treesEncoded + e2.stats().treesEncoded, 2u);
 }
 
 } // namespace

@@ -1,0 +1,41 @@
+"""Shared plumbing for the CI benchmark gates.
+
+Every gate script follows the same shape: load a benchmark JSON
+(path from argv[1] or a default), compare measured throughputs
+against ratio floors with aligned diagnostic output, and exit
+non-zero when any floor is broken. This module holds that
+boilerplate once; check_bench_encode.py and check_bench_serve.py
+keep only their bench-specific extraction and floor tables.
+"""
+
+import json
+import sys
+
+
+def load_json(argv, default_path):
+    """Read the benchmark JSON named by argv[1] (or the default)."""
+    path = argv[1] if len(argv) > 1 else default_path
+    with open(path) as f:
+        return json.load(f)
+
+
+def gate_ratio(label, value, baseline, floor, detail=""):
+    """Check value/baseline >= floor, printing one aligned row.
+
+    Returns True when the gate passes. Missing data (None value or a
+    non-positive baseline) prints a diagnostic and fails the gate.
+    """
+    if value is None or baseline is None or baseline <= 0:
+        print(f"{label}: missing benchmark data")
+        return False
+    ratio = value / baseline
+    ok = ratio >= floor
+    suffix = f"  {detail}" if detail else ""
+    print(f"{label}  ratio {ratio:5.2f}x  floor {floor}x"
+          f"{suffix}  {'ok' if ok else 'FAIL'}")
+    return ok
+
+
+def finish(all_ok):
+    """Exit code for main(): 0 when every gate passed."""
+    return 0 if all_ok else 1

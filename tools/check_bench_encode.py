@@ -14,9 +14,10 @@ while real regressions — e.g. the batched path degenerating to
 per-node cost — still fail loudly.
 """
 
-import json
 import statistics
 import sys
+
+import bench_gate
 
 
 FLOORS = {
@@ -31,9 +32,7 @@ FLOORS = {
 
 
 def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_encode.json"
-    with open(path) as f:
-        data = json.load(f)
+    data = bench_gate.load_json(sys.argv, "BENCH_encode.json")
 
     samples = {}
     for bench in data.get("benchmarks", []):
@@ -56,23 +55,18 @@ def main() -> int:
     perf = {key: statistics.median(vals)
             for key, vals in samples.items()}
 
-    failed = False
+    ok = True
     for shape, floor in FLOORS.items():
         batched = perf.get((shape, "level-batched"))
         pernode = perf.get((shape, "per-node"))
-        if batched is None or pernode is None:
-            print(f"{shape:6s} missing benchmark results")
-            failed = True
-            continue
-        ratio = batched / pernode
-        ok = ratio >= floor
-        print(f"{shape:6s} level-batched {batched:12.0f} nodes/s  "
-              f"per-node {pernode:12.0f} nodes/s  "
-              f"ratio {ratio:5.2f}x  floor {floor}x  "
-              f"{'ok' if ok else 'FAIL'}")
-        failed |= not ok
+        detail = ""
+        if batched is not None and pernode is not None:
+            detail = (f"level-batched {batched:12.0f} nodes/s  "
+                      f"per-node {pernode:12.0f} nodes/s")
+        ok &= bench_gate.gate_ratio(f"{shape:6s}", batched, pernode,
+                                    floor, detail)
 
-    return 1 if failed else 0
+    return bench_gate.finish(ok)
 
 
 if __name__ == "__main__":

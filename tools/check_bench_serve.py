@@ -1,49 +1,66 @@
 #!/usr/bin/env python3
-"""Gate the sharded-serving throughput benchmark.
+"""Gate the serving-throughput benchmark.
 
 Reads the JSON written by
 
     serve_throughput --json BENCH_serve.json
 
-and fails (exit 1) when ShardedServer loses its edge over the
-single-batcher AsyncServer under interactive (depth-1 closed-loop)
-clients. The acceptance bar from ISSUE 4 is sharded >= 1.5x the
-single-batcher aggregate pairs/sec at 4 shards; the win there is
-mostly structural (a 4-way partitioned cache holds 4x the latents at
-the same per-shard budget, so the deterministic re-encode count
-collapses), which is why a throughput ratio makes a workable CI gate:
-a regression in the cache partitioning, the split/join path, or the
-worker loop shows up as the encode storm returning, not as scheduler
-noise. A 1-shard sanity floor guards against ShardedServer simply
-being slower plumbing than AsyncServer.
+and fails (exit 1) on either of two regressions:
+
+1. ShardedServer losing its edge over the single-batcher AsyncServer
+   under interactive (depth-1 closed-loop) clients. The acceptance
+   bar from ISSUE 4 is sharded >= 1.5x the single-batcher aggregate
+   pairs/sec at 4 shards; the win there is mostly structural (a
+   4-way partitioned cache holds 4x the latents at the same
+   per-shard budget, so the deterministic re-encode count
+   collapses), which is why a throughput ratio makes a workable CI
+   gate: a regression in the cache partitioning, the split/join
+   path, or the worker loop shows up as the encode storm returning,
+   not as scheduler noise. A 1-shard sanity floor guards against
+   ShardedServer simply being slower plumbing than AsyncServer.
+
+2. ModelRegistry overhead (ISSUE 5): the same single-model batched
+   workload through a registry-backed Engine must stay >= 0.95x the
+   direct Engine — per-batch name resolution is one mutex-protected
+   map probe amortised over a whole batch, so a lower ratio means
+   the resolution (or the namespaced cache keys) leaked real work
+   into the hot path.
 """
 
-import json
 import sys
+
+import bench_gate
 
 
 # shard count -> minimum sharded/single-batcher throughput ratio.
 # 4 shards is the ISSUE-4 acceptance bar; 1 shard is a plumbing
 # sanity check (same cache budget as the baseline, so parity minus
 # noise is expected — the floor only catches gross regressions).
-FLOORS = {
+SHARD_FLOORS = {
     1: 0.6,
     4: 1.5,
 }
 
+# Registry-through-single-model vs direct Engine (ISSUE 5).
+REGISTRY_FLOOR = 0.95
+
 
 def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_serve.json"
-    with open(path) as f:
-        data = json.load(f)
+    data = bench_gate.load_json(sys.argv, "BENCH_serve.json")
 
     baseline = None
     sharded = {}
+    direct = None
+    registry = None
     for row in data.get("rows", []):
         if row.get("mode") == "async_closed":
             baseline = row
         elif row.get("mode") == "sharded":
             sharded[int(row.get("shards", 0))] = row
+        elif row.get("mode") == "engine_direct":
+            direct = row
+        elif row.get("mode") == "engine_registry":
+            registry = row
 
     if baseline is None or baseline.get("pairs_per_sec", 0) <= 0:
         print("missing async_closed baseline row")
@@ -53,22 +70,25 @@ def main() -> int:
     print(f"single-batcher baseline {base_rate:10.0f} pairs/s  "
           f"({baseline.get('trees_encoded', '?')} trees encoded)")
 
-    failed = False
-    for shards, floor in sorted(FLOORS.items()):
+    ok = True
+    for shards, floor in sorted(SHARD_FLOORS.items()):
         row = sharded.get(shards)
-        if row is None:
-            print(f"{shards} shards: missing benchmark row")
-            failed = True
-            continue
-        ratio = row["pairs_per_sec"] / base_rate
-        ok = ratio >= floor
-        print(f"{shards} shards {row['pairs_per_sec']:10.0f} pairs/s  "
-              f"ratio {ratio:5.2f}x  floor {floor}x  "
-              f"({row.get('trees_encoded', '?')} trees encoded)  "
-              f"{'ok' if ok else 'FAIL'}")
-        failed |= not ok
+        rate = row["pairs_per_sec"] if row else None
+        detail = (f"{rate:10.0f} pairs/s  "
+                  f"({row.get('trees_encoded', '?')} trees encoded)"
+                  if row else "")
+        ok &= bench_gate.gate_ratio(f"{shards} shards", rate,
+                                    base_rate, floor, detail)
 
-    return 1 if failed else 0
+    direct_rate = direct["pairs_per_sec"] if direct else None
+    registry_rate = registry["pairs_per_sec"] if registry else None
+    detail = (f"registry {registry_rate:10.0f} vs direct "
+              f"{direct_rate:10.0f} pairs/s"
+              if direct and registry else "")
+    ok &= bench_gate.gate_ratio("registry overhead", registry_rate,
+                                direct_rate, REGISTRY_FLOOR, detail)
+
+    return bench_gate.finish(ok)
 
 
 if __name__ == "__main__":
