@@ -34,6 +34,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -123,11 +124,14 @@ secondsSince(std::chrono::steady_clock::time_point start)
 struct BenchRow
 {
     std::string mode; // sync|async|async_closed|sharded|
-                      // engine_direct|engine_registry
+                      // engine_direct|engine_registry|
+                      // tenant_solo|tenant_flood
     int clients = 0;
     int shards = 0; // 0 for non-sharded modes
     double pairsPerSec = 0.0;
     std::uint64_t treesEncoded = 0;
+    /** Interactive-tenant p99 latency (tenant_* rows; 0 elsewhere). */
+    double p99Ms = 0.0;
 };
 
 /** Drive a deep-pipelining client fleet: every request is submitted
@@ -217,11 +221,11 @@ writeJson(const std::string& path, int poolSize,
         std::fprintf(f,
                      "    {\"mode\": \"%s\", \"clients\": %d, "
                      "\"shards\": %d, \"pairs_per_sec\": %.1f, "
-                     "\"trees_encoded\": %llu}%s\n",
+                     "\"trees_encoded\": %llu, \"p99_ms\": %.3f}%s\n",
                      r.mode.c_str(), r.clients, r.shards,
                      r.pairsPerSec,
                      static_cast<unsigned long long>(r.treesEncoded),
-                     i + 1 == rows.size() ? "" : ",");
+                     r.p99Ms, i + 1 == rows.size() ? "" : ",");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -490,6 +494,119 @@ main(int argc, char** argv)
                     "floor 0.95x)\n",
                     batchPairs, directRate, registryRate,
                     registryRate / directRate);
+    }
+
+    // ------------------ admission control: noisy-neighbor isolation
+    // Two tenants share one AsyncServer. "fg" is an interactive
+    // closed-loop fleet; "bulk" floods quota-capped batch-class
+    // compareMany traffic from a free-running thread. The token
+    // bucket sheds the flood at submit time and the two-lane batcher
+    // flushes the interactive lane on its own deadline, so the fg
+    // p99 under flood must stay within 3x of the flood-free run
+    // (gated by tools/check_bench_serve.py).
+    {
+        const int fgClients = 4;
+        std::vector<std::vector<WorkItem>> fgStreams;
+        for (int c = 0; c < fgClients; ++c)
+            fgStreams.push_back(
+                clientStream(200 + c, requestsPerClient, poolSize));
+
+        auto runTenantScenario = [&](bool flood, double& p99Ms,
+                                     std::uint64_t& shed) {
+            AdmissionController admission;
+            // ~500 admitted flood pairs/s sustained; everything above
+            // is rejected before it can touch the queue.
+            admission.setQuota(
+                "bulk", AdmissionController::Quota{500.0, 32.0});
+            Engine engine(servingOptions());
+            AsyncServer server(
+                engine, AsyncServer::Options()
+                            .withQueueCapacity(1024)
+                            .withMaxBatchSize(256)
+                            .withMaxBatchDelay(
+                                std::chrono::microseconds(200))
+                            .withAdmission(&admission));
+            std::atomic<bool> stop{false};
+            std::thread flooder;
+            if (flood)
+                flooder = std::thread([&] {
+                    Rng rng(4242);
+                    const SubmitOptions bulk =
+                        SubmitOptions().withTenant("bulk").withPriority(
+                            Priority::kBatch);
+                    std::vector<
+                        std::future<Result<std::vector<double>>>>
+                        inflight;
+                    while (!stop.load(std::memory_order_relaxed)) {
+                        std::vector<Engine::PairRequest> pairs;
+                        pairs.reserve(16);
+                        for (int k = 0; k < 16; ++k) {
+                            int i = rng.uniformInt(0, poolSize - 1);
+                            int j = rng.uniformInt(0, poolSize - 2);
+                            if (j >= i)
+                                ++j;
+                            pairs.push_back(
+                                {&pool[static_cast<std::size_t>(i)],
+                                 &pool[static_cast<std::size_t>(
+                                     j)]});
+                        }
+                        inflight.push_back(
+                            server.submitCompareMany(bulk, pairs));
+                        if (inflight.size() >= 8) {
+                            for (auto& f : inflight)
+                                f.wait();
+                            inflight.clear();
+                            // Breathe between salvos so the rejected
+                            // submissions don't degenerate into a
+                            // pure admission-mutex spin.
+                            std::this_thread::sleep_for(
+                                std::chrono::microseconds(500));
+                        }
+                    }
+                    for (auto& f : inflight)
+                        f.wait();
+                });
+            const SubmitOptions fg =
+                SubmitOptions().withTenant("fg");
+            double rate = runClosedLoopClients(
+                fgClients, fgStreams, pool,
+                [&server, &fg](const Ast& a, const Ast& b) {
+                    return server.submitCompare(fg, a, b);
+                });
+            stop.store(true, std::memory_order_relaxed);
+            if (flooder.joinable())
+                flooder.join();
+            ServerStats stats = server.stats();
+            p99Ms = 0.0;
+            for (const TenantStats& t : stats.tenants)
+                if (t.tenant == "fg")
+                    p99Ms = t.latencyP99Ms;
+            shed = 0;
+            for (const auto& row : admission.stats())
+                if (row.tenant == "bulk")
+                    shed = row.rejected;
+            return rate;
+        };
+
+        double soloP99 = 0.0, floodP99 = 0.0;
+        std::uint64_t soloShed = 0, floodShed = 0;
+        double soloRate =
+            runTenantScenario(false, soloP99, soloShed);
+        double floodRate =
+            runTenantScenario(true, floodP99, floodShed);
+        rows.push_back(BenchRow{"tenant_solo", fgClients, 0, soloRate,
+                                0, soloP99});
+        rows.push_back(BenchRow{"tenant_flood", fgClients, 0,
+                                floodRate, 0, floodP99});
+        std::printf(
+            "\nnoisy neighbor (%d interactive clients, quota-capped"
+            " bulk flood):\n  solo   p99 %7.2f ms  %8.0f pairs/s\n"
+            "  flood  p99 %7.2f ms  %8.0f pairs/s  (%.2fx p99, CI"
+            " ceiling 3x;\n          %llu flood requests shed by"
+            " admission)\n",
+            fgClients, soloP99, soloRate, floodP99, floodRate,
+            soloP99 > 0.0 ? floodP99 / soloP99 : 0.0,
+            static_cast<unsigned long long>(floodShed));
     }
 
     if (!jsonPath.empty())

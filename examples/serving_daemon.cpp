@@ -15,14 +15,19 @@
  * ModelRegistry: two problem-family models behind one sharded
  * front, traffic split by model name, and one model hot-swapped
  * mid-run without stopping the service (the paper's
- * continuous-learning deployment).
+ * continuous-learning deployment); finally multi-tenant serving
+ * with an AdmissionController quota shedding a bulk tenant's flood
+ * while an interactive tenant rides the fast lane, every request
+ * leaving a chrome://tracing span chain via TraceRecorder.
  *
  * The engines here are untrained so the demo runs instantly — a
  * real daemon would registry.load("family-a.bin") at startup (v2
  * checkpoints embed their own config; see examples/quickstart.cpp
  * for training one).
  *
- * Usage: ./serving_daemon
+ * Usage: ./serving_daemon [--trace trace.json]
+ * (--trace exports the [6/6] demo's spans as chrome-trace JSON;
+ * tools/check_trace.py validates the file and CI runs it.)
  */
 
 #include <cstdio>
@@ -32,9 +37,11 @@
 #include <vector>
 
 #include "base/rng.hh"
+#include "serve/admission/admission_controller.hh"
 #include "serve/async_server.hh"
 #include "serve/model_registry.hh"
 #include "serve/sharded_server.hh"
+#include "serve/trace/trace_recorder.hh"
 
 using namespace ccsa;
 
@@ -61,8 +68,13 @@ makeVariant(int loops, int pad)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string tracePath;
+    for (int a = 1; a + 1 < argc; ++a)
+        if (std::string(argv[a]) == "--trace")
+            tracePath = argv[a + 1];
+
     std::printf("=== ccsa serving daemon ===\n\n");
 
     // 1. One engine, one async front. Tuning knobs: maxBatchSize
@@ -88,7 +100,7 @@ main()
     //    algorithm-selection tournaments, all through futures.
     constexpr int kClients = 4;
     constexpr int kRequests = 40;
-    std::printf("[1/5] %d clients x %d requests (compares + ranks)"
+    std::printf("[1/6] %d clients x %d requests (compares + ranks)"
                 "...\n",
                 kClients, kRequests);
     std::vector<std::thread> clients;
@@ -133,7 +145,7 @@ main()
 
     // 4. Drain and stop; futures submitted after this fail fast with
     //    Unavailable instead of hanging.
-    std::printf("\n[2/5] clean shutdown (drains pending work)...\n");
+    std::printf("\n[2/6] clean shutdown (drains pending work)...\n");
     server.shutdown();
     auto late = server
                     .submitCompare(variants[0], variants[1])
@@ -142,7 +154,7 @@ main()
                 late.status().toString().c_str());
 
     // 5. The operator's view.
-    std::printf("\n[3/5] server stats\n");
+    std::printf("\n[3/6] server stats\n");
     ServerStats s = server.stats();
     std::printf("      queue: depth=%zu capacity=%zu\n",
                 s.queueDepth, s.queueCapacity);
@@ -178,7 +190,7 @@ main()
     //    sharing a 4-way partitioned encoding cache (every variant's
     //    latent lives on exactly one shard). Results are bitwise
     //    what the AsyncServer returned above.
-    std::printf("\n[4/5] sharded serving (4 workers, partitioned "
+    std::printf("\n[4/6] sharded serving (4 workers, partitioned "
                 "cache)...\n");
     ShardedServer sharded(Engine::Options()
                               .withEmbedDim(24)
@@ -243,7 +255,7 @@ main()
     //    registry, traffic split by model name, family-a hot-swapped
     //    with a retrained build mid-run. Requests admitted before the
     //    swap complete on the old version; nothing stops.
-    std::printf("\n[5/5] multi-model serving (registry, hot swap "
+    std::printf("\n[5/6] multi-model serving (registry, hot swap "
                 "mid-run)...\n");
     auto registry = std::make_shared<ModelRegistry>();
     EncoderConfig famCfg;
@@ -326,10 +338,134 @@ main()
                 "fresh namespace;\n       the v1 latents expire "
                 "through plain LRU aging)\n");
 
+    // 8. Multi-tenant serving: an interactive "checkout" tenant and
+    //    a quota-capped "bulk" tenant share one server. The token
+    //    bucket admits bulk's first burst, then sheds the rest with
+    //    ResourceExhausted before it can crowd the queue; checkout's
+    //    requests ride the interactive lane, which flushes on its
+    //    own deadline even while bulk traffic is held for fuller
+    //    batches. Every executed request leaves an admission ->
+    //    queue -> coalesce -> encode -> score span chain in the
+    //    TraceRecorder.
+    std::printf("\n[6/6] multi-tenant admission + tracing (bulk "
+                "tenant quota-capped)...\n");
+    AdmissionController admission;
+    admission.setQuota(
+        "bulk", AdmissionController::Quota{/*pairsPerSec=*/50.0,
+                                           /*burst=*/40.0});
+    TraceRecorder trace;
+    Engine tenantEngine(Engine::Options()
+                            .withEmbedDim(24)
+                            .withHiddenDim(32)
+                            .withThreads(0)
+                            .withCacheCapacity(4096));
+    AsyncServer tenantServer(
+        tenantEngine,
+        AsyncServer::Options()
+            .withQueueCapacity(512)
+            .withMaxBatchSize(128)
+            .withMaxBatchDelay(std::chrono::microseconds(200))
+            .withAdmission(&admission)
+            .withTrace(&trace));
+
+    std::thread bulkClient([&] {
+        // 20 batch-class tournaments of 8 pairs each = 160 pairs
+        // against a 40-pair bucket refilling at 50/s: the flood's
+        // tail is shed, not queued.
+        Rng rng(991);
+        const SubmitOptions bulk =
+            SubmitOptions().withTenant("bulk").withPriority(
+                Priority::kBatch);
+        int okCount = 0, shed = 0;
+        for (int k = 0; k < 20; ++k) {
+            std::vector<Engine::PairRequest> pairs;
+            for (int p = 0; p < 8; ++p) {
+                int i = rng.uniformInt(
+                    0, static_cast<int>(variants.size()) - 1);
+                int j = rng.uniformInt(
+                    0, static_cast<int>(variants.size()) - 2);
+                if (j >= i)
+                    ++j;
+                pairs.push_back(
+                    {&variants[static_cast<std::size_t>(i)],
+                     &variants[static_cast<std::size_t>(j)]});
+            }
+            Result<std::vector<double>> r =
+                tenantServer.submitCompareMany(bulk, pairs).get();
+            if (r.isOk())
+                ++okCount;
+            else if (r.status().code() ==
+                     StatusCode::ResourceExhausted)
+                ++shed;
+        }
+        std::printf("      bulk: %d tournaments served, %d shed by "
+                    "quota\n",
+                    okCount, shed);
+    });
+    std::thread checkoutClient([&] {
+        Rng rng(992);
+        const SubmitOptions fg = SubmitOptions().withTenant("checkout");
+        int okCount = 0;
+        for (int k = 0; k < 2 * kRequests; ++k) {
+            int i = rng.uniformInt(
+                0, static_cast<int>(variants.size()) - 1);
+            int j = rng.uniformInt(
+                0, static_cast<int>(variants.size()) - 2);
+            if (j >= i)
+                ++j;
+            if (tenantServer
+                    .submitCompare(
+                        fg, variants[static_cast<std::size_t>(i)],
+                        variants[static_cast<std::size_t>(j)])
+                    .get()
+                    .isOk())
+                ++okCount;
+        }
+        std::printf("      checkout: %d/%d interactive compares ok\n",
+                    okCount, 2 * kRequests);
+    });
+    bulkClient.join();
+    checkoutClient.join();
+    tenantServer.shutdown();
+
+    ServerStats ts = tenantServer.stats();
+    std::printf("      rejected: shed=%llu shutdown=%llu quota=%llu\n",
+                static_cast<unsigned long long>(
+                    ts.requestsRejectedShed),
+                static_cast<unsigned long long>(
+                    ts.requestsRejectedShutdown),
+                static_cast<unsigned long long>(
+                    ts.requestsRejectedQuota));
+    for (const TenantStats& row : ts.tenants)
+        std::printf("      tenant %-10s submitted=%llu "
+                    "completed=%llu quota-rejected=%llu p99=%.3f ms\n",
+                    row.tenant.empty() ? "(default)"
+                                       : row.tenant.c_str(),
+                    static_cast<unsigned long long>(row.submitted),
+                    static_cast<unsigned long long>(row.completed),
+                    static_cast<unsigned long long>(
+                        row.rejectedQuota),
+                    row.latencyP99Ms);
+    std::printf("      trace: %zu spans buffered (%llu dropped)\n",
+                trace.spanCount(),
+                static_cast<unsigned long long>(
+                    trace.droppedSpans()));
+    if (!tracePath.empty()) {
+        Status wrote = trace.writeJson(tracePath);
+        std::printf("      %s\n",
+                    wrote.isOk()
+                        ? ("wrote " + tracePath +
+                           " (open in chrome://tracing or "
+                           "ui.perfetto.dev)")
+                              .c_str()
+                        : wrote.toString().c_str());
+    }
+
     std::printf("\ndone. Tune maxBatchDelay down for latency, up "
                 "for throughput;\nshard when one batcher saturates;"
                 " register models when one service must\nserve many"
-                " problem families — see README \"Multi-model"
-                " serving & hot-swap\".\n");
+                " problem families; quota tenants that crowd the"
+                " queue — see README\n\"Admission control,"
+                " priorities & tracing\".\n");
     return 0;
 }

@@ -1,0 +1,112 @@
+#include "serve/admission/admission_controller.hh"
+
+#include <algorithm>
+
+namespace ccsa
+{
+
+void
+AdmissionController::setQuota(const std::string& tenant, Quota quota)
+{
+    if (quota.burst < 1.0)
+        quota.burst = 1.0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Bucket& bucket = buckets_[tenant];
+    bucket.limited = true;
+    bucket.quota = quota;
+    bucket.tokens = quota.burst;
+    bucket.lastRefill = std::chrono::steady_clock::time_point{};
+}
+
+void
+AdmissionController::clearQuota(const std::string& tenant)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = buckets_.find(tenant);
+    if (it != buckets_.end())
+        it->second.limited = false;
+}
+
+Status
+AdmissionController::admitAt(const std::string& tenant,
+                             std::size_t pairs,
+                             std::chrono::steady_clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Bucket& bucket = buckets_[tenant];
+    if (!bucket.limited) {
+        bucket.admitted++;
+        bucket.admittedPairs += pairs;
+        return Status::ok();
+    }
+
+    // Lazy refill: top the bucket up for the time elapsed since the
+    // last charge, clamped to the burst ceiling. A default
+    // (zero-initialised) lastRefill means the bucket was just
+    // (re)configured full, so the first charge only sets the epoch.
+    if (bucket.lastRefill ==
+        std::chrono::steady_clock::time_point{}) {
+        bucket.lastRefill = now;
+    } else if (now > bucket.lastRefill) {
+        double dt = std::chrono::duration<double>(
+                        now - bucket.lastRefill)
+                        .count();
+        bucket.tokens = std::min(
+            bucket.quota.burst,
+            bucket.tokens + dt * bucket.quota.pairsPerSec);
+        bucket.lastRefill = now;
+    }
+
+    double cost = static_cast<double>(pairs);
+    if (cost > bucket.tokens) {
+        bucket.rejected++;
+        return Status::resourceExhausted(
+            "tenant '" + tenant + "': admission quota exceeded (" +
+            std::to_string(pairs) + " pairs)");
+    }
+    bucket.tokens -= cost;
+    bucket.admitted++;
+    bucket.admittedPairs += pairs;
+    return Status::ok();
+}
+
+Status
+AdmissionController::admit(const std::string& tenant,
+                           std::size_t pairs)
+{
+    return admitAt(tenant, pairs, std::chrono::steady_clock::now());
+}
+
+bool
+AdmissionController::hasQuota(const std::string& tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = buckets_.find(tenant);
+    return it != buckets_.end() && it->second.limited;
+}
+
+std::vector<AdmissionController::TenantAdmissionStats>
+AdmissionController::stats() const
+{
+    std::vector<TenantAdmissionStats> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(buckets_.size());
+        for (const auto& [tenant, bucket] : buckets_) {
+            TenantAdmissionStats row;
+            row.tenant = tenant;
+            row.admitted = bucket.admitted;
+            row.admittedPairs = bucket.admittedPairs;
+            row.rejected = bucket.rejected;
+            out.push_back(std::move(row));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TenantAdmissionStats& a,
+                 const TenantAdmissionStats& b) {
+                  return a.tenant < b.tenant;
+              });
+    return out;
+}
+
+} // namespace ccsa

@@ -64,6 +64,14 @@ AsyncServer::~AsyncServer()
     shutdown();
 }
 
+std::chrono::microseconds
+AsyncServer::batchClassDelay() const
+{
+    if (opts_.maxBatchClassDelay.count() > 0)
+        return opts_.maxBatchClassDelay;
+    return opts_.maxBatchDelay * 8;
+}
+
 void
 AsyncServer::start()
 {
@@ -99,11 +107,13 @@ AsyncServer::isShutdown() const
 
 bool
 AsyncServer::submitCore(
-    const std::string& model,
+    const SubmitOptions& submitOpts,
     std::vector<Engine::PairRequest> pairs,
     std::function<void(Result<std::vector<double>>)> complete,
     bool blocking)
 {
+    auto submitStart = std::chrono::steady_clock::now();
+
     // Per-request validation: a malformed request fails only its own
     // future and never reaches (or poisons) a shared batch.
     for (std::size_t i = 0; i < pairs.size(); ++i) {
@@ -121,11 +131,30 @@ AsyncServer::submitCore(
         return true;
     }
 
+    // Admission: charge the tenant's bucket BEFORE the request can
+    // occupy queue capacity, so a flooding tenant is turned away at
+    // the door instead of starving everyone behind it.
+    if (opts_.admission != nullptr) {
+        Status admitted =
+            opts_.admission->admit(submitOpts.tenant, pairs.size());
+        if (!admitted.isOk()) {
+            {
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                rejectedQuota_++;
+                TenantStats& row = tenants_[submitOpts.tenant];
+                row.tenant = submitOpts.tenant;
+                row.rejectedQuota++;
+            }
+            complete(admitted);
+            return true;
+        }
+    }
+
     // Resolve the model AT ADMISSION: the request pins this version
     // snapshot for its whole life, so a registry hot-swap between
     // now and execution cannot change what it is answered with.
     Result<std::shared_ptr<const ModelVersion>> version =
-        engine_->resolveModel(model);
+        engine_->resolveModel(submitOpts.model);
     if (!version.isOk()) {
         complete(version.status());
         noteFailed();
@@ -136,6 +165,11 @@ AsyncServer::submitCore(
     request.pairs = std::move(pairs);
     request.version = version.take();
     request.complete = std::move(complete);
+    request.priority = submitOpts.priority;
+    request.tenant = submitOpts.tenant;
+    if (opts_.trace != nullptr)
+        request.traceId = opts_.trace->nextChain();
+    request.submitted = submitStart;
     request.enqueued = std::chrono::steady_clock::now();
 
     QueuePush outcome = blocking ? queue_.push(std::move(request))
@@ -144,18 +178,21 @@ AsyncServer::submitCore(
       case QueuePush::Ok: {
           std::lock_guard<std::mutex> lock(statsMutex_);
           submitted_++;
+          TenantStats& row = tenants_[submitOpts.tenant];
+          row.tenant = submitOpts.tenant;
+          row.submitted++;
           return true;
       }
       case QueuePush::Full: {
           // Backpressure: the caller keeps no future and may retry.
           std::lock_guard<std::mutex> lock(statsMutex_);
-          rejected_++;
+          rejectedShed_++;
           return false;
       }
       case QueuePush::Closed: {
           {
               std::lock_guard<std::mutex> lock(statsMutex_);
-              rejected_++;
+              rejectedShutdown_++;
           }
           // Push guarantees the request is untouched on rejection.
           request.complete(Status::unavailable(
@@ -169,17 +206,25 @@ AsyncServer::submitCore(
 std::future<Result<double>>
 AsyncServer::submitCompare(const Ast& first, const Ast& second)
 {
-    return submitCompare(std::string(), first, second);
+    return submitCompare(SubmitOptions(), first, second);
 }
 
 std::future<Result<double>>
 AsyncServer::submitCompare(const std::string& model,
                            const Ast& first, const Ast& second)
 {
+    return submitCompare(SubmitOptions().withModel(model), first,
+                         second);
+}
+
+std::future<Result<double>>
+AsyncServer::submitCompare(const SubmitOptions& submitOpts,
+                           const Ast& first, const Ast& second)
+{
     auto promise =
         std::make_shared<std::promise<Result<double>>>();
     std::future<Result<double>> future = promise->get_future();
-    submitCore(model, {Engine::PairRequest{&first, &second}},
+    submitCore(submitOpts, {Engine::PairRequest{&first, &second}},
                [promise](Result<std::vector<double>> r) {
                    if (r.isOk())
                        promise->set_value(r.value()[0]);
@@ -194,7 +239,7 @@ std::future<Result<std::vector<double>>>
 AsyncServer::submitCompareMany(
     std::vector<Engine::PairRequest> pairs)
 {
-    return submitCompareMany(std::string(), std::move(pairs));
+    return submitCompareMany(SubmitOptions(), std::move(pairs));
 }
 
 std::future<Result<std::vector<double>>>
@@ -202,11 +247,20 @@ AsyncServer::submitCompareMany(
     const std::string& model,
     std::vector<Engine::PairRequest> pairs)
 {
+    return submitCompareMany(SubmitOptions().withModel(model),
+                             std::move(pairs));
+}
+
+std::future<Result<std::vector<double>>>
+AsyncServer::submitCompareMany(
+    const SubmitOptions& submitOpts,
+    std::vector<Engine::PairRequest> pairs)
+{
     auto promise = std::make_shared<
         std::promise<Result<std::vector<double>>>>();
     std::future<Result<std::vector<double>>> future =
         promise->get_future();
-    submitCore(model, std::move(pairs),
+    submitCore(submitOpts, std::move(pairs),
                [promise](Result<std::vector<double>> r) {
                    promise->set_value(std::move(r));
                },
@@ -217,11 +271,19 @@ AsyncServer::submitCompareMany(
 std::future<Result<std::vector<Engine::RankedCandidate>>>
 AsyncServer::submitRank(std::vector<const Ast*> candidates)
 {
-    return submitRank(std::string(), std::move(candidates));
+    return submitRank(SubmitOptions(), std::move(candidates));
 }
 
 std::future<Result<std::vector<Engine::RankedCandidate>>>
 AsyncServer::submitRank(const std::string& model,
+                        std::vector<const Ast*> candidates)
+{
+    return submitRank(SubmitOptions().withModel(model),
+                      std::move(candidates));
+}
+
+std::future<Result<std::vector<Engine::RankedCandidate>>>
+AsyncServer::submitRank(const SubmitOptions& submitOpts,
                         std::vector<const Ast*> candidates)
 {
     auto promise = std::make_shared<
@@ -235,7 +297,7 @@ AsyncServer::submitRank(const std::string& model,
         return future;
     }
     std::size_t n = candidates.size();
-    submitCore(model, Engine::tournamentPairs(candidates),
+    submitCore(submitOpts, Engine::tournamentPairs(candidates),
                [promise, n](Result<std::vector<double>> r) {
                    if (r.isOk())
                        promise->set_value(Engine::aggregateTournament(
@@ -250,18 +312,27 @@ AsyncServer::submitRank(const std::string& model,
 std::optional<std::future<Result<double>>>
 AsyncServer::trySubmitCompare(const Ast& first, const Ast& second)
 {
-    return trySubmitCompare(std::string(), first, second);
+    return trySubmitCompare(SubmitOptions(), first, second);
 }
 
 std::optional<std::future<Result<double>>>
 AsyncServer::trySubmitCompare(const std::string& model,
                               const Ast& first, const Ast& second)
 {
+    return trySubmitCompare(SubmitOptions().withModel(model), first,
+                            second);
+}
+
+std::optional<std::future<Result<double>>>
+AsyncServer::trySubmitCompare(const SubmitOptions& submitOpts,
+                              const Ast& first, const Ast& second)
+{
     auto promise =
         std::make_shared<std::promise<Result<double>>>();
     std::future<Result<double>> future = promise->get_future();
     bool accepted =
-        submitCore(model, {Engine::PairRequest{&first, &second}},
+        submitCore(submitOpts,
+                   {Engine::PairRequest{&first, &second}},
                    [promise](Result<std::vector<double>> r) {
                        if (r.isOk())
                            promise->set_value(r.value()[0]);
@@ -278,7 +349,7 @@ std::optional<std::future<Result<std::vector<double>>>>
 AsyncServer::trySubmitCompareMany(
     std::vector<Engine::PairRequest> pairs)
 {
-    return trySubmitCompareMany(std::string(), std::move(pairs));
+    return trySubmitCompareMany(SubmitOptions(), std::move(pairs));
 }
 
 std::optional<std::future<Result<std::vector<double>>>>
@@ -286,12 +357,21 @@ AsyncServer::trySubmitCompareMany(
     const std::string& model,
     std::vector<Engine::PairRequest> pairs)
 {
+    return trySubmitCompareMany(SubmitOptions().withModel(model),
+                                std::move(pairs));
+}
+
+std::optional<std::future<Result<std::vector<double>>>>
+AsyncServer::trySubmitCompareMany(
+    const SubmitOptions& submitOpts,
+    std::vector<Engine::PairRequest> pairs)
+{
     auto promise = std::make_shared<
         std::promise<Result<std::vector<double>>>>();
     std::future<Result<std::vector<double>>> future =
         promise->get_future();
     bool accepted =
-        submitCore(model, std::move(pairs),
+        submitCore(submitOpts, std::move(pairs),
                    [promise](Result<std::vector<double>> r) {
                        promise->set_value(std::move(r));
                    },
@@ -304,12 +384,15 @@ AsyncServer::trySubmitCompareMany(
 void
 AsyncServer::batcherLoop()
 {
+    Coalescer<Request> coalescer(queue_, opts_.maxBatchSize,
+                                 opts_.maxBatchDelay,
+                                 batchClassDelay());
     for (;;) {
-        // Pop-and-coalesce (serve/coalesce.hh); nullopt means the
-        // queue is closed and fully drained — clean exit.
+        // Two-lane pop-and-coalesce (serve/coalesce.hh); nullopt
+        // means the queue is closed, fully drained, and nothing is
+        // held over — clean exit.
         std::optional<CoalescedBatch<Request>> batch =
-            popCoalescedBatch(queue_, opts_.maxBatchSize,
-                              opts_.maxBatchDelay);
+            coalescer.next();
         if (!batch)
             return;
 
@@ -319,10 +402,13 @@ AsyncServer::batcherLoop()
         // fails only its own members.
         ModelBatches grouped = groupBatchByModel(*batch);
         std::vector<Result<std::vector<double>>> results;
+        std::vector<Engine::PhaseTiming> timings(
+            grouped.groups.size());
         results.reserve(grouped.groups.size());
-        for (const ModelBatches::Group& g : grouped.groups)
-            results.push_back(
-                engine_->compareMany(*g.version, g.pairs));
+        for (std::size_t g = 0; g < grouped.groups.size(); ++g)
+            results.push_back(engine_->compareMany(
+                *grouped.groups[g].version, grouped.groups[g].pairs,
+                &timings[g]));
         recordBatch(batch->pairCount);
 
         // Fan results (or each group's failure) back out to each
@@ -336,6 +422,7 @@ AsyncServer::batcherLoop()
                 results[grouped.groupOf[i]];
             recordOutcome(r, probs.isOk(), completedAt);
             if (probs.isOk()) {
+                recordTrace(r, timings[grouped.groupOf[i]]);
                 auto begin = probs.value().begin() +
                     static_cast<std::ptrdiff_t>(grouped.offsetOf[i]);
                 r.complete(std::vector<double>(
@@ -365,11 +452,17 @@ AsyncServer::recordOutcome(
 {
     std::size_t us = latencySampleUs(now - request.enqueued);
     std::lock_guard<std::mutex> lock(statsMutex_);
-    if (ok)
+    TenantStats& row = tenants_[request.tenant];
+    row.tenant = request.tenant;
+    if (ok) {
         completed_++;
-    else
+        row.completed++;
+    } else {
         failed_++;
+        row.failed++;
+    }
     latencyUs_.add(us);
+    row.latencyUs.add(us);
 }
 
 void
@@ -377,6 +470,31 @@ AsyncServer::noteFailed()
 {
     std::lock_guard<std::mutex> lock(statsMutex_);
     failed_++;
+}
+
+void
+AsyncServer::recordTrace(const Request& request,
+                         const Engine::PhaseTiming& timing)
+{
+    if (opts_.trace == nullptr || request.traceId == 0)
+        return;
+    TraceRecorder& trace = *opts_.trace;
+    auto pairs = static_cast<std::uint32_t>(request.pairs.size());
+    trace.record(request.traceId, TracePhase::Admission,
+                 request.submitted, request.enqueued, 0,
+                 request.tenant, pairs);
+    trace.record(request.traceId, TracePhase::Queue,
+                 request.enqueued, request.dequeued, 0,
+                 request.tenant, pairs);
+    trace.record(request.traceId, TracePhase::Coalesce,
+                 request.dequeued, timing.encodeStart, 0,
+                 request.tenant, pairs);
+    trace.record(request.traceId, TracePhase::Encode,
+                 timing.encodeStart, timing.encodeEnd, 0,
+                 request.tenant, pairs);
+    trace.record(request.traceId, TracePhase::Score,
+                 timing.encodeEnd, timing.scoreEnd, 0,
+                 request.tenant, pairs);
 }
 
 ServerStats
@@ -388,14 +506,27 @@ AsyncServer::stats() const
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         out.requestsSubmitted = submitted_;
-        out.requestsRejected = rejected_;
+        out.requestsRejectedShed = rejectedShed_;
+        out.requestsRejectedShutdown = rejectedShutdown_;
+        out.requestsRejectedQuota = rejectedQuota_;
+        out.requestsRejected =
+            rejectedShed_ + rejectedShutdown_ + rejectedQuota_;
         out.requestsCompleted = completed_;
         out.requestsFailed = failed_;
         out.batches = batches_;
         out.pairsServed = pairsServed_;
         out.batchSizes = batchSizes_;
         out.latencyUs = latencyUs_;
+        out.tenants.reserve(tenants_.size());
+        for (const auto& [name, row] : tenants_)
+            out.tenants.push_back(row);
     }
+    std::sort(out.tenants.begin(), out.tenants.end(),
+              [](const TenantStats& a, const TenantStats& b) {
+                  return a.tenant < b.tenant;
+              });
+    for (TenantStats& row : out.tenants)
+        fillTenantPercentiles(row);
     fillLatencyPercentiles(out);
     out.engine = engine_->stats();
     out.models = engine_->perModelCacheStats();

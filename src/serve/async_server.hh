@@ -41,6 +41,18 @@
  * independent of batch composition, so the determinism contract
  * holds per model.
  *
+ * Admission, priorities & tracing: Options can attach a shared
+ * AdmissionController (per-tenant token buckets — a dry bucket
+ * answers the submit immediately with ResourceExhausted, before the
+ * request touches the queue) and a TraceRecorder (every successful
+ * request exports an admission->queue->coalesce->encode->score span
+ * chain as chrome://tracing JSON). Every submit endpoint has a
+ * SubmitOptions overload carrying tenant + priority; batch-priority
+ * requests may be held past an interactive flush (Options::
+ * maxBatchClassDelay, serve/coalesce.hh) so they ride full batches.
+ * None of this changes any result — only whether a request is
+ * admitted and when it executes.
+ *
  * This queue/batcher seam is where the ROADMAP's sharded and
  * multi-process serving plug in: shards become multiple batcher
  * consumers of the same RequestQueue.
@@ -51,6 +63,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -58,12 +71,15 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "base/bounded_queue.hh"
 #include "base/result.hh"
+#include "serve/admission/admission_controller.hh"
 #include "serve/engine.hh"
 #include "serve/server_stats.hh"
+#include "serve/trace/trace_recorder.hh"
 
 namespace ccsa
 {
@@ -79,11 +95,32 @@ class AsyncServer
         std::size_t queueCapacity = 1024;
         /** Flush the current batch once it holds this many pairs. */
         std::size_t maxBatchSize = 256;
-        /** Flush once the oldest pending request has waited this
-         * long, even if the batch is below maxBatchSize. Smaller =
-         * lower latency; larger = bigger batches / higher
+        /** Flush once the oldest pending INTERACTIVE request has
+         * waited this long, even if the batch is below maxBatchSize.
+         * Smaller = lower latency; larger = bigger batches / higher
          * throughput. */
         std::chrono::microseconds maxBatchDelay{500};
+        /** Flush budget of the BATCH priority lane (see
+         * serve/coalesce.hh): batch-class members may be held over
+         * past an interactive flush until the oldest of them has
+         * waited this long, so background traffic rides full batches
+         * instead of fragmenting them. 0 (the default) means "8 x
+         * maxBatchDelay"; values below maxBatchDelay are clamped up
+         * to it. Irrelevant while every caller submits interactive
+         * (the legacy paths), so the pre-priority flush behaviour is
+         * unchanged by default. */
+        std::chrono::microseconds maxBatchClassDelay{0};
+        /** Optional per-tenant admission gate (not owned; must
+         * outlive the server). Submissions a dry bucket rejects
+         * resolve immediately with ResourceExhausted. nullptr =
+         * admit everything (legacy behaviour). */
+        AdmissionController* admission = nullptr;
+        /** Optional span sink (not owned; must outlive the server).
+         * Every SUCCESSFUL request leaves a full
+         * admission->queue->coalesce->encode->score chain; failed or
+         * rejected requests leave none, so an exported trace only
+         * contains complete chains. nullptr = no tracing. */
+        TraceRecorder* trace = nullptr;
         /** Do not start the batcher thread until start() — lets tests
          * and daemons stage requests deterministically. */
         bool startPaused = false;
@@ -103,6 +140,24 @@ class AsyncServer
         Options& withMaxBatchDelay(std::chrono::microseconds d)
         {
             maxBatchDelay = d;
+            return *this;
+        }
+
+        Options& withMaxBatchClassDelay(std::chrono::microseconds d)
+        {
+            maxBatchClassDelay = d;
+            return *this;
+        }
+
+        Options& withAdmission(AdmissionController* controller)
+        {
+            admission = controller;
+            return *this;
+        }
+
+        Options& withTrace(TraceRecorder* recorder)
+        {
+            trace = recorder;
             return *this;
         }
 
@@ -146,6 +201,9 @@ class AsyncServer
     std::future<Result<double>> submitCompare(
         const std::string& model, const Ast& first,
         const Ast& second);
+    std::future<Result<double>> submitCompare(
+        const SubmitOptions& submitOpts, const Ast& first,
+        const Ast& second);
 
     /**
      * Submit a pair batch; resolves to one probability per pair in
@@ -157,6 +215,9 @@ class AsyncServer
     std::future<Result<std::vector<double>>>
     submitCompareMany(const std::string& model,
                       std::vector<Engine::PairRequest> pairs);
+    std::future<Result<std::vector<double>>>
+    submitCompareMany(const SubmitOptions& submitOpts,
+                      std::vector<Engine::PairRequest> pairs);
 
     /**
      * Submit a ranking tournament; resolves to the same best-first
@@ -167,6 +228,9 @@ class AsyncServer
     submitRank(std::vector<const Ast*> candidates);
     std::future<Result<std::vector<Engine::RankedCandidate>>>
     submitRank(const std::string& model,
+               std::vector<const Ast*> candidates);
+    std::future<Result<std::vector<Engine::RankedCandidate>>>
+    submitRank(const SubmitOptions& submitOpts,
                std::vector<const Ast*> candidates);
 
     /**
@@ -181,12 +245,18 @@ class AsyncServer
     std::optional<std::future<Result<double>>>
     trySubmitCompare(const std::string& model, const Ast& first,
                      const Ast& second);
+    std::optional<std::future<Result<double>>>
+    trySubmitCompare(const SubmitOptions& submitOpts,
+                     const Ast& first, const Ast& second);
 
     /** Non-blocking submitCompareMany; same contract. */
     std::optional<std::future<Result<std::vector<double>>>>
     trySubmitCompareMany(std::vector<Engine::PairRequest> pairs);
     std::optional<std::future<Result<std::vector<double>>>>
     trySubmitCompareMany(const std::string& model,
+                         std::vector<Engine::PairRequest> pairs);
+    std::optional<std::future<Result<std::vector<double>>>>
+    trySubmitCompareMany(const SubmitOptions& submitOpts,
                          std::vector<Engine::PairRequest> pairs);
 
     /** Start the batcher if construction was startPaused. No-op when
@@ -222,19 +292,29 @@ class AsyncServer
         std::vector<Engine::PairRequest> pairs;
         std::shared_ptr<const ModelVersion> version;
         std::function<void(Result<std::vector<double>>)> complete;
+        /** Scheduling lane (serve/coalesce.hh two-lane flush). */
+        Priority priority = Priority::kInteractive;
+        /** Admission tenant ("" = default tenant). */
+        std::string tenant;
+        /** TraceRecorder chain id; 0 = untraced. */
+        std::uint64_t traceId = 0;
+        /** submitCore entry — the admission trace span's start. */
+        std::chrono::steady_clock::time_point submitted;
         std::chrono::steady_clock::time_point enqueued;
+        /** Stamped by the Coalescer when popped (queue-span end). */
+        std::chrono::steady_clock::time_point dequeued;
     };
 
     /**
-     * Validate + resolve the model + enqueue a request. Invalid
-     * requests (including unknown model names) and closed-queue
-     * rejections are answered through `complete` immediately (on the
-     * calling thread).
+     * Validate + charge admission + resolve the model + enqueue a
+     * request. Invalid requests (including unknown model names),
+     * quota rejections, and closed-queue rejections are answered
+     * through `complete` immediately (on the calling thread).
      * @return false only for a non-blocking attempt that found the
      * queue full — the one case where no future should be handed out.
      */
     bool submitCore(
-        const std::string& model,
+        const SubmitOptions& submitOpts,
         std::vector<Engine::PairRequest> pairs,
         std::function<void(Result<std::vector<double>>)> complete,
         bool blocking);
@@ -244,6 +324,13 @@ class AsyncServer
     void recordOutcome(const Request& request, bool ok,
                        std::chrono::steady_clock::time_point now);
     void noteFailed();
+    /** Emit the five-span chain of one successfully answered
+     * request (no-op when untraced). */
+    void recordTrace(const Request& request,
+                     const Engine::PhaseTiming& timing);
+    /** The batch lane's flush budget after defaulting (0 -> 8x
+     * maxBatchDelay); the Coalescer clamps it >= maxBatchDelay. */
+    std::chrono::microseconds batchClassDelay() const;
 
     std::unique_ptr<Engine> owned_;
     Engine* engine_;
@@ -258,7 +345,9 @@ class AsyncServer
     /** Guards the counters below (shared by clients + batcher). */
     mutable std::mutex statsMutex_;
     std::uint64_t submitted_ = 0;
-    std::uint64_t rejected_ = 0;
+    std::uint64_t rejectedShed_ = 0;
+    std::uint64_t rejectedShutdown_ = 0;
+    std::uint64_t rejectedQuota_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
     std::uint64_t batches_ = 0;
@@ -269,6 +358,9 @@ class AsyncServer
      * aggregate derives them from merged shard histograms — one
      * latency population semantics across every server flavour. */
     Histogram latencyUs_;
+    /** Per-tenant counters + latency histograms, keyed by tenant
+     * name; snapshotted (sorted) into ServerStats::tenants. */
+    std::unordered_map<std::string, TenantStats> tenants_;
 };
 
 } // namespace ccsa

@@ -1,13 +1,27 @@
 /**
  * @file
- * The pop-and-coalesce state machine shared by AsyncServer's single
+ * The pop-and-coalesce machinery shared by AsyncServer's single
  * batcher and every ShardedServer worker. Exactly one implementation
  * exists of the subtle part — how long a batcher waits for more work
- * before executing: block for the tick's first request, then keep
- * popping until the batch holds maxBatchSize pairs or the oldest
- * member has waited maxBatchDelay since submission (queue time
- * counts against the budget), and once the budget is spent still
- * sweep up anything already queued — free coalescing under backlog.
+ * before executing. Since the admission-control layer that wait is
+ * PRIORITY-AWARE: a Coalescer keeps a two-lane pending set inside
+ * the tick, and the flush policy treats the lanes differently:
+ *
+ *  - pairCount reaching maxBatchSize flushes everything — a full
+ *    batch is a full batch, whoever filled it;
+ *  - the oldest INTERACTIVE member reaching its interactiveDelay
+ *    budget (queue time counts against it) flushes the interactive
+ *    lane EARLY, leaving batch-class members pending so the engine
+ *    call answering latency-sensitive work stays small;
+ *  - batch-class members flush when the oldest of them exhausts the
+ *    larger batchDelay budget (or on queue close/drain) — batch
+ *    traffic rides full batches instead of fragmenting them.
+ *
+ * Determinism contract: lane assignment and flush timing change only
+ * WHICH requests share an engine call, never a result — every pair's
+ * probability is independent of batch composition, so priorities are
+ * purely a latency/throughput trade (tests pin futures bitwise
+ * against a synchronous Engine under priority scheduling).
  *
  * Since the ModelRegistry refactor a request also pins the
  * ModelVersion it resolved at ADMISSION time, so one coalesced batch
@@ -20,7 +34,10 @@
  *
  * Request is any type with `.pairs` (a vector of Engine pair
  * requests), `.version` (a shared_ptr<const ModelVersion> resolved
- * at admission) and `.enqueued` (a steady_clock time_point).
+ * at admission), `.priority` (a ccsa::Priority lane tag),
+ * `.enqueued` (a steady_clock time_point stamped at submission) and
+ * `.dequeued` (a steady_clock time_point the Coalescer stamps when
+ * it pops the request — the queue->coalesce trace-span boundary).
  */
 
 #ifndef CCSA_SERVE_COALESCE_HH
@@ -32,9 +49,11 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/bounded_queue.hh"
+#include "serve/admission/admission_controller.hh"
 #include "serve/engine.hh"
 
 namespace ccsa
@@ -113,44 +132,184 @@ groupBatchByModel(const CoalescedBatch<Request>& batch)
 }
 
 /**
- * Block for the next batch of work.
- * @return nullopt only when the queue is closed AND drained — the
- * batcher's clean-exit signal.
+ * The two-lane pop-and-coalesce state machine. One Coalescer per
+ * batcher thread; call next() in a loop until it returns nullopt
+ * (queue closed AND drained AND nothing held over — the clean-exit
+ * signal). Batch-lane members a tick held back stay pending inside
+ * the Coalescer between next() calls.
  */
 template <typename Request>
-std::optional<CoalescedBatch<Request>>
-popCoalescedBatch(BoundedQueue<Request>& queue,
-                  std::size_t maxBatchSize,
-                  std::chrono::microseconds maxBatchDelay)
+class Coalescer
 {
-    std::optional<Request> first = queue.pop();
-    if (!first)
-        return std::nullopt;
-
-    CoalescedBatch<Request> batch;
-    batch.pairCount = first->pairs.size();
-    batch.requests.push_back(std::move(*first));
-
-    auto deadline = batch.requests[0].enqueued + maxBatchDelay;
-    while (batch.pairCount < maxBatchSize) {
-        auto now = std::chrono::steady_clock::now();
-        std::optional<Request> next;
-        if (now >= deadline) {
-            next = queue.tryPop();
-            if (!next)
-                break; // budget spent and nothing ready
-        } else {
-            next = queue.popFor(
-                std::chrono::duration_cast<std::chrono::microseconds>(
-                    deadline - now));
-            if (!next)
-                break; // timed out, or closed and drained
-        }
-        batch.pairCount += next->pairs.size();
-        batch.requests.push_back(std::move(*next));
+  public:
+    /**
+     * @param interactiveDelay flush budget of the interactive lane
+     *   (AsyncServer::Options::maxBatchDelay);
+     * @param batchDelay flush budget of the batch lane — clamped up
+     *   to interactiveDelay so batch traffic never flushes EARLIER
+     *   than interactive traffic.
+     */
+    Coalescer(BoundedQueue<Request>& queue, std::size_t maxBatchSize,
+              std::chrono::microseconds interactiveDelay,
+              std::chrono::microseconds batchDelay)
+        : queue_(queue),
+          maxBatchSize_(maxBatchSize == 0 ? 1 : maxBatchSize),
+          interactiveDelay_(interactiveDelay),
+          batchDelay_(batchDelay < interactiveDelay
+                          ? interactiveDelay
+                          : batchDelay)
+    {
     }
-    return batch;
-}
+
+    /**
+     * Block for the next batch of work.
+     * @return nullopt only when the queue is closed, drained, and no
+     * batch-lane members are held over.
+     */
+    std::optional<CoalescedBatch<Request>>
+    next()
+    {
+        for (;;) {
+            if (pending_.empty()) {
+                std::optional<Request> first = queue_.pop();
+                if (!first)
+                    return std::nullopt; // closed & fully drained
+                admit(std::move(*first));
+            }
+            for (;;) {
+                if (pendingPairs_ >= maxBatchSize_)
+                    return flushAll();
+                auto now = Clock::now();
+                Clock::time_point deadline = earliestDeadline();
+                if (now >= deadline) {
+                    // Budget spent: still sweep up anything already
+                    // queued — free coalescing under backlog — then
+                    // flush whichever lane(s) came due.
+                    while (pendingPairs_ < maxBatchSize_) {
+                        std::optional<Request> more = queue_.tryPop();
+                        if (!more)
+                            break;
+                        admit(std::move(*more));
+                    }
+                    if (pendingPairs_ >= maxBatchSize_)
+                        return flushAll();
+                    CoalescedBatch<Request> due =
+                        flushDue(Clock::now());
+                    if (!due.requests.empty())
+                        return due;
+                    continue; // clock jitter: nothing was actually due
+                }
+                std::optional<Request> next = queue_.popFor(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(deadline - now));
+                if (next) {
+                    admit(std::move(*next));
+                    continue;
+                }
+                if (queue_.closed()) {
+                    // Drained for good: nothing else will ever
+                    // arrive, so holding the batch lane back buys
+                    // nothing — answer everything accepted.
+                    return flushAll();
+                }
+                // Timed out: the next loop iteration classifies the
+                // now-expired deadline and flushes.
+            }
+        }
+    }
+
+    /** Batch-lane members currently held over between ticks. */
+    std::size_t pendingRequests() const { return pending_.size(); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    Clock::time_point
+    deadlineOf(const Request& r) const
+    {
+        return r.enqueued +
+            (r.priority == Priority::kBatch ? batchDelay_
+                                            : interactiveDelay_);
+    }
+
+    /** Earliest member deadline. Pending holds at most
+     * maxBatchSize requests (every queued request carries >= 1
+     * pair), so the scan is cheap and bounded. */
+    Clock::time_point
+    earliestDeadline() const
+    {
+        Clock::time_point earliest = Clock::time_point::max();
+        for (const Request& r : pending_) {
+            Clock::time_point d = deadlineOf(r);
+            if (d < earliest)
+                earliest = d;
+        }
+        return earliest;
+    }
+
+    void
+    admit(Request&& r)
+    {
+        r.dequeued = Clock::now();
+        pendingPairs_ += r.pairs.size();
+        pending_.push_back(std::move(r));
+    }
+
+    CoalescedBatch<Request>
+    flushAll()
+    {
+        CoalescedBatch<Request> batch;
+        batch.requests = std::move(pending_);
+        batch.pairCount = pendingPairs_;
+        pending_.clear();
+        pendingPairs_ = 0;
+        return batch;
+    }
+
+    /** Flush the lane(s) whose budget expired by `now`: an expired
+     * batch lane takes everything with it, while an expired
+     * interactive lane alone leaves batch-class members pending so
+     * the latency-sensitive engine call stays small. */
+    CoalescedBatch<Request>
+    flushDue(Clock::time_point now)
+    {
+        bool haveBatch = false;
+        bool batchDue = false;
+        for (const Request& r : pending_) {
+            if (r.priority != Priority::kBatch)
+                continue;
+            haveBatch = true;
+            if (deadlineOf(r) <= now)
+                batchDue = true;
+        }
+        if (!haveBatch || batchDue)
+            return flushAll();
+
+        CoalescedBatch<Request> batch;
+        std::vector<Request> held;
+        for (Request& r : pending_) {
+            if (r.priority == Priority::kBatch) {
+                held.push_back(std::move(r));
+            } else {
+                batch.pairCount += r.pairs.size();
+                batch.requests.push_back(std::move(r));
+            }
+        }
+        pending_ = std::move(held);
+        pendingPairs_ -= batch.pairCount;
+        // Nothing interactive was actually due (clock jitter): the
+        // caller still gets a valid (possibly empty) batch; an empty
+        // one simply loops back into next()'s accumulate phase.
+        return batch;
+    }
+
+    BoundedQueue<Request>& queue_;
+    std::size_t maxBatchSize_;
+    std::chrono::microseconds interactiveDelay_;
+    std::chrono::microseconds batchDelay_;
+    std::vector<Request> pending_;
+    std::size_t pendingPairs_ = 0;
+};
 
 } // namespace ccsa
 

@@ -275,7 +275,8 @@ Engine::compareMany(const std::string& model,
 
 Result<std::vector<double>>
 Engine::compareMany(const ModelVersion& version,
-                    const std::vector<PairRequest>& pairs)
+                    const std::vector<PairRequest>& pairs,
+                    PhaseTiming* timing)
 {
     std::vector<const Ast*> trees;
     trees.reserve(pairs.size() * 2);
@@ -284,7 +285,12 @@ Engine::compareMany(const ModelVersion& version,
         trees.push_back(p.second);
     }
 
+    if (timing)
+        timing->encodeStart = std::chrono::steady_clock::now();
     Result<std::vector<Tensor>> latents = encodeBatch(version, trees);
+    if (timing)
+        timing->encodeEnd = timing->scoreEnd =
+            std::chrono::steady_clock::now();
     if (!latents.isOk())
         return latents.status();
 
@@ -304,6 +310,8 @@ Engine::compareMany(const ModelVersion& version,
         return Status::internal(
             std::string("compareMany: ") + e.what());
     }
+    if (timing)
+        timing->scoreEnd = std::chrono::steady_clock::now();
 
     std::lock_guard<std::mutex> lock(mutex_);
     pairsServed_ += pairs.size();

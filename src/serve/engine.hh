@@ -30,6 +30,7 @@
 #ifndef CCSA_SERVE_ENGINE_HH
 #define CCSA_SERVE_ENGINE_HH
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -266,11 +267,25 @@ class Engine
     compareMany(const std::string& model,
                 const std::vector<PairRequest>& pairs);
 
+    /** Wall-clock boundaries of one compareMany call's pipeline
+     * stages, for per-request trace spans (serve/trace): encode
+     * covers the shared encodeBatch (cache walk + miss encoding),
+     * score the classifier-head loop. Every member of a coalesced
+     * group shares the group's window. */
+    struct PhaseTiming
+    {
+        std::chrono::steady_clock::time_point encodeStart{};
+        std::chrono::steady_clock::time_point encodeEnd{};
+        std::chrono::steady_clock::time_point scoreEnd{};
+    };
+
     /** compareMany on an explicit version snapshot — what the async
-     * batchers execute per coalesced (model, pairs) group. */
+     * batchers execute per coalesced (model, pairs) group. `timing`,
+     * when non-null, receives the encode/score stage boundaries. */
     Result<std::vector<double>>
     compareMany(const ModelVersion& version,
-                const std::vector<PairRequest>& pairs);
+                const std::vector<PairRequest>& pairs,
+                PhaseTiming* timing = nullptr);
 
     /** Single-pair convenience over compareMany(). */
     Result<double> compare(const Ast& first, const Ast& second);

@@ -1,5 +1,8 @@
 #include "serve/server_stats.hh"
 
+#include <algorithm>
+#include <map>
+
 namespace ccsa
 {
 
@@ -7,11 +10,15 @@ ServerStats
 mergeServerStats(const std::vector<ServerStats>& shards)
 {
     ServerStats out;
+    std::map<std::string, TenantStats> tenants;
     for (const ServerStats& s : shards) {
         out.queueDepth += s.queueDepth;
         out.queueCapacity += s.queueCapacity;
         out.requestsSubmitted += s.requestsSubmitted;
         out.requestsRejected += s.requestsRejected;
+        out.requestsRejectedShed += s.requestsRejectedShed;
+        out.requestsRejectedShutdown += s.requestsRejectedShutdown;
+        out.requestsRejectedQuota += s.requestsRejectedQuota;
         out.requestsCompleted += s.requestsCompleted;
         out.requestsFailed += s.requestsFailed;
         out.batches += s.batches;
@@ -24,8 +31,22 @@ mergeServerStats(const std::vector<ServerStats>& shards)
         out.engine.cacheSize += s.engine.cacheSize;
         out.engine.pairsServed += s.engine.pairsServed;
         out.engine.treesEncoded += s.engine.treesEncoded;
+        for (const TenantStats& t : s.tenants) {
+            TenantStats& row = tenants[t.tenant];
+            row.tenant = t.tenant;
+            row.submitted += t.submitted;
+            row.completed += t.completed;
+            row.failed += t.failed;
+            row.rejectedQuota += t.rejectedQuota;
+            row.latencyUs.merge(t.latencyUs);
+        }
     }
     fillLatencyPercentiles(out);
+    out.tenants.reserve(tenants.size());
+    for (auto& [name, row] : tenants) {
+        fillTenantPercentiles(row);
+        out.tenants.push_back(std::move(row));
+    }
     return out;
 }
 
@@ -43,6 +64,19 @@ fillLatencyPercentiles(ServerStats& stats)
     stats.latencyMeanMs = stats.latencyUs.meanValue() / 1000.0;
     stats.latencyMaxMs =
         static_cast<double>(stats.latencyUs.max()) / 1000.0;
+}
+
+void
+fillTenantPercentiles(TenantStats& row)
+{
+    if (row.latencyUs.count() == 0)
+        return;
+    row.latencyP50Ms = static_cast<double>(
+                           row.latencyUs.quantileUpperBound(0.5)) /
+        1000.0;
+    row.latencyP99Ms = static_cast<double>(
+                           row.latencyUs.quantileUpperBound(0.99)) /
+        1000.0;
 }
 
 } // namespace ccsa

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/stats.hh"
@@ -34,6 +35,29 @@ latencySampleUs(std::chrono::steady_clock::duration d)
     return us < 0 ? 0 : static_cast<std::size_t>(us);
 }
 
+/** One tenant's serving counters (see ServerStats::tenants). */
+struct TenantStats
+{
+    /** Tenant name; "" is the default tenant legacy callers use. */
+    std::string tenant;
+    /** Requests this tenant had accepted into the queue. */
+    std::uint64_t submitted = 0;
+    /** Requests answered with a value. */
+    std::uint64_t completed = 0;
+    /** Requests answered with an error Status. */
+    std::uint64_t failed = 0;
+    /** Requests refused at the door by the AdmissionController
+     * (token bucket dry) — the noisy-neighbor signal. */
+    std::uint64_t rejectedQuota = 0;
+    /** End-to-end latency distribution (us) of this tenant's served
+     * units; merges losslessly across shards like
+     * ServerStats::latencyUs. */
+    Histogram latencyUs;
+    /** Derived from latencyUs (fillLatencyPercentiles semantics). */
+    double latencyP50Ms = 0.0;
+    double latencyP99Ms = 0.0;
+};
+
 /** Snapshot of AsyncServer counters; see AsyncServer::stats(). */
 struct ServerStats
 {
@@ -46,8 +70,16 @@ struct ServerStats
     // ------------------------------------------------ request volume
     /** Requests accepted into the queue. */
     std::uint64_t requestsSubmitted = 0;
-    /** Requests refused: queue full (trySubmit) or server shut down. */
+    /** Requests refused, for any reason: always the sum of the three
+     * attributed counters below (kept so pre-admission dashboards
+     * keep reading one number). */
     std::uint64_t requestsRejected = 0;
+    /** ...because the queue was at capacity (trySubmit load-shed). */
+    std::uint64_t requestsRejectedShed = 0;
+    /** ...because the server was shut down. */
+    std::uint64_t requestsRejectedShutdown = 0;
+    /** ...because the tenant's admission quota was exhausted. */
+    std::uint64_t requestsRejectedQuota = 0;
     /** Requests whose future was fulfilled with a value. */
     std::uint64_t requestsCompleted = 0;
     /** Requests whose future was fulfilled with an error Status. */
@@ -100,6 +132,15 @@ struct ServerStats
      * shared cache, so the aggregator sets it once instead of
      * summing duplicates. */
     std::vector<ModelCacheStats> models;
+
+    // ------------------------------------------------- per tenant
+    /** One row per tenant that ever submitted (or was quota-rejected)
+     * — sorted by tenant name so snapshots diff cleanly. Empty until
+     * the first request when no AdmissionController is attached and
+     * every caller uses the default tenant "". mergeServerStats
+     * merges rows by name (counters sum, latency histograms merge,
+     * percentiles recomputed from the merged histogram). */
+    std::vector<TenantStats> tenants;
 };
 
 /**
@@ -124,6 +165,10 @@ ServerStats mergeServerStats(const std::vector<ServerStats>& shards);
  * Shared by mergeServerStats and per-shard reporting so both derive
  * percentiles identically. */
 void fillLatencyPercentiles(ServerStats& stats);
+
+/** Same derivation for one tenant row's p50/p99 from its own
+ * latencyUs histogram (no-op while empty). */
+void fillTenantPercentiles(TenantStats& row);
 
 } // namespace ccsa
 

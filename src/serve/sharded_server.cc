@@ -92,6 +92,14 @@ ShardedServer::~ShardedServer()
     shutdown();
 }
 
+std::chrono::microseconds
+ShardedServer::batchClassDelay() const
+{
+    if (opts_.maxBatchClassDelay.count() > 0)
+        return opts_.maxBatchClassDelay;
+    return opts_.maxBatchDelay * 8;
+}
+
 void
 ShardedServer::startWorkersLocked()
 {
@@ -146,9 +154,19 @@ std::vector<ShardedServer::Request>
 ShardedServer::splitRequest(
     std::vector<Engine::PairRequest> pairs,
     std::shared_ptr<const ModelVersion> version,
-    std::function<void(Result<std::vector<double>>)> complete)
+    std::function<void(Result<std::vector<double>>)> complete,
+    const SubmitOptions& submitOpts,
+    std::chrono::steady_clock::time_point submitStart)
 {
     auto now = std::chrono::steady_clock::now();
+    auto stamp = [&](Request& request) {
+        request.priority = submitOpts.priority;
+        request.tenant = submitOpts.tenant;
+        if (opts_.trace != nullptr)
+            request.traceId = opts_.trace->nextChain();
+        request.submitted = submitStart;
+        request.enqueued = now;
+    };
     std::vector<Request> requests;
 
     // Group pair indices by the cache partition owning each first
@@ -184,7 +202,7 @@ ShardedServer::splitRequest(
         request.pairs = std::move(pairs);
         request.version = std::move(version);
         request.complete = std::move(complete);
-        request.enqueued = now;
+        stamp(request);
         requests.push_back(std::move(request));
         return requests;
     }
@@ -202,7 +220,7 @@ ShardedServer::splitRequest(
         for (std::size_t i : slots)
             request.pairs.push_back(pairs[i]);
         request.version = version;
-        request.enqueued = now;
+        stamp(request);
         request.complete =
             [join, slots](Result<std::vector<double>> r) {
                 bool done = false;
@@ -234,11 +252,13 @@ ShardedServer::splitRequest(
 
 bool
 ShardedServer::submitCore(
-    const std::string& model,
+    const SubmitOptions& submitOpts,
     std::vector<Engine::PairRequest> pairs,
     std::function<void(Result<std::vector<double>>)> complete,
     bool blocking)
 {
+    auto submitStart = std::chrono::steady_clock::now();
+
     // Request-level counters update BEFORE the caller's promise
     // resolves, so a returned future never observes lagging stats.
     // A request refused at the door (queue closed) is counted as
@@ -247,14 +267,18 @@ ShardedServer::submitCore(
     // raise this tag before resolving the slices.
     auto rejectedTag = std::make_shared<std::atomic<bool>>(false);
     auto counted =
-        [this, rejectedTag, complete = std::move(complete)](
+        [this, rejectedTag, tenant = submitOpts.tenant,
+         complete = std::move(complete)](
             Result<std::vector<double>> r) {
             if (!rejectedTag->load()) {
                 std::lock_guard<std::mutex> lock(submitMutex_);
-                if (r.isOk())
+                if (r.isOk()) {
                     completed_++;
-                else
+                    tenants_[tenant].completed++;
+                } else {
                     failed_++;
+                    tenants_[tenant].failed++;
+                }
             }
             complete(std::move(r));
         };
@@ -273,18 +297,36 @@ ShardedServer::submitCore(
         return true;
     }
 
+    // Admission: charge the tenant's bucket BEFORE splitting or
+    // queueing, so a flooding tenant is turned away at the door.
+    if (opts_.admission != nullptr) {
+        Status admitted =
+            opts_.admission->admit(submitOpts.tenant, pairs.size());
+        if (!admitted.isOk()) {
+            {
+                std::lock_guard<std::mutex> lock(submitMutex_);
+                rejectedQuota_++;
+                tenants_[submitOpts.tenant].rejectedQuota++;
+            }
+            rejectedTag->store(true);
+            counted(admitted);
+            return true;
+        }
+    }
+
     // Admission-time model resolution: the whole request (however
     // many shard slices it splits into) runs on this one snapshot,
     // so a hot swap can never straddle a request.
     Result<std::shared_ptr<const ModelVersion>> version =
-        workers_[0]->engine->resolveModel(model);
+        workers_[0]->engine->resolveModel(submitOpts.model);
     if (!version.isOk()) {
         counted(version.status());
         return true;
     }
 
-    std::vector<Request> requests = splitRequest(
-        std::move(pairs), version.take(), std::move(counted));
+    std::vector<Request> requests =
+        splitRequest(std::move(pairs), version.take(),
+                     std::move(counted), submitOpts, submitStart);
 
     if (!blocking) {
         // All-or-nothing: either every slice is admitted or none.
@@ -292,17 +334,18 @@ ShardedServer::submitCore(
           case QueuePush::Ok: {
               std::lock_guard<std::mutex> lock(submitMutex_);
               submitted_++;
+              tenants_[submitOpts.tenant].submitted++;
               return true;
           }
           case QueuePush::Full: {
               std::lock_guard<std::mutex> lock(submitMutex_);
-              rejected_++;
+              rejectedShed_++;
               return false; // caller keeps no future and may retry
           }
           case QueuePush::Closed: {
               {
                   std::lock_guard<std::mutex> lock(submitMutex_);
-                  rejected_++;
+                  rejectedShutdown_++;
               }
               rejectedTag->store(true);
               // Resolve EVERY slice: a split request's join only
@@ -326,7 +369,7 @@ ShardedServer::submitCore(
             // when shutdown lands mid-split.
             if (!anyClosed) {
                 std::lock_guard<std::mutex> lock(submitMutex_);
-                rejected_++;
+                rejectedShutdown_++;
             }
             anyClosed = true;
             rejectedTag->store(true);
@@ -337,6 +380,7 @@ ShardedServer::submitCore(
     if (!anyClosed) {
         std::lock_guard<std::mutex> lock(submitMutex_);
         submitted_++;
+        tenants_[submitOpts.tenant].submitted++;
     }
     return true;
 }
@@ -344,16 +388,24 @@ ShardedServer::submitCore(
 std::future<Result<double>>
 ShardedServer::submitCompare(const Ast& first, const Ast& second)
 {
-    return submitCompare(std::string(), first, second);
+    return submitCompare(SubmitOptions(), first, second);
 }
 
 std::future<Result<double>>
 ShardedServer::submitCompare(const std::string& model,
                              const Ast& first, const Ast& second)
 {
+    return submitCompare(SubmitOptions().withModel(model), first,
+                         second);
+}
+
+std::future<Result<double>>
+ShardedServer::submitCompare(const SubmitOptions& submitOpts,
+                             const Ast& first, const Ast& second)
+{
     auto promise = std::make_shared<std::promise<Result<double>>>();
     std::future<Result<double>> future = promise->get_future();
-    submitCore(model, {Engine::PairRequest{&first, &second}},
+    submitCore(submitOpts, {Engine::PairRequest{&first, &second}},
                [promise](Result<std::vector<double>> r) {
                    if (r.isOk())
                        promise->set_value(r.value()[0]);
@@ -368,18 +420,27 @@ std::future<Result<std::vector<double>>>
 ShardedServer::submitCompareMany(
     std::vector<Engine::PairRequest> pairs)
 {
-    return submitCompareMany(std::string(), std::move(pairs));
+    return submitCompareMany(SubmitOptions(), std::move(pairs));
 }
 
 std::future<Result<std::vector<double>>>
 ShardedServer::submitCompareMany(
     const std::string& model, std::vector<Engine::PairRequest> pairs)
 {
+    return submitCompareMany(SubmitOptions().withModel(model),
+                             std::move(pairs));
+}
+
+std::future<Result<std::vector<double>>>
+ShardedServer::submitCompareMany(
+    const SubmitOptions& submitOpts,
+    std::vector<Engine::PairRequest> pairs)
+{
     auto promise = std::make_shared<
         std::promise<Result<std::vector<double>>>>();
     std::future<Result<std::vector<double>>> future =
         promise->get_future();
-    submitCore(model, std::move(pairs),
+    submitCore(submitOpts, std::move(pairs),
                [promise](Result<std::vector<double>> r) {
                    promise->set_value(std::move(r));
                },
@@ -390,11 +451,19 @@ ShardedServer::submitCompareMany(
 std::future<Result<std::vector<Engine::RankedCandidate>>>
 ShardedServer::submitRank(std::vector<const Ast*> candidates)
 {
-    return submitRank(std::string(), std::move(candidates));
+    return submitRank(SubmitOptions(), std::move(candidates));
 }
 
 std::future<Result<std::vector<Engine::RankedCandidate>>>
 ShardedServer::submitRank(const std::string& model,
+                          std::vector<const Ast*> candidates)
+{
+    return submitRank(SubmitOptions().withModel(model),
+                      std::move(candidates));
+}
+
+std::future<Result<std::vector<Engine::RankedCandidate>>>
+ShardedServer::submitRank(const SubmitOptions& submitOpts,
                           std::vector<const Ast*> candidates)
 {
     auto promise = std::make_shared<
@@ -409,7 +478,7 @@ ShardedServer::submitRank(const std::string& model,
         return future;
     }
     std::size_t n = candidates.size();
-    submitCore(model, Engine::tournamentPairs(candidates),
+    submitCore(submitOpts, Engine::tournamentPairs(candidates),
                [promise, n](Result<std::vector<double>> r) {
                    if (r.isOk())
                        promise->set_value(Engine::aggregateTournament(
@@ -424,17 +493,26 @@ ShardedServer::submitRank(const std::string& model,
 std::optional<std::future<Result<double>>>
 ShardedServer::trySubmitCompare(const Ast& first, const Ast& second)
 {
-    return trySubmitCompare(std::string(), first, second);
+    return trySubmitCompare(SubmitOptions(), first, second);
 }
 
 std::optional<std::future<Result<double>>>
 ShardedServer::trySubmitCompare(const std::string& model,
                                 const Ast& first, const Ast& second)
 {
+    return trySubmitCompare(SubmitOptions().withModel(model), first,
+                            second);
+}
+
+std::optional<std::future<Result<double>>>
+ShardedServer::trySubmitCompare(const SubmitOptions& submitOpts,
+                                const Ast& first, const Ast& second)
+{
     auto promise = std::make_shared<std::promise<Result<double>>>();
     std::future<Result<double>> future = promise->get_future();
     bool accepted =
-        submitCore(model, {Engine::PairRequest{&first, &second}},
+        submitCore(submitOpts,
+                   {Engine::PairRequest{&first, &second}},
                    [promise](Result<std::vector<double>> r) {
                        if (r.isOk())
                            promise->set_value(r.value()[0]);
@@ -451,19 +529,28 @@ std::optional<std::future<Result<std::vector<double>>>>
 ShardedServer::trySubmitCompareMany(
     std::vector<Engine::PairRequest> pairs)
 {
-    return trySubmitCompareMany(std::string(), std::move(pairs));
+    return trySubmitCompareMany(SubmitOptions(), std::move(pairs));
 }
 
 std::optional<std::future<Result<std::vector<double>>>>
 ShardedServer::trySubmitCompareMany(
     const std::string& model, std::vector<Engine::PairRequest> pairs)
 {
+    return trySubmitCompareMany(SubmitOptions().withModel(model),
+                                std::move(pairs));
+}
+
+std::optional<std::future<Result<std::vector<double>>>>
+ShardedServer::trySubmitCompareMany(
+    const SubmitOptions& submitOpts,
+    std::vector<Engine::PairRequest> pairs)
+{
     auto promise = std::make_shared<
         std::promise<Result<std::vector<double>>>>();
     std::future<Result<std::vector<double>>> future =
         promise->get_future();
     bool accepted =
-        submitCore(model, std::move(pairs),
+        submitCore(submitOpts, std::move(pairs),
                    [promise](Result<std::vector<double>> r) {
                        promise->set_value(std::move(r));
                    },
@@ -477,13 +564,16 @@ void
 ShardedServer::workerLoop(std::size_t shard)
 {
     Worker& worker = *workers_[shard];
+    Coalescer<Request> coalescer(queue_, opts_.maxBatchSize,
+                                 opts_.maxBatchDelay,
+                                 batchClassDelay());
     for (;;) {
-        // The same pop-and-coalesce state machine as AsyncServer's
-        // batcher (serve/coalesce.hh); nullopt means the queue is
-        // closed and fully drained — clean exit.
+        // The same two-lane pop-and-coalesce state machine as
+        // AsyncServer's batcher (serve/coalesce.hh); nullopt means
+        // the queue is closed, fully drained, and this worker holds
+        // nothing over — clean exit.
         std::optional<CoalescedBatch<Request>> batch =
-            popCoalescedBatch(queue_, opts_.maxBatchSize,
-                              opts_.maxBatchDelay);
+            coalescer.next();
         if (!batch)
             return;
 
@@ -492,10 +582,13 @@ ShardedServer::workerLoop(std::size_t shard)
         // cache dedups latents per version across all of them.
         ModelBatches grouped = groupBatchByModel(*batch);
         std::vector<Result<std::vector<double>>> results;
+        std::vector<Engine::PhaseTiming> timings(
+            grouped.groups.size());
         results.reserve(grouped.groups.size());
-        for (const ModelBatches::Group& g : grouped.groups)
-            results.push_back(
-                worker.engine->compareMany(*g.version, g.pairs));
+        for (std::size_t g = 0; g < grouped.groups.size(); ++g)
+            results.push_back(worker.engine->compareMany(
+                *grouped.groups[g].version, grouped.groups[g].pairs,
+                &timings[g]));
 
         auto completedAt = std::chrono::steady_clock::now();
         {
@@ -503,9 +596,12 @@ ShardedServer::workerLoop(std::size_t shard)
             worker.batches++;
             worker.pairsServed += batch->pairCount;
             worker.batchSizes.add(batch->pairCount);
-            for (const Request& r : batch->requests)
-                worker.latencyUs.add(
-                    latencySampleUs(completedAt - r.enqueued));
+            for (const Request& r : batch->requests) {
+                std::size_t us =
+                    latencySampleUs(completedAt - r.enqueued);
+                worker.latencyUs.add(us);
+                worker.tenantLatencyUs[r.tenant].add(us);
+            }
         }
 
         // Fan slices (or their group's failure) back out in
@@ -515,6 +611,8 @@ ShardedServer::workerLoop(std::size_t shard)
             const Result<std::vector<double>>& probs =
                 results[grouped.groupOf[i]];
             if (probs.isOk()) {
+                recordTrace(r, timings[grouped.groupOf[i]],
+                            static_cast<std::uint32_t>(shard));
                 auto begin = probs.value().begin() +
                     static_cast<std::ptrdiff_t>(grouped.offsetOf[i]);
                 r.complete(std::vector<double>(
@@ -526,6 +624,32 @@ ShardedServer::workerLoop(std::size_t shard)
             }
         }
     }
+}
+
+void
+ShardedServer::recordTrace(const Request& request,
+                           const Engine::PhaseTiming& timing,
+                           std::uint32_t lane)
+{
+    if (opts_.trace == nullptr || request.traceId == 0)
+        return;
+    TraceRecorder& trace = *opts_.trace;
+    auto pairs = static_cast<std::uint32_t>(request.pairs.size());
+    trace.record(request.traceId, TracePhase::Admission,
+                 request.submitted, request.enqueued, lane,
+                 request.tenant, pairs);
+    trace.record(request.traceId, TracePhase::Queue,
+                 request.enqueued, request.dequeued, lane,
+                 request.tenant, pairs);
+    trace.record(request.traceId, TracePhase::Coalesce,
+                 request.dequeued, timing.encodeStart, lane,
+                 request.tenant, pairs);
+    trace.record(request.traceId, TracePhase::Encode,
+                 timing.encodeStart, timing.encodeEnd, lane,
+                 request.tenant, pairs);
+    trace.record(request.traceId, TracePhase::Score,
+                 timing.encodeEnd, timing.scoreEnd, lane,
+                 request.tenant, pairs);
 }
 
 ShardedServerStats
@@ -542,7 +666,22 @@ ShardedServer::stats() const
             row.pairsServed = worker.pairsServed;
             row.batchSizes = worker.batchSizes;
             row.latencyUs = worker.latencyUs;
+            // Per-shard tenant rows carry slice latency only;
+            // request-level tenant counters are global (below).
+            row.tenants.reserve(worker.tenantLatencyUs.size());
+            for (const auto& [name, hist] : worker.tenantLatencyUs) {
+                TenantStats t;
+                t.tenant = name;
+                t.latencyUs = hist;
+                row.tenants.push_back(std::move(t));
+            }
         }
+        std::sort(row.tenants.begin(), row.tenants.end(),
+                  [](const TenantStats& a, const TenantStats& b) {
+                      return a.tenant < b.tenant;
+                  });
+        for (TenantStats& t : row.tenants)
+            fillTenantPercentiles(t);
         fillLatencyPercentiles(row);
         // Engine volume is per shard engine; cache counters are the
         // shard's PARTITION of the shared cache, so the per-shard
@@ -570,10 +709,40 @@ ShardedServer::stats() const
     {
         std::lock_guard<std::mutex> lock(submitMutex_);
         out.aggregate.requestsSubmitted = submitted_;
-        out.aggregate.requestsRejected = rejected_;
+        out.aggregate.requestsRejectedShed = rejectedShed_;
+        out.aggregate.requestsRejectedShutdown = rejectedShutdown_;
+        out.aggregate.requestsRejectedQuota = rejectedQuota_;
+        out.aggregate.requestsRejected =
+            rejectedShed_ + rejectedShutdown_ + rejectedQuota_;
         out.aggregate.requestsCompleted = completed_;
         out.aggregate.requestsFailed = failed_;
+        // Graft the global per-tenant request counters onto the
+        // merged (latency-only) tenant rows; a tenant rejected
+        // before it ever reached a worker still gets a row.
+        for (const auto& [name, counters] : tenants_) {
+            TenantStats* row = nullptr;
+            for (TenantStats& t : out.aggregate.tenants)
+                if (t.tenant == name) {
+                    row = &t;
+                    break;
+                }
+            if (row == nullptr) {
+                TenantStats t;
+                t.tenant = name;
+                out.aggregate.tenants.push_back(std::move(t));
+                row = &out.aggregate.tenants.back();
+            }
+            row->submitted = counters.submitted;
+            row->completed = counters.completed;
+            row->failed = counters.failed;
+            row->rejectedQuota = counters.rejectedQuota;
+        }
     }
+    std::sort(out.aggregate.tenants.begin(),
+              out.aggregate.tenants.end(),
+              [](const TenantStats& a, const TenantStats& b) {
+                  return a.tenant < b.tenant;
+              });
     return out;
 }
 

@@ -61,6 +61,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -68,13 +69,16 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "base/bounded_queue.hh"
 #include "base/result.hh"
 #include "base/stats.hh"
+#include "serve/admission/admission_controller.hh"
 #include "serve/engine.hh"
 #include "serve/server_stats.hh"
+#include "serve/trace/trace_recorder.hh"
 
 namespace ccsa
 {
@@ -106,8 +110,20 @@ class ShardedServer
         std::size_t queueCapacity = 1024;
         /** Flush a worker's batch once it holds this many pairs. */
         std::size_t maxBatchSize = 256;
-        /** Flush once the oldest member waited this long. */
+        /** Flush once the oldest INTERACTIVE member waited this
+         * long. */
         std::chrono::microseconds maxBatchDelay{500};
+        /** Flush budget of the BATCH priority lane (see
+         * serve/coalesce.hh and AsyncServer::Options). 0 = "8 x
+         * maxBatchDelay"; clamped up to maxBatchDelay. */
+        std::chrono::microseconds maxBatchClassDelay{0};
+        /** Optional per-tenant admission gate shared by every submit
+         * endpoint (not owned; must outlive the server). */
+        AdmissionController* admission = nullptr;
+        /** Optional span sink (not owned; must outlive the server).
+         * A split request records one chain PER SHARD SLICE, with
+         * the executing worker's index as the lane/tid. */
+        TraceRecorder* trace = nullptr;
         /** Encoder threads inside EACH shard engine. The default of
          * 1 (inline) is right when numShards already covers the
          * cores; raise it for few shards + huge batches. */
@@ -136,6 +152,24 @@ class ShardedServer
         Options& withMaxBatchDelay(std::chrono::microseconds d)
         {
             maxBatchDelay = d;
+            return *this;
+        }
+
+        Options& withMaxBatchClassDelay(std::chrono::microseconds d)
+        {
+            maxBatchClassDelay = d;
+            return *this;
+        }
+
+        Options& withAdmission(AdmissionController* controller)
+        {
+            admission = controller;
+            return *this;
+        }
+
+        Options& withTrace(TraceRecorder* recorder)
+        {
+            trace = recorder;
             return *this;
         }
 
@@ -189,6 +223,9 @@ class ShardedServer
     std::future<Result<double>> submitCompare(
         const std::string& model, const Ast& first,
         const Ast& second);
+    std::future<Result<double>> submitCompare(
+        const SubmitOptions& submitOpts, const Ast& first,
+        const Ast& second);
 
     /**
      * Submit a pair batch; resolves to one probability per pair in
@@ -202,6 +239,9 @@ class ShardedServer
     std::future<Result<std::vector<double>>>
     submitCompareMany(const std::string& model,
                       std::vector<Engine::PairRequest> pairs);
+    std::future<Result<std::vector<double>>>
+    submitCompareMany(const SubmitOptions& submitOpts,
+                      std::vector<Engine::PairRequest> pairs);
 
     /**
      * Submit a ranking tournament: tournamentPairs splits it across
@@ -212,6 +252,9 @@ class ShardedServer
     submitRank(std::vector<const Ast*> candidates);
     std::future<Result<std::vector<Engine::RankedCandidate>>>
     submitRank(const std::string& model,
+               std::vector<const Ast*> candidates);
+    std::future<Result<std::vector<Engine::RankedCandidate>>>
+    submitRank(const SubmitOptions& submitOpts,
                std::vector<const Ast*> candidates);
 
     /**
@@ -224,6 +267,9 @@ class ShardedServer
     std::optional<std::future<Result<double>>>
     trySubmitCompare(const std::string& model, const Ast& first,
                      const Ast& second);
+    std::optional<std::future<Result<double>>>
+    trySubmitCompare(const SubmitOptions& submitOpts,
+                     const Ast& first, const Ast& second);
 
     /**
      * Non-blocking submitCompareMany. Admission is all-or-nothing:
@@ -235,6 +281,9 @@ class ShardedServer
     trySubmitCompareMany(std::vector<Engine::PairRequest> pairs);
     std::optional<std::future<Result<std::vector<double>>>>
     trySubmitCompareMany(const std::string& model,
+                         std::vector<Engine::PairRequest> pairs);
+    std::optional<std::future<Result<std::vector<double>>>>
+    trySubmitCompareMany(const SubmitOptions& submitOpts,
                          std::vector<Engine::PairRequest> pairs);
 
     /** Start the workers if construction was startPaused. */
@@ -271,7 +320,17 @@ class ShardedServer
         std::vector<Engine::PairRequest> pairs;
         std::shared_ptr<const ModelVersion> version;
         std::function<void(Result<std::vector<double>>)> complete;
+        /** Scheduling lane (serve/coalesce.hh two-lane flush). */
+        Priority priority = Priority::kInteractive;
+        /** Admission tenant ("" = default tenant). */
+        std::string tenant;
+        /** TraceRecorder chain id, PER SLICE; 0 = untraced. */
+        std::uint64_t traceId = 0;
+        /** submitCore entry — the admission trace span's start. */
+        std::chrono::steady_clock::time_point submitted;
         std::chrono::steady_clock::time_point enqueued;
+        /** Stamped by the Coalescer when popped (queue-span end). */
+        std::chrono::steady_clock::time_point dequeued;
     };
 
     /** Fan-in for a request split across shards. */
@@ -294,23 +353,46 @@ class ShardedServer
         std::uint64_t pairsServed = 0;
         Histogram batchSizes;
         Histogram latencyUs;
+        /** Per-tenant latency of the SLICES this worker served;
+         * merged across workers into the aggregate's tenant rows. */
+        std::unordered_map<std::string, Histogram> tenantLatencyUs;
+    };
+
+    /** Submit-side per-tenant counters (latency lives per worker). */
+    struct TenantCounters
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t rejectedQuota = 0;
     };
 
     bool submitCore(
-        const std::string& model,
+        const SubmitOptions& submitOpts,
         std::vector<Engine::PairRequest> pairs,
         std::function<void(Result<std::vector<double>>)> complete,
         bool blocking);
 
     /** Split validated pairs into per-shard Requests wired to one
      * completion (directly, or through a JoinState when the request
-     * crosses shards); every slice pins `version`. */
+     * crosses shards); every slice pins `version` and carries the
+     * submit's tenant/priority (each slice gets its own trace
+     * chain — a split request is N concurrent pipeline walks). */
     std::vector<Request> splitRequest(
         std::vector<Engine::PairRequest> pairs,
         std::shared_ptr<const ModelVersion> version,
-        std::function<void(Result<std::vector<double>>)> complete);
+        std::function<void(Result<std::vector<double>>)> complete,
+        const SubmitOptions& submitOpts,
+        std::chrono::steady_clock::time_point submitStart);
 
     void workerLoop(std::size_t shard);
+    /** Emit one slice's five-span chain (no-op when untraced). */
+    void recordTrace(const Request& request,
+                     const Engine::PhaseTiming& timing,
+                     std::uint32_t lane);
+    /** The batch lane's flush budget after defaulting (0 -> 8x
+     * maxBatchDelay). */
+    std::chrono::microseconds batchClassDelay() const;
 
     /** Spawn all worker threads; caller holds lifecycleMutex_. */
     void startWorkersLocked();
@@ -328,9 +410,12 @@ class ShardedServer
     /** Guards the request-level counters below. */
     mutable std::mutex submitMutex_;
     std::uint64_t submitted_ = 0;
-    std::uint64_t rejected_ = 0;
+    std::uint64_t rejectedShed_ = 0;
+    std::uint64_t rejectedShutdown_ = 0;
+    std::uint64_t rejectedQuota_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
+    std::unordered_map<std::string, TenantCounters> tenants_;
 };
 
 } // namespace ccsa

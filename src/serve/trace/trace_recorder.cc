@@ -1,0 +1,168 @@
+#include "serve/trace/trace_recorder.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace ccsa
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping for tenant names (quotes,
+ * backslashes, and control characters; tenants are operator-chosen
+ * identifiers, not arbitrary text). */
+std::string
+escapeJson(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char*
+tracePhaseName(TracePhase phase)
+{
+    switch (phase) {
+      case TracePhase::Admission: return "admission";
+      case TracePhase::Queue: return "queue";
+      case TracePhase::Coalesce: return "coalesce";
+      case TracePhase::Encode: return "encode";
+      case TracePhase::Score: return "score";
+    }
+    return "unknown";
+}
+
+TraceRecorder::TraceRecorder(std::size_t maxSpans)
+    : maxSpans_(maxSpans == 0 ? 1 : maxSpans),
+      epoch_(std::chrono::steady_clock::now())
+{
+    spans_.reserve(maxSpans_);
+}
+
+std::uint64_t
+TraceRecorder::nextChain()
+{
+    return nextChain_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+TraceRecorder::record(std::uint64_t chain, TracePhase phase,
+                      std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end,
+                      std::uint32_t lane, const std::string& tenant,
+                      std::uint32_t pairs)
+{
+    // Clamp outside the lock: a span can never start before the
+    // recorder existed, and never end before it starts.
+    if (start < epoch_)
+        start = epoch_;
+    if (end < start)
+        end = start;
+    auto us = [this](std::chrono::steady_clock::time_point t) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                t - epoch_)
+                .count());
+    };
+    Span span;
+    span.chain = chain;
+    span.phase = phase;
+    span.startUs = us(start);
+    span.durUs = us(end) - span.startUs;
+    span.lane = lane;
+    span.pairs = pairs;
+    span.tenant = tenant;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (spans_.size() >= maxSpans_) {
+        dropped_++;
+        return;
+    }
+    spans_.push_back(std::move(span));
+}
+
+std::size_t
+TraceRecorder::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+std::uint64_t
+TraceRecorder::droppedSpans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::vector<TraceRecorder::Span>
+TraceRecorder::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+    dropped_ = 0;
+}
+
+void
+TraceRecorder::writeJson(std::ostream& out) const
+{
+    std::vector<Span> snapshot = spans();
+    out << "{\n  \"displayTimeUnit\": \"ms\",\n"
+        << "  \"traceEvents\": [\n";
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        const Span& s = snapshot[i];
+        out << "    {\"name\": \"" << tracePhaseName(s.phase)
+            << "\", \"cat\": \"serve\", \"ph\": \"X\", \"ts\": "
+            << s.startUs << ", \"dur\": " << s.durUs
+            << ", \"pid\": 0, \"tid\": " << s.lane
+            << ", \"args\": {\"req\": " << s.chain
+            << ", \"tenant\": \"" << escapeJson(s.tenant)
+            << "\", \"pairs\": " << s.pairs << "}}"
+            << (i + 1 == snapshot.size() ? "\n" : ",\n");
+    }
+    out << "  ]\n}\n";
+}
+
+Status
+TraceRecorder::writeJson(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return Status::ioError("TraceRecorder: cannot write " + path);
+    writeJson(out);
+    out.flush();
+    if (!out)
+        return Status::ioError("TraceRecorder: write failed: " + path);
+    return Status::ok();
+}
+
+} // namespace ccsa

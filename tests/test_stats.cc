@@ -3,6 +3,7 @@
  * Tests for descriptive statistics and string/table helpers.
  */
 
+#include <chrono>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 #include "base/stats.hh"
 #include "base/str.hh"
 #include "base/table.hh"
+#include "serve/server_stats.hh"
 
 namespace ccsa
 {
@@ -141,6 +143,132 @@ TEST(Histogram, BucketIndexOutOfRangeIsFatal)
     EXPECT_THROW(h.bucket(Histogram::kBuckets), FatalError);
     EXPECT_THROW(Histogram::bucketUpperBound(Histogram::kBuckets),
                  FatalError);
+}
+
+TEST(Histogram, EmptyHistogramReportsZeros)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.meanValue(), 0.0);
+    // Quantiles of an empty sample are 0 at every p, including the
+    // extremes.
+    EXPECT_EQ(h.quantileUpperBound(0.0), 0u);
+    EXPECT_EQ(h.quantileUpperBound(0.5), 0u);
+    EXPECT_EQ(h.quantileUpperBound(1.0), 0u);
+}
+
+TEST(Histogram, SingleSampleDrivesEveryQuantile)
+{
+    Histogram h;
+    h.add(37);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.max(), 37u);
+    // With one sample, every quantile is that sample (clamped to the
+    // observed max, not the bucket's upper bound).
+    EXPECT_EQ(h.quantileUpperBound(0.0), 37u);
+    EXPECT_EQ(h.quantileUpperBound(0.5), 37u);
+    EXPECT_EQ(h.quantileUpperBound(0.99), 37u);
+    EXPECT_EQ(h.quantileUpperBound(1.0), 37u);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentityBothWays)
+{
+    Histogram filled;
+    filled.add(3);
+    filled.add(1000);
+    Histogram empty;
+
+    Histogram a = filled;
+    a.merge(empty); // empty right-operand: no change
+    EXPECT_EQ(a.count(), filled.count());
+    EXPECT_EQ(a.sum(), filled.sum());
+    EXPECT_EQ(a.max(), filled.max());
+    EXPECT_EQ(a.quantileUpperBound(0.5),
+              filled.quantileUpperBound(0.5));
+
+    Histogram b; // empty left-operand: becomes the other histogram
+    b.merge(filled);
+    EXPECT_EQ(b.count(), filled.count());
+    EXPECT_EQ(b.sum(), filled.sum());
+    EXPECT_EQ(b.max(), filled.max());
+    EXPECT_EQ(b.quantileUpperBound(0.99),
+              filled.quantileUpperBound(0.99));
+}
+
+TEST(ServerStatsHelpers, LatencySampleClampsNegativeDurations)
+{
+    using std::chrono::microseconds;
+    // A clock blip (end before start) must never underflow into a
+    // huge unsigned sample — it clamps to 0.
+    EXPECT_EQ(latencySampleUs(microseconds(-5)), 0u);
+    EXPECT_EQ(latencySampleUs(microseconds(0)), 0u);
+    EXPECT_EQ(latencySampleUs(microseconds(123)), 123u);
+}
+
+TEST(ServerStatsHelpers, TenantPercentilesDeriveFromOwnHistogram)
+{
+    TenantStats row;
+    fillTenantPercentiles(row); // empty histogram: no-op
+    EXPECT_DOUBLE_EQ(row.latencyP50Ms, 0.0);
+    EXPECT_DOUBLE_EQ(row.latencyP99Ms, 0.0);
+
+    row.latencyUs.add(1000);
+    row.latencyUs.add(1000);
+    row.latencyUs.add(8000);
+    fillTenantPercentiles(row);
+    EXPECT_GT(row.latencyP50Ms, 0.0);
+    EXPECT_GE(row.latencyP99Ms, row.latencyP50Ms);
+    EXPECT_DOUBLE_EQ(row.latencyP99Ms, 8.0); // clamped to max
+}
+
+TEST(ServerStatsHelpers, MergeSumsRejectionSplitAndTenantRows)
+{
+    ServerStats a;
+    a.requestsRejectedShed = 2;
+    a.requestsRejectedShutdown = 1;
+    a.requestsRejectedQuota = 4;
+    a.requestsRejected = 7;
+    TenantStats at;
+    at.tenant = "beta";
+    at.submitted = 5;
+    at.completed = 4;
+    at.rejectedQuota = 4;
+    at.latencyUs.add(100);
+    a.tenants.push_back(at);
+
+    ServerStats b;
+    b.requestsRejectedShed = 1;
+    b.requestsRejected = 1;
+    TenantStats bt1;
+    bt1.tenant = "alpha";
+    bt1.submitted = 1;
+    bt1.completed = 1;
+    bt1.latencyUs.add(50);
+    TenantStats bt2;
+    bt2.tenant = "beta";
+    bt2.submitted = 2;
+    bt2.completed = 2;
+    bt2.latencyUs.add(300);
+    b.tenants.push_back(bt1);
+    b.tenants.push_back(bt2);
+
+    ServerStats merged = mergeServerStats({a, b});
+    EXPECT_EQ(merged.requestsRejectedShed, 3u);
+    EXPECT_EQ(merged.requestsRejectedShutdown, 1u);
+    EXPECT_EQ(merged.requestsRejectedQuota, 4u);
+    EXPECT_EQ(merged.requestsRejected, 8u);
+
+    ASSERT_EQ(merged.tenants.size(), 2u);
+    EXPECT_EQ(merged.tenants[0].tenant, "alpha"); // sorted by name
+    EXPECT_EQ(merged.tenants[1].tenant, "beta");
+    EXPECT_EQ(merged.tenants[1].submitted, 7u);
+    EXPECT_EQ(merged.tenants[1].completed, 6u);
+    EXPECT_EQ(merged.tenants[1].rejectedQuota, 4u);
+    // Latency histograms merged losslessly; percentiles recomputed.
+    EXPECT_EQ(merged.tenants[1].latencyUs.count(), 2u);
+    EXPECT_DOUBLE_EQ(merged.tenants[1].latencyP99Ms, 0.3);
 }
 
 TEST(Stats, MeanAndStddev)

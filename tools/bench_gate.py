@@ -31,7 +31,7 @@ def gate_ratio(label, value, baseline, floor, detail=""):
     ratio = value / baseline
     ok = ratio >= floor
     suffix = f"  {detail}" if detail else ""
-    print(f"{label}  ratio {ratio:5.2f}x  floor {floor}x"
+    print(f"{label}  ratio {ratio:5.2f}x  floor {floor:.4g}x"
           f"{suffix}  {'ok' if ok else 'FAIL'}")
     return ok
 

@@ -25,6 +25,13 @@ and fails (exit 1) on either of two regressions:
    map probe amortised over a whole batch, so a lower ratio means
    the resolution (or the namespaced cache keys) leaked real work
    into the hot path.
+
+3. Noisy-neighbor isolation (ISSUE 6): the interactive tenant's p99
+   latency with a quota-capped bulk flood running must stay <= 3x
+   its flood-free p99. The token bucket sheds the flood at submit
+   time and the two-lane batcher flushes the interactive lane on its
+   own deadline, so a broken quota or a batch lane leaking into the
+   interactive flush shows up here as a p99 blow-up.
 """
 
 import sys
@@ -44,6 +51,11 @@ SHARD_FLOORS = {
 # Registry-through-single-model vs direct Engine (ISSUE 5).
 REGISTRY_FLOOR = 0.95
 
+# Interactive-tenant p99 under flood may be at most 3x the solo p99
+# (ISSUE 6). Gated as solo/flood >= 1/3 so the shared ratio-floor
+# helper applies unchanged.
+NOISY_NEIGHBOR_FLOOR = 1.0 / 3.0
+
 
 def main() -> int:
     data = bench_gate.load_json(sys.argv, "BENCH_serve.json")
@@ -52,6 +64,8 @@ def main() -> int:
     sharded = {}
     direct = None
     registry = None
+    tenant_solo = None
+    tenant_flood = None
     for row in data.get("rows", []):
         if row.get("mode") == "async_closed":
             baseline = row
@@ -61,6 +75,10 @@ def main() -> int:
             direct = row
         elif row.get("mode") == "engine_registry":
             registry = row
+        elif row.get("mode") == "tenant_solo":
+            tenant_solo = row
+        elif row.get("mode") == "tenant_flood":
+            tenant_flood = row
 
     if baseline is None or baseline.get("pairs_per_sec", 0) <= 0:
         print("missing async_closed baseline row")
@@ -87,6 +105,16 @@ def main() -> int:
               if direct and registry else "")
     ok &= bench_gate.gate_ratio("registry overhead", registry_rate,
                                 direct_rate, REGISTRY_FLOOR, detail)
+
+    solo_p99 = tenant_solo["p99_ms"] if tenant_solo else None
+    flood_p99 = tenant_flood["p99_ms"] if tenant_flood else None
+    detail = (f"solo p99 {solo_p99:6.2f} ms vs flood p99 "
+              f"{flood_p99:6.2f} ms"
+              if tenant_solo and tenant_flood else "")
+    # solo/flood >= 1/3  <=>  flood p99 <= 3x solo p99.
+    ok &= bench_gate.gate_ratio("noisy neighbor p99", solo_p99,
+                                flood_p99, NOISY_NEIGHBOR_FLOOR,
+                                detail)
 
     return bench_gate.finish(ok)
 

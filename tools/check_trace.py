@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate a TraceRecorder chrome-trace export.
+
+Reads the JSON written by TraceRecorder::writeJson (the chrome trace
+event format serving_daemon --trace exports) and fails (exit 1)
+unless:
+
+1. the file parses and holds a non-empty "traceEvents" list of "X"
+   complete events with non-negative integer ts/dur and the expected
+   args (req chain id, tenant, pairs);
+
+2. every chain (args.req) is COMPLETE: exactly one span per pipeline
+   phase, admission -> queue -> coalesce -> encode -> score. Servers
+   only record a chain at fan-out time, after its batch succeeded,
+   precisely so exports never contain partial chains — a missing or
+   duplicated phase means that invariant broke;
+
+3. chain timestamps are monotone and non-overlapping: each phase
+   starts no earlier than the previous phase ended (the five spans
+   tile the request's lifetime, sharing boundary timestamps);
+
+4. spans of one chain agree on tenant and pair count (they describe
+   one request).
+
+Usage: check_trace.py [trace.json]
+"""
+
+import collections
+import json
+import sys
+
+PHASES = ["admission", "queue", "coalesce", "encode", "score"]
+
+
+def fail(msg: str) -> int:
+    print(f"check_trace: FAIL: {msg}")
+    return 1
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "trace.json"
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot parse {path}: {e}")
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("no traceEvents in export")
+
+    chains = collections.defaultdict(list)
+    for i, ev in enumerate(events):
+        if ev.get("ph") != "X":
+            return fail(f"event {i}: expected complete event "
+                        f"ph=X, got {ev.get('ph')!r}")
+        if ev.get("name") not in PHASES:
+            return fail(f"event {i}: unknown phase "
+                        f"{ev.get('name')!r}")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, int) or v < 0:
+                return fail(f"event {i}: bad {key}: {v!r}")
+        args = ev.get("args")
+        if (not isinstance(args, dict) or "req" not in args
+                or "tenant" not in args or "pairs" not in args):
+            return fail(f"event {i}: missing args.req/tenant/pairs")
+        chains[args["req"]].append(ev)
+
+    for req, spans in sorted(chains.items()):
+        names = [s["name"] for s in spans]
+        if sorted(names) != sorted(PHASES):
+            return fail(f"chain {req}: incomplete or duplicated "
+                        f"phases: {names}")
+        by_phase = {s["name"]: s for s in spans}
+        ordered = [by_phase[p] for p in PHASES]
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur["ts"] < prev["ts"] + prev["dur"]:
+                return fail(
+                    f"chain {req}: {cur['name']} starts at "
+                    f"{cur['ts']}us, before {prev['name']} ends at "
+                    f"{prev['ts'] + prev['dur']}us")
+        tenants = {s["args"]["tenant"] for s in spans}
+        pairs = {s["args"]["pairs"] for s in spans}
+        if len(tenants) != 1 or len(pairs) != 1:
+            return fail(f"chain {req}: inconsistent tenant/pairs "
+                        f"across spans: {tenants} / {pairs}")
+
+    n_tenants = len({s["args"]["tenant"]
+                     for spans in chains.values() for s in spans})
+    print(f"check_trace: ok: {len(events)} spans, "
+          f"{len(chains)} complete chains, {n_tenants} tenant(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
