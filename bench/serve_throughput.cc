@@ -16,6 +16,13 @@
  * is one mutex-protected map probe amortised over a whole batch, so
  * anything below that means the resolution leaked into a hot loop.
  *
+ * A fifth measurement gates the metrics plane: the interactive
+ * workload through a bare AsyncServer vs one with the full
+ * MetricsRegistry/SloTracker/sampler stack attached. Instrumented
+ * serving must stay >= 0.97x bare — recording is relaxed atomics
+ * outside the server's stats mutex, so a lower ratio means metrics
+ * work leaked into a serial section.
+ *
  * The workload models a busy ranking service under cache pressure:
  * requests draw pairs from a tree pool larger than any single
  * encoding cache, so the synchronous path keeps re-encoding evicted
@@ -47,6 +54,9 @@
 #include "base/table.hh"
 #include "frontend/parser.hh"
 #include "serve/async_server.hh"
+#include "serve/metrics/metrics.hh"
+#include "serve/metrics/metrics_sampler.hh"
+#include "serve/metrics/slo_tracker.hh"
 #include "serve/model_registry.hh"
 #include "serve/sharded_server.hh"
 
@@ -125,7 +135,8 @@ struct BenchRow
 {
     std::string mode; // sync|async|async_closed|sharded|
                       // engine_direct|engine_registry|
-                      // tenant_solo|tenant_flood
+                      // tenant_solo|tenant_flood|
+                      // metrics_off|metrics_on
     int clients = 0;
     int shards = 0; // 0 for non-sharded modes
     double pairsPerSec = 0.0;
@@ -607,6 +618,66 @@ main(int argc, char** argv)
             fgClients, soloP99, soloRate, floodP99, floodRate,
             soloP99 > 0.0 ? floodP99 / soloP99 : 0.0,
             static_cast<unsigned long long>(floodShed));
+    }
+
+    // -------------------- metrics overhead: instrumented vs bare
+    // The same interactive closed-loop workload through two
+    // identically configured AsyncServers: one bare, one with the
+    // full metrics plane attached (engine phase histograms,
+    // per-request latency histograms, SLO tracking, and a 100 ms
+    // background sampler sweeping gauges the whole run). Recording
+    // is a handful of relaxed atomic adds outside the server's
+    // stats mutex, so the instrumented path must stay >= 0.97x
+    // bare (gated by tools/check_bench_serve.py).
+    {
+        auto runMetricsScenario = [&](bool instrumented) {
+            MetricsRegistry metrics;
+            SloTracker slo(metrics);
+            slo.setObjective("model", "",
+                             SloTracker::Objective()
+                                 .withLatencyThresholdUs(5000));
+            MetricsSampler sampler(
+                metrics, MetricsSampler::Options().withPeriod(
+                             std::chrono::milliseconds(100)));
+            Engine engine(instrumented
+                              ? servingOptions().withMetrics(&metrics)
+                              : servingOptions());
+            AsyncServer::Options opts =
+                AsyncServer::Options()
+                    .withQueueCapacity(1024)
+                    .withMaxBatchSize(256)
+                    .withMaxBatchDelay(
+                        std::chrono::microseconds(200));
+            if (instrumented)
+                opts = opts.withMetrics(&metrics).withSlo(&slo);
+            AsyncServer server(engine, opts);
+            if (instrumented) {
+                sampler.addProbe(
+                    [&server] { server.sampleMetrics(); });
+                sampler.addProbe([&slo] { slo.publishGauges(); });
+                sampler.start();
+            }
+            double rate = runClosedLoopClients(
+                gateClients, streams, pool,
+                [&server](const Ast& a, const Ast& b) {
+                    return server.submitCompare(a, b);
+                });
+            sampler.stop();
+            return rate;
+        };
+
+        double offRate = runMetricsScenario(false);
+        double onRate = runMetricsScenario(true);
+        rows.push_back(BenchRow{"metrics_off", gateClients, 0,
+                                offRate, 0});
+        rows.push_back(BenchRow{"metrics_on", gateClients, 0, onRate,
+                                0});
+        std::printf(
+            "\nmetrics overhead (%d interactive clients, full"
+            " instrumentation):\n  metrics off %10.0f pairs/s\n"
+            "  metrics on  %10.0f pairs/s  (%.3fx, CI floor"
+            " 0.97x)\n",
+            gateClients, offRate, onRate, onRate / offRate);
     }
 
     if (!jsonPath.empty())

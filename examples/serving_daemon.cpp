@@ -15,10 +15,16 @@
  * ModelRegistry: two problem-family models behind one sharded
  * front, traffic split by model name, and one model hot-swapped
  * mid-run without stopping the service (the paper's
- * continuous-learning deployment); finally multi-tenant serving
- * with an AdmissionController quota shedding a bulk tenant's flood
- * while an interactive tenant rides the fast lane, every request
- * leaving a chrome://tracing span chain via TraceRecorder.
+ * continuous-learning deployment); then multi-tenant serving with
+ * an AdmissionController quota shedding a bulk tenant's flood while
+ * an interactive tenant rides the fast lane, every request leaving
+ * a chrome://tracing span chain via TraceRecorder; and finally the
+ * metrics plane: a MetricsRegistry fed by every layer, a
+ * MetricsSampler scraping the pull-style gauges, an SloTracker
+ * burning error budget while a load shift is inside its window and
+ * recovering once it ages out — with windowed p99 diverging from
+ * lifetime p99 to show why "p99 over the last 1.5s" and "p99 since
+ * boot" answer different questions.
  *
  * The engines here are untrained so the demo runs instantly — a
  * real daemon would registry.load("family-a.bin") at startup (v2
@@ -26,8 +32,12 @@
  * for training one).
  *
  * Usage: ./serving_daemon [--trace trace.json]
- * (--trace exports the [6/6] demo's spans as chrome-trace JSON;
- * tools/check_trace.py validates the file and CI runs it.)
+ *                         [--metrics-out metrics.prom]
+ * (--trace exports the [6/7] demo's spans as chrome-trace JSON;
+ * tools/check_trace.py validates the file and CI runs it.
+ * --metrics-out dumps the Prometheus-text exposition after every
+ * sampler sweep, plus a mid-run scrape at <path>.1 and the final
+ * scrape at <path>; tools/check_metrics.py validates the pair.)
  */
 
 #include <cstdio>
@@ -39,6 +49,9 @@
 #include "base/rng.hh"
 #include "serve/admission/admission_controller.hh"
 #include "serve/async_server.hh"
+#include "serve/metrics/metrics.hh"
+#include "serve/metrics/metrics_sampler.hh"
+#include "serve/metrics/slo_tracker.hh"
 #include "serve/model_registry.hh"
 #include "serve/sharded_server.hh"
 #include "serve/trace/trace_recorder.hh"
@@ -71,9 +84,13 @@ int
 main(int argc, char** argv)
 {
     std::string tracePath;
-    for (int a = 1; a + 1 < argc; ++a)
+    std::string metricsPath;
+    for (int a = 1; a + 1 < argc; ++a) {
         if (std::string(argv[a]) == "--trace")
             tracePath = argv[a + 1];
+        if (std::string(argv[a]) == "--metrics-out")
+            metricsPath = argv[a + 1];
+    }
 
     std::printf("=== ccsa serving daemon ===\n\n");
 
@@ -100,7 +117,7 @@ main(int argc, char** argv)
     //    algorithm-selection tournaments, all through futures.
     constexpr int kClients = 4;
     constexpr int kRequests = 40;
-    std::printf("[1/6] %d clients x %d requests (compares + ranks)"
+    std::printf("[1/7] %d clients x %d requests (compares + ranks)"
                 "...\n",
                 kClients, kRequests);
     std::vector<std::thread> clients;
@@ -145,7 +162,7 @@ main(int argc, char** argv)
 
     // 4. Drain and stop; futures submitted after this fail fast with
     //    Unavailable instead of hanging.
-    std::printf("\n[2/6] clean shutdown (drains pending work)...\n");
+    std::printf("\n[2/7] clean shutdown (drains pending work)...\n");
     server.shutdown();
     auto late = server
                     .submitCompare(variants[0], variants[1])
@@ -154,7 +171,7 @@ main(int argc, char** argv)
                 late.status().toString().c_str());
 
     // 5. The operator's view.
-    std::printf("\n[3/6] server stats\n");
+    std::printf("\n[3/7] server stats\n");
     ServerStats s = server.stats();
     std::printf("      queue: depth=%zu capacity=%zu\n",
                 s.queueDepth, s.queueCapacity);
@@ -190,7 +207,7 @@ main(int argc, char** argv)
     //    sharing a 4-way partitioned encoding cache (every variant's
     //    latent lives on exactly one shard). Results are bitwise
     //    what the AsyncServer returned above.
-    std::printf("\n[4/6] sharded serving (4 workers, partitioned "
+    std::printf("\n[4/7] sharded serving (4 workers, partitioned "
                 "cache)...\n");
     ShardedServer sharded(Engine::Options()
                               .withEmbedDim(24)
@@ -255,7 +272,7 @@ main(int argc, char** argv)
     //    registry, traffic split by model name, family-a hot-swapped
     //    with a retrained build mid-run. Requests admitted before the
     //    swap complete on the old version; nothing stops.
-    std::printf("\n[5/6] multi-model serving (registry, hot swap "
+    std::printf("\n[5/7] multi-model serving (registry, hot swap "
                 "mid-run)...\n");
     auto registry = std::make_shared<ModelRegistry>();
     EncoderConfig famCfg;
@@ -347,18 +364,48 @@ main(int argc, char** argv)
     //    batches. Every executed request leaves an admission ->
     //    queue -> coalesce -> encode -> score span chain in the
     //    TraceRecorder.
-    std::printf("\n[6/6] multi-tenant admission + tracing (bulk "
+    std::printf("\n[6/7] multi-tenant admission + tracing (bulk "
                 "tenant quota-capped)...\n");
+
+    // The process-wide metrics plane, shared by the remaining
+    // demos: every layer feeds one MetricsRegistry; a MetricsSampler
+    // scrapes the pull-style gauges; an SloTracker judges (model,
+    // tenant) latency objectives over a rolling window. The window
+    // is deliberately short (5 x 300 ms) so [7/7] can show a load
+    // shift aging out of it in demo time.
+    MetricsRegistry metrics;
+    SloTracker slo(metrics);
+    const WindowedHistogram::Options demoWindow =
+        WindowedHistogram::Options()
+            .withBucketWidth(std::chrono::milliseconds(300))
+            .withNumBuckets(5);
+    slo.setObjective("model", "checkout",
+                     SloTracker::Objective()
+                         .withLatencyThresholdUs(50000)
+                         .withTargetGoodFraction(0.99)
+                         .withWindow(demoWindow));
+    slo.setObjective("model", "canary",
+                     SloTracker::Objective()
+                         .withLatencyThresholdUs(2500)
+                         .withTargetGoodFraction(0.95)
+                         .withWindow(demoWindow));
+    MetricsSampler sampler(
+        metrics, MetricsSampler::Options()
+                     .withPeriod(std::chrono::milliseconds(200))
+                     .withExpositionPath(metricsPath));
+
     AdmissionController admission;
     admission.setQuota(
         "bulk", AdmissionController::Quota{/*pairsPerSec=*/50.0,
                                            /*burst=*/40.0});
     TraceRecorder trace;
+    trace.attachMetrics(&metrics);
     Engine tenantEngine(Engine::Options()
                             .withEmbedDim(24)
                             .withHiddenDim(32)
                             .withThreads(0)
-                            .withCacheCapacity(4096));
+                            .withCacheCapacity(4096)
+                            .withMetrics(&metrics));
     AsyncServer tenantServer(
         tenantEngine,
         AsyncServer::Options()
@@ -366,7 +413,14 @@ main(int argc, char** argv)
             .withMaxBatchSize(128)
             .withMaxBatchDelay(std::chrono::microseconds(200))
             .withAdmission(&admission)
-            .withTrace(&trace));
+            .withTrace(&trace)
+            .withMetrics(&metrics)
+            .withSlo(&slo)
+            .withMetricsWindow(demoWindow));
+    sampler.addProbe([&] { tenantServer.sampleMetrics(); });
+    sampler.addProbe([&] { admission.publishMetrics(metrics); });
+    sampler.addProbe([&] { slo.publishGauges(); });
+    sampler.start();
 
     std::thread bulkClient([&] {
         // 20 batch-class tournaments of 8 pairs each = 160 pairs
@@ -461,11 +515,139 @@ main(int argc, char** argv)
                         : wrote.toString().c_str());
     }
 
+    // 9. The metrics plane under a load shift. A canary tenant's
+    //    traffic goes through two phases: a slow one (every request
+    //    encodes giant, never-seen trees — a "bad deploy" blowing
+    //    the 2.5 ms objective), then a fast one (one cached pair)
+    //    that runs LONGER than the 1.5 s judgment window. While the
+    //    slow phase is inside the window the burn rate screams and
+    //    windowed p99 matches lifetime p99; once it ages out the
+    //    burn rate recovers and windowed p99 drops to the fast
+    //    phase's — but lifetime p99 still remembers the incident.
+    //    That recovery-vs-memory split is the canary
+    //    promotion/rollback signal (see ROADMAP).
+    std::printf("\n[7/7] windowed metrics + SLO burn rate (load "
+                "shift ages out of the window)...\n");
+    Engine canaryEngine(Engine::Options()
+                            .withEmbedDim(24)
+                            .withHiddenDim(32)
+                            .withThreads(0)
+                            .withCacheCapacity(4096)
+                            .withMetrics(&metrics));
+    AsyncServer canaryServer(
+        canaryEngine,
+        AsyncServer::Options()
+            .withQueueCapacity(512)
+            .withMaxBatchSize(64)
+            .withMaxBatchDelay(std::chrono::microseconds(100))
+            .withMetrics(&metrics)
+            .withSlo(&slo)
+            .withMetricsWindow(demoWindow));
+    sampler.addProbe([&] { canaryServer.sampleMetrics(); });
+    const SubmitOptions canary = SubmitOptions().withTenant("canary");
+
+    // Slow phase: 10 concurrent requests, each a 24-pair batch over
+    // distinct cold trees. Every request pays ~24 full encodes AND
+    // queues behind the requests ahead of it — the compounding
+    // latency a real bad deploy shows under load.
+    std::vector<Ast> giants;
+    for (int g = 0; g < 240; ++g)
+        giants.push_back(makeVariant(12 + g % 4, 60 + g / 4));
+    std::vector<std::future<Result<std::vector<double>>>> slowWork;
+    for (int r = 0; r < 10; ++r) {
+        std::vector<Engine::PairRequest> pairs;
+        for (int p = 0; p < 24; ++p) {
+            const Ast& a = giants[static_cast<std::size_t>(r * 24 + p)];
+            const Ast& b = giants[static_cast<std::size_t>(
+                r * 24 + (p + 1) % 24)];
+            pairs.push_back({&a, &b});
+        }
+        slowWork.push_back(
+            canaryServer.submitCompareMany(canary,
+                                           std::move(pairs)));
+    }
+    for (auto& f : slowWork)
+        f.get();
+    auto hotNow = std::chrono::steady_clock::now();
+    SloTracker::WindowCounts hotCounts =
+        slo.windowCounts("model", "canary", hotNow);
+    double burnHot = slo.burnRate("model", "canary", hotNow);
+    std::printf("      slow phase done: window good=%llu bad=%llu "
+                "burn=%.1f (>1 burns budget)\n",
+                static_cast<unsigned long long>(hotCounts.good),
+                static_cast<unsigned long long>(hotCounts.bad),
+                burnHot);
+    if (!metricsPath.empty()) {
+        sampler.sampleOnce();
+        Status mid = metrics.exposeToFile(metricsPath + ".1");
+        std::printf("      %s\n",
+                    mid.isOk()
+                        ? ("wrote " + metricsPath + ".1 (mid-run "
+                           "scrape)")
+                              .c_str()
+                        : mid.toString().c_str());
+    }
+
+    // Fast phase: one cached pair, repeated for longer than the
+    // window span so every slow sample rotates out of the ring.
+    auto fastUntil = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            demoWindow.bucketWidth) *
+            static_cast<int>(demoWindow.numBuckets) +
+        std::chrono::milliseconds(500);
+    int fastCount = 0;
+    while (std::chrono::steady_clock::now() < fastUntil) {
+        canaryServer.submitCompare(canary, variants[0], variants[1])
+            .get();
+        ++fastCount;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    canaryServer.shutdown();
+
+    WindowedHistogram& canaryLat = serverLatencyHistogram(
+        metrics, "async", "model", "canary", Priority::kInteractive,
+        demoWindow);
+    auto coolNow = std::chrono::steady_clock::now();
+    Histogram windowHist = canaryLat.window(coolNow);
+    Histogram lifeHist = canaryLat.lifetime();
+    double burnCool = slo.burnRate("model", "canary", coolNow);
+    std::printf("      fast phase: %d cached compares over > window "
+                "span\n",
+                fastCount);
+    std::printf("      lifetime p99 <= %.3f ms over %llu samples "
+                "(remembers the slow phase)\n",
+                static_cast<double>(
+                    lifeHist.quantileUpperBound(0.99)) /
+                    1000.0,
+                static_cast<unsigned long long>(lifeHist.count()));
+    std::printf("      windowed p99 <= %.3f ms over %llu samples "
+                "(last %lld ms only)\n",
+                static_cast<double>(
+                    windowHist.quantileUpperBound(0.99)) /
+                    1000.0,
+                static_cast<unsigned long long>(windowHist.count()),
+                static_cast<long long>(
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        canaryLat.windowSpan())
+                        .count()));
+    std::printf("      burn rate: %.1f during incident -> %.1f "
+                "after it aged out\n",
+                burnHot, burnCool);
+
+    sampler.stop();
+    sampler.sampleOnce(); // final deterministic sweep + dump
+    if (!metricsPath.empty())
+        std::printf("      wrote %s (final scrape; validate both "
+                    "with tools/check_metrics.py)\n",
+                    metricsPath.c_str());
+
     std::printf("\ndone. Tune maxBatchDelay down for latency, up "
                 "for throughput;\nshard when one batcher saturates;"
                 " register models when one service must\nserve many"
                 " problem families; quota tenants that crowd the"
-                " queue — see README\n\"Admission control,"
-                " priorities & tracing\".\n");
+                " queue; scrape\nthe MetricsRegistry and alert on"
+                " ccsa_slo_burn_rate — see README\n\"Metrics &"
+                " SLOs\".\n");
     return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "serve/metrics/metrics.hh"
+
 namespace ccsa
 {
 
@@ -98,6 +100,8 @@ AdmissionController::stats() const
             row.admitted = bucket.admitted;
             row.admittedPairs = bucket.admittedPairs;
             row.rejected = bucket.rejected;
+            row.limited = bucket.limited;
+            row.tokens = bucket.tokens;
             out.push_back(std::move(row));
         }
     }
@@ -107,6 +111,33 @@ AdmissionController::stats() const
                   return a.tenant < b.tenant;
               });
     return out;
+}
+
+void
+AdmissionController::publishMetrics(MetricsRegistry& registry) const
+{
+    for (const TenantAdmissionStats& row : stats()) {
+        MetricLabels labels{{"tenant", row.tenant}};
+        registry
+            .counter("ccsa_admission_admitted_total", labels,
+                     "Requests admitted past the quota gate.")
+            .increaseTo(row.admitted);
+        registry
+            .counter("ccsa_admission_admitted_pairs_total", labels,
+                     "Pairs charged against admitted requests.")
+            .increaseTo(row.admittedPairs);
+        registry
+            .counter("ccsa_admission_rejected_total", labels,
+                     "Requests rejected by the quota gate.")
+            .increaseTo(row.rejected);
+        if (row.limited) {
+            registry
+                .gauge("ccsa_admission_bucket_tokens", labels,
+                       "Token-bucket fill (pairs) as of the "
+                       "tenant's last charge.")
+                .set(row.tokens);
+        }
+    }
 }
 
 } // namespace ccsa

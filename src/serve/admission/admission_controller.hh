@@ -39,6 +39,8 @@
 namespace ccsa
 {
 
+class MetricsRegistry;
+
 /** Scheduling class of a submitted request (serve/coalesce.hh):
  * interactive traffic bounds batch-flush latency, batch traffic
  * rides full batches. */
@@ -112,6 +114,12 @@ class AdmissionController
         std::uint64_t admitted = 0;
         std::uint64_t admittedPairs = 0;
         std::uint64_t rejected = 0;
+        /** Whether a quota is currently installed. */
+        bool limited = false;
+        /** Bucket fill as of the last charge (lazy refill: the
+         * level is only topped up when the tenant next submits).
+         * Meaningful only when limited. */
+        double tokens = 0.0;
     };
 
     AdmissionController() = default;
@@ -155,6 +163,15 @@ class AdmissionController
      * row — including unlimited ones, so per-tenant traffic volume
      * is visible even before anyone configures a quota. */
     std::vector<TenantAdmissionStats> stats() const;
+
+    /**
+     * Mirror the admission counters into a metrics registry:
+     * ccsa_admission_admitted_total / _admitted_pairs_total /
+     * _rejected_total{tenant} (monotone, via Counter::increaseTo)
+     * and ccsa_admission_bucket_tokens{tenant} gauges for quoted
+     * tenants. Wire as a MetricsSampler probe.
+     */
+    void publishMetrics(MetricsRegistry& registry) const;
 
   private:
     struct Bucket

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "serve/coalesce.hh"
+#include "serve/metrics/slo_tracker.hh"
 
 namespace ccsa
 {
@@ -25,6 +26,7 @@ AsyncServer::AsyncServer(Engine& engine, Options opts)
         opts_.maxBatchSize = 1;
     if (opts_.maxBatchDelay.count() < 0)
         opts_.maxBatchDelay = std::chrono::microseconds(0);
+    initMetrics();
     if (!opts_.startPaused)
         start();
 }
@@ -37,6 +39,7 @@ AsyncServer::AsyncServer(Engine::Options engineOpts, Options opts)
         opts_.maxBatchSize = 1;
     if (opts_.maxBatchDelay.count() < 0)
         opts_.maxBatchDelay = std::chrono::microseconds(0);
+    initMetrics();
     if (!opts_.startPaused)
         start();
 }
@@ -55,8 +58,16 @@ AsyncServer::AsyncServer(std::shared_ptr<ModelRegistry> registry,
         opts_.maxBatchSize = 1;
     if (opts_.maxBatchDelay.count() < 0)
         opts_.maxBatchDelay = std::chrono::microseconds(0);
+    initMetrics();
     if (!opts_.startPaused)
         start();
+}
+
+void
+AsyncServer::initMetrics()
+{
+    if (opts_.metrics != nullptr)
+        metrics_.init(*opts_.metrics, "async");
 }
 
 AsyncServer::~AsyncServer()
@@ -126,6 +137,8 @@ AsyncServer::submitCore(
     }
     if (pairs.empty()) {
         complete(std::vector<double>{});
+        if (metrics_.enabled())
+            metrics_.completed->inc();
         std::lock_guard<std::mutex> lock(statsMutex_);
         completed_++;
         return true;
@@ -138,6 +151,8 @@ AsyncServer::submitCore(
         Status admitted =
             opts_.admission->admit(submitOpts.tenant, pairs.size());
         if (!admitted.isOk()) {
+            if (metrics_.enabled())
+                metrics_.rejectedQuota->inc();
             {
                 std::lock_guard<std::mutex> lock(statsMutex_);
                 rejectedQuota_++;
@@ -176,6 +191,8 @@ AsyncServer::submitCore(
                                  : queue_.tryPush(std::move(request));
     switch (outcome) {
       case QueuePush::Ok: {
+          if (metrics_.enabled())
+              metrics_.submitted->inc();
           std::lock_guard<std::mutex> lock(statsMutex_);
           submitted_++;
           TenantStats& row = tenants_[submitOpts.tenant];
@@ -185,11 +202,15 @@ AsyncServer::submitCore(
       }
       case QueuePush::Full: {
           // Backpressure: the caller keeps no future and may retry.
+          if (metrics_.enabled())
+              metrics_.rejectedShed->inc();
           std::lock_guard<std::mutex> lock(statsMutex_);
           rejectedShed_++;
           return false;
       }
       case QueuePush::Closed: {
+          if (metrics_.enabled())
+              metrics_.rejectedShutdown->inc();
           {
               std::lock_guard<std::mutex> lock(statsMutex_);
               rejectedShutdown_++;
@@ -439,6 +460,10 @@ AsyncServer::batcherLoop()
 void
 AsyncServer::recordBatch(std::size_t pairCount)
 {
+    if (metrics_.enabled()) {
+        metrics_.batches->inc();
+        metrics_.batchPairs->inc(pairCount);
+    }
     std::lock_guard<std::mutex> lock(statsMutex_);
     batches_++;
     pairsServed_ += pairCount;
@@ -451,6 +476,18 @@ AsyncServer::recordOutcome(
     std::chrono::steady_clock::time_point now)
 {
     std::size_t us = latencySampleUs(now - request.enqueued);
+    // Registry instruments synchronise themselves — feed them outside
+    // statsMutex_ so exposition never contends with the batcher.
+    if (metrics_.enabled()) {
+        (ok ? metrics_.completed : metrics_.failed)->inc();
+        serverLatencyHistogram(*opts_.metrics, "async",
+                               request.version->name, request.tenant,
+                               request.priority, opts_.metricsWindow)
+            .add(us, now);
+    }
+    if (opts_.slo != nullptr)
+        opts_.slo->record(request.version->name, request.tenant, us,
+                          now);
     std::lock_guard<std::mutex> lock(statsMutex_);
     TenantStats& row = tenants_[request.tenant];
     row.tenant = request.tenant;
@@ -468,6 +505,8 @@ AsyncServer::recordOutcome(
 void
 AsyncServer::noteFailed()
 {
+    if (metrics_.enabled())
+        metrics_.failed->inc();
     std::lock_guard<std::mutex> lock(statsMutex_);
     failed_++;
 }
@@ -495,6 +534,16 @@ AsyncServer::recordTrace(const Request& request,
     trace.record(request.traceId, TracePhase::Score,
                  timing.encodeEnd, timing.scoreEnd, 0,
                  request.tenant, pairs);
+}
+
+void
+AsyncServer::sampleMetrics() const
+{
+    if (opts_.metrics == nullptr)
+        return;
+    publishServerGauges(*opts_.metrics, "async", queue_.size(),
+                        queue_.capacity(),
+                        engine_->perModelCacheStats());
 }
 
 ServerStats

@@ -84,6 +84,8 @@
 namespace ccsa
 {
 
+class SloTracker;
+
 /** Async facade over an Engine with cross-request dynamic batching. */
 class AsyncServer
 {
@@ -121,6 +123,25 @@ class AsyncServer
          * rejected requests leave none, so an exported trace only
          * contains complete chains. nullptr = no tracing. */
         TraceRecorder* trace = nullptr;
+        /** Optional metrics plane (serve/metrics; not owned, must
+         * outlive the server). When set, the server records inline
+         * request/batch counters ({server="async"}) and per-request
+         * end-to-end latency into ccsa_request_latency_us windowed
+         * histograms labeled {server, model, tenant, priority};
+         * sampleMetrics() additionally publishes queue and
+         * per-model cache gauges (wire it as a MetricsSampler
+         * probe). nullptr = no instrumentation (legacy). */
+        MetricsRegistry* metrics = nullptr;
+        /** Optional SLO accounting (serve/metrics/slo_tracker; not
+         * owned). Every completed request is record()ed under its
+         * (model, tenant) — a no-op unless an objective is
+         * registered for that pair. Requires nothing from
+         * `metrics` (the tracker carries its own registry). */
+        SloTracker* slo = nullptr;
+        /** Window shape of the per-request latency histograms
+         * (ccsa_request_latency_us). Note the family's shape is
+         * fixed by the FIRST server to record into the registry. */
+        WindowedHistogram::Options metricsWindow;
         /** Do not start the batcher thread until start() — lets tests
          * and daemons stage requests deterministically. */
         bool startPaused = false;
@@ -164,6 +185,24 @@ class AsyncServer
         Options& withStartPaused(bool paused)
         {
             startPaused = paused;
+            return *this;
+        }
+
+        Options& withMetrics(MetricsRegistry* registry)
+        {
+            metrics = registry;
+            return *this;
+        }
+
+        Options& withSlo(SloTracker* tracker)
+        {
+            slo = tracker;
+            return *this;
+        }
+
+        Options& withMetricsWindow(WindowedHistogram::Options w)
+        {
+            metricsWindow = w;
             return *this;
         }
     };
@@ -277,6 +316,12 @@ class AsyncServer
      * wrapped engine's cache counters). */
     ServerStats stats() const;
 
+    /** Publish the pull-style gauges (queue depth/capacity, live
+     * models, per-model cache counters + resident bytes) into
+     * Options::metrics. No-op without a registry; wire as a
+     * MetricsSampler probe. */
+    void sampleMetrics() const;
+
     const Options& options() const { return opts_; }
 
     Engine& engine() { return *engine_; }
@@ -319,6 +364,9 @@ class AsyncServer
         std::function<void(Result<std::vector<double>>)> complete,
         bool blocking);
 
+    /** Fetch the registry-owned inline counters (ctor tail). */
+    void initMetrics();
+
     void batcherLoop();
     void recordBatch(std::size_t pairCount);
     void recordOutcome(const Request& request, bool ok,
@@ -336,6 +384,9 @@ class AsyncServer
     Engine* engine_;
     Options opts_;
     BoundedQueue<Request> queue_;
+    /** Inline instruments ({server="async"}); disabled (null
+     * members) without Options::metrics. */
+    ServerMetrics metrics_;
 
     /** Guards the batcher thread lifecycle (start/shutdown). */
     mutable std::mutex lifecycleMutex_;

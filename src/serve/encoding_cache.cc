@@ -78,20 +78,30 @@ EncodingCache::lookup(const EncodingKey& key)
 void
 EncodingCache::insert(const EncodingKey& key, Tensor latent)
 {
+    const std::size_t bytes = latent.size() * sizeof(float);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
+        NamespaceStats& ns = perNamespace_[key.modelVersion];
+        ns.residentBytes += bytes;
+        ns.residentBytes -=
+            it->second->latent.size() * sizeof(float);
         it->second->latent = std::move(latent);
         order_.splice(order_.begin(), order_, it->second);
         return;
     }
     order_.push_front(Entry{key, std::move(latent)});
     entries_.emplace(key, order_.begin());
-    ++perNamespace_[key.modelVersion].residents;
+    NamespaceStats& inserted = perNamespace_[key.modelVersion];
+    ++inserted.residents;
+    inserted.residentBytes += bytes;
     while (entries_.size() > capacity_) {
-        const EncodingKey& victim = order_.back().key;
+        const Entry& victimEntry = order_.back();
+        const EncodingKey& victim = victimEntry.key;
         NamespaceStats& ns = perNamespace_[victim.modelVersion];
         ++ns.evictions;
         --ns.residents;
+        ns.residentBytes -=
+            victimEntry.latent.size() * sizeof(float);
         entries_.erase(victim);
         order_.pop_back();
         ++stats_.evictions;
@@ -120,8 +130,10 @@ EncodingCache::clear()
 {
     entries_.clear();
     order_.clear();
-    for (auto& [ns, stats] : perNamespace_)
+    for (auto& [ns, stats] : perNamespace_) {
         stats.residents = 0;
+        stats.residentBytes = 0;
+    }
 }
 
 void
@@ -135,7 +147,9 @@ EncodingCache::clearNamespace(std::uint64_t modelVersion)
             ++it;
         }
     }
-    perNamespace_[modelVersion].residents = 0;
+    NamespaceStats& ns = perNamespace_[modelVersion];
+    ns.residents = 0;
+    ns.residentBytes = 0;
 }
 
 EncodingCache::NamespaceStats
@@ -298,6 +312,7 @@ ShardedEncodingCache::namespaceStats(std::uint64_t modelVersion) const
         total.misses += s.misses;
         total.evictions += s.evictions;
         total.residents += s.residents;
+        total.residentBytes += s.residentBytes;
     }
     return total;
 }

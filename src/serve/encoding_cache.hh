@@ -135,6 +135,11 @@ class EncodingCache
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
         std::size_t residents = 0;
+        /** Payload bytes of this namespace's resident latents
+         * (element count * sizeof(float); excludes map/list
+         * overhead). What the metrics plane exports as
+         * ccsa_cache_resident_bytes. */
+        std::size_t residentBytes = 0;
     };
 
     /** @param capacity maximum resident entries (>= 1). */

@@ -5,12 +5,24 @@
 #include <unordered_map>
 
 #include "frontend/parser.hh"
+#include "serve/metrics/metrics.hh"
 
 namespace ccsa
 {
 
 namespace
 {
+
+/** Non-negative microsecond span between two time points. */
+std::size_t
+spanUs(std::chrono::steady_clock::time_point from,
+       std::chrono::steady_clock::time_point to)
+{
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  to - from)
+                  .count();
+    return us < 0 ? 0 : static_cast<std::size_t>(us);
+}
 
 /** The exact probability map of the legacy per-pair path. */
 inline double
@@ -114,6 +126,7 @@ void
 Engine::init(std::shared_ptr<ShardedEncodingCache> cache,
              bool externalCache)
 {
+    initMetrics();
     if (externalCache) {
         if (!cache)
             fatal("Engine: null cache");
@@ -128,6 +141,21 @@ Engine::init(std::shared_ptr<ShardedEncodingCache> cache,
     cache_ = std::make_shared<ShardedEncodingCache>(
         opts_.cacheShards == 0 ? 1 : opts_.cacheShards,
         opts_.cacheCapacity);
+}
+
+void
+Engine::initMetrics()
+{
+    if (opts_.metrics == nullptr)
+        return;
+    const std::string help =
+        "Engine pipeline stage wall time per compareMany call, us.";
+    phaseEncodeUs_ = &opts_.metrics->windowedHistogram(
+        "ccsa_engine_phase_us", {{"phase", "encode"}},
+        WindowedHistogram::Options(), help);
+    phaseScoreUs_ = &opts_.metrics->windowedHistogram(
+        "ccsa_engine_phase_us", {{"phase", "score"}},
+        WindowedHistogram::Options(), help);
 }
 
 Result<std::shared_ptr<const ModelVersion>>
@@ -278,6 +306,12 @@ Engine::compareMany(const ModelVersion& version,
                     const std::vector<PairRequest>& pairs,
                     PhaseTiming* timing)
 {
+    // The metrics plane needs the stage boundaries even when the
+    // caller doesn't: time into a local PhaseTiming in that case.
+    PhaseTiming localTiming;
+    if (timing == nullptr && phaseEncodeUs_ != nullptr)
+        timing = &localTiming;
+
     std::vector<const Ast*> trees;
     trees.reserve(pairs.size() * 2);
     for (const PairRequest& p : pairs) {
@@ -312,6 +346,15 @@ Engine::compareMany(const ModelVersion& version,
     }
     if (timing)
         timing->scoreEnd = std::chrono::steady_clock::now();
+
+    if (phaseEncodeUs_ != nullptr && timing != nullptr) {
+        phaseEncodeUs_->add(
+            spanUs(timing->encodeStart, timing->encodeEnd),
+            timing->scoreEnd);
+        phaseScoreUs_->add(
+            spanUs(timing->encodeEnd, timing->scoreEnd),
+            timing->scoreEnd);
+    }
 
     std::lock_guard<std::mutex> lock(mutex_);
     pairsServed_ += pairs.size();

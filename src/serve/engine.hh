@@ -46,6 +46,9 @@
 namespace ccsa
 {
 
+class MetricsRegistry;
+class WindowedHistogram;
+
 /** One model's cache-namespace counters (see Engine::
  * perModelCacheStats / ServerStats::models). */
 struct ModelCacheStats
@@ -82,6 +85,11 @@ class Engine
         std::size_t cacheShards = 1;
         /** Encoder worker threads; 0 = hardware, 1 = inline. */
         int threads = 0;
+        /** Optional metrics plane (serve/metrics). Not owned; must
+         * outlive the engine. When set, every compareMany records
+         * its encode/score wall time into the
+         * ccsa_engine_phase_us{phase=...} windowed histograms. */
+        MetricsRegistry* metrics = nullptr;
 
         Options& withEncoder(const EncoderConfig& cfg)
         {
@@ -140,6 +148,12 @@ class Engine
         Options& withThreads(int n)
         {
             threads = n;
+            return *this;
+        }
+
+        Options& withMetrics(MetricsRegistry* m)
+        {
+            metrics = m;
             return *this;
         }
     };
@@ -388,12 +402,18 @@ class Engine
     void init(std::shared_ptr<ShardedEncodingCache> cache,
               bool externalCache);
 
+    /** Fetch the phase instruments when opts_.metrics is set. */
+    void initMetrics();
+
     /** Fixed version (classic mode); null in registry mode. */
     std::shared_ptr<const ModelVersion> version_;
     std::shared_ptr<ModelRegistry> registry_;
     Options opts_;
     ThreadPool pool_;
     std::shared_ptr<ShardedEncodingCache> cache_;
+    /** Phase instruments (registry-owned; null without metrics). */
+    WindowedHistogram* phaseEncodeUs_ = nullptr;
+    WindowedHistogram* phaseScoreUs_ = nullptr;
     /** Guards the volume counters below (the cache locks itself). */
     mutable std::mutex mutex_;
     std::uint64_t pairsServed_ = 0;

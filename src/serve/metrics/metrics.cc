@@ -1,0 +1,392 @@
+#include "serve/metrics/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+namespace
+{
+
+/** Escape a label value per the Prometheus text format: backslash,
+ * double quote, and newline. */
+std::string
+escapeLabelValue(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Render a double the way Prometheus expects: integral values as
+ * integers, everything else with round-trip-ish precision. */
+std::string
+formatNumber(double v)
+{
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v < 1e15 && v > -1e15) {
+        return std::to_string(static_cast<long long>(v));
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Insert an extra label (le/quantile) into a rendered label block:
+ * "" + (le, 1) -> {le="1"}; {a="x"} + (le, 1) -> {a="x",le="1"}. */
+std::string
+withExtraLabel(const std::string& rendered, const std::string& key,
+               const std::string& value)
+{
+    std::string extra = key + "=\"" + escapeLabelValue(value) + "\"";
+    if (rendered.empty())
+        return "{" + extra + "}";
+    std::string out = rendered;
+    out.insert(out.size() - 1, "," + extra);
+    return out;
+}
+
+/** One-line HELP text (the format is line-oriented). */
+std::string
+helpLine(const std::string& help)
+{
+    std::string out = help;
+    std::replace(out.begin(), out.end(), '\n', ' ');
+    return out;
+}
+
+} // namespace
+
+std::string
+renderMetricLabels(const MetricLabels& labels)
+{
+    if (labels.empty())
+        return "";
+    MetricLabels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string out = "{";
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (sorted[i].first.empty())
+            fatal("metrics: empty label name on a metric");
+        if (i > 0)
+            out += ",";
+        out += sorted[i].first + "=\"" +
+               escapeLabelValue(sorted[i].second) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+void
+Counter::increaseTo(std::uint64_t target)
+{
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < target &&
+           !value_.compare_exchange_weak(cur, target,
+                                         std::memory_order_relaxed)) {
+        // cur reloaded by the failed CAS; loop until it catches up.
+    }
+}
+
+WindowedHistogram::WindowedHistogram()
+    : WindowedHistogram(Options())
+{
+}
+
+WindowedHistogram::WindowedHistogram(
+    Options opts, std::chrono::steady_clock::time_point epoch)
+    : opts_([&] {
+          Options o = opts;
+          if (o.bucketWidth.count() <= 0)
+              fatal("WindowedHistogram: bucketWidth must be > 0");
+          if (o.numBuckets == 0)
+              fatal("WindowedHistogram: numBuckets must be > 0");
+          return o;
+      }()),
+      epoch_(epoch),
+      ring_(opts_.numBuckets)
+{
+}
+
+std::uint64_t
+WindowedHistogram::seqFor(
+    std::chrono::steady_clock::time_point now) const
+{
+    if (now <= epoch_)
+        return 0;
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - epoch_)
+                  .count();
+    return static_cast<std::uint64_t>(us) /
+           static_cast<std::uint64_t>(opts_.bucketWidth.count());
+}
+
+void
+WindowedHistogram::rotateTo(std::uint64_t seq) const
+{
+    if (seq <= curSeq_)
+        return; // time never runs backwards in the ring
+    const std::uint64_t n = ring_.size();
+    // Clear every bucket whose span was skipped. A jump of >= n
+    // buckets retires the whole ring; otherwise only the buckets
+    // between the old head and the new head are stale.
+    std::uint64_t firstStale;
+    if (seq - curSeq_ >= n)
+        firstStale = seq + 1 >= n ? seq + 1 - n : 0;
+    else
+        firstStale = curSeq_ + 1;
+    for (std::uint64_t s = firstStale; s <= seq; ++s) {
+        Slot& slot = ring_[s % n];
+        slot.seq = s;
+        slot.hist = Histogram();
+    }
+    curSeq_ = seq;
+}
+
+void
+WindowedHistogram::add(std::size_t value,
+                       std::chrono::steady_clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rotateTo(seqFor(now));
+    ring_[curSeq_ % ring_.size()].hist.add(value);
+    lifetime_.add(value);
+}
+
+Histogram
+WindowedHistogram::window(
+    std::chrono::steady_clock::time_point now) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rotateTo(seqFor(now));
+    // After rotation every slot's seq lies in
+    // [curSeq_ - n + 1, curSeq_], i.e. every slot is live.
+    Histogram merged;
+    for (const Slot& slot : ring_)
+        merged.merge(slot.hist);
+    return merged;
+}
+
+Histogram
+WindowedHistogram::lifetime() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lifetime_;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : MetricsRegistry(Clock([] {
+          return std::chrono::steady_clock::now();
+      }))
+{
+}
+
+MetricsRegistry::MetricsRegistry(Clock clock)
+    : clock_(std::move(clock)), epoch_(clock_())
+{
+}
+
+const char*
+MetricsRegistry::kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Counter: return "counter";
+      case Kind::Gauge: return "gauge";
+      case Kind::WindowedHistogram: return "histogram";
+    }
+    return "unknown";
+}
+
+MetricsRegistry::Family&
+MetricsRegistry::family(const std::string& name, Kind kind,
+                        const std::string& help)
+{
+    if (name.empty())
+        fatal("metrics: empty metric family name");
+    auto it = families_.find(name);
+    if (it == families_.end()) {
+        Family fam;
+        fam.kind = kind;
+        fam.help = help;
+        it = families_.emplace(name, std::move(fam)).first;
+    } else if (it->second.kind != kind) {
+        fatal("metrics: family '", name, "' registered as ",
+              kindName(it->second.kind), ", requested as ",
+              kindName(kind));
+    }
+    return it->second;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name,
+                         const MetricLabels& labels,
+                         const std::string& help)
+{
+    std::string key = renderMetricLabels(labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Family& fam = family(name, Kind::Counter, help);
+    Instrument& inst = fam.instruments[key];
+    if (!inst.counter)
+        inst.counter = std::make_unique<Counter>();
+    return *inst.counter;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name,
+                       const MetricLabels& labels,
+                       const std::string& help)
+{
+    std::string key = renderMetricLabels(labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Family& fam = family(name, Kind::Gauge, help);
+    Instrument& inst = fam.instruments[key];
+    if (!inst.gauge)
+        inst.gauge = std::make_unique<Gauge>();
+    return *inst.gauge;
+}
+
+WindowedHistogram&
+MetricsRegistry::windowedHistogram(const std::string& name,
+                                   const MetricLabels& labels,
+                                   WindowedHistogram::Options opts,
+                                   const std::string& help)
+{
+    std::string key = renderMetricLabels(labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Family& fam = family(name, Kind::WindowedHistogram, help);
+    if (fam.instruments.empty())
+        fam.histogramOptions = opts;
+    Instrument& inst = fam.instruments[key];
+    if (!inst.histogram) {
+        // The family's first creation fixes the window shape; every
+        // label set of one family rotates on the same schedule.
+        inst.histogram = std::make_unique<ccsa::WindowedHistogram>(
+            fam.histogramOptions, epoch_);
+    }
+    return *inst.histogram;
+}
+
+void
+MetricsRegistry::expose(std::ostream& out) const
+{
+    const auto now = clock_();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, fam] : families_) {
+        if (!fam.help.empty())
+            out << "# HELP " << name << " " << helpLine(fam.help)
+                << "\n";
+        out << "# TYPE " << name << " " << kindName(fam.kind)
+            << "\n";
+        if (fam.kind == Kind::WindowedHistogram) {
+            // Lifetime cumulative histogram: monotone across
+            // scrapes, full bucket schedule every time so the line
+            // set is stable.
+            for (const auto& [labels, inst] : fam.instruments) {
+                Histogram life = inst.histogram->lifetime();
+                std::uint64_t cum = 0;
+                for (std::size_t i = 0; i < Histogram::kBuckets;
+                     ++i) {
+                    cum += life.bucket(i);
+                    std::string le =
+                        i + 1 == Histogram::kBuckets
+                            ? "+Inf"
+                            : std::to_string(
+                                  Histogram::bucketUpperBound(i));
+                    out << name << "_bucket"
+                        << withExtraLabel(labels, "le", le) << " "
+                        << cum << "\n";
+                }
+                out << name << "_sum" << labels << " "
+                    << life.sum() << "\n";
+                out << name << "_count" << labels << " "
+                    << life.count() << "\n";
+            }
+            // Live-window quantiles as a separate summary family
+            // (NOT monotone — the whole point is that it forgets).
+            const std::string wname = name + "_window";
+            out << "# TYPE " << wname << " summary\n";
+            for (const auto& [labels, inst] : fam.instruments) {
+                Histogram win = inst.histogram->window(now);
+                for (double q : {0.5, 0.9, 0.99}) {
+                    out << wname
+                        << withExtraLabel(labels, "quantile",
+                                          formatNumber(q))
+                        << " " << win.quantileUpperBound(q) << "\n";
+                }
+                out << wname << "_sum" << labels << " "
+                    << win.sum() << "\n";
+                out << wname << "_count" << labels << " "
+                    << win.count() << "\n";
+            }
+            continue;
+        }
+        for (const auto& [labels, inst] : fam.instruments) {
+            out << name << labels << " ";
+            if (fam.kind == Kind::Counter)
+                out << inst.counter->value();
+            else
+                out << formatNumber(inst.gauge->value());
+            out << "\n";
+        }
+    }
+}
+
+std::string
+MetricsRegistry::expose() const
+{
+    std::ostringstream os;
+    expose(os);
+    return os.str();
+}
+
+Status
+MetricsRegistry::exposeToFile(const std::string& path) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return Status::ioError("metrics: cannot open " + tmp);
+        expose(out);
+        if (!out)
+            return Status::ioError("metrics: write failed: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return Status::ioError("metrics: rename to " + path +
+                               " failed");
+    return Status::ok();
+}
+
+std::vector<std::string>
+MetricsRegistry::familyNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(families_.size());
+    for (const auto& [name, fam] : families_)
+        names.push_back(name);
+    return names;
+}
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace ccsa

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * ccsa::MetricsRegistry — the process-wide metrics plane for the
+ * serving stack: named, labeled instruments (Counter, Gauge,
+ * WindowedHistogram) with Prometheus-text-format exposition.
+ *
+ * Why windowed: ServerStats quantiles are lifetime aggregates — a
+ * p99 computed over the whole process uptime cannot show that the
+ * *last ten seconds* regressed. WindowedHistogram keeps a ring of N
+ * rotating power-of-two Histogram buckets (base/stats.hh), so
+ * "p99 over the last 60s" is exact over the live buckets, old
+ * samples age out deterministically, and — because every add() and
+ * window() takes an explicit time point — the whole thing is
+ * testable with a fake clock, no sleeps.
+ *
+ * Instruments are created on first use and live as long as the
+ * registry; the references handed out are stable, so hot paths may
+ * cache them and update lock-free (Counter/Gauge are atomics;
+ * WindowedHistogram takes a short internal lock). Label sets are
+ * sorted by key, so {a=1,b=2} and {b=2,a=1} name one instrument.
+ *
+ * Exposition (expose()) renders the classic Prometheus text format:
+ *
+ *   # HELP name help text
+ *   # TYPE name counter|gauge|histogram|summary
+ *   name{label="value",...} 123
+ *
+ * A WindowedHistogram exports TWO families: `<name>` as a
+ * cumulative lifetime histogram (`_bucket{le=...}`/`_sum`/`_count`,
+ * monotone across scrapes) and `<name>_window` as a summary
+ * (p50/p99 quantiles + `_sum`/`_count` of the live window only —
+ * NOT monotone, by design). tools/check_metrics.py validates both
+ * contracts against serving_daemon --metrics-out in CI.
+ */
+
+#ifndef CCSA_SERVE_METRICS_METRICS_HH
+#define CCSA_SERVE_METRICS_METRICS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/result.hh"
+#include "base/stats.hh"
+
+namespace ccsa
+{
+
+/** Label set of one instrument: (key, value) pairs. Order does not
+ * matter — the registry sorts by key before keying/rendering. */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Monotonically increasing event count. Lock-free; safe to update
+ * from any thread.
+ */
+class Counter
+{
+  public:
+    /** Add `delta` events. */
+    void inc(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /**
+     * Raise the counter to `target` if it is currently below it
+     * (no-op otherwise). This is how sampler probes mirror an
+     * internal lifetime total (cache hits, admission counts) into
+     * the registry without double counting: repeatedly publishing
+     * the same snapshot is idempotent, and the counter stays
+     * monotone even if probes race.
+     */
+    void increaseTo(std::uint64_t target);
+
+    /** @return the current count. */
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** A value that can go up and down (queue depth, resident bytes,
+ * burn rate). Lock-free; last writer wins. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Time-windowed latency/size distribution: a ring of N rotating
+ * power-of-two Histogram buckets, each covering one fixed span of
+ * time, plus a lifetime Histogram that never resets.
+ *
+ * Bucket b holds the samples whose timestamp fell in
+ * [epoch + b*width, epoch + (b+1)*width); window(now) merges the
+ * ring's live buckets, so it covers between (N-1) and N bucket
+ * widths of history depending on how full the current bucket is.
+ * A clock jump of >= N buckets retires the entire ring (the window
+ * is empty until new samples arrive). Time never moves backwards:
+ * a sample stamped earlier than the newest observed bucket lands in
+ * that newest bucket.
+ *
+ * All time points are explicit parameters: serving code passes the
+ * steady_clock reading it already took for latency accounting, and
+ * tests drive a fake clock for deterministic rotation.
+ */
+class WindowedHistogram
+{
+  public:
+    struct Options
+    {
+        /** Time span of one ring bucket. */
+        std::chrono::microseconds bucketWidth{
+            std::chrono::seconds(10)};
+        /** Ring length; window covers numBuckets * bucketWidth. */
+        std::size_t numBuckets = 6;
+
+        Options& withBucketWidth(std::chrono::microseconds w)
+        {
+            bucketWidth = w;
+            return *this;
+        }
+        Options& withNumBuckets(std::size_t n)
+        {
+            numBuckets = n;
+            return *this;
+        }
+    };
+
+    /** Default window shape (6 x 10s), epoch = now. */
+    WindowedHistogram();
+    explicit WindowedHistogram(
+        Options opts,
+        std::chrono::steady_clock::time_point epoch =
+            std::chrono::steady_clock::now());
+
+    WindowedHistogram(const WindowedHistogram&) = delete;
+    WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+    /** Record one sample observed at `now`. */
+    void add(std::size_t value,
+             std::chrono::steady_clock::time_point now);
+
+    /**
+     * @return the merged distribution of the live window as of
+     * `now` (empty Histogram — quantileUpperBound 0 — when every
+     * bucket has aged out). Rotates the ring first, so a spike
+     * older than the window is gone even if nothing was added
+     * since.
+     */
+    Histogram window(std::chrono::steady_clock::time_point now) const;
+
+    /** @return the lifetime distribution (never resets). */
+    Histogram lifetime() const;
+
+    /** @return total time span the ring can cover. */
+    std::chrono::microseconds windowSpan() const
+    {
+        return opts_.bucketWidth *
+               static_cast<std::int64_t>(opts_.numBuckets);
+    }
+
+    const Options& options() const { return opts_; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t seq = 0;
+        Histogram hist;
+    };
+
+    /** Advance the ring so curSeq_ covers `now`, clearing buckets
+     * whose time span was skipped. Caller holds mutex_. */
+    void rotateTo(std::uint64_t seq) const;
+
+    std::uint64_t seqFor(
+        std::chrono::steady_clock::time_point now) const;
+
+    const Options opts_;
+    const std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    mutable std::vector<Slot> ring_;
+    mutable std::uint64_t curSeq_ = 0;
+    Histogram lifetime_;
+};
+
+/**
+ * Process-wide registry of named, labeled instruments. Thread-safe;
+ * instrument lookup takes a registry lock, so hot paths should
+ * fetch their instruments once and cache the references (they stay
+ * valid for the registry's lifetime).
+ *
+ * One metric *family* (name) holds one instrument *kind* and any
+ * number of label sets; asking for the same name with a different
+ * kind is a caller bug (fatal). WindowedHistogram options are fixed
+ * by the family's first creation; later lookups reuse them.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Injectable time source, used when exposition needs "now" to
+     * rotate windowed instruments. Defaults to steady_clock. */
+    using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+    MetricsRegistry();
+    explicit MetricsRegistry(Clock clock);
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /** @return the instrument for (name, labels), creating it on
+     * first use. `help` is recorded on family creation. */
+    Counter& counter(const std::string& name,
+                     const MetricLabels& labels = {},
+                     const std::string& help = "");
+    Gauge& gauge(const std::string& name,
+                 const MetricLabels& labels = {},
+                 const std::string& help = "");
+    WindowedHistogram& windowedHistogram(
+        const std::string& name, const MetricLabels& labels = {},
+        WindowedHistogram::Options opts = WindowedHistogram::Options(),
+        const std::string& help = "");
+
+    /** @return the registry's current time (its injected clock). */
+    std::chrono::steady_clock::time_point now() const
+    {
+        return clock_();
+    }
+
+    /** Render every instrument in Prometheus text format, families
+     * in name order, label sets in lexicographic order. */
+    void expose(std::ostream& out) const;
+    std::string expose() const;
+
+    /** Atomically-ish dump expose() to `path` (write temp file,
+     * rename over), so a concurrent reader never sees a torn
+     * scrape. */
+    Status exposeToFile(const std::string& path) const;
+
+    /** Families currently registered, in exposition order. */
+    std::vector<std::string> familyNames() const;
+
+    /** The default process-wide registry (servers accept any
+     * registry pointer; this one is for convenience). */
+    static MetricsRegistry& global();
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        WindowedHistogram,
+    };
+
+    struct Instrument
+    {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<ccsa::WindowedHistogram> histogram;
+    };
+
+    struct Family
+    {
+        Kind kind = Kind::Counter;
+        std::string help;
+        ccsa::WindowedHistogram::Options histogramOptions;
+        /** Keyed by the rendered label string ("{a=\"x\"}"), which
+         * is also what exposition prints. */
+        std::map<std::string, Instrument> instruments;
+    };
+
+    Family& family(const std::string& name, Kind kind,
+                   const std::string& help);
+
+    static const char* kindName(Kind kind);
+
+    Clock clock_;
+    const std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Family> families_;
+};
+
+/** @return `labels` sorted by key and rendered as a Prometheus
+ * label block: `{a="x",b="y"}`, "" when empty. Values are escaped
+ * (backslash, quote, newline). Exposed for tests. */
+std::string renderMetricLabels(const MetricLabels& labels);
+
+} // namespace ccsa
+
+#endif // CCSA_SERVE_METRICS_METRICS_HH

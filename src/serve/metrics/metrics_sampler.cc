@@ -1,0 +1,103 @@
+#include "serve/metrics/metrics_sampler.hh"
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+MetricsSampler::MetricsSampler(MetricsRegistry& registry)
+    : MetricsSampler(registry, Options())
+{
+}
+
+MetricsSampler::MetricsSampler(MetricsRegistry& registry,
+                               Options opts)
+    : registry_(registry), opts_(opts)
+{
+    if (opts_.period.count() <= 0)
+        fatal("MetricsSampler: period must be > 0");
+}
+
+MetricsSampler::~MetricsSampler()
+{
+    stop();
+}
+
+void
+MetricsSampler::addProbe(std::function<void()> probe)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    probes_.push_back(std::move(probe));
+}
+
+void
+MetricsSampler::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_)
+        return;
+    stopRequested_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+MetricsSampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!running_)
+            return;
+        stopRequested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+}
+
+void
+MetricsSampler::sampleOnce()
+{
+    std::vector<std::function<void()>> probes;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        probes = probes_;
+    }
+    // Probes run outside the sampler lock: they take subsystem
+    // locks of their own (server stats, cache partitions) and must
+    // not serialize against addProbe callers.
+    for (const auto& probe : probes)
+        probe();
+    if (!opts_.expositionPath.empty()) {
+        Status st = registry_.exposeToFile(opts_.expositionPath);
+        if (!st.isOk())
+            warn("MetricsSampler: " + st.message());
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    sweeps_++;
+}
+
+std::uint64_t
+MetricsSampler::sweeps() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sweeps_;
+}
+
+void
+MetricsSampler::loop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (cv_.wait_for(lock, opts_.period,
+                             [this] { return stopRequested_; })) {
+                return;
+            }
+        }
+        sampleOnce();
+    }
+}
+
+} // namespace ccsa

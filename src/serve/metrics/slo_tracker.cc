@@ -1,0 +1,157 @@
+#include "serve/metrics/slo_tracker.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+namespace
+{
+
+const char* kGoodHelp =
+    "Requests that met their (model, tenant) latency objective.";
+const char* kBadHelp =
+    "Requests that missed their (model, tenant) latency objective.";
+const char* kBurnHelp =
+    "Error-budget burn rate over the live SLO window "
+    "(1 = burning exactly at budget; 0 = clean or empty window).";
+
+} // namespace
+
+SloTracker::SloTracker(MetricsRegistry& registry)
+    : registry_(registry)
+{
+}
+
+void
+SloTracker::setObjective(const std::string& model,
+                         const std::string& tenant, Objective obj)
+{
+    if (obj.latencyThresholdUs == 0)
+        fatal("SloTracker: latencyThresholdUs must be > 0");
+    obj.targetGoodFraction =
+        std::min(std::max(obj.targetGoodFraction, 0.0),
+                 1.0 - 1e-9);
+
+    MetricLabels labels{{"model", model}, {"tenant", tenant}};
+    State state;
+    state.obj = obj;
+    const auto epoch = registry_.now();
+    state.goodWindow = std::make_unique<WindowedHistogram>(
+        obj.window, epoch);
+    state.badWindow = std::make_unique<WindowedHistogram>(
+        obj.window, epoch);
+    state.goodTotal =
+        &registry_.counter("ccsa_slo_good_total", labels, kGoodHelp);
+    state.badTotal =
+        &registry_.counter("ccsa_slo_bad_total", labels, kBadHelp);
+    state.burn =
+        &registry_.gauge("ccsa_slo_burn_rate", labels, kBurnHelp);
+    state.burn->set(0.0);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    objectives_[Key(model, tenant)] = std::move(state);
+}
+
+bool
+SloTracker::hasObjective(const std::string& model,
+                         const std::string& tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return objectives_.count(Key(model, tenant)) > 0;
+}
+
+void
+SloTracker::record(const std::string& model,
+                   const std::string& tenant, std::size_t latencyUs,
+                   std::chrono::steady_clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = objectives_.find(Key(model, tenant));
+    if (it == objectives_.end())
+        return;
+    State& state = it->second;
+    if (latencyUs <= state.obj.latencyThresholdUs) {
+        state.goodWindow->add(0, now);
+        state.goodTotal->inc();
+    } else {
+        state.badWindow->add(0, now);
+        state.badTotal->inc();
+    }
+}
+
+void
+SloTracker::record(const std::string& model,
+                   const std::string& tenant, std::size_t latencyUs)
+{
+    record(model, tenant, latencyUs, registry_.now());
+}
+
+SloTracker::WindowCounts
+SloTracker::windowCounts(
+    const std::string& model, const std::string& tenant,
+    std::chrono::steady_clock::time_point now) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = objectives_.find(Key(model, tenant));
+    if (it == objectives_.end())
+        return WindowCounts();
+    WindowCounts counts;
+    counts.good = it->second.goodWindow->window(now).count();
+    counts.bad = it->second.badWindow->window(now).count();
+    return counts;
+}
+
+double
+SloTracker::burnRateLocked(
+    const State& state,
+    std::chrono::steady_clock::time_point now) const
+{
+    const std::uint64_t good =
+        state.goodWindow->window(now).count();
+    const std::uint64_t bad = state.badWindow->window(now).count();
+    const std::uint64_t total = good + bad;
+    if (total == 0)
+        return 0.0;
+    const double badFraction =
+        static_cast<double>(bad) / static_cast<double>(total);
+    const double budget = 1.0 - state.obj.targetGoodFraction;
+    return badFraction / budget;
+}
+
+double
+SloTracker::burnRate(const std::string& model,
+                     const std::string& tenant,
+                     std::chrono::steady_clock::time_point now) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = objectives_.find(Key(model, tenant));
+    if (it == objectives_.end())
+        return 0.0;
+    return burnRateLocked(it->second, now);
+}
+
+double
+SloTracker::burnRate(const std::string& model,
+                     const std::string& tenant) const
+{
+    return burnRate(model, tenant, registry_.now());
+}
+
+void
+SloTracker::publishGauges(std::chrono::steady_clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, state] : objectives_)
+        state.burn->set(burnRateLocked(state, now));
+}
+
+void
+SloTracker::publishGauges()
+{
+    publishGauges(registry_.now());
+}
+
+} // namespace ccsa

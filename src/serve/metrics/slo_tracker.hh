@@ -1,0 +1,161 @@
+/**
+ * @file
+ * ccsa::SloTracker — per-model/per-tenant latency objectives on top
+ * of the metrics plane. An Objective says "requests for (model,
+ * tenant) should finish within latencyThresholdUs, at least
+ * targetGoodFraction of the time, judged over a rolling window".
+ * Every recorded request is classified good (latency <= threshold)
+ * or bad, feeding:
+ *
+ *   ccsa_slo_good_total{model,tenant}   lifetime counter
+ *   ccsa_slo_bad_total{model,tenant}    lifetime counter
+ *   ccsa_slo_burn_rate{model,tenant}    gauge (via publishGauges)
+ *
+ * Burn rate is the SRE error-budget burn: the window's bad
+ * fraction divided by the budget (1 - target). 1.0 means the
+ * budget burns exactly as fast as it refills; > 1 means the SLO
+ * will be violated if the window's behavior continues; 0 means a
+ * clean (or empty) window. Because the window forgets, burn rate
+ * *recovers* after an incident ages out — which is precisely the
+ * promotion/rollback signal the ROADMAP's canary loop needs, where
+ * a lifetime error ratio would stay poisoned by history.
+ *
+ * Objectives are registered up front (setObjective); records for an
+ * unregistered (model, tenant) are ignored, so servers can call
+ * record() unconditionally for every completed request.
+ */
+
+#ifndef CCSA_SERVE_METRICS_SLO_TRACKER_HH
+#define CCSA_SERVE_METRICS_SLO_TRACKER_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/metrics/metrics.hh"
+
+namespace ccsa
+{
+
+/** Windowed latency-objective accounting per (model, tenant). */
+class SloTracker
+{
+  public:
+    struct Objective
+    {
+        /** A request is good iff its latency <= this, us. */
+        std::size_t latencyThresholdUs = 0;
+        /** Fraction of requests that must be good (e.g. 0.99 means
+         * a 1% error budget). Clamped to [0, 1). */
+        double targetGoodFraction = 0.99;
+        /** Shape of the judgment window (defaults: 6 x 10s). */
+        WindowedHistogram::Options window;
+
+        Objective& withLatencyThresholdUs(std::size_t us)
+        {
+            latencyThresholdUs = us;
+            return *this;
+        }
+        Objective& withTargetGoodFraction(double f)
+        {
+            targetGoodFraction = f;
+            return *this;
+        }
+        Objective& withWindow(WindowedHistogram::Options w)
+        {
+            window = w;
+            return *this;
+        }
+    };
+
+    /** Good/bad split of the live window. */
+    struct WindowCounts
+    {
+        std::uint64_t good = 0;
+        std::uint64_t bad = 0;
+    };
+
+    /** @param registry where counters/gauges are published; must
+     * outlive the tracker. */
+    explicit SloTracker(MetricsRegistry& registry);
+
+    SloTracker(const SloTracker&) = delete;
+    SloTracker& operator=(const SloTracker&) = delete;
+
+    /** Register (or replace) the objective for (model, tenant).
+     * Replacing resets the window. */
+    void setObjective(const std::string& model,
+                      const std::string& tenant, Objective obj);
+
+    /** @return true iff (model, tenant) has an objective. */
+    bool hasObjective(const std::string& model,
+                      const std::string& tenant) const;
+
+    /** Classify one completed request observed at `now`; no-op for
+     * an unregistered (model, tenant). */
+    void record(const std::string& model, const std::string& tenant,
+                std::size_t latencyUs,
+                std::chrono::steady_clock::time_point now);
+
+    /** Convenience: record at the registry clock's now(). */
+    void record(const std::string& model, const std::string& tenant,
+                std::size_t latencyUs);
+
+    /** @return the live window's good/bad counts (zeros for an
+     * unregistered pair or an aged-out window). */
+    WindowCounts windowCounts(
+        const std::string& model, const std::string& tenant,
+        std::chrono::steady_clock::time_point now) const;
+
+    /**
+     * @return the error-budget burn rate of the live window:
+     * (bad / (good + bad)) / (1 - targetGoodFraction). 0 for an
+     * empty window or an unregistered pair.
+     */
+    double burnRate(const std::string& model,
+                    const std::string& tenant,
+                    std::chrono::steady_clock::time_point now) const;
+    double burnRate(const std::string& model,
+                    const std::string& tenant) const;
+
+    /** Refresh every ccsa_slo_burn_rate gauge as of `now` — wire
+     * this (at the registry clock) as a MetricsSampler probe. */
+    void publishGauges(std::chrono::steady_clock::time_point now);
+    void publishGauges();
+
+  private:
+    struct State
+    {
+        Objective obj;
+        /** Windowed good/bad *event counts*: each record adds one
+         * zero-valued sample, so window(now).count() is the number
+         * of events in the live window and rotation/aging comes
+         * for free from WindowedHistogram. */
+        std::unique_ptr<WindowedHistogram> goodWindow;
+        std::unique_ptr<WindowedHistogram> badWindow;
+        Counter* goodTotal = nullptr;
+        Counter* badTotal = nullptr;
+        Gauge* burn = nullptr;
+    };
+
+    using Key = std::pair<std::string, std::string>;
+
+    double burnRateLocked(
+        const State& state,
+        std::chrono::steady_clock::time_point now) const;
+
+    MetricsRegistry& registry_;
+
+    mutable std::mutex mutex_;
+    std::map<Key, State> objectives_;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_SERVE_METRICS_SLO_TRACKER_HH

@@ -79,4 +79,100 @@ fillTenantPercentiles(TenantStats& row)
         1000.0;
 }
 
+void
+ServerMetrics::init(MetricsRegistry& registry,
+                    const std::string& server)
+{
+    const std::string reqHelp =
+        "Requests by submission outcome (submitted = accepted into "
+        "the queue; completed/failed = future fulfilled; "
+        "rejected_* = refused at the door).";
+    auto requests = [&](const char* outcome) {
+        return &registry.counter(
+            "ccsa_requests_total",
+            {{"server", server}, {"outcome", outcome}}, reqHelp);
+    };
+    submitted = requests("submitted");
+    completed = requests("completed");
+    failed = requests("failed");
+    rejectedShed = requests("rejected_shed");
+    rejectedShutdown = requests("rejected_shutdown");
+    rejectedQuota = requests("rejected_quota");
+    batches = &registry.counter(
+        "ccsa_batches_total", {{"server", server}},
+        "Coalesced engine batches executed.");
+    batchPairs = &registry.counter(
+        "ccsa_batch_pairs_total", {{"server", server}},
+        "Pairs scored across all coalesced batches.");
+}
+
+WindowedHistogram&
+serverLatencyHistogram(MetricsRegistry& registry,
+                       const std::string& server,
+                       const std::string& model,
+                       const std::string& tenant, Priority priority,
+                       const WindowedHistogram::Options& windowOpts)
+{
+    return registry.windowedHistogram(
+        "ccsa_request_latency_us",
+        {{"server", server},
+         {"model", model},
+         {"tenant", tenant},
+         {"priority", priorityName(priority)}},
+        windowOpts,
+        "End-to-end request latency (enqueue -> answer), us. The "
+        "_window summary covers only the configured rolling "
+        "window; the histogram is lifetime.");
+}
+
+void
+publishServerGauges(MetricsRegistry& registry,
+                    const std::string& server,
+                    std::size_t queueDepth,
+                    std::size_t queueCapacity,
+                    const std::vector<ModelCacheStats>& models)
+{
+    MetricLabels serverLabel{{"server", server}};
+    registry
+        .gauge("ccsa_queue_depth", serverLabel,
+               "Requests currently waiting for a batcher.")
+        .set(static_cast<double>(queueDepth));
+    registry
+        .gauge("ccsa_queue_capacity", serverLabel,
+               "Configured request-queue capacity.")
+        .set(static_cast<double>(queueCapacity));
+    registry
+        .gauge("ccsa_models_live", serverLabel,
+               "Models currently resolvable through the server's "
+               "engine.")
+        .set(static_cast<double>(models.size()));
+    for (const ModelCacheStats& row : models) {
+        MetricLabels labels{{"server", server},
+                            {"model", row.name}};
+        registry
+            .counter("ccsa_cache_hits_total", labels,
+                     "Encoding-cache hits per model namespace.")
+            .increaseTo(row.cache.hits);
+        registry
+            .counter("ccsa_cache_misses_total", labels,
+                     "Encoding-cache misses per model namespace.")
+            .increaseTo(row.cache.misses);
+        registry
+            .counter("ccsa_cache_evictions_total", labels,
+                     "Encoding-cache evictions attributed to the "
+                     "victim's model namespace.")
+            .increaseTo(row.cache.evictions);
+        registry
+            .gauge("ccsa_cache_residents", labels,
+                   "Resident encoding-cache entries per model "
+                   "namespace.")
+            .set(static_cast<double>(row.cache.residents));
+        registry
+            .gauge("ccsa_cache_resident_bytes", labels,
+                   "Payload bytes of resident latents per model "
+                   "namespace.")
+            .set(static_cast<double>(row.cache.residentBytes));
+    }
+}
+
 } // namespace ccsa

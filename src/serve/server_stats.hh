@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "base/stats.hh"
+#include "serve/admission/admission_controller.hh"
 #include "serve/engine.hh"
+#include "serve/metrics/metrics.hh"
 
 namespace ccsa
 {
@@ -169,6 +171,60 @@ void fillLatencyPercentiles(ServerStats& stats);
 /** Same derivation for one tenant row's p50/p99 from its own
  * latencyUs histogram (no-op while empty). */
 void fillTenantPercentiles(TenantStats& row);
+
+/**
+ * Registry-owned inline instruments shared by both server flavours
+ * (AsyncServer and ShardedServer label them {server="async"} /
+ * {server="sharded"}). Fetched once at server construction so the
+ * hot path updates atomics without a registry lookup. Two servers
+ * of the same flavour sharing one registry share these counters —
+ * the metrics plane is process-wide by design.
+ */
+struct ServerMetrics
+{
+    Counter* submitted = nullptr;
+    Counter* completed = nullptr;
+    Counter* failed = nullptr;
+    Counter* rejectedShed = nullptr;
+    Counter* rejectedShutdown = nullptr;
+    Counter* rejectedQuota = nullptr;
+    Counter* batches = nullptr;
+    Counter* batchPairs = nullptr;
+
+    bool enabled() const { return submitted != nullptr; }
+
+    /** Fetch every instrument from `registry` under the
+     * {server=`server`} label (+ outcome labels on the request
+     * counters). */
+    void init(MetricsRegistry& registry, const std::string& server);
+};
+
+/**
+ * @return the windowed end-to-end latency instrument for one
+ * (server, model, tenant, priority) — the family is
+ * ccsa_request_latency_us; its window shape is fixed by the first
+ * lookup in a process (MetricsRegistry family semantics).
+ */
+WindowedHistogram&
+serverLatencyHistogram(MetricsRegistry& registry,
+                       const std::string& server,
+                       const std::string& model,
+                       const std::string& tenant, Priority priority,
+                       const WindowedHistogram::Options& windowOpts);
+
+/**
+ * Publish the pull-style level metrics of one server: queue depth /
+ * capacity gauges, live-model count, and per-model cache
+ * hit/miss/eviction counters (monotone, via Counter::increaseTo)
+ * plus resident-entries / resident-bytes gauges. Both servers'
+ * sampleMetrics() forward here; wire sampleMetrics as a
+ * MetricsSampler probe.
+ */
+void publishServerGauges(MetricsRegistry& registry,
+                         const std::string& server,
+                         std::size_t queueDepth,
+                         std::size_t queueCapacity,
+                         const std::vector<ModelCacheStats>& models);
 
 } // namespace ccsa
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "serve/coalesce.hh"
+#include "serve/metrics/slo_tracker.hh"
 
 namespace ccsa
 {
@@ -64,6 +65,7 @@ ShardedServer::ShardedServer(
             std::make_unique<Engine>(version, engineOpts, cache_);
         workers_.push_back(std::move(worker));
     }
+    initMetrics();
     if (!opts_.startPaused)
         start();
 }
@@ -83,8 +85,16 @@ ShardedServer::ShardedServer(std::shared_ptr<ModelRegistry> registry,
             std::make_unique<Engine>(registry, engineOpts, cache_);
         workers_.push_back(std::move(worker));
     }
+    initMetrics();
     if (!opts_.startPaused)
         start();
+}
+
+void
+ShardedServer::initMetrics()
+{
+    if (opts_.metrics != nullptr)
+        metrics_.init(*opts_.metrics, "sharded");
 }
 
 ShardedServer::~ShardedServer()
@@ -271,6 +281,9 @@ ShardedServer::submitCore(
          complete = std::move(complete)](
             Result<std::vector<double>> r) {
             if (!rejectedTag->load()) {
+                if (metrics_.enabled())
+                    (r.isOk() ? metrics_.completed : metrics_.failed)
+                        ->inc();
                 std::lock_guard<std::mutex> lock(submitMutex_);
                 if (r.isOk()) {
                     completed_++;
@@ -303,6 +316,8 @@ ShardedServer::submitCore(
         Status admitted =
             opts_.admission->admit(submitOpts.tenant, pairs.size());
         if (!admitted.isOk()) {
+            if (metrics_.enabled())
+                metrics_.rejectedQuota->inc();
             {
                 std::lock_guard<std::mutex> lock(submitMutex_);
                 rejectedQuota_++;
@@ -332,17 +347,23 @@ ShardedServer::submitCore(
         // All-or-nothing: either every slice is admitted or none.
         switch (queue_.tryPushAll(requests)) {
           case QueuePush::Ok: {
+              if (metrics_.enabled())
+                  metrics_.submitted->inc();
               std::lock_guard<std::mutex> lock(submitMutex_);
               submitted_++;
               tenants_[submitOpts.tenant].submitted++;
               return true;
           }
           case QueuePush::Full: {
+              if (metrics_.enabled())
+                  metrics_.rejectedShed->inc();
               std::lock_guard<std::mutex> lock(submitMutex_);
               rejectedShed_++;
               return false; // caller keeps no future and may retry
           }
           case QueuePush::Closed: {
+              if (metrics_.enabled())
+                  metrics_.rejectedShutdown->inc();
               {
                   std::lock_guard<std::mutex> lock(submitMutex_);
                   rejectedShutdown_++;
@@ -368,6 +389,8 @@ ShardedServer::submitCore(
             // completion, so a join still fans in correctly even
             // when shutdown lands mid-split.
             if (!anyClosed) {
+                if (metrics_.enabled())
+                    metrics_.rejectedShutdown->inc();
                 std::lock_guard<std::mutex> lock(submitMutex_);
                 rejectedShutdown_++;
             }
@@ -378,6 +401,8 @@ ShardedServer::submitCore(
         }
     }
     if (!anyClosed) {
+        if (metrics_.enabled())
+            metrics_.submitted->inc();
         std::lock_guard<std::mutex> lock(submitMutex_);
         submitted_++;
         tenants_[submitOpts.tenant].submitted++;
@@ -473,6 +498,8 @@ ShardedServer::submitRank(const SubmitOptions& submitOpts,
     if (candidates.size() < 2) {
         promise->set_value(Status::invalidArgument(
             "submitRank: need at least two candidates"));
+        if (metrics_.enabled())
+            metrics_.failed->inc();
         std::lock_guard<std::mutex> lock(submitMutex_);
         failed_++;
         return future;
@@ -591,6 +618,10 @@ ShardedServer::workerLoop(std::size_t shard)
                 &timings[g]));
 
         auto completedAt = std::chrono::steady_clock::now();
+        if (metrics_.enabled()) {
+            metrics_.batches->inc();
+            metrics_.batchPairs->inc(batch->pairCount);
+        }
         {
             std::lock_guard<std::mutex> lock(worker.mutex);
             worker.batches++;
@@ -602,6 +633,23 @@ ShardedServer::workerLoop(std::size_t shard)
                 worker.latencyUs.add(us);
                 worker.tenantLatencyUs[r.tenant].add(us);
             }
+        }
+        // Registry instruments synchronise themselves — feed them
+        // outside worker.mutex. One sample per SLICE, like
+        // ServerStats::latencyUs (split requests bound the caller
+        // latency from below).
+        for (const Request& r : batch->requests) {
+            std::size_t us =
+                latencySampleUs(completedAt - r.enqueued);
+            if (metrics_.enabled())
+                serverLatencyHistogram(*opts_.metrics, "sharded",
+                                       r.version->name, r.tenant,
+                                       r.priority,
+                                       opts_.metricsWindow)
+                    .add(us, completedAt);
+            if (opts_.slo != nullptr)
+                opts_.slo->record(r.version->name, r.tenant, us,
+                                  completedAt);
         }
 
         // Fan slices (or their group's failure) back out in
@@ -650,6 +698,18 @@ ShardedServer::recordTrace(const Request& request,
     trace.record(request.traceId, TracePhase::Score,
                  timing.encodeEnd, timing.scoreEnd, lane,
                  request.tenant, pairs);
+}
+
+void
+ShardedServer::sampleMetrics() const
+{
+    if (opts_.metrics == nullptr)
+        return;
+    // Any worker's engine sees the same registry and shared cache,
+    // so one engine's per-model rows describe the whole server.
+    publishServerGauges(*opts_.metrics, "sharded", queue_.size(),
+                        queue_.capacity(),
+                        workers_[0]->engine->perModelCacheStats());
 }
 
 ShardedServerStats

@@ -83,6 +83,8 @@
 namespace ccsa
 {
 
+class SloTracker;
+
 /** Fleet-plus-per-shard snapshot; see ShardedServer::stats(). */
 struct ShardedServerStats
 {
@@ -130,6 +132,21 @@ class ShardedServer
         int threadsPerShard = 1;
         /** Do not start the workers until start(). */
         bool startPaused = false;
+        /** Optional process-wide metrics plane (not owned; must
+         * outlive the server). Counters update inline under
+         * {server="sharded"}; pull-style gauges publish on
+         * sampleMetrics(). */
+        MetricsRegistry* metrics = nullptr;
+        /** Optional SLO accountant fed one event per SHARD SLICE a
+         * worker completes (not owned; must outlive the server).
+         * Slice latency bounds the caller-observed latency from
+         * below — see ServerStats::latencyUs. */
+        SloTracker* slo = nullptr;
+        /** Window shape for ccsa_request_latency_us. The FIRST
+         * server (of either flavour) to record into the family fixes
+         * its shape process-wide (MetricsRegistry family
+         * semantics). */
+        WindowedHistogram::Options metricsWindow;
 
         Options& withNumShards(std::size_t n)
         {
@@ -182,6 +199,24 @@ class ShardedServer
         Options& withStartPaused(bool paused)
         {
             startPaused = paused;
+            return *this;
+        }
+
+        Options& withMetrics(MetricsRegistry* registry)
+        {
+            metrics = registry;
+            return *this;
+        }
+
+        Options& withSlo(SloTracker* tracker)
+        {
+            slo = tracker;
+            return *this;
+        }
+
+        Options& withMetricsWindow(WindowedHistogram::Options w)
+        {
+            metricsWindow = w;
             return *this;
         }
     };
@@ -302,6 +337,11 @@ class ShardedServer
     /** Aggregate + per-shard counters snapshot. */
     ShardedServerStats stats() const;
 
+    /** Publish the pull-style gauges (queue depth/capacity, live
+     * models, per-namespace cache levels) to the attached registry;
+     * no-op without one. Wire as a MetricsSampler probe. */
+    void sampleMetrics() const;
+
     std::size_t numShards() const { return workers_.size(); }
     const Options& options() const { return opts_; }
 
@@ -385,6 +425,10 @@ class ShardedServer
         const SubmitOptions& submitOpts,
         std::chrono::steady_clock::time_point submitStart);
 
+    /** Fetch the inline registry instruments; no-op without an
+     * attached registry. */
+    void initMetrics();
+
     void workerLoop(std::size_t shard);
     /** Emit one slice's five-span chain (no-op when untraced). */
     void recordTrace(const Request& request,
@@ -401,6 +445,9 @@ class ShardedServer
     std::shared_ptr<ShardedEncodingCache> cache_;
     BoundedQueue<Request> queue_;
     std::vector<std::unique_ptr<Worker>> workers_;
+    /** Registry-owned inline instruments ({server="sharded"});
+     * null members when no registry is attached. */
+    ServerMetrics metrics_;
 
     /** Guards the worker-thread lifecycle (start/shutdown). */
     mutable std::mutex lifecycleMutex_;

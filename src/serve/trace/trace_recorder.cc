@@ -4,6 +4,9 @@
 #include <fstream>
 #include <ostream>
 
+#include "base/logging.hh"
+#include "serve/metrics/metrics.hh"
+
 namespace ccsa
 {
 
@@ -95,12 +98,32 @@ TraceRecorder::record(std::uint64_t chain, TracePhase phase,
     span.pairs = pairs;
     span.tenant = tenant;
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (spans_.size() >= maxSpans_) {
-        dropped_++;
-        return;
+    bool firstDrop = false;
+    Counter* droppedCounter = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (spans_.size() >= maxSpans_) {
+            dropped_++;
+            droppedCounter = droppedCounter_;
+            firstDrop = !warnedDrop_;
+            warnedDrop_ = true;
+        } else {
+            spans_.push_back(std::move(span));
+            return;
+        }
     }
-    spans_.push_back(std::move(span));
+    // Drop bookkeeping that takes other locks (the counter is
+    // registry-owned, warn() writes to stderr) happens outside ours.
+    if (droppedCounter != nullptr)
+        droppedCounter->inc();
+    if (firstDrop) {
+        warn("TraceRecorder: span buffer full (" +
+             std::to_string(maxSpans_) +
+             " spans) — dropping further spans; this warning is "
+             "emitted once per fill (see "
+             "ccsa_trace_spans_dropped_total for the running "
+             "count)");
+    }
 }
 
 std::size_t
@@ -125,11 +148,26 @@ TraceRecorder::spans() const
 }
 
 void
+TraceRecorder::attachMetrics(MetricsRegistry* registry)
+{
+    Counter* counter =
+        registry == nullptr
+            ? nullptr
+            : &registry->counter(
+                  "ccsa_trace_spans_dropped_total", {},
+                  "Trace spans discarded because the recorder's "
+                  "bounded buffer was full.");
+    std::lock_guard<std::mutex> lock(mutex_);
+    droppedCounter_ = counter;
+}
+
+void
 TraceRecorder::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     spans_.clear();
     dropped_ = 0;
+    warnedDrop_ = false;
 }
 
 void

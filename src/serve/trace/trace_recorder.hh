@@ -46,6 +46,9 @@
 namespace ccsa
 {
 
+class Counter;
+class MetricsRegistry;
+
 /** The serving pipeline stage a trace span covers. */
 enum class TracePhase
 {
@@ -104,6 +107,17 @@ class TraceRecorder
                 std::uint32_t lane, const std::string& tenant,
                 std::uint32_t pairs);
 
+    /**
+     * Surface span drops through the metrics plane: eagerly creates
+     * the ccsa_trace_spans_dropped_total counter (so the family is
+     * visible at 0 before anything drops) and increments it per
+     * dropped span from then on. A buffer-full transition also emits
+     * ONE warn() — once per fill, not per span, so a saturated
+     * recorder cannot flood the log; clear() re-arms it. The
+     * registry must outlive the recorder; pass nullptr to detach.
+     */
+    void attachMetrics(MetricsRegistry* registry);
+
     /** Spans currently buffered. */
     std::size_t spanCount() const;
 
@@ -134,6 +148,10 @@ class TraceRecorder
     mutable std::mutex mutex_;
     std::vector<Span> spans_;
     std::uint64_t dropped_ = 0;
+    /** Registry-owned drop counter (null until attachMetrics). */
+    Counter* droppedCounter_ = nullptr;
+    /** Re-armed by clear(): has this fill already warned? */
+    bool warnedDrop_ = false;
 };
 
 } // namespace ccsa

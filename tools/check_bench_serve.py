@@ -32,6 +32,14 @@ and fails (exit 1) on either of two regressions:
    time and the two-lane batcher flushes the interactive lane on its
    own deadline, so a broken quota or a batch lane leaking into the
    interactive flush shows up here as a p99 blow-up.
+
+4. Metrics-plane overhead (ISSUE 7): the same interactive workload
+   through a fully instrumented AsyncServer (MetricsRegistry +
+   per-request latency histograms + SLO tracking + a background
+   sampler) must stay >= 0.97x the bare server. Recording is relaxed
+   atomic adds outside the server's stats mutex, so a lower ratio
+   means metrics work leaked into a serial section (e.g. a registry
+   map lookup per request instead of a cached instrument ref).
 """
 
 import sys
@@ -56,6 +64,9 @@ REGISTRY_FLOOR = 0.95
 # helper applies unchanged.
 NOISY_NEIGHBOR_FLOOR = 1.0 / 3.0
 
+# Instrumented vs bare AsyncServer throughput (ISSUE 7).
+METRICS_FLOOR = 0.97
+
 
 def main() -> int:
     data = bench_gate.load_json(sys.argv, "BENCH_serve.json")
@@ -66,6 +77,8 @@ def main() -> int:
     registry = None
     tenant_solo = None
     tenant_flood = None
+    metrics_off = None
+    metrics_on = None
     for row in data.get("rows", []):
         if row.get("mode") == "async_closed":
             baseline = row
@@ -79,6 +92,10 @@ def main() -> int:
             tenant_solo = row
         elif row.get("mode") == "tenant_flood":
             tenant_flood = row
+        elif row.get("mode") == "metrics_off":
+            metrics_off = row
+        elif row.get("mode") == "metrics_on":
+            metrics_on = row
 
     if baseline is None or baseline.get("pairs_per_sec", 0) <= 0:
         print("missing async_closed baseline row")
@@ -115,6 +132,13 @@ def main() -> int:
     ok &= bench_gate.gate_ratio("noisy neighbor p99", solo_p99,
                                 flood_p99, NOISY_NEIGHBOR_FLOOR,
                                 detail)
+
+    off_rate = metrics_off["pairs_per_sec"] if metrics_off else None
+    on_rate = metrics_on["pairs_per_sec"] if metrics_on else None
+    detail = (f"on {on_rate:10.0f} vs off {off_rate:10.0f} pairs/s"
+              if metrics_off and metrics_on else "")
+    ok &= bench_gate.gate_ratio("metrics overhead", on_rate,
+                                off_rate, METRICS_FLOOR, detail)
 
     return bench_gate.finish(ok)
 
