@@ -33,13 +33,23 @@
  *
  * Usage: ./serving_daemon [--trace trace.json]
  *                         [--metrics-out metrics.prom]
+ *        ./serving_daemon --ipc [--fault-inject SPEC]
+ *                         [--metrics-out metrics.prom]
  * (--trace exports the [6/7] demo's spans as chrome-trace JSON;
  * tools/check_trace.py validates the file and CI runs it.
  * --metrics-out dumps the Prometheus-text exposition after every
  * sampler sweep, plus a mid-run scrape at <path>.1 and the final
- * scrape at <path>; tools/check_metrics.py validates the pair.)
+ * scrape at <path>; tools/check_metrics.py validates the pair.
+ * --ipc is an exclusive mode: the same traffic on a
+ * ProcessShardedServer — crash-isolated worker processes — with an
+ * optional injected fault (crash:N | stall:N[:ms] | torn:N |
+ * eintr:N, see serve/ipc/fault_injector.hh) on shard 0. It prints
+ * worker restart counts and the request-conservation identity, and
+ * exits non-zero if any request leaked; tools/check_crash_recovery.py
+ * drives it in CI with a mid-run crash and validates the metrics.)
  */
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -49,6 +59,7 @@
 #include "base/rng.hh"
 #include "serve/admission/admission_controller.hh"
 #include "serve/async_server.hh"
+#include "serve/ipc/process_sharded_server.hh"
 #include "serve/metrics/metrics.hh"
 #include "serve/metrics/metrics_sampler.hh"
 #include "serve/metrics/slo_tracker.hh"
@@ -78,6 +89,135 @@ makeVariant(int loops, int pad)
     return Engine::parseSource(src).take();
 }
 
+/**
+ * The --ipc exclusive mode: crash-isolated serving under client
+ * load, optionally with an injected worker fault. Exit code 0 means
+ * every accepted request's future resolved AND the conservation
+ * identity submitted == completed + failed + deadline held — the
+ * "no request is ever lost" contract, checked from the outside.
+ */
+int
+runIpcMode(const std::string& faultSpec,
+           const std::string& metricsPath)
+{
+    std::printf("=== ccsa serving daemon (--ipc) ===\n\n");
+    std::printf("process-sharded serving: 2 worker processes%s%s\n\n",
+                faultSpec.empty() ? "" : ", injected fault ",
+                faultSpec.c_str());
+
+    std::vector<Ast> variants;
+    for (int v = 0; v < 12; ++v)
+        variants.push_back(makeVariant(v % 6 + 1, v / 6));
+
+    MetricsRegistry metrics;
+    EncoderConfig cfg;
+    cfg.embedDim = 24;
+    cfg.hiddenDim = 32;
+    auto model =
+        std::make_shared<ComparativePredictor>(cfg, /*seed=*/7);
+    ProcessShardedServer server(
+        model, ProcessShardedServer::Options()
+                   .withNumShards(2)
+                   .withQueueCapacity(512)
+                   .withMaxBatchSize(128)
+                   .withMaxBatchDelay(std::chrono::microseconds(800))
+                   .withMetrics(&metrics)
+                   .withFault(faultSpec, /*shard=*/0));
+
+    // 4 clients x 40 requests; every 10th request carries a
+    // deliberately tiny deadline so the deadline-rejection path is
+    // exercised and must show up in the conservation identity
+    // (never as a leaked future).
+    constexpr int kClients = 4;
+    constexpr int kRequests = 40;
+    std::atomic<int> resolved{0};
+    std::atomic<int> okCount{0};
+    std::atomic<int> failedCount{0};
+    std::atomic<int> deadlineCount{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            Rng rng(55 + static_cast<std::uint64_t>(c));
+            for (int k = 0; k < kRequests; ++k) {
+                int i = rng.uniformInt(
+                    0, static_cast<int>(variants.size()) - 1);
+                int j = rng.uniformInt(
+                    0, static_cast<int>(variants.size()) - 2);
+                if (j >= i)
+                    ++j;
+                SubmitOptions opts;
+                if (k % 10 == 9)
+                    opts.deadline = std::chrono::microseconds(1);
+                Result<double> r =
+                    server
+                        .submitCompare(
+                            opts,
+                            variants[static_cast<std::size_t>(i)],
+                            variants[static_cast<std::size_t>(j)])
+                        .get();
+                ++resolved;
+                if (r.isOk())
+                    ++okCount;
+                else if (r.status().code() ==
+                         StatusCode::DeadlineExceeded)
+                    ++deadlineCount;
+                else
+                    ++failedCount;
+            }
+        });
+    }
+    for (std::thread& t : clients)
+        t.join();
+
+    // Scrape while the workers are still up, then shut down.
+    server.sampleMetrics();
+    if (!metricsPath.empty()) {
+        Status wrote = metrics.exposeToFile(metricsPath);
+        std::printf("wrote %s%s\n", metricsPath.c_str(),
+                    wrote.isOk() ? "" : " FAILED");
+    }
+    server.shutdown();
+
+    ProcessShardedServerStats stats = server.stats();
+    std::uint64_t restarts = 0;
+    for (std::size_t sh = 0; sh < stats.health.size(); ++sh) {
+        const WorkerHealth& h = stats.health[sh];
+        std::printf("worker %zu: generation=%llu restarts=%llu%s\n",
+                    sh,
+                    static_cast<unsigned long long>(h.generation),
+                    static_cast<unsigned long long>(h.restarts),
+                    h.degraded ? " DEGRADED" : "");
+        restarts += h.restarts;
+    }
+    std::printf("futures: %d resolved (%d ok, %d failed, %d "
+                "deadline) of %d submitted\n",
+                resolved.load(), okCount.load(), failedCount.load(),
+                deadlineCount.load(), kClients * kRequests);
+
+    const ServerStats& agg = stats.aggregate;
+    bool conserved = agg.requestsSubmitted ==
+        agg.requestsCompleted + agg.requestsFailed +
+            agg.requestsRejectedDeadline;
+    std::printf("conservation: submitted=%llu completed=%llu "
+                "failed=%llu deadline=%llu -> %s\n",
+                static_cast<unsigned long long>(
+                    agg.requestsSubmitted),
+                static_cast<unsigned long long>(
+                    agg.requestsCompleted),
+                static_cast<unsigned long long>(agg.requestsFailed),
+                static_cast<unsigned long long>(
+                    agg.requestsRejectedDeadline),
+                conserved ? "OK" : "VIOLATED");
+    std::printf("worker restarts: %llu\n",
+                static_cast<unsigned long long>(restarts));
+
+    bool everyFutureResolved =
+        resolved.load() == kClients * kRequests;
+    if (!everyFutureResolved)
+        std::printf("FAIL: leaked futures\n");
+    return conserved && everyFutureResolved ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -85,12 +225,22 @@ main(int argc, char** argv)
 {
     std::string tracePath;
     std::string metricsPath;
-    for (int a = 1; a + 1 < argc; ++a) {
+    std::string faultSpec;
+    bool ipcMode = false;
+    for (int a = 1; a < argc; ++a) {
+        if (std::string(argv[a]) == "--ipc")
+            ipcMode = true;
+        if (a + 1 >= argc)
+            continue;
         if (std::string(argv[a]) == "--trace")
             tracePath = argv[a + 1];
         if (std::string(argv[a]) == "--metrics-out")
             metricsPath = argv[a + 1];
+        if (std::string(argv[a]) == "--fault-inject")
+            faultSpec = argv[a + 1];
     }
+    if (ipcMode)
+        return runIpcMode(faultSpec, metricsPath);
 
     std::printf("=== ccsa serving daemon ===\n\n");
 

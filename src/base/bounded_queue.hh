@@ -8,6 +8,27 @@
  * queue to a draining state: further pushes fail with Closed, while
  * pops keep returning the remaining items and then report exhaustion,
  * so a consumer can always finish every request that was accepted.
+ *
+ * Shutdown semantics (the one place this contract is written down —
+ * every serving layer builds on it):
+ *
+ *  - close() is idempotent and wakes EVERY blocked thread, producers
+ *    included: a push() parked on a full queue returns Closed with
+ *    the caller's item untouched (nothing was moved from it), so the
+ *    caller can still fail the request with an attributed Status.
+ *    No thread stays parked across a shutdown.
+ *  - Drain, not shed: items accepted before close() remain poppable
+ *    afterwards. pop()/popFor() return them in FIFO order and only
+ *    then report exhaustion (nullopt). "Accepted" is the commitment
+ *    point — AsyncServer, ShardedServer, and ProcessShardedServer
+ *    all promise that an accepted request's future resolves, and
+ *    this queue is what makes that promise cheap to keep.
+ *  - Shedding is the producer's job, before the commitment point:
+ *    tryPush() returning Full is the only shed signal; a request
+ *    rejected there was never accepted and is not owed a drain.
+ *  - ThreadPool::shutdown() composes the same way: it closes its
+ *    task queue, drains queued work, then joins (thread_pool.hh has
+ *    the pool-side half of this contract).
  */
 
 #ifndef CCSA_BASE_BOUNDED_QUEUE_HH

@@ -1,0 +1,123 @@
+#include "base/fd_util.hh"
+
+#include <cerrno>
+#include <csignal>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ccsa
+{
+
+namespace
+{
+
+bool (*ioInterruptHook)() = nullptr;
+
+} // namespace
+
+const char*
+ioStatusName(IoStatus s)
+{
+    switch (s) {
+      case IoStatus::Ok: return "ok";
+      case IoStatus::Eof: return "eof";
+      case IoStatus::Error: return "error";
+    }
+    return "unknown";
+}
+
+void
+setIoInterruptHook(bool (*hook)())
+{
+    ioInterruptHook = hook;
+}
+
+IoStatus
+readFull(int fd, void* buf, std::size_t n)
+{
+    char* p = static_cast<char*>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        if (ioInterruptHook != nullptr && ioInterruptHook())
+            continue; // simulated EINTR: retry like the real one
+        ssize_t got = ::read(fd, p + done, n - done);
+        if (got > 0) {
+            done += static_cast<std::size_t>(got);
+            continue;
+        }
+        if (got == 0)
+            return done == 0 ? IoStatus::Eof : IoStatus::Error;
+        if (errno == EINTR)
+            continue;
+        return IoStatus::Error;
+    }
+    return IoStatus::Ok;
+}
+
+IoStatus
+writeFull(int fd, const void* buf, std::size_t n)
+{
+    const char* p = static_cast<const char*>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        if (ioInterruptHook != nullptr && ioInterruptHook())
+            continue; // simulated EINTR: retry like the real one
+        ssize_t put = ::write(fd, p + done, n - done);
+        if (put > 0) {
+            done += static_cast<std::size_t>(put);
+            continue;
+        }
+        if (put < 0 && errno == EINTR)
+            continue;
+        return IoStatus::Error;
+    }
+    return IoStatus::Ok;
+}
+
+IoStatus
+sendFull(int fd, const void* buf, std::size_t n)
+{
+    const char* p = static_cast<const char*>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        if (ioInterruptHook != nullptr && ioInterruptHook())
+            continue; // simulated EINTR: retry like the real one
+        ssize_t put = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+        if (put > 0) {
+            done += static_cast<std::size_t>(put);
+            continue;
+        }
+        if (put < 0 && errno == EINTR)
+            continue;
+        return IoStatus::Error;
+    }
+    return IoStatus::Ok;
+}
+
+bool
+makeSocketPair(int fds[2])
+{
+#ifdef SOCK_CLOEXEC
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) ==
+        0)
+        return true;
+#endif
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        return false;
+    return true;
+}
+
+void
+FdGuard::reset(int fd)
+{
+    if (fd_ >= 0) {
+        // close() is not retried on EINTR: POSIX leaves the fd state
+        // unspecified and Linux guarantees it is released either way;
+        // retrying can close a recycled descriptor.
+        ::close(fd_);
+    }
+    fd_ = fd;
+}
+
+} // namespace ccsa

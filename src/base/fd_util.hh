@@ -1,0 +1,113 @@
+/**
+ * @file
+ * POSIX file-descriptor plumbing for the multi-process serving layer:
+ * RAII fd ownership, EINTR-safe full-buffer read/write loops, and a
+ * CLOEXEC socketpair helper. Every byte the IPC layer moves goes
+ * through readFull/writeFull, so partial transfers and interrupted
+ * syscalls are handled in exactly one place — and that place exposes
+ * a test seam (setIoInterruptHook) through which the FaultInjector
+ * simulates EINTR storms deterministically, without depending on
+ * signal timing.
+ */
+
+#ifndef CCSA_BASE_FD_UTIL_HH
+#define CCSA_BASE_FD_UTIL_HH
+
+#include <cstddef>
+
+namespace ccsa
+{
+
+/** Outcome of a full-buffer I/O loop. */
+enum class IoStatus
+{
+    Ok,
+    /** Clean EOF before any byte of this read (peer closed). */
+    Eof,
+    /** errno-level failure, or EOF mid-buffer (torn frame). */
+    Error,
+};
+
+/** @return printable name of an IoStatus. */
+const char* ioStatusName(IoStatus s);
+
+/**
+ * Read exactly `n` bytes into `buf`, retrying on EINTR and short
+ * reads. Eof is reported only when the peer closed BEFORE the first
+ * byte; a close mid-buffer is an Error (a torn frame is corruption,
+ * not a clean shutdown).
+ */
+IoStatus readFull(int fd, void* buf, std::size_t n);
+
+/** Write exactly `n` bytes from `buf`, retrying on EINTR and short
+ * writes. EPIPE (peer gone) reports as Error. */
+IoStatus writeFull(int fd, const void* buf, std::size_t n);
+
+/** writeFull for sockets: same contract, but writing to a dead peer
+ * returns IoStatus::Error (EPIPE) instead of raising SIGPIPE — the
+ * IPC frame writer hits exactly this when a worker was SIGKILLed
+ * between request and reply, and a library must not require the
+ * host process to change its signal disposition. */
+IoStatus sendFull(int fd, const void* buf, std::size_t n);
+
+/**
+ * Test/fault-injection seam: when set, the hook is consulted before
+ * every read()/write() syscall in readFull/writeFull; returning true
+ * simulates that syscall failing with EINTR (the loop then retries,
+ * exactly as for a real signal interruption). Pass nullptr to
+ * uninstall. Not thread-synchronised with concurrent I/O — install
+ * before the loops run (the worker process installs it at startup).
+ */
+void setIoInterruptHook(bool (*hook)());
+
+/**
+ * Create a connected CLOEXEC stream socketpair.
+ * @return true on success and fill fds[0] / fds[1].
+ */
+bool makeSocketPair(int fds[2]);
+
+/** Owns a file descriptor; closes it on destruction (EINTR-safe). */
+class FdGuard
+{
+  public:
+    FdGuard() = default;
+    explicit FdGuard(int fd) : fd_(fd) {}
+    ~FdGuard() { reset(); }
+
+    FdGuard(const FdGuard&) = delete;
+    FdGuard& operator=(const FdGuard&) = delete;
+
+    FdGuard(FdGuard&& other) noexcept : fd_(other.release()) {}
+
+    FdGuard&
+    operator=(FdGuard&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close the held fd (if any) and take ownership of `fd`. */
+    void reset(int fd = -1);
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace ccsa
+
+#endif // CCSA_BASE_FD_UTIL_HH

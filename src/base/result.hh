@@ -34,6 +34,9 @@ enum class StatusCode
     Unavailable,
     /** A bounded resource (e.g. a request queue) is full. */
     ResourceExhausted,
+    /** The caller's deadline expired before the work ran (the
+     * request was NOT executed — safe to retry with a new one). */
+    DeadlineExceeded,
 };
 
 /** @return printable name of a StatusCode. */
@@ -47,6 +50,7 @@ statusCodeName(StatusCode code)
       case StatusCode::Internal: return "internal";
       case StatusCode::Unavailable: return "unavailable";
       case StatusCode::ResourceExhausted: return "resource-exhausted";
+      case StatusCode::DeadlineExceeded: return "deadline-exceeded";
     }
     return "unknown";
 }
@@ -101,6 +105,13 @@ class Status
     resourceExhausted(std::string message)
     {
         return error(StatusCode::ResourceExhausted,
+                     std::move(message));
+    }
+
+    static Status
+    deadlineExceeded(std::string message)
+    {
+        return error(StatusCode::DeadlineExceeded,
                      std::move(message));
     }
 

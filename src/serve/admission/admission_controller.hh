@@ -69,6 +69,14 @@ struct SubmitOptions
     std::string tenant;
     /** Scheduling lane (see serve/coalesce.hh Coalescer). */
     Priority priority = Priority::kInteractive;
+    /** Submit-side deadline, measured from submit entry; zero means
+     * none. A request whose deadline expires while it is still
+     * queued is completed with Status::DeadlineExceeded instead of
+     * being encoded (counted requestsRejectedDeadline /
+     * ccsa_requests_total{outcome="deadline"}); one already handed
+     * to an engine runs to completion — the deadline bounds queue
+     * wait, not execution. */
+    std::chrono::microseconds deadline{0};
 
     SubmitOptions& withModel(std::string name)
     {
@@ -85,6 +93,12 @@ struct SubmitOptions
     SubmitOptions& withPriority(Priority p)
     {
         priority = p;
+        return *this;
+    }
+
+    SubmitOptions& withDeadline(std::chrono::microseconds d)
+    {
+        deadline = d;
         return *this;
     }
 };

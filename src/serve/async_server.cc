@@ -186,6 +186,8 @@ AsyncServer::submitCore(
         request.traceId = opts_.trace->nextChain();
     request.submitted = submitStart;
     request.enqueued = std::chrono::steady_clock::now();
+    if (submitOpts.deadline.count() > 0)
+        request.deadline = submitStart + submitOpts.deadline;
 
     QueuePush outcome = blocking ? queue_.push(std::move(request))
                                  : queue_.tryPush(std::move(request));
@@ -417,6 +419,24 @@ AsyncServer::batcherLoop()
         if (!batch)
             return;
 
+        // Expired members answer DeadlineExceeded instead of riding
+        // the engine call; each one is an attributed rejection, not
+        // a failure (it was accepted, but its answer came due while
+        // it waited).
+        expireDeadlines(
+            *batch, std::chrono::steady_clock::now(), "AsyncServer",
+            [this](const Request& r) {
+                if (metrics_.enabled())
+                    metrics_.rejectedDeadline->inc();
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                rejectedDeadline_++;
+                TenantStats& row = tenants_[r.tenant];
+                row.tenant = r.tenant;
+                row.rejectedDeadline++;
+            });
+        if (batch->requests.empty())
+            continue;
+
         // One Engine call per model version in the batch: encodings
         // dedup across every member request OF THAT VERSION (the
         // cache namespaces keep versions apart). A failing model
@@ -558,8 +578,9 @@ AsyncServer::stats() const
         out.requestsRejectedShed = rejectedShed_;
         out.requestsRejectedShutdown = rejectedShutdown_;
         out.requestsRejectedQuota = rejectedQuota_;
-        out.requestsRejected =
-            rejectedShed_ + rejectedShutdown_ + rejectedQuota_;
+        out.requestsRejectedDeadline = rejectedDeadline_;
+        out.requestsRejected = rejectedShed_ + rejectedShutdown_ +
+            rejectedQuota_ + rejectedDeadline_;
         out.requestsCompleted = completed_;
         out.requestsFailed = failed_;
         out.batches = batches_;

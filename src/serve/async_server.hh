@@ -348,6 +348,11 @@ class AsyncServer
         std::chrono::steady_clock::time_point enqueued;
         /** Stamped by the Coalescer when popped (queue-span end). */
         std::chrono::steady_clock::time_point dequeued;
+        /** Absolute submit-side deadline (max() = none); the batcher
+         * answers an expired request with DeadlineExceeded instead
+         * of encoding it (serve/coalesce.hh expireDeadlines). */
+        std::chrono::steady_clock::time_point deadline =
+            std::chrono::steady_clock::time_point::max();
     };
 
     /**
@@ -399,6 +404,7 @@ class AsyncServer
     std::uint64_t rejectedShed_ = 0;
     std::uint64_t rejectedShutdown_ = 0;
     std::uint64_t rejectedQuota_ = 0;
+    std::uint64_t rejectedDeadline_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
     std::uint64_t batches_ = 0;

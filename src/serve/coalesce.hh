@@ -132,6 +132,48 @@ groupBatchByModel(const CoalescedBatch<Request>& batch)
 }
 
 /**
+ * Answer-and-remove every batch member whose submit-side deadline
+ * (SubmitOptions::withDeadline, stamped as an absolute
+ * Request::deadline at admission) expired by `now`: each expired
+ * member completes with Status::DeadlineExceeded and the batch
+ * shrinks in place, so an expired request is never encoded. Shared
+ * by every batcher flavour (AsyncServer, ShardedServer worker,
+ * ProcessShardedServer dispatcher) so "deadline bounds queue wait,
+ * not execution" is implemented — and testable — exactly once.
+ * `onExpired(request)` runs before each expired member's completion
+ * — the hook where a server attributes the rejection to its
+ * counters (servers that count inside a completion wrapper pass a
+ * no-op).
+ * @return the number of members expired.
+ */
+template <typename Request, typename OnExpired>
+std::size_t
+expireDeadlines(CoalescedBatch<Request>& batch,
+                std::chrono::steady_clock::time_point now,
+                const char* server, OnExpired onExpired)
+{
+    std::size_t kept = 0;
+    std::size_t expired = 0;
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+        Request& r = batch.requests[i];
+        if (r.deadline <= now) {
+            batch.pairCount -= r.pairs.size();
+            ++expired;
+            onExpired(r);
+            r.complete(Status::deadlineExceeded(
+                std::string(server) +
+                ": deadline expired while queued"));
+            continue;
+        }
+        if (kept != i)
+            batch.requests[kept] = std::move(r);
+        ++kept;
+    }
+    batch.requests.resize(kept);
+    return expired;
+}
+
+/**
  * The two-lane pop-and-coalesce state machine. One Coalescer per
  * batcher thread; call next() in a loop until it returns nullopt
  * (queue closed AND drained AND nothing held over — the clean-exit

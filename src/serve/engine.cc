@@ -361,6 +361,58 @@ Engine::compareMany(const ModelVersion& version,
     return probs;
 }
 
+Result<std::vector<double>>
+Engine::compareManyCached(
+    const std::vector<std::pair<AstDigest, AstDigest>>& pairs)
+{
+    Result<std::shared_ptr<const ModelVersion>> version =
+        resolveModel(std::string());
+    if (!version.isOk())
+        return version.status();
+    const ModelVersion& v = *version.value();
+
+    // Resolve EVERY latent before any head work: a miss must refuse
+    // the whole batch so the caller's self-contained fallback is the
+    // first execution, not a second one.
+    std::unordered_map<AstDigest, Tensor, AstDigestHash> latents;
+    std::size_t missing = 0;
+    auto resolve = [&](const AstDigest& d) {
+        if (latents.count(d) != 0)
+            return;
+        Tensor t;
+        if (cache_->lookup(EncodingKey{v.id, d}, &t))
+            latents.emplace(d, std::move(t));
+        else
+            ++missing;
+    };
+    for (const auto& pair : pairs) {
+        resolve(pair.first);
+        resolve(pair.second);
+    }
+    if (missing > 0)
+        return Status::resourceExhausted(
+            "compareManyCached: " + std::to_string(missing) +
+            " latent(s) not resident (evicted since encode?)");
+
+    std::vector<double> probs;
+    probs.reserve(pairs.size());
+    try {
+        for (const auto& pair : pairs) {
+            ag::Var z = v.model->logitFromEncodings(
+                ag::constant(latents.at(pair.first)),
+                ag::constant(latents.at(pair.second)));
+            probs.push_back(logitToProb(z.value().at(0, 0)));
+        }
+    } catch (const std::exception& e) {
+        return Status::internal(
+            std::string("compareManyCached: ") + e.what());
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    pairsServed_ += pairs.size();
+    return probs;
+}
+
 Result<double>
 Engine::compare(const Ast& first, const Ast& second)
 {

@@ -301,6 +301,20 @@ class Engine
                 const std::vector<PairRequest>& pairs,
                 PhaseTiming* timing = nullptr);
 
+    /**
+     * compareMany against latents ALREADY resident in the encoding
+     * cache, addressed by structural digest — no trees needed. The
+     * IPC worker loop serves its hot path with this: the encode RPC
+     * ships the batch's trees once and warms the cache, then the
+     * compare RPC references them by digest. Refuses with
+     * ResourceExhausted BEFORE any head work if any latent is not
+     * resident (e.g. evicted because the cache is smaller than the
+     * batch's working set), so a caller can fall back to a
+     * self-contained compareMany without risking double execution.
+     */
+    Result<std::vector<double>> compareManyCached(
+        const std::vector<std::pair<AstDigest, AstDigest>>& pairs);
+
     /** Single-pair convenience over compareMany(). */
     Result<double> compare(const Ast& first, const Ast& second);
 

@@ -1,0 +1,153 @@
+#include "serve/ipc/fault_injector.hh"
+
+#include <cstdlib>
+
+#include "base/fd_util.hh"
+
+namespace ccsa
+{
+namespace ipc
+{
+
+namespace
+{
+
+FaultInjector* globalInjector = nullptr;
+
+bool
+globalInterruptHook()
+{
+    FaultInjector* inj = globalInjector;
+    return inj != nullptr && inj->consumeInterrupt();
+}
+
+} // namespace
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::Crash: return "crash";
+      case FaultKind::Stall: return "stall";
+      case FaultKind::TornWrite: return "torn";
+      case FaultKind::EintrStorm: return "eintr";
+    }
+    return "unknown";
+}
+
+Result<FaultSpec>
+parseFaultSpec(const std::string& text)
+{
+    if (text.empty())
+        return FaultSpec{};
+
+    auto malformed = [&text]() {
+        return Status::invalidArgument(
+            "bad fault spec '" + text +
+            "' (want kind:N[:ms], kind in "
+            "{crash, stall, torn, eintr})");
+    };
+
+    const std::size_t colon = text.find(':');
+    if (colon == std::string::npos || colon + 1 == text.size())
+        return malformed();
+    const std::string kindText = text.substr(0, colon);
+
+    FaultSpec spec;
+    if (kindText == "crash")
+        spec.kind = FaultKind::Crash;
+    else if (kindText == "stall")
+        spec.kind = FaultKind::Stall;
+    else if (kindText == "torn")
+        spec.kind = FaultKind::TornWrite;
+    else if (kindText == "eintr")
+        spec.kind = FaultKind::EintrStorm;
+    else
+        return malformed();
+
+    std::string rest = text.substr(colon + 1);
+    std::string stallText;
+    if (const std::size_t colon2 = rest.find(':');
+        colon2 != std::string::npos) {
+        if (spec.kind != FaultKind::Stall)
+            return malformed();
+        stallText = rest.substr(colon2 + 1);
+        rest = rest.substr(0, colon2);
+    }
+
+    auto parseU32 = [](const std::string& s, std::uint32_t* out) {
+        if (s.empty())
+            return false;
+        std::uint64_t v = 0;
+        for (char c : s) {
+            if (c < '0' || c > '9')
+                return false;
+            v = v * 10 + static_cast<std::uint64_t>(c - '0');
+            if (v > 0xffffffffull)
+                return false;
+        }
+        *out = static_cast<std::uint32_t>(v);
+        return true;
+    };
+
+    if (!parseU32(rest, &spec.trigger) || spec.trigger == 0)
+        return malformed();
+    if (!stallText.empty() && !parseU32(stallText, &spec.stallMs))
+        return malformed();
+    return spec;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec)
+{
+    arm(spec);
+}
+
+void
+FaultInjector::arm(FaultSpec spec)
+{
+    spec_ = spec;
+    requests_ = 0;
+    fired_ = false;
+    interruptsLeft_ =
+        spec_.kind == FaultKind::EintrStorm ? spec_.trigger : 0;
+}
+
+FaultKind
+FaultInjector::onRequest()
+{
+    ++requests_;
+    if (fired_ || !spec_.active() ||
+        spec_.kind == FaultKind::EintrStorm)
+        return FaultKind::None;
+    if (requests_ < spec_.trigger)
+        return FaultKind::None;
+    fired_ = true;
+    return spec_.kind;
+}
+
+bool
+FaultInjector::consumeInterrupt()
+{
+    if (interruptsLeft_ == 0)
+        return false;
+    --interruptsLeft_;
+    return true;
+}
+
+void
+installGlobalFaultInjector(FaultInjector* injector)
+{
+    globalInjector = injector;
+    setIoInterruptHook(injector != nullptr ? &globalInterruptHook
+                                           : nullptr);
+}
+
+FaultInjector*
+globalFaultInjector()
+{
+    return globalInjector;
+}
+
+} // namespace ipc
+} // namespace ccsa

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic fault injection for the multi-process serving layer.
+ * A FaultSpec is parsed from a compact string (flag- or env-driven:
+ * `CCSA_FAULT` / `--fault-inject`) and armed inside the WORKER
+ * process, where it perturbs exactly one request:
+ *
+ *   "crash:N"       _exit(42) on the worker's Nth request (1-based)
+ *                   BEFORE replying — the parent sees the socket
+ *                   close mid-RPC, exactly like a segfault.
+ *   "stall:N[:ms]"  sleep `ms` (default 60000) before replying to
+ *                   the Nth request — trips the parent's RPC
+ *                   deadline / heartbeat hang detection.
+ *   "torn:N"        write only half of the Nth reply frame, then
+ *                   _exit(43) — the parent must treat the torn
+ *                   frame as a crash, not parse garbage.
+ *   "eintr:N"       simulate an EINTR storm: the first N reads and
+ *                   writes in the worker are interrupted (via the
+ *                   fd_util I/O hook) and must be retried
+ *                   transparently — no user-visible effect at all.
+ *
+ * Faults fire once (first request matching the trigger count) so a
+ * respawned worker — which is NOT handed the fault spec again —
+ * recovers cleanly; that recovery is what the CI crash-recovery gate
+ * asserts.
+ */
+
+#ifndef CCSA_SERVE_IPC_FAULT_INJECTOR_HH
+#define CCSA_SERVE_IPC_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/result.hh"
+
+namespace ccsa
+{
+namespace ipc
+{
+
+/** Kinds of injectable faults. */
+enum class FaultKind
+{
+    None,
+    /** _exit before replying to the Nth request. */
+    Crash,
+    /** Sleep before replying to the Nth request. */
+    Stall,
+    /** Write a partial reply frame for the Nth request, then exit. */
+    TornWrite,
+    /** Interrupt the first N reads/writes with simulated EINTR. */
+    EintrStorm,
+};
+
+/** @return printable name of a FaultKind. */
+const char* faultKindName(FaultKind kind);
+
+/** A parsed fault directive. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::None;
+    /** 1-based request ordinal (Crash/Stall/TornWrite) or
+     * interruption count (EintrStorm). */
+    std::uint32_t trigger = 0;
+    /** Stall duration in milliseconds (Stall only). */
+    std::uint32_t stallMs = 60000;
+
+    bool active() const { return kind != FaultKind::None; }
+};
+
+/**
+ * Parse "crash:3", "stall:2:500", "torn:1", "eintr:8", or "" (no
+ * fault). Malformed specs are InvalidArgument so a typo'd CI flag
+ * fails loudly instead of silently testing nothing.
+ */
+Result<FaultSpec> parseFaultSpec(const std::string& text);
+
+/**
+ * Per-worker fault state. Exactly one instance lives in the worker
+ * process (single-threaded request loop — no synchronisation
+ * needed); the parent never arms one.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultSpec spec = {});
+
+    /** Arm from spec; installs the fd_util I/O interrupt hook when
+     * the spec is an EINTR storm. */
+    void arm(FaultSpec spec);
+
+    const FaultSpec& spec() const { return spec_; }
+
+    /**
+     * Note that the worker is about to serve its next request.
+     * @return the fault to apply to THIS request (None for most).
+     * Crash/Stall/TornWrite fire when the running request count hits
+     * `trigger`; each fires at most once.
+     */
+    FaultKind onRequest();
+
+    /** Requests observed so far. */
+    std::uint32_t requestCount() const { return requests_; }
+
+    /**
+     * EINTR-storm budget consumed by the I/O hook; returns true
+     * (simulate EINTR) while interruptions remain. Exposed for unit
+     * tests; the installed hook calls this on the armed instance.
+     */
+    bool consumeInterrupt();
+
+  private:
+    FaultSpec spec_;
+    std::uint32_t requests_ = 0;
+    std::uint32_t interruptsLeft_ = 0;
+    bool fired_ = false;
+};
+
+/**
+ * The worker-global injector the fd_util hook consults. arm()
+ * installs `this` here; tests may install their own and must
+ * uninstall (installGlobalFaultInjector(nullptr)) before returning.
+ */
+void installGlobalFaultInjector(FaultInjector* injector);
+FaultInjector* globalFaultInjector();
+
+} // namespace ipc
+} // namespace ccsa
+
+#endif // CCSA_SERVE_IPC_FAULT_INJECTOR_HH

@@ -1,0 +1,1237 @@
+#include "serve/ipc/process_sharded_server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "serve/coalesce.hh"
+#include "serve/encoding_cache.hh"
+#include "serve/ipc/worker.hh"
+
+extern char** environ;
+
+namespace ccsa
+{
+
+namespace
+{
+
+ProcessShardedServer::Options
+normalized(ProcessShardedServer::Options opts)
+{
+    if (opts.numShards == 0)
+        opts.numShards = 1;
+    if (opts.maxBatchSize == 0)
+        opts.maxBatchSize = 1;
+    if (opts.maxBatchDelay.count() < 0)
+        opts.maxBatchDelay = std::chrono::microseconds(0);
+    if (opts.threadsPerWorker < 1)
+        opts.threadsPerWorker = 1;
+    if (opts.cachePerWorker == 0)
+        opts.cachePerWorker = 1;
+    if (opts.rpcDeadline.count() <= 0)
+        opts.rpcDeadline = std::chrono::milliseconds(1);
+    if (opts.breakerThreshold == 0)
+        opts.breakerThreshold = 1;
+    return opts;
+}
+
+/** $CCSA_WORKER, else ccsa_worker next to the running binary (the
+ * build tree layout), else bare "ccsa_worker" ($PATH). */
+std::string
+defaultWorkerBinary()
+{
+    const char* env = std::getenv("CCSA_WORKER");
+    if (env != nullptr && env[0] != '\0')
+        return env;
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        std::string path(buf);
+        std::size_t slash = path.find_last_of('/');
+        if (slash != std::string::npos)
+            return path.substr(0, slash + 1) + "ccsa_worker";
+    }
+    return "ccsa_worker";
+}
+
+} // namespace
+
+ProcessShardedServer::ProcessShardedServer(
+    std::shared_ptr<ComparativePredictor> model, Options opts)
+    : opts_(normalized(opts))
+{
+    // One ModelVersion tags every request (labels, grouping); the
+    // actual scoring model lives in the worker processes, which load
+    // it from the checkpoint written below.
+    auto version = std::make_shared<ModelVersion>();
+    version->name = "model";
+    version->id = 1;
+    version->sequence = 1;
+    version->model = model;
+    version_ = std::move(version);
+
+    // Ship the model once: a v2 checkpoint every spawn loads.
+    // Float32 checkpoints round-trip bitwise, so worker results are
+    // bitwise-identical to a local Engine on `model`.
+    std::string templ = opts_.checkpointDir + "/ccsa_ipc_XXXXXX";
+    std::vector<char> pathBuf(templ.begin(), templ.end());
+    pathBuf.push_back('\0');
+    int fd = ::mkstemp(pathBuf.data());
+    if (fd < 0)
+        fatal("ProcessShardedServer: cannot create checkpoint in ",
+              opts_.checkpointDir, ": ", std::strerror(errno));
+    ::close(fd);
+    checkpoint_ = pathBuf.data();
+    Status saved = model->save(checkpoint_, "model", 1);
+    if (!saved.isOk()) {
+        ::unlink(checkpoint_.c_str());
+        fatal("ProcessShardedServer: checkpoint write failed: ",
+              saved.message());
+    }
+
+    shards_.reserve(opts_.numShards);
+    for (std::size_t s = 0; s < opts_.numShards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->queue = std::make_unique<BoundedQueue<Request>>(
+            opts_.queueCapacity);
+        shards_.push_back(std::move(shard));
+    }
+    initMetrics();
+    if (!opts_.startPaused)
+        start();
+}
+
+ProcessShardedServer::~ProcessShardedServer()
+{
+    shutdown();
+    if (!checkpoint_.empty())
+        ::unlink(checkpoint_.c_str());
+}
+
+void
+ProcessShardedServer::initMetrics()
+{
+    if (opts_.metrics == nullptr)
+        return;
+    metrics_.init(*opts_.metrics, "ipc");
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        MetricLabels labels{{"server", "ipc"},
+                            {"shard", std::to_string(s)}};
+        Shard& shard = *shards_[s];
+        shard.restartsMetric = &opts_.metrics->counter(
+            "ccsa_worker_restarts_total", labels,
+            "Successful worker-process respawns after a crash, "
+            "hang, or protocol violation.");
+        shard.upMetric = &opts_.metrics->gauge(
+            "ccsa_worker_up", labels,
+            "1 while a live worker process serves this shard.");
+        shard.degradedMetric = &opts_.metrics->gauge(
+            "ccsa_shard_degraded", labels,
+            "1 while this shard's circuit breaker is open "
+            "(requests answered Unavailable without an RPC).");
+        shard.heartbeatMetric = &opts_.metrics->windowedHistogram(
+            "ccsa_heartbeat_latency_us", labels, opts_.metricsWindow,
+            "Supervisor ping/pong round-trip per shard (us).");
+    }
+}
+
+const std::string&
+ProcessShardedServer::workerBinary()
+{
+    if (workerBinary_.empty()) {
+        workerBinary_ = opts_.workerPath.empty() ? defaultWorkerBinary()
+                                                 : opts_.workerPath;
+    }
+    return workerBinary_;
+}
+
+std::chrono::microseconds
+ProcessShardedServer::batchClassDelay() const
+{
+    if (opts_.maxBatchClassDelay.count() > 0)
+        return opts_.maxBatchClassDelay;
+    return opts_.maxBatchDelay * 8;
+}
+
+void
+ProcessShardedServer::startWorkersLocked()
+{
+    // Spawn eagerly so configuration errors (missing binary, bad
+    // checkpoint dir) surface as a down shard NOW instead of on the
+    // first request; a failed spawn is not fatal — supervision keeps
+    // retrying under backoff.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        std::lock_guard<std::mutex> lock(shards_[s]->rpcMutex);
+        ensureWorkerLocked(s);
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        shards_[s]->dispatcher =
+            std::thread([this, s] { dispatcherLoop(s); });
+    supervisor_ = std::thread([this] { supervisorLoop(); });
+    started_ = true;
+}
+
+void
+ProcessShardedServer::start()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (shutdown_ || started_)
+        return;
+    startWorkersLocked();
+}
+
+void
+ProcessShardedServer::shutdown()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (shutdown_)
+        return;
+    for (auto& shard : shards_)
+        shard->queue->close();
+    // A paused server still owes answers for everything accepted.
+    if (!started_)
+        startWorkersLocked();
+    for (auto& shard : shards_)
+        shard->dispatcher.join();
+    {
+        std::lock_guard<std::mutex> stop(supervisorMutex_);
+        supervisorStop_ = true;
+    }
+    supervisorCv_.notify_all();
+    supervisor_.join();
+
+    for (auto& shard : shards_) {
+        std::lock_guard<std::mutex> rpc(shard->rpcMutex);
+        if (shard->pid <= 0)
+            continue;
+        // Orderly first: kShutdown, then EOF (fd close) — either
+        // exits a healthy worker. SIGKILL only mops up a wedged one
+        // (e.g. mid-stall); workers hold no durable state.
+        if (shard->fd.valid()) {
+            ipc::writeFrame(shard->fd.get(), ipc::MsgType::kShutdown,
+                            0, {});
+            shard->fd.reset();
+        }
+        bool reaped = false;
+        for (int i = 0; i < 50 && !reaped; ++i) {
+            if (::waitpid(shard->pid, nullptr, WNOHANG) == shard->pid)
+                reaped = true;
+            else
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+        }
+        if (!reaped) {
+            ::kill(shard->pid, SIGKILL);
+            ::waitpid(shard->pid, nullptr, 0);
+        }
+        shard->pid = -1;
+        shard->up = false;
+        shard->upFlag = false;
+        shard->pidFlag = -1;
+        if (shard->upMetric != nullptr)
+            shard->upMetric->set(0);
+    }
+    shutdown_ = true;
+}
+
+bool
+ProcessShardedServer::isShutdown() const
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    return shutdown_;
+}
+
+// ---------------------------------------------------------- submit
+
+std::vector<std::pair<std::size_t, ProcessShardedServer::Request>>
+ProcessShardedServer::splitRequest(
+    std::vector<Engine::PairRequest> pairs,
+    std::function<void(Result<std::vector<double>>)> complete,
+    const SubmitOptions& submitOpts,
+    std::chrono::steady_clock::time_point submitStart)
+{
+    auto now = std::chrono::steady_clock::now();
+    auto stamp = [&](Request& request) {
+        request.version = version_;
+        request.priority = submitOpts.priority;
+        request.tenant = submitOpts.tenant;
+        request.submitted = submitStart;
+        request.enqueued = now;
+        if (submitOpts.deadline.count() > 0)
+            request.deadline = submitStart + submitOpts.deadline;
+    };
+    std::vector<std::pair<std::size_t, Request>> out;
+
+    // Digest routing as in ShardedServer::splitRequest — but here it
+    // is LOAD-BEARING, not advisory: each worker process owns its
+    // partition's encoding cache in a separate address space, so a
+    // slice must land on the process that owns its first trees.
+    std::vector<std::vector<std::size_t>> groups(shards_.size());
+    if (shards_.size() == 1) {
+        Request request;
+        request.pairs = std::move(pairs);
+        request.complete = std::move(complete);
+        stamp(request);
+        out.emplace_back(0, std::move(request));
+        return out;
+    }
+    std::unordered_map<const Ast*, std::size_t> shardOfTree;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        auto [it, inserted] = shardOfTree.emplace(pairs[i].first, 0);
+        if (inserted)
+            it->second = ShardedEncodingCache::shardOf(
+                digestAst(*pairs[i].first), shards_.size());
+        groups[it->second].push_back(i);
+    }
+    std::size_t nonEmpty = 0;
+    std::size_t lastShard = 0;
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+        if (!groups[s].empty()) {
+            nonEmpty++;
+            lastShard = s;
+        }
+    }
+
+    if (nonEmpty == 1) {
+        Request request;
+        request.pairs = std::move(pairs);
+        request.complete = std::move(complete);
+        stamp(request);
+        out.emplace_back(lastShard, std::move(request));
+        return out;
+    }
+
+    auto join = std::make_shared<JoinState>();
+    join->values.resize(pairs.size(), 0.0);
+    join->remaining = nonEmpty;
+    join->complete = std::move(complete);
+
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+        const std::vector<std::size_t>& slots = groups[s];
+        if (slots.empty())
+            continue;
+        Request request;
+        request.pairs.reserve(slots.size());
+        for (std::size_t i : slots)
+            request.pairs.push_back(pairs[i]);
+        stamp(request);
+        request.complete =
+            [join, slots](Result<std::vector<double>> r) {
+                bool done = false;
+                {
+                    std::lock_guard<std::mutex> lock(join->mutex);
+                    if (r.isOk()) {
+                        for (std::size_t k = 0; k < slots.size();
+                             ++k)
+                            join->values[slots[k]] = r.value()[k];
+                    } else if (join->error.isOk()) {
+                        join->error = r.status();
+                    }
+                    done = --join->remaining == 0;
+                }
+                if (done) {
+                    if (join->error.isOk())
+                        join->complete(std::move(join->values));
+                    else
+                        join->complete(join->error);
+                }
+            };
+        out.emplace_back(s, std::move(request));
+    }
+    return out;
+}
+
+bool
+ProcessShardedServer::submitCore(
+    const SubmitOptions& submitOpts,
+    std::vector<Engine::PairRequest> pairs,
+    std::function<void(Result<std::vector<double>>)> complete)
+{
+    auto submitStart = std::chrono::steady_clock::now();
+
+    // Same completion-side attribution as ShardedServer::submitCore:
+    // deadline expiries are attributed rejections, everything else
+    // completes or fails, and a door-rejected request raises the tag
+    // so outcome counters stay disjoint.
+    auto rejectedTag = std::make_shared<std::atomic<bool>>(false);
+    auto counted =
+        [this, rejectedTag, tenant = submitOpts.tenant,
+         complete = std::move(complete)](
+            Result<std::vector<double>> r) {
+            if (!rejectedTag->load()) {
+                bool deadline = !r.isOk() &&
+                    r.status().code() ==
+                        StatusCode::DeadlineExceeded;
+                if (metrics_.enabled())
+                    (r.isOk()          ? metrics_.completed
+                         : deadline    ? metrics_.rejectedDeadline
+                                       : metrics_.failed)
+                        ->inc();
+                std::lock_guard<std::mutex> lock(submitMutex_);
+                if (r.isOk()) {
+                    completed_++;
+                    tenants_[tenant].completed++;
+                } else if (deadline) {
+                    rejectedDeadline_++;
+                    tenants_[tenant].rejectedDeadline++;
+                } else {
+                    failed_++;
+                    tenants_[tenant].failed++;
+                }
+            }
+            complete(std::move(r));
+        };
+
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (pairs[i].first == nullptr || pairs[i].second == nullptr) {
+            counted(Status::invalidArgument(
+                "submit: null tree in pair " + std::to_string(i)));
+            return true;
+        }
+    }
+    if (pairs.empty()) {
+        counted(std::vector<double>{});
+        return true;
+    }
+    // Single-model server: there is no registry to resolve names
+    // against (the model already shipped to the workers at spawn).
+    if (!submitOpts.model.empty() &&
+        submitOpts.model != version_->name) {
+        counted(Status::invalidArgument(
+            "ProcessShardedServer serves a single model; unknown "
+            "model \"" + submitOpts.model + "\""));
+        return true;
+    }
+
+    if (opts_.admission != nullptr) {
+        Status admitted =
+            opts_.admission->admit(submitOpts.tenant, pairs.size());
+        if (!admitted.isOk()) {
+            if (metrics_.enabled())
+                metrics_.rejectedQuota->inc();
+            {
+                std::lock_guard<std::mutex> lock(submitMutex_);
+                rejectedQuota_++;
+                tenants_[submitOpts.tenant].rejectedQuota++;
+            }
+            rejectedTag->store(true);
+            counted(admitted);
+            return true;
+        }
+    }
+
+    std::vector<std::pair<std::size_t, Request>> slices =
+        splitRequest(std::move(pairs), std::move(counted),
+                     submitOpts, submitStart);
+
+    bool anyClosed = false;
+    for (auto& [shard, request] : slices) {
+        if (shards_[shard]->queue->push(std::move(request)) ==
+            QueuePush::Closed) {
+            if (!anyClosed) {
+                if (metrics_.enabled())
+                    metrics_.rejectedShutdown->inc();
+                std::lock_guard<std::mutex> lock(submitMutex_);
+                rejectedShutdown_++;
+            }
+            anyClosed = true;
+            rejectedTag->store(true);
+            // push leaves the item untouched on rejection; resolve
+            // the slice so a join still fans in correctly.
+            request.complete(Status::unavailable(
+                "ProcessShardedServer: submit after shutdown"));
+        }
+    }
+    if (!anyClosed) {
+        if (metrics_.enabled())
+            metrics_.submitted->inc();
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        submitted_++;
+        tenants_[submitOpts.tenant].submitted++;
+    }
+    return true;
+}
+
+std::future<Result<double>>
+ProcessShardedServer::submitCompare(const Ast& first,
+                                    const Ast& second)
+{
+    return submitCompare(SubmitOptions(), first, second);
+}
+
+std::future<Result<double>>
+ProcessShardedServer::submitCompare(const SubmitOptions& submitOpts,
+                                    const Ast& first,
+                                    const Ast& second)
+{
+    auto promise = std::make_shared<std::promise<Result<double>>>();
+    std::future<Result<double>> future = promise->get_future();
+    submitCore(submitOpts, {Engine::PairRequest{&first, &second}},
+               [promise](Result<std::vector<double>> r) {
+                   if (r.isOk())
+                       promise->set_value(r.value()[0]);
+                   else
+                       promise->set_value(r.status());
+               });
+    return future;
+}
+
+std::future<Result<std::vector<double>>>
+ProcessShardedServer::submitCompareMany(
+    std::vector<Engine::PairRequest> pairs)
+{
+    return submitCompareMany(SubmitOptions(), std::move(pairs));
+}
+
+std::future<Result<std::vector<double>>>
+ProcessShardedServer::submitCompareMany(
+    const SubmitOptions& submitOpts,
+    std::vector<Engine::PairRequest> pairs)
+{
+    auto promise = std::make_shared<
+        std::promise<Result<std::vector<double>>>>();
+    std::future<Result<std::vector<double>>> future =
+        promise->get_future();
+    submitCore(submitOpts, std::move(pairs),
+               [promise](Result<std::vector<double>> r) {
+                   promise->set_value(std::move(r));
+               });
+    return future;
+}
+
+std::future<Result<std::vector<Engine::RankedCandidate>>>
+ProcessShardedServer::submitRank(std::vector<const Ast*> candidates)
+{
+    return submitRank(SubmitOptions(), std::move(candidates));
+}
+
+std::future<Result<std::vector<Engine::RankedCandidate>>>
+ProcessShardedServer::submitRank(const SubmitOptions& submitOpts,
+                                 std::vector<const Ast*> candidates)
+{
+    auto promise = std::make_shared<
+        std::promise<Result<std::vector<Engine::RankedCandidate>>>>();
+    std::future<Result<std::vector<Engine::RankedCandidate>>> future =
+        promise->get_future();
+    if (candidates.size() < 2) {
+        promise->set_value(Status::invalidArgument(
+            "submitRank: need at least two candidates"));
+        if (metrics_.enabled())
+            metrics_.failed->inc();
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        failed_++;
+        return future;
+    }
+    std::size_t n = candidates.size();
+    submitCore(submitOpts, Engine::tournamentPairs(candidates),
+               [promise, n](Result<std::vector<double>> r) {
+                   if (r.isOk())
+                       promise->set_value(Engine::aggregateTournament(
+                           n, r.value()));
+                   else
+                       promise->set_value(r.status());
+               });
+    return future;
+}
+
+// ------------------------------------------------------ dispatcher
+
+void
+ProcessShardedServer::dispatcherLoop(std::size_t s)
+{
+    Shard& shard = *shards_[s];
+    Coalescer<Request> coalescer(*shard.queue, opts_.maxBatchSize,
+                                 opts_.maxBatchDelay,
+                                 batchClassDelay());
+    for (;;) {
+        std::optional<CoalescedBatch<Request>> batch =
+            coalescer.next();
+        if (!batch)
+            return;
+        expireDeadlines(*batch, std::chrono::steady_clock::now(),
+                        "ProcessShardedServer", [](const Request&) {});
+        if (batch->requests.empty())
+            continue;
+        serveBatch(s, *batch);
+    }
+}
+
+void
+ProcessShardedServer::failBatch(CoalescedBatch<Request>& batch,
+                                const Status& status)
+{
+    for (Request& r : batch.requests)
+        r.complete(status);
+}
+
+void
+ProcessShardedServer::serveBatch(std::size_t s,
+                                 CoalescedBatch<Request>& batch)
+{
+    Shard& shard = *shards_[s];
+    std::vector<Engine::PairRequest> flat = batch.flattenPairs();
+    ipc::TreeBatch trees = ipc::makeTreeBatch(flat);
+    std::string where =
+        "ProcessShardedServer: shard " + std::to_string(s);
+
+    std::unique_lock<std::mutex> lock(shard.rpcMutex);
+    if (!ensureWorkerLocked(s)) {
+        // Dead worker behind its backoff gate, or an open breaker:
+        // fail FAST with an attributed status — the other shards
+        // keep serving their partitions (graceful N-1 degradation).
+        failBatch(batch,
+                  Status::unavailable(where + " unavailable (worker "
+                                              "down or degraded)"));
+        return;
+    }
+
+    // The two phases are PIPELINED: both request frames go out
+    // back-to-back, then both replies are read — one worker wakeup
+    // per batch instead of two. The worker serves frames strictly in
+    // order and replies to each before reading the next, so the
+    // at-most-once contract survives pipelining: a missing ENCODE
+    // reply proves the compare frame was never even read (it died
+    // unread in the socket buffer), making the encode leg — and the
+    // queued compare behind it — safe to resend on a fresh worker.
+    // A missing COMPARE reply after a good encode reply means the
+    // worker died mid-compare, and that leg still fails fast.
+    //
+    // Phase 1 — ENCODE. Idempotent (latents are a pure function of
+    // the trees), so a crash here retries on a fresh worker — which
+    // doubles as warming the respawned process's cache partition.
+    // Phase 2 — COMPARE, by DIGEST: each tree crosses the wire
+    // exactly once per batch, in encode. If the worker evicted any
+    // referenced latent it refuses before running the head
+    // (ResourceExhausted) and the one self-contained resend below is
+    // still the FIRST execution.
+    std::vector<AstDigest> digests;
+    digests.reserve(trees.trees.size());
+    for (const Ast* tree : trees.trees)
+        digests.push_back(digestAst(*tree));
+    std::vector<std::pair<AstDigest, AstDigest>> digestPairs;
+    digestPairs.reserve(trees.pairs.size());
+    for (const auto& pair : trees.pairs)
+        digestPairs.emplace_back(digests[pair.first],
+                                 digests[pair.second]);
+    std::vector<std::uint8_t> digPayload =
+        ipc::encodeCompareDigestsRequest(digestPairs);
+
+    std::size_t attempt = 0;
+    std::uint64_t cmpId = 0;
+    std::vector<std::size_t> shipped; // indices into trees.trees
+    for (;;) {
+        // Ship only trees the residency mirror can't vouch for —
+        // against a warm worker the encode frame carries ZERO trees
+        // and exists to keep the phase cadence (and the fault
+        // injector's request arithmetic) identical in every batch.
+        shipped.clear();
+        std::vector<const Ast*> unknown;
+        for (std::size_t i = 0; i < trees.trees.size(); ++i) {
+            if (shard.residentOverflow ||
+                shard.residentDigests.count(digests[i]) == 0) {
+                shipped.push_back(i);
+                unknown.push_back(trees.trees[i]);
+            }
+        }
+        std::vector<std::uint8_t> encPayload =
+            ipc::encodeEncodeRequest(unknown);
+
+        std::uint64_t encId = 0;
+        ipc::Frame reply;
+        Rpc rc = Rpc::Closed;
+        if (sendRequestPairLocked(shard, ipc::MsgType::kEncode,
+                                  encPayload, &encId,
+                                  ipc::MsgType::kCompareDigests,
+                                  digPayload, &cmpId))
+            rc = awaitReplyLocked(shard, encId, opts_.rpcDeadline,
+                                  &reply);
+        if (rc == Rpc::Ok) {
+            Result<std::vector<std::vector<float>>> latents =
+                Status::internal("encode reply not decoded");
+            Status decoded =
+                ipc::decodeEncodeReply(reply.payload, &latents);
+            if (decoded.isOk()) {
+                if (!latents.isOk()) {
+                    // The worker ran and refused (e.g. malformed
+                    // tree): a real answer, not a fault. The queued
+                    // digest compare will refuse on the same missing
+                    // latents; its stale reply is skipped by the
+                    // next awaitReplyLocked on this shard.
+                    failBatch(batch, latents.status());
+                    return;
+                }
+                // The worker inserted every shipped tree before
+                // replying — extend the mirror, or abandon it the
+                // moment the worker's LRU may have started evicting.
+                if (!shard.residentOverflow) {
+                    for (std::size_t i : shipped)
+                        shard.residentDigests.insert(digests[i]);
+                    if (shard.residentDigests.size() >
+                        opts_.cachePerWorker) {
+                        shard.residentDigests.clear();
+                        shard.residentOverflow = true;
+                    }
+                }
+                break;
+            }
+            rc = Rpc::Closed; // corrupt reply == treat as crash
+        }
+        if (rc == Rpc::Timeout) {
+            // Hung worker: kill it, answer DeadlineExceeded. A hang
+            // is not retried — the caller's clock already ran.
+            handleFailureLocked(s);
+            failBatch(batch, Status::deadlineExceeded(
+                                 where + " encode RPC deadline "
+                                         "(worker hung)"));
+            return;
+        }
+        handleFailureLocked(s);
+        if (attempt++ >= opts_.encodeRetryLimit ||
+            !ensureWorkerLocked(s)) {
+            failBatch(batch, Status::unavailable(
+                                 where + " worker crashed during "
+                                         "encode"));
+            return;
+        }
+    }
+
+    // Phase 2 resolution. NEVER retried on a crash: if the worker
+    // dies after a good encode reply we cannot know how far the
+    // compare got, so the batch fails fast with an attributed
+    // status instead of risking a second execution.
+    for (bool selfContained = false;; selfContained = true) {
+        ipc::Frame reply;
+        Rpc rc = selfContained
+            ? rpcLocked(shard, ipc::MsgType::kCompare,
+                        ipc::encodeCompareRequest(trees),
+                        opts_.rpcDeadline, &reply)
+            : awaitReplyLocked(shard, cmpId, opts_.rpcDeadline,
+                               &reply);
+        if (rc == Rpc::Ok) {
+            Result<std::vector<double>> result =
+                Status::internal("compare reply not decoded");
+            Status decoded =
+                ipc::decodeCompareReply(reply.payload, &result);
+            if (decoded.isOk()) {
+                if (!result.isOk()) {
+                    if (!selfContained &&
+                        result.status().code() ==
+                            StatusCode::ResourceExhausted)
+                        continue; // evicted latents: resend trees
+                    failBatch(batch, result.status());
+                    return;
+                }
+                if (result.value().size() != batch.pairCount) {
+                    handleFailureLocked(s);
+                    failBatch(batch,
+                              Status::internal(
+                                  where + " compare reply count "
+                                          "mismatch"));
+                    return;
+                }
+                lock.unlock(); // completions don't need the socket
+                completeBatch(s, batch, result.value());
+                return;
+            }
+            rc = Rpc::Closed;
+        }
+        if (rc == Rpc::Timeout) {
+            handleFailureLocked(s);
+            failBatch(batch, Status::deadlineExceeded(
+                                 where + " compare RPC deadline "
+                                         "(worker hung)"));
+            return;
+        }
+        handleFailureLocked(s);
+        failBatch(batch, Status::unavailable(
+                             where + " worker crashed mid-batch "
+                                     "(compare is not retried)"));
+        return;
+    }
+}
+
+void
+ProcessShardedServer::completeBatch(std::size_t s,
+                                    CoalescedBatch<Request>& batch,
+                                    const std::vector<double>& probs)
+{
+    Shard& shard = *shards_[s];
+    auto completedAt = std::chrono::steady_clock::now();
+    if (metrics_.enabled()) {
+        metrics_.batches->inc();
+        metrics_.batchPairs->inc(batch.pairCount);
+    }
+    {
+        std::lock_guard<std::mutex> lock(shard.statsMutex);
+        shard.batches++;
+        shard.pairsServed += batch.pairCount;
+        shard.batchSizes.add(batch.pairCount);
+        for (const Request& r : batch.requests) {
+            std::size_t us =
+                latencySampleUs(completedAt - r.enqueued);
+            shard.latencyUs.add(us);
+            shard.tenantLatencyUs[r.tenant].add(us);
+        }
+    }
+    for (const Request& r : batch.requests) {
+        std::size_t us = latencySampleUs(completedAt - r.enqueued);
+        if (metrics_.enabled())
+            serverLatencyHistogram(*opts_.metrics, "ipc",
+                                   r.version->name, r.tenant,
+                                   r.priority, opts_.metricsWindow)
+                .add(us, completedAt);
+    }
+    std::size_t off = 0;
+    for (Request& r : batch.requests) {
+        auto begin =
+            probs.begin() + static_cast<std::ptrdiff_t>(off);
+        r.complete(std::vector<double>(
+            begin,
+            begin + static_cast<std::ptrdiff_t>(r.pairs.size())));
+        off += r.pairs.size();
+    }
+}
+
+// ------------------------------------------------------ rpc plumbing
+
+bool
+ProcessShardedServer::sendRequestLocked(
+    Shard& shard, ipc::MsgType type,
+    const std::vector<std::uint8_t>& payload, std::uint64_t* id)
+{
+    if (!shard.fd.valid())
+        return false;
+    *id = shard.nextFrameId++;
+    return ipc::writeFrame(shard.fd.get(), type, *id, payload);
+}
+
+bool
+ProcessShardedServer::sendRequestPairLocked(
+    Shard& shard, ipc::MsgType type1,
+    const std::vector<std::uint8_t>& payload1, std::uint64_t* id1,
+    ipc::MsgType type2, const std::vector<std::uint8_t>& payload2,
+    std::uint64_t* id2)
+{
+    if (!shard.fd.valid())
+        return false;
+    *id1 = shard.nextFrameId++;
+    *id2 = shard.nextFrameId++;
+    // One send for both frames: the worker's blocking read wakes once
+    // per batch, and the pair can never be split by a crash of THIS
+    // process between the two writes.
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(2 * 17 + payload1.size() + payload2.size());
+    ipc::appendFrame(bytes, type1, *id1, payload1);
+    ipc::appendFrame(bytes, type2, *id2, payload2);
+    return ipc::writeRaw(shard.fd.get(), bytes);
+}
+
+ProcessShardedServer::Rpc
+ProcessShardedServer::rpcLocked(Shard& shard, ipc::MsgType type,
+                                const std::vector<std::uint8_t>& payload,
+                                std::chrono::milliseconds deadline,
+                                ipc::Frame* reply)
+{
+    std::uint64_t id = 0;
+    if (!sendRequestLocked(shard, type, payload, &id))
+        return Rpc::Closed;
+    return awaitReplyLocked(shard, id, deadline, reply);
+}
+
+ProcessShardedServer::Rpc
+ProcessShardedServer::awaitReplyLocked(
+    Shard& shard, std::uint64_t id,
+    std::chrono::milliseconds deadline, ipc::Frame* reply)
+{
+    if (!shard.fd.valid())
+        return Rpc::Closed;
+    auto deadlineAt = std::chrono::steady_clock::now() + deadline;
+    for (;;) {
+        auto now = std::chrono::steady_clock::now();
+        if (now >= deadlineAt)
+            return Rpc::Timeout;
+        auto remain =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadlineAt - now)
+                .count() +
+            1;
+        struct pollfd pfd;
+        pfd.fd = shard.fd.get();
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        int rv = ::poll(&pfd, 1,
+                        static_cast<int>(std::min<long long>(
+                            remain, 1000000)));
+        if (rv < 0) {
+            if (errno == EINTR)
+                continue;
+            return Rpc::Closed;
+        }
+        if (rv == 0)
+            return Rpc::Timeout;
+        // Readable (or HUP — readFrame turns that into Eof/Error).
+        ipc::Frame frame;
+        ipc::ReadFrame rf = ipc::readFrame(shard.fd.get(), &frame);
+        if (rf != ipc::ReadFrame::Ok)
+            return Rpc::Closed;
+        if (frame.id != id)
+            continue; // stale reply from an abandoned earlier RPC
+        *reply = std::move(frame);
+        return Rpc::Ok;
+    }
+}
+
+ProcessShardedServer::Rpc
+ProcessShardedServer::pingLocked(Shard& shard,
+                                 std::chrono::milliseconds deadline,
+                                 std::chrono::microseconds* latency)
+{
+    auto start = std::chrono::steady_clock::now();
+    ipc::Frame reply;
+    Rpc rc = rpcLocked(shard, ipc::MsgType::kPing, {}, deadline,
+                       &reply);
+    if (rc != Rpc::Ok)
+        return rc;
+    if (reply.type != ipc::MsgType::kPong)
+        return Rpc::Closed; // protocol violation
+    if (latency != nullptr)
+        *latency =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start);
+    return Rpc::Ok;
+}
+
+// ------------------------------------------------------ supervision
+
+bool
+ProcessShardedServer::ensureWorkerLocked(std::size_t s)
+{
+    Shard& shard = *shards_[s];
+    if (shard.up)
+        return true;
+    auto now = std::chrono::steady_clock::now();
+    if (shard.breakerOpen) {
+        // Open breaker rejects instantly until the cooldown lapses;
+        // then exactly one half-open spawn attempt is allowed.
+        if (now - shard.breakerOpenedAt < opts_.breakerCooldown)
+            return false;
+    } else if (now < shard.nextSpawnAllowed) {
+        return false; // backoff gate: fail fast, do not sleep
+    }
+    return spawnLocked(s);
+}
+
+void
+ProcessShardedServer::handleFailureLocked(std::size_t s)
+{
+    Shard& shard = *shards_[s];
+    if (shard.pid > 0) {
+        ::kill(shard.pid, SIGKILL);
+        ::waitpid(shard.pid, nullptr, 0);
+    }
+    shard.fd.reset();
+    shard.pid = -1;
+    shard.up = false;
+    shard.upFlag = false;
+    shard.pidFlag = -1;
+    if (shard.upMetric != nullptr)
+        shard.upMetric->set(0);
+
+    auto now = std::chrono::steady_clock::now();
+    shard.consecutiveFailures++;
+    shard.recentRestarts.push_back(now);
+    while (!shard.recentRestarts.empty() &&
+           now - shard.recentRestarts.front() > opts_.breakerWindow)
+        shard.recentRestarts.pop_front();
+    if (!shard.breakerOpen &&
+        shard.recentRestarts.size() >= opts_.breakerThreshold) {
+        shard.breakerOpen = true;
+        shard.breakerOpenedAt = now;
+        shard.degradedFlag = true;
+        if (shard.degradedMetric != nullptr)
+            shard.degradedMetric->set(1);
+    } else if (shard.breakerOpen) {
+        // A failed half-open attempt re-arms the cooldown.
+        shard.breakerOpenedAt = now;
+    }
+    // First respawn is immediate (one crash should cost one batch,
+    // not a backoff window); repeats back off exponentially.
+    if (shard.consecutiveFailures <= 1) {
+        shard.nextSpawnAllowed = now;
+    } else {
+        unsigned shift =
+            std::min(shard.consecutiveFailures - 2, 20u);
+        auto backoff = opts_.backoffInitial * (1LL << shift);
+        if (backoff > opts_.backoffMax)
+            backoff = opts_.backoffMax;
+        shard.nextSpawnAllowed = now + backoff;
+    }
+}
+
+bool
+ProcessShardedServer::spawnLocked(std::size_t s)
+{
+    Shard& shard = *shards_[s];
+    int fds[2];
+    if (!makeSocketPair(fds)) {
+        handleFailureLocked(s);
+        return false;
+    }
+    FdGuard parentEnd(fds[0]);
+    FdGuard childEnd(fds[1]);
+
+    const std::string& binary = workerBinary();
+    std::string cacheArg = std::to_string(opts_.cachePerWorker);
+    std::string threadsArg = std::to_string(opts_.threadsPerWorker);
+    std::vector<char*> argv{
+        const_cast<char*>(binary.c_str()),
+        const_cast<char*>(checkpoint_.c_str()),
+        const_cast<char*>(cacheArg.c_str()),
+        const_cast<char*>(threadsArg.c_str()), nullptr};
+
+    // Injected faults go to the FIRST spawn of the fault shard only:
+    // recovery after the fault must be the clean path. Build the
+    // environment pre-fork (fork + malloc don't mix).
+    bool inject = !opts_.faultSpec.empty() &&
+        s == opts_.faultShard && shard.generation == 0;
+    std::string faultVar = "CCSA_FAULT=" + opts_.faultSpec;
+    std::vector<char*> envp;
+    for (char** e = environ; *e != nullptr; ++e)
+        if (std::strncmp(*e, "CCSA_FAULT=", 11) != 0)
+            envp.push_back(*e);
+    if (inject)
+        envp.push_back(faultVar.data());
+    envp.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        handleFailureLocked(s);
+        return false;
+    }
+    if (pid == 0) {
+        // Child: hand the socket over as fd 3 and become the worker.
+        if (childEnd.get() == ipc::kWorkerFd) {
+            // Already there — just clear CLOEXEC (dup2 onto itself
+            // would not).
+            int flags = ::fcntl(ipc::kWorkerFd, F_GETFD);
+            ::fcntl(ipc::kWorkerFd, F_SETFD, flags & ~FD_CLOEXEC);
+        } else if (::dup2(childEnd.get(), ipc::kWorkerFd) < 0) {
+            ::_exit(127);
+        }
+        ::execve(binary.c_str(), argv.data(), envp.data());
+        ::_exit(127); // exec failed; parent sees the socket close
+    }
+
+    shard.generation++;
+    shard.generationFlag = shard.generation;
+    childEnd.reset();
+    shard.fd = std::move(parentEnd);
+    shard.pid = pid;
+    shard.up = true; // provisional until the handshake lands
+    // Fresh process, cold cache: the residency mirror restarts.
+    shard.residentDigests.clear();
+    shard.residentOverflow = false;
+
+    // Handshake: one ping under the (longer) spawn deadline covers
+    // exec + checkpoint load in the fresh process.
+    if (pingLocked(shard, opts_.spawnDeadline) != Rpc::Ok) {
+        handleFailureLocked(s);
+        return false;
+    }
+    shard.consecutiveFailures = 0;
+    if (shard.breakerOpen) {
+        // Half-open probe succeeded: close the breaker.
+        shard.breakerOpen = false;
+        shard.degradedFlag = false;
+        if (shard.degradedMetric != nullptr)
+            shard.degradedMetric->set(0);
+    }
+    shard.upFlag = true;
+    shard.pidFlag = pid;
+    if (shard.upMetric != nullptr)
+        shard.upMetric->set(1);
+    if (shard.generation > 1) {
+        shard.restarts++;
+        if (shard.restartsMetric != nullptr)
+            shard.restartsMetric->inc();
+    }
+    return true;
+}
+
+void
+ProcessShardedServer::supervisorLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(supervisorMutex_);
+            supervisorCv_.wait_for(lock, opts_.heartbeatInterval,
+                                   [&] { return supervisorStop_; });
+            if (supervisorStop_)
+                return;
+        }
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            Shard& shard = *shards_[s];
+            // try_lock: a dispatcher mid-RPC owns the socket, and
+            // its own per-call deadline already covers a hang there
+            // — pinging behind its back would interleave frames.
+            std::unique_lock<std::mutex> lock(shard.rpcMutex,
+                                              std::try_to_lock);
+            if (!lock.owns_lock())
+                continue;
+            if (shard.up) {
+                int wstatus = 0;
+                if (::waitpid(shard.pid, &wstatus, WNOHANG) ==
+                    shard.pid) {
+                    // Spontaneous death (crash between batches):
+                    // already reaped, so clear the pid before the
+                    // bookkeeping path tries to kill/reap again.
+                    shard.pid = -1;
+                    handleFailureLocked(s);
+                } else {
+                    std::chrono::microseconds latency{0};
+                    if (pingLocked(shard, opts_.heartbeatDeadline,
+                                   &latency) == Rpc::Ok) {
+                        if (shard.heartbeatMetric != nullptr)
+                            shard.heartbeatMetric->add(
+                                static_cast<std::size_t>(
+                                    latency.count()),
+                                std::chrono::steady_clock::now());
+                    } else {
+                        handleFailureLocked(s);
+                    }
+                }
+            }
+            if (!shard.up)
+                ensureWorkerLocked(s); // respects backoff + breaker
+        }
+    }
+}
+
+// ----------------------------------------------------------- stats
+
+ProcessShardedServerStats
+ProcessShardedServer::stats() const
+{
+    ProcessShardedServerStats out;
+    out.shards.reserve(shards_.size());
+    out.health.reserve(shards_.size());
+    std::size_t queueDepth = 0;
+    std::size_t queueCapacity = 0;
+    for (const auto& shardPtr : shards_) {
+        const Shard& shard = *shardPtr;
+        ServerStats row;
+        {
+            std::lock_guard<std::mutex> lock(shard.statsMutex);
+            row.batches = shard.batches;
+            row.pairsServed = shard.pairsServed;
+            row.batchSizes = shard.batchSizes;
+            row.latencyUs = shard.latencyUs;
+            row.tenants.reserve(shard.tenantLatencyUs.size());
+            for (const auto& [name, hist] : shard.tenantLatencyUs) {
+                TenantStats t;
+                t.tenant = name;
+                t.latencyUs = hist;
+                row.tenants.push_back(std::move(t));
+            }
+        }
+        std::sort(row.tenants.begin(), row.tenants.end(),
+                  [](const TenantStats& a, const TenantStats& b) {
+                      return a.tenant < b.tenant;
+                  });
+        for (TenantStats& t : row.tenants)
+            fillTenantPercentiles(t);
+        fillLatencyPercentiles(row);
+        row.queueDepth = shard.queue->size();
+        row.queueCapacity = shard.queue->capacity();
+        queueDepth += row.queueDepth;
+        queueCapacity += row.queueCapacity;
+        out.shards.push_back(std::move(row));
+
+        WorkerHealth health;
+        health.pid = shard.pidFlag.load();
+        health.generation = shard.generationFlag.load();
+        health.restarts = shard.restarts.load();
+        health.up = shard.upFlag.load();
+        health.degraded = shard.degradedFlag.load();
+        out.health.push_back(health);
+    }
+
+    out.aggregate = mergeServerStats(out.shards);
+    // Engine/cache counters live inside the worker processes; the
+    // parent deliberately reports none rather than stale zeros per
+    // shard summed into a fake aggregate (mergeServerStats already
+    // summed zeros — make the contract explicit).
+    out.aggregate.engine = Engine::Stats{};
+    out.aggregate.queueDepth = queueDepth;
+    out.aggregate.queueCapacity = queueCapacity;
+    {
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        out.aggregate.requestsSubmitted = submitted_;
+        out.aggregate.requestsRejectedShed = rejectedShed_;
+        out.aggregate.requestsRejectedShutdown = rejectedShutdown_;
+        out.aggregate.requestsRejectedQuota = rejectedQuota_;
+        out.aggregate.requestsRejectedDeadline = rejectedDeadline_;
+        out.aggregate.requestsRejected = rejectedShed_ +
+            rejectedShutdown_ + rejectedQuota_ + rejectedDeadline_;
+        out.aggregate.requestsCompleted = completed_;
+        out.aggregate.requestsFailed = failed_;
+        for (const auto& [name, counters] : tenants_) {
+            TenantStats* row = nullptr;
+            for (TenantStats& t : out.aggregate.tenants)
+                if (t.tenant == name) {
+                    row = &t;
+                    break;
+                }
+            if (row == nullptr) {
+                TenantStats t;
+                t.tenant = name;
+                out.aggregate.tenants.push_back(std::move(t));
+                row = &out.aggregate.tenants.back();
+            }
+            row->submitted = counters.submitted;
+            row->completed = counters.completed;
+            row->failed = counters.failed;
+            row->rejectedQuota = counters.rejectedQuota;
+            row->rejectedDeadline = counters.rejectedDeadline;
+        }
+    }
+    std::sort(out.aggregate.tenants.begin(),
+              out.aggregate.tenants.end(),
+              [](const TenantStats& a, const TenantStats& b) {
+                  return a.tenant < b.tenant;
+              });
+    return out;
+}
+
+void
+ProcessShardedServer::sampleMetrics() const
+{
+    if (opts_.metrics == nullptr)
+        return;
+    std::size_t depth = 0;
+    std::size_t capacity = 0;
+    for (const auto& shard : shards_) {
+        depth += shard->queue->size();
+        capacity += shard->queue->capacity();
+        if (shard->upMetric != nullptr)
+            shard->upMetric->set(shard->upFlag.load() ? 1 : 0);
+        if (shard->degradedMetric != nullptr)
+            shard->degradedMetric->set(
+                shard->degradedFlag.load() ? 1 : 0);
+    }
+    publishServerGauges(*opts_.metrics, "ipc", depth, capacity, {});
+}
+
+} // namespace ccsa

@@ -1,0 +1,585 @@
+#include "serve/ipc/wire.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace ccsa
+{
+namespace ipc
+{
+
+namespace
+{
+
+/** Ceiling on nodes per serialized tree; matches kMaxPayload / 8
+ * (kind + parent per node) so a corrupt node count cannot win a
+ * race against the payload bound. */
+constexpr std::uint32_t kMaxTreeNodes = 8u << 20;
+
+void
+putBytes(std::vector<std::uint8_t>& buf, const void* p, std::size_t n)
+{
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf.insert(buf.end(), b, b + n);
+}
+
+} // namespace
+
+void
+Writer::putU32(std::uint32_t v)
+{
+    putBytes(buf_, &v, sizeof(v));
+}
+
+void
+Writer::putU64(std::uint64_t v)
+{
+    putBytes(buf_, &v, sizeof(v));
+}
+
+void
+Writer::putI32(std::int32_t v)
+{
+    putBytes(buf_, &v, sizeof(v));
+}
+
+void
+Writer::putF32(float v)
+{
+    putBytes(buf_, &v, sizeof(v));
+}
+
+void
+Writer::putF64(double v)
+{
+    putBytes(buf_, &v, sizeof(v));
+}
+
+void
+Writer::putString(const std::string& s)
+{
+    putU32(static_cast<std::uint32_t>(s.size()));
+    putBytes(buf_, s.data(), s.size());
+}
+
+Status
+Reader::need(std::size_t n)
+{
+    if (buf_.size() - pos_ < n) {
+        return Status::invalidArgument(
+            "ipc payload truncated: need " + std::to_string(n) +
+            " bytes at offset " + std::to_string(pos_));
+    }
+    return Status::ok();
+}
+
+Status
+Reader::takeU8(std::uint8_t* out)
+{
+    if (Status s = need(1); !s)
+        return s;
+    *out = buf_[pos_++];
+    return Status::ok();
+}
+
+Status
+Reader::takeU32(std::uint32_t* out)
+{
+    if (Status s = need(sizeof(*out)); !s)
+        return s;
+    std::memcpy(out, buf_.data() + pos_, sizeof(*out));
+    pos_ += sizeof(*out);
+    return Status::ok();
+}
+
+Status
+Reader::takeU64(std::uint64_t* out)
+{
+    if (Status s = need(sizeof(*out)); !s)
+        return s;
+    std::memcpy(out, buf_.data() + pos_, sizeof(*out));
+    pos_ += sizeof(*out);
+    return Status::ok();
+}
+
+Status
+Reader::takeI32(std::int32_t* out)
+{
+    if (Status s = need(sizeof(*out)); !s)
+        return s;
+    std::memcpy(out, buf_.data() + pos_, sizeof(*out));
+    pos_ += sizeof(*out);
+    return Status::ok();
+}
+
+Status
+Reader::takeF32(float* out)
+{
+    if (Status s = need(sizeof(*out)); !s)
+        return s;
+    std::memcpy(out, buf_.data() + pos_, sizeof(*out));
+    pos_ += sizeof(*out);
+    return Status::ok();
+}
+
+Status
+Reader::takeF64(double* out)
+{
+    if (Status s = need(sizeof(*out)); !s)
+        return s;
+    std::memcpy(out, buf_.data() + pos_, sizeof(*out));
+    pos_ += sizeof(*out);
+    return Status::ok();
+}
+
+Status
+Reader::takeString(std::string* out)
+{
+    std::uint32_t n = 0;
+    if (Status s = takeU32(&n); !s)
+        return s;
+    if (Status s = need(n); !s)
+        return s;
+    out->assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return Status::ok();
+}
+
+void
+putAst(Writer& w, const Ast& ast)
+{
+    const int n = ast.size();
+    w.putU32(static_cast<std::uint32_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const AstNode& node = ast.node(i);
+        w.putI32(static_cast<std::int32_t>(node.kind));
+        w.putI32(node.parent);
+    }
+}
+
+Status
+takeAst(Reader& r, Ast* out)
+{
+    std::uint32_t n = 0;
+    if (Status s = r.takeU32(&n); !s)
+        return s;
+    if (n == 0 || n > kMaxTreeNodes)
+        return Status::invalidArgument("ipc tree node count " +
+                                       std::to_string(n) +
+                                       " out of range");
+    std::int32_t kind = 0, parent = 0;
+    if (Status s = r.takeI32(&kind); !s)
+        return s;
+    if (Status s = r.takeI32(&parent); !s)
+        return s;
+    if (parent != -1)
+        return Status::invalidArgument("ipc tree root has a parent");
+    // addNode appends, so serialized order (arena order) guarantees
+    // parent < child and the rebuild below is a single pass.
+    Ast ast(static_cast<NodeKind>(kind));
+    for (std::uint32_t i = 1; i < n; ++i) {
+        if (Status s = r.takeI32(&kind); !s)
+            return s;
+        if (Status s = r.takeI32(&parent); !s)
+            return s;
+        if (parent < 0 || static_cast<std::uint32_t>(parent) >= i) {
+            return Status::invalidArgument(
+                "ipc tree node " + std::to_string(i) +
+                " has non-preceding parent " + std::to_string(parent));
+        }
+        ast.addNode(static_cast<NodeKind>(kind), parent);
+    }
+    *out = std::move(ast);
+    return Status::ok();
+}
+
+TreeBatch
+makeTreeBatch(const std::vector<Engine::PairRequest>& pairs)
+{
+    TreeBatch batch;
+    batch.pairs.reserve(pairs.size());
+    std::unordered_map<const Ast*, std::uint32_t> index;
+    auto intern = [&](const Ast* tree) -> std::uint32_t {
+        auto it = index.find(tree);
+        if (it != index.end())
+            return it->second;
+        std::uint32_t id =
+            static_cast<std::uint32_t>(batch.trees.size());
+        batch.trees.push_back(tree);
+        index.emplace(tree, id);
+        return id;
+    };
+    for (const Engine::PairRequest& pair : pairs) {
+        // Sequence the interns explicitly: emplace_back's argument
+        // evaluation order is unspecified, and first-appearance tree
+        // order is part of the documented TreeBatch contract.
+        std::uint32_t first = intern(pair.first);
+        std::uint32_t second = intern(pair.second);
+        batch.pairs.emplace_back(first, second);
+    }
+    return batch;
+}
+
+std::vector<std::uint8_t>
+encodeCompareRequest(const TreeBatch& batch)
+{
+    Writer w;
+    w.putU32(static_cast<std::uint32_t>(batch.trees.size()));
+    for (const Ast* tree : batch.trees)
+        putAst(w, *tree);
+    w.putU32(static_cast<std::uint32_t>(batch.pairs.size()));
+    for (const auto& pair : batch.pairs) {
+        w.putU32(pair.first);
+        w.putU32(pair.second);
+    }
+    return w.take();
+}
+
+Status
+decodeCompareRequest(const std::vector<std::uint8_t>& payload,
+                     CompareRequest* out)
+{
+    Reader r(payload);
+    std::uint32_t treeCount = 0;
+    if (Status s = r.takeU32(&treeCount); !s)
+        return s;
+    out->trees.clear();
+    out->trees.reserve(treeCount);
+    for (std::uint32_t i = 0; i < treeCount; ++i) {
+        Ast tree;
+        if (Status s = takeAst(r, &tree); !s)
+            return s;
+        out->trees.push_back(std::move(tree));
+    }
+    std::uint32_t pairCount = 0;
+    if (Status s = r.takeU32(&pairCount); !s)
+        return s;
+    out->pairs.clear();
+    out->pairs.reserve(pairCount);
+    for (std::uint32_t i = 0; i < pairCount; ++i) {
+        std::uint32_t a = 0, b = 0;
+        if (Status s = r.takeU32(&a); !s)
+            return s;
+        if (Status s = r.takeU32(&b); !s)
+            return s;
+        if (a >= treeCount || b >= treeCount) {
+            return Status::invalidArgument(
+                "ipc compare pair references tree out of range");
+        }
+        out->pairs.emplace_back(a, b);
+    }
+    if (!r.exhausted())
+        return Status::invalidArgument("ipc compare payload has "
+                                       "trailing bytes");
+    return Status::ok();
+}
+
+std::vector<std::uint8_t>
+encodeCompareDigestsRequest(
+    const std::vector<std::pair<AstDigest, AstDigest>>& pairs)
+{
+    Writer w;
+    w.putU32(static_cast<std::uint32_t>(pairs.size()));
+    for (const auto& pair : pairs) {
+        w.putU64(pair.first.lo);
+        w.putU64(pair.first.hi);
+        w.putU64(pair.second.lo);
+        w.putU64(pair.second.hi);
+    }
+    return w.take();
+}
+
+Status
+decodeCompareDigestsRequest(
+    const std::vector<std::uint8_t>& payload,
+    std::vector<std::pair<AstDigest, AstDigest>>* out)
+{
+    Reader r(payload);
+    std::uint32_t pairCount = 0;
+    if (Status s = r.takeU32(&pairCount); !s)
+        return s;
+    // 32 payload bytes per pair: a lying count fails the first take
+    // after at most one bounded reserve.
+    if (pairCount > payload.size() / 32)
+        return Status::invalidArgument(
+            "ipc compare-digests pair count " +
+            std::to_string(pairCount) + " exceeds payload");
+    out->clear();
+    out->reserve(pairCount);
+    for (std::uint32_t i = 0; i < pairCount; ++i) {
+        AstDigest a, b;
+        if (Status s = r.takeU64(&a.lo); !s)
+            return s;
+        if (Status s = r.takeU64(&a.hi); !s)
+            return s;
+        if (Status s = r.takeU64(&b.lo); !s)
+            return s;
+        if (Status s = r.takeU64(&b.hi); !s)
+            return s;
+        out->emplace_back(a, b);
+    }
+    if (!r.exhausted())
+        return Status::invalidArgument("ipc compare-digests payload "
+                                       "has trailing bytes");
+    return Status::ok();
+}
+
+std::vector<std::uint8_t>
+encodeEncodeRequest(const std::vector<const Ast*>& trees)
+{
+    Writer w;
+    w.putU32(static_cast<std::uint32_t>(trees.size()));
+    for (const Ast* tree : trees)
+        putAst(w, *tree);
+    return w.take();
+}
+
+Status
+decodeEncodeRequest(const std::vector<std::uint8_t>& payload,
+                    std::vector<Ast>* out)
+{
+    Reader r(payload);
+    std::uint32_t treeCount = 0;
+    if (Status s = r.takeU32(&treeCount); !s)
+        return s;
+    out->clear();
+    out->reserve(treeCount);
+    for (std::uint32_t i = 0; i < treeCount; ++i) {
+        Ast tree;
+        if (Status s = takeAst(r, &tree); !s)
+            return s;
+        out->push_back(std::move(tree));
+    }
+    if (!r.exhausted())
+        return Status::invalidArgument("ipc encode payload has "
+                                       "trailing bytes");
+    return Status::ok();
+}
+
+namespace
+{
+
+void
+putStatus(Writer& w, const Status& status)
+{
+    w.putU8(static_cast<std::uint8_t>(status.code()));
+    w.putString(status.message());
+}
+
+Status
+takeStatus(Reader& r, Status* out)
+{
+    std::uint8_t code = 0;
+    std::string message;
+    if (Status s = r.takeU8(&code); !s)
+        return s;
+    if (Status s = r.takeString(&message); !s)
+        return s;
+    if (code > static_cast<std::uint8_t>(
+                   StatusCode::DeadlineExceeded) ||
+        code == static_cast<std::uint8_t>(StatusCode::Ok)) {
+        return Status::invalidArgument("ipc reply carries invalid "
+                                       "status code " +
+                                       std::to_string(code));
+    }
+    *out = Status::error(static_cast<StatusCode>(code),
+                         std::move(message));
+    return Status::ok();
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeCompareReply(const Result<std::vector<double>>& result)
+{
+    Writer w;
+    if (result.isOk()) {
+        w.putU8(1);
+        const std::vector<double>& probs = result.value();
+        w.putU32(static_cast<std::uint32_t>(probs.size()));
+        for (double p : probs)
+            w.putF64(p);
+    } else {
+        w.putU8(0);
+        putStatus(w, result.status());
+    }
+    return w.take();
+}
+
+Status
+decodeCompareReply(const std::vector<std::uint8_t>& payload,
+                   Result<std::vector<double>>* out)
+{
+    Reader r(payload);
+    std::uint8_t ok = 0;
+    if (Status s = r.takeU8(&ok); !s)
+        return s;
+    if (ok == 0) {
+        Status inner;
+        if (Status s = takeStatus(r, &inner); !s)
+            return s;
+        *out = inner;
+        return Status::ok();
+    }
+    std::uint32_t count = 0;
+    if (Status s = r.takeU32(&count); !s)
+        return s;
+    std::vector<double> probs(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (Status s = r.takeF64(&probs[i]); !s)
+            return s;
+    }
+    if (!r.exhausted())
+        return Status::invalidArgument("ipc compare reply has "
+                                       "trailing bytes");
+    *out = std::move(probs);
+    return Status::ok();
+}
+
+std::vector<std::uint8_t>
+encodeEncodeReply(const Result<std::vector<std::vector<float>>>& r)
+{
+    Writer w;
+    if (r.isOk()) {
+        const auto& rows = r.value();
+        w.putU8(1);
+        w.putU32(static_cast<std::uint32_t>(rows.size()));
+        const std::uint32_t dim =
+            rows.empty()
+                ? 0
+                : static_cast<std::uint32_t>(rows.front().size());
+        w.putU32(dim);
+        for (const std::vector<float>& row : rows)
+            for (float v : row)
+                w.putF32(v);
+    } else {
+        w.putU8(0);
+        putStatus(w, r.status());
+    }
+    return w.take();
+}
+
+Status
+decodeEncodeReply(const std::vector<std::uint8_t>& payload,
+                  Result<std::vector<std::vector<float>>>* out)
+{
+    Reader r(payload);
+    std::uint8_t ok = 0;
+    if (Status s = r.takeU8(&ok); !s)
+        return s;
+    if (ok == 0) {
+        Status inner;
+        if (Status s = takeStatus(r, &inner); !s)
+            return s;
+        *out = inner;
+        return Status::ok();
+    }
+    std::uint32_t rowCount = 0, dim = 0;
+    if (Status s = r.takeU32(&rowCount); !s)
+        return s;
+    if (Status s = r.takeU32(&dim); !s)
+        return s;
+    std::vector<std::vector<float>> rows(rowCount);
+    for (std::uint32_t i = 0; i < rowCount; ++i) {
+        rows[i].resize(dim);
+        for (std::uint32_t j = 0; j < dim; ++j) {
+            if (Status s = r.takeF32(&rows[i][j]); !s)
+                return s;
+        }
+    }
+    if (!r.exhausted())
+        return Status::invalidArgument("ipc encode reply has "
+                                       "trailing bytes");
+    *out = std::move(rows);
+    return Status::ok();
+}
+
+namespace
+{
+
+/** On-the-wire frame header; packed manually (memcpy per field)
+ * rather than via a struct so padding never leaks onto the wire. */
+constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 4;
+
+void
+packHeader(std::uint8_t* out, MsgType type, std::uint64_t id,
+           std::uint32_t payloadLen)
+{
+    std::memcpy(out, &kWireMagic, 4);
+    out[4] = static_cast<std::uint8_t>(type);
+    std::memcpy(out + 5, &id, 8);
+    std::memcpy(out + 13, &payloadLen, 4);
+}
+
+} // namespace
+
+void
+appendFrame(std::vector<std::uint8_t>& out, MsgType type,
+            std::uint64_t id,
+            const std::vector<std::uint8_t>& payload)
+{
+    const std::size_t at = out.size();
+    out.resize(at + kHeaderSize + payload.size());
+    packHeader(out.data() + at, type, id,
+               static_cast<std::uint32_t>(payload.size()));
+    if (!payload.empty())
+        std::memcpy(out.data() + at + kHeaderSize, payload.data(),
+                    payload.size());
+}
+
+bool
+writeRaw(int fd, const std::vector<std::uint8_t>& bytes)
+{
+    return sendFull(fd, bytes.data(), bytes.size()) == IoStatus::Ok;
+}
+
+bool
+writeFrame(int fd, MsgType type, std::uint64_t id,
+           const std::vector<std::uint8_t>& payload,
+           long truncateBytes)
+{
+    std::vector<std::uint8_t> frame;
+    appendFrame(frame, type, id, payload);
+    std::size_t n = frame.size();
+    if (truncateBytes >= 0 &&
+        static_cast<std::size_t>(truncateBytes) < n)
+        n = static_cast<std::size_t>(truncateBytes);
+    // sendFull, not writeFull: frames only travel over socketpairs,
+    // and the peer may be a SIGKILLed worker — that must surface as
+    // a failed write, not a SIGPIPE in the supervisor process.
+    return sendFull(fd, frame.data(), n) == IoStatus::Ok;
+}
+
+ReadFrame
+readFrame(int fd, Frame* out)
+{
+    std::uint8_t header[kHeaderSize];
+    IoStatus io = readFull(fd, header, kHeaderSize);
+    if (io == IoStatus::Eof)
+        return ReadFrame::Eof;
+    if (io != IoStatus::Ok)
+        return ReadFrame::Error;
+
+    std::uint32_t magic = 0, payloadLen = 0;
+    std::memcpy(&magic, header, 4);
+    std::memcpy(&out->id, header + 5, 8);
+    std::memcpy(&payloadLen, header + 13, 4);
+    if (magic != kWireMagic)
+        return ReadFrame::Error;
+    const std::uint8_t type = header[4];
+    if (type < static_cast<std::uint8_t>(MsgType::kCompare) ||
+        type > static_cast<std::uint8_t>(MsgType::kCompareDigests))
+        return ReadFrame::Error;
+    out->type = static_cast<MsgType>(type);
+    if (payloadLen > kMaxPayload)
+        return ReadFrame::Error;
+
+    out->payload.resize(payloadLen);
+    if (payloadLen > 0 &&
+        readFull(fd, out->payload.data(), payloadLen) != IoStatus::Ok)
+        return ReadFrame::Error;
+    return ReadFrame::Ok;
+}
+
+} // namespace ipc
+} // namespace ccsa

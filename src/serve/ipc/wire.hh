@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The length-prefixed binary wire protocol between ProcessShardedServer
+ * and its ccsa_worker shard processes. One frame per message:
+ *
+ *   [u32 magic "CSW1"] [u8 type] [u64 id] [u32 payloadLen] [payload]
+ *
+ * all little-endian (parent and workers always share one machine —
+ * this is a socketpair protocol, not a network one). `id` correlates
+ * requests with responses so many RPCs can be in flight per worker;
+ * heartbeats echo it as the ping nonce.
+ *
+ * Payload encodings (Writer::putX / Reader::takeX):
+ *  - kCompare:        trees deduped by the parent — u32 treeCount,
+ *                     each tree as (u32 nodes, per node i32 kind +
+ *                     i32 parent); then u32 pairCount of (u32, u32)
+ *                     indices into the tree table. The model consumes
+ *                     only kinds + shape (PAPER §IV-A), so spellings
+ *                     never cross the wire.
+ *  - kCompareReply:   u8 ok; ok: u32 count + f64 probs in request
+ *                     order; else u8 StatusCode + string message.
+ *  - kEncode:         u32 treeCount + trees (as above). IDEMPOTENT:
+ *                     re-executing it on a fresh worker returns
+ *                     bitwise-identical latents, which is what makes
+ *                     retry-after-crash safe for this RPC only.
+ *  - kEncodeReply:    u8 ok; ok: u32 rows + u32 dim + rows*dim f32
+ *                     (latents ARE flat float rows); else status.
+ *  - kPing/kPong:     empty payload; the id is the nonce.
+ *  - kShutdown:       empty; the worker drains and exits 0.
+ *  - kCompareDigests: u32 pairCount of (u64 lo, u64 hi) x 2 — pairs
+ *                     of 128-bit structural digests referencing
+ *                     latents the preceding kEncode made resident in
+ *                     the worker's cache. Replies kCompareReply. The
+ *                     worker REFUSES (ResourceExhausted, before any
+ *                     head work) if any latent was evicted, and the
+ *                     parent falls back to a self-contained kCompare
+ *                     — so the hot path ships each tree exactly once
+ *                     per batch while at-most-once execution holds.
+ *
+ * Framing reuses the checkpoint-v2 discipline from nn/serialize
+ * (explicit sizes, magic up front, reject-don't-trust): a corrupt or
+ * torn frame surfaces as Status, never as an allocation of
+ * attacker-controlled size — payloads are bounded by kMaxPayload and
+ * every Reader::take* is bounds-checked.
+ */
+
+#ifndef CCSA_SERVE_IPC_WIRE_HH
+#define CCSA_SERVE_IPC_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/ast.hh"
+#include "base/fd_util.hh"
+#include "base/result.hh"
+#include "serve/encoding_cache.hh"
+#include "serve/engine.hh"
+
+namespace ccsa
+{
+namespace ipc
+{
+
+/** Frame magic: "CSW1" little-endian. */
+constexpr std::uint32_t kWireMagic = 0x31575343u;
+
+/** Hard ceiling on a frame payload (64 MiB): a corrupt length word
+ * fails fast instead of asking the allocator for garbage. */
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+/** Message types. */
+enum class MsgType : std::uint8_t
+{
+    kCompare = 1,
+    kCompareReply = 2,
+    kEncode = 3,
+    kEncodeReply = 4,
+    kPing = 5,
+    kPong = 6,
+    kShutdown = 7,
+    kCompareDigests = 8,
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    MsgType type = MsgType::kPing;
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Append-only payload builder (little-endian). */
+class Writer
+{
+  public:
+    void putU8(std::uint8_t v) { buf_.push_back(v); }
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putI32(std::int32_t v);
+    void putF32(float v);
+    void putF64(double v);
+    void putString(const std::string& s);
+
+    const std::vector<std::uint8_t>& bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked payload reader; every take* fails with
+ * InvalidArgument once the payload is exhausted or oversized
+ * (corruption never turns into UB or bad_alloc). */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t>& buf)
+        : buf_(buf)
+    {
+    }
+
+    Status takeU8(std::uint8_t* out);
+    Status takeU32(std::uint32_t* out);
+    Status takeU64(std::uint64_t* out);
+    Status takeI32(std::int32_t* out);
+    Status takeF32(float* out);
+    Status takeF64(double* out);
+    Status takeString(std::string* out);
+
+    bool exhausted() const { return pos_ == buf_.size(); }
+
+  private:
+    Status need(std::size_t n);
+
+    const std::vector<std::uint8_t>& buf_;
+    std::size_t pos_ = 0;
+};
+
+/** Serialize one tree (kinds + parents; spellings are not
+ * model-visible and stay home). */
+void putAst(Writer& w, const Ast& ast);
+
+/** Rebuild a tree serialized by putAst. */
+Status takeAst(Reader& r, Ast* out);
+
+/**
+ * A compare/encode request body after tree-dedup: distinct trees
+ * once, pairs as indices. The parent builds this from a slice's
+ * PairRequests; a tournament slice repeating one candidate N times
+ * serializes that candidate once.
+ */
+struct TreeBatch
+{
+    /** Distinct trees, first-appearance order. */
+    std::vector<const Ast*> trees;
+    /** (first, second) indices into `trees`; empty for kEncode. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+};
+
+/** Dedup a pair list into a TreeBatch (by pointer identity — the
+ * submit path already interned repeated candidates that way). */
+TreeBatch makeTreeBatch(const std::vector<Engine::PairRequest>& pairs);
+
+/** Encode a kCompare payload. */
+std::vector<std::uint8_t> encodeCompareRequest(const TreeBatch& batch);
+
+/** Decoded worker-side view of a kCompare payload. */
+struct CompareRequest
+{
+    std::vector<Ast> trees;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+};
+
+Status decodeCompareRequest(const std::vector<std::uint8_t>& payload,
+                            CompareRequest* out);
+
+/** Encode a kCompareDigests payload: digest pairs referencing
+ * latents the encode phase made resident worker-side. */
+std::vector<std::uint8_t> encodeCompareDigestsRequest(
+    const std::vector<std::pair<AstDigest, AstDigest>>& pairs);
+
+Status decodeCompareDigestsRequest(
+    const std::vector<std::uint8_t>& payload,
+    std::vector<std::pair<AstDigest, AstDigest>>* out);
+
+/** Encode a kEncode payload (trees only). */
+std::vector<std::uint8_t>
+encodeEncodeRequest(const std::vector<const Ast*>& trees);
+
+Status decodeEncodeRequest(const std::vector<std::uint8_t>& payload,
+                           std::vector<Ast>* out);
+
+/** Encode a kCompareReply payload from a serving Result. */
+std::vector<std::uint8_t>
+encodeCompareReply(const Result<std::vector<double>>& result);
+
+Status decodeCompareReply(const std::vector<std::uint8_t>& payload,
+                          Result<std::vector<double>>* out);
+
+/** Encode a kEncodeReply payload: rows x dim float32 latents. */
+std::vector<std::uint8_t>
+encodeEncodeReply(const Result<std::vector<std::vector<float>>>& r);
+
+Status
+decodeEncodeReply(const std::vector<std::uint8_t>& payload,
+                  Result<std::vector<std::vector<float>>>* out);
+
+/**
+ * Write one frame. `truncateBytes` < 0 writes the whole frame; >= 0
+ * writes only that many bytes of it — the torn-write fault, kept in
+ * the one place that knows the frame layout.
+ * @return false on I/O failure (peer gone).
+ */
+bool writeFrame(int fd, MsgType type, std::uint64_t id,
+                const std::vector<std::uint8_t>& payload,
+                long truncateBytes = -1);
+
+/**
+ * Append one serialized frame to `out` without writing it. Lets the
+ * supervisor batch the pipelined kEncode + kCompareDigests pair into
+ * a single send, so the worker's poll wakes once per batch instead
+ * of once per frame.
+ */
+void appendFrame(std::vector<std::uint8_t>& out, MsgType type,
+                 std::uint64_t id,
+                 const std::vector<std::uint8_t>& payload);
+
+/** Write pre-serialized frame bytes (from appendFrame) in one send.
+ * @return false on I/O failure (peer gone). */
+bool writeRaw(int fd, const std::vector<std::uint8_t>& bytes);
+
+/** Outcome of readFrame. */
+enum class ReadFrame
+{
+    Ok,
+    /** Clean EOF between frames (peer closed the socket). */
+    Eof,
+    /** Torn frame, bad magic, oversized payload, or errno failure. */
+    Error,
+};
+
+/** Read one frame (blocking). */
+ReadFrame readFrame(int fd, Frame* out);
+
+} // namespace ipc
+} // namespace ccsa
+
+#endif // CCSA_SERVE_IPC_WIRE_HH

@@ -1,0 +1,249 @@
+#include "serve/ipc/worker.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "model/predictor.hh"
+#include "serve/ipc/wire.hh"
+#include "tensor/tensor.hh"
+
+namespace ccsa
+{
+namespace ipc
+{
+
+namespace
+{
+
+/** Exit codes for injected terminations; check_crash_recovery.py and
+ * the tests key off these to distinguish injected faults from real
+ * bugs in the worker. */
+constexpr int kCrashExitCode = 42;
+constexpr int kTornExitCode = 43;
+
+/**
+ * Apply a pre-reply fault. Crash exits before any reply byte (the
+ * parent sees the socket close mid-RPC). Stall delays the reply past
+ * the parent's deadline. Returns the truncation to apply to the
+ * reply frame (-1 = none) for TornWrite.
+ */
+long
+applyPreReplyFault(FaultKind fault, const FaultInjector& faults,
+                   std::size_t frameBytes)
+{
+    switch (fault) {
+      case FaultKind::Crash:
+        _exit(kCrashExitCode);
+      case FaultKind::Stall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(faults.spec().stallMs));
+        return -1;
+      case FaultKind::TornWrite:
+        // Half the frame: always cuts inside the header or payload,
+        // never lands on a frame boundary.
+        return static_cast<long>(frameBytes / 2);
+      default:
+        return -1;
+    }
+}
+
+bool
+serveCompare(int fd, Engine& engine, FaultInjector& faults,
+             const Frame& frame)
+{
+    const FaultKind fault = faults.onRequest();
+
+    Result<std::vector<double>> result =
+        Status::internal("compare not executed");
+    CompareRequest request;
+    if (Status s = decodeCompareRequest(frame.payload, &request);
+        !s) {
+        result = s;
+    } else {
+        std::vector<Engine::PairRequest> pairs;
+        pairs.reserve(request.pairs.size());
+        for (const auto& pair : request.pairs)
+            pairs.push_back({&request.trees[pair.first],
+                             &request.trees[pair.second]});
+        result = engine.compareMany(pairs);
+    }
+
+    const std::vector<std::uint8_t> payload =
+        encodeCompareReply(result);
+    const long truncate = applyPreReplyFault(
+        fault, faults,
+        payload.size() + 17 /* header, see wire.cc */);
+    const bool wrote = writeFrame(fd, MsgType::kCompareReply,
+                                  frame.id, payload, truncate);
+    if (fault == FaultKind::TornWrite)
+        _exit(kTornExitCode);
+    return wrote;
+}
+
+/** The hot-path compare: latents by digest, no trees on the wire.
+ * Counts toward the fault trigger exactly like kCompare — from the
+ * injector's point of view it IS the batch's compare request. */
+bool
+serveCompareDigests(int fd, Engine& engine, FaultInjector& faults,
+                    const Frame& frame)
+{
+    const FaultKind fault = faults.onRequest();
+
+    Result<std::vector<double>> result =
+        Status::internal("compare not executed");
+    std::vector<std::pair<AstDigest, AstDigest>> pairs;
+    if (Status s = decodeCompareDigestsRequest(frame.payload, &pairs);
+        !s) {
+        result = s;
+    } else {
+        // A ResourceExhausted refusal (latent evicted) travels back
+        // as a plain Result: the parent retries self-contained.
+        result = engine.compareManyCached(pairs);
+    }
+
+    const std::vector<std::uint8_t> payload =
+        encodeCompareReply(result);
+    const long truncate =
+        applyPreReplyFault(fault, faults, payload.size() + 17);
+    const bool wrote = writeFrame(fd, MsgType::kCompareReply,
+                                  frame.id, payload, truncate);
+    if (fault == FaultKind::TornWrite)
+        _exit(kTornExitCode);
+    return wrote;
+}
+
+bool
+serveEncode(int fd, Engine& engine, FaultInjector& faults,
+            const Frame& frame)
+{
+    const FaultKind fault = faults.onRequest();
+
+    Result<std::vector<std::vector<float>>> result =
+        Status::internal("encode not executed");
+    std::vector<Ast> trees;
+    if (Status s = decodeEncodeRequest(frame.payload, &trees); !s) {
+        result = s;
+    } else {
+        std::vector<const Ast*> ptrs;
+        ptrs.reserve(trees.size());
+        for (const Ast& tree : trees)
+            ptrs.push_back(&tree);
+        Result<std::vector<Tensor>> latents =
+            engine.encodeBatch(ptrs);
+        if (!latents.isOk()) {
+            result = latents.status();
+        } else {
+            std::vector<std::vector<float>> rows;
+            rows.reserve(latents.value().size());
+            for (const Tensor& t : latents.value())
+                rows.emplace_back(t.data(), t.data() + t.size());
+            result = std::move(rows);
+        }
+    }
+
+    const std::vector<std::uint8_t> payload =
+        encodeEncodeReply(result);
+    const long truncate =
+        applyPreReplyFault(fault, faults, payload.size() + 17);
+    const bool wrote = writeFrame(fd, MsgType::kEncodeReply,
+                                  frame.id, payload, truncate);
+    if (fault == FaultKind::TornWrite)
+        _exit(kTornExitCode);
+    return wrote;
+}
+
+} // namespace
+
+int
+runWorkerLoop(int fd, Engine& engine, FaultInjector& faults)
+{
+    for (;;) {
+        Frame frame;
+        switch (readFrame(fd, &frame)) {
+          case ReadFrame::Eof:
+            return 0; // parent closed: orderly teardown
+          case ReadFrame::Error:
+            return 1;
+          case ReadFrame::Ok:
+            break;
+        }
+        switch (frame.type) {
+          case MsgType::kPing:
+            if (!writeFrame(fd, MsgType::kPong, frame.id, {}))
+                return 1;
+            break;
+          case MsgType::kShutdown:
+            return 0;
+          case MsgType::kCompare:
+            if (!serveCompare(fd, engine, faults, frame))
+                return 1;
+            break;
+          case MsgType::kCompareDigests:
+            if (!serveCompareDigests(fd, engine, faults, frame))
+                return 1;
+            break;
+          case MsgType::kEncode:
+            if (!serveEncode(fd, engine, faults, frame))
+                return 1;
+            break;
+          default:
+            // Replies are parent-bound; receiving one is a protocol
+            // violation and the parent will treat exit 1 as a crash.
+            return 1;
+        }
+    }
+}
+
+int
+workerMain(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: ccsa_worker <checkpoint> "
+                     "[cacheCapacity] [threads]\n");
+        return 2;
+    }
+
+    FaultSpec spec;
+    if (const char* faultEnv = std::getenv("CCSA_FAULT")) {
+        Result<FaultSpec> parsed = parseFaultSpec(faultEnv);
+        if (!parsed.isOk()) {
+            std::fprintf(stderr, "ccsa_worker: %s\n",
+                         parsed.status().toString().c_str());
+            return 2;
+        }
+        spec = parsed.value();
+    }
+
+    Result<std::shared_ptr<ComparativePredictor>> model =
+        ComparativePredictor::fromCheckpoint(argv[1]);
+    if (!model.isOk()) {
+        std::fprintf(stderr, "ccsa_worker: cannot load %s: %s\n",
+                     argv[1], model.status().toString().c_str());
+        return 2;
+    }
+
+    Engine::Options opts;
+    if (argc > 2)
+        opts.withCacheCapacity(static_cast<std::size_t>(
+            std::strtoull(argv[2], nullptr, 10)));
+    if (argc > 3)
+        opts.withThreads(
+            static_cast<int>(std::strtol(argv[3], nullptr, 10)));
+
+    Engine engine(model.take(), opts);
+
+    FaultInjector faults(spec);
+    installGlobalFaultInjector(&faults);
+    const int rc = runWorkerLoop(kWorkerFd, engine, faults);
+    installGlobalFaultInjector(nullptr);
+    return rc;
+}
+
+} // namespace ipc
+} // namespace ccsa

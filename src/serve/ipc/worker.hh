@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The shard-worker side of the IPC serving protocol. A worker is a
+ * separate PROCESS (spawned by ProcessShardedServer as the
+ * `ccsa_worker` binary) that loads its model from a v2 checkpoint,
+ * owns its partition's encoding cache in its own address space, and
+ * serves kCompare / kEncode / kPing frames over an inherited
+ * socketpair end (always fd 3) until EOF or kShutdown. A crash —
+ * real or injected — takes down only this partition; the parent's
+ * Supervisor observes the socket close and respawns.
+ *
+ * The request loop is deliberately single-threaded: the parent
+ * pipelines at the shard level (one in-flight batch per shard,
+ * matching ShardedServer's one-worker-per-shard execution), so
+ * in-process parallelism lives inside Engine's encode pool, not in
+ * concurrent frame handling. That keeps the fault-injection points
+ * (crash/stall/torn-write relative to "the Nth request") exact.
+ */
+
+#ifndef CCSA_SERVE_IPC_WORKER_HH
+#define CCSA_SERVE_IPC_WORKER_HH
+
+#include <string>
+
+#include "serve/engine.hh"
+#include "serve/ipc/fault_injector.hh"
+
+namespace ccsa
+{
+namespace ipc
+{
+
+/** The fd number the parent dup2()s the worker's socketpair end to
+ * before exec — argv stays readable in `ps` and fd passing needs no
+ * extra protocol. */
+constexpr int kWorkerFd = 3;
+
+/**
+ * Serve frames from `fd` against `engine` until the peer closes,
+ * a kShutdown frame arrives, or an injected fault terminates the
+ * process. Exposed separately from workerMain so tests can run a
+ * worker loop in-process against one end of a socketpair.
+ *
+ * @return process exit code: 0 clean shutdown / EOF, 1 protocol or
+ *         I/O error. (Injected crash faults _exit() directly.)
+ */
+int runWorkerLoop(int fd, Engine& engine, FaultInjector& faults);
+
+/**
+ * Full worker entry point:
+ *   ccsa_worker <checkpoint> [cacheCapacity] [threads]
+ * Loads the predictor from the v2 checkpoint, arms the fault
+ * injector from $CCSA_FAULT (if set), and runs the loop on
+ * kWorkerFd. Called by worker_main.cc; kept in the library so the
+ * arg-parsing and startup path is unit-testable.
+ */
+int workerMain(int argc, char** argv);
+
+} // namespace ipc
+} // namespace ccsa
+
+#endif // CCSA_SERVE_IPC_WORKER_HH

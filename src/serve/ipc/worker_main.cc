@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Entry point of the `ccsa_worker` shard-process binary. Everything
+ * interesting lives in serve/ipc/worker.cc (library code, so it is
+ * testable in-process); this translation unit is excluded from the
+ * ccsa library glob because it defines main().
+ */
+
+#include "serve/ipc/worker.hh"
+
+int
+main(int argc, char** argv)
+{
+    return ccsa::ipc::workerMain(argc, argv);
+}

@@ -19,6 +19,7 @@ mergeServerStats(const std::vector<ServerStats>& shards)
         out.requestsRejectedShed += s.requestsRejectedShed;
         out.requestsRejectedShutdown += s.requestsRejectedShutdown;
         out.requestsRejectedQuota += s.requestsRejectedQuota;
+        out.requestsRejectedDeadline += s.requestsRejectedDeadline;
         out.requestsCompleted += s.requestsCompleted;
         out.requestsFailed += s.requestsFailed;
         out.batches += s.batches;
@@ -38,6 +39,7 @@ mergeServerStats(const std::vector<ServerStats>& shards)
             row.completed += t.completed;
             row.failed += t.failed;
             row.rejectedQuota += t.rejectedQuota;
+            row.rejectedDeadline += t.rejectedDeadline;
             row.latencyUs.merge(t.latencyUs);
         }
     }
@@ -98,6 +100,7 @@ ServerMetrics::init(MetricsRegistry& registry,
     rejectedShed = requests("rejected_shed");
     rejectedShutdown = requests("rejected_shutdown");
     rejectedQuota = requests("rejected_quota");
+    rejectedDeadline = requests("deadline");
     batches = &registry.counter(
         "ccsa_batches_total", {{"server", server}},
         "Coalesced engine batches executed.");

@@ -51,6 +51,9 @@ struct TenantStats
     /** Requests refused at the door by the AdmissionController
      * (token bucket dry) — the noisy-neighbor signal. */
     std::uint64_t rejectedQuota = 0;
+    /** Requests answered DeadlineExceeded (counted submitted, like
+     * ServerStats::requestsRejectedDeadline). */
+    std::uint64_t rejectedDeadline = 0;
     /** End-to-end latency distribution (us) of this tenant's served
      * units; merges losslessly across shards like
      * ServerStats::latencyUs. */
@@ -72,7 +75,7 @@ struct ServerStats
     // ------------------------------------------------ request volume
     /** Requests accepted into the queue. */
     std::uint64_t requestsSubmitted = 0;
-    /** Requests refused, for any reason: always the sum of the three
+    /** Requests refused, for any reason: always the sum of the four
      * attributed counters below (kept so pre-admission dashboards
      * keep reading one number). */
     std::uint64_t requestsRejected = 0;
@@ -82,6 +85,12 @@ struct ServerStats
     std::uint64_t requestsRejectedShutdown = 0;
     /** ...because the tenant's admission quota was exhausted. */
     std::uint64_t requestsRejectedQuota = 0;
+    /** ...because the request's SubmitOptions deadline expired
+     * before (or while) it was served: it completed with
+     * DeadlineExceeded and, unlike the three rejections above, WAS
+     * counted submitted — so requestsSubmitted = requestsCompleted +
+     * requestsFailed + requestsRejectedDeadline once drained. */
+    std::uint64_t requestsRejectedDeadline = 0;
     /** Requests whose future was fulfilled with a value. */
     std::uint64_t requestsCompleted = 0;
     /** Requests whose future was fulfilled with an error Status. */
@@ -188,6 +197,8 @@ struct ServerMetrics
     Counter* rejectedShed = nullptr;
     Counter* rejectedShutdown = nullptr;
     Counter* rejectedQuota = nullptr;
+    /** ccsa_requests_total{outcome="deadline"}. */
+    Counter* rejectedDeadline = nullptr;
     Counter* batches = nullptr;
     Counter* batchPairs = nullptr;
 

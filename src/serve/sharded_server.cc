@@ -176,6 +176,8 @@ ShardedServer::splitRequest(
             request.traceId = opts_.trace->nextChain();
         request.submitted = submitStart;
         request.enqueued = now;
+        if (submitOpts.deadline.count() > 0)
+            request.deadline = submitStart + submitOpts.deadline;
     };
     std::vector<Request> requests;
 
@@ -281,13 +283,24 @@ ShardedServer::submitCore(
          complete = std::move(complete)](
             Result<std::vector<double>> r) {
             if (!rejectedTag->load()) {
+                // Deadline expiries are attributed rejections, not
+                // failures: the request was accepted but its answer
+                // came due before an engine ran it.
+                bool deadline = !r.isOk() &&
+                    r.status().code() ==
+                        StatusCode::DeadlineExceeded;
                 if (metrics_.enabled())
-                    (r.isOk() ? metrics_.completed : metrics_.failed)
+                    (r.isOk()          ? metrics_.completed
+                         : deadline    ? metrics_.rejectedDeadline
+                                       : metrics_.failed)
                         ->inc();
                 std::lock_guard<std::mutex> lock(submitMutex_);
                 if (r.isOk()) {
                     completed_++;
                     tenants_[tenant].completed++;
+                } else if (deadline) {
+                    rejectedDeadline_++;
+                    tenants_[tenant].rejectedDeadline++;
                 } else {
                     failed_++;
                     tenants_[tenant].failed++;
@@ -604,6 +617,15 @@ ShardedServer::workerLoop(std::size_t shard)
         if (!batch)
             return;
 
+        // Expired members answer DeadlineExceeded instead of riding
+        // the engine call (serve/coalesce.hh expireDeadlines); the
+        // submitCore completion wrapper attributes the rejection, so
+        // no extra counting happens here.
+        expireDeadlines(*batch, std::chrono::steady_clock::now(),
+                        "ShardedServer", [](const Request&) {});
+        if (batch->requests.empty())
+            continue;
+
         // One engine call per model version in this worker's tick.
         // Other workers run their own ticks concurrently; the shared
         // cache dedups latents per version across all of them.
@@ -772,8 +794,9 @@ ShardedServer::stats() const
         out.aggregate.requestsRejectedShed = rejectedShed_;
         out.aggregate.requestsRejectedShutdown = rejectedShutdown_;
         out.aggregate.requestsRejectedQuota = rejectedQuota_;
-        out.aggregate.requestsRejected =
-            rejectedShed_ + rejectedShutdown_ + rejectedQuota_;
+        out.aggregate.requestsRejectedDeadline = rejectedDeadline_;
+        out.aggregate.requestsRejected = rejectedShed_ +
+            rejectedShutdown_ + rejectedQuota_ + rejectedDeadline_;
         out.aggregate.requestsCompleted = completed_;
         out.aggregate.requestsFailed = failed_;
         // Graft the global per-tenant request counters onto the
@@ -796,6 +819,7 @@ ShardedServer::stats() const
             row->completed = counters.completed;
             row->failed = counters.failed;
             row->rejectedQuota = counters.rejectedQuota;
+            row->rejectedDeadline = counters.rejectedDeadline;
         }
     }
     std::sort(out.aggregate.tenants.begin(),

@@ -59,6 +59,7 @@
 #ifndef CCSA_SERVE_SHARDED_SERVER_HH
 #define CCSA_SERVE_SHARDED_SERVER_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -371,6 +372,13 @@ class ShardedServer
         std::chrono::steady_clock::time_point enqueued;
         /** Stamped by the Coalescer when popped (queue-span end). */
         std::chrono::steady_clock::time_point dequeued;
+        /** Absolute submit-side deadline (max() = none); a worker
+         * answers an expired slice with DeadlineExceeded instead of
+         * encoding it. A split request's join propagates the first
+         * slice's error, so however many slices expire the CLIENT
+         * request resolves (and is counted) once. */
+        std::chrono::steady_clock::time_point deadline =
+            std::chrono::steady_clock::time_point::max();
     };
 
     /** Fan-in for a request split across shards. */
@@ -405,6 +413,7 @@ class ShardedServer
         std::uint64_t completed = 0;
         std::uint64_t failed = 0;
         std::uint64_t rejectedQuota = 0;
+        std::uint64_t rejectedDeadline = 0;
     };
 
     bool submitCore(
@@ -460,6 +469,7 @@ class ShardedServer
     std::uint64_t rejectedShed_ = 0;
     std::uint64_t rejectedShutdown_ = 0;
     std::uint64_t rejectedQuota_ = 0;
+    std::uint64_t rejectedDeadline_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
     std::unordered_map<std::string, TenantCounters> tenants_;

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -133,6 +134,46 @@ TEST(BoundedQueue, BlockedProducerUnblocksOnClose)
     std::this_thread::sleep_for(milliseconds(20));
     q.close();
     producer.join();
+}
+
+TEST(BoundedQueue, CloseWakesEveryBlockedProducerItemsUntouched)
+{
+    // The shutdown contract from bounded_queue.hh: close() wakes ALL
+    // parked producers (not just one), each returns Closed with its
+    // item still in the caller's hands, and already-accepted items
+    // stay poppable (drain, not shed).
+    BoundedQueue<std::unique_ptr<int>> q(1);
+    ASSERT_EQ(q.push(std::make_unique<int>(0)), QueuePush::Ok);
+
+    constexpr int kProducers = 6;
+    std::atomic<int> closedCount{0};
+    std::atomic<int> itemsIntact{0};
+    std::vector<std::thread> producers;
+    for (int p = 1; p <= kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            auto item = std::make_unique<int>(p);
+            if (q.push(std::move(item)) == QueuePush::Closed) {
+                closedCount++;
+                // Closed must leave the item unmoved — the serving
+                // layers rely on this to fail the request with an
+                // attributed status instead of losing it.
+                if (item != nullptr && *item == p)
+                    itemsIntact++;
+            }
+        });
+    }
+    std::this_thread::sleep_for(milliseconds(30));
+    q.close();
+    for (std::thread& t : producers)
+        t.join();
+    EXPECT_EQ(closedCount.load(), kProducers);
+    EXPECT_EQ(itemsIntact.load(), kProducers);
+
+    // Drain semantics: the one accepted item survives the close.
+    auto drained = q.pop();
+    ASSERT_TRUE(drained.has_value());
+    EXPECT_EQ(**drained, 0);
+    EXPECT_FALSE(q.pop().has_value());
 }
 
 // ----------------------------------------------------- AsyncServer
@@ -322,6 +363,43 @@ TEST(AsyncServer, ShutdownDrainsPendingRequests)
         EXPECT_EQ(got.value(), expected);
     }
     EXPECT_EQ(server.stats().requestsCompleted, 20u);
+}
+
+TEST(AsyncServer, DeadlineExpiresWhileQueued)
+{
+    Engine engine(tinyOptions());
+    Ast a = tinyProgram(1);
+    Ast b = tinyProgram(3);
+
+    // Paused server: the request sits queued past its deadline, so
+    // the batcher must complete it with DeadlineExceeded instead of
+    // encoding it — the deadline bounds queue wait, not execution.
+    AsyncServer server(
+        engine, AsyncServer::Options().withStartPaused(true));
+    auto expired = server.submitCompare(
+        SubmitOptions().withDeadline(microseconds(1000)), a, b);
+    std::this_thread::sleep_for(milliseconds(50));
+    server.start();
+    Result<double> got = expired.get();
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.status().code(), StatusCode::DeadlineExceeded);
+
+    // A generous deadline is not a rejection.
+    auto fine = server.submitCompare(
+        SubmitOptions().withDeadline(microseconds(30'000'000)), a,
+        b);
+    Result<double> fineGot = fine.get();
+    ASSERT_TRUE(fineGot.isOk());
+    EXPECT_EQ(fineGot.value(), engine.compare(a, b).value());
+
+    server.shutdown();
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requestsRejectedDeadline, 1u);
+    EXPECT_EQ(stats.requestsCompleted, 1u);
+    // Conservation: submitted == completed + failed + deadline.
+    EXPECT_EQ(stats.requestsSubmitted,
+              stats.requestsCompleted + stats.requestsFailed +
+                  stats.requestsRejectedDeadline);
 }
 
 TEST(AsyncServer, SubmitAfterShutdownResolvesUnavailable)

@@ -307,6 +307,52 @@ TEST(ShardedServer, ShutdownDrainsEveryAcceptedRequest)
     EXPECT_EQ(server.stats().aggregate.requestsCompleted, 21u);
 }
 
+TEST(ShardedServer, DeadlineExpiresWhileQueuedAndCountsOnce)
+{
+    Engine reference(tinyOptions());
+    std::vector<Ast> trees;
+    for (int i = 1; i <= 5; ++i)
+        trees.push_back(tinyProgram(i));
+    std::vector<Engine::PairRequest> pairs;
+    for (std::size_t i = 0; i + 1 < trees.size(); ++i)
+        pairs.push_back({&trees[i], &trees[i + 1]});
+
+    // Paused 2-shard server: the split request expires on every
+    // shard it touched, but the deadline rejection is attributed to
+    // ONE request — the join must not double-count slices.
+    ShardedServer server(tinyOptions(),
+                         ShardedServer::Options()
+                             .withNumShards(2)
+                             .withStartPaused(true));
+    auto expired = server.submitCompareMany(
+        SubmitOptions().withDeadline(
+            std::chrono::microseconds(1000)),
+        pairs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.start();
+    auto got = expired.get();
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.status().code(), StatusCode::DeadlineExceeded);
+
+    // A generous deadline completes with the exact sync values.
+    auto fine = server.submitCompareMany(
+        SubmitOptions().withDeadline(
+            std::chrono::microseconds(30'000'000)),
+        pairs);
+    auto fineGot = fine.get();
+    ASSERT_TRUE(fineGot.isOk());
+    EXPECT_EQ(fineGot.value(), reference.compareMany(pairs).value());
+
+    server.shutdown();
+    ServerStats stats = server.stats().aggregate;
+    EXPECT_EQ(stats.requestsSubmitted, 2u);
+    EXPECT_EQ(stats.requestsRejectedDeadline, 1u);
+    EXPECT_EQ(stats.requestsCompleted, 1u);
+    EXPECT_EQ(stats.requestsSubmitted,
+              stats.requestsCompleted + stats.requestsFailed +
+                  stats.requestsRejectedDeadline);
+}
+
 TEST(ShardedServer, TrySubmitLoadShedIsAllOrNothingAcrossShards)
 {
     // Find two trees whose digests live on different partitions of a

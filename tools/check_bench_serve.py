@@ -40,6 +40,21 @@ and fails (exit 1) on either of two regressions:
    atomic adds outside the server's stats mutex, so a lower ratio
    means metrics work leaked into a serial section (e.g. a registry
    map lookup per request instead of a cached instrument ref).
+
+5. Process-isolation overhead (ISSUE 8): the same interactive
+   workload on ProcessShardedServer (4 crash-isolated worker
+   processes) must stay >= 0.45x the in-process ShardedServer at 4
+   shards. The tax is tree serialization plus a pipelined socketpair
+   round trip per batch; the steady state sits near 0.55x with
+   ~±10% run-to-run noise, and the floor is set below that band
+   because the regression this gate exists to catch — per-PAIR work
+   creeping into the per-BATCH wire path (e.g. trees serialized once
+   per pair instead of deduped once per batch) — lands at 0.2x or
+   worse, far below any noise. The bench provisions
+   each worker's private cache pool-resident so this row measures
+   the wire tax and not cache geometry: worker processes cannot
+   share a digest-partitioned cache across address spaces, and
+   digest routing shows every worker the whole tree pool.
 """
 
 import sys
@@ -67,6 +82,13 @@ NOISY_NEIGHBOR_FLOOR = 1.0 / 3.0
 # Instrumented vs bare AsyncServer throughput (ISSUE 7).
 METRICS_FLOOR = 0.97
 
+# ProcessShardedServer vs in-process ShardedServer at the same shard
+# count (ISSUE 8): the price of crash isolation, bounded. Set below
+# the observed ~0.55x +/- noise band; the per-pair-wire-work
+# regression this guards against lands at <= 0.2x.
+IPC_FLOOR = 0.45
+IPC_SHARDS = 4
+
 
 def main() -> int:
     data = bench_gate.load_json(sys.argv, "BENCH_serve.json")
@@ -79,11 +101,15 @@ def main() -> int:
     tenant_flood = None
     metrics_off = None
     metrics_on = None
+    ipc = None
     for row in data.get("rows", []):
         if row.get("mode") == "async_closed":
             baseline = row
         elif row.get("mode") == "sharded":
             sharded[int(row.get("shards", 0))] = row
+        elif (row.get("mode") == "ipc"
+              and int(row.get("shards", 0)) == IPC_SHARDS):
+            ipc = row
         elif row.get("mode") == "engine_direct":
             direct = row
         elif row.get("mode") == "engine_registry":
@@ -139,6 +165,15 @@ def main() -> int:
               if metrics_off and metrics_on else "")
     ok &= bench_gate.gate_ratio("metrics overhead", on_rate,
                                 off_rate, METRICS_FLOOR, detail)
+
+    sharded_ref = sharded.get(IPC_SHARDS)
+    ref_rate = sharded_ref["pairs_per_sec"] if sharded_ref else None
+    ipc_rate = ipc["pairs_per_sec"] if ipc else None
+    detail = (f"ipc {ipc_rate:10.0f} vs sharded-{IPC_SHARDS} "
+              f"{ref_rate:10.0f} pairs/s"
+              if ipc and sharded_ref else "")
+    ok &= bench_gate.gate_ratio("process isolation", ipc_rate,
+                                ref_rate, IPC_FLOOR, detail)
 
     return bench_gate.finish(ok)
 

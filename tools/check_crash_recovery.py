@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""CI gate for crash-isolated serving (ISSUE 8).
+
+Drives the serving daemon's --ipc mode with a mid-run worker crash
+
+    serving_daemon --ipc --fault-inject crash:5 --metrics-out X
+
+and validates, from the OUTSIDE, the robustness contract of
+ProcessShardedServer:
+
+1. The daemon exits 0 within the timeout. The daemon itself exits
+   non-zero if any accepted request's future failed to resolve or if
+   the conservation identity broke, and a supervision bug that
+   strands a future shows up here as a timeout, not a flake.
+2. The injected crash actually happened and was recovered:
+   sum(ccsa_worker_restarts_total) >= 1 and every ccsa_worker_up
+   gauge is 1 at scrape time (the respawned worker rejoined).
+3. Request conservation in the exported metrics:
+   submitted == completed + failed + deadline for server="ipc"
+   (rejected_* are refused at the door and not counted submitted).
+4. No shard was degraded: one clean crash must cost at most one
+   in-flight batch, never trip the circuit breaker
+   (ccsa_shard_degraded == 0 everywhere).
+
+Usage: check_crash_recovery.py [path/to/serving_daemon]
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+
+FAULT = "crash:5"
+TIMEOUT_SEC = 120
+
+
+def fail(msg: str) -> int:
+    print(f"check_crash_recovery: FAIL: {msg}")
+    return 1
+
+
+def parse_metrics(path: str):
+    """name -> {frozen label string -> float} for ccsa_* samples."""
+    series = {}
+    line_re = re.compile(r"^(\w+)\{([^}]*)\}\s+(\S+)$")
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            m = line_re.match(line)
+            if m is None:
+                continue
+            name, labels, value = m.groups()
+            series.setdefault(name, {})[labels] = float(value)
+    return series
+
+
+def main() -> int:
+    daemon = sys.argv[1] if len(sys.argv) > 1 else "./serving_daemon"
+    metrics_path = tempfile.mktemp(suffix=".prom")
+
+    cmd = [daemon, "--ipc", "--fault-inject", FAULT,
+           "--metrics-out", metrics_path]
+    print(f"running: {' '.join(cmd)}")
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=TIMEOUT_SEC)
+    except subprocess.TimeoutExpired:
+        return fail(f"daemon did not finish in {TIMEOUT_SEC}s "
+                    "(stranded future or hung supervisor)")
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        return fail(f"daemon exited {proc.returncode} "
+                    "(leaked futures or broken conservation)")
+    if "conservation:" not in proc.stdout or \
+            "-> OK" not in proc.stdout:
+        return fail("daemon did not report conservation OK")
+
+    series = parse_metrics(metrics_path)
+
+    restarts = series.get("ccsa_worker_restarts_total", {})
+    if not restarts:
+        return fail("no ccsa_worker_restarts_total series")
+    total_restarts = sum(restarts.values())
+    if total_restarts < 1:
+        return fail(f"injected {FAULT} but restarts == "
+                    f"{total_restarts} (fault not exercised?)")
+
+    up = series.get("ccsa_worker_up", {})
+    if not up:
+        return fail("no ccsa_worker_up series")
+    down = [labels for labels, v in up.items() if v != 1.0]
+    if down:
+        return fail(f"workers not back up at scrape time: {down}")
+
+    degraded = series.get("ccsa_shard_degraded", {})
+    tripped = [labels for labels, v in degraded.items() if v != 0.0]
+    if tripped:
+        return fail(f"one crash must not open the breaker: {tripped}")
+
+    requests = {}
+    for labels, v in series.get("ccsa_requests_total", {}).items():
+        if 'server="ipc"' not in labels:
+            continue
+        m = re.search(r'outcome="(\w+)"', labels)
+        if m:
+            requests[m.group(1)] = v
+    for outcome in ("submitted", "completed", "failed", "deadline"):
+        if outcome not in requests:
+            return fail(f"missing ccsa_requests_total outcome "
+                        f"'{outcome}' for server=ipc")
+    accounted = (requests["completed"] + requests["failed"] +
+                 requests["deadline"])
+    if requests["submitted"] != accounted:
+        return fail(f"conservation violated in metrics: "
+                    f"submitted={requests['submitted']} != "
+                    f"completed+failed+deadline={accounted}")
+    if requests["submitted"] <= 0:
+        return fail("no requests submitted")
+
+    print(f"check_crash_recovery: ok: {int(total_restarts)} worker "
+          f"restart(s), {int(requests['submitted'])} requests all "
+          f"accounted for "
+          f"({int(requests['completed'])} completed, "
+          f"{int(requests['failed'])} failed, "
+          f"{int(requests['deadline'])} deadline), no shard "
+          "degraded")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
