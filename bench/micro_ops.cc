@@ -13,7 +13,9 @@
 #include "dataset/pairs.hh"
 #include "frontend/parser.hh"
 #include "model/trainer.hh"
+#include "serve/encoding_cache.hh"
 #include "serve/engine.hh"
+#include "tensor/matmul_dispatch.hh"
 
 // The unbatched per-pair baseline shares the tests' oracle so every
 // consumer pins against one reference implementation.
@@ -82,6 +84,73 @@ BENCHMARK(BM_MatmulKernel)
     ->Args({1, 64})->Args({0, 64})
     ->Args({1, 128})->Args({0, 128})
     ->Args({1, 256})->Args({0, 256});
+
+/**
+ * Runtime-dispatch ablation: the vectorized kernel family vs the
+ * scalar fallback, called straight through the raw-buffer seam that
+ * Tensor::matmulInto routes to. Items/s is multiply-adds per second.
+ * CI gates vectorized >= 1.5x scalar at the largest size whenever a
+ * non-scalar row is present (check_bench_encode.py skips the gate on
+ * hardware where simdKernels() falls back to scalar).
+ */
+void
+BM_MatmulDispatch(benchmark::State& state)
+{
+    bool simd = state.range(0) == 1;
+    int n = static_cast<int>(state.range(1));
+    const kernels::MatmulKernels& k =
+        simd ? kernels::simdKernels() : kernels::scalarKernels();
+    Rng rng(7);
+    Tensor a(n, n), b(n, n), out(n, n);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        out.fill(0.0f);
+        k.gemmAccum(a.data(), b.data(), out.data(), n, n, n);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+    state.SetLabel(std::string("dispatch:") + k.name);
+}
+BENCHMARK(BM_MatmulDispatch)
+    ->Args({1, 64})->Args({0, 64})
+    ->Args({1, 128})->Args({0, 128})
+    ->Args({1, 256})->Args({0, 256});
+
+/**
+ * Latent-store precision ablation: the cache hit path (lookup +
+ * dequantize under the shard lock) at each storage precision. fp32
+ * hits memcpy; fp16/int8 pay a decode whose cost this row makes
+ * visible next to the 2-4x residency win. Items/s is hits per second
+ * on a 64-entry working set of 1x64 latents.
+ */
+void
+BM_CacheHitByPrecision(benchmark::State& state)
+{
+    const auto precision =
+        static_cast<LatentPrecision>(state.range(0));
+    EncodingCache cache(128, precision);
+    Rng rng(9);
+    std::vector<EncodingKey> keys;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        Tensor t(1, 64);
+        t.fillNormal(rng, 0.0f, 1.0f);
+        EncodingKey key{1, {i, i * 0x9E3779B9u}};
+        cache.insert(key, t);
+        keys.push_back(key);
+    }
+    Tensor out(1, 1);
+    for (auto _ : state) {
+        for (const EncodingKey& key : keys)
+            benchmark::DoNotOptimize(cache.lookup(key, &out));
+    }
+    state.SetItemsProcessed(
+        state.iterations() * static_cast<std::int64_t>(keys.size()));
+    state.SetLabel(std::string("cache-hit:") +
+                   latentPrecisionName(precision));
+}
+BENCHMARK(BM_CacheHitByPrecision)->Arg(0)->Arg(1)->Arg(2);
 
 /** Parent arrays for the encode-ablation tree shapes. */
 std::vector<int>

@@ -53,43 +53,50 @@ allocateModelNamespace()
     return next.fetch_add(1);
 }
 
-EncodingCache::EncodingCache(std::size_t capacity)
-    : capacity_(capacity)
+EncodingCache::EncodingCache(std::size_t capacity,
+                             LatentPrecision precision)
+    : capacity_(capacity), precision_(precision)
 {
     if (capacity_ == 0)
         fatal("EncodingCache: capacity must be >= 1");
 }
 
-const Tensor*
-EncodingCache::lookup(const EncodingKey& key)
+bool
+EncodingCache::lookup(const EncodingKey& key, Tensor* out)
 {
     auto it = entries_.find(key);
     if (it == entries_.end()) {
         ++stats_.misses;
         ++perNamespace_[key.modelVersion].misses;
-        return nullptr;
+        return false;
     }
     ++stats_.hits;
     ++perNamespace_[key.modelVersion].hits;
     order_.splice(order_.begin(), order_, it->second);
-    return &it->second->latent;
+    if (out != nullptr)
+        *out = decodeLatent(it->second->stored);
+    return true;
 }
 
 void
 EncodingCache::insert(const EncodingKey& key, Tensor latent)
 {
-    const std::size_t bytes = latent.size() * sizeof(float);
+    StoredLatent stored = encodeLatent(latent, precision_);
+    const std::size_t bytes = stored.payloadBytes();
     auto it = entries_.find(key);
     if (it != entries_.end()) {
+        // Overwrite of a resident key: residents is unchanged and
+        // residentBytes swaps the old payload for the new one — the
+        // new bytes are added before the old are subtracted so an
+        // unsigned counter can't transiently underflow.
         NamespaceStats& ns = perNamespace_[key.modelVersion];
         ns.residentBytes += bytes;
-        ns.residentBytes -=
-            it->second->latent.size() * sizeof(float);
-        it->second->latent = std::move(latent);
+        ns.residentBytes -= it->second->stored.payloadBytes();
+        it->second->stored = std::move(stored);
         order_.splice(order_.begin(), order_, it->second);
         return;
     }
-    order_.push_front(Entry{key, std::move(latent)});
+    order_.push_front(Entry{key, std::move(stored)});
     entries_.emplace(key, order_.begin());
     NamespaceStats& inserted = perNamespace_[key.modelVersion];
     ++inserted.residents;
@@ -100,8 +107,7 @@ EncodingCache::insert(const EncodingKey& key, Tensor latent)
         NamespaceStats& ns = perNamespace_[victim.modelVersion];
         ++ns.evictions;
         --ns.residents;
-        ns.residentBytes -=
-            victimEntry.latent.size() * sizeof(float);
+        ns.residentBytes -= victimEntry.stored.payloadBytes();
         entries_.erase(victim);
         order_.pop_back();
         ++stats_.evictions;
@@ -160,31 +166,35 @@ EncodingCache::namespaceStats(std::uint64_t modelVersion) const
 }
 
 ShardedEncodingCache::ShardedEncodingCache(
-    std::size_t numShards, std::size_t capacityPerShard)
-    : ShardedEncodingCache(numShards, capacityPerShard,
+    std::size_t numShards, std::size_t capacityPerShard,
+    LatentPrecision precision)
+    : ShardedEncodingCache(numShards, capacityPerShard, precision,
                            /*namespaceAware=*/false)
 {
 }
 
 ShardedEncodingCache::ShardedEncodingCache(
     std::size_t numShards, std::size_t capacityPerShard,
-    bool namespaceAware)
-    : capacityPerShard_(capacityPerShard),
+    LatentPrecision precision, bool namespaceAware)
+    : capacityPerShard_(capacityPerShard), precision_(precision),
       namespaceAware_(namespaceAware)
 {
     if (numShards == 0)
         fatal("ShardedEncodingCache: numShards must be >= 1");
     shards_.reserve(numShards);
     for (std::size_t s = 0; s < numShards; ++s)
-        shards_.push_back(std::make_unique<Shard>(capacityPerShard));
+        shards_.push_back(
+            std::make_unique<Shard>(capacityPerShard, precision));
 }
 
 std::shared_ptr<ShardedEncodingCache>
 ShardedEncodingCache::makeShared(std::size_t numShards,
-                                 std::size_t capacityPerShard)
+                                 std::size_t capacityPerShard,
+                                 LatentPrecision precision)
 {
     return std::shared_ptr<ShardedEncodingCache>(
         new ShardedEncodingCache(numShards, capacityPerShard,
+                                 precision,
                                  /*namespaceAware=*/true));
 }
 
@@ -224,11 +234,10 @@ ShardedEncodingCache::lookup(const EncodingKey& key, Tensor* out)
 {
     Shard& shard = *shards_[shardOf(key)];
     std::lock_guard<std::mutex> lock(shard.mutex);
-    const Tensor* hit = shard.cache.lookup(key);
-    if (hit == nullptr)
-        return false;
-    *out = *hit;
-    return true;
+    // Decoded under the partition lock: the caller gets a private
+    // Tensor and never holds a pointer into a concurrently evicting
+    // cache.
+    return shard.cache.lookup(key, out);
 }
 
 void

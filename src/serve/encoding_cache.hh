@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ast/ast.hh"
+#include "serve/latent_codec.hh"
 #include "tensor/tensor.hh"
 
 namespace ccsa
@@ -135,23 +136,34 @@ class EncodingCache
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
         std::size_t residents = 0;
-        /** Payload bytes of this namespace's resident latents
-         * (element count * sizeof(float); excludes map/list
+        /** Payload bytes of this namespace's resident latents AS
+         * STORED — the compressed size under fp16/int8, element
+         * count * sizeof(float) under fp32 (excludes map/list
          * overhead). What the metrics plane exports as
          * ccsa_cache_resident_bytes. */
         std::size_t residentBytes = 0;
     };
 
-    /** @param capacity maximum resident entries (>= 1). */
-    explicit EncodingCache(std::size_t capacity);
+    /**
+     * @param capacity maximum resident entries (>= 1).
+     * @param precision storage precision for resident latents;
+     * fp16/int8 entries are quantized on insert and dequantized on
+     * hit (see latent_codec.hh), trading ~1e-3 relative error for
+     * 2-4x more trees resident at the same memory.
+     */
+    explicit EncodingCache(
+        std::size_t capacity,
+        LatentPrecision precision = LatentPrecision::kFp32);
 
     /**
      * Look up a key, refreshing its recency on a hit.
-     * @return pointer to the cached latent, or nullptr on a miss.
-     * The pointer stays valid until the entry is evicted or the
-     * cache is cleared.
+     * @return true on a hit, decoding the stored latent into *out
+     * when out is non-null (under fp16/int8 this materialises the
+     * dequantized values; under fp32 it is a bit-exact copy). Pass
+     * out == nullptr for a presence probe that still refreshes
+     * recency and counts the hit.
      */
-    const Tensor* lookup(const EncodingKey& key);
+    bool lookup(const EncodingKey& key, Tensor* out = nullptr);
 
     /**
      * Insert (or overwrite) an entry, evicting the least recently
@@ -169,6 +181,7 @@ class EncodingCache
 
     std::size_t size() const { return entries_.size(); }
     std::size_t capacity() const { return capacity_; }
+    LatentPrecision precision() const { return precision_; }
     const Stats& stats() const { return stats_; }
 
     /** One namespace's counters (zeros for an unseen namespace). */
@@ -178,7 +191,8 @@ class EncodingCache
     struct Entry
     {
         EncodingKey key;
-        Tensor latent;
+        /** Cache-resident form; decoded on hit. */
+        StoredLatent stored;
     };
 
     /** Front = most recently used. */
@@ -186,6 +200,7 @@ class EncodingCache
     std::unordered_map<EncodingKey, std::list<Entry>::iterator,
                        EncodingKeyHash> entries_;
     std::size_t capacity_;
+    LatentPrecision precision_;
     Stats stats_;
     std::unordered_map<std::uint64_t, NamespaceStats> perNamespace_;
 };
@@ -224,9 +239,11 @@ class ShardedEncodingCache
      * aggregate capacity is numShards * capacityPerShard, which is
      * the point of sharding: memory scales with the shard count while
      * per-shard eviction behaviour stays local.
+     * @param precision storage precision applied by every partition.
      */
-    ShardedEncodingCache(std::size_t numShards,
-                         std::size_t capacityPerShard);
+    ShardedEncodingCache(
+        std::size_t numShards, std::size_t capacityPerShard,
+        LatentPrecision precision = LatentPrecision::kFp32);
 
     ShardedEncodingCache(const ShardedEncodingCache&) = delete;
     ShardedEncodingCache& operator=(const ShardedEncodingCache&) =
@@ -237,7 +254,8 @@ class ShardedEncodingCache
      * the only flavour Engine accepts as an external cache.
      */
     static std::shared_ptr<ShardedEncodingCache>
-    makeShared(std::size_t numShards, std::size_t capacityPerShard);
+    makeShared(std::size_t numShards, std::size_t capacityPerShard,
+               LatentPrecision precision = LatentPrecision::kFp32);
 
     /** @return true when built via makeShared(). */
     bool namespaceAware() const { return namespaceAware_; }
@@ -315,6 +333,7 @@ class ShardedEncodingCache
 
     std::size_t numShards() const { return shards_.size(); }
     std::size_t capacityPerShard() const { return capacityPerShard_; }
+    LatentPrecision precision() const { return precision_; }
 
   private:
     struct Shard
@@ -322,15 +341,20 @@ class ShardedEncodingCache
         mutable std::mutex mutex;
         EncodingCache cache;
 
-        explicit Shard(std::size_t capacity) : cache(capacity) {}
+        Shard(std::size_t capacity, LatentPrecision precision)
+            : cache(capacity, precision)
+        {
+        }
     };
 
     ShardedEncodingCache(std::size_t numShards,
                          std::size_t capacityPerShard,
+                         LatentPrecision precision,
                          bool namespaceAware);
 
     std::vector<std::unique_ptr<Shard>> shards_;
     std::size_t capacityPerShard_;
+    LatentPrecision precision_ = LatentPrecision::kFp32;
     bool namespaceAware_ = false;
 
     /** Guards the model-object -> namespace-id memo below. */

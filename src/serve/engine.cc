@@ -140,7 +140,7 @@ Engine::init(std::shared_ptr<ShardedEncodingCache> cache,
     }
     cache_ = std::make_shared<ShardedEncodingCache>(
         opts_.cacheShards == 0 ? 1 : opts_.cacheShards,
-        opts_.cacheCapacity);
+        opts_.cacheCapacity, opts_.latentPrecision);
 }
 
 void
@@ -269,8 +269,17 @@ Engine::encodeBatch(const ModelVersion& version,
             return Status::internal(
                 std::string("encodeBatch: ") + e.what());
         }
-        for (std::size_t s : miss_slots)
+        const LatentPrecision precision = cache_->precision();
+        for (std::size_t s : miss_slots) {
             cache_->insert(unique_keys[s], latents[s]);
+            // Under a quantizing cache, serve the miss through the
+            // same quantize/dequantize roundtrip a later hit will
+            // decode from the stored bytes — scores must never
+            // depend on whether a tree was resident.
+            if (precision != LatentPrecision::kFp32)
+                latents[s] = decodeLatent(
+                    encodeLatent(latents[s], precision));
+        }
         std::lock_guard<std::mutex> lock(mutex_);
         treesEncoded_ += miss_slots.size();
     }

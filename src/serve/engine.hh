@@ -83,6 +83,15 @@ class Engine
          * ignored when the Engine is handed an external shared
          * cache. */
         std::size_t cacheShards = 1;
+        /** Storage precision of the PRIVATE encoding cache; fp16 or
+         * int8 quantizes latents on insert and dequantizes on hit
+         * (2-4x more trees resident at the same memory — see
+         * latent_codec.hh). Ignored when the Engine is handed an
+         * external shared cache, which fixed its precision at
+         * construction. Miss results are served through the same
+         * quantize/dequantize roundtrip the cache stores, so hit and
+         * miss answers are bitwise-identical at any precision. */
+        LatentPrecision latentPrecision = LatentPrecision::kFp32;
         /** Encoder worker threads; 0 = hardware, 1 = inline. */
         int threads = 0;
         /** Optional metrics plane (serve/metrics). Not owned; must
@@ -154,6 +163,12 @@ class Engine
         Options& withMetrics(MetricsRegistry* m)
         {
             metrics = m;
+            return *this;
+        }
+
+        Options& withLatentPrecision(LatentPrecision p)
+        {
+            latentPrecision = p;
             return *this;
         }
     };

@@ -833,8 +833,9 @@ ProcessShardedServer::sendRequestPairLocked(
     // process between the two writes.
     std::vector<std::uint8_t> bytes;
     bytes.reserve(2 * 17 + payload1.size() + payload2.size());
-    ipc::appendFrame(bytes, type1, *id1, payload1);
-    ipc::appendFrame(bytes, type2, *id2, payload2);
+    if (!ipc::appendFrame(bytes, type1, *id1, payload1) ||
+        !ipc::appendFrame(bytes, type2, *id2, payload2))
+        return false; // oversized payload: same path as a dead peer
     return ipc::writeRaw(shard.fd.get(), bytes);
 }
 
@@ -995,11 +996,14 @@ ProcessShardedServer::spawnLocked(std::size_t s)
     const std::string& binary = workerBinary();
     std::string cacheArg = std::to_string(opts_.cachePerWorker);
     std::string threadsArg = std::to_string(opts_.threadsPerWorker);
+    std::string precisionArg =
+        latentPrecisionName(opts_.latentPrecision);
     std::vector<char*> argv{
         const_cast<char*>(binary.c_str()),
         const_cast<char*>(checkpoint_.c_str()),
         const_cast<char*>(cacheArg.c_str()),
-        const_cast<char*>(threadsArg.c_str()), nullptr};
+        const_cast<char*>(threadsArg.c_str()),
+        const_cast<char*>(precisionArg.c_str()), nullptr};
 
     // Injected faults go to the FIRST spawn of the fault shard only:
     // recovery after the fault must be the clean path. Build the

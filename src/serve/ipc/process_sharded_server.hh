@@ -159,6 +159,10 @@ class ProcessShardedServer
         int threadsPerWorker = 1;
         /** Encoding-cache capacity per worker process. */
         std::size_t cachePerWorker = 4096;
+        /** Storage precision of each worker's encoding cache
+         * (passed on the ccsa_worker command line); fp16/int8 fit
+         * 2-4x more latents into cachePerWorker's bytes. */
+        LatentPrecision latentPrecision = LatentPrecision::kFp32;
         /** ccsa_worker binary; "" = $CCSA_WORKER, else the
          * directory of /proc/self/exe + "/ccsa_worker". */
         std::string workerPath;
@@ -241,6 +245,12 @@ class ProcessShardedServer
         Options& withCachePerWorker(std::size_t n)
         {
             cachePerWorker = n;
+            return *this;
+        }
+
+        Options& withLatentPrecision(LatentPrecision p)
+        {
+            latentPrecision = p;
             return *this;
         }
 

@@ -243,6 +243,13 @@ decodeCompareRequest(const std::vector<std::uint8_t>& payload,
     std::uint32_t treeCount = 0;
     if (Status s = r.takeU32(&treeCount); !s)
         return s;
+    // >= 12 wire bytes per tree (node count + one node): a lying
+    // count must fail HERE, before reserve() turns it into a
+    // multi-gigabyte allocation.
+    if (treeCount > payload.size() / 12)
+        return Status::invalidArgument(
+            "ipc compare tree count " + std::to_string(treeCount) +
+            " exceeds payload");
     out->trees.clear();
     out->trees.reserve(treeCount);
     for (std::uint32_t i = 0; i < treeCount; ++i) {
@@ -254,6 +261,10 @@ decodeCompareRequest(const std::vector<std::uint8_t>& payload,
     std::uint32_t pairCount = 0;
     if (Status s = r.takeU32(&pairCount); !s)
         return s;
+    if (pairCount > payload.size() / 8) // 8 bytes per index pair
+        return Status::invalidArgument(
+            "ipc compare pair count " + std::to_string(pairCount) +
+            " exceeds payload");
     out->pairs.clear();
     out->pairs.reserve(pairCount);
     for (std::uint32_t i = 0; i < pairCount; ++i) {
@@ -342,6 +353,10 @@ decodeEncodeRequest(const std::vector<std::uint8_t>& payload,
     std::uint32_t treeCount = 0;
     if (Status s = r.takeU32(&treeCount); !s)
         return s;
+    if (treeCount > payload.size() / 12) // see decodeCompareRequest
+        return Status::invalidArgument(
+            "ipc encode tree count " + std::to_string(treeCount) +
+            " exceeds payload");
     out->clear();
     out->reserve(treeCount);
     for (std::uint32_t i = 0; i < treeCount; ++i) {
@@ -424,6 +439,10 @@ decodeCompareReply(const std::vector<std::uint8_t>& payload,
     std::uint32_t count = 0;
     if (Status s = r.takeU32(&count); !s)
         return s;
+    if (count > payload.size() / 8) // 8 bytes per f64 probability
+        return Status::invalidArgument(
+            "ipc compare reply count " + std::to_string(count) +
+            " exceeds payload");
     std::vector<double> probs(count);
     for (std::uint32_t i = 0; i < count; ++i) {
         if (Status s = r.takeF64(&probs[i]); !s)
@@ -479,6 +498,22 @@ decodeEncodeReply(const std::vector<std::uint8_t>& payload,
         return s;
     if (Status s = r.takeU32(&dim); !s)
         return s;
+    // rowCount * dim * 4 payload floats must exist. Checked in
+    // stages so the product cannot overflow: dim alone is bounded by
+    // the payload first, making dim * 4 a safe divisor for the row
+    // bound. A zero dim with nonzero rows is the degenerate lie —
+    // it costs no payload bytes per row, so only an explicit reject
+    // stops rows(rowCount) from allocating 4 billion empty vectors.
+    if (rowCount > 0) {
+        if (dim == 0 || dim > payload.size() / sizeof(float))
+            return Status::invalidArgument(
+                "ipc encode reply dim " + std::to_string(dim) +
+                " invalid for nonempty reply");
+        if (rowCount > payload.size() / (dim * sizeof(float)))
+            return Status::invalidArgument(
+                "ipc encode reply row count " +
+                std::to_string(rowCount) + " exceeds payload");
+    }
     std::vector<std::vector<float>> rows(rowCount);
     for (std::uint32_t i = 0; i < rowCount; ++i) {
         rows[i].resize(dim);
@@ -513,11 +548,16 @@ packHeader(std::uint8_t* out, MsgType type, std::uint64_t id,
 
 } // namespace
 
-void
+bool
 appendFrame(std::vector<std::uint8_t>& out, MsgType type,
             std::uint64_t id,
             const std::vector<std::uint8_t>& payload)
 {
+    // Refuse to serialize what readFrame would refuse to accept: an
+    // oversized payload would also truncate in the u32 length field
+    // and desynchronise every frame after it.
+    if (payload.size() > kMaxPayload)
+        return false;
     const std::size_t at = out.size();
     out.resize(at + kHeaderSize + payload.size());
     packHeader(out.data() + at, type, id,
@@ -525,6 +565,7 @@ appendFrame(std::vector<std::uint8_t>& out, MsgType type,
     if (!payload.empty())
         std::memcpy(out.data() + at + kHeaderSize, payload.data(),
                     payload.size());
+    return true;
 }
 
 bool
@@ -539,7 +580,8 @@ writeFrame(int fd, MsgType type, std::uint64_t id,
            long truncateBytes)
 {
     std::vector<std::uint8_t> frame;
-    appendFrame(frame, type, id, payload);
+    if (!appendFrame(frame, type, id, payload))
+        return false;
     std::size_t n = frame.size();
     if (truncateBytes >= 0 &&
         static_cast<std::size_t>(truncateBytes) < n)

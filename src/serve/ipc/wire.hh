@@ -211,7 +211,10 @@ decodeEncodeReply(const std::vector<std::uint8_t>& payload,
  * Write one frame. `truncateBytes` < 0 writes the whole frame; >= 0
  * writes only that many bytes of it — the torn-write fault, kept in
  * the one place that knows the frame layout.
- * @return false on I/O failure (peer gone).
+ * @return false on I/O failure (peer gone), or when the payload
+ * exceeds kMaxPayload — the receiver would reject such a frame
+ * anyway, and refusing to send keeps the stream in sync instead of
+ * poisoning every frame after it.
  */
 bool writeFrame(int fd, MsgType type, std::uint64_t id,
                 const std::vector<std::uint8_t>& payload,
@@ -222,8 +225,10 @@ bool writeFrame(int fd, MsgType type, std::uint64_t id,
  * supervisor batch the pipelined kEncode + kCompareDigests pair into
  * a single send, so the worker's poll wakes once per batch instead
  * of once per frame.
+ * @return false (appending nothing) when the payload exceeds
+ * kMaxPayload, same contract as writeFrame.
  */
-void appendFrame(std::vector<std::uint8_t>& out, MsgType type,
+bool appendFrame(std::vector<std::uint8_t>& out, MsgType type,
                  std::uint64_t id,
                  const std::vector<std::uint8_t>& payload);
 

@@ -205,7 +205,8 @@ workerMain(int argc, char** argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: ccsa_worker <checkpoint> "
-                     "[cacheCapacity] [threads]\n");
+                     "[cacheCapacity] [threads] "
+                     "[latentPrecision fp32|fp16|int8]\n");
         return 2;
     }
 
@@ -235,6 +236,17 @@ workerMain(int argc, char** argv)
     if (argc > 3)
         opts.withThreads(
             static_cast<int>(std::strtol(argv[3], nullptr, 10)));
+    if (argc > 4) {
+        LatentPrecision precision = LatentPrecision::kFp32;
+        if (!parseLatentPrecision(argv[4], &precision)) {
+            std::fprintf(stderr,
+                         "ccsa_worker: unknown latent precision "
+                         "'%s' (want fp32|fp16|int8)\n",
+                         argv[4]);
+            return 2;
+        }
+        opts.withLatentPrecision(precision);
+    }
 
     Engine engine(model.take(), opts);
 

@@ -49,6 +49,7 @@ int runWorkerLoop(int fd, Engine& engine, FaultInjector& faults);
 /**
  * Full worker entry point:
  *   ccsa_worker <checkpoint> [cacheCapacity] [threads]
+ *               [latentPrecision fp32|fp16|int8]
  * Loads the predictor from the v2 checkpoint, arms the fault
  * injector from $CCSA_FAULT (if set), and runs the loop on
  * kWorkerFd. Called by worker_main.cc; kept in the library so the

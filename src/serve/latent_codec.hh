@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reduced-precision storage for cached tree latents.
+ *
+ * The EncodingCache holds one h-vector (1 x hiddenDim fp32 Tensor)
+ * per (modelVersion, treeDigest). BENCH_serve.json showed cache
+ * residency — how many latents fit — is what drove the sharded
+ * throughput win, so the cache can optionally store entries at
+ * reduced precision and dequantize on hit:
+ *
+ *  - kFp32: bit-exact passthrough, 4 bytes/element (default).
+ *  - kFp16: IEEE binary16, round-to-nearest-even, 2 bytes/element.
+ *    Unit-normal latents roundtrip within ~1e-3 relative.
+ *  - kInt8: symmetric per-row affine, 1 byte/element + 4 bytes/row
+ *    scale (scale = maxAbs/127, values clamped to [-127, 127]).
+ *
+ * Conversions are portable scalar code (no F16C/AVX required), so a
+ * quantized cache behaves identically under the forced-scalar kernel
+ * path and on non-x86 builds. Quantization is deterministic: the
+ * same Tensor always encodes to the same bytes, and the Engine
+ * serves decode(encode(x)) on a miss — the exact values a later hit
+ * will decode from the stored bytes — so hit and miss results are
+ * bitwise-identical regardless of cache state.
+ */
+
+#ifndef CCSA_SERVE_LATENT_CODEC_HH
+#define CCSA_SERVE_LATENT_CODEC_HH
+
+#include "tensor/tensor.hh"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccsa
+{
+
+enum class LatentPrecision : std::uint8_t
+{
+    kFp32 = 0,
+    kFp16 = 1,
+    kInt8 = 2,
+};
+
+/** "fp32" / "fp16" / "int8" — the CLI/env spelling. */
+const char* latentPrecisionName(LatentPrecision p);
+
+/** Inverse of latentPrecisionName; @return false on unknown names
+ * (leaves *out untouched). */
+bool parseLatentPrecision(const std::string& name,
+                          LatentPrecision* out);
+
+/** A latent in cache-resident form. rows/cols preserve the Tensor
+ * shape; payload layout depends on precision (see encodeLatent). */
+struct StoredLatent
+{
+    LatentPrecision precision = LatentPrecision::kFp32;
+    int rows = 0;
+    int cols = 0;
+    /** kFp32: rows*cols floats, bit-exact.
+     *  kFp16: rows*cols uint16 halves.
+     *  kInt8: rows scales (float) then rows*cols int8 codes. */
+    std::vector<std::uint8_t> payload;
+
+    /** Bytes the cache charges against capacity metrics. */
+    std::size_t payloadBytes() const { return payload.size(); }
+};
+
+/** fp32 -> binary16 bits, round-to-nearest-even, overflow to inf. */
+std::uint16_t f32ToF16(float f);
+
+/** binary16 bits -> fp32 (exact; every half is representable). */
+float f16ToF32(std::uint16_t h);
+
+/** Quantize t into cache-resident form at the given precision. */
+StoredLatent encodeLatent(const Tensor& t, LatentPrecision precision);
+
+/** Reconstruct an fp32 Tensor from stored form. For kFp32 this is
+ * bit-exact; for kFp16/kInt8 it lands on the quantization grid. */
+Tensor decodeLatent(const StoredLatent& s);
+
+} // namespace ccsa
+
+#endif // CCSA_SERVE_LATENT_CODEC_HH

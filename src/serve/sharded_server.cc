@@ -46,7 +46,8 @@ ShardedServer::ShardedServer(
     Engine::Options engineOpts, Options opts)
     : opts_(normalized(opts)),
       cache_(ShardedEncodingCache::makeShared(
-          opts_.numShards, engineOpts.cacheCapacity)),
+          opts_.numShards, engineOpts.cacheCapacity,
+          engineOpts.latentPrecision)),
       queue_(opts_.queueCapacity)
 {
     engineOpts.threads = opts_.threadsPerShard;
@@ -74,7 +75,8 @@ ShardedServer::ShardedServer(std::shared_ptr<ModelRegistry> registry,
                              Engine::Options engineOpts, Options opts)
     : opts_(normalized(opts)),
       cache_(ShardedEncodingCache::makeShared(
-          opts_.numShards, engineOpts.cacheCapacity)),
+          opts_.numShards, engineOpts.cacheCapacity,
+          engineOpts.latentPrecision)),
       queue_(opts_.queueCapacity)
 {
     engineOpts.threads = opts_.threadsPerShard;

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * AVX2+FMA matmul kernels. This is the ONLY translation unit built
+ * with -mavx2 -mfma (see CMakeLists.txt), so the rest of the library
+ * stays runnable on baseline x86-64: the dispatcher calls
+ * avx2KernelsOrNull() once and gets nullptr unless BOTH the build
+ * could emit AVX2 and the running CPU reports AVX2+FMA via cpuid.
+ *
+ * Kernel shape mirrors the scalar family (same kBlockK panels, same
+ * 4-row register blocking) with the j loop widened to 8 float lanes
+ * and multiply-adds contracted through FMA. Each output element
+ * still consumes its inner-dimension terms in strictly ascending
+ * order — one vector accumulator per (row, j-tile) — so every output
+ * row remains a pure function of that row's inputs, bitwise-
+ * invariant to how many rows share the call. Partial sums are
+ * flushed to memory once per kBlockK panel (the scalar kernel
+ * round-trips memory every step), which is one of the two deliberate
+ * rounding differences from scalar; FMA's single rounding is the
+ * other. See matmul_dispatch.hh for the documented tolerance.
+ */
+
+#include "tensor/matmul_dispatch.hh"
+
+#if defined(__AVX2__) && defined(__FMA__) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define CCSA_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+
+#include <cmath>
+#endif
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ccsa
+{
+namespace kernels
+{
+
+#if defined(CCSA_HAVE_AVX2_KERNELS)
+
+namespace
+{
+
+constexpr int kBlockK = 128; // must match matmul_dispatch.cc
+
+/** One row's j-panel: out[j0..j0+8) += sum_kk a[kk] * b[kk][j0..). */
+inline __m256
+panelAccum8(const float* arow, const float* b, int k0, int k1, int n,
+            int j0)
+{
+    __m256 acc = _mm256_setzero_ps();
+    for (int kk = k0; kk < k1; ++kk) {
+        __m256 av = _mm256_set1_ps(arow[kk]);
+        __m256 bv = _mm256_loadu_ps(
+            b + static_cast<std::size_t>(kk) * n + j0);
+        acc = _mm256_fmadd_ps(av, bv, acc);
+    }
+    return acc;
+}
+
+/** Scalar j-tail with the same FMA contraction as the vector lanes,
+ * so a column's rounding never depends on n's remainder class. */
+inline float
+panelAccum1(const float* arow, const float* b, int k0, int k1, int n,
+            int j)
+{
+    float acc = 0.0f;
+    for (int kk = k0; kk < k1; ++kk)
+        acc = std::fma(arow[kk],
+                       b[static_cast<std::size_t>(kk) * n + j], acc);
+    return acc;
+}
+
+void
+gemmAccumAvx2(const float* a, const float* b, float* out, int m,
+              int k, int n)
+{
+    for (int k0 = 0; k0 < k; k0 += kBlockK) {
+        const int k1 = std::min(k, k0 + kBlockK);
+        int i = 0;
+        // 4 rows x 16 columns of register accumulators: each b
+        // vector is loaded once per four rows, each a element is
+        // broadcast once per 16 columns.
+        for (; i + 4 <= m; i += 4) {
+            const float* a0 = a + static_cast<std::size_t>(i) * k;
+            const float* a1 = a0 + k;
+            const float* a2 = a1 + k;
+            const float* a3 = a2 + k;
+            float* o0 = out + static_cast<std::size_t>(i) * n;
+            float* o1 = o0 + n;
+            float* o2 = o1 + n;
+            float* o3 = o2 + n;
+            int j = 0;
+            for (; j + 16 <= n; j += 16) {
+                __m256 c00 = _mm256_setzero_ps();
+                __m256 c01 = _mm256_setzero_ps();
+                __m256 c10 = _mm256_setzero_ps();
+                __m256 c11 = _mm256_setzero_ps();
+                __m256 c20 = _mm256_setzero_ps();
+                __m256 c21 = _mm256_setzero_ps();
+                __m256 c30 = _mm256_setzero_ps();
+                __m256 c31 = _mm256_setzero_ps();
+                for (int kk = k0; kk < k1; ++kk) {
+                    const float* brow =
+                        b + static_cast<std::size_t>(kk) * n + j;
+                    __m256 b0 = _mm256_loadu_ps(brow);
+                    __m256 b1 = _mm256_loadu_ps(brow + 8);
+                    __m256 av0 = _mm256_set1_ps(a0[kk]);
+                    __m256 av1 = _mm256_set1_ps(a1[kk]);
+                    __m256 av2 = _mm256_set1_ps(a2[kk]);
+                    __m256 av3 = _mm256_set1_ps(a3[kk]);
+                    c00 = _mm256_fmadd_ps(av0, b0, c00);
+                    c01 = _mm256_fmadd_ps(av0, b1, c01);
+                    c10 = _mm256_fmadd_ps(av1, b0, c10);
+                    c11 = _mm256_fmadd_ps(av1, b1, c11);
+                    c20 = _mm256_fmadd_ps(av2, b0, c20);
+                    c21 = _mm256_fmadd_ps(av2, b1, c21);
+                    c30 = _mm256_fmadd_ps(av3, b0, c30);
+                    c31 = _mm256_fmadd_ps(av3, b1, c31);
+                }
+                _mm256_storeu_ps(
+                    o0 + j,
+                    _mm256_add_ps(_mm256_loadu_ps(o0 + j), c00));
+                _mm256_storeu_ps(
+                    o0 + j + 8,
+                    _mm256_add_ps(_mm256_loadu_ps(o0 + j + 8), c01));
+                _mm256_storeu_ps(
+                    o1 + j,
+                    _mm256_add_ps(_mm256_loadu_ps(o1 + j), c10));
+                _mm256_storeu_ps(
+                    o1 + j + 8,
+                    _mm256_add_ps(_mm256_loadu_ps(o1 + j + 8), c11));
+                _mm256_storeu_ps(
+                    o2 + j,
+                    _mm256_add_ps(_mm256_loadu_ps(o2 + j), c20));
+                _mm256_storeu_ps(
+                    o2 + j + 8,
+                    _mm256_add_ps(_mm256_loadu_ps(o2 + j + 8), c21));
+                _mm256_storeu_ps(
+                    o3 + j,
+                    _mm256_add_ps(_mm256_loadu_ps(o3 + j), c30));
+                _mm256_storeu_ps(
+                    o3 + j + 8,
+                    _mm256_add_ps(_mm256_loadu_ps(o3 + j + 8), c31));
+            }
+            for (; j + 8 <= n; j += 8) {
+                _mm256_storeu_ps(
+                    o0 + j,
+                    _mm256_add_ps(_mm256_loadu_ps(o0 + j),
+                                  panelAccum8(a0, b, k0, k1, n, j)));
+                _mm256_storeu_ps(
+                    o1 + j,
+                    _mm256_add_ps(_mm256_loadu_ps(o1 + j),
+                                  panelAccum8(a1, b, k0, k1, n, j)));
+                _mm256_storeu_ps(
+                    o2 + j,
+                    _mm256_add_ps(_mm256_loadu_ps(o2 + j),
+                                  panelAccum8(a2, b, k0, k1, n, j)));
+                _mm256_storeu_ps(
+                    o3 + j,
+                    _mm256_add_ps(_mm256_loadu_ps(o3 + j),
+                                  panelAccum8(a3, b, k0, k1, n, j)));
+            }
+            for (; j < n; ++j) {
+                o0[j] += panelAccum1(a0, b, k0, k1, n, j);
+                o1[j] += panelAccum1(a1, b, k0, k1, n, j);
+                o2[j] += panelAccum1(a2, b, k0, k1, n, j);
+                o3[j] += panelAccum1(a3, b, k0, k1, n, j);
+            }
+        }
+        // Row tail: identical per-element schedule (same panels,
+        // same j tiling), just one row of accumulators — a row's
+        // bits never depend on whether it sat in a 4-row block.
+        for (; i < m; ++i) {
+            const float* arow = a + static_cast<std::size_t>(i) * k;
+            float* orow = out + static_cast<std::size_t>(i) * n;
+            int j = 0;
+            for (; j + 8 <= n; j += 8) {
+                _mm256_storeu_ps(
+                    orow + j,
+                    _mm256_add_ps(
+                        _mm256_loadu_ps(orow + j),
+                        panelAccum8(arow, b, k0, k1, n, j)));
+            }
+            for (; j < n; ++j)
+                orow[j] += panelAccum1(arow, b, k0, k1, n, j);
+        }
+    }
+}
+
+void
+gemmTransAAccumAvx2(const float* a, const float* g, float* out,
+                    int m, int k, int n)
+{
+    // out[kk][j] += a[i][kk] * g[i][j], i ascending — same order as
+    // scalar, j widened to 8 FMA lanes.
+    for (int i = 0; i < m; ++i) {
+        const float* arow = a + static_cast<std::size_t>(i) * k;
+        const float* grow = g + static_cast<std::size_t>(i) * n;
+        for (int kk = 0; kk < k; ++kk) {
+            const __m256 av = _mm256_set1_ps(arow[kk]);
+            float* orow = out + static_cast<std::size_t>(kk) * n;
+            int j = 0;
+            for (; j + 8 <= n; j += 8) {
+                __m256 ov = _mm256_loadu_ps(orow + j);
+                __m256 gv = _mm256_loadu_ps(grow + j);
+                _mm256_storeu_ps(orow + j,
+                                 _mm256_fmadd_ps(av, gv, ov));
+            }
+            for (; j < n; ++j)
+                orow[j] = std::fma(arow[kk], grow[j], orow[j]);
+        }
+    }
+}
+
+/** Fixed-shape reduction of 8 lanes: (0+4)+(2+6), (1+5)+(3+7) ... —
+ * deterministic regardless of surrounding code. */
+inline float
+hsum8(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+    return _mm_cvtss_f32(s);
+}
+
+void
+gemmTransBAccumAvx2(const float* a, const float* b, float* out,
+                    int m, int c, int n)
+{
+    // Row-by-row dot products along the contiguous dimension; the
+    // 8 partial lanes reassociate the scalar kernel's single
+    // accumulator (documented tolerance, backward path only).
+    for (int i = 0; i < m; ++i) {
+        const float* arow = a + static_cast<std::size_t>(i) * c;
+        float* orow = out + static_cast<std::size_t>(i) * n;
+        for (int kk = 0; kk < n; ++kk) {
+            const float* brow = b + static_cast<std::size_t>(kk) * c;
+            __m256 acc = _mm256_setzero_ps();
+            int j = 0;
+            for (; j + 8 <= c; j += 8) {
+                acc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + j),
+                                      _mm256_loadu_ps(brow + j),
+                                      acc);
+            }
+            float total = hsum8(acc);
+            for (; j < c; ++j)
+                total = std::fma(arow[j], brow[j], total);
+            orow[kk] += total;
+        }
+    }
+}
+
+const MatmulKernels kAvx2{gemmAccumAvx2, gemmTransAAccumAvx2,
+                          gemmTransBAccumAvx2, "avx2-fma"};
+
+bool
+cpuHasAvx2Fma()
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+const MatmulKernels*
+avx2KernelsOrNull()
+{
+    static const MatmulKernels* result =
+        cpuHasAvx2Fma() ? &kAvx2 : nullptr;
+    return result;
+}
+
+#else // !CCSA_HAVE_AVX2_KERNELS
+
+/** Non-x86 build (or a compiler without AVX2 codegen): the
+ * dispatcher sees no vectorized family and serves scalar. */
+const MatmulKernels*
+avx2KernelsOrNull()
+{
+    return nullptr;
+}
+
+#endif
+
+} // namespace kernels
+} // namespace ccsa

@@ -1,0 +1,184 @@
+#include "tensor/matmul_dispatch.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include <algorithm>
+
+namespace ccsa
+{
+namespace kernels
+{
+
+namespace
+{
+
+// Cache-block size for the GEMM kernels: a kBlockK x n panel of the
+// right-hand operand stays resident in L1/L2 while output rows
+// stream over it. Shared by the scalar and AVX2 families so their
+// panel boundaries line up (the AVX2 kernel flushes a partial sum
+// per panel; identical blocking keeps its rounding independent of
+// which family computed neighbouring rows).
+constexpr int kBlockK = 128;
+
+/**
+ * out (m x n) += a (m x k, row-major) * b (k x n, row-major).
+ *
+ * The PR 3 scalar kernel, verbatim: register-blocked over four
+ * output rows so each b row is loaded once per four rows of a, a
+ * single ascending-order accumulator per output element (bitwise
+ * row-batching invariance), and no zero-skip branch.
+ */
+void
+gemmAccumScalar(const float* a, const float* b, float* out, int m,
+                int k, int n)
+{
+    for (int k0 = 0; k0 < k; k0 += kBlockK) {
+        int k1 = std::min(k, k0 + kBlockK);
+        int i = 0;
+        for (; i + 4 <= m; i += 4) {
+            const float* a0 = a + static_cast<std::size_t>(i) * k;
+            const float* a1 = a0 + k;
+            const float* a2 = a1 + k;
+            const float* a3 = a2 + k;
+            float* o0 = out + static_cast<std::size_t>(i) * n;
+            float* o1 = o0 + n;
+            float* o2 = o1 + n;
+            float* o3 = o2 + n;
+            for (int kk = k0; kk < k1; ++kk) {
+                float av0 = a0[kk];
+                float av1 = a1[kk];
+                float av2 = a2[kk];
+                float av3 = a3[kk];
+                const float* brow =
+                    b + static_cast<std::size_t>(kk) * n;
+                for (int j = 0; j < n; ++j) {
+                    float bv = brow[j];
+                    o0[j] += av0 * bv;
+                    o1[j] += av1 * bv;
+                    o2[j] += av2 * bv;
+                    o3[j] += av3 * bv;
+                }
+            }
+        }
+        for (; i < m; ++i) {
+            const float* arow = a + static_cast<std::size_t>(i) * k;
+            float* orow = out + static_cast<std::size_t>(i) * n;
+            for (int kk = k0; kk < k1; ++kk) {
+                float av = arow[kk];
+                const float* brow =
+                    b + static_cast<std::size_t>(kk) * n;
+                int j = 0;
+                for (; j + 8 <= n; j += 8) {
+                    orow[j] += av * brow[j];
+                    orow[j + 1] += av * brow[j + 1];
+                    orow[j + 2] += av * brow[j + 2];
+                    orow[j + 3] += av * brow[j + 3];
+                    orow[j + 4] += av * brow[j + 4];
+                    orow[j + 5] += av * brow[j + 5];
+                    orow[j + 6] += av * brow[j + 6];
+                    orow[j + 7] += av * brow[j + 7];
+                }
+                for (; j < n; ++j)
+                    orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/** out (k x n) += a^T (k x m) * g; i-ascending per element — the
+ * same order as transpose().matmul(g) with nothing materialised. */
+void
+gemmTransAAccumScalar(const float* a, const float* g, float* out,
+                      int m, int k, int n)
+{
+    for (int i = 0; i < m; ++i) {
+        const float* arow = a + static_cast<std::size_t>(i) * k;
+        const float* grow = g + static_cast<std::size_t>(i) * n;
+        for (int kk = 0; kk < k; ++kk) {
+            float av = arow[kk];
+            float* orow = out + static_cast<std::size_t>(kk) * n;
+            for (int j = 0; j < n; ++j)
+                orow[j] += av * grow[j];
+        }
+    }
+}
+
+/** out (m x n) += a (m x c) * b^T (c x n, b stored n x c): row-by-row
+ * dot products, one accumulator each (j-ascending order). */
+void
+gemmTransBAccumScalar(const float* a, const float* b, float* out,
+                      int m, int c, int n)
+{
+    for (int i = 0; i < m; ++i) {
+        const float* arow = a + static_cast<std::size_t>(i) * c;
+        float* orow = out + static_cast<std::size_t>(i) * n;
+        for (int kk = 0; kk < n; ++kk) {
+            const float* brow = b + static_cast<std::size_t>(kk) * c;
+            float acc = 0.0f;
+            for (int j = 0; j < c; ++j)
+                acc += arow[j] * brow[j];
+            orow[kk] += acc;
+        }
+    }
+}
+
+const MatmulKernels kScalar{gemmAccumScalar, gemmTransAAccumScalar,
+                            gemmTransBAccumScalar, "scalar"};
+
+/** Resolve the env override: 0 = auto, 1 = force scalar. */
+bool
+forceScalarFromEnv()
+{
+    const char* env = std::getenv("CCSA_MATMUL_KERNEL");
+    if (env == nullptr)
+        return false;
+    return std::strcmp(env, "scalar") == 0;
+}
+
+} // namespace
+
+const MatmulKernels&
+scalarKernels()
+{
+    return kScalar;
+}
+
+// Defined in matmul_avx2.cc (its own translation unit so only that
+// file is compiled with -mavx2 -mfma). Returns nullptr when the
+// build has no AVX2 codegen or the CPU lacks the features.
+const MatmulKernels* avx2KernelsOrNull();
+
+const MatmulKernels&
+simdKernels()
+{
+    const MatmulKernels* simd = avx2KernelsOrNull();
+    return simd != nullptr ? *simd : kScalar;
+}
+
+bool
+simdAvailable()
+{
+    return avx2KernelsOrNull() != nullptr;
+}
+
+const MatmulKernels&
+activeKernels()
+{
+    // One decision per process: serving parity contracts (cache
+    // hit/miss determinism, level-batched vs per-node) require every
+    // matmul in a process to go through the same family.
+    static const MatmulKernels& active =
+        forceScalarFromEnv() ? kScalar : simdKernels();
+    return active;
+}
+
+const char*
+activeKernelName()
+{
+    return activeKernels().name;
+}
+
+} // namespace kernels
+} // namespace ccsa

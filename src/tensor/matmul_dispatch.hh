@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Runtime-dispatched matmul kernels. Tensor::matmul and its
+ * accumulate/transpose variants funnel every multiply-add through the
+ * three raw-buffer kernels below; which implementation backs them is
+ * decided ONCE, at first use, from cpuid plus an env override:
+ *
+ *  - "avx2-fma": 8-lane AVX2 kernels with FMA contraction, selected
+ *    when the CPU reports AVX2+FMA (and the binary was built with an
+ *    x86 compiler that can emit them).
+ *  - "scalar": the PR 3 register-blocked scalar kernels, bitwise
+ *    unchanged. Always available; the fallback on non-AVX2 hardware
+ *    and the oracle the vectorized kernels are tested against.
+ *
+ * Set CCSA_MATMUL_KERNEL=scalar to force the scalar path (CI runs a
+ * whole test leg this way); CCSA_MATMUL_KERNEL=avx2 asks for the
+ * vectorized path and falls back to scalar when unsupported.
+ *
+ * Numerics contract (what callers may rely on):
+ *  - Every kernel is deterministic, and every output ROW is a pure
+ *    function of that row's inputs — bitwise-invariant to how many
+ *    other rows share the call. The level-batched tree-LSTM parity
+ *    (batched rows == solo gemv rows) holds under either kernel.
+ *  - The scalar kernels accumulate each output element in strictly
+ *    ascending inner-dimension order with one accumulator; the AVX2
+ *    kernels keep that order but contract multiply-adds with FMA
+ *    (one rounding instead of two) and block partial sums per
+ *    cache-panel, so AVX2 results differ from scalar by normal
+ *    float32 rounding (observed well under 1e-4 absolute for unit
+ *    normal operands at the model's dimensions) — NOT bitwise.
+ *  - gemmTransBAccum reduces along the contiguous dimension; the
+ *    AVX2 variant uses 8 partial accumulators, so its rounding also
+ *    differs from scalar within the same tolerance.
+ */
+
+#ifndef CCSA_TENSOR_MATMUL_DISPATCH_HH
+#define CCSA_TENSOR_MATMUL_DISPATCH_HH
+
+namespace ccsa
+{
+namespace kernels
+{
+
+/** out (m x n) += a (m x k) * b (k x n); all row-major, no aliasing. */
+using GemmAccumFn = void (*)(const float* a, const float* b,
+                             float* out, int m, int k, int n);
+
+/** out (k x n) += a^T * g, a: m x k, g: m x n (gradient-of-weights). */
+using GemmTransAAccumFn = void (*)(const float* a, const float* g,
+                                   float* out, int m, int k, int n);
+
+/** out (m x n) += a * b^T, a: m x c, b: n x c (gradient-of-inputs). */
+using GemmTransBAccumFn = void (*)(const float* a, const float* b,
+                                   float* out, int m, int c, int n);
+
+/** One selectable kernel family. */
+struct MatmulKernels
+{
+    GemmAccumFn gemmAccum = nullptr;
+    GemmTransAAccumFn gemmTransAAccum = nullptr;
+    GemmTransBAccumFn gemmTransBAccum = nullptr;
+    /** Stable identifier: "scalar" or "avx2-fma". */
+    const char* name = "";
+};
+
+/** The PR 3 scalar kernels — always available, bitwise-stable. */
+const MatmulKernels& scalarKernels();
+
+/**
+ * The vectorized kernels, or scalarKernels() when the build or the
+ * CPU cannot run them. Exposed so tests can exercise both paths in
+ * one process regardless of what the dispatcher picked.
+ */
+const MatmulKernels& simdKernels();
+
+/** @return true when simdKernels() is a genuinely vectorized family
+ * (build-time support AND the CPU reports AVX2+FMA). */
+bool simdAvailable();
+
+/**
+ * The family every Tensor matmul routes through, selected once at
+ * first call (thread-safe) from simdAvailable() and the
+ * CCSA_MATMUL_KERNEL env override. Stable for the process lifetime:
+ * changing the env var afterwards has no effect.
+ */
+const MatmulKernels& activeKernels();
+
+/** activeKernels().name — for logs, benches, and the README table. */
+const char* activeKernelName();
+
+} // namespace kernels
+} // namespace ccsa
+
+#endif // CCSA_TENSOR_MATMUL_DISPATCH_HH

@@ -1,5 +1,7 @@
 #include "tensor/tensor.hh"
 
+#include "tensor/matmul_dispatch.hh"
+
 #include <algorithm>
 #include <cmath>
 
@@ -24,84 +26,9 @@ Tensor::fromVector(const std::vector<float>& data, int rows, int cols)
     return t;
 }
 
-namespace
-{
-
-// Cache-block size for the GEMM kernel: a kBlockK x n panel of the
-// right-hand operand stays resident in L1/L2 while output rows
-// stream over it. Accumulation over the inner dimension is kept
-// strictly ascending with a single accumulator per output element,
-// so the kernel is bitwise-deterministic and row-batching never
-// changes any individual output row.
-constexpr int kBlockK = 128;
-
-/**
- * out (m x n) += a (m x k, row-major) * b (k x n, row-major).
- *
- * Register-blocked over four output rows: each b row is loaded once
- * per four rows of a, which is where batched (many-row) products
- * pull ahead of one-row-at-a-time gemv calls. No zero-skip branch:
- * on dense activations the per-element test poisons the pipeline and
- * blocks vectorisation of the j loop.
- */
-void
-gemmAccum(const float* a, const float* b, float* out, int m, int k,
-          int n)
-{
-    for (int k0 = 0; k0 < k; k0 += kBlockK) {
-        int k1 = std::min(k, k0 + kBlockK);
-        int i = 0;
-        for (; i + 4 <= m; i += 4) {
-            const float* a0 = a + static_cast<std::size_t>(i) * k;
-            const float* a1 = a0 + k;
-            const float* a2 = a1 + k;
-            const float* a3 = a2 + k;
-            float* o0 = out + static_cast<std::size_t>(i) * n;
-            float* o1 = o0 + n;
-            float* o2 = o1 + n;
-            float* o3 = o2 + n;
-            for (int kk = k0; kk < k1; ++kk) {
-                float av0 = a0[kk];
-                float av1 = a1[kk];
-                float av2 = a2[kk];
-                float av3 = a3[kk];
-                const float* brow =
-                    b + static_cast<std::size_t>(kk) * n;
-                for (int j = 0; j < n; ++j) {
-                    float bv = brow[j];
-                    o0[j] += av0 * bv;
-                    o1[j] += av1 * bv;
-                    o2[j] += av2 * bv;
-                    o3[j] += av3 * bv;
-                }
-            }
-        }
-        for (; i < m; ++i) {
-            const float* arow = a + static_cast<std::size_t>(i) * k;
-            float* orow = out + static_cast<std::size_t>(i) * n;
-            for (int kk = k0; kk < k1; ++kk) {
-                float av = arow[kk];
-                const float* brow =
-                    b + static_cast<std::size_t>(kk) * n;
-                int j = 0;
-                for (; j + 8 <= n; j += 8) {
-                    orow[j] += av * brow[j];
-                    orow[j + 1] += av * brow[j + 1];
-                    orow[j + 2] += av * brow[j + 2];
-                    orow[j + 3] += av * brow[j + 3];
-                    orow[j + 4] += av * brow[j + 4];
-                    orow[j + 5] += av * brow[j + 5];
-                    orow[j + 6] += av * brow[j + 6];
-                    orow[j + 7] += av * brow[j + 7];
-                }
-                for (; j < n; ++j)
-                    orow[j] += av * brow[j];
-            }
-        }
-    }
-}
-
-} // namespace
+// The raw GEMM loops live in src/tensor/matmul_dispatch.cc (scalar)
+// and src/tensor/matmul_avx2.cc (vectorized); kernels::activeKernels()
+// picks one family per process from cpuid + CCSA_MATMUL_KERNEL.
 
 Tensor
 Tensor::matmul(const Tensor& o) const
@@ -110,8 +37,9 @@ Tensor::matmul(const Tensor& o) const
         panic("Tensor::matmul: inner dimensions ", cols_, " vs ",
               o.rows_);
     Tensor out(rows_, o.cols_);
-    gemmAccum(data_.data(), o.data_.data(), out.data_.data(), rows_,
-              cols_, o.cols_);
+    kernels::activeKernels().gemmAccum(data_.data(), o.data_.data(),
+                                       out.data_.data(), rows_,
+                                       cols_, o.cols_);
     return out;
 }
 
@@ -125,8 +53,9 @@ Tensor::matmulInto(const Tensor& o, Tensor& out) const
         panic("Tensor::matmulInto: output must be ", rows_, "x",
               o.cols_);
     out.fill(0.0f);
-    gemmAccum(data_.data(), o.data_.data(), out.data_.data(), rows_,
-              cols_, o.cols_);
+    kernels::activeKernels().gemmAccum(data_.data(), o.data_.data(),
+                                       out.data_.data(), rows_,
+                                       cols_, o.cols_);
 }
 
 void
@@ -138,8 +67,9 @@ Tensor::matmulAccumInto(const Tensor& o, Tensor& out) const
     if (out.rows_ != rows_ || out.cols_ != o.cols_)
         panic("Tensor::matmulAccumInto: output must be ", rows_, "x",
               o.cols_);
-    gemmAccum(data_.data(), o.data_.data(), out.data_.data(), rows_,
-              cols_, o.cols_);
+    kernels::activeKernels().gemmAccum(data_.data(), o.data_.data(),
+                                       out.data_.data(), rows_,
+                                       cols_, o.cols_);
 }
 
 void
@@ -155,20 +85,9 @@ Tensor::matmulTransAAccumInto(const Tensor& o, Tensor& out) const
     // out[k][j] = sum_i this[i][k] * o[i][j], i ascending: the same
     // per-element order as transpose().matmul(o), with no transpose
     // materialised and no product temporary.
-    int n = o.cols_;
-    for (int i = 0; i < rows_; ++i) {
-        const float* arow = data_.data() +
-            static_cast<std::size_t>(i) * cols_;
-        const float* brow = o.data_.data() +
-            static_cast<std::size_t>(i) * n;
-        for (int k = 0; k < cols_; ++k) {
-            float av = arow[k];
-            float* orow = out.data_.data() +
-                static_cast<std::size_t>(k) * n;
-            for (int j = 0; j < n; ++j)
-                orow[j] += av * brow[j];
-        }
-    }
+    kernels::activeKernels().gemmTransAAccum(
+        data_.data(), o.data_.data(), out.data_.data(), rows_, cols_,
+        o.cols_);
 }
 
 void
@@ -182,22 +101,10 @@ Tensor::matmulTransBAccumInto(const Tensor& o, Tensor& out) const
         panic("Tensor::matmulTransBAccumInto: output must be ", rows_,
               "x", o.rows_);
     // Row-by-row dot products; both operands stream along their
-    // natural row-major layout. A single accumulator keeps the
-    // j-ascending order of matmul(o.transpose()).
-    for (int i = 0; i < rows_; ++i) {
-        const float* arow = data_.data() +
-            static_cast<std::size_t>(i) * cols_;
-        float* orow = out.data_.data() +
-            static_cast<std::size_t>(i) * o.rows_;
-        for (int k = 0; k < o.rows_; ++k) {
-            const float* brow = o.data_.data() +
-                static_cast<std::size_t>(k) * o.cols_;
-            float acc = 0.0f;
-            for (int j = 0; j < cols_; ++j)
-                acc += arow[j] * brow[j];
-            orow[k] += acc;
-        }
-    }
+    // natural row-major layout.
+    kernels::activeKernels().gemmTransBAccum(
+        data_.data(), o.data_.data(), out.data_.data(), rows_, cols_,
+        o.rows_);
 }
 
 Tensor

@@ -11,10 +11,15 @@
 
 #include <atomic>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 #include "eval/metrics.hh"
 #include "frontend/parser.hh"
 #include "oracle.hh"
 #include "serve/engine.hh"
+#include "serve/latent_codec.hh"
 
 namespace ccsa
 {
@@ -165,11 +170,11 @@ TEST(EncodingCache, LruEvictsOldestFirst)
     EncodingKey k1{1, {1, 1}}, k2{1, {2, 2}}, k3{1, {3, 3}};
     cache.insert(k1, Tensor(1, 1, 1.0f));
     cache.insert(k2, Tensor(1, 1, 2.0f));
-    ASSERT_NE(cache.lookup(k1), nullptr); // refresh k1: k2 is LRU
+    ASSERT_TRUE(cache.lookup(k1)); // refresh k1: k2 is LRU
     cache.insert(k3, Tensor(1, 1, 3.0f)); // evicts k2
-    EXPECT_NE(cache.lookup(k1), nullptr);
-    EXPECT_EQ(cache.lookup(k2), nullptr);
-    EXPECT_NE(cache.lookup(k3), nullptr);
+    EXPECT_TRUE(cache.lookup(k1));
+    EXPECT_FALSE(cache.lookup(k2));
+    EXPECT_TRUE(cache.lookup(k3));
     EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
@@ -182,11 +187,14 @@ TEST(EncodingCache, ModelNamespacesAreIsolated)
     EncodingCache cache(8);
     AstDigest d{7, 7};
     cache.insert(EncodingKey{1, d}, Tensor(1, 1, 1.0f));
-    EXPECT_EQ(cache.lookup(EncodingKey{2, d}), nullptr);
+    EXPECT_FALSE(cache.lookup(EncodingKey{2, d}));
     cache.insert(EncodingKey{2, d}, Tensor(1, 1, 2.0f));
     EXPECT_EQ(cache.size(), 2u);
-    EXPECT_FLOAT_EQ(cache.lookup(EncodingKey{1, d})->at(0, 0), 1.0f);
-    EXPECT_FLOAT_EQ(cache.lookup(EncodingKey{2, d})->at(0, 0), 2.0f);
+    Tensor got(1, 1);
+    ASSERT_TRUE(cache.lookup(EncodingKey{1, d}, &got));
+    EXPECT_FLOAT_EQ(got.at(0, 0), 1.0f);
+    ASSERT_TRUE(cache.lookup(EncodingKey{2, d}, &got));
+    EXPECT_FLOAT_EQ(got.at(0, 0), 2.0f);
 
     // Per-namespace counters partition the global ones.
     EncodingCache::NamespaceStats ns1 = cache.namespaceStats(1);
@@ -201,8 +209,8 @@ TEST(EncodingCache, ModelNamespacesAreIsolated)
 
     // clearNamespace drops exactly one tenant.
     cache.clearNamespace(1);
-    EXPECT_EQ(cache.lookup(EncodingKey{1, d}), nullptr);
-    EXPECT_NE(cache.lookup(EncodingKey{2, d}), nullptr);
+    EXPECT_FALSE(cache.lookup(EncodingKey{1, d}));
+    EXPECT_TRUE(cache.lookup(EncodingKey{2, d}));
     EXPECT_EQ(cache.namespaceStats(1).residents, 0u);
 }
 
@@ -658,6 +666,200 @@ TEST(Engine, EvalMetricsAgreeWithPerPairOracle)
                               subs[pairs[i].second].ast));
         EXPECT_EQ(via_engine[i].label, pairs[i].label);
     }
+}
+
+// ------------------------------ reduced-precision latent store
+
+TEST(LatentCodec, PrecisionNamesRoundTrip)
+{
+    LatentPrecision p = LatentPrecision::kFp32;
+    EXPECT_TRUE(parseLatentPrecision("fp16", &p));
+    EXPECT_EQ(p, LatentPrecision::kFp16);
+    EXPECT_TRUE(parseLatentPrecision("int8", &p));
+    EXPECT_EQ(p, LatentPrecision::kInt8);
+    EXPECT_TRUE(parseLatentPrecision("fp32", &p));
+    EXPECT_EQ(p, LatentPrecision::kFp32);
+
+    p = LatentPrecision::kInt8;
+    EXPECT_FALSE(parseLatentPrecision("bf16", &p));
+    EXPECT_EQ(p, LatentPrecision::kInt8); // untouched on failure
+    EXPECT_STREQ(latentPrecisionName(LatentPrecision::kFp16), "fp16");
+}
+
+TEST(LatentCodec, Fp16BitsMatchIeeeBinary16)
+{
+    // Exactly representable values map to their textbook encodings.
+    EXPECT_EQ(f32ToF16(0.0f), 0x0000u);
+    EXPECT_EQ(f32ToF16(-0.0f), 0x8000u);
+    EXPECT_EQ(f32ToF16(1.0f), 0x3C00u);
+    EXPECT_EQ(f32ToF16(-2.0f), 0xC000u);
+    EXPECT_EQ(f32ToF16(65504.0f), 0x7BFFu); // half's max finite
+    EXPECT_EQ(f32ToF16(6.103515625e-05f), 0x0400u); // min normal
+    // min subnormal, 2^-24 — regression for the subnormal path
+    // shifting by dropped+14 bits (UB above 2^-18, wrong below)
+    EXPECT_EQ(f32ToF16(5.9604644775390625e-08f), 0x0001u);
+    EXPECT_EQ(f32ToF16(0x1p-15f), 0x0200u);
+
+    // Round-to-nearest-even at the 10-bit mantissa boundary:
+    // 1 + 2^-11 is halfway between mant 0 and 1 -> even (1.0);
+    // 1 + 3*2^-11 is halfway between mant 1 and 2 -> even (mant 2).
+    EXPECT_EQ(f32ToF16(1.0f + 0x1p-11f), 0x3C00u);
+    EXPECT_EQ(f32ToF16(1.0f + 3 * 0x1p-11f), 0x3C02u);
+    // Same tie rule inside the subnormal range: 3*2^-25 is halfway
+    // between codes 1 and 2 -> even (2); 2^-25 ties down to zero.
+    EXPECT_EQ(f32ToF16(3 * 0x1p-25f), 0x0002u);
+    EXPECT_EQ(f32ToF16(0x1p-25f), 0x0000u);
+
+    // Overflow saturates to inf; NaN stays NaN (quietened).
+    EXPECT_EQ(f32ToF16(1e30f), 0x7C00u);
+    EXPECT_EQ(f32ToF16(-1e30f), 0xFC00u);
+    EXPECT_TRUE(std::isinf(f16ToF32(0x7C00u)));
+    EXPECT_TRUE(std::isnan(
+        f16ToF32(f32ToF16(std::numeric_limits<float>::quiet_NaN()))));
+
+    // Every non-NaN half is exactly representable as a float, so
+    // encode(decode(h)) must be the identity across all 2^16 codes —
+    // normals, subnormals, signed zeros, and infinities alike.
+    for (std::uint32_t h = 0; h <= 0xFFFFu; ++h) {
+        const auto bits = static_cast<std::uint16_t>(h);
+        if (((bits >> 10) & 0x1Fu) == 0x1Fu && (bits & 0x3FFu) != 0)
+            continue; // NaN payloads are canonicalised
+        EXPECT_EQ(f32ToF16(f16ToF32(bits)), bits) << "half " << h;
+    }
+}
+
+TEST(LatentCodec, PayloadBytesMatchPrecision)
+{
+    Tensor t(1, 8, 0.25f);
+    EXPECT_EQ(encodeLatent(t, LatentPrecision::kFp32).payloadBytes(),
+              8 * sizeof(float));
+    EXPECT_EQ(encodeLatent(t, LatentPrecision::kFp16).payloadBytes(),
+              8 * sizeof(std::uint16_t));
+    EXPECT_EQ(encodeLatent(t, LatentPrecision::kInt8).payloadBytes(),
+              8u + 1 * sizeof(float)); // codes + one per-row scale
+
+    // fp32 storage is bit-exact; fp16 of exactly-representable
+    // values (0.25 is a power of two) is too.
+    for (LatentPrecision p :
+         {LatentPrecision::kFp32, LatentPrecision::kFp16}) {
+        Tensor back = decodeLatent(encodeLatent(t, p));
+        EXPECT_FLOAT_EQ(back.maxAbsDiff(t), 0.0f)
+            << latentPrecisionName(p);
+    }
+}
+
+TEST(LatentCodec, Int8QuantizesPerRowSymmetricAndZeroRowsExactly)
+{
+    Tensor t(2, 4);
+    const float r0[4] = {2.0f, -2.0f, 1.0f, 0.5f};
+    for (int c = 0; c < 4; ++c) {
+        t.at(0, c) = r0[c];
+        t.at(1, c) = 0.0f; // all-zero row: scale 0, exact decode
+    }
+
+    StoredLatent s = encodeLatent(t, LatentPrecision::kInt8);
+    const auto* scales =
+        reinterpret_cast<const float*>(s.payload.data());
+    EXPECT_FLOAT_EQ(scales[0], 2.0f / 127.0f);
+    EXPECT_FLOAT_EQ(scales[1], 0.0f);
+    const auto* codes = reinterpret_cast<const std::int8_t*>(
+        s.payload.data() + 2 * sizeof(float));
+    EXPECT_EQ(codes[0], 127);  // +maxAbs pins the positive end
+    EXPECT_EQ(codes[1], -127); // symmetric range: no -128 code
+
+    Tensor back = decodeLatent(s);
+    // Worst-case int8 error is half a quantization step.
+    const float step = 2.0f / 127.0f;
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_NEAR(back.at(0, c), t.at(0, c), step / 2 + 1e-6f);
+        EXPECT_EQ(back.at(1, c), 0.0f);
+    }
+
+    // Determinism: the same tensor always encodes to the same bytes.
+    EXPECT_EQ(encodeLatent(t, LatentPrecision::kInt8).payload,
+              s.payload);
+}
+
+TEST(ShardedEncodingCache, PropagatesPrecisionToEveryShard)
+{
+    auto cache =
+        ShardedEncodingCache::makeShared(4, 8, LatentPrecision::kFp16);
+    EXPECT_EQ(cache->precision(), LatentPrecision::kFp16);
+
+    // A value with no exact half representation comes back on the
+    // half grid, whichever shard its digest routes to.
+    const float third = 1.0f / 3.0f;
+    const float onGrid = f16ToF32(f32ToF16(third));
+    ASSERT_NE(third, onGrid);
+    for (std::uint64_t d = 0; d < 8; ++d) {
+        EncodingKey key{1, {d, d + 100}};
+        cache->insert(key, Tensor(1, 2, third));
+        Tensor got(1, 1);
+        ASSERT_TRUE(cache->lookup(key, &got));
+        EXPECT_EQ(got.at(0, 0), onGrid) << "digest " << d;
+        EXPECT_EQ(got.at(0, 1), onGrid) << "digest " << d;
+    }
+}
+
+TEST(Engine, QuantizedCacheHitsMatchMissesBitwise)
+{
+    // The engine serves decode(encode(x)) on a miss, so the numbers a
+    // caller sees never depend on whether the latent was resident.
+    for (LatentPrecision p :
+         {LatentPrecision::kFp16, LatentPrecision::kInt8}) {
+        Engine engine(tinyOptions().withLatentPrecision(p));
+        Ast a = tinyProgram(3);
+        Ast b = tinyProgram(5);
+
+        auto miss = engine.encodeBatch({&a, &b});
+        ASSERT_TRUE(miss.isOk());
+        double coldProb = engine.compare(a, b).value();
+
+        Ast a_copy = tinyProgram(3);
+        auto hit = engine.encodeBatch({&a_copy, &b});
+        ASSERT_TRUE(hit.isOk());
+        EXPECT_GE(engine.stats().cacheHits, 2u);
+        for (int i = 0; i < 2; ++i)
+            EXPECT_FLOAT_EQ(
+                miss.value()[i].maxAbsDiff(hit.value()[i]), 0.0f)
+                << latentPrecisionName(p) << " latent " << i;
+        EXPECT_EQ(engine.compare(a, b).value(), coldProb)
+            << latentPrecisionName(p);
+    }
+}
+
+TEST(Engine, Int8LatentStoreHoldsPairwiseAccuracyWithinHalfPercent)
+{
+    // Acceptance pin: storing latents at int8 (and fp16) moves the
+    // paper's headline pairwise-accuracy metric by at most 0.5%
+    // relative to the fp32 cache on the same pair set.
+    std::vector<Submission> subs;
+    std::vector<int> idx;
+    for (int i = 0; i < 12; ++i) {
+        Submission s;
+        s.id = i;
+        s.ast = tinyProgram(i + 1);
+        s.runtimeMs = 10.0 * (i + 1);
+        subs.push_back(std::move(s));
+        idx.push_back(i);
+    }
+    Rng rng(5);
+    PairOptions popt;
+    auto pairs = buildPairs(subs, idx, popt, rng);
+    ASSERT_FALSE(pairs.empty());
+
+    Engine fp32Engine(tinyOptions());
+    const double accFp32 = pairwiseAccuracy(fp32Engine, subs, pairs);
+
+    Engine int8Engine(
+        tinyOptions().withLatentPrecision(LatentPrecision::kInt8));
+    EXPECT_NEAR(pairwiseAccuracy(int8Engine, subs, pairs), accFp32,
+                0.005);
+
+    Engine fp16Engine(
+        tinyOptions().withLatentPrecision(LatentPrecision::kFp16));
+    EXPECT_NEAR(pairwiseAccuracy(fp16Engine, subs, pairs), accFp32,
+                0.005);
 }
 
 // ----------------------------- multi-model cache safety (ISSUE 5)

@@ -261,6 +261,26 @@ TEST(IpcWire, FramesRejectCorruption)
     EXPECT_EQ(ipc::readFrame(d.get(), &frame),
               ipc::ReadFrame::Error);
 
+    // A zero-length payload is a VALID frame (ping/pong/shutdown all
+    // ship empty), not a degenerate one: header-only on the wire,
+    // no payload read issued.
+    ASSERT_TRUE(ipc::writeFrame(c.get(), ipc::MsgType::kPing, 7, {}));
+    ASSERT_EQ(ipc::readFrame(d.get(), &frame), ipc::ReadFrame::Ok);
+    EXPECT_EQ(frame.type, ipc::MsgType::kPing);
+    EXPECT_EQ(frame.id, 7u);
+    EXPECT_TRUE(frame.payload.empty());
+
+    // u32 lengths near the max-frame bound: kMaxPayload + 1 and the
+    // all-ones length are both rejected from the header alone — no
+    // payload read, no allocation, no wraparound in header + len
+    // arithmetic.
+    std::uint32_t allOnes = 0xFFFFFFFFu;
+    std::memcpy(header + 13, &allOnes, 4);
+    ASSERT_EQ(::write(c.get(), header, sizeof(header)),
+              static_cast<ssize_t>(sizeof(header)));
+    EXPECT_EQ(ipc::readFrame(d.get(), &frame),
+              ipc::ReadFrame::Error);
+
     // A frame torn mid-payload (peer died) is an Error, not Eof —
     // and a clean close between frames IS Eof.
     int fds3[2];
@@ -283,6 +303,137 @@ TEST(IpcWire, FramesRejectCorruption)
     FdGuard h(fds4[1]);
     g.reset();
     EXPECT_EQ(ipc::readFrame(h.get(), &frame), ipc::ReadFrame::Eof);
+}
+
+TEST(IpcWire, WritersRefuseOversizedPayloads)
+{
+    // The writer enforces the same bound the reader does: an
+    // oversized payload is refused up front (its u32 length field
+    // would otherwise desynchronise the stream for every frame
+    // after it). appendFrame must also leave the batch untouched so
+    // a paired send cannot ship half a pair.
+    std::vector<std::uint8_t> huge(ipc::kMaxPayload + 1, 0);
+    std::vector<std::uint8_t> batch;
+    EXPECT_FALSE(ipc::appendFrame(batch, ipc::MsgType::kPing, 1, huge));
+    EXPECT_TRUE(batch.empty());
+
+    int fds[2];
+    ASSERT_TRUE(makeSocketPair(fds));
+    FdGuard a(fds[0]);
+    FdGuard b(fds[1]);
+    EXPECT_FALSE(ipc::writeFrame(a.get(), ipc::MsgType::kPing, 1,
+                                 huge));
+    // Nothing was sent: the peer sees a clean EOF once we close,
+    // not a torn frame.
+    a.reset();
+    ipc::Frame frame;
+    EXPECT_EQ(ipc::readFrame(b.get(), &frame), ipc::ReadFrame::Eof);
+
+    // At exactly the bound the frame is legal (boundary accepted).
+    std::vector<std::uint8_t> atLimit(64, 0);
+    batch.clear();
+    EXPECT_TRUE(
+        ipc::appendFrame(batch, ipc::MsgType::kPing, 2, atLimit));
+    EXPECT_EQ(batch.size(), 17u + atLimit.size());
+}
+
+TEST(IpcWire, DecodersRejectLyingCountsWithoutAllocating)
+{
+    // Adversarial payloads whose count fields claim far more
+    // elements than the payload could hold. Every decoder must fail
+    // with a Status BEFORE sizing containers from the count — a
+    // 12-byte frame claiming 4 billion rows must not OOM the
+    // supervisor.
+    const std::uint32_t kLie = 0xFFFFFFFFu;
+
+    {
+        ipc::Writer w;
+        w.putU32(kLie); // treeCount
+        ipc::CompareRequest req;
+        EXPECT_FALSE(ipc::decodeCompareRequest(w.take(), &req).isOk());
+    }
+    {
+        ipc::Writer w;
+        w.putU32(0);    // no trees
+        w.putU32(kLie); // pairCount
+        ipc::CompareRequest req;
+        EXPECT_FALSE(ipc::decodeCompareRequest(w.take(), &req).isOk());
+    }
+    {
+        ipc::Writer w;
+        w.putU32(kLie); // treeCount
+        std::vector<Ast> trees;
+        EXPECT_FALSE(ipc::decodeEncodeRequest(w.take(), &trees).isOk());
+    }
+    {
+        ipc::Writer w;
+        w.putU32(kLie); // digest pairCount
+        std::vector<std::pair<AstDigest, AstDigest>> pairs;
+        EXPECT_FALSE(
+            ipc::decodeCompareDigestsRequest(w.take(), &pairs).isOk());
+    }
+    {
+        ipc::Writer w;
+        w.putU8(1);     // ok reply
+        w.putU32(kLie); // probability count
+        Result<std::vector<double>> reply = Status::internal("unset");
+        EXPECT_FALSE(ipc::decodeCompareReply(w.take(), &reply).isOk());
+    }
+    {
+        // rowCount lie with dim == 0: each claimed row costs zero
+        // payload bytes, so only the explicit dim check stops
+        // rows(rowCount) from allocating 4 billion empty vectors.
+        ipc::Writer w;
+        w.putU8(1);
+        w.putU32(kLie); // rowCount
+        w.putU32(0);    // dim
+        Result<std::vector<std::vector<float>>> reply =
+            Status::internal("unset");
+        EXPECT_FALSE(ipc::decodeEncodeReply(w.take(), &reply).isOk());
+    }
+    {
+        ipc::Writer w;
+        w.putU8(1);
+        w.putU32(1);    // one row...
+        w.putU32(kLie); // ...of 4 billion floats
+        Result<std::vector<std::vector<float>>> reply =
+            Status::internal("unset");
+        EXPECT_FALSE(ipc::decodeEncodeReply(w.take(), &reply).isOk());
+    }
+
+    // Legitimate empties still decode: zero trees, zero pairs, zero
+    // rows — and an empty-payload ping frame has no decoder at all,
+    // covered in FramesRejectCorruption.
+    {
+        ipc::Writer w;
+        w.putU32(0);
+        w.putU32(0);
+        ipc::CompareRequest req;
+        EXPECT_TRUE(ipc::decodeCompareRequest(w.take(), &req).isOk());
+        EXPECT_TRUE(req.trees.empty());
+        EXPECT_TRUE(req.pairs.empty());
+    }
+    {
+        ipc::Writer w;
+        w.putU8(1);
+        w.putU32(0); // zero rows
+        w.putU32(0); // dim 0 is legal ONLY with zero rows
+        Result<std::vector<std::vector<float>>> reply =
+            Status::internal("unset");
+        EXPECT_TRUE(ipc::decodeEncodeReply(w.take(), &reply).isOk());
+        ASSERT_TRUE(reply.isOk());
+        EXPECT_TRUE(reply.value().empty());
+    }
+
+    // Truncation inside a fixed-width field (u32 cut to 2 bytes)
+    // fails cleanly too.
+    {
+        std::vector<std::uint8_t> torn{0x01, 0x02};
+        ipc::CompareRequest req;
+        EXPECT_FALSE(ipc::decodeCompareRequest(torn, &req).isOk());
+        std::vector<Ast> trees;
+        EXPECT_FALSE(ipc::decodeEncodeRequest(torn, &trees).isOk());
+    }
 }
 
 // ---------------------------------------------------- FaultInjector

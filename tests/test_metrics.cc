@@ -523,6 +523,78 @@ TEST(EncodingCache, ResidentBytesTrackInsertEvictAndClear)
     EXPECT_EQ(cache.namespaceStats(2).residentBytes, 0u);
 }
 
+// Overwriting a resident key must replace its byte charge, never
+// stack a second one — including shrinking overwrites (the underflow
+// direction) and same-size re-inserts repeated enough times that any
+// drift would show.
+TEST(EncodingCache, OverwriteOfResidentKeyNeverDoubleCounts)
+{
+    EncodingCache cache(4);
+    cache.insert(EncodingKey{7, {1, 1}}, Tensor(1, 8, 1.0f));
+    EXPECT_EQ(cache.namespaceStats(7).residentBytes,
+              8 * sizeof(float));
+
+    // Shrink: bytes go DOWN to the new payload, residents stay 1.
+    cache.insert(EncodingKey{7, {1, 1}}, Tensor(1, 2, 2.0f));
+    EXPECT_EQ(cache.namespaceStats(7).residents, 1u);
+    EXPECT_EQ(cache.namespaceStats(7).residentBytes,
+              2 * sizeof(float));
+
+    // Same-size overwrites are a fixed point, not an accumulator.
+    for (int i = 0; i < 5; ++i)
+        cache.insert(EncodingKey{7, {1, 1}},
+                     Tensor(1, 2, static_cast<float>(i)));
+    EXPECT_EQ(cache.namespaceStats(7).residents, 1u);
+    EXPECT_EQ(cache.namespaceStats(7).residentBytes,
+              2 * sizeof(float));
+    EXPECT_EQ(cache.size(), 1u);
+
+    // The overwritten value is the latest one.
+    Tensor got(1, 1);
+    ASSERT_TRUE(cache.lookup(EncodingKey{7, {1, 1}}, &got));
+    EXPECT_FLOAT_EQ(got.at(0, 0), 4.0f);
+}
+
+// An eviction must charge the VICTIM's namespace, not the inserter's:
+// three tenants, capacity two — inserting for tenant 3 evicts tenant
+// 1's LRU entry and only tenant 1's bytes move.
+TEST(EncodingCache, EvictionDebitsTheVictimNamespace)
+{
+    EncodingCache cache(2);
+    cache.insert(EncodingKey{1, {1, 1}}, Tensor(1, 4, 1.0f));
+    cache.insert(EncodingKey{2, {2, 2}}, Tensor(1, 8, 2.0f));
+
+    cache.insert(EncodingKey{3, {3, 3}}, Tensor(1, 6, 3.0f));
+    EXPECT_EQ(cache.namespaceStats(1).residents, 0u);
+    EXPECT_EQ(cache.namespaceStats(1).residentBytes, 0u);
+    EXPECT_EQ(cache.namespaceStats(1).evictions, 1u);
+    EXPECT_EQ(cache.namespaceStats(2).residents, 1u);
+    EXPECT_EQ(cache.namespaceStats(2).residentBytes,
+              8 * sizeof(float));
+    EXPECT_EQ(cache.namespaceStats(2).evictions, 0u);
+    EXPECT_EQ(cache.namespaceStats(3).residentBytes,
+              6 * sizeof(float));
+}
+
+// With a reduced-precision store, residentBytes reports bytes AS
+// STORED: fp16 = 2 bytes/element, int8 = 1 byte/element + 4 bytes of
+// per-row scale. The overwrite invariant holds there too.
+TEST(EncodingCache, QuantizedResidentBytesReflectStoredSize)
+{
+    EncodingCache fp16(4, LatentPrecision::kFp16);
+    fp16.insert(EncodingKey{1, {1, 1}}, Tensor(1, 8, 1.0f));
+    EXPECT_EQ(fp16.namespaceStats(1).residentBytes, 8u * 2u);
+
+    EncodingCache int8(4, LatentPrecision::kInt8);
+    int8.insert(EncodingKey{1, {1, 1}}, Tensor(1, 8, 1.0f));
+    EXPECT_EQ(int8.namespaceStats(1).residentBytes,
+              8u * 1u + 1u * sizeof(float));
+    int8.insert(EncodingKey{1, {1, 1}}, Tensor(2, 8, 1.0f));
+    EXPECT_EQ(int8.namespaceStats(1).residents, 1u);
+    EXPECT_EQ(int8.namespaceStats(1).residentBytes,
+              2u * 8u * 1u + 2u * sizeof(float));
+}
+
 // --------------------------------------- serving-spine integration
 
 TEST(ServingMetrics, AsyncServerFeedsTheRegistry)

@@ -1,17 +1,28 @@
 #!/usr/bin/env python3
-"""Gate the level-batched encode benchmark.
+"""Gate the encode, matmul-dispatch, and latent-store benchmarks.
 
 Reads the google-benchmark JSON written by
 
-    micro_ops --benchmark_filter='BM_EncodeLevelBatchedVsPerNode|BM_MatmulKernel' \
+    micro_ops --benchmark_filter='BM_EncodeLevelBatchedVsPerNode|BM_MatmulKernel|BM_MatmulDispatch|BM_CacheHitByPrecision' \
               --benchmark_out=BENCH_encode.json --benchmark_out_format=json
 
-and fails (exit 1) when the level-batched path loses its edge over the
-per-node oracle: a kernel or scheduling regression shows up here as a
-collapsed ratio. Floors are deliberately below the typically observed
-ratios (~3.8x bushy, ~3x ast, ~1.0x chain) so CI noise does not flap,
-while real regressions — e.g. the batched path degenerating to
-per-node cost — still fail loudly.
+and fails (exit 1) when:
+
+ - the level-batched encode path loses its edge over the per-node
+   oracle (a kernel or scheduling regression shows up here as a
+   collapsed ratio);
+ - the vectorized matmul kernel family drops below 1.5x the scalar
+   fallback at the largest benched size — skipped (with a note) when
+   the JSON carries no non-scalar dispatch row, i.e. the runner has
+   no AVX2+FMA;
+ - a quantized cache hit path (lookup + dequantize) collapses
+   relative to fp32 hits. The floors there are loose: dequantize IS
+   slower than memcpy, the gate only catches pathological
+   regressions like decoding falling off a fast path entirely.
+
+Floors are deliberately below the typically observed ratios
+(~3.8x bushy, ~3x ast, ~1.0x chain; ~2-4x avx2-fma) so CI noise does
+not flap, while real regressions still fail loudly.
 """
 
 import statistics
@@ -31,13 +42,25 @@ FLOORS = {
 }
 
 
-def main() -> int:
-    data = bench_gate.load_json(sys.argv, "BENCH_encode.json")
+# Vectorized-vs-scalar dispatch floor at the largest benched size
+# (the acceptance bar is 1.5x; typical observed is well above).
+DISPATCH_FLOOR = 1.5
 
+# Quantized hit path vs fp32 hit path. Dequantize is real work, so
+# these only catch a collapse (e.g. per-hit allocation regressions).
+CACHE_HIT_FLOORS = {
+    "fp16": 0.10,
+    "int8": 0.10,
+}
+
+
+def collect(data, name, split_label=False):
+    """label -> median items/s over raw repetitions of one bench."""
     samples = {}
     for bench in data.get("benchmarks", []):
-        if not bench.get("name", "").startswith(
-                "BM_EncodeLevelBatchedVsPerNode"):
+        bench_name = bench.get("name", "")
+        if not (bench_name == name or
+                bench_name.startswith(name + "/")):
             continue
         # With --benchmark_repetitions the JSON carries per-repetition
         # entries plus mean/median/stddev aggregates; keep the raw
@@ -45,17 +68,41 @@ def main() -> int:
         if bench.get("run_type", "iteration") != "iteration":
             continue
         label = bench.get("label", "")
-        if "/" not in label:
+        if split_label and "/" not in label:
             continue
-        shape, mode = label.split("/", 1)
-        samples.setdefault((shape, mode), []).append(
-            bench["items_per_second"])
-
+        key = tuple(label.split("/", 1)) if split_label else label
+        samples.setdefault(key, []).append(bench["items_per_second"])
     # Median across repetitions shrugs off one noisy measurement.
-    perf = {key: statistics.median(vals)
+    return {key: statistics.median(vals)
             for key, vals in samples.items()}
 
+
+def dispatch_samples(data):
+    """(kernel_name, size) -> median items/s for BM_MatmulDispatch."""
+    samples = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith("BM_MatmulDispatch/"):
+            continue
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        label = bench.get("label", "")
+        if not label.startswith("dispatch:"):
+            continue
+        size = int(name.split("/")[-1])
+        kernel = label[len("dispatch:"):]
+        samples.setdefault((kernel, size), []).append(
+            bench["items_per_second"])
+    return {key: statistics.median(vals)
+            for key, vals in samples.items()}
+
+
+def main() -> int:
+    data = bench_gate.load_json(sys.argv, "BENCH_encode.json")
     ok = True
+
+    perf = collect(data, "BM_EncodeLevelBatchedVsPerNode",
+                   split_label=True)
     for shape, floor in FLOORS.items():
         batched = perf.get((shape, "level-batched"))
         pernode = perf.get((shape, "per-node"))
@@ -65,6 +112,28 @@ def main() -> int:
                       f"per-node {pernode:12.0f} nodes/s")
         ok &= bench_gate.gate_ratio(f"{shape:6s}", batched, pernode,
                                     floor, detail)
+
+    dispatch = dispatch_samples(data)
+    simd_rows = {key: v for key, v in dispatch.items()
+                 if key[0] != "scalar"}
+    if simd_rows:
+        size = max(s for _, s in simd_rows)
+        kernel = next(k for k, s in simd_rows if s == size)
+        ok &= bench_gate.gate_ratio(
+            f"{kernel} n={size}", dispatch.get((kernel, size)),
+            dispatch.get(("scalar", size)), DISPATCH_FLOOR)
+    elif dispatch:
+        # Scalar-only hardware (or a forced-scalar leg): nothing to
+        # compare, and failing would punish the runner, not the code.
+        print("matmul dispatch: no vectorized rows, gate skipped")
+
+    hits = collect(data, "BM_CacheHitByPrecision")
+    fp32 = hits.get("cache-hit:fp32")
+    if hits:
+        for prec, floor in CACHE_HIT_FLOORS.items():
+            ok &= bench_gate.gate_ratio(
+                f"cache-hit {prec}", hits.get(f"cache-hit:{prec}"),
+                fp32, floor)
 
     return bench_gate.finish(ok)
 
