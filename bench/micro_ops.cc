@@ -15,6 +15,8 @@
 #include "model/trainer.hh"
 #include "serve/encoding_cache.hh"
 #include "serve/engine.hh"
+#include "serve/latent_f16_dispatch.hh"
+#include "tensor/arena.hh"
 #include "tensor/matmul_dispatch.hh"
 
 // The unbatched per-pair baseline shares the tests' oracle so every
@@ -235,6 +237,95 @@ BENCHMARK(BM_EncodeLevelBatchedVsPerNode)
     ->Args({1, 1})->Args({0, 1})
     ->Args({1, 2})->Args({0, 2})
     ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Tape-free ablation: the identical level-batched encode with (arg 0
+ * == 0) and without (arg 0 == 1) the autograd tape. The no-grad mode
+ * opens an InferenceScope per iteration — exactly the per-chunk scope
+ * the serving Engine uses — so every op skips VarNode/closure
+ * construction and writes into the warm thread arena instead of the
+ * heap. Outputs are bitwise-identical; only the bookkeeping differs.
+ * Items/s is nodes encoded per second; the realistic-AST shape is
+ * gated >= 1.3x in tools/check_bench_encode.py.
+ */
+void
+BM_EncodeNoGradVsTaped(benchmark::State& state)
+{
+    bool nograd = state.range(0) == 1;
+    int shape = static_cast<int>(state.range(1));
+    Rng rng(31);
+    nn::TreeLstm lstm(24, 32, 2, nn::TreeArch::Alternating, rng);
+    nn::TreeSpec spec = nn::TreeSpec::fromParents(
+        benchTreeParents(shape));
+    std::vector<Tensor> inputTensors;
+    Rng irng(5);
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+        Tensor t(1, 24);
+        t.fillNormal(irng, 0.0f, 1.0f);
+        inputTensors.push_back(t);
+    }
+    std::vector<ag::Var> inputs;
+    for (const Tensor& t : inputTensors)
+        inputs.push_back(ag::constant(t));
+    for (auto _ : state) {
+        if (nograd) {
+            InferenceScope scope;
+            benchmark::DoNotOptimize(lstm.encodeRoot(spec, inputs));
+        } else {
+            benchmark::DoNotOptimize(lstm.encodeRoot(spec, inputs));
+        }
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(spec.size()));
+    state.SetLabel(std::string(benchTreeName(shape)) + "/" +
+                   (nograd ? "nograd" : "taped"));
+}
+BENCHMARK(BM_EncodeNoGradVsTaped)
+    ->Args({1, 0})->Args({0, 0})
+    ->Args({1, 1})->Args({0, 1})
+    ->Args({1, 2})->Args({0, 2})
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * fp16 codec family ablation: bulk half->float decode through the
+ * portable bit-twiddling oracle (arg 0 == 0) vs the F16C family
+ * (arg 0 == 1) on a cache-hit-sized latent batch. Items/s is halves
+ * decoded per second; check_bench_encode.py gates f16c >= 2x
+ * portable (auto-skipped on machines without F16C, where the arg-1
+ * row reports an error instead of a misleading label).
+ */
+void
+BM_F16DecodeDispatch(benchmark::State& state)
+{
+    const bool hw = state.range(0) == 1;
+    if (hw && !kernels::f16cAvailable()) {
+        state.SkipWithError("no F16C on this CPU/build");
+        return;
+    }
+    const kernels::F16Kernels& kf =
+        hw ? kernels::f16cKernels()
+           : kernels::portableF16Kernels();
+    // 64 latents of 1x64, the BM_CacheHitByPrecision working set.
+    constexpr std::size_t kHalves = 64 * 64;
+    Rng rng(9);
+    std::vector<float> values(kHalves);
+    for (float& v : values)
+        v = static_cast<float>(rng.normal(0.0, 1.0));
+    std::vector<std::uint16_t> halves(kHalves);
+    kernels::portableF16Kernels().encodeRows(values.data(),
+                                             halves.data(), kHalves);
+    std::vector<float> out(kHalves);
+    for (auto _ : state) {
+        kf.decodeRows(halves.data(), out.data(), kHalves);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kHalves));
+    state.SetLabel(std::string("f16:") + kf.name);
+}
+BENCHMARK(BM_F16DecodeDispatch)->Arg(1)->Arg(0);
 
 /**
  * Forest batching: encoding a batch of 16 distinct realistic trees

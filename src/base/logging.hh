@@ -102,4 +102,19 @@ ccsaAssert(bool cond, const std::string& msg)
 
 } // namespace ccsa
 
+/**
+ * Debug-only invariant check for hot paths (indexing, pointer math).
+ * Compiles to nothing under NDEBUG so Release code pays zero cost;
+ * in debug builds a failure panics with the condition and message.
+ */
+#ifdef NDEBUG
+#define CCSA_DCHECK(cond, msg) ((void)0)
+#else
+#define CCSA_DCHECK(cond, msg)                                        \
+    do {                                                              \
+        if (!(cond))                                                  \
+            ::ccsa::panic("CCSA_DCHECK failed: ", #cond, ": ", msg);  \
+    } while (0)
+#endif
+
 #endif // CCSA_BASE_LOGGING_HH

@@ -159,10 +159,10 @@ ChildSumTreeLstmCell::composeLevel(const ag::Var& x,
         panic("composeLevel: child h/c presence mismatch");
 
     // h~ per node: segment child-sum; an all-leaf level short-cuts
-    // to a zero block.
+    // to a zero block (arena-backed under an InferenceScope).
     Var h_tilde = child_h.defined()
         ? segmentSum(child_h, offsets)
-        : constant(Tensor::zeros(b, cell_.hiddenDim_));
+        : ag::zeros(b, cell_.hiddenDim_);
 
     Var i = sigmoid(affinePair(x, cell_.wi_.var, h_tilde,
                                cell_.ui_.var, cell_.bi_.var));

@@ -6,6 +6,7 @@
 
 #include "frontend/parser.hh"
 #include "serve/metrics/metrics.hh"
+#include "tensor/arena.hh"
 
 namespace ccsa
 {
@@ -260,10 +261,17 @@ Engine::encodeBatch(const ModelVersion& version,
                 chunk.reserve(hi - lo);
                 for (std::size_t i = lo; i < hi; ++i)
                     chunk.push_back(unique_trees[miss_slots[i]]);
+                // Tape-free encode: ops write into this worker's
+                // arena instead of allocating VarNodes + tensors.
+                // The latents below are the only values that outlive
+                // the scope, so they (and nothing else) are copied
+                // out of the arena into owned storage.
+                InferenceScope scope;
                 std::vector<ag::Var> encoded =
                     version.model->encodeMany(chunk);
                 for (std::size_t i = lo; i < hi; ++i)
-                    latents[miss_slots[i]] = encoded[i - lo].value();
+                    latents[miss_slots[i]] =
+                        encoded[i - lo].value().toOwned();
             });
         } catch (const std::exception& e) {
             return Status::internal(
@@ -343,6 +351,9 @@ Engine::compareMany(const ModelVersion& version,
     std::vector<double> probs;
     probs.reserve(pairs.size());
     try {
+        // Scoring is tape-free too; each probability is extracted
+        // before the scope (and its arena) dies.
+        InferenceScope scope;
         for (std::size_t i = 0; i < pairs.size(); ++i) {
             ag::Var z = version.model->logitFromEncodings(
                 ag::constant(latents.value()[2 * i]),
@@ -406,6 +417,7 @@ Engine::compareManyCached(
     std::vector<double> probs;
     probs.reserve(pairs.size());
     try {
+        InferenceScope scope;
         for (const auto& pair : pairs) {
             ag::Var z = v.model->logitFromEncodings(
                 ag::constant(latents.at(pair.first)),

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "serve/latent_f16_dispatch.hh"
+
 namespace ccsa
 {
 
@@ -135,8 +137,8 @@ encodeLatent(const Tensor& t, LatentPrecision precision)
         s.payload.resize(count * sizeof(std::uint16_t));
         auto* halves =
             reinterpret_cast<std::uint16_t*>(s.payload.data());
-        for (std::size_t i = 0; i < count; ++i)
-            halves[i] = f32ToF16(t.data()[i]);
+        kernels::activeF16Kernels().encodeRows(t.data(), halves,
+                                               count);
         break;
     }
     case LatentPrecision::kInt8: {
@@ -185,8 +187,8 @@ decodeLatent(const StoredLatent& s)
     case LatentPrecision::kFp16: {
         const auto* halves =
             reinterpret_cast<const std::uint16_t*>(s.payload.data());
-        for (std::size_t i = 0; i < count; ++i)
-            t.data()[i] = f16ToF32(halves[i]);
+        kernels::activeF16Kernels().decodeRows(halves, t.data(),
+                                               count);
         break;
     }
     case LatentPrecision::kInt8: {

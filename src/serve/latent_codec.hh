@@ -14,9 +14,12 @@
  *  - kInt8: symmetric per-row affine, 1 byte/element + 4 bytes/row
  *    scale (scale = maxAbs/127, values clamped to [-127, 127]).
  *
- * Conversions are portable scalar code (no F16C/AVX required), so a
- * quantized cache behaves identically under the forced-scalar kernel
- * path and on non-x86 builds. Quantization is deterministic: the
+ * Bulk fp16 conversion goes through the runtime-dispatched kernel
+ * table in latent_f16_dispatch.hh (F16C when the CPU has it,
+ * portable bit-twiddling otherwise or under CCSA_F16_KERNEL=portable);
+ * both families agree bitwise on every finite value, so a quantized
+ * cache behaves identically under either path and on non-x86 builds.
+ * Quantization is deterministic: the
  * same Tensor always encodes to the same bytes, and the Engine
  * serves decode(encode(x)) on a miss — the exact values a later hit
  * will decode from the stored bytes — so hit and miss results are

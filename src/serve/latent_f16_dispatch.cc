@@ -1,0 +1,93 @@
+#include "serve/latent_f16_dispatch.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/latent_codec.hh"
+
+namespace ccsa
+{
+namespace kernels
+{
+
+namespace
+{
+
+/** Portable rows = the scalar conversions the codec always used. */
+void
+portableDecodeRows(const std::uint16_t* src, float* dst,
+                   std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = f16ToF32(src[i]);
+}
+
+void
+portableEncodeRows(const float* src, std::uint16_t* dst,
+                   std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = f32ToF16(src[i]);
+}
+
+const F16Kernels kPortable{portableDecodeRows, portableEncodeRows,
+                           "portable"};
+
+bool
+forcePortableFromEnv()
+{
+    const char* env = std::getenv("CCSA_F16_KERNEL");
+    if (env == nullptr)
+        return false;
+    return std::strcmp(env, "portable") == 0;
+}
+
+} // namespace
+
+const F16Kernels&
+portableF16Kernels()
+{
+    return kPortable;
+}
+
+// Defined in latent_f16_f16c.cc (its own translation unit so only
+// that file is compiled with -mavx -mf16c). Returns nullptr when the
+// build has no F16C codegen or the CPU lacks the feature.
+const F16Kernels* f16cKernelsOrNull();
+
+bool
+f16cAvailable()
+{
+    return f16cKernelsOrNull() != nullptr;
+}
+
+const F16Kernels&
+f16cKernels()
+{
+    const F16Kernels* hw = f16cKernelsOrNull();
+    return hw != nullptr ? *hw : kPortable;
+}
+
+const F16Kernels&
+activeF16Kernels()
+{
+    // One decision per process, like activeKernels(): the bytes a
+    // quantizing cache stores and later decodes must come from one
+    // family for hit/miss determinism.
+    static const F16Kernels& active = [] {
+        if (forcePortableFromEnv())
+            return kPortable;
+        const F16Kernels* hw = f16cKernelsOrNull();
+        return hw != nullptr ? *hw : kPortable;
+    }();
+    return active;
+}
+
+const char*
+activeF16KernelName()
+{
+    return activeF16Kernels().name;
+}
+
+} // namespace kernels
+} // namespace ccsa

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Runtime-dispatched bulk fp16 codec kernels for the latent store.
+ *
+ * Mirrors the matmul dispatch table (tensor/matmul_dispatch.hh): one
+ * portable bit-twiddling family that runs anywhere and is the
+ * correctness oracle, and an F16C family (latent_f16_f16c.cc, the
+ * only TU built with -mavx -mf16c) selected once per process when
+ * __builtin_cpu_supports("f16c") says the hardware can. The env
+ * override CCSA_F16_KERNEL=portable forces the oracle, giving CI a
+ * leg that proves the fallback stays green on vectorized hardware.
+ *
+ * Both families implement IEEE 754 binary16 with round-to-nearest-
+ * even and are bitwise-identical on every finite value, signed zero
+ * and infinity. The one documented divergence is NaN *payloads*:
+ * hardware cvtph2ps quiets signalling NaNs and cvtps2ph preserves
+ * truncated payloads where the portable code canonicalises every NaN
+ * to 0x7E00|sign. NaN class is always preserved; latents are finite
+ * by construction (bounded activations), so stored bytes never hit
+ * the divergent codes in practice. The exhaustive codec test pins
+ * exactly this contract.
+ */
+
+#ifndef CCSA_SERVE_LATENT_F16_DISPATCH_HH
+#define CCSA_SERVE_LATENT_F16_DISPATCH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccsa
+{
+namespace kernels
+{
+
+/** dst[i] = decode(src[i]) for n half codes. */
+using F16DecodeRowsFn = void (*)(const std::uint16_t* src, float* dst,
+                                 std::size_t n);
+
+/** dst[i] = encode(src[i]) (RNE) for n floats. */
+using F16EncodeRowsFn = void (*)(const float* src, std::uint16_t* dst,
+                                 std::size_t n);
+
+/** One fp16 codec family, selected as a unit. */
+struct F16Kernels
+{
+    F16DecodeRowsFn decodeRows;
+    F16EncodeRowsFn encodeRows;
+    const char* name;
+};
+
+/** The portable bit-twiddling family (always available; the oracle). */
+const F16Kernels& portableF16Kernels();
+
+/** @return whether the F16C family is compiled in AND the CPU has it. */
+bool f16cAvailable();
+
+/**
+ * The F16C family itself, independent of the env override — aliases
+ * the portable family when f16cAvailable() is false. Tests and
+ * benchmarks use this to exercise the hardware path even on runs
+ * where CCSA_F16_KERNEL pins the active family to portable
+ * (mirroring kernels::simdKernels() on the matmul side).
+ */
+const F16Kernels& f16cKernels();
+
+/**
+ * The family every latent encode/decode in this process uses,
+ * resolved once: portable when CCSA_F16_KERNEL=portable or the
+ * hardware lacks F16C, the F16C family otherwise. One family per
+ * process keeps cache hit/miss bytes self-consistent.
+ */
+const F16Kernels& activeF16Kernels();
+
+/** Name of the active family ("portable" or "f16c"). */
+const char* activeF16KernelName();
+
+} // namespace kernels
+} // namespace ccsa
+
+#endif // CCSA_SERVE_LATENT_F16_DISPATCH_HH

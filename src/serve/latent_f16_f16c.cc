@@ -1,0 +1,89 @@
+/**
+ * @file
+ * F16C fp16 codec family. This is the ONLY translation unit compiled
+ * with -mavx -mf16c (see the set_source_files_properties block in
+ * CMakeLists.txt), mirroring how matmul_avx2.cc isolates AVX2
+ * codegen: arch flags here cannot leak vector instructions into
+ * generic code, so the binary stays runnable on CPUs without F16C —
+ * f16cKernelsOrNull() checks __builtin_cpu_supports before anything
+ * in this file executes a VCVTPH2PS/VCVTPS2PH.
+ *
+ * The scalar tails use the same hardware instruction (single-lane
+ * _mm_cvtph_ps/_mm_cvtps_ph) as the 8-wide body, so results do not
+ * depend on how n divides by 8.
+ */
+
+#include "serve/latent_f16_dispatch.hh"
+
+#if defined(__F16C__) && defined(__AVX__) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define CCSA_HAVE_F16C_KERNELS 1
+#include <immintrin.h>
+#else
+#define CCSA_HAVE_F16C_KERNELS 0
+#endif
+
+namespace ccsa
+{
+namespace kernels
+{
+
+#if CCSA_HAVE_F16C_KERNELS
+
+namespace
+{
+
+void
+f16cDecodeRows(const std::uint16_t* src, float* dst, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m128i h = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(src + i));
+        _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+    }
+    for (; i < n; ++i) {
+        __m128i h = _mm_cvtsi32_si128(static_cast<int>(src[i]));
+        dst[i] = _mm_cvtss_f32(_mm_cvtph_ps(h));
+    }
+}
+
+void
+f16cEncodeRows(const float* src, std::uint16_t* dst, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256 f = _mm256_loadu_ps(src + i);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(dst + i),
+            _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT));
+    }
+    for (; i < n; ++i) {
+        __m128i h =
+            _mm_cvtps_ph(_mm_set_ss(src[i]), _MM_FROUND_TO_NEAREST_INT);
+        dst[i] = static_cast<std::uint16_t>(_mm_cvtsi128_si32(h));
+    }
+}
+
+const F16Kernels kF16c{f16cDecodeRows, f16cEncodeRows, "f16c"};
+
+} // namespace
+
+const F16Kernels*
+f16cKernelsOrNull()
+{
+    return __builtin_cpu_supports("f16c") ? &kF16c : nullptr;
+}
+
+#else // !CCSA_HAVE_F16C_KERNELS
+
+const F16Kernels*
+f16cKernelsOrNull()
+{
+    return nullptr;
+}
+
+#endif // CCSA_HAVE_F16C_KERNELS
+
+} // namespace kernels
+} // namespace ccsa

@@ -1,0 +1,143 @@
+#include "tensor/arena.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ccsa
+{
+
+TensorArena::TensorArena(std::size_t chunk_floats)
+    : chunkFloats_(std::max<std::size_t>(chunk_floats, 1))
+{
+}
+
+TensorArena::Chunk
+TensorArena::makeChunk(std::size_t floats)
+{
+    Chunk c;
+    c.data = std::make_unique<float[]>(floats);
+    c.capacity = floats;
+    ++chunkAllocs_;
+    return c;
+}
+
+float*
+TensorArena::allocate(std::size_t n)
+{
+    if (chunks_.empty())
+        chunks_.push_back(makeChunk(std::max(chunkFloats_, n)));
+
+    while (used_ + n > chunks_[active_].capacity) {
+        if (active_ + 1 < chunks_.size() &&
+            n <= chunks_[active_ + 1].capacity) {
+            ++active_;
+            used_ = 0;
+            continue;
+        }
+        // No successor chunk fits: append one big enough. Capacity
+        // skipped at the tail of the previous chunk is forfeit until
+        // the next reset() coalesces everything anyway.
+        chunks_.push_back(makeChunk(std::max(chunkFloats_, n)));
+        active_ = chunks_.size() - 1;
+        used_ = 0;
+    }
+
+    float* p = chunks_[active_].data.get() + used_;
+    used_ += n;
+    usedFloats_ += n;
+    highWater_ = std::max(highWater_, usedFloats_);
+    return p;
+}
+
+void
+TensorArena::reset()
+{
+    // Coalesce: one chunk covering the high-water mark means the next
+    // batch of the same shape never calls the allocator. Growing pays
+    // exactly one chunk alloc here, steady state pays zero.
+    if (chunks_.size() > 1 ||
+        (!chunks_.empty() && chunks_[0].capacity < highWater_)) {
+        const std::size_t want =
+            std::max(chunkFloats_, highWater_);
+        chunks_.clear();
+        chunks_.push_back(makeChunk(want));
+    }
+    active_ = 0;
+    used_ = 0;
+    usedFloats_ = 0;
+}
+
+namespace
+{
+
+/** Thread-local inference state. The arena outlives scopes on
+ *  purpose: its high-water chunk is what makes re-entry warm. */
+thread_local bool tls_scope_active = false;
+thread_local int tls_backward_depth = 0;
+
+TensorArena&
+threadArena()
+{
+    thread_local TensorArena arena;
+    return arena;
+}
+
+} // namespace
+
+InferenceScope::InferenceScope()
+{
+    if (tls_scope_active)
+        fatal("InferenceScope: scopes do not nest; the outer scope "
+              "already covers this thread");
+    if (tls_backward_depth > 0)
+        fatal("InferenceScope: cannot enter an inference scope while "
+              "backward() is running on this thread");
+    tls_scope_active = true;
+}
+
+InferenceScope::~InferenceScope()
+{
+    threadArena().reset();
+    tls_scope_active = false;
+}
+
+bool
+InferenceScope::active()
+{
+    return tls_scope_active;
+}
+
+TensorArena&
+InferenceScope::arena()
+{
+    if (!tls_scope_active)
+        panic("InferenceScope::arena: no active scope on this thread");
+    return threadArena();
+}
+
+namespace detail
+{
+
+BackwardInProgress::BackwardInProgress()
+{
+    if (tls_scope_active)
+        fatal("backward(): cannot run a gradient pass inside an "
+              "InferenceScope (no tape was recorded)");
+    ++tls_backward_depth;
+}
+
+BackwardInProgress::~BackwardInProgress()
+{
+    --tls_backward_depth;
+}
+
+bool
+BackwardInProgress::active()
+{
+    return tls_backward_depth > 0;
+}
+
+} // namespace detail
+
+} // namespace ccsa

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Bump-allocated tensor storage for the tape-free inference path.
+ *
+ * A TensorArena hands out float spans from large chunks; nothing is
+ * freed individually. reset() rewinds to empty while keeping the
+ * high-water capacity as a single chunk, so a warm arena services an
+ * entire encode batch without touching the heap at all.
+ *
+ * InferenceScope is the RAII guard that switches the `ag::` op set
+ * into value-only mode on the current thread: while a scope is alive,
+ * ops skip VarNode/tape construction and write their results into the
+ * thread's arena as borrowed tensors (see Tensor::borrowed). Arena
+ * storage dies with the scope — anything that must outlive it (cache
+ * inserts, returned latents) is copied out via Tensor::toOwned().
+ *
+ * Scopes are strictly a serving-time construct: nesting one scope
+ * inside another, or entering one while a backward() pass is running
+ * on the same thread, is a FatalError. Training code is unaffected —
+ * outside a scope every op records the tape exactly as before.
+ */
+
+#ifndef CCSA_TENSOR_ARENA_HH
+#define CCSA_TENSOR_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ccsa
+{
+
+/** Chunked bump allocator for float tensor payloads. */
+class TensorArena
+{
+  public:
+    /** Default chunk size: 256 KiB of floats. */
+    static constexpr std::size_t kDefaultChunkFloats = 64 * 1024;
+
+    explicit TensorArena(std::size_t chunk_floats = kDefaultChunkFloats);
+
+    TensorArena(const TensorArena&) = delete;
+    TensorArena& operator=(const TensorArena&) = delete;
+
+    /**
+     * Bump-allocate @p n floats (uninitialised). Valid until reset().
+     * Returns a non-null pointer even for n == 0.
+     */
+    float* allocate(std::size_t n);
+
+    /**
+     * Rewind to empty, coalescing capacity: after a reset the arena
+     * holds one chunk sized to the high-water mark, so the next batch
+     * of the same shape allocates no memory at all.
+     */
+    void reset();
+
+    /** Floats handed out since the last reset(). */
+    std::size_t usedFloats() const { return usedFloats_; }
+
+    /** Largest usedFloats() ever observed (drives coalescing). */
+    std::size_t highWaterFloats() const { return highWater_; }
+
+    /** Lifetime count of chunk mallocs — flat once warm. */
+    std::size_t chunkAllocations() const { return chunkAllocs_; }
+
+    /** Current number of chunks (1 once warm). */
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<float[]> data;
+        std::size_t capacity = 0;
+    };
+
+    Chunk makeChunk(std::size_t floats);
+
+    std::vector<Chunk> chunks_;
+    std::size_t chunkFloats_;
+    std::size_t active_ = 0;     // chunk currently bumping
+    std::size_t used_ = 0;       // floats used in the active chunk
+    std::size_t usedFloats_ = 0; // floats used across all chunks
+    std::size_t highWater_ = 0;
+    std::size_t chunkAllocs_ = 0;
+};
+
+/**
+ * RAII guard enabling tape-free execution on the current thread.
+ * See the file comment for the full contract.
+ */
+class InferenceScope
+{
+  public:
+    InferenceScope();
+    ~InferenceScope();
+
+    InferenceScope(const InferenceScope&) = delete;
+    InferenceScope& operator=(const InferenceScope&) = delete;
+
+    /** @return whether the calling thread is inside a scope. */
+    static bool active();
+
+    /**
+     * The calling thread's arena; panics when no scope is active.
+     * The arena object itself is thread_local and persists across
+     * scopes, which is what makes the second scope warm.
+     */
+    static TensorArena& arena();
+};
+
+namespace detail
+{
+
+/**
+ * Marks a backward() pass in flight on the current thread, so
+ * InferenceScope can reject being opened mid-gradient. Only
+ * ag::backward() should instantiate this.
+ */
+class BackwardInProgress
+{
+  public:
+    BackwardInProgress();
+    ~BackwardInProgress();
+
+    /** @return whether a backward() pass is running on this thread. */
+    static bool active();
+};
+
+} // namespace detail
+
+} // namespace ccsa
+
+#endif // CCSA_TENSOR_ARENA_HH

@@ -5,11 +5,46 @@
 #include <unordered_set>
 
 #include "base/logging.hh"
+#include "tensor/arena.hh"
 
 namespace ccsa
 {
 namespace ag
 {
+
+namespace
+{
+
+/**
+ * Output buffer for an op's forward value, zero-filled in both modes.
+ * Outside a scope this is a plain owned tensor (exactly what the
+ * taped path always allocated); inside an InferenceScope it is a
+ * borrowed span bump-allocated from the thread's arena, so the op
+ * performs no heap allocation at all. Every op computes through the
+ * same code into this buffer, which is what makes inference results
+ * bitwise-identical to the taped forward.
+ */
+Tensor
+outTensor(int rows, int cols)
+{
+    if (InferenceScope::active()) {
+        const std::size_t n =
+            static_cast<std::size_t>(rows) * cols;
+        float* p = InferenceScope::arena().allocate(n);
+        std::fill(p, p + n, 0.0f);
+        return Tensor::borrowed(p, rows, cols);
+    }
+    return Tensor(rows, cols);
+}
+
+/** Shorthand for the per-op mode test. */
+inline bool
+inferenceMode()
+{
+    return InferenceScope::active();
+}
+
+} // namespace
 
 Var::Var(Tensor v, bool requires_grad)
 {
@@ -18,17 +53,30 @@ Var::Var(Tensor v, bool requires_grad)
     node_->requiresGrad = requires_grad;
 }
 
+Var
+Var::noGrad(Tensor v)
+{
+    Var out;
+    out.rawValue_ = std::move(v);
+    out.raw_ = true;
+    return out;
+}
+
 const Tensor&
 Var::value() const
 {
-    if (!node_)
-        panic("Var::value: undefined Var");
-    return node_->value;
+    if (node_)
+        return node_->value;
+    if (raw_)
+        return rawValue_;
+    panic("Var::value: undefined Var");
 }
 
 Tensor&
 Var::grad()
 {
+    if (raw_)
+        panic("Var::grad: no tape node (inference-mode Var)");
     if (!node_)
         panic("Var::grad: undefined Var");
     node_->ensureGrad();
@@ -38,6 +86,8 @@ Var::grad()
 void
 Var::zeroGrad()
 {
+    if (raw_)
+        panic("Var::zeroGrad: no tape node (inference-mode Var)");
     if (!node_)
         panic("Var::zeroGrad: undefined Var");
     if (!node_->grad.empty())
@@ -47,6 +97,8 @@ Var::zeroGrad()
 Tensor&
 Var::mutableValue()
 {
+    if (raw_)
+        panic("Var::mutableValue: no tape node (inference-mode Var)");
     if (!node_)
         panic("Var::mutableValue: undefined Var");
     return node_->value;
@@ -68,6 +120,9 @@ makeOp(Tensor value, std::vector<Var> parents,
     for (const auto& p : parents) {
         if (!p.defined())
             panic("autograd op: undefined operand");
+        if (!p.node())
+            panic("autograd op: inference-mode operand on the taped "
+                  "path (did a no-grad result escape its scope?)");
         out.node_->parents.push_back(p.node());
         needs = needs || p.node()->requiresGrad;
     }
@@ -80,19 +135,37 @@ makeOp(Tensor value, std::vector<Var> parents,
 Var
 constant(Tensor t)
 {
+    if (inferenceMode())
+        return Var::noGrad(std::move(t));
     return Var(std::move(t), false);
 }
 
 Var
 leaf(Tensor t)
 {
+    if (inferenceMode())
+        fatal("ag::leaf: trainable parameters cannot be created "
+              "inside an InferenceScope");
     return Var(std::move(t), true);
+}
+
+Var
+zeros(int rows, int cols)
+{
+    if (inferenceMode())
+        return Var::noGrad(outTensor(rows, cols));
+    return Var(Tensor::zeros(rows, cols), false);
 }
 
 Var
 matmul(const Var& a, const Var& b)
 {
-    Tensor v = a.value().matmul(b.value());
+    Tensor v = outTensor(a.value().rows(), b.value().cols());
+    // matmulInto re-zeroes then accumulates: the value is computed by
+    // the same kernel call as the taped path's Tensor::matmul.
+    a.value().matmulInto(b.value(), v);
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     auto bn = b.node();
     return makeOp(std::move(v), {a, b}, [an, bn](VarNode& self) {
@@ -126,14 +199,16 @@ affinePair(const Var& x, const Var& w, const Var& h, const Var& u,
         bv.cols() != wv.cols())
         panic("affinePair: output column mismatch");
 
-    Tensor v(xv.rows(), wv.cols());
+    Tensor v = outTensor(xv.rows(), wv.cols());
     xv.matmulInto(wv, v);
-    Tensor tmp(hv.rows(), uv.cols());
+    Tensor tmp = outTensor(hv.rows(), uv.cols());
     hv.matmulInto(uv, tmp);
     v += tmp; // elementwise: same order as add(matmul, matmul)
     for (int i = 0; i < v.rows(); ++i)
         for (int j = 0; j < v.cols(); ++j)
             v.at(i, j) += bv.at(0, j);
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
 
     auto xn = x.node();
     auto wn = w.node();
@@ -165,10 +240,33 @@ affinePair(const Var& x, const Var& w, const Var& h, const Var& u,
     });
 }
 
+namespace
+{
+
+/** dst = a (elementwise copy); the seed for accumulation-style ops. */
+void
+copyInto(const Tensor& src, Tensor& dst)
+{
+    std::copy(src.data(), src.data() + src.size(), dst.data());
+}
+
+} // namespace
+
 Var
 add(const Var& a, const Var& b)
 {
-    Tensor v = a.value() + b.value();
+    const Tensor& av = a.value();
+    const Tensor& bv = b.value();
+    if (!av.sameShape(bv))
+        panic("Tensor::operator+: shape mismatch");
+    Tensor v = outTensor(av.rows(), av.cols());
+    const float* pa = av.data();
+    const float* pb = bv.data();
+    float* dst = v.data();
+    for (std::size_t i = 0; i < av.size(); ++i)
+        dst[i] = pa[i] + pb[i];
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     auto bn = b.node();
     return makeOp(std::move(v), {a, b}, [an, bn](VarNode& self) {
@@ -186,7 +284,18 @@ add(const Var& a, const Var& b)
 Var
 sub(const Var& a, const Var& b)
 {
-    Tensor v = a.value() - b.value();
+    const Tensor& av = a.value();
+    const Tensor& bv = b.value();
+    if (!av.sameShape(bv))
+        panic("Tensor::operator-: shape mismatch");
+    Tensor v = outTensor(av.rows(), av.cols());
+    const float* pa = av.data();
+    const float* pb = bv.data();
+    float* dst = v.data();
+    for (std::size_t i = 0; i < av.size(); ++i)
+        dst[i] = pa[i] - pb[i];
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     auto bn = b.node();
     return makeOp(std::move(v), {a, b}, [an, bn](VarNode& self) {
@@ -204,7 +313,18 @@ sub(const Var& a, const Var& b)
 Var
 mul(const Var& a, const Var& b)
 {
-    Tensor v = a.value() * b.value();
+    const Tensor& av = a.value();
+    const Tensor& bv = b.value();
+    if (!av.sameShape(bv))
+        panic("Tensor::operator*: shape mismatch");
+    Tensor v = outTensor(av.rows(), av.cols());
+    const float* pa = av.data();
+    const float* pb = bv.data();
+    float* dst = v.data();
+    for (std::size_t i = 0; i < av.size(); ++i)
+        dst[i] = pa[i] * pb[i];
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     auto bn = b.node();
     return makeOp(std::move(v), {a, b}, [an, bn](VarNode& self) {
@@ -222,7 +342,14 @@ mul(const Var& a, const Var& b)
 Var
 scale(const Var& a, float s)
 {
-    Tensor v = a.value() * s;
+    const Tensor& av = a.value();
+    Tensor v = outTensor(av.rows(), av.cols());
+    const float* src = av.data();
+    float* dst = v.data();
+    for (std::size_t i = 0; i < av.size(); ++i)
+        dst[i] = src[i] * s;
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     return makeOp(std::move(v), {a}, [an, s](VarNode& self) {
         if (an->requiresGrad) {
@@ -237,9 +364,13 @@ addN(const std::vector<Var>& xs)
 {
     if (xs.empty())
         panic("addN: empty operand list");
-    Tensor v = xs[0].value();
+    const Tensor& first = xs[0].value();
+    Tensor v = outTensor(first.rows(), first.cols());
+    copyInto(first, v);
     for (std::size_t i = 1; i < xs.size(); ++i)
         v += xs[i].value();
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     std::vector<VarNodePtr> nodes;
     for (const auto& x : xs)
         nodes.push_back(x.node());
@@ -256,10 +387,14 @@ addN(const std::vector<Var>& xs)
 Var
 sigmoid(const Var& a)
 {
-    Tensor v = a.value();
-    for (int i = 0; i < v.rows(); ++i)
-        for (int j = 0; j < v.cols(); ++j)
-            v.at(i, j) = 1.0f / (1.0f + std::exp(-v.at(i, j)));
+    const Tensor& av = a.value();
+    Tensor v = outTensor(av.rows(), av.cols());
+    const float* src = av.data();
+    float* dst = v.data();
+    for (std::size_t i = 0; i < av.size(); ++i)
+        dst[i] = 1.0f / (1.0f + std::exp(-src[i]));
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     return makeOp(v, {a}, [an, v](VarNode& self) {
         if (!an->requiresGrad)
@@ -276,10 +411,14 @@ sigmoid(const Var& a)
 Var
 tanhOp(const Var& a)
 {
-    Tensor v = a.value();
-    for (int i = 0; i < v.rows(); ++i)
-        for (int j = 0; j < v.cols(); ++j)
-            v.at(i, j) = std::tanh(v.at(i, j));
+    const Tensor& av = a.value();
+    Tensor v = outTensor(av.rows(), av.cols());
+    const float* src = av.data();
+    float* dst = v.data();
+    for (std::size_t i = 0; i < av.size(); ++i)
+        dst[i] = std::tanh(src[i]);
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     return makeOp(v, {a}, [an, v](VarNode& self) {
         if (!an->requiresGrad)
@@ -296,12 +435,16 @@ tanhOp(const Var& a)
 Var
 relu(const Var& a)
 {
-    Tensor v = a.value();
-    for (int i = 0; i < v.rows(); ++i)
-        for (int j = 0; j < v.cols(); ++j)
-            v.at(i, j) = v.at(i, j) > 0.0f ? v.at(i, j) : 0.0f;
+    const Tensor& av = a.value();
+    Tensor v = outTensor(av.rows(), av.cols());
+    const float* src = av.data();
+    float* dst = v.data();
+    for (std::size_t i = 0; i < av.size(); ++i)
+        dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
-    return makeOp(v, {a}, [an](VarNode& self) {
+    return makeOp(std::move(v), {a}, [an](VarNode& self) {
         if (!an->requiresGrad)
             return;
         an->ensureGrad();
@@ -315,7 +458,16 @@ relu(const Var& a)
 Var
 addRowBroadcast(const Var& a, const Var& bias)
 {
-    Tensor v = a.value().addRowBroadcast(bias.value());
+    const Tensor& av = a.value();
+    const Tensor& bv = bias.value();
+    if (bv.rows() != 1 || bv.cols() != av.cols())
+        panic("Tensor::addRowBroadcast: bias must be 1x", av.cols());
+    Tensor v = outTensor(av.rows(), av.cols());
+    for (int i = 0; i < av.rows(); ++i)
+        for (int j = 0; j < av.cols(); ++j)
+            v.at(i, j) = av.at(i, j) + bv.at(0, j);
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     auto bn = bias.node();
     return makeOp(std::move(v), {a, bias}, [an, bn](VarNode& self) {
@@ -333,10 +485,22 @@ addRowBroadcast(const Var& a, const Var& bias)
 Var
 concatColsOp(const Var& a, const Var& b)
 {
-    Tensor v = concatCols(a.value(), b.value());
+    const Tensor& av = a.value();
+    const Tensor& bv = b.value();
+    if (av.rows() != bv.rows())
+        panic("concatCols: row mismatch");
+    Tensor v = outTensor(av.rows(), av.cols() + bv.cols());
+    for (int i = 0; i < av.rows(); ++i) {
+        for (int j = 0; j < av.cols(); ++j)
+            v.at(i, j) = av.at(i, j);
+        for (int j = 0; j < bv.cols(); ++j)
+            v.at(i, av.cols() + j) = bv.at(i, j);
+    }
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     auto bn = b.node();
-    int ac = a.value().cols();
+    int ac = av.cols();
     return makeOp(std::move(v), {a, b}, [an, bn, ac](VarNode& self) {
         if (an->requiresGrad) {
             an->ensureGrad();
@@ -357,7 +521,7 @@ Var
 gatherRows(const Var& table, std::vector<int> indices)
 {
     const Tensor& t = table.value();
-    Tensor v(static_cast<int>(indices.size()), t.cols());
+    Tensor v = outTensor(static_cast<int>(indices.size()), t.cols());
     for (std::size_t i = 0; i < indices.size(); ++i) {
         int r = indices[i];
         if (r < 0 || r >= t.rows())
@@ -365,6 +529,8 @@ gatherRows(const Var& table, std::vector<int> indices)
         for (int j = 0; j < t.cols(); ++j)
             v.at(static_cast<int>(i), j) = t.at(r, j);
     }
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto tn = table.node();
     return makeOp(std::move(v), {table},
                   [tn, idx = std::move(indices)](VarNode& self) {
@@ -391,7 +557,7 @@ stackRows(const std::vector<Var>& xs)
                   " vs ", cols, ")");
         total += x.value().rows();
     }
-    Tensor v(total, cols);
+    Tensor v = outTensor(total, cols);
     int r = 0;
     for (const auto& x : xs) {
         const Tensor& t = x.value();
@@ -399,6 +565,8 @@ stackRows(const std::vector<Var>& xs)
                   v.data() + static_cast<std::size_t>(r) * cols);
         r += t.rows();
     }
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     std::vector<VarNodePtr> nodes;
     nodes.reserve(xs.size());
     for (const auto& x : xs)
@@ -426,7 +594,7 @@ scatterRows(const Var& x, std::vector<int> indices, int num_rows)
     if (static_cast<int>(indices.size()) != t.rows())
         panic("scatterRows: ", indices.size(), " indices for ",
               t.rows(), " rows");
-    Tensor v(num_rows, t.cols());
+    Tensor v = outTensor(num_rows, t.cols()); // zero-filled
     for (std::size_t i = 0; i < indices.size(); ++i) {
         int r = indices[i];
         if (r < 0 || r >= num_rows)
@@ -434,6 +602,8 @@ scatterRows(const Var& x, std::vector<int> indices, int num_rows)
         for (int j = 0; j < t.cols(); ++j)
             v.at(r, j) += t.at(static_cast<int>(i), j);
     }
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto xn = x.node();
     return makeOp(std::move(v), {x},
                   [xn, idx = std::move(indices)](VarNode& self) {
@@ -454,11 +624,13 @@ rowSlice(const Var& x, int begin, int rows)
     if (begin < 0 || rows < 1 || begin + rows > t.rows())
         panic("rowSlice: [", begin, ", ", begin + rows,
               ") out of range for ", t.rows(), " rows");
-    Tensor v(rows, t.cols());
+    Tensor v = outTensor(rows, t.cols());
     std::copy(
         t.data() + static_cast<std::size_t>(begin) * t.cols(),
         t.data() + static_cast<std::size_t>(begin + rows) * t.cols(),
         v.data());
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto xn = x.node();
     return makeOp(std::move(v), {x}, [xn, begin, rows](VarNode& self) {
         if (!xn->requiresGrad)
@@ -480,7 +652,7 @@ pickRows(const std::vector<Var>& sources,
     for (const auto& s : sources)
         if (s.value().cols() != cols)
             panic("pickRows: column mismatch");
-    Tensor v(static_cast<int>(picks.size()), cols);
+    Tensor v = outTensor(static_cast<int>(picks.size()), cols);
     for (std::size_t i = 0; i < picks.size(); ++i) {
         auto [src, row] = picks[i];
         if (src < 0 || src >= static_cast<int>(sources.size()))
@@ -493,6 +665,8 @@ pickRows(const std::vector<Var>& sources,
                   t.data() + static_cast<std::size_t>(row + 1) * cols,
                   v.data() + i * static_cast<std::size_t>(cols));
     }
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     std::vector<VarNodePtr> nodes;
     nodes.reserve(sources.size());
     for (const auto& s : sources)
@@ -551,7 +725,7 @@ segmentSum(const Var& x, std::vector<int> offsets)
 {
     const Tensor& t = x.value();
     int segs = checkSegments(offsets, t.rows());
-    Tensor v(segs, t.cols());
+    Tensor v = outTensor(segs, t.cols()); // zero rows for empty segs
     for (int s = 0; s < segs; ++s) {
         if (offsets[s] == offsets[s + 1])
             continue; // empty segment -> zero row
@@ -563,6 +737,8 @@ segmentSum(const Var& x, std::vector<int> offsets)
             for (int j = 0; j < t.cols(); ++j)
                 v.at(s, j) += t.at(r, j);
     }
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto xn = x.node();
     return makeOp(std::move(v), {x},
                   [xn, off = std::move(offsets)](VarNode& self) {
@@ -581,11 +757,14 @@ segmentSum(const Var& x, std::vector<int> offsets, const Var& init)
     const Tensor& seed = init.value();
     if (seed.rows() != segs || seed.cols() != t.cols())
         panic("segmentSum: init must be ", segs, "x", t.cols());
-    Tensor v = seed;
+    Tensor v = outTensor(segs, t.cols());
+    copyInto(seed, v);
     for (int s = 0; s < segs; ++s)
         for (int r = offsets[s]; r < offsets[s + 1]; ++r)
             for (int j = 0; j < t.cols(); ++j)
                 v.at(s, j) += t.at(r, j);
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto xn = x.node();
     auto in = init.node();
     return makeOp(std::move(v), {x, init},
@@ -604,7 +783,13 @@ segmentSum(const Var& x, std::vector<int> offsets, const Var& init)
 Var
 sumRowsOp(const Var& a)
 {
-    Tensor v = a.value().sumRows();
+    const Tensor& av = a.value();
+    Tensor v = outTensor(1, av.cols());
+    for (int i = 0; i < av.rows(); ++i)
+        for (int j = 0; j < av.cols(); ++j)
+            v.at(0, j) += av.at(i, j);
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     return makeOp(std::move(v), {a}, [an](VarNode& self) {
         if (!an->requiresGrad)
@@ -619,10 +804,19 @@ sumRowsOp(const Var& a)
 Var
 meanRowsOp(const Var& a)
 {
-    int n = a.value().rows();
+    const Tensor& av = a.value();
+    int n = av.rows();
     if (n == 0)
         panic("meanRowsOp: empty input");
-    Tensor v = a.value().sumRows() * (1.0f / static_cast<float>(n));
+    const float inv_n = 1.0f / static_cast<float>(n);
+    Tensor v = outTensor(1, av.cols());
+    for (int i = 0; i < av.rows(); ++i)
+        for (int j = 0; j < av.cols(); ++j)
+            v.at(0, j) += av.at(i, j);
+    // Scale the finished sums: same float ops as sumRows() * (1/n).
+    v *= inv_n;
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     return makeOp(std::move(v), {a}, [an, n](VarNode& self) {
         if (!an->requiresGrad)
@@ -638,7 +832,10 @@ meanRowsOp(const Var& a)
 Var
 sumAllOp(const Var& a)
 {
-    Tensor v(1, 1, a.value().sumAll());
+    Tensor v = outTensor(1, 1);
+    v.at(0, 0) = a.value().sumAll();
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto an = a.node();
     return makeOp(std::move(v), {a}, [an](VarNode& self) {
         if (!an->requiresGrad)
@@ -656,7 +853,10 @@ spmm(std::shared_ptr<const CsrMatrix> a, const Var& h)
 {
     if (!a)
         panic("spmm: null adjacency");
-    Tensor v = a->multiply(h.value());
+    Tensor v = outTensor(a->rows(), h.value().cols()); // zero-filled
+    a->multiplyInto(h.value(), v);
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto hn = h.node();
     return makeOp(std::move(v), {h}, [a, hn](VarNode& self) {
         if (!hn->requiresGrad)
@@ -683,7 +883,10 @@ bceWithLogits(const Var& logits, const Tensor& targets)
         total += std::max(zi, 0.0) - zi * yi +
             std::log1p(std::exp(-std::fabs(zi)));
     }
-    Tensor v(1, 1, static_cast<float>(total / n));
+    Tensor v = outTensor(1, 1);
+    v.at(0, 0) = static_cast<float>(total / n);
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto ln = logits.node();
     return makeOp(std::move(v), {logits}, [ln, targets, n](VarNode& self) {
         if (!ln->requiresGrad)
@@ -713,7 +916,10 @@ mseLoss(const Var& pred, const Tensor& target)
             double d = p.at(i, j) - target.at(i, j);
             total += d * d;
         }
-    Tensor v(1, 1, static_cast<float>(total / n));
+    Tensor v = outTensor(1, 1);
+    v.at(0, 0) = static_cast<float>(total / n);
+    if (inferenceMode())
+        return Var::noGrad(std::move(v));
     auto pn = pred.node();
     return makeOp(std::move(v), {pred}, [pn, target, n](VarNode& self) {
         if (!pn->requiresGrad)
@@ -732,8 +938,15 @@ backward(const Var& root)
 {
     if (!root.defined())
         panic("backward: undefined root");
+    if (!root.node())
+        fatal("backward: root was computed in inference mode "
+              "(no tape was recorded)");
     if (root.value().rows() != 1 || root.value().cols() != 1)
         fatal("backward: root must be a 1x1 scalar");
+
+    // Rejects entering an InferenceScope on this thread until the
+    // pass finishes — and, symmetrically, refuses to start inside one.
+    detail::BackwardInProgress in_progress;
 
     // Iterative DFS to produce a reverse topological order.
     std::vector<VarNode*> order;

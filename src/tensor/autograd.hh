@@ -9,6 +9,12 @@
  * Vars (model parameters) persist across steps; interior nodes are
  * reclaimed when the last Var referencing them goes out of scope.
  *
+ * Inside a ccsa::InferenceScope (tensor/arena.hh) the same op set runs
+ * tape-free: no VarNode, no parents vector, no backward closure — each
+ * op writes its result into the thread's TensorArena and returns a
+ * value-only Var (Var::noGrad). Both modes share the identical forward
+ * compute, so inference results are bitwise-equal to the taped forward.
+ *
  * The operation set is exactly what the paper's models need: dense and
  * sparse matrix products, elementwise arithmetic and non-linearities,
  * row gather (embedding lookup), concatenation, reductions, and a
@@ -52,7 +58,8 @@ class VarNode
     }
 };
 
-/** Handle to a node of the autograd tape. */
+/** Handle to a node of the autograd tape — or, in inference mode, a
+ *  value-only result that never touched the tape. */
 class Var
 {
   public:
@@ -62,7 +69,20 @@ class Var
     /** Wrap a tensor; requires_grad marks it as a trainable leaf. */
     explicit Var(Tensor v, bool requires_grad = false);
 
-    bool defined() const { return node_ != nullptr; }
+    /**
+     * A value-only Var with no tape node — what every op returns
+     * inside an InferenceScope. The payload is typically arena-backed
+     * (a borrowed tensor), so copying one costs a pointer, not a heap
+     * allocation, and the value dies with the scope unless copied out
+     * via value().toOwned(). grad()/mutableValue()/zeroGrad() panic;
+     * so does feeding one to a taped op outside a scope.
+     */
+    static Var noGrad(Tensor v);
+
+    bool defined() const { return node_ != nullptr || raw_; }
+
+    /** @return whether this is a tape-free (noGrad) Var. */
+    bool isNoGrad() const { return raw_; }
 
     /** @return the forward value (fatal if undefined). */
     const Tensor& value() const;
@@ -78,19 +98,28 @@ class Var
 
     bool requiresGrad() const;
 
+    /** Tape node; null for inference-mode (noGrad) Vars. */
     const VarNodePtr& node() const { return node_; }
 
   private:
     friend Var makeOp(Tensor value, std::vector<Var> parents,
                       std::function<void(VarNode&)> backward);
     VarNodePtr node_;
+    Tensor rawValue_; // payload when raw_ (no node allocated)
+    bool raw_ = false;
 };
 
-/** Create a constant (non-trainable) Var. */
+/** Create a constant (non-trainable) Var. Inside an InferenceScope
+ *  this is tape-free (no VarNode is allocated). */
 Var constant(Tensor t);
 
-/** Create a trainable leaf Var. */
+/** Create a trainable leaf Var (FatalError inside an InferenceScope —
+ *  parameters are a training-time construct). */
 Var leaf(Tensor t);
+
+/** A rows x cols zero constant; arena-backed inside an InferenceScope
+ *  so all-leaf tree-LSTM levels allocate nothing when serving. */
+Var zeros(int rows, int cols);
 
 /** Dense matrix product. */
 Var matmul(const Var& a, const Var& b);
@@ -214,6 +243,8 @@ Var mseLoss(const Var& pred, const Tensor& target);
 /**
  * Run reverse-mode differentiation from a scalar (1x1) output.
  * Gradients accumulate into every node with requiresGrad.
+ * FatalError if called inside an InferenceScope (no tape exists), or
+ * on a root that was computed in inference mode.
  */
 void backward(const Var& root);
 

@@ -43,9 +43,19 @@ CsrMatrix::fromCoo(int rows, int cols, std::vector<CooEntry> entries)
 Tensor
 CsrMatrix::multiply(const Tensor& dense) const
 {
+    Tensor out(rows_, dense.cols());
+    multiplyInto(dense, out);
+    return out;
+}
+
+void
+CsrMatrix::multiplyInto(const Tensor& dense, Tensor& out) const
+{
     if (dense.rows() != cols_)
         panic("CsrMatrix::multiply: dimension mismatch");
-    Tensor out(rows_, dense.cols());
+    if (out.rows() != rows_ || out.cols() != dense.cols())
+        panic("CsrMatrix::multiplyInto: output must be ", rows_, "x",
+              dense.cols());
     for (int r = 0; r < rows_; ++r) {
         for (int p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p) {
             int c = colIdx_[p];
@@ -54,7 +64,6 @@ CsrMatrix::multiply(const Tensor& dense) const
                 out.at(r, j) += v * dense.at(c, j);
         }
     }
-    return out;
 }
 
 Tensor

@@ -42,6 +42,14 @@ class CsrMatrix
     /** Dense product: this (RxC) times dense (CxN) -> RxN. */
     Tensor multiply(const Tensor& dense) const;
 
+    /**
+     * Accumulating dense product into a caller-owned buffer:
+     * out += this * dense (out must be RxN; zero it for a plain
+     * product). The inference path uses this with arena storage so
+     * spmm allocates nothing.
+     */
+    void multiplyInto(const Tensor& dense, Tensor& out) const;
+
     /** Transposed product: this^T (CxR) times dense (RxN) -> CxN. */
     Tensor transposeMultiply(const Tensor& dense) const;
 

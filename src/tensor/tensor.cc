@@ -3,10 +3,31 @@
 #include "tensor/matmul_dispatch.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace ccsa
 {
+
+namespace
+{
+
+/** Relaxed: the tests that read this only need eventual counts. */
+std::atomic<std::uint64_t> tensor_heap_allocs{0};
+
+void
+noteHeapAlloc()
+{
+    tensor_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::uint64_t
+tensorHeapAllocCount()
+{
+    return tensor_heap_allocs.load(std::memory_order_relaxed);
+}
 
 Tensor::Tensor(int rows, int cols, float fill)
     : rows_(rows), cols_(cols),
@@ -14,6 +35,29 @@ Tensor::Tensor(int rows, int cols, float fill)
 {
     if (rows < 0 || cols < 0)
         panic("Tensor: negative dimension");
+    if (!data_.empty())
+        noteHeapAlloc();
+}
+
+Tensor::Tensor(const Tensor& o)
+    : rows_(o.rows_), cols_(o.cols_), span_(o.span_), data_(o.data_)
+{
+    if (!data_.empty())
+        noteHeapAlloc();
+}
+
+Tensor&
+Tensor::operator=(const Tensor& o)
+{
+    if (this == &o)
+        return *this;
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    span_ = o.span_;
+    data_ = o.data_;
+    if (!data_.empty())
+        noteHeapAlloc();
+    return *this;
 }
 
 Tensor
@@ -24,6 +68,30 @@ Tensor::fromVector(const std::vector<float>& data, int rows, int cols)
     Tensor t(rows, cols);
     t.data_ = data;
     return t;
+}
+
+Tensor
+Tensor::borrowed(float* storage, int rows, int cols)
+{
+    if (rows < 0 || cols < 0)
+        panic("Tensor::borrowed: negative dimension");
+    if (storage == nullptr &&
+        static_cast<std::size_t>(rows) * cols != 0)
+        panic("Tensor::borrowed: null storage for non-empty shape");
+    Tensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.span_ = storage;
+    return t;
+}
+
+Tensor
+Tensor::toOwned() const
+{
+    Tensor out(rows_, cols_);
+    if (!empty())
+        std::copy(data(), data() + size(), out.data());
+    return out;
 }
 
 // The raw GEMM loops live in src/tensor/matmul_dispatch.cc (scalar)
@@ -37,9 +105,8 @@ Tensor::matmul(const Tensor& o) const
         panic("Tensor::matmul: inner dimensions ", cols_, " vs ",
               o.rows_);
     Tensor out(rows_, o.cols_);
-    kernels::activeKernels().gemmAccum(data_.data(), o.data_.data(),
-                                       out.data_.data(), rows_,
-                                       cols_, o.cols_);
+    kernels::activeKernels().gemmAccum(data(), o.data(), out.data(),
+                                       rows_, cols_, o.cols_);
     return out;
 }
 
@@ -53,9 +120,8 @@ Tensor::matmulInto(const Tensor& o, Tensor& out) const
         panic("Tensor::matmulInto: output must be ", rows_, "x",
               o.cols_);
     out.fill(0.0f);
-    kernels::activeKernels().gemmAccum(data_.data(), o.data_.data(),
-                                       out.data_.data(), rows_,
-                                       cols_, o.cols_);
+    kernels::activeKernels().gemmAccum(data(), o.data(), out.data(),
+                                       rows_, cols_, o.cols_);
 }
 
 void
@@ -67,9 +133,8 @@ Tensor::matmulAccumInto(const Tensor& o, Tensor& out) const
     if (out.rows_ != rows_ || out.cols_ != o.cols_)
         panic("Tensor::matmulAccumInto: output must be ", rows_, "x",
               o.cols_);
-    kernels::activeKernels().gemmAccum(data_.data(), o.data_.data(),
-                                       out.data_.data(), rows_,
-                                       cols_, o.cols_);
+    kernels::activeKernels().gemmAccum(data(), o.data(), out.data(),
+                                       rows_, cols_, o.cols_);
 }
 
 void
@@ -86,8 +151,7 @@ Tensor::matmulTransAAccumInto(const Tensor& o, Tensor& out) const
     // per-element order as transpose().matmul(o), with no transpose
     // materialised and no product temporary.
     kernels::activeKernels().gemmTransAAccum(
-        data_.data(), o.data_.data(), out.data_.data(), rows_, cols_,
-        o.cols_);
+        data(), o.data(), out.data(), rows_, cols_, o.cols_);
 }
 
 void
@@ -103,8 +167,7 @@ Tensor::matmulTransBAccumInto(const Tensor& o, Tensor& out) const
     // Row-by-row dot products; both operands stream along their
     // natural row-major layout.
     kernels::activeKernels().gemmTransBAccum(
-        data_.data(), o.data_.data(), out.data_.data(), rows_, cols_,
-        o.rows_);
+        data(), o.data(), out.data(), rows_, cols_, o.rows_);
 }
 
 Tensor
@@ -116,15 +179,15 @@ Tensor::matmulReference(const Tensor& o) const
     Tensor out(rows_, o.cols_);
     // The original scalar ikj loop with the per-element zero skip.
     for (int i = 0; i < rows_; ++i) {
-        const float* arow = data_.data() +
+        const float* arow = data() +
             static_cast<std::size_t>(i) * cols_;
-        float* orow = out.data_.data() +
+        float* orow = out.data() +
             static_cast<std::size_t>(i) * o.cols_;
         for (int k = 0; k < cols_; ++k) {
             float a = arow[k];
             if (a == 0.0f)
                 continue;
-            const float* brow = o.data_.data() +
+            const float* brow = o.data() +
                 static_cast<std::size_t>(k) * o.cols_;
             for (int j = 0; j < o.cols_; ++j)
                 orow[j] += a * brow[j];
@@ -148,9 +211,12 @@ Tensor::operator+(const Tensor& o) const
 {
     if (!sameShape(o))
         panic("Tensor::operator+: shape mismatch");
-    Tensor out = *this;
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        out.data_[i] += o.data_[i];
+    Tensor out(rows_, cols_);
+    const float* a = data();
+    const float* b = o.data();
+    float* dst = out.data();
+    for (std::size_t i = 0; i < size(); ++i)
+        dst[i] = a[i] + b[i];
     return out;
 }
 
@@ -159,9 +225,12 @@ Tensor::operator-(const Tensor& o) const
 {
     if (!sameShape(o))
         panic("Tensor::operator-: shape mismatch");
-    Tensor out = *this;
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        out.data_[i] -= o.data_[i];
+    Tensor out(rows_, cols_);
+    const float* a = data();
+    const float* b = o.data();
+    float* dst = out.data();
+    for (std::size_t i = 0; i < size(); ++i)
+        dst[i] = a[i] - b[i];
     return out;
 }
 
@@ -170,9 +239,12 @@ Tensor::operator*(const Tensor& o) const
 {
     if (!sameShape(o))
         panic("Tensor::operator*: shape mismatch");
-    Tensor out = *this;
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        out.data_[i] *= o.data_[i];
+    Tensor out(rows_, cols_);
+    const float* a = data();
+    const float* b = o.data();
+    float* dst = out.data();
+    for (std::size_t i = 0; i < size(); ++i)
+        dst[i] = a[i] * b[i];
     return out;
 }
 
@@ -181,8 +253,10 @@ Tensor::operator+=(const Tensor& o)
 {
     if (!sameShape(o))
         panic("Tensor::operator+=: shape mismatch");
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        data_[i] += o.data_[i];
+    float* dst = data();
+    const float* src = o.data();
+    for (std::size_t i = 0; i < size(); ++i)
+        dst[i] += src[i];
     return *this;
 }
 
@@ -191,25 +265,30 @@ Tensor::operator-=(const Tensor& o)
 {
     if (!sameShape(o))
         panic("Tensor::operator-=: shape mismatch");
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        data_[i] -= o.data_[i];
+    float* dst = data();
+    const float* src = o.data();
+    for (std::size_t i = 0; i < size(); ++i)
+        dst[i] -= src[i];
     return *this;
 }
 
 Tensor
 Tensor::operator*(float s) const
 {
-    Tensor out = *this;
-    for (auto& v : out.data_)
-        v *= s;
+    Tensor out(rows_, cols_);
+    const float* a = data();
+    float* dst = out.data();
+    for (std::size_t i = 0; i < size(); ++i)
+        dst[i] = a[i] * s;
     return out;
 }
 
 Tensor&
 Tensor::operator*=(float s)
 {
-    for (auto& v : data_)
-        v *= s;
+    float* dst = data();
+    for (std::size_t i = 0; i < size(); ++i)
+        dst[i] *= s;
     return *this;
 }
 
@@ -218,7 +297,7 @@ Tensor::addRowBroadcast(const Tensor& row) const
 {
     if (row.rows_ != 1 || row.cols_ != cols_)
         panic("Tensor::addRowBroadcast: bias must be 1x", cols_);
-    Tensor out = *this;
+    Tensor out = toOwned();
     for (int i = 0; i < rows_; ++i)
         for (int j = 0; j < cols_; ++j)
             out.at(i, j) += row.at(0, j);
@@ -239,25 +318,27 @@ float
 Tensor::sumAll() const
 {
     float s = 0.0f;
-    for (float v : data_)
-        s += v;
+    const float* p = data();
+    for (std::size_t i = 0; i < size(); ++i)
+        s += p[i];
     return s;
 }
 
 float
 Tensor::meanAll() const
 {
-    if (data_.empty())
+    if (empty())
         fatal("Tensor::meanAll: empty tensor");
-    return sumAll() / static_cast<float>(data_.size());
+    return sumAll() / static_cast<float>(size());
 }
 
 float
 Tensor::normSq() const
 {
     float s = 0.0f;
-    for (float v : data_)
-        s += v * v;
+    const float* p = data();
+    for (std::size_t i = 0; i < size(); ++i)
+        s += p[i] * p[i];
     return s;
 }
 
@@ -284,21 +365,24 @@ Tensor::setRow(int r, const Tensor& row)
 void
 Tensor::fillUniform(Rng& rng, float lo, float hi)
 {
-    for (auto& v : data_)
-        v = static_cast<float>(rng.uniform(lo, hi));
+    float* p = data();
+    for (std::size_t i = 0; i < size(); ++i)
+        p[i] = static_cast<float>(rng.uniform(lo, hi));
 }
 
 void
 Tensor::fillNormal(Rng& rng, float mean, float stddev)
 {
-    for (auto& v : data_)
-        v = static_cast<float>(rng.normal(mean, stddev));
+    float* p = data();
+    for (std::size_t i = 0; i < size(); ++i)
+        p[i] = static_cast<float>(rng.normal(mean, stddev));
 }
 
 void
 Tensor::fill(float v)
 {
-    std::fill(data_.begin(), data_.end(), v);
+    float* p = data();
+    std::fill(p, p + size(), v);
 }
 
 float
@@ -307,8 +391,10 @@ Tensor::maxAbsDiff(const Tensor& o) const
     if (!sameShape(o))
         panic("Tensor::maxAbsDiff: shape mismatch");
     float m = 0.0f;
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+    const float* a = data();
+    const float* b = o.data();
+    for (std::size_t i = 0; i < size(); ++i)
+        m = std::max(m, std::fabs(a[i] - b[i]));
     return m;
 }
 

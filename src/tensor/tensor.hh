@@ -5,11 +5,21 @@
  * with a GPU deep-learning framework; this repository substitutes a
  * self-contained CPU implementation with identical mathematics so the
  * full pipeline runs offline with no external dependencies.
+ *
+ * Storage comes in two modes. An *owned* tensor holds its floats in a
+ * std::vector as always. A *borrowed* tensor (Tensor::borrowed) wraps
+ * a span it does not own — the tape-free inference path hands out
+ * TensorArena storage this way, so copying one costs a pointer, not a
+ * heap allocation. Borrowed tensors are views: they must not outlive
+ * their backing storage, and anything that escapes an InferenceScope
+ * is deep-copied first via toOwned(). The public API is identical in
+ * both modes.
  */
 
 #ifndef CCSA_TENSOR_TENSOR_HH
 #define CCSA_TENSOR_TENSOR_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "base/logging.hh"
@@ -28,6 +38,16 @@ class Tensor
     /** Construct a rows x cols tensor filled with a constant. */
     Tensor(int rows, int cols, float fill = 0.0f);
 
+    /**
+     * Copies of owned tensors deep-copy (and count toward
+     * tensorHeapAllocCount()); copies of borrowed tensors alias the
+     * same span at pointer cost. Moves never allocate.
+     */
+    Tensor(const Tensor& o);
+    Tensor& operator=(const Tensor& o);
+    Tensor(Tensor&&) noexcept = default;
+    Tensor& operator=(Tensor&&) noexcept = default;
+
     /** @return a rows x cols tensor of zeros. */
     static Tensor zeros(int rows, int cols) { return {rows, cols, 0.0f}; }
 
@@ -38,26 +58,54 @@ class Tensor
     static Tensor fromVector(const std::vector<float>& data,
                              int rows, int cols);
 
+    /**
+     * Wrap caller-owned storage (rows*cols floats, row-major) without
+     * copying. The view is writable and carries no lifetime: the
+     * storage must outlive every copy of the returned tensor. Used by
+     * the inference arena; most callers never need this.
+     */
+    static Tensor borrowed(float* storage, int rows, int cols);
+
+    /** @return whether this tensor is a non-owning view. */
+    bool isBorrowed() const { return span_ != nullptr; }
+
+    /**
+     * Deep copy into owned storage — the escape hatch for results
+     * that must outlive an InferenceScope. Owned tensors copy too,
+     * so the result is always safe to retain.
+     */
+    Tensor toOwned() const;
+
     int rows() const { return rows_; }
     int cols() const { return cols_; }
-    std::size_t size() const { return data_.size(); }
-    bool empty() const { return data_.empty(); }
+
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(rows_) * cols_;
+    }
+
+    bool empty() const { return size() == 0; }
 
     /** Mutable element access with bounds panic in debug paths. */
     float&
     at(int r, int c)
     {
-        return data_[static_cast<std::size_t>(r) * cols_ + c];
+        CCSA_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                    "Tensor::at index out of bounds");
+        return data()[static_cast<std::size_t>(r) * cols_ + c];
     }
 
     float
     at(int r, int c) const
     {
-        return data_[static_cast<std::size_t>(r) * cols_ + c];
+        CCSA_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                    "Tensor::at index out of bounds");
+        return data()[static_cast<std::size_t>(r) * cols_ + c];
     }
 
-    float* data() { return data_.data(); }
-    const float* data() const { return data_.data(); }
+    float* data() { return span_ ? span_ : data_.data(); }
+    const float* data() const { return span_ ? span_ : data_.data(); }
 
     /** @return true if shapes match. */
     bool
@@ -159,11 +207,19 @@ class Tensor
   private:
     int rows_ = 0;
     int cols_ = 0;
-    std::vector<float> data_;
+    float* span_ = nullptr;    // borrowed storage; owned when null
+    std::vector<float> data_;  // owned storage (empty when borrowed)
 };
 
 /** Concatenate two tensors with equal rows along columns. */
 Tensor concatCols(const Tensor& a, const Tensor& b);
+
+/**
+ * Process-wide count of owned-tensor heap allocations (constructions
+ * and deep copies with a non-empty payload). The arena-reuse
+ * regression tests pin warm inference iterations to a zero delta.
+ */
+std::uint64_t tensorHeapAllocCount();
 
 } // namespace ccsa
 

@@ -13,13 +13,18 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <vector>
 
+#include "base/rng.hh"
 #include "eval/metrics.hh"
 #include "frontend/parser.hh"
 #include "oracle.hh"
 #include "serve/engine.hh"
 #include "serve/latent_codec.hh"
+#include "serve/latent_f16_dispatch.hh"
 
 namespace ccsa
 {
@@ -725,6 +730,138 @@ TEST(LatentCodec, Fp16BitsMatchIeeeBinary16)
         if (((bits >> 10) & 0x1Fu) == 0x1Fu && (bits & 0x3FFu) != 0)
             continue; // NaN payloads are canonicalised
         EXPECT_EQ(f32ToF16(f16ToF32(bits)), bits) << "half " << h;
+    }
+}
+
+TEST(LatentCodec, F16DispatchHonoursPortableOverride)
+{
+    // Like the matmul dispatcher, the fp16 codec family latches on
+    // first use; assert consistency with the env as this process sees
+    // it. The CI forced-portable leg runs with
+    // CCSA_F16_KERNEL=portable and lands in the first branch.
+    const char* env = std::getenv("CCSA_F16_KERNEL");
+    if (env != nullptr && std::strcmp(env, "portable") == 0) {
+        EXPECT_STREQ(kernels::activeF16KernelName(), "portable");
+    } else if (kernels::f16cAvailable()) {
+        EXPECT_STREQ(kernels::activeF16KernelName(), "f16c");
+    } else {
+        EXPECT_STREQ(kernels::activeF16KernelName(), "portable");
+    }
+    EXPECT_STREQ(kernels::portableF16Kernels().name, "portable");
+}
+
+TEST(LatentCodec, F16PortableRowsMatchScalarConversions)
+{
+    // The portable row kernels are, by definition, the scalar
+    // conversions applied elementwise — including for lengths that
+    // are not a multiple of any vector width.
+    const auto& portable = kernels::portableF16Kernels();
+    std::vector<std::uint16_t> halves;
+    for (std::uint32_t h = 0; h < 1000; ++h)
+        halves.push_back(static_cast<std::uint16_t>(h * 61));
+    std::vector<float> decoded(halves.size());
+    portable.decodeRows(halves.data(), decoded.data(), halves.size());
+    std::vector<std::uint16_t> back(halves.size());
+    portable.encodeRows(decoded.data(), back.data(), decoded.size());
+    for (std::size_t i = 0; i < halves.size(); ++i) {
+        // Compare BITS, not values: the sweep includes NaN codes,
+        // and NaN == NaN is false by definition.
+        const float want = f16ToF32(halves[i]);
+        std::uint32_t gotBits, wantBits;
+        std::memcpy(&gotBits, &decoded[i], sizeof(gotBits));
+        std::memcpy(&wantBits, &want, sizeof(wantBits));
+        EXPECT_EQ(gotBits, wantBits) << i;
+        EXPECT_EQ(back[i], f32ToF16(decoded[i])) << i;
+    }
+}
+
+TEST(LatentCodec, F16cMatchesPortableOnEveryNonNanHalf)
+{
+    // Mirror of the exhaustive roundtrip above, across kernel
+    // families: for all 2^16 half codes that are not NaN payloads,
+    // the F16C decode must be bit-identical to the portable decode,
+    // and both families must encode the decoded value back to the
+    // original code. NaN payloads are excluded for the same reason
+    // as above — portable canonicalises to 0x7E00|sign while the
+    // hardware preserves/quiets payloads — but class must survive:
+    // every NaN half decodes to a NaN in both families.
+    if (!kernels::f16cAvailable())
+        GTEST_SKIP() << "no F16C on this CPU/build";
+    const auto& portable = kernels::portableF16Kernels();
+    const auto& active = kernels::f16cKernels();
+    ASSERT_STREQ(active.name, "f16c");
+
+    std::vector<std::uint16_t> codes(0x10000);
+    for (std::uint32_t h = 0; h <= 0xFFFFu; ++h)
+        codes[h] = static_cast<std::uint16_t>(h);
+    std::vector<float> viaPortable(codes.size());
+    std::vector<float> viaF16c(codes.size());
+    portable.decodeRows(codes.data(), viaPortable.data(),
+                        codes.size());
+    active.decodeRows(codes.data(), viaF16c.data(), codes.size());
+
+    std::vector<std::uint16_t> backPortable(codes.size());
+    std::vector<std::uint16_t> backF16c(codes.size());
+    portable.encodeRows(viaPortable.data(), backPortable.data(),
+                        viaPortable.size());
+    active.encodeRows(viaPortable.data(), backF16c.data(),
+                      viaPortable.size());
+
+    for (std::uint32_t h = 0; h <= 0xFFFFu; ++h) {
+        const bool isNan =
+            ((h >> 10) & 0x1Fu) == 0x1Fu && (h & 0x3FFu) != 0;
+        if (isNan) {
+            EXPECT_TRUE(std::isnan(viaPortable[h])) << "half " << h;
+            EXPECT_TRUE(std::isnan(viaF16c[h])) << "half " << h;
+            continue;
+        }
+        std::uint32_t bp, bf;
+        std::memcpy(&bp, &viaPortable[h], sizeof(bp));
+        std::memcpy(&bf, &viaF16c[h], sizeof(bf));
+        EXPECT_EQ(bf, bp) << "decode half " << h;
+        EXPECT_EQ(backPortable[h], codes[h]) << "portable half " << h;
+        EXPECT_EQ(backF16c[h], codes[h]) << "f16c half " << h;
+    }
+}
+
+TEST(LatentCodec, F16cMatchesPortableOffGridAndOnTails)
+{
+    // Values with no exact half representation exercise the actual
+    // rounding hardware: RNE ties, subnormal underflow, and overflow
+    // saturation must agree with the portable oracle bit-for-bit.
+    // Lengths 1..n also sweep the 8-wide kernel's scalar tail.
+    if (!kernels::f16cAvailable())
+        GTEST_SKIP() << "no F16C on this CPU/build";
+    const auto& portable = kernels::portableF16Kernels();
+    const auto& active = kernels::f16cKernels();
+
+    std::vector<float> probes = {
+        1.0f / 3.0f,    -1.0f / 3.0f,   0.1f,
+        1.0f + 0x1p-11f, 1.0f + 3 * 0x1p-11f,
+        3 * 0x1p-25f,   0x1p-25f,       -0x1p-25f,
+        5.9604644775390625e-08f, 0x1p-15f,
+        65504.0f,       65520.0f,       65519.99f,
+        1e30f,          -1e30f,         0.0f,
+        -0.0f,          std::numeric_limits<float>::infinity(),
+        -std::numeric_limits<float>::infinity(),
+        6.103515625e-05f, 6.1e-05f,     1234.5678f};
+    Rng rng(77);
+    for (int i = 0; i < 300; ++i)
+        probes.push_back(
+            static_cast<float>(rng.normal(0.0, 1.0)));
+
+    for (std::size_t n = 1; n <= probes.size(); n += 7) {
+        std::vector<std::uint16_t> ep(n), ea(n);
+        portable.encodeRows(probes.data(), ep.data(), n);
+        active.encodeRows(probes.data(), ea.data(), n);
+        EXPECT_EQ(ep, ea) << "encode length " << n;
+        std::vector<float> dp(n), da(n);
+        portable.decodeRows(ep.data(), dp.data(), n);
+        active.decodeRows(ep.data(), da.data(), n);
+        EXPECT_EQ(std::memcmp(dp.data(), da.data(),
+                              n * sizeof(float)),
+                  0)
+            << "decode length " << n;
     }
 }
 

@@ -427,6 +427,84 @@ TEST(Tensor, ConcatCols)
     EXPECT_FLOAT_EQ(c.at(1, 2), 6.0f);
 }
 
+TEST(Tensor, BorrowedStorageAliasesWithoutOwning)
+{
+    float storage[6] = {1, 2, 3, 4, 5, 6};
+    Tensor t = Tensor::borrowed(storage, 2, 3);
+    EXPECT_TRUE(t.isBorrowed());
+    EXPECT_EQ(t.data(), storage);
+    EXPECT_FLOAT_EQ(t.at(1, 2), 6.0f);
+
+    // Writes through the Tensor land in the caller's storage...
+    t.at(0, 1) = 42.0f;
+    EXPECT_FLOAT_EQ(storage[1], 42.0f);
+
+    // ...and copies of a borrowed Tensor alias the same storage (the
+    // arena fast path: no heap traffic on copy).
+    const std::uint64_t before = tensorHeapAllocCount();
+    Tensor alias = t;
+    EXPECT_EQ(tensorHeapAllocCount(), before);
+    EXPECT_TRUE(alias.isBorrowed());
+    EXPECT_EQ(alias.data(), storage);
+
+    // Empty borrow is fine; null storage with elements is not.
+    Tensor empty = Tensor::borrowed(nullptr, 0, 0);
+    EXPECT_TRUE(empty.empty());
+    EXPECT_THROW(Tensor::borrowed(nullptr, 1, 1), PanicError);
+}
+
+TEST(Tensor, ToOwnedDetachesFromBorrowedStorage)
+{
+    float storage[4] = {1, 2, 3, 4};
+    Tensor t = Tensor::borrowed(storage, 2, 2);
+    Tensor owned = t.toOwned();
+    EXPECT_FALSE(owned.isBorrowed());
+    EXPECT_FLOAT_EQ(owned.maxAbsDiff(t), 0.0f);
+
+    // The copy must be deep: clobbering the arena-side storage (as a
+    // scope reset would) leaves the owned Tensor untouched.
+    storage[0] = -99.0f;
+    EXPECT_FLOAT_EQ(owned.at(0, 0), 1.0f);
+
+    // toOwned on an already-owned Tensor is a plain deep copy.
+    Tensor owned2 = owned.toOwned();
+    EXPECT_FALSE(owned2.isBorrowed());
+    EXPECT_NE(owned2.data(), owned.data());
+}
+
+TEST(Tensor, HeapAllocCountTracksOwnedConstruction)
+{
+    const std::uint64_t before = tensorHeapAllocCount();
+    Tensor a(3, 4);
+    EXPECT_EQ(tensorHeapAllocCount(), before + 1);
+    Tensor b = a; // owned copy allocates
+    EXPECT_EQ(tensorHeapAllocCount(), before + 2);
+    Tensor c = std::move(a); // move does not
+    EXPECT_EQ(tensorHeapAllocCount(), before + 2);
+    Tensor d(0, 0); // empty does not
+    EXPECT_EQ(tensorHeapAllocCount(), before + 2);
+    (void)b;
+    (void)c;
+    (void)d;
+}
+
+TEST(Tensor, AtBoundsCheckedInDebugBuilds)
+{
+    // CCSA_DCHECK compiles out under NDEBUG (the Release hot path
+    // stays branch-free); in debug and sanitizer builds an
+    // out-of-bounds at() must panic instead of reading garbage.
+    Tensor t(2, 3);
+#ifndef NDEBUG
+    EXPECT_THROW(t.at(2, 0), PanicError);
+    EXPECT_THROW(t.at(0, 3), PanicError);
+    EXPECT_THROW(t.at(-1, 0), PanicError);
+    const Tensor& ct = t;
+    EXPECT_THROW(ct.at(0, -1), PanicError);
+#else
+    EXPECT_NO_THROW(t.at(1, 2));
+#endif
+}
+
 TEST(Sparse, FromCooAndDense)
 {
     auto m = CsrMatrix::fromCoo(

@@ -3,7 +3,7 @@
 
 Reads the google-benchmark JSON written by
 
-    micro_ops --benchmark_filter='BM_EncodeLevelBatchedVsPerNode|BM_MatmulKernel|BM_MatmulDispatch|BM_CacheHitByPrecision' \
+    micro_ops --benchmark_filter='BM_EncodeLevelBatchedVsPerNode|BM_EncodeNoGradVsTaped|BM_MatmulKernel|BM_MatmulDispatch|BM_CacheHitByPrecision|BM_F16DecodeDispatch' \
               --benchmark_out=BENCH_encode.json --benchmark_out_format=json
 
 and fails (exit 1) when:
@@ -18,7 +18,13 @@ and fails (exit 1) when:
  - a quantized cache hit path (lookup + dequantize) collapses
    relative to fp32 hits. The floors there are loose: dequantize IS
    slower than memcpy, the gate only catches pathological
-   regressions like decoding falling off a fast path entirely.
+   regressions like decoding falling off a fast path entirely;
+ - the tape-free (InferenceScope) encode loses its edge over the
+   taped forward on the realistic-AST shape — the acceptance bar is
+   1.3x, with loose never-slower floors on the other shapes;
+ - the F16C fp16 decode family drops below 2x the portable
+   bit-twiddling oracle — skipped (with a note) when the JSON has no
+   f16c row, i.e. the runner has no F16C.
 
 Floors are deliberately below the typically observed ratios
 (~3.8x bushy, ~3x ast, ~1.0x chain; ~2-4x avx2-fma) so CI noise does
@@ -53,6 +59,21 @@ CACHE_HIT_FLOORS = {
     "int8": 0.10,
 }
 
+# No-grad (InferenceScope) vs taped encode throughput. The ast floor
+# is the PR's acceptance bar; chain/bushy floors only assert the
+# tape-free path is never meaningfully slower (observed ~3.5x chain,
+# ~1.2x bushy, ~1.5x ast — tape overhead scales with ops per node,
+# which level batching amortises on wide trees).
+NOGRAD_FLOORS = {
+    "ast": 1.3,
+    "bushy": 0.9,
+    "chain": 0.9,
+}
+
+# F16C decode vs portable bit-twiddling (observed ~19x; the bar is
+# the "fp16 hits stop being 3x slower than fp32" acceptance line).
+F16C_FLOOR = 2.0
+
 
 def collect(data, name, split_label=False):
     """label -> median items/s over raw repetitions of one bench."""
@@ -66,6 +87,10 @@ def collect(data, name, split_label=False):
         # entries plus mean/median/stddev aggregates; keep the raw
         # repetitions (run_type absent on old benchmark versions).
         if bench.get("run_type", "iteration") != "iteration":
+            continue
+        # Rows skipped at runtime (e.g. the f16c row on a CPU without
+        # F16C) carry an error and no throughput.
+        if "items_per_second" not in bench:
             continue
         label = bench.get("label", "")
         if split_label and "/" not in label:
@@ -126,6 +151,28 @@ def main() -> int:
         # Scalar-only hardware (or a forced-scalar leg): nothing to
         # compare, and failing would punish the runner, not the code.
         print("matmul dispatch: no vectorized rows, gate skipped")
+
+    nograd = collect(data, "BM_EncodeNoGradVsTaped",
+                     split_label=True)
+    for shape, floor in NOGRAD_FLOORS.items():
+        free = nograd.get((shape, "nograd"))
+        taped = nograd.get((shape, "taped"))
+        detail = ""
+        if free is not None and taped is not None:
+            detail = (f"nograd {free:12.0f} nodes/s  "
+                      f"taped {taped:12.0f} nodes/s")
+        ok &= bench_gate.gate_ratio(f"nograd {shape:6s}", free,
+                                    taped, floor, detail)
+
+    f16 = collect(data, "BM_F16DecodeDispatch")
+    if f16.get("f16:f16c") is not None:
+        ok &= bench_gate.gate_ratio("f16c decode", f16.get("f16:f16c"),
+                                    f16.get("f16:portable"),
+                                    F16C_FLOOR)
+    elif f16:
+        # No F16C on this runner: the hardware row was skipped, and
+        # the portable row alone has nothing to gate against.
+        print("f16 dispatch: no f16c row, gate skipped")
 
     hits = collect(data, "BM_CacheHitByPrecision")
     fp32 = hits.get("cache-hit:fp32")
